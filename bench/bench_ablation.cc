@@ -1,0 +1,129 @@
+// Ablation studies of the design choices DESIGN.md calls out. Not figures
+// from the paper, but the knobs its setting exposes:
+//
+//  A. Fragment granularity — few large vs many small fragments at constant
+//     data and machine count: parallelism vs per-fragment overhead.
+//  B. Placement policy — round-robin vs root-and-spread vs single site:
+//     how much of the guarantee survives bad placement (answers and visit
+//     bounds must be unaffected; times should degrade gracefully).
+//  C. Annotation pruning payoff vs query selectivity — from fully selective
+//     (deep path) to unprunable (leading '//').
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "fragment/fragmenter.h"
+#include "harness.h"
+#include "fragment/pruning.h"
+
+using namespace paxml;
+using namespace paxml::bench;
+
+namespace {
+
+Workload MakeGranularityWorkload(size_t max_nodes, size_t total_bytes,
+                                 size_t machines) {
+  XMarkOptions options;
+  options.seed = 7;
+  options.symbols = std::make_shared<SymbolTable>();
+  Tree tree = GenerateUniformSitesTree(total_bytes, 4, options);
+  auto doc_r = FragmentBySize(tree, max_nodes);
+  PAXML_CHECK(doc_r.ok());
+  Workload w;
+  w.doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+  w.cumulative_bytes = total_bytes;
+  ClusterOptions copts;
+  copts.parallel_execution = false;
+  w.cluster = std::make_unique<Cluster>(w.doc, machines, copts);
+  w.cluster->PlaceRootAndSpread();
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  const size_t total = 100 * UnitBytes();
+  const size_t machines = 10;
+
+  std::printf(
+      "Ablation A — fragment granularity (FragmentBySize sweep, %zu machines, "
+      "%.1f MB, query Q3)\n",
+      machines, static_cast<double>(total) / (1024 * 1024));
+  {
+    TablePrinter table({"max-nodes", "fragments", "PaX2-NA", "PaX2-XA",
+                        "traffic(B)"});
+    for (size_t max_nodes : {200000u, 50000u, 20000u, 8000u, 3000u, 1000u}) {
+      Workload w = MakeGranularityWorkload(max_nodes, total, machines);
+      Measurement na = Measure(w, xmark::kQ3, DistributedAlgorithm::kPaX2, false);
+      Measurement xa = Measure(w, xmark::kQ3, DistributedAlgorithm::kPaX2, true);
+      table.AddRow({std::to_string(max_nodes), std::to_string(w.doc->size()),
+                    Secs(na.parallel_seconds), Secs(xa.parallel_seconds),
+                    std::to_string(na.total_bytes)});
+    }
+  }
+
+  std::printf("\nAblation B — placement policy (FT2 x1.4, query Q3, PaX2-NA)\n");
+  {
+    TablePrinter table({"placement", "parallel(s)", "total(s)", "max-visits"});
+    for (int policy = 0; policy < 3; ++policy) {
+      Workload w = MakeFT2(1.4);
+      const char* name = "";
+      switch (policy) {
+        case 0:
+          name = "one-per-machine";
+          break;  // MakeFT2 default
+        case 1: {
+          name = "round-robin-3";
+          ClusterOptions copts;
+          copts.parallel_execution = false;
+          w.cluster = std::make_unique<Cluster>(w.doc, 3, copts);
+          w.cluster->PlaceRoundRobin();
+          break;
+        }
+        case 2: {
+          name = "single-site";
+          ClusterOptions copts;
+          copts.parallel_execution = false;
+          w.cluster = std::make_unique<Cluster>(w.doc, 1, copts);
+          break;
+        }
+      }
+      Measurement m = Measure(w, xmark::kQ3, DistributedAlgorithm::kPaX2, false);
+      table.AddRow({name, Secs(m.parallel_seconds), Secs(m.total_seconds),
+                    std::to_string(m.max_visits)});
+    }
+  }
+
+  std::printf(
+      "\nAblation C — pruning payoff vs query shape (FT2 x1.4, PaX2, "
+      "sites touched and parallel time)\n");
+  {
+    struct Probe {
+      const char* name;
+      const char* query;
+    };
+    const Probe probes[] = {
+        {"deep-path", "/sites/site/people/person/profile/age"},
+        {"mid-path", "/sites/site/closed_auctions/closed_auction/price"},
+        {"with-qual", xmark::kQ3},
+        {"prefix-then-//", xmark::kQ2},
+        {"leading-//", "//person/name"},
+    };
+    TablePrinter table({"query", "required", "NA(s)", "XA(s)", "speedup"});
+    Workload w = MakeFT2(1.4);
+    for (const Probe& p : probes) {
+      auto compiled = CompileXPath(p.query, w.doc->symbols());
+      PAXML_CHECK(compiled.ok());
+      PruneResult pr = PruneFragments(*w.doc, *compiled);
+      Measurement na = Measure(w, p.query, DistributedAlgorithm::kPaX2, false);
+      Measurement xa = Measure(w, p.query, DistributedAlgorithm::kPaX2, true);
+      table.AddRow({p.name,
+                    StringFormat("%zu/%zu", pr.CountRequired(), w.doc->size()),
+                    Secs(na.parallel_seconds), Secs(xa.parallel_seconds),
+                    StringFormat("%.2fx", na.parallel_seconds /
+                                              std::max(xa.parallel_seconds,
+                                                       1e-9))});
+    }
+  }
+  return 0;
+}

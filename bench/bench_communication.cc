@@ -1,0 +1,100 @@
+// Communication-cost validation (Section 3.4 claims; not a figure in the
+// paper, but the headline analytical guarantee):
+//
+//   total traffic of PaX3/PaX2 = O(|Q| |FT| + |ans|) — independent of |T| —
+//   versus NaiveCentralized, which ships the whole document.
+//
+// Table 1 sweeps the document size with the fragment tree and query fixed:
+// PaX traffic net of answers must stay flat while Naive grows linearly.
+// Table 2 compares answer-shipping modes. Table 3 scales |FT|.
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+#include "harness.h"
+
+using namespace paxml;
+using namespace paxml::bench;
+
+namespace {
+
+Measurement MeasureWithMode(const Workload& w, const std::string& query,
+                            DistributedAlgorithm algo, AnswerShipMode mode) {
+  auto compiled = CompileXPath(query, w.doc->symbols());
+  PAXML_CHECK(compiled.ok());
+  EngineOptions options;
+  options.algorithm = algo;
+  options.pax.ship_mode = mode;
+  auto r = EvaluateDistributed(*w.cluster, *compiled, options);
+  PAXML_CHECK(r.ok());
+  Measurement m;
+  m.total_bytes = r->stats.total_bytes;
+  m.answer_bytes = r->stats.answer_bytes;
+  m.data_bytes = r->stats.data_bytes_shipped;
+  m.answers = r->answers.size();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Communication cost (Section 3.4): O(|Q||FT| + |ans|)\n\n");
+
+  std::printf(
+      "Table 1 — traffic vs document size (FT2 x scale, query Q3, "
+      "reference-shipped answers)\n");
+  {
+    TablePrinter table({"size(MB)", "PaX2(B)", "PaX2-ans(B)", "PaX2-net(B)",
+                        "Naive(B)", "answers"});
+    for (double scale = 1.0; scale <= 2.8001; scale += 0.6) {
+      Workload w = MakeFT2(scale);
+      Measurement pax = MeasureWithMode(w, xmark::kQ3,
+                                        DistributedAlgorithm::kPaX2,
+                                        AnswerShipMode::kReferences);
+      Measurement naive = MeasureWithMode(w, xmark::kQ3,
+                                          DistributedAlgorithm::kNaiveCentralized,
+                                          AnswerShipMode::kReferences);
+      table.AddRow({StringFormat("%.1f", static_cast<double>(w.cumulative_bytes) /
+                                             (1024 * 1024)),
+                    std::to_string(pax.total_bytes),
+                    std::to_string(pax.answer_bytes),
+                    std::to_string(pax.total_bytes - pax.answer_bytes),
+                    std::to_string(naive.total_bytes),
+                    std::to_string(pax.answers)});
+    }
+  }
+
+  std::printf(
+      "\nTable 2 — answer shipping modes (FT2 x1, per query, PaX2)\n");
+  {
+    TablePrinter table({"query", "answers", "refs(B)", "subtrees(B)"});
+    Workload w = MakeFT2(1.0);
+    for (const auto& q : xmark::ExperimentQueries()) {
+      Measurement refs = MeasureWithMode(w, q.text, DistributedAlgorithm::kPaX2,
+                                         AnswerShipMode::kReferences);
+      Measurement subs = MeasureWithMode(w, q.text, DistributedAlgorithm::kPaX2,
+                                         AnswerShipMode::kSubtrees);
+      table.AddRow({q.name, std::to_string(refs.answers),
+                    std::to_string(refs.answer_bytes),
+                    std::to_string(subs.answer_bytes)});
+    }
+  }
+
+  std::printf(
+      "\nTable 3 — traffic vs fragment count (FT1, constant data, Boolean "
+      "query: |ans| = O(1))\n");
+  {
+    TablePrinter table({"fragments", "PaX2(B)", "per-fragment(B)"});
+    const std::string boolean_query = ".[//people/person/profile/age > 20]";
+    for (size_t k = 2; k <= 10; k += 2) {
+      Workload w = MakeFT1(k, 50 * UnitBytes());
+      Measurement m = MeasureWithMode(w, boolean_query,
+                                      DistributedAlgorithm::kPaX2,
+                                      AnswerShipMode::kReferences);
+      table.AddRow({std::to_string(k), std::to_string(m.total_bytes),
+                    std::to_string(m.total_bytes / (k + 1))});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Experiment 2 (Fig. 10): parallel evaluation time vs cumulative data size.
+//
+// FT2: ten fragments over four XMark sites with the paper's size ratios
+// (table below), each on its own machine; the cumulative size sweeps
+// 1.0x..2.8x while ratios stay fixed (the paper sweeps 100..280 MB).
+// Reproduces the four sub-figures:
+//   (a) Q1: PaX3-NA vs PaX3-XA   (PaX2 coincides: two passes either way;
+//       XA more than halves the time by pruning + skipping the last stage)
+//   (b) Q2: PaX3-NA vs PaX3-XA   ('//' after a prefix still prunes)
+//   (c) Q3: PaX3-NA vs PaX2-NA vs PaX2-XA (qualifier stage dominates PaX3;
+//       PaX2 merges passes; XA helps PaX2 further)
+//   (d) Q4: PaX3-NA vs PaX2-NA   ('//' + qualifiers: XA cannot prune)
+
+#include <cstdio>
+
+#include "harness.h"
+#include "xml/serializer.h"
+
+using namespace paxml;
+using namespace paxml::bench;
+
+namespace {
+
+void PrintFragmentTable(const Workload& w) {
+  std::printf("FT2 fragment sizes (Experiment 2 table):\n");
+  TablePrinter table({"fragment", "bytes", "payload-nodes", "annotation"});
+  for (const Fragment& f : w.doc->fragments()) {
+    table.AddRow({StringFormat("F%d", f.id),
+                  std::to_string(SerializedSize(f.tree)),
+                  std::to_string(f.PayloadSize()),
+                  f.id == 0 ? "(root)"
+                            : f.AnnotationString(*w.doc->symbols())});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Experiment 2 (Fig. 10) — FT2, parallel evaluation time (seconds), "
+      "%d repetition(s)\n\n",
+      Repetitions());
+  PrintFragmentTable(MakeFT2(1.0));
+
+  struct Series {
+    const char* figure;
+    const char* query_name;
+    const char* query;
+    std::vector<std::pair<DistributedAlgorithm, bool>> lines;
+    std::vector<std::string> line_names;
+  };
+  const std::vector<Series> figures = {
+      {"Fig. 10(a)", "Q1", xmark::kQ1,
+       {{DistributedAlgorithm::kPaX3, false}, {DistributedAlgorithm::kPaX3, true}},
+       {"PaX3-NA", "PaX3-XA"}},
+      {"Fig. 10(b)", "Q2", xmark::kQ2,
+       {{DistributedAlgorithm::kPaX3, false}, {DistributedAlgorithm::kPaX3, true}},
+       {"PaX3-NA", "PaX3-XA"}},
+      {"Fig. 10(c)", "Q3", xmark::kQ3,
+       {{DistributedAlgorithm::kPaX3, false},
+        {DistributedAlgorithm::kPaX2, false},
+        {DistributedAlgorithm::kPaX2, true}},
+       {"PaX3-NA", "PaX2-NA", "PaX2-XA"}},
+      {"Fig. 10(d)", "Q4", xmark::kQ4,
+       {{DistributedAlgorithm::kPaX3, false}, {DistributedAlgorithm::kPaX2, false}},
+       {"PaX3-NA", "PaX2-NA"}},
+  };
+
+  for (const Series& s : figures) {
+    std::printf("%s — Query %s = %s\n", s.figure, s.query_name, s.query);
+    std::vector<std::string> columns = {"size(MB)"};
+    for (const std::string& n : s.line_names) columns.push_back(n);
+    columns.push_back("answers");
+    TablePrinter table(columns);
+    for (double scale = 1.0; scale <= 2.8001; scale += 0.2) {
+      Workload w = MakeFT2(scale);
+      std::vector<std::string> row = {StringFormat(
+          "%.1f", static_cast<double>(w.cumulative_bytes) / (1024 * 1024))};
+      size_t answers = 0;
+      for (const auto& [algo, xa] : s.lines) {
+        Measurement m = Measure(w, s.query, algo, xa);
+        row.push_back(Secs(m.parallel_seconds));
+        answers = m.answers;
+      }
+      row.push_back(std::to_string(answers));
+      table.AddRow(row);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

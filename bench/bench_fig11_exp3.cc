@@ -1,0 +1,64 @@
+// Experiment 3 (Fig. 11): TOTAL computation cost vs cumulative data size.
+//
+// Same FT2 setting as Experiment 2, but summing compute over all machines
+// instead of taking the per-round parallel maximum. Reproduces Fig. 11(a-d).
+// Expected shape (paper): with XA the *total* savings exceed the parallel
+// savings (pruned machines do no work at all — two-thirds saved for Q1,
+// ~three-quarters for Q2); without XA the savings are proportional.
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace paxml;
+using namespace paxml::bench;
+
+int main() {
+  std::printf(
+      "Experiment 3 (Fig. 11) — FT2, total computation time (seconds), "
+      "%d repetition(s)\n\n",
+      Repetitions());
+
+  struct Series {
+    const char* figure;
+    const char* query_name;
+    const char* query;
+    std::vector<std::pair<DistributedAlgorithm, bool>> lines;
+    std::vector<std::string> line_names;
+  };
+  const std::vector<Series> figures = {
+      {"Fig. 11(a)", "Q1", xmark::kQ1,
+       {{DistributedAlgorithm::kPaX3, false}, {DistributedAlgorithm::kPaX3, true}},
+       {"PaX3-NA", "PaX3-XA"}},
+      {"Fig. 11(b)", "Q2", xmark::kQ2,
+       {{DistributedAlgorithm::kPaX3, false}, {DistributedAlgorithm::kPaX3, true}},
+       {"PaX3-NA", "PaX3-XA"}},
+      {"Fig. 11(c)", "Q3", xmark::kQ3,
+       {{DistributedAlgorithm::kPaX3, false},
+        {DistributedAlgorithm::kPaX2, false},
+        {DistributedAlgorithm::kPaX2, true}},
+       {"PaX3-NA", "PaX2-NA", "PaX2-XA"}},
+      {"Fig. 11(d)", "Q4", xmark::kQ4,
+       {{DistributedAlgorithm::kPaX3, false}, {DistributedAlgorithm::kPaX2, false}},
+       {"PaX3-NA", "PaX2-NA"}},
+  };
+
+  for (const Series& s : figures) {
+    std::printf("%s — Query %s = %s\n", s.figure, s.query_name, s.query);
+    std::vector<std::string> columns = {"size(MB)"};
+    for (const std::string& n : s.line_names) columns.push_back(n);
+    TablePrinter table(columns);
+    for (double scale = 1.0; scale <= 2.8001; scale += 0.2) {
+      Workload w = MakeFT2(scale);
+      std::vector<std::string> row = {StringFormat(
+          "%.1f", static_cast<double>(w.cumulative_bytes) / (1024 * 1024))};
+      for (const auto& [algo, xa] : s.lines) {
+        Measurement m = Measure(w, s.query, algo, xa);
+        row.push_back(Secs(m.total_seconds));
+      }
+      table.AddRow(row);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

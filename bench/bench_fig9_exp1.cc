@@ -1,0 +1,56 @@
+// Experiment 1 (Fig. 9): evaluation time vs number of fragments/machines.
+//
+// The cumulative data size stays constant while the fragment count grows
+// from 1 to 10 (FT1: one XMark "site" per fragment, one fragment per
+// machine). Reproduces:
+//   Fig. 9(a) — Q1 (no qualifiers):  PaX3-NA vs PaX3-XA
+//   Fig. 9(b) — Q4 (qualifiers, //): PaX3-NA vs PaX2-NA
+// Expected shape (paper): times fall as fragmentation increases
+// (parallelism), flattening around 6+ fragments; XA roughly halves Q1 by
+// skipping stage 3; PaX2 beats PaX3 on Q4 by merging two passes.
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace paxml;
+using namespace paxml::bench;
+
+int main() {
+  const size_t cumulative = 100 * UnitBytes();
+  std::printf(
+      "Experiment 1 (Fig. 9) — FT1, constant cumulative data %.1f MB, "
+      "%d repetition(s)\n\n",
+      static_cast<double>(cumulative) / (1024 * 1024), Repetitions());
+
+  std::printf("Fig. 9(a) — Query Q1 = %s (evaluation time, seconds)\n",
+              xmark::kQ1);
+  {
+    TablePrinter table({"fragments", "PaX3-NA", "PaX3-XA", "answers"});
+    for (size_t k = 1; k <= 10; ++k) {
+      Workload w = MakeFT1(k, cumulative);
+      Measurement na = Measure(w, xmark::kQ1, DistributedAlgorithm::kPaX3,
+                               /*annotations=*/false);
+      Measurement xa = Measure(w, xmark::kQ1, DistributedAlgorithm::kPaX3,
+                               /*annotations=*/true);
+      table.AddRow({std::to_string(k), Secs(na.parallel_seconds),
+                    Secs(xa.parallel_seconds), std::to_string(na.answers)});
+    }
+  }
+
+  std::printf("\nFig. 9(b) — Query Q4 = %s (evaluation time, seconds)\n",
+              xmark::kQ4);
+  {
+    TablePrinter table({"fragments", "PaX3-NA", "PaX2-NA", "answers"});
+    for (size_t k = 1; k <= 10; ++k) {
+      Workload w = MakeFT1(k, cumulative);
+      Measurement p3 = Measure(w, xmark::kQ4, DistributedAlgorithm::kPaX3,
+                               /*annotations=*/false);
+      Measurement p2 = Measure(w, xmark::kQ4, DistributedAlgorithm::kPaX2,
+                               /*annotations=*/false);
+      table.AddRow({std::to_string(k), Secs(p3.parallel_seconds),
+                    Secs(p2.parallel_seconds), std::to_string(p3.answers)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// The query table (Fig. 7) with compiled-vector shapes and measured
+// selectivity on a sample document — documents exactly what each experiment
+// evaluates.
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+#include "eval/centralized.h"
+#include "harness.h"
+#include "xpath/normal_form.h"
+#include "xpath/parser.h"
+
+using namespace paxml;
+using namespace paxml::bench;
+
+int main() {
+  std::printf("Fig. 7 — experiment queries\n\n");
+
+  Workload w = MakeFT2(1.0);
+  Tree assembled = w.doc->Assemble();
+
+  TablePrinter table({"query", "qualifiers", "has-//", "SVect", "QVect",
+                      "answers"});
+  for (const auto& q : xmark::ExperimentQueries()) {
+    auto compiled = CompileXPath(q.text, w.doc->symbols());
+    PAXML_CHECK(compiled.ok());
+    auto result = EvaluateCentralized(assembled, *compiled);
+    table.AddRow({q.name, q.has_qualifiers ? "yes" : "no",
+                  q.has_descendant ? "yes" : "no",
+                  std::to_string(compiled->selection_size()),
+                  std::to_string(compiled->entries().size()),
+                  std::to_string(result.answers.size())});
+  }
+
+  std::printf("\nQuery texts and normal forms:\n");
+  for (const auto& q : xmark::ExperimentQueries()) {
+    auto ast = ParseXPath(q.text);
+    PAXML_CHECK(ast.ok());
+    NormalPath normal = Normalize(**ast);
+    std::printf("  %s: %s\n      normal form:   %s\n      selection path: %s\n",
+                q.name, q.text, ToString(normal).c_str(),
+                SelectionPathString(normal).c_str());
+  }
+  return 0;
+}

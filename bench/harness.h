@@ -1,0 +1,98 @@
+// Shared harness for the figure/table reproduction benchmarks.
+//
+// Builds the paper's two experimental fragment trees over XMark-like data:
+//
+//  FT1 (Experiment 1, Fig. 8 left): k fragments, each one whole XMark
+//  "site"; F0 additionally holds the root. One fragment per machine; the
+//  cumulative size stays constant as k grows.
+//
+//  FT2 (Experiments 2-3, Fig. 8 right): four sites A..D over ten fragments
+//  with the paper's size multiset {5,5,5,5, 12,12,12,12, 28, 8} (relative
+//  units):
+//    F0 = root + whole site A (5)          F5 = C's regions/namerica (28)
+//    F1 = site B remainder (5)             F6 = C's categories (8)
+//    F2 = B's regions (12)                 F7 = C's open_auctions (12)
+//    F3 = B's open_auctions (12)           F8 = C's closed_auctions (12)
+//    F4 = site C remainder (5)             F9 = whole site D (5)
+//  (Fragment ids are assigned in document order; the paper's figure labels
+//  the same fragments differently. The 28-unit fragment holds region items,
+//  so Q2's annotation pruning drops it — the paper's Fig. 10(b) narrative.)
+//
+// Sizes are scaled down from the paper's 100..280 MB so every figure
+// regenerates in seconds (see DESIGN.md §4); set PAXML_BENCH_SCALE to grow
+// them (1.0 equals the harness default noted below, not the paper's LAN
+// sizes).
+
+#ifndef PAXML_BENCH_HARNESS_H_
+#define PAXML_BENCH_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "fragment/fragmenter.h"
+#include "sim/cluster.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace paxml::bench {
+
+/// One "unit" of the paper's relative fragment sizes (the paper's unit is
+/// 1 MB at cumulative 104 units; ours defaults to 48 KB * PAXML_BENCH_SCALE,
+/// i.e. cumulative ~5 MB per iteration).
+size_t UnitBytes();
+
+/// Number of repetitions averaged per measured point (the paper averages
+/// over multiple runs). Override with PAXML_BENCH_REPS.
+int Repetitions();
+
+/// A fragmented document plus its cluster, ready to evaluate.
+struct Workload {
+  std::shared_ptr<FragmentedDocument> doc;
+  std::unique_ptr<Cluster> cluster;
+  size_t cumulative_bytes = 0;
+};
+
+/// FT1: `fragments` whole-site fragments of cumulative ~`total_bytes`,
+/// one site (machine) per fragment.
+Workload MakeFT1(size_t fragments, size_t total_bytes, uint64_t seed = 42);
+
+/// FT2 at `scale` relative units (scale=1 -> the 104-unit layout above),
+/// ten fragments on ten machines.
+Workload MakeFT2(double scale, uint64_t seed = 42);
+
+/// Measured outcome of one configuration, averaged over Repetitions().
+struct Measurement {
+  double parallel_seconds = 0;   ///< perceived (parallel) evaluation time
+  double total_seconds = 0;      ///< total computation over all sites
+  double elapsed_seconds = 0;    ///< parallel + coordinator + modeled network
+  uint64_t total_bytes = 0;
+  uint64_t answer_bytes = 0;
+  uint64_t data_bytes = 0;
+  int max_visits = 0;
+  size_t answers = 0;
+};
+
+/// Runs `algo` (with `annotations`) over the workload.
+Measurement Measure(const Workload& w, const std::string& query,
+                    DistributedAlgorithm algo, bool annotations);
+
+/// Prints a Markdown-ish table: header then AddRow calls.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+  void AddRow(const std::vector<std::string>& cells);
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+/// Formats seconds with ms precision.
+std::string Secs(double s);
+
+}  // namespace paxml::bench
+
+#endif  // PAXML_BENCH_HARNESS_H_

@@ -1,0 +1,219 @@
+#include "boolexpr/codec.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace paxml {
+
+// ---- ByteWriter -----------------------------------------------------------
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buf_.append(s);
+}
+
+void ByteWriter::PutBytes(const void* data, size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+// ---- ByteReader -----------------------------------------------------------
+
+Result<uint8_t> ByteReader::GetU8() {
+  if (pos_ >= bytes_.size()) return Status::OutOfRange("read past end of buffer");
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+Result<uint32_t> ByteReader::GetU32() {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    PAXML_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+    v |= static_cast<uint32_t>(b) << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetU64() {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    PAXML_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+    v |= static_cast<uint64_t>(b) << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    PAXML_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+    if (shift > 63) return Status::ParseError("varint too long");
+  }
+}
+
+Result<std::string> ByteReader::GetString() {
+  PAXML_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+  if (n > remaining()) return Status::OutOfRange("string length past buffer end");
+  std::string s(bytes_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+// ---- Formula codec --------------------------------------------------------
+
+namespace {
+
+/// Emits nodes reachable from the roots in topological (operands-first)
+/// order; returns local index per formula handle.
+void TopoEncode(const FormulaArena& arena, const std::vector<Formula>& roots,
+                ByteWriter* out) {
+  std::vector<Formula> order;
+  std::unordered_map<Formula, uint32_t> local;
+  // Iterative post-order.
+  struct Item {
+    Formula f;
+    bool expanded;
+  };
+  std::vector<Item> stack;
+  for (Formula r : roots) stack.push_back({r, false});
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    if (local.count(item.f)) continue;
+    const FormulaKind k = arena.kind(item.f);
+    const bool leaf = (k == FormulaKind::kFalse || k == FormulaKind::kTrue ||
+                       k == FormulaKind::kVar);
+    if (leaf || item.expanded) {
+      local.emplace(item.f, static_cast<uint32_t>(order.size()));
+      order.push_back(item.f);
+      continue;
+    }
+    stack.push_back({item.f, true});
+    stack.push_back({arena.lhs(item.f), false});
+    if (k != FormulaKind::kNot) stack.push_back({arena.rhs(item.f), false});
+  }
+
+  out->PutVarint(order.size());
+  for (Formula f : order) {
+    const FormulaKind k = arena.kind(f);
+    out->PutU8(static_cast<uint8_t>(k));
+    switch (k) {
+      case FormulaKind::kFalse:
+      case FormulaKind::kTrue:
+        break;
+      case FormulaKind::kVar:
+        out->PutVarint(arena.var(f));
+        break;
+      case FormulaKind::kNot:
+        out->PutVarint(local.at(arena.lhs(f)));
+        break;
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        out->PutVarint(local.at(arena.lhs(f)));
+        out->PutVarint(local.at(arena.rhs(f)));
+        break;
+    }
+  }
+  out->PutVarint(roots.size());
+  for (Formula r : roots) out->PutVarint(local.at(r));
+}
+
+Result<std::vector<Formula>> TopoDecode(FormulaArena* arena, ByteReader* in) {
+  PAXML_ASSIGN_OR_RETURN(uint64_t count, in->GetVarint());
+  std::vector<Formula> local;
+  local.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PAXML_ASSIGN_OR_RETURN(uint8_t kind_byte, in->GetU8());
+    if (kind_byte > static_cast<uint8_t>(FormulaKind::kOr)) {
+      return Status::ParseError("bad formula node kind");
+    }
+    const FormulaKind k = static_cast<FormulaKind>(kind_byte);
+    auto operand = [&](uint64_t idx) -> Result<Formula> {
+      if (idx >= local.size()) {
+        return Status::ParseError("formula operand forward reference");
+      }
+      return local[static_cast<size_t>(idx)];
+    };
+    switch (k) {
+      case FormulaKind::kFalse:
+        local.push_back(kFalseFormula);
+        break;
+      case FormulaKind::kTrue:
+        local.push_back(kTrueFormula);
+        break;
+      case FormulaKind::kVar: {
+        PAXML_ASSIGN_OR_RETURN(uint64_t v, in->GetVarint());
+        local.push_back(arena->Var(static_cast<VarId>(v)));
+        break;
+      }
+      case FormulaKind::kNot: {
+        PAXML_ASSIGN_OR_RETURN(uint64_t a, in->GetVarint());
+        PAXML_ASSIGN_OR_RETURN(Formula fa, operand(a));
+        local.push_back(arena->Not(fa));
+        break;
+      }
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        PAXML_ASSIGN_OR_RETURN(uint64_t a, in->GetVarint());
+        PAXML_ASSIGN_OR_RETURN(uint64_t b, in->GetVarint());
+        PAXML_ASSIGN_OR_RETURN(Formula fa, operand(a));
+        PAXML_ASSIGN_OR_RETURN(Formula fb, operand(b));
+        local.push_back(k == FormulaKind::kAnd ? arena->And(fa, fb)
+                                               : arena->Or(fa, fb));
+        break;
+      }
+    }
+  }
+  PAXML_ASSIGN_OR_RETURN(uint64_t root_count, in->GetVarint());
+  std::vector<Formula> roots;
+  roots.reserve(root_count);
+  for (uint64_t i = 0; i < root_count; ++i) {
+    PAXML_ASSIGN_OR_RETURN(uint64_t idx, in->GetVarint());
+    if (idx >= local.size()) return Status::ParseError("bad formula root index");
+    roots.push_back(local[static_cast<size_t>(idx)]);
+  }
+  return roots;
+}
+
+}  // namespace
+
+void EncodeFormula(const FormulaArena& arena, Formula f, ByteWriter* out) {
+  TopoEncode(arena, {f}, out);
+}
+
+Result<Formula> DecodeFormula(FormulaArena* arena, ByteReader* in) {
+  PAXML_ASSIGN_OR_RETURN(std::vector<Formula> roots, TopoDecode(arena, in));
+  if (roots.size() != 1) return Status::ParseError("expected single formula root");
+  return roots[0];
+}
+
+void EncodeFormulaVector(const FormulaArena& arena,
+                         const std::vector<Formula>& fs, ByteWriter* out) {
+  TopoEncode(arena, fs, out);
+}
+
+Result<std::vector<Formula>> DecodeFormulaVector(FormulaArena* arena,
+                                                 ByteReader* in) {
+  return TopoDecode(arena, in);
+}
+
+}  // namespace paxml

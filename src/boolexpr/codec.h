@@ -1,0 +1,72 @@
+// Binary encoding of formulas and formula vectors.
+//
+// Partial answers cross the (simulated) network as serialized bytes so that
+// communication costs are measured in the same unit the paper's bounds use.
+// The encoding is a topologically ordered node list, so shared subterms of
+// the residual DAG are shipped once.
+
+#ifndef PAXML_BOOLEXPR_CODEC_H_
+#define PAXML_BOOLEXPR_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "boolexpr/formula.h"
+#include "common/result.h"
+
+namespace paxml {
+
+/// Append-only byte sink with little-endian primitive writers.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutVarint(uint64_t v);
+  void PutString(std::string_view s);
+  void PutBytes(const void* data, size_t n);
+
+  const std::string& bytes() const { return buf_; }
+  std::string Take() && { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Cursor over immutable bytes with checked readers.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint64_t> GetVarint();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// Serializes one formula (with its reachable DAG) from `arena`.
+void EncodeFormula(const FormulaArena& arena, Formula f, ByteWriter* out);
+
+/// Deserializes a formula into `arena` (handles re-interned locally).
+Result<Formula> DecodeFormula(FormulaArena* arena, ByteReader* in);
+
+/// Serializes a vector of formulas, sharing DAG structure across entries.
+void EncodeFormulaVector(const FormulaArena& arena,
+                         const std::vector<Formula>& fs, ByteWriter* out);
+
+Result<std::vector<Formula>> DecodeFormulaVector(FormulaArena* arena,
+                                                 ByteReader* in);
+
+}  // namespace paxml
+
+#endif  // PAXML_BOOLEXPR_CODEC_H_

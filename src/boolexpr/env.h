@@ -1,0 +1,69 @@
+// Variable bindings (substitution environments) used during unification.
+//
+// Procedure evalFT of the paper unifies variables introduced by partial
+// evaluation with values (or formulas) computed by other fragments. A
+// Binding records VarId -> Formula mappings and applies them to formulas.
+
+#ifndef PAXML_BOOLEXPR_ENV_H_
+#define PAXML_BOOLEXPR_ENV_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "boolexpr/formula.h"
+
+namespace paxml {
+
+/// A substitution environment: maps variables to replacement formulas
+/// (constants included). Bindings whose replacement mentions other bound
+/// variables are supported via ApplyFixpoint.
+class Binding {
+ public:
+  /// Binds v := f (formula handle in the arena that Apply will be given).
+  /// Rebinding an already-bound variable overwrites.
+  void Bind(VarId v, Formula f) { map_[v] = f; }
+  void BindConst(VarId v, bool b) {
+    map_[v] = b ? kTrueFormula : kFalseFormula;
+  }
+
+  std::optional<Formula> Lookup(VarId v) const {
+    auto it = map_.find(v);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(VarId v) const { return map_.count(v) != 0; }
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// One substitution pass over `f`.
+  Formula Apply(FormulaArena* arena, Formula f) const {
+    return arena->Substitute(
+        f, [this](VarId v) { return this->Lookup(v); });
+  }
+
+  /// Substitutes until no bound variable remains in the result (chained
+  /// bindings). Guards against cycles by bounding iterations.
+  Formula ApplyFixpoint(FormulaArena* arena, Formula f) const {
+    for (size_t round = 0; round <= map_.size(); ++round) {
+      Formula next = Apply(arena, f);
+      if (next == f) return f;
+      f = next;
+    }
+    return f;  // cyclic binding: return best effort (tests forbid cycles)
+  }
+
+  /// Merges `other` into this binding (other wins on conflicts).
+  void Merge(const Binding& other) {
+    for (const auto& [v, f] : other.map_) map_[v] = f;
+  }
+
+  const std::unordered_map<VarId, Formula>& map() const { return map_; }
+
+ private:
+  std::unordered_map<VarId, Formula> map_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_BOOLEXPR_ENV_H_

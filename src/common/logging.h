@@ -1,0 +1,35 @@
+// Lightweight assertion/check macros for internal invariants.
+//
+// PAXML_CHECK* abort on violation in all build types: invariant breakage in
+// a query engine must never silently corrupt answers. User-input errors go
+// through Status, never through these macros.
+
+#ifndef PAXML_COMMON_LOGGING_H_
+#define PAXML_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace paxml::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "PAXML_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace paxml::internal
+
+#define PAXML_CHECK(cond)                                         \
+  do {                                                            \
+    if (!(cond)) ::paxml::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+#define PAXML_CHECK_EQ(a, b) PAXML_CHECK((a) == (b))
+#define PAXML_CHECK_NE(a, b) PAXML_CHECK((a) != (b))
+#define PAXML_CHECK_LT(a, b) PAXML_CHECK((a) < (b))
+#define PAXML_CHECK_LE(a, b) PAXML_CHECK((a) <= (b))
+#define PAXML_CHECK_GT(a, b) PAXML_CHECK((a) > (b))
+#define PAXML_CHECK_GE(a, b) PAXML_CHECK((a) >= (b))
+
+#endif  // PAXML_COMMON_LOGGING_H_

@@ -1,0 +1,82 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+
+#ifndef PAXML_COMMON_RESULT_H_
+#define PAXML_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace paxml {
+
+/// Holds either a T or a non-OK Status.
+///
+///   Result<Tree> r = ParseXml(text);
+///   if (!r.ok()) return r.status();
+///   Tree tree = std::move(r).ValueOrDie();
+///
+/// Constructing a Result from an OK status is a programming error (there
+/// would be no value to return); it is converted to an internal error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from a non-OK status (failure); enables PAXML_RETURN_NOT_OK and
+  /// `return SomeErrorStatus();` in functions returning Result<T>.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error; Status::OK() if this result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The value. Must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Alias matching Arrow naming.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define PAXML_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define PAXML_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  PAXML_ASSIGN_OR_RETURN_IMPL(PAXML_CONCAT_(_paxml_result_, __COUNTER__), \
+                              lhs, rexpr)
+
+#define PAXML_CONCAT_INNER_(a, b) a##b
+#define PAXML_CONCAT_(a, b) PAXML_CONCAT_INNER_(a, b)
+
+}  // namespace paxml
+
+#endif  // PAXML_COMMON_RESULT_H_

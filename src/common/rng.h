@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic data in paxml (XMark-like trees, random fragmentations,
+// property-test inputs) is derived from Rng so experiments and tests are
+// reproducible bit-for-bit given a seed.
+
+#ifndef PAXML_COMMON_RNG_H_
+#define PAXML_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paxml {
+
+/// xoshiro256** with splitmix64 seeding. Not cryptographic; fast and
+/// statistically solid for workload generation.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// All-zero or empty weights return 0.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Random lower-case ASCII string of exactly `length` characters.
+  std::string NextString(size_t length);
+
+  /// Derives an independent generator; streams do not overlap in practice.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_COMMON_RNG_H_

@@ -1,0 +1,116 @@
+// Status: the error model used across the paxml library.
+//
+// paxml follows the Arrow/RocksDB idiom: fallible operations return a Status
+// (or a Result<T>, see result.h) instead of throwing. Exceptions never cross
+// a public API boundary.
+
+#ifndef PAXML_COMMON_STATUS_H_
+#define PAXML_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace paxml {
+
+/// Machine-readable category of an error.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed something malformed.
+  kParseError = 2,        ///< XML or XPath text could not be parsed.
+  kNotFound = 3,          ///< A referenced entity does not exist.
+  kOutOfRange = 4,        ///< Index or id outside the valid domain.
+  kAlreadyExists = 5,     ///< Uniqueness violated (e.g. duplicate fragment id).
+  kInternal = 6,          ///< Invariant violation inside the library.
+  kNotImplemented = 7,    ///< Feature intentionally unsupported.
+  kNetworkError = 8,      ///< Simulated network failure injection.
+};
+
+/// Returns the canonical lower-case name of a status code ("parse-error" ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheaply copyable success-or-error value.
+///
+/// An OK status carries no allocation; error statuses share an immutable
+/// heap state. Typical use:
+///
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  /// Human-readable rendering, e.g. "parse-error: unexpected '<' at 12".
+  std::string ToString() const;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// Status or Result<T> (Result is implicitly constructible from Status).
+#define PAXML_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::paxml::Status _paxml_status = (expr);        \
+    if (!_paxml_status.ok()) return _paxml_status; \
+  } while (false)
+
+}  // namespace paxml
+
+#endif  // PAXML_COMMON_STATUS_H_

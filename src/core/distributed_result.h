@@ -1,0 +1,48 @@
+// Result type shared by the distributed evaluation algorithms.
+
+#ifndef PAXML_CORE_DISTRIBUTED_RESULT_H_
+#define PAXML_CORE_DISTRIBUTED_RESULT_H_
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fragment/fragment.h"
+#include "sim/stats.h"
+
+namespace paxml {
+
+/// How answers are shipped to the query site (affects only byte accounting
+/// and reflects two deployment styles).
+enum class AnswerShipMode : uint8_t {
+  /// Serialized XML subtree of each answer node (sub-fragments remain
+  /// virtual placeholders). What a real client-facing engine returns.
+  kSubtrees,
+  /// (fragment, node) references only — e.g. when the client fetches bodies
+  /// lazily. Makes |ans| in the O(|Q||FT| + |ans|) bound literal node counts.
+  kReferences,
+};
+
+/// Answers plus the run's accounting.
+struct DistributedResult {
+  std::vector<GlobalNodeId> answers;  ///< sorted
+  RunStats stats;
+
+  /// Maps answers back to node ids of the original (pre-fragmentation) tree,
+  /// sorted. For comparing against centralized evaluation.
+  std::vector<NodeId> ToSourceIds(const FragmentedDocument& doc) const {
+    std::vector<NodeId> out;
+    out.reserve(answers.size());
+    for (const GlobalNodeId& g : answers) {
+      out.push_back(
+          doc.fragment(g.fragment).source_ids[static_cast<size_t>(g.node)]);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_CORE_DISTRIBUTED_RESULT_H_

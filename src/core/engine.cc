@@ -1,0 +1,41 @@
+#include "core/engine.h"
+
+#include "xpath/query_plan.h"
+
+namespace paxml {
+
+const char* AlgorithmName(DistributedAlgorithm a) {
+  switch (a) {
+    case DistributedAlgorithm::kPaX3:
+      return "PaX3";
+    case DistributedAlgorithm::kPaX2:
+      return "PaX2";
+    case DistributedAlgorithm::kNaiveCentralized:
+      return "NaiveCentralized";
+  }
+  return "?";
+}
+
+Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
+                                              const CompiledQuery& query,
+                                              const EngineOptions& options) {
+  switch (options.algorithm) {
+    case DistributedAlgorithm::kPaX3:
+      return EvaluatePaX3(cluster, query, options.pax);
+    case DistributedAlgorithm::kPaX2:
+      return EvaluatePaX2(cluster, query, options.pax);
+    case DistributedAlgorithm::kNaiveCentralized:
+      return EvaluateNaiveCentralized(cluster, query);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
+                                              std::string_view query,
+                                              const EngineOptions& options) {
+  PAXML_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                         CompileXPath(query, cluster.doc().symbols()));
+  return EvaluateDistributed(cluster, compiled, options);
+}
+
+}  // namespace paxml

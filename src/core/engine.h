@@ -1,0 +1,55 @@
+// Unified entry point for distributed query evaluation.
+//
+// Typical use:
+//
+//   auto doc = std::make_shared<FragmentedDocument>(
+//       FragmentByCuts(tree, cuts).ValueOrDie());
+//   Cluster cluster(doc, /*site_count=*/4);
+//   cluster.PlaceRootAndSpread();
+//   auto query = CompileXPath("//broker[//stock/code = \"GOOG\"]/name",
+//                             tree.symbols()).ValueOrDie();
+//   auto result = EvaluateDistributed(
+//       cluster, query, {.algorithm = DistributedAlgorithm::kPaX2,
+//                        .pax = {.use_annotations = true}});
+
+#ifndef PAXML_CORE_ENGINE_H_
+#define PAXML_CORE_ENGINE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/distributed_result.h"
+#include "core/naive.h"
+#include "core/pax2.h"
+#include "core/pax3.h"
+#include "sim/cluster.h"
+
+namespace paxml {
+
+enum class DistributedAlgorithm : uint8_t {
+  kPaX3,
+  kPaX2,
+  kNaiveCentralized,
+};
+
+const char* AlgorithmName(DistributedAlgorithm a);
+
+struct EngineOptions {
+  DistributedAlgorithm algorithm = DistributedAlgorithm::kPaX2;
+  PaxOptions pax;
+};
+
+/// Dispatches to the selected algorithm. All algorithms return identical
+/// answer sets (tested property); they differ in visits, traffic and time.
+Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
+                                              const CompiledQuery& query,
+                                              const EngineOptions& options = {});
+
+/// Convenience overload: compiles `query` against the document's symbols.
+Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
+                                              std::string_view query,
+                                              const EngineOptions& options = {});
+
+}  // namespace paxml
+
+#endif  // PAXML_CORE_ENGINE_H_

@@ -1,0 +1,192 @@
+#include "core/eval_ft.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/vars.h"
+
+namespace paxml {
+
+void FragmentTreeUnifier::AddQualReport(QualUpMessage message) {
+  qual_reports_[message.fragment] = std::move(message);
+}
+
+void FragmentTreeUnifier::AddSelReport(SelUpMessage message) {
+  sel_reports_[message.fragment] = std::move(message);
+}
+
+std::vector<FragmentId> FragmentTreeUnifier::BottomUpOrder() const {
+  std::vector<FragmentId> order;
+  std::vector<FragmentId> stack = {0};
+  while (!stack.empty()) {
+    FragmentId f = stack.back();
+    stack.pop_back();
+    order.push_back(f);
+    for (FragmentId c : doc_->fragment(f).children) stack.push_back(c);
+  }
+  std::reverse(order.begin(), order.end());  // children before parents
+  return order;
+}
+
+Status FragmentTreeUnifier::UnifyQualifiers(
+    const std::vector<bool>& participating) {
+  const size_t ec = query_->entries().size();
+
+  // Variables of non-participating fragments resolve to false (sound: see
+  // fragment/pruning.h).
+  for (size_t f = 0; f < doc_->size(); ++f) {
+    if (participating[f]) continue;
+    for (size_t e = 0; e < ec; ++e) {
+      binding_.BindConst(MakeQVVar(static_cast<FragmentId>(f), static_cast<int>(e)),
+                         false);
+      binding_.BindConst(MakeQDVVar(static_cast<FragmentId>(f), static_cast<int>(e)),
+                         false);
+    }
+  }
+
+  for (FragmentId f : BottomUpOrder()) {
+    if (!participating[static_cast<size_t>(f)]) continue;
+    auto it = qual_reports_.find(f);
+    if (it == qual_reports_.end()) {
+      return Status::Internal(
+          StringFormat("fragment %d participated but sent no qual report", f));
+    }
+    const QualUpMessage& m = it->second;
+    if (m.root_qv.size() != ec || m.root_qdv.size() != ec) {
+      return Status::Internal("qual report vector size mismatch");
+    }
+    auto& resolved = resolved_qual_[f];
+    resolved.first.resize(ec);
+    resolved.second.resize(ec);
+    for (size_t e = 0; e < ec; ++e) {
+      // Children were processed first, so substituting the current binding
+      // yields constants.
+      Formula qv = binding_.Apply(&arena_, m.root_qv[e]);
+      Formula qdv = binding_.Apply(&arena_, m.root_qdv[e]);
+      auto cqv = arena_.ConstValue(qv);
+      auto cqdv = arena_.ConstValue(qdv);
+      if (!cqv || !cqdv) {
+        return Status::Internal(StringFormat(
+            "unresolved qualifier residual at fragment %d entry %zu: %s", f, e,
+            arena_.ToString(qv, VarName).c_str()));
+      }
+      resolved.first[e] = *cqv ? 1 : 0;
+      resolved.second[e] = *cqdv ? 1 : 0;
+      binding_.BindConst(MakeQVVar(f, static_cast<int>(e)), *cqv);
+      binding_.BindConst(MakeQDVVar(f, static_cast<int>(e)), *cqdv);
+    }
+  }
+  return Status::OK();
+}
+
+Status FragmentTreeUnifier::UnifySelection(
+    const std::vector<bool>& participating) {
+  const size_t m = query_->selection().size();
+
+  // Top-down: parents before children.
+  std::vector<FragmentId> order = BottomUpOrder();
+  std::reverse(order.begin(), order.end());
+
+  for (FragmentId f : order) {
+    if (!participating[static_cast<size_t>(f)]) continue;
+    auto it = sel_reports_.find(f);
+    if (it == sel_reports_.end()) {
+      return Status::Internal(
+          StringFormat("fragment %d participated but sent no sel report", f));
+    }
+    for (const SelUpMessage::VirtualTop& top : it->second.virtual_tops) {
+      if (top.stack_top.size() != m) {
+        return Status::Internal("stack top vector size mismatch");
+      }
+      auto& resolved = resolved_stack_[top.child];
+      resolved.assign(m, 0);
+      for (size_t i = 0; i < m; ++i) {
+        // Parent fragments resolve before their children (top-down), and
+        // qualifier variables are already bound, so this must be constant.
+        Formula value = binding_.Apply(&arena_, top.stack_top[i]);
+        auto c = arena_.ConstValue(value);
+        if (!c) {
+          return Status::Internal(StringFormat(
+              "unresolved selection residual for fragment %d entry %zu: %s",
+              top.child, i, arena_.ToString(value, VarName).c_str()));
+        }
+        // Entry 0 (document node) can never hold at a fragment parent; z
+        // variables exist only for entries >= 1, but record it anyway.
+        resolved[i] = *c ? 1 : 0;
+        if (i >= 1) binding_.BindConst(MakeSVVar(top.child, static_cast<int>(i)), *c);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const std::pair<std::vector<uint8_t>, std::vector<uint8_t>>&
+FragmentTreeUnifier::ResolvedQualRow(FragmentId f) const {
+  auto it = resolved_qual_.find(f);
+  PAXML_CHECK(it != resolved_qual_.end());
+  return it->second;
+}
+
+const std::vector<uint8_t>& FragmentTreeUnifier::ResolvedStackInit(
+    FragmentId f) const {
+  auto it = resolved_stack_.find(f);
+  PAXML_CHECK(it != resolved_stack_.end());
+  return it->second;
+}
+
+bool FragmentTreeUnifier::HasAnswerWork(FragmentId f) const {
+  auto it = sel_reports_.find(f);
+  if (it == sel_reports_.end()) return false;
+  return it->second.answer_count > 0 || it->second.candidate_count > 0;
+}
+
+QualDownMessage FragmentTreeUnifier::MakeQualDown(FragmentId f) const {
+  QualDownMessage m;
+  m.fragment = f;
+  for (FragmentId c : doc_->fragment(f).children) {
+    QualDownMessage::ResolvedChild rc;
+    rc.child = c;
+    auto it = resolved_qual_.find(c);
+    if (it != resolved_qual_.end()) {
+      rc.qv = it->second.first;
+      rc.qdv = it->second.second;
+    } else {
+      // Pruned child: all-false rows (what its variables were bound to).
+      rc.qv.assign(query_->entries().size(), 0);
+      rc.qdv.assign(query_->entries().size(), 0);
+    }
+    m.children.push_back(std::move(rc));
+  }
+  return m;
+}
+
+SelDownMessage FragmentTreeUnifier::MakeSelDown(FragmentId f) const {
+  SelDownMessage m;
+  m.fragment = f;
+  m.stack_init = ResolvedStackInit(f);
+  return m;
+}
+
+Formula FragmentTreeUnifier::ResolveRootQual() {
+  auto it = qual_reports_.find(0);
+  if (it == qual_reports_.end()) return kTrueFormula;
+  return binding_.Apply(&arena_, it->second.root_qual);
+}
+
+std::string VarName(VarId v) {
+  switch (KindOfVar(v)) {
+    case VarKind::kQV:
+      return StringFormat("qv[F%d].e%u", FragmentOfVar(v), IndexOfVar(v));
+    case VarKind::kQDV:
+      return StringFormat("qdv[F%d].e%u", FragmentOfVar(v), IndexOfVar(v));
+    case VarKind::kSV:
+      return StringFormat("sv[F%d].s%u", FragmentOfVar(v), IndexOfVar(v));
+    case VarKind::kLocal:
+      return StringFormat("local.%u",
+                          v & ((1u << (kVarFragmentBits + kVarIndexBits)) - 1));
+  }
+  return "?";
+}
+
+}  // namespace paxml

@@ -1,0 +1,98 @@
+// Procedure evalFT: coordinator-side unification over the fragment tree.
+//
+// The coordinator (query site S_Q) receives per-fragment partial answers —
+// residual formula vectors — and resolves their variables by walking the
+// fragment tree:
+//   * bottom-up for qualifiers: a leaf fragment's root (QV, QDV) vectors are
+//     constant; substituting them into the parent's vectors makes those
+//     constant too (Example 3.2);
+//   * top-down for selection: the root fragment's stack is concrete, so the
+//     stack tops it recorded at virtual nodes resolve the children's z
+//     variables, and so on downward (Example 3.4).
+//
+// Fragments that were pruned by XPath annotations never report; their
+// variables are bound to false, which is sound because pruning guarantees no
+// live qualifier or selection state can observe them (see fragment/pruning.h).
+
+#ifndef PAXML_CORE_EVAL_FT_H_
+#define PAXML_CORE_EVAL_FT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "boolexpr/env.h"
+#include "boolexpr/formula.h"
+#include "core/messages.h"
+#include "fragment/fragment.h"
+#include "xpath/query_plan.h"
+
+namespace paxml {
+
+/// Coordinator state for one query evaluation.
+class FragmentTreeUnifier {
+ public:
+  FragmentTreeUnifier(const FragmentedDocument* doc, const CompiledQuery* query)
+      : doc_(doc), query_(query) {}
+
+  FormulaArena* arena() { return &arena_; }
+
+  /// Registers a fragment's stage-1 reply (decoded into the coordinator
+  /// arena by the caller).
+  void AddQualReport(QualUpMessage message);
+
+  /// Registers a fragment's selection reply.
+  void AddSelReport(SelUpMessage message);
+
+  /// Bottom-up unification of qualifier variables. `participating` lists the
+  /// fragments that reported; all others' variables resolve to false.
+  /// After this call, ResolvedQualRow() is valid for every fragment.
+  Status UnifyQualifiers(const std::vector<bool>& participating);
+
+  /// Top-down unification of the selection stack tops. Requires
+  /// UnifyQualifiers first when the query has qualifiers (PaX2's stack tops
+  /// mention qualifier variables). After this call, ResolvedStackInit() is
+  /// valid for every fragment that reported (or whose parent did).
+  Status UnifySelection(const std::vector<bool>& participating);
+
+  /// Resolved boolean (QV, QDV) rows of fragment `f`'s root.
+  const std::pair<std::vector<uint8_t>, std::vector<uint8_t>>& ResolvedQualRow(
+      FragmentId f) const;
+
+  /// Resolved z-vector (stack init) of fragment `f`. Entry 0 is always 0
+  /// except for the root fragment (which never needs it).
+  const std::vector<uint8_t>& ResolvedStackInit(FragmentId f) const;
+
+  /// True iff fragment `f` reported answers or candidates in stage 2.
+  bool HasAnswerWork(FragmentId f) const;
+
+  /// Builds the QualDownMessage for fragment `f` (resolved rows of its
+  /// virtual children).
+  QualDownMessage MakeQualDown(FragmentId f) const;
+
+  /// Builds the SelDownMessage for fragment `f`.
+  SelDownMessage MakeSelDown(FragmentId f) const;
+
+  /// The root fragment's root-qualifier residual with all current bindings
+  /// applied (constant after UnifyQualifiers). kTrue if no root qualifier.
+  Formula ResolveRootQual();
+
+ private:
+  /// Children-first order of fragment ids.
+  std::vector<FragmentId> BottomUpOrder() const;
+
+  const FragmentedDocument* doc_;
+  const CompiledQuery* query_;
+  FormulaArena arena_;
+  Binding binding_;
+
+  std::unordered_map<FragmentId, QualUpMessage> qual_reports_;
+  std::unordered_map<FragmentId, SelUpMessage> sel_reports_;
+  std::unordered_map<FragmentId,
+                     std::pair<std::vector<uint8_t>, std::vector<uint8_t>>>
+      resolved_qual_;
+  std::unordered_map<FragmentId, std::vector<uint8_t>> resolved_stack_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_CORE_EVAL_FT_H_

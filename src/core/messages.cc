@@ -1,0 +1,157 @@
+#include "core/messages.h"
+
+namespace paxml {
+namespace {
+
+void EncodeBoolVector(const std::vector<uint8_t>& v, ByteWriter* out) {
+  // Bit-packed: residual truth vectors are the dominant payload of the
+  // resolution rounds, so encode them densely.
+  out->PutVarint(v.size());
+  uint8_t acc = 0;
+  int nbits = 0;
+  for (uint8_t b : v) {
+    acc |= static_cast<uint8_t>((b ? 1 : 0) << nbits);
+    if (++nbits == 8) {
+      out->PutU8(acc);
+      acc = 0;
+      nbits = 0;
+    }
+  }
+  if (nbits > 0) out->PutU8(acc);
+}
+
+Result<std::vector<uint8_t>> DecodeBoolVector(ByteReader* in) {
+  PAXML_ASSIGN_OR_RETURN(uint64_t n, in->GetVarint());
+  std::vector<uint8_t> out;
+  out.reserve(n);
+  uint8_t acc = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i % 8 == 0) {
+      PAXML_ASSIGN_OR_RETURN(acc, in->GetU8());
+    }
+    out.push_back((acc >> (i % 8)) & 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- QualUpMessage ----------------------------------------------------------
+
+void QualUpMessage::Encode(const FormulaArena& arena, ByteWriter* out) const {
+  out->PutVarint(static_cast<uint64_t>(fragment));
+  EncodeFormulaVector(arena, root_qv, out);
+  EncodeFormulaVector(arena, root_qdv, out);
+  EncodeFormula(arena, root_qual, out);
+}
+
+Result<QualUpMessage> QualUpMessage::Decode(FormulaArena* arena,
+                                            ByteReader* in) {
+  QualUpMessage m;
+  PAXML_ASSIGN_OR_RETURN(uint64_t f, in->GetVarint());
+  m.fragment = static_cast<FragmentId>(f);
+  PAXML_ASSIGN_OR_RETURN(m.root_qv, DecodeFormulaVector(arena, in));
+  PAXML_ASSIGN_OR_RETURN(m.root_qdv, DecodeFormulaVector(arena, in));
+  PAXML_ASSIGN_OR_RETURN(m.root_qual, DecodeFormula(arena, in));
+  return m;
+}
+
+// ---- SelUpMessage -----------------------------------------------------------
+
+void SelUpMessage::Encode(const FormulaArena& arena, ByteWriter* out) const {
+  out->PutVarint(static_cast<uint64_t>(fragment));
+  out->PutVarint(virtual_tops.size());
+  for (const VirtualTop& t : virtual_tops) {
+    out->PutVarint(static_cast<uint64_t>(t.child));
+    EncodeFormulaVector(arena, t.stack_top, out);
+  }
+  out->PutVarint(answer_count);
+  out->PutVarint(candidate_count);
+}
+
+Result<SelUpMessage> SelUpMessage::Decode(FormulaArena* arena, ByteReader* in) {
+  SelUpMessage m;
+  PAXML_ASSIGN_OR_RETURN(uint64_t f, in->GetVarint());
+  m.fragment = static_cast<FragmentId>(f);
+  PAXML_ASSIGN_OR_RETURN(uint64_t count, in->GetVarint());
+  m.virtual_tops.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    VirtualTop t;
+    PAXML_ASSIGN_OR_RETURN(uint64_t child, in->GetVarint());
+    t.child = static_cast<FragmentId>(child);
+    PAXML_ASSIGN_OR_RETURN(t.stack_top, DecodeFormulaVector(arena, in));
+    m.virtual_tops.push_back(std::move(t));
+  }
+  PAXML_ASSIGN_OR_RETURN(uint64_t ac, in->GetVarint());
+  PAXML_ASSIGN_OR_RETURN(uint64_t cc, in->GetVarint());
+  m.answer_count = static_cast<uint32_t>(ac);
+  m.candidate_count = static_cast<uint32_t>(cc);
+  return m;
+}
+
+// ---- QualDownMessage --------------------------------------------------------
+
+void QualDownMessage::Encode(ByteWriter* out) const {
+  out->PutVarint(static_cast<uint64_t>(fragment));
+  out->PutVarint(children.size());
+  for (const ResolvedChild& c : children) {
+    out->PutVarint(static_cast<uint64_t>(c.child));
+    EncodeBoolVector(c.qv, out);
+    EncodeBoolVector(c.qdv, out);
+  }
+}
+
+Result<QualDownMessage> QualDownMessage::Decode(ByteReader* in) {
+  QualDownMessage m;
+  PAXML_ASSIGN_OR_RETURN(uint64_t f, in->GetVarint());
+  m.fragment = static_cast<FragmentId>(f);
+  PAXML_ASSIGN_OR_RETURN(uint64_t count, in->GetVarint());
+  m.children.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ResolvedChild c;
+    PAXML_ASSIGN_OR_RETURN(uint64_t child, in->GetVarint());
+    c.child = static_cast<FragmentId>(child);
+    PAXML_ASSIGN_OR_RETURN(c.qv, DecodeBoolVector(in));
+    PAXML_ASSIGN_OR_RETURN(c.qdv, DecodeBoolVector(in));
+    m.children.push_back(std::move(c));
+  }
+  return m;
+}
+
+// ---- SelDownMessage ---------------------------------------------------------
+
+void SelDownMessage::Encode(ByteWriter* out) const {
+  out->PutVarint(static_cast<uint64_t>(fragment));
+  EncodeBoolVector(stack_init, out);
+}
+
+Result<SelDownMessage> SelDownMessage::Decode(ByteReader* in) {
+  SelDownMessage m;
+  PAXML_ASSIGN_OR_RETURN(uint64_t f, in->GetVarint());
+  m.fragment = static_cast<FragmentId>(f);
+  PAXML_ASSIGN_OR_RETURN(m.stack_init, DecodeBoolVector(in));
+  return m;
+}
+
+// ---- AnswerUpMessage --------------------------------------------------------
+
+void AnswerUpMessage::Encode(ByteWriter* out) const {
+  out->PutVarint(static_cast<uint64_t>(fragment));
+  out->PutVarint(answers.size());
+  for (NodeId v : answers) out->PutVarint(static_cast<uint64_t>(v));
+}
+
+Result<AnswerUpMessage> AnswerUpMessage::Decode(ByteReader* in) {
+  AnswerUpMessage m;
+  PAXML_ASSIGN_OR_RETURN(uint64_t f, in->GetVarint());
+  m.fragment = static_cast<FragmentId>(f);
+  PAXML_ASSIGN_OR_RETURN(uint64_t count, in->GetVarint());
+  m.answers.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PAXML_ASSIGN_OR_RETURN(uint64_t v, in->GetVarint());
+    m.answers.push_back(static_cast<NodeId>(v));
+  }
+  return m;
+}
+
+}  // namespace paxml

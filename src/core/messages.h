@@ -1,0 +1,94 @@
+// Wire payloads exchanged between sites and the coordinator.
+//
+// Everything that crosses the (simulated) network is actually serialized to
+// bytes and decoded on the receiving side, so the communication costs the
+// benchmarks report are the true encoded sizes of the paper's partial
+// answers — vector triples of residual formulas, resolved truth vectors,
+// and shipped answers.
+
+#ifndef PAXML_CORE_MESSAGES_H_
+#define PAXML_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "boolexpr/codec.h"
+#include "boolexpr/formula.h"
+#include "common/result.h"
+#include "xml/tree.h"
+
+namespace paxml {
+
+/// Stage-1 reply, one per fragment: the (QV, QDV) vectors of the fragment
+/// root, as residual formulas over the fragment's virtual-child variables.
+/// (QCV is derivable and never needed across fragments, so it stays local;
+/// this matches the O(|Q|) per-fragment bound.)
+struct QualUpMessage {
+  FragmentId fragment = kNullFragment;
+  std::vector<Formula> root_qv;
+  std::vector<Formula> root_qdv;
+
+  /// Root fragment only: the query's root qualifier evaluated at the global
+  /// root element, as a residual formula (resolved coordinator-side; this is
+  /// how a Boolean query's final truth value is produced).
+  Formula root_qual = kTrueFormula;
+
+  void Encode(const FormulaArena& arena, ByteWriter* out) const;
+  static Result<QualUpMessage> Decode(FormulaArena* arena, ByteReader* in);
+};
+
+/// Selection reply, one per fragment: for each virtual node, the traversal
+/// stack top recorded there (the vector the child fragment's z variables
+/// denote), plus whether this fragment produced answers or candidates (so
+/// the coordinator knows which sites the final round must visit).
+struct SelUpMessage {
+  FragmentId fragment = kNullFragment;
+  struct VirtualTop {
+    FragmentId child = kNullFragment;
+    std::vector<Formula> stack_top;
+  };
+  std::vector<VirtualTop> virtual_tops;
+  uint32_t answer_count = 0;
+  uint32_t candidate_count = 0;
+
+  void Encode(const FormulaArena& arena, ByteWriter* out) const;
+  static Result<SelUpMessage> Decode(FormulaArena* arena, ByteReader* in);
+};
+
+/// Resolved qualifier values for the virtual children of one fragment:
+/// child fragment id -> boolean (QV, QDV) rows of its root.
+struct QualDownMessage {
+  struct ResolvedChild {
+    FragmentId child = kNullFragment;
+    std::vector<uint8_t> qv;
+    std::vector<uint8_t> qdv;
+  };
+  FragmentId fragment = kNullFragment;  ///< the receiving fragment
+  std::vector<ResolvedChild> children;
+
+  void Encode(ByteWriter* out) const;
+  static Result<QualDownMessage> Decode(ByteReader* in);
+};
+
+/// Resolved stack-initialization vector for one fragment (the z values).
+struct SelDownMessage {
+  FragmentId fragment = kNullFragment;
+  std::vector<uint8_t> stack_init;
+
+  void Encode(ByteWriter* out) const;
+  static Result<SelDownMessage> Decode(ByteReader* in);
+};
+
+/// Final answers of one fragment: local node ids (the answer payload bytes
+/// are accounted separately, per the configured shipping mode).
+struct AnswerUpMessage {
+  FragmentId fragment = kNullFragment;
+  std::vector<NodeId> answers;
+
+  void Encode(ByteWriter* out) const;
+  static Result<AnswerUpMessage> Decode(ByteReader* in);
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_CORE_MESSAGES_H_

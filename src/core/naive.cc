@@ -1,0 +1,43 @@
+#include "core/naive.h"
+
+#include <algorithm>
+
+#include "eval/centralized.h"
+#include "xml/serializer.h"
+
+namespace paxml {
+
+Result<DistributedResult> EvaluateNaiveCentralized(const Cluster& cluster,
+                                                   const CompiledQuery& query) {
+  const FragmentedDocument& doc = cluster.doc();
+  QueryRun run(&cluster);
+  const SiteId sq = cluster.query_site();
+
+  std::vector<SiteId> sites = run.AllSites();
+  for (SiteId s : sites) run.Send(sq, s, query.source().size());
+
+  // One visit per site: serialize and ship every fragment to S_Q.
+  run.Round("naive-ship-fragments", sites, [&](SiteId site) {
+    for (FragmentId f : cluster.fragments_at(site)) {
+      run.ShipData(site, sq, SerializedSize(doc.fragment(f).tree));
+    }
+  });
+
+  // Assemble and evaluate at the coordinator.
+  DistributedResult result;
+  run.Coordinator([&] {
+    std::vector<GlobalNodeId> mapping;
+    Tree assembled = doc.Assemble(&mapping);
+    CentralizedResult r = EvaluateCentralized(assembled, query);
+    result.answers.reserve(r.answers.size());
+    for (NodeId v : r.answers) {
+      result.answers.push_back(mapping[static_cast<size_t>(v)]);
+    }
+    std::sort(result.answers.begin(), result.answers.end());
+  });
+
+  result.stats = run.TakeStats();
+  return result;
+}
+
+}  // namespace paxml

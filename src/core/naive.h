@@ -1,0 +1,27 @@
+// NaiveCentralized: the shipping baseline (Section 3 of the paper).
+//
+// Every site serializes its fragments and ships them to the query site; the
+// coordinator reassembles the original tree and evaluates the query with the
+// centralized two-pass engine. One visit per site, but communication is the
+// size of the whole document — the cost the paper's partial-evaluation
+// algorithms eliminate.
+
+#ifndef PAXML_CORE_NAIVE_H_
+#define PAXML_CORE_NAIVE_H_
+
+#include "common/result.h"
+#include "core/distributed_result.h"
+#include "sim/cluster.h"
+#include "xpath/query_plan.h"
+
+namespace paxml {
+
+/// Ships all fragments to the query site, assembles, evaluates.
+/// Answers are reported against the assembled tree but mapped back to
+/// (fragment, node) coordinates so results compare to PaX3/PaX2 directly.
+Result<DistributedResult> EvaluateNaiveCentralized(const Cluster& cluster,
+                                                   const CompiledQuery& query);
+
+}  // namespace paxml
+
+#endif  // PAXML_CORE_NAIVE_H_

@@ -1,0 +1,196 @@
+#include "core/out_of_core.h"
+
+#include <algorithm>
+
+#include "core/eval_ft.h"
+#include "core/site_eval.h"
+#include "core/vars.h"
+#include "fragment/pruning.h"
+
+namespace paxml {
+namespace {
+
+/// Moves a reply into the unifier through the wire codec (keeps the
+/// formula-transfer path identical to the distributed algorithms).
+Status FeedQualReport(FragmentTreeUnifier* unifier, const FormulaArena& arena,
+                      const QualUpMessage& reply) {
+  ByteWriter bytes;
+  reply.Encode(arena, &bytes);
+  ByteReader reader(bytes.bytes());
+  PAXML_ASSIGN_OR_RETURN(QualUpMessage decoded,
+                         QualUpMessage::Decode(unifier->arena(), &reader));
+  unifier->AddQualReport(std::move(decoded));
+  return Status::OK();
+}
+
+Status FeedSelReport(FragmentTreeUnifier* unifier, const FormulaArena& arena,
+                     const SelUpMessage& reply) {
+  ByteWriter bytes;
+  reply.Encode(arena, &bytes);
+  ByteReader reader(bytes.bytes());
+  PAXML_ASSIGN_OR_RETURN(SelUpMessage decoded,
+                         SelUpMessage::Decode(unifier->arena(), &reader));
+  unifier->AddSelReport(std::move(decoded));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<OutOfCoreResult> EvaluateOutOfCore(FragmentSource* source,
+                                          const CompiledQuery& query,
+                                          const OutOfCoreOptions& options) {
+  const FragmentedDocument& skeleton = source->skeleton();
+  const size_t n = skeleton.size();
+  OutOfCoreResult result;
+
+  PruneResult prune;
+  if (options.use_annotations) {
+    prune = PruneFragments(skeleton, query);
+  } else {
+    prune.selection_relevant.assign(n, true);
+    prune.required.assign(n, true);
+  }
+
+  FragmentTreeUnifier unifier(&skeleton, &query);
+
+  auto load = [&](FragmentId f) -> Result<Fragment> {
+    PAXML_ASSIGN_OR_RETURN(Fragment frag, source->Load(f));
+    ++result.fragment_loads;
+    result.peak_fragment_bytes =
+        std::max(result.peak_fragment_bytes, source->FragmentBytes(f));
+    return frag;
+  };
+
+  // ---- Phase A: qualifier residuals, one fragment resident at a time -------
+  if (query.has_qualifiers()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!prune.required[i]) continue;
+      const FragmentId f = static_cast<FragmentId>(i);
+      PAXML_ASSIGN_OR_RETURN(Fragment frag, load(f));
+      FragmentQualEval eval = RunFragmentQualifierStage(frag, query);
+      PAXML_RETURN_NOT_OK(
+          FeedQualReport(&unifier, *eval.arena, BuildQualUp(frag, query, eval)));
+      // Fragment and its O(|F||Q|) vectors drop here; only the O(|Q|)
+      // root rows live on inside the unifier.
+    }
+    PAXML_RETURN_NOT_OK(unifier.UnifyQualifiers(prune.required));
+  }
+
+  // Boolean query: the root qualifier's residual is the whole answer.
+  if (query.IsBooleanQuery()) {
+    Formula value = unifier.ResolveRootQual();
+    auto c = unifier.arena()->ConstValue(value);
+    if (!c) return Status::Internal("unresolved Boolean query residual");
+    if (*c) result.answers.push_back(GlobalNodeId{0, 0});
+    return result;
+  }
+
+  // ---- Phase B: selection; recompute qualifiers on reload -------------------
+  const bool concrete_init =
+      options.use_annotations && !query.has_qualifiers();
+
+  // Per-fragment candidates, transferred into one long-lived arena so the
+  // per-fragment state can be dropped.
+  FormulaArena candidate_arena;
+  std::vector<std::vector<std::pair<NodeId, Formula>>> candidates(n);
+  std::vector<std::vector<NodeId>> answers(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!prune.selection_relevant[i]) continue;
+    const FragmentId f = static_cast<FragmentId>(i);
+    PAXML_ASSIGN_OR_RETURN(Fragment frag, load(f));
+
+    // Qualifier values: recomputed rather than stored between loads.
+    QualVectors<BoolDomain> qual_values;
+    if (query.has_qualifiers()) {
+      FragmentQualEval eval = RunFragmentQualifierStage(frag, query);
+      PAXML_ASSIGN_OR_RETURN(
+          qual_values,
+          ResolveQualVectors(frag, query, eval, unifier.MakeQualDown(f)));
+    }
+
+    FormulaArena arena;
+    FormulaDomain domain(&arena);
+    BoolDomain bool_domain;
+    QualAtHook<Formula> qual_at;
+    if (query.has_qualifiers()) {
+      qual_at = [&](NodeId v, int qual_id) {
+        return domain.FromBool(bool_domain.IsTrue(EvalQualAtNode(
+            frag.tree, query, &bool_domain, qual_values, v, qual_id)));
+      };
+    }
+
+    std::vector<Formula> init;
+    if (f == 0) {
+      Formula root_qual = kTrueFormula;
+      if (query.selection()[0].qual >= 0) {
+        root_qual =
+            domain.FromBool(RootQualifierValue(frag, query, qual_values));
+      }
+      auto qual_at_doc = [&](int qual_id) {
+        return domain.FromBool(bool_domain.IsTrue(EvalQualAtDoc(
+            query, &bool_domain, qual_values, frag.tree.root(), qual_id)));
+      };
+      init = MakeDocVector(query, &domain, root_qual,
+                           query.has_qualifiers()
+                               ? std::function<Formula(int)>(qual_at_doc)
+                               : std::function<Formula(int)>());
+    } else if (concrete_init) {
+      init = ConstStackInit(prune.parent_vector[i]);
+    } else {
+      init = VariableStackInit(query, f, &arena);
+    }
+
+    SelectionOutput<FormulaDomain> out =
+        RunSelectionPass(frag.tree, query, &domain, std::move(init), qual_at);
+
+    answers[i] = std::move(out.answers);
+    candidates[i].reserve(out.candidates.size());
+    for (auto& [node, formula] : out.candidates) {
+      candidates[i].emplace_back(node, candidate_arena.Transfer(arena, formula));
+    }
+
+    SelUpMessage reply;
+    reply.fragment = f;
+    reply.answer_count = static_cast<uint32_t>(answers[i].size());
+    reply.candidate_count = static_cast<uint32_t>(candidates[i].size());
+    for (auto& [vnode, top] : out.virtual_stack_tops) {
+      reply.virtual_tops.push_back(
+          SelUpMessage::VirtualTop{frag.tree.fragment_ref(vnode), std::move(top)});
+    }
+    PAXML_RETURN_NOT_OK(FeedSelReport(&unifier, arena, reply));
+    // Fragment, vectors and the pass arena drop here.
+  }
+
+  if (!concrete_init) {
+    PAXML_RETURN_NOT_OK(unifier.UnifySelection(prune.selection_relevant));
+    // Settle candidates — formulas over this fragment's z variables only;
+    // no tree access needed.
+    for (size_t i = 0; i < n; ++i) {
+      if (candidates[i].empty()) continue;
+      const FragmentId f = static_cast<FragmentId>(i);
+      const std::vector<uint8_t>& z = unifier.ResolvedStackInit(f);
+      auto assignment = [&](VarId var) -> std::optional<bool> {
+        if (KindOfVar(var) != VarKind::kSV || FragmentOfVar(var) != f) {
+          return std::nullopt;
+        }
+        return z[IndexOfVar(var)] != 0;
+      };
+      for (const auto& [node, formula] : candidates[i]) {
+        PAXML_ASSIGN_OR_RETURN(bool value,
+                               candidate_arena.Evaluate(formula, assignment));
+        if (value) answers[i].push_back(node);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    for (NodeId v : answers[i]) {
+      result.answers.push_back(GlobalNodeId{static_cast<FragmentId>(i), v});
+    }
+  }
+  std::sort(result.answers.begin(), result.answers.end());
+  return result;
+}
+
+}  // namespace paxml

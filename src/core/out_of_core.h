@@ -1,0 +1,60 @@
+// Out-of-core XPath evaluation (the paper's second future-work topic).
+//
+// "When the whole tree does not fit in main memory, through fragmentation we
+//  are able to load each time from secondary storage a different fragment of
+//  the tree into main memory. Our partial evaluation techniques help reduce
+//  at least the cost of swapping the fragments."     — Section 1
+//
+// EvaluateOutOfCore realizes that: fragments are loaded one at a time from a
+// FragmentSource (e.g. a SaveDocument directory), partially evaluated, and
+// dropped; only O(|Q|)-sized residuals persist between loads. The number of
+// times each fragment is read is bounded exactly like the site visits of the
+// distributed algorithms:
+//
+//   * no qualifiers: 1 load per fragment,
+//   * with qualifiers: 2 loads (qualifier pass; then recompute-and-select —
+//     the second load recomputes the qualifier vectors instead of storing
+//     O(|F| |Q|) state between loads, trading bounded recomputation for
+//     bounded memory).
+//
+// Peak residency is a single fragment plus the per-fragment residuals.
+
+#ifndef PAXML_CORE_OUT_OF_CORE_H_
+#define PAXML_CORE_OUT_OF_CORE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/distributed_result.h"
+#include "fragment/source.h"
+#include "xpath/query_plan.h"
+
+namespace paxml {
+
+struct OutOfCoreOptions {
+  /// Use XPath annotations to skip irrelevant fragments entirely (their
+  /// files are never read).
+  bool use_annotations = true;
+};
+
+struct OutOfCoreResult {
+  /// Answer nodes as (fragment, node) pairs, sorted.
+  std::vector<GlobalNodeId> answers;
+
+  /// Fragment reads performed (<= 2 * fragment count).
+  size_t fragment_loads = 0;
+
+  /// Largest single resident fragment, in serialized bytes — the memory
+  /// high-water mark driver (residuals are negligible next to it).
+  size_t peak_fragment_bytes = 0;
+};
+
+/// Evaluates `query` over the fragments served by `source`, loading one
+/// fragment at a time.
+Result<OutOfCoreResult> EvaluateOutOfCore(FragmentSource* source,
+                                          const CompiledQuery& query,
+                                          const OutOfCoreOptions& options = {});
+
+}  // namespace paxml
+
+#endif  // PAXML_CORE_OUT_OF_CORE_H_

@@ -1,0 +1,74 @@
+#include "core/parbox.h"
+
+#include <mutex>
+
+#include "core/eval_ft.h"
+#include "core/site_eval.h"
+#include "core/vars.h"
+
+namespace paxml {
+
+Result<ParBoXResult> EvaluateParBoX(const Cluster& cluster,
+                                    const CompiledQuery& query) {
+  if (!query.IsBooleanQuery()) {
+    return Status::InvalidArgument(
+        "ParBoX evaluates Boolean queries; use PaX3/PaX2 for data-selecting "
+        "queries");
+  }
+  const FragmentedDocument& doc = cluster.doc();
+  QueryRun run(&cluster);
+  const SiteId sq = cluster.query_site();
+
+  FragmentTreeUnifier unifier(&doc, &query);
+  std::mutex unifier_mu;
+  Status site_status = Status::OK();
+
+  std::vector<SiteId> sites = run.AllSites();
+  // The query itself is shipped to every participating site: the O(|Q||FT|)
+  // component of the communication bound.
+  for (SiteId s : sites) run.Send(sq, s, query.source().size());
+
+  run.Round("parbox-qualifiers", sites, [&](SiteId site) {
+    for (FragmentId f : cluster.fragments_at(site)) {
+      const Fragment& frag = doc.fragment(f);
+      FragmentQualEval eval = RunFragmentQualifierStage(frag, query);
+      QualUpMessage reply = BuildQualUp(frag, query, eval);
+      ByteWriter bytes;
+      reply.Encode(*eval.arena, &bytes);
+      run.Send(site, sq, bytes.size());
+      // Decode at the coordinator (into its arena).
+      std::lock_guard<std::mutex> lock(unifier_mu);
+      ByteReader reader(bytes.bytes());
+      auto decoded = QualUpMessage::Decode(unifier.arena(), &reader);
+      if (!decoded.ok()) {
+        site_status = decoded.status();
+        return;
+      }
+      unifier.AddQualReport(std::move(decoded).ValueOrDie());
+    }
+  });
+  PAXML_RETURN_NOT_OK(site_status);
+
+  ParBoXResult result;
+  Status unify_status = Status::OK();
+  run.Coordinator([&] {
+    std::vector<bool> participating(doc.size(), true);
+    unify_status = unifier.UnifyQualifiers(participating);
+    if (!unify_status.ok()) return;
+    // The root fragment attached the root-qualifier residual; with every
+    // variable bound, it collapses to the query's truth value.
+    Formula root_qual = unifier.ResolveRootQual();
+    auto value = unifier.arena()->ConstValue(root_qual);
+    if (!value) {
+      unify_status = Status::Internal("root qualifier did not resolve");
+      return;
+    }
+    result.value = *value;
+  });
+  PAXML_RETURN_NOT_OK(unify_status);
+
+  result.stats = run.TakeStats();
+  return result;
+}
+
+}  // namespace paxml

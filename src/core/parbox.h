@@ -1,0 +1,36 @@
+// ParBoX (extended): distributed evaluation of Boolean XPath queries.
+//
+// The VLDB'06 algorithm the paper builds on, with this paper's extensions
+// (arithmetic comparisons in qualifiers, multiple top-level qualifiers).
+// One parallel bottom-up pass per fragment computes residual qualifier
+// vectors; the coordinator unifies them over the fragment tree; the truth
+// value of the query at the global root pops out. Every site is visited
+// exactly once; communication is O(|Q| |FT|).
+//
+// ParBoX is exactly Stage 1 of PaX3 (Section 3.1): PaX3/PaX2 delegate to
+// this module for queries with an empty selection path.
+
+#ifndef PAXML_CORE_PARBOX_H_
+#define PAXML_CORE_PARBOX_H_
+
+#include "common/result.h"
+#include "core/distributed_result.h"
+#include "sim/cluster.h"
+#include "xpath/query_plan.h"
+
+namespace paxml {
+
+struct ParBoXResult {
+  bool value = false;
+  RunStats stats;
+};
+
+/// Evaluates a Boolean query (empty selection path, e.g. ".[//a/b]") over
+/// the cluster's fragmented document. Returns kInvalidArgument for
+/// data-selecting queries — use PaX3/PaX2 for those.
+Result<ParBoXResult> EvaluateParBoX(const Cluster& cluster,
+                                    const CompiledQuery& query);
+
+}  // namespace paxml
+
+#endif  // PAXML_CORE_PARBOX_H_

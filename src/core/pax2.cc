@@ -1,0 +1,445 @@
+#include "core/pax2.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/eval_ft.h"
+#include "core/parbox.h"
+#include "core/site_eval.h"
+#include "fragment/pruning.h"
+
+namespace paxml {
+namespace {
+
+/// Result of the combined (single-traversal) pass over one fragment.
+struct Pax2FragmentState {
+  std::unique_ptr<FormulaArena> arena;
+  QualVectors<FormulaDomain> qual_vectors;  // residuals over x variables
+
+  /// Nodes whose final selection entry did not collapse to false, with their
+  /// residuals over x (qualifiers) and z (ancestors) variables; qz locals
+  /// are already substituted out.
+  std::vector<std::pair<NodeId, Formula>> finals;
+
+  std::vector<SelUpMessage::VirtualTop> virtual_tops;
+
+  /// Settled during the pass / kept for the final visit.
+  std::vector<NodeId> answers;
+  std::vector<std::pair<NodeId, Formula>> candidates;
+
+  uint64_t ops = 0;
+};
+
+// Traversal-scoped list of document-node qualifier placeholders (the corner
+// case of a self-filter right after a leading '//'). thread_local: sites run
+// fragments concurrently during parallel rounds.
+thread_local std::vector<std::pair<int, VarId>> doc_quals_;
+
+/// The combined pre/post-order traversal (Procedure evalXPath of Fig. 5).
+Pax2FragmentState RunCombinedPass(const Fragment& frag,
+                                  const CompiledQuery& query,
+                                  const std::vector<uint8_t>* concrete_init) {
+  Pax2FragmentState st;
+  st.arena = std::make_unique<FormulaArena>();
+  FormulaArena* arena = st.arena.get();
+  FormulaDomain domain(arena);
+  const Tree& tree = frag.tree;
+  const auto& sel = query.selection();
+  const size_t m = sel.size();
+  const size_t last = m - 1;
+
+  const size_t ec = query.entries().size();
+  st.qual_vectors.entry_count = ec;
+  st.qual_vectors.qv.assign(tree.size() * ec, kFalseFormula);
+  st.qual_vectors.qdv.assign(tree.size() * ec, kFalseFormula);
+
+  VirtualQualHook<Formula> virtual_hook = [&](NodeId v, int entry) {
+    const FragmentId child = tree.fragment_ref(v);
+    return std::make_pair(arena->Var(MakeQVVar(child, entry)),
+                          arena->Var(MakeQDVVar(child, entry)));
+  };
+
+  // Local qz variables: fresh per (node, qualifier) use; resolved at the
+  // node's post-order step once its subtree's qualifier rows exist.
+  uint32_t local_counter = 0;
+  Binding qz_bindings;
+  // Pending qz resolutions per node: (qual_id, var).
+  std::unordered_map<NodeId, std::vector<std::pair<int, VarId>>> pending;
+
+  auto fresh_qual_var = [&](NodeId v, int qual_id) {
+    const VarId var = MakeLocalVar(local_counter++);
+    pending[v].emplace_back(qual_id, var);
+    return arena->Var(var);
+  };
+
+  // ---- Stack initialization -------------------------------------------------
+  std::vector<Formula> init;
+  if (frag.id == 0) {
+    Formula root_qual = kTrueFormula;
+    if (sel[0].qual >= 0) {
+      // Unknown until the root's post-order step: a local variable, bound
+      // against the root element (the paper's convention for leading
+      // qualifiers).
+      root_qual = fresh_qual_var(tree.root(), sel[0].qual);
+    }
+    auto qual_at_doc = [&](int qual_id) {
+      // Resolved after the traversal via EvalQualAtDoc (bound on the root's
+      // pending list so substitution picks it up; axis handling differs from
+      // node-anchored qualifiers, so mark with the dedicated list below).
+      const VarId var = MakeLocalVar(local_counter++);
+      doc_quals_.emplace_back(qual_id, var);
+      return arena->Var(var);
+    };
+    init = MakeDocVector(query, &domain, root_qual,
+                         query.has_qualifiers()
+                             ? std::function<Formula(int)>(qual_at_doc)
+                             : std::function<Formula(int)>());
+  } else if (concrete_init != nullptr) {
+    init = ConstStackInit(*concrete_init);
+  } else {
+    init = VariableStackInit(query, frag.id, arena);
+  }
+
+  // ---- Combined DFS ----------------------------------------------------------
+  struct Item {
+    NodeId v;
+    bool expanded;
+  };
+  std::vector<Item> work = {{tree.root(), false}};
+  std::vector<std::vector<Formula>> stack;
+  stack.push_back(std::move(init));
+
+  while (!work.empty()) {
+    Item item = work.back();
+    work.pop_back();
+    const NodeId v = item.v;
+
+    if (item.expanded) {
+      // Post-order: qualifier rows, then resolve this node's qz variables.
+      ComputeQualRowsAtNode(tree, query, &domain, v, virtual_hook,
+                            &st.qual_vectors, &st.ops);
+      auto it = pending.find(v);
+      if (it != pending.end()) {
+        for (auto [qual_id, var] : it->second) {
+          qz_bindings.Bind(var, EvalQualAtNode(tree, query, &domain,
+                                               st.qual_vectors, v, qual_id));
+        }
+      }
+      if (tree.first_child(v) != kNullNode) stack.pop_back();
+      continue;
+    }
+
+    const std::vector<Formula>& parent_vec = stack.back();
+
+    if (tree.IsVirtual(v)) {
+      st.virtual_tops.push_back(
+          SelUpMessage::VirtualTop{tree.fragment_ref(v), parent_vec});
+      // Virtual nodes still need their qualifier rows (variables).
+      ComputeQualRowsAtNode(tree, query, &domain, v, virtual_hook,
+                            &st.qual_vectors, &st.ops);
+      continue;
+    }
+
+    // Pre-order: selection vector with qz placeholders for qualifiers.
+    std::vector<Formula> vec(m, kFalseFormula);
+    for (size_t i = 1; i < m; ++i) {
+      const CompiledQuery::SelEntry& e = sel[i];
+      switch (e.kind) {
+        case SelKind::kLabel:
+        case SelKind::kWildcard: {
+          const bool term =
+              tree.IsElement(v) &&
+              (e.kind == SelKind::kWildcard || tree.label(v) == e.label);
+          Formula val = term ? parent_vec[i - 1] : kFalseFormula;
+          if (term && e.qual >= 0 && !domain.IsFalse(val)) {
+            val = domain.And(val, fresh_qual_var(v, e.qual));
+          }
+          vec[i] = val;
+          break;
+        }
+        case SelKind::kDescend:
+          vec[i] = domain.Or(vec[i - 1], parent_vec[i]);
+          break;
+        case SelKind::kSelfFilter: {
+          Formula val = vec[i - 1];
+          if (e.qual >= 0 && !domain.IsFalse(val)) {
+            val = domain.And(val, fresh_qual_var(v, e.qual));
+          }
+          vec[i] = val;
+          break;
+        }
+        case SelKind::kRoot:
+          PAXML_CHECK(false);
+          break;
+      }
+      ++st.ops;
+    }
+
+    if (!domain.IsFalse(vec[last])) st.finals.emplace_back(v, vec[last]);
+
+    work.push_back({v, true});
+    if (tree.first_child(v) != kNullNode) {
+      for (NodeId c : tree.children(v)) work.push_back({c, false});
+      stack.push_back(std::move(vec));
+    }
+  }
+
+  // ---- Resolve document-node qualifiers (leading '//ε[q]' corner) ----------
+  for (auto [qual_id, var] : doc_quals_) {
+    qz_bindings.Bind(var, EvalQualAtDoc(query, &domain, st.qual_vectors,
+                                        tree.root(), qual_id));
+  }
+  doc_quals_.clear();
+
+  // ---- Substitute qz locals; classify finals --------------------------------
+  for (auto& [node, formula] : st.finals) {
+    formula = qz_bindings.Apply(arena, formula);
+    auto c = arena->ConstValue(formula);
+    if (!c) {
+      st.candidates.emplace_back(node, formula);
+    } else if (*c) {
+      st.answers.push_back(node);
+    }
+  }
+  st.finals.clear();
+  for (auto& top : st.virtual_tops) {
+    for (Formula& f : top.stack_top) f = qz_bindings.Apply(arena, f);
+  }
+  return st;
+}
+
+}  // namespace
+
+Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
+                                       const CompiledQuery& query,
+                                       const PaxOptions& options) {
+  if (query.IsBooleanQuery()) {
+    PAXML_ASSIGN_OR_RETURN(ParBoXResult r, EvaluateParBoX(cluster, query));
+    DistributedResult out;
+    if (r.value) {
+      out.answers.push_back(
+          GlobalNodeId{0, cluster.doc().fragment(0).tree.root()});
+    }
+    out.stats = std::move(r.stats);
+    return out;
+  }
+
+  const FragmentedDocument& doc = cluster.doc();
+  const size_t fragment_count = doc.size();
+  QueryRun run(&cluster);
+  const SiteId sq = cluster.query_site();
+
+  PruneResult prune;
+  if (options.use_annotations) {
+    prune = PruneFragments(doc, query);
+  } else {
+    prune.selection_relevant.assign(fragment_count, true);
+    prune.required.assign(fragment_count, true);
+  }
+
+  // The combined pass must run wherever a qualifier can see (see
+  // fragment/pruning.h); for qualifier-free queries that degenerates to the
+  // selection-relevant set.
+  std::vector<FragmentId> stage1_frags;
+  std::vector<bool> participating(fragment_count, false);
+  for (size_t f = 0; f < fragment_count; ++f) {
+    if (prune.required[f]) {
+      stage1_frags.push_back(static_cast<FragmentId>(f));
+      participating[f] = true;
+    }
+  }
+
+  const bool concrete_init =
+      options.use_annotations && !query.has_qualifiers();
+
+  std::vector<std::unique_ptr<Pax2FragmentState>> state(fragment_count);
+  FragmentTreeUnifier unifier(&doc, &query);
+  std::mutex mu;
+  Status site_status = Status::OK();
+
+  std::vector<SiteId> stage1_sites = run.SitesOf(stage1_frags);
+  for (SiteId s : stage1_sites) run.Send(sq, s, query.source().size());
+
+  run.Round("pax2-combined", stage1_sites, [&](SiteId site) {
+    for (FragmentId f : cluster.fragments_at(site)) {
+      if (!participating[static_cast<size_t>(f)]) continue;
+      const Fragment& frag = doc.fragment(f);
+      const std::vector<uint8_t>* init =
+          (concrete_init && f != 0)
+              ? &prune.parent_vector[static_cast<size_t>(f)]
+              : nullptr;
+      state[static_cast<size_t>(f)] = std::make_unique<Pax2FragmentState>(
+          RunCombinedPass(frag, query, init));
+      Pax2FragmentState& st = *state[static_cast<size_t>(f)];
+
+      // One reply: qualifier roots + selection stack tops + answer counts.
+      QualUpMessage qual_reply;
+      qual_reply.fragment = f;
+      const size_t ec = query.entries().size();
+      const NodeId root = frag.tree.root();
+      qual_reply.root_qv.assign(st.qual_vectors.QVRow(root),
+                                st.qual_vectors.QVRow(root) + ec);
+      qual_reply.root_qdv.assign(st.qual_vectors.QDVRow(root),
+                                 st.qual_vectors.QDVRow(root) + ec);
+      SelUpMessage sel_reply;
+      sel_reply.fragment = f;
+      sel_reply.virtual_tops = st.virtual_tops;
+      sel_reply.answer_count = static_cast<uint32_t>(st.answers.size());
+      sel_reply.candidate_count = static_cast<uint32_t>(st.candidates.size());
+
+      ByteWriter bytes;
+      qual_reply.Encode(*st.arena, &bytes);
+      sel_reply.Encode(*st.arena, &bytes);
+      run.Send(site, sq, bytes.size());
+      if (concrete_init) {
+        run.SendAnswer(site, sq,
+                       AnswerBytes(frag.tree, st.answers, options.ship_mode));
+      }
+
+      std::lock_guard<std::mutex> lock(mu);
+      ByteReader reader(bytes.bytes());
+      auto qual_decoded = QualUpMessage::Decode(unifier.arena(), &reader);
+      if (!qual_decoded.ok()) {
+        site_status = qual_decoded.status();
+        return;
+      }
+      auto sel_decoded = SelUpMessage::Decode(unifier.arena(), &reader);
+      if (!sel_decoded.ok()) {
+        site_status = sel_decoded.status();
+        return;
+      }
+      unifier.AddQualReport(std::move(qual_decoded).ValueOrDie());
+      unifier.AddSelReport(std::move(sel_decoded).ValueOrDie());
+    }
+  });
+  PAXML_RETURN_NOT_OK(site_status);
+
+  DistributedResult result;
+  auto collect_answers = [&](FragmentId f) {
+    for (NodeId v : state[static_cast<size_t>(f)]->answers) {
+      result.answers.push_back(GlobalNodeId{f, v});
+    }
+  };
+
+  if (concrete_init) {
+    // Single visit: every reported answer is final (no candidates possible).
+    for (FragmentId f : stage1_frags) collect_answers(f);
+    std::sort(result.answers.begin(), result.answers.end());
+    result.stats = run.TakeStats();
+    return result;
+  }
+
+  // ---- evalFT: qualifiers bottom-up, then selection top-down ----------------
+  Status unify_status = Status::OK();
+  run.Coordinator([&] {
+    unify_status = unifier.UnifyQualifiers(participating);
+    if (unify_status.ok()) unify_status = unifier.UnifySelection(participating);
+  });
+  PAXML_RETURN_NOT_OK(unify_status);
+
+  // ---- Final visit: resolve candidates, ship answers -------------------------
+  std::vector<FragmentId> stage2_frags;
+  for (FragmentId f : stage1_frags) {
+    if (unifier.HasAnswerWork(f)) stage2_frags.push_back(f);
+  }
+  std::vector<SiteId> stage2_sites = run.SitesOf(stage2_frags);
+
+  std::unordered_map<FragmentId, SelDownMessage> sel_down;
+  std::unordered_map<FragmentId, QualDownMessage> qual_down;
+  for (FragmentId f : stage2_frags) {
+    ByteWriter bytes;
+    if (f != 0) {
+      SelDownMessage m = unifier.MakeSelDown(f);
+      m.Encode(&bytes);
+      ByteReader reader(bytes.bytes());
+      auto decoded = SelDownMessage::Decode(&reader);
+      PAXML_RETURN_NOT_OK(decoded.status());
+      sel_down.emplace(f, std::move(decoded).ValueOrDie());
+    }
+    if (query.has_qualifiers()) {
+      ByteWriter qbytes;
+      QualDownMessage m = unifier.MakeQualDown(f);
+      m.Encode(&qbytes);
+      ByteReader reader(qbytes.bytes());
+      auto decoded = QualDownMessage::Decode(&reader);
+      PAXML_RETURN_NOT_OK(decoded.status());
+      qual_down.emplace(f, std::move(decoded).ValueOrDie());
+      run.Send(sq, cluster.site_of(f), bytes.size() + qbytes.size());
+    } else {
+      run.Send(sq, cluster.site_of(f), bytes.size());
+    }
+  }
+
+  run.Round("pax2-answers", stage2_sites, [&](SiteId site) {
+    for (FragmentId f : cluster.fragments_at(site)) {
+      if (std::find(stage2_frags.begin(), stage2_frags.end(), f) ==
+          stage2_frags.end()) {
+        continue;
+      }
+      const Fragment& frag = doc.fragment(f);
+      Pax2FragmentState& st = *state[static_cast<size_t>(f)];
+
+      if (!st.candidates.empty()) {
+        // Assignment: z variables of this fragment from the resolved stack;
+        // x variables of the virtual children from the resolved rows.
+        const std::vector<uint8_t>* z = nullptr;
+        if (auto it = sel_down.find(f); it != sel_down.end()) {
+          z = &it->second.stack_init;
+        }
+        std::unordered_map<FragmentId, const QualDownMessage::ResolvedChild*>
+            rows;
+        if (auto it = qual_down.find(f); it != qual_down.end()) {
+          for (const auto& c : it->second.children) rows[c.child] = &c;
+        }
+        auto assignment = [&](VarId var) -> std::optional<bool> {
+          switch (KindOfVar(var)) {
+            case VarKind::kSV:
+              if (FragmentOfVar(var) != f || z == nullptr) return std::nullopt;
+              return (*z)[IndexOfVar(var)] != 0;
+            case VarKind::kQV:
+            case VarKind::kQDV: {
+              auto it = rows.find(FragmentOfVar(var));
+              if (it == rows.end()) return std::nullopt;
+              const uint32_t e = IndexOfVar(var);
+              return KindOfVar(var) == VarKind::kQV
+                         ? it->second->qv[e] != 0
+                         : it->second->qdv[e] != 0;
+            }
+            case VarKind::kLocal:
+              return std::nullopt;  // substituted out before shipping
+          }
+          return std::nullopt;
+        };
+        for (const auto& [node, formula] : st.candidates) {
+          auto value = st.arena->Evaluate(formula, assignment);
+          if (!value.ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            site_status = value.status();
+            return;
+          }
+          if (*value) st.answers.push_back(node);
+        }
+        std::sort(st.answers.begin(), st.answers.end());
+      }
+
+      AnswerUpMessage reply;
+      reply.fragment = f;
+      reply.answers = st.answers;
+      ByteWriter bytes;
+      reply.Encode(&bytes);
+      // The id list and the payload are both part of the O(|ans|) term.
+      run.SendAnswer(site, sq,
+                     bytes.size() +
+                         AnswerBytes(frag.tree, st.answers, options.ship_mode));
+    }
+  });
+  PAXML_RETURN_NOT_OK(site_status);
+
+  for (FragmentId f : stage2_frags) collect_answers(f);
+  std::sort(result.answers.begin(), result.answers.end());
+  result.stats = run.TakeStats();
+  return result;
+}
+
+}  // namespace paxml

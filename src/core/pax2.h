@@ -1,0 +1,40 @@
+// PaX2: the improved two-visit algorithm (Section 4 of the paper).
+//
+// PaX2 fuses PaX3's qualifier and selection stages into a single traversal
+// per fragment:
+//   * the pre-order half computes the selection vectors, conjoining a fresh
+//     local variable qz for every not-yet-known qualifier value
+//     (Example 4.1: SV_broker = <0, z1 ∧ qz2, 0>);
+//   * the post-order half computes the qualifier vectors bottom-up and
+//     immediately unifies each qz with the (possibly residual) qualifier
+//     formula at that node (Example 4.2: qz2 := y8).
+// One reply per fragment carries the root qualifier vectors *and* the stack
+// tops recorded at virtual nodes; the coordinator unifies qualifiers
+// bottom-up then selection top-down; the second (final) visit resolves
+// candidates and ships answers.
+//
+// Guarantees: <= 2 visits per site, same communication and computation
+// bounds as PaX3. With XPath annotations, the combined pass skips fragments
+// that neither contain candidate answers nor are visible to any live
+// qualifier (see fragment/pruning.h), and qualifier-free queries finish in
+// a single visit.
+
+#ifndef PAXML_CORE_PAX2_H_
+#define PAXML_CORE_PAX2_H_
+
+#include "common/result.h"
+#include "core/distributed_result.h"
+#include "core/pax3.h"
+#include "sim/cluster.h"
+#include "xpath/query_plan.h"
+
+namespace paxml {
+
+/// Evaluates `query` over the cluster's fragmented document with PaX2.
+Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
+                                       const CompiledQuery& query,
+                                       const PaxOptions& options = {});
+
+}  // namespace paxml
+
+#endif  // PAXML_CORE_PAX2_H_

@@ -1,0 +1,325 @@
+#include "core/pax3.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/eval_ft.h"
+#include "core/parbox.h"
+#include "core/site_eval.h"
+#include "fragment/pruning.h"
+
+namespace paxml {
+namespace {
+
+/// Per-fragment state living at its site across the three visits.
+struct Pax3FragmentState {
+  FragmentQualEval qual;                    // stage 1 residuals
+  QualVectors<BoolDomain> resolved_qual;    // stage 2: concrete values
+  std::unique_ptr<FormulaArena> sel_arena;  // stage 2 arena (z variables)
+  std::vector<std::pair<NodeId, Formula>> candidates;
+  std::vector<NodeId> answers;
+};
+
+/// Boolean queries: ParBoX, then wrap the truth value as {root} / {}.
+Result<DistributedResult> EvaluateBooleanViaParBoX(const Cluster& cluster,
+                                                   const CompiledQuery& query) {
+  PAXML_ASSIGN_OR_RETURN(ParBoXResult r, EvaluateParBoX(cluster, query));
+  DistributedResult out;
+  if (r.value) {
+    out.answers.push_back(GlobalNodeId{0, cluster.doc().fragment(0).tree.root()});
+  }
+  out.stats = std::move(r.stats);
+  return out;
+}
+
+}  // namespace
+
+Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
+                                       const CompiledQuery& query,
+                                       const PaxOptions& options) {
+  if (query.IsBooleanQuery()) return EvaluateBooleanViaParBoX(cluster, query);
+
+  const FragmentedDocument& doc = cluster.doc();
+  const size_t fragment_count = doc.size();
+  QueryRun run(&cluster);
+  const SiteId sq = cluster.query_site();
+
+  PruneResult prune;
+  if (options.use_annotations) {
+    prune = PruneFragments(doc, query);
+  } else {
+    prune.selection_relevant.assign(fragment_count, true);
+    prune.required.assign(fragment_count, true);
+  }
+
+  std::vector<std::unique_ptr<Pax3FragmentState>> state(fragment_count);
+  for (auto& s : state) s = std::make_unique<Pax3FragmentState>();
+
+  FragmentTreeUnifier unifier(&doc, &query);
+  std::mutex mu;  // guards unifier + status during parallel rounds
+  Status site_status = Status::OK();
+
+  // Sites learn the query on their first visit.
+  std::vector<bool> query_shipped(cluster.site_count(), false);
+  auto ship_query = [&](const std::vector<SiteId>& sites) {
+    for (SiteId s : sites) {
+      if (!query_shipped[static_cast<size_t>(s)]) {
+        query_shipped[static_cast<size_t>(s)] = true;
+        run.Send(sq, s, query.source().size());
+      }
+    }
+  };
+
+  // ---- Stage 1: qualifiers over every fragment -----------------------------
+  // (XPath annotations cannot skip this stage: qualifier values flow across
+  // fragment boundaries regardless of where the answers are.)
+  std::vector<bool> stage1_participants(fragment_count, false);
+  if (query.has_qualifiers()) {
+    std::vector<FragmentId> all;
+    for (size_t f = 0; f < fragment_count; ++f) {
+      all.push_back(static_cast<FragmentId>(f));
+      stage1_participants[f] = true;
+    }
+    std::vector<SiteId> sites = run.SitesOf(all);
+    ship_query(sites);
+    run.Round("pax3-stage1-qualifiers", sites, [&](SiteId site) {
+      for (FragmentId f : cluster.fragments_at(site)) {
+        const Fragment& frag = doc.fragment(f);
+        Pax3FragmentState& st = *state[static_cast<size_t>(f)];
+        st.qual = RunFragmentQualifierStage(frag, query);
+        QualUpMessage reply = BuildQualUp(frag, query, st.qual);
+        ByteWriter bytes;
+        reply.Encode(*st.qual.arena, &bytes);
+        run.Send(site, sq, bytes.size());
+        std::lock_guard<std::mutex> lock(mu);
+        ByteReader reader(bytes.bytes());
+        auto decoded = QualUpMessage::Decode(unifier.arena(), &reader);
+        if (!decoded.ok()) {
+          site_status = decoded.status();
+          return;
+        }
+        unifier.AddQualReport(std::move(decoded).ValueOrDie());
+      }
+    });
+    PAXML_RETURN_NOT_OK(site_status);
+
+    Status unify_status = Status::OK();
+    run.Coordinator([&] {
+      unify_status = unifier.UnifyQualifiers(stage1_participants);
+    });
+    PAXML_RETURN_NOT_OK(unify_status);
+  }
+
+  // ---- Stage 2: selection over relevant fragments ---------------------------
+  std::vector<FragmentId> stage2_frags;
+  std::vector<bool> stage2_participants(fragment_count, false);
+  for (size_t f = 0; f < fragment_count; ++f) {
+    if (prune.selection_relevant[f]) {
+      stage2_frags.push_back(static_cast<FragmentId>(f));
+      stage2_participants[f] = true;
+    }
+  }
+  std::vector<SiteId> stage2_sites = run.SitesOf(stage2_frags);
+  ship_query(stage2_sites);
+
+  // Resolved qualifier values travel with the stage-2 request.
+  std::unordered_map<FragmentId, QualDownMessage> qual_down;
+  if (query.has_qualifiers()) {
+    for (FragmentId f : stage2_frags) {
+      QualDownMessage m = unifier.MakeQualDown(f);
+      ByteWriter bytes;
+      m.Encode(&bytes);
+      run.Send(sq, cluster.site_of(f), bytes.size());
+      // Decode on the receiving side.
+      ByteReader reader(bytes.bytes());
+      auto decoded = QualDownMessage::Decode(&reader);
+      PAXML_RETURN_NOT_OK(decoded.status());
+      qual_down.emplace(f, std::move(decoded).ValueOrDie());
+    }
+  }
+
+  // Whether this run can finish at stage 2 (Section 5: annotations give
+  // concrete stack initializations for qualifier-free queries, so candidates
+  // never arise and the answers ship with the stage-2 reply).
+  const bool concrete_init =
+      options.use_annotations && !query.has_qualifiers();
+
+  run.Round("pax3-stage2-selection", stage2_sites, [&](SiteId site) {
+    for (FragmentId f : cluster.fragments_at(site)) {
+      if (!stage2_participants[static_cast<size_t>(f)]) continue;
+      const Fragment& frag = doc.fragment(f);
+      Pax3FragmentState& st = *state[static_cast<size_t>(f)];
+
+      // Qualifier values are fully known at this point.
+      if (query.has_qualifiers()) {
+        auto resolved = ResolveQualVectors(frag, query, st.qual,
+                                           qual_down.at(f));
+        if (!resolved.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          site_status = resolved.status();
+          return;
+        }
+        st.resolved_qual = std::move(resolved).ValueOrDie();
+      }
+
+      st.sel_arena = std::make_unique<FormulaArena>();
+      FormulaDomain domain(st.sel_arena.get());
+
+      BoolDomain bool_domain;
+      QualAtHook<Formula> qual_at;
+      if (query.has_qualifiers()) {
+        qual_at = [&, fptr = &frag, stptr = &st](NodeId v, int qual_id) {
+          return domain.FromBool(bool_domain.IsTrue(
+              EvalQualAtNode(fptr->tree, query, &bool_domain,
+                             stptr->resolved_qual, v, qual_id)));
+        };
+      }
+
+      std::vector<Formula> init;
+      if (f == 0) {
+        Formula root_qual = kTrueFormula;
+        if (query.selection()[0].qual >= 0) {
+          root_qual = domain.FromBool(
+              RootQualifierValue(frag, query, st.resolved_qual));
+        }
+        auto qual_at_doc = [&](int qual_id) {
+          return domain.FromBool(bool_domain.IsTrue(EvalQualAtDoc(
+              query, &bool_domain, st.resolved_qual, frag.tree.root(),
+              qual_id)));
+        };
+        init = MakeDocVector(query, &domain, root_qual,
+                             query.has_qualifiers()
+                                 ? std::function<Formula(int)>(qual_at_doc)
+                                 : std::function<Formula(int)>());
+      } else if (concrete_init) {
+        init = ConstStackInit(prune.parent_vector[static_cast<size_t>(f)]);
+      } else {
+        init = VariableStackInit(query, f, st.sel_arena.get());
+      }
+
+      SelectionOutput<FormulaDomain> out = RunSelectionPass(
+          frag.tree, query, &domain, std::move(init), qual_at);
+      st.answers = std::move(out.answers);
+      st.candidates = std::move(out.candidates);
+
+      SelUpMessage reply;
+      reply.fragment = f;
+      reply.answer_count = static_cast<uint32_t>(st.answers.size());
+      reply.candidate_count = static_cast<uint32_t>(st.candidates.size());
+      for (auto& [vnode, top] : out.virtual_stack_tops) {
+        reply.virtual_tops.push_back(SelUpMessage::VirtualTop{
+            frag.tree.fragment_ref(vnode), std::move(top)});
+      }
+      ByteWriter bytes;
+      reply.Encode(*st.sel_arena, &bytes);
+      run.Send(site, sq, bytes.size());
+
+      if (concrete_init) {
+        // Certain answers ship with this reply; stage 3 is skipped.
+        run.SendAnswer(site, sq,
+                       AnswerBytes(frag.tree, st.answers, options.ship_mode));
+      }
+
+      std::lock_guard<std::mutex> lock(mu);
+      ByteReader reader(bytes.bytes());
+      auto decoded = SelUpMessage::Decode(unifier.arena(), &reader);
+      if (!decoded.ok()) {
+        site_status = decoded.status();
+        return;
+      }
+      unifier.AddSelReport(std::move(decoded).ValueOrDie());
+    }
+  });
+  PAXML_RETURN_NOT_OK(site_status);
+
+  DistributedResult result;
+  auto collect_answers = [&](FragmentId f) {
+    for (NodeId v : state[static_cast<size_t>(f)]->answers) {
+      result.answers.push_back(GlobalNodeId{f, v});
+    }
+  };
+
+  if (concrete_init) {
+    for (FragmentId f : stage2_frags) collect_answers(f);
+    std::sort(result.answers.begin(), result.answers.end());
+    result.stats = run.TakeStats();
+    return result;
+  }
+
+  // ---- evalFT: resolve the z variables top-down ------------------------------
+  Status unify_status = Status::OK();
+  run.Coordinator([&] {
+    unify_status = unifier.UnifySelection(stage2_participants);
+  });
+  PAXML_RETURN_NOT_OK(unify_status);
+
+  // ---- Stage 3: settle candidates, ship answers ------------------------------
+  std::vector<FragmentId> stage3_frags;
+  for (FragmentId f : stage2_frags) {
+    if (unifier.HasAnswerWork(f)) stage3_frags.push_back(f);
+  }
+  std::vector<SiteId> stage3_sites = run.SitesOf(stage3_frags);
+
+  std::unordered_map<FragmentId, SelDownMessage> sel_down;
+  for (FragmentId f : stage3_frags) {
+    if (f == 0) continue;  // the root fragment's stack was concrete
+    SelDownMessage m = unifier.MakeSelDown(f);
+    ByteWriter bytes;
+    m.Encode(&bytes);
+    run.Send(sq, cluster.site_of(f), bytes.size());
+    ByteReader reader(bytes.bytes());
+    auto decoded = SelDownMessage::Decode(&reader);
+    PAXML_RETURN_NOT_OK(decoded.status());
+    sel_down.emplace(f, std::move(decoded).ValueOrDie());
+  }
+
+  run.Round("pax3-stage3-answers", stage3_sites, [&](SiteId site) {
+    for (FragmentId f : cluster.fragments_at(site)) {
+      if (std::find(stage3_frags.begin(), stage3_frags.end(), f) ==
+          stage3_frags.end()) {
+        continue;
+      }
+      const Fragment& frag = doc.fragment(f);
+      Pax3FragmentState& st = *state[static_cast<size_t>(f)];
+
+      if (!st.candidates.empty()) {
+        const std::vector<uint8_t>& z = sel_down.at(f).stack_init;
+        auto assignment = [&](VarId v) -> std::optional<bool> {
+          if (KindOfVar(v) != VarKind::kSV || FragmentOfVar(v) != f) {
+            return std::nullopt;
+          }
+          return z[IndexOfVar(v)] != 0;
+        };
+        for (const auto& [node, formula] : st.candidates) {
+          auto value = st.sel_arena->Evaluate(formula, assignment);
+          if (!value.ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            site_status = value.status();
+            return;
+          }
+          if (*value) st.answers.push_back(node);
+        }
+        std::sort(st.answers.begin(), st.answers.end());
+      }
+
+      AnswerUpMessage reply;
+      reply.fragment = f;
+      reply.answers = st.answers;
+      ByteWriter bytes;
+      reply.Encode(&bytes);
+      // The id list and the payload are both part of the O(|ans|) term.
+      run.SendAnswer(site, sq,
+                     bytes.size() +
+                         AnswerBytes(frag.tree, st.answers, options.ship_mode));
+    }
+  });
+  PAXML_RETURN_NOT_OK(site_status);
+
+  for (FragmentId f : stage3_frags) collect_answers(f);
+  std::sort(result.answers.begin(), result.answers.end());
+  result.stats = run.TakeStats();
+  return result;
+}
+
+}  // namespace paxml

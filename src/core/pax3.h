@@ -1,0 +1,57 @@
+// PaX3: three-stage partial evaluation of data-selecting XPath queries
+// (Section 3 of the paper).
+//
+//   Stage 1 — every site partially evaluates the qualifiers (QVect) of Q
+//             bottom-up over its fragments, in parallel; residual (QV, QDV)
+//             root vectors go to the coordinator, which unifies them over
+//             the fragment tree (Procedure evalFT).
+//   Stage 2 — resolved qualifier values return to the sites; every site
+//             partially evaluates the selection path (SVect) top-down.
+//             Certain answers (`ans`) and candidate answers (`cans`, whose
+//             last entry is a residual over the z stack-variables) stay
+//             local; the stack tops recorded at virtual nodes go up and are
+//             unified top-down.
+//   Stage 3 — resolved stack vectors return; candidates settle; all answer
+//             nodes ship to the query site.
+//
+// Guarantees (Section 3.4): <= 3 visits per site; total communication
+// O(|Q| |FT| + |ans|); total computation O(|Q| |T|); parallel computation
+// O(|Q| max_site |F_site|) per stage.
+//
+// With XPath annotations (Section 5):
+//   * qualifier-free queries get concrete stack initializations, so no
+//     candidates arise, stage 1 and stage 3 both disappear, and every site
+//     is visited once;
+//   * queries with qualifiers still run stage 1 everywhere (qualifier
+//     values cross fragment boundaries), but stages 2 and 3 skip fragments
+//     that cannot contain answers.
+
+#ifndef PAXML_CORE_PAX3_H_
+#define PAXML_CORE_PAX3_H_
+
+#include "common/result.h"
+#include "core/distributed_result.h"
+#include "sim/cluster.h"
+#include "xpath/query_plan.h"
+
+namespace paxml {
+
+struct PaxOptions {
+  /// Use the XPath-annotated fragment tree (Section 5): prune irrelevant
+  /// fragments and, for qualifier-free queries, initialize stacks concretely.
+  bool use_annotations = false;
+
+  /// How answers are shipped to the query site (byte accounting).
+  AnswerShipMode ship_mode = AnswerShipMode::kSubtrees;
+};
+
+/// Evaluates `query` over the cluster's fragmented document with PaX3.
+/// Boolean queries (empty selection path) delegate to the ParBoX stage and
+/// finish in one visit.
+Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
+                                       const CompiledQuery& query,
+                                       const PaxOptions& options = {});
+
+}  // namespace paxml
+
+#endif  // PAXML_CORE_PAX3_H_

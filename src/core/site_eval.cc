@@ -1,0 +1,136 @@
+#include "core/site_eval.h"
+
+#include "common/string_util.h"
+#include "xml/serializer.h"
+
+namespace paxml {
+
+FragmentQualEval RunFragmentQualifierStage(const Fragment& frag,
+                                           const CompiledQuery& query) {
+  FragmentQualEval out;
+  out.arena = std::make_unique<FormulaArena>();
+  FormulaDomain domain(out.arena.get());
+  const Tree& tree = frag.tree;
+  VirtualQualHook<Formula> hook = [&](NodeId v, int entry) {
+    const FragmentId child = tree.fragment_ref(v);
+    return std::make_pair(out.arena->Var(MakeQVVar(child, entry)),
+                          out.arena->Var(MakeQDVVar(child, entry)));
+  };
+  out.vectors = RunQualifierPass(tree, query, &domain, hook, &out.ops);
+  return out;
+}
+
+QualUpMessage BuildQualUp(const Fragment& frag, const CompiledQuery& query,
+                          const FragmentQualEval& eval) {
+  QualUpMessage m;
+  m.fragment = frag.id;
+  const size_t ec = query.entries().size();
+  const NodeId root = frag.tree.root();
+  m.root_qv.assign(eval.vectors.QVRow(root), eval.vectors.QVRow(root) + ec);
+  m.root_qdv.assign(eval.vectors.QDVRow(root), eval.vectors.QDVRow(root) + ec);
+  if (frag.id == 0 && query.selection()[0].qual >= 0) {
+    FormulaDomain domain(eval.arena.get());
+    m.root_qual = EvalQualAtNode(frag.tree, query, &domain, eval.vectors, root,
+                                 query.selection()[0].qual);
+  }
+  return m;
+}
+
+bool RootQualifierValue(const Fragment& root_fragment,
+                        const CompiledQuery& query,
+                        const QualVectors<BoolDomain>& vectors) {
+  const int qual = query.selection()[0].qual;
+  if (qual < 0) return true;
+  BoolDomain domain;
+  return domain.IsTrue(EvalQualAtNode(root_fragment.tree, query, &domain,
+                                      vectors, root_fragment.tree.root(),
+                                      qual));
+}
+
+Result<QualVectors<BoolDomain>> ResolveQualVectors(
+    const Fragment& frag, const CompiledQuery& query,
+    const FragmentQualEval& eval, const QualDownMessage& resolved) {
+  const size_t ec = query.entries().size();
+
+  // Index the resolved child rows.
+  std::unordered_map<FragmentId, const QualDownMessage::ResolvedChild*> rows;
+  for (const auto& c : resolved.children) {
+    if (c.qv.size() != ec || c.qdv.size() != ec) {
+      return Status::Internal("resolved child row size mismatch");
+    }
+    rows[c.child] = &c;
+  }
+
+  auto assignment = [&](VarId v) -> std::optional<bool> {
+    const FragmentId child = FragmentOfVar(v);
+    auto it = rows.find(child);
+    if (it == rows.end()) return std::nullopt;
+    const uint32_t e = IndexOfVar(v);
+    switch (KindOfVar(v)) {
+      case VarKind::kQV:
+        return it->second->qv[e] != 0;
+      case VarKind::kQDV:
+        return it->second->qdv[e] != 0;
+      default:
+        return std::nullopt;
+    }
+  };
+
+  QualVectors<BoolDomain> out;
+  out.entry_count = ec;
+  const size_t n = frag.tree.size() * ec;
+  out.qv.resize(n);
+  out.qdv.resize(n);
+  // Residuals are constants at every node not above a virtual placeholder;
+  // only the variable-carrying minority pays for a real evaluation.
+  for (size_t i = 0; i < n; ++i) {
+    const Formula qv_f = eval.vectors.qv[i];
+    if (qv_f == kFalseFormula || qv_f == kTrueFormula) {
+      out.qv[i] = qv_f == kTrueFormula ? 1 : 0;
+    } else {
+      PAXML_ASSIGN_OR_RETURN(bool qv, eval.arena->Evaluate(qv_f, assignment));
+      out.qv[i] = qv ? 1 : 0;
+    }
+    const Formula qdv_f = eval.vectors.qdv[i];
+    if (qdv_f == kFalseFormula || qdv_f == kTrueFormula) {
+      out.qdv[i] = qdv_f == kTrueFormula ? 1 : 0;
+    } else {
+      PAXML_ASSIGN_OR_RETURN(bool qdv, eval.arena->Evaluate(qdv_f, assignment));
+      out.qdv[i] = qdv ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+std::vector<Formula> VariableStackInit(const CompiledQuery& query,
+                                       FragmentId fragment,
+                                       FormulaArena* arena) {
+  const size_t m = query.selection().size();
+  std::vector<Formula> init(m, kFalseFormula);
+  for (size_t i = 1; i < m; ++i) {
+    init[i] = arena->Var(MakeSVVar(fragment, static_cast<int>(i)));
+  }
+  return init;
+}
+
+std::vector<Formula> ConstStackInit(const std::vector<uint8_t>& values) {
+  std::vector<Formula> init(values.size(), kFalseFormula);
+  for (size_t i = 0; i < values.size(); ++i) {
+    init[i] = values[i] ? kTrueFormula : kFalseFormula;
+  }
+  return init;
+}
+
+uint64_t AnswerBytes(const Tree& tree, const std::vector<NodeId>& answers,
+                     AnswerShipMode mode) {
+  if (mode == AnswerShipMode::kReferences) {
+    return static_cast<uint64_t>(answers.size()) * 8;
+  }
+  uint64_t bytes = 0;
+  for (NodeId v : answers) {
+    bytes += tree.IsText(v) ? tree.text(v).size() : SerializedSize(tree, v);
+  }
+  return bytes;
+}
+
+}  // namespace paxml

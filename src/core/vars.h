@@ -1,0 +1,76 @@
+// Variable provenance for partial evaluation.
+//
+// Partial answers are Boolean formulas over variables whose *identity*
+// encodes what they stand for, so every site and the coordinator agree on
+// their meaning without further coordination:
+//
+//   kQV  f e   — QV_e at the root of fragment f   (the x variables of
+//   kQDV f e   — QDV_e at the root of fragment f   Example 3.1)
+//   kSV  f i   — SV_i of the *parent* of fragment f's root (the z variables
+//                of Example 3.4: the traversal-stack initialization)
+//   kLocal n   — site-local temporaries (the qz variables of PaX2's
+//                pre-order pass); these never cross the wire unresolved.
+//
+// Layout: [kind:2][fragment:14][index:16]. Bounds (16383 fragments, 65535
+// vector entries) are far beyond any experiment in the paper; checked at
+// allocation.
+
+#ifndef PAXML_CORE_VARS_H_
+#define PAXML_CORE_VARS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "boolexpr/formula.h"
+#include "common/logging.h"
+#include "xml/tree.h"
+
+namespace paxml {
+
+enum class VarKind : uint8_t { kQV = 0, kQDV = 1, kSV = 2, kLocal = 3 };
+
+inline constexpr uint32_t kVarFragmentBits = 14;
+inline constexpr uint32_t kVarIndexBits = 16;
+
+inline VarId MakeVar(VarKind kind, FragmentId fragment, uint32_t index) {
+  PAXML_CHECK_GE(fragment, 0);
+  PAXML_CHECK_LT(static_cast<uint32_t>(fragment), 1u << kVarFragmentBits);
+  PAXML_CHECK_LT(index, 1u << kVarIndexBits);
+  return (static_cast<uint32_t>(kind) << (kVarFragmentBits + kVarIndexBits)) |
+         (static_cast<uint32_t>(fragment) << kVarIndexBits) | index;
+}
+
+inline VarId MakeQVVar(FragmentId f, int entry) {
+  return MakeVar(VarKind::kQV, f, static_cast<uint32_t>(entry));
+}
+inline VarId MakeQDVVar(FragmentId f, int entry) {
+  return MakeVar(VarKind::kQDV, f, static_cast<uint32_t>(entry));
+}
+inline VarId MakeSVVar(FragmentId f, int sel_entry) {
+  return MakeVar(VarKind::kSV, f, static_cast<uint32_t>(sel_entry));
+}
+/// Site-local temporary; `counter` is scoped to one fragment evaluation.
+inline VarId MakeLocalVar(uint32_t counter) {
+  PAXML_CHECK_LT(counter, 1u << (kVarFragmentBits + kVarIndexBits));
+  return (static_cast<uint32_t>(VarKind::kLocal)
+          << (kVarFragmentBits + kVarIndexBits)) |
+         counter;
+}
+
+inline VarKind KindOfVar(VarId v) {
+  return static_cast<VarKind>(v >> (kVarFragmentBits + kVarIndexBits));
+}
+inline FragmentId FragmentOfVar(VarId v) {
+  return static_cast<FragmentId>((v >> kVarIndexBits) &
+                                 ((1u << kVarFragmentBits) - 1));
+}
+inline uint32_t IndexOfVar(VarId v) {
+  return v & ((1u << kVarIndexBits) - 1);
+}
+
+/// "qv[F2].e3", "sv[F1].s2", "local.17" — for debugging residual formulas.
+std::string VarName(VarId v);
+
+}  // namespace paxml
+
+#endif  // PAXML_CORE_VARS_H_

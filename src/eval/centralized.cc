@@ -1,0 +1,69 @@
+#include "eval/centralized.h"
+
+#include <algorithm>
+
+#include "eval/domain.h"
+#include "eval/qualifier_pass.h"
+#include "eval/selection_pass.h"
+
+namespace paxml {
+
+CentralizedResult EvaluateCentralized(const Tree& tree,
+                                      const CompiledQuery& query) {
+  CentralizedResult result;
+  if (tree.empty()) return result;
+
+  BoolDomain domain;
+  QualVectors<BoolDomain> vectors;
+  if (query.has_qualifiers()) {
+    vectors = RunQualifierPass(tree, query, &domain, {},
+                               &result.stats.qualifier_ops);
+    ++result.stats.passes;
+  }
+
+  // Root qualifier (leading ε[q]): evaluated at the root element.
+  BoolDomain::Value root_qual = domain.True();
+  const int root_qual_id = query.selection()[0].qual;
+  if (root_qual_id >= 0) {
+    root_qual = EvalQualAtNode(tree, query, &domain, vectors, tree.root(),
+                               root_qual_id);
+  }
+
+  if (query.IsBooleanQuery()) {
+    // Empty selection path: the answer is the root element iff the root
+    // qualifier holds (ParBoX semantics).
+    if (domain.IsTrue(root_qual)) result.answers.push_back(tree.root());
+    return result;
+  }
+
+  QualAtHook<BoolDomain::Value> qual_at;
+  if (query.has_qualifiers()) {
+    qual_at = [&](NodeId v, int qual_id) {
+      return EvalQualAtNode(tree, query, &domain, vectors, v, qual_id);
+    };
+  }
+  auto qual_at_doc = [&](int qual_id) {
+    return EvalQualAtDoc(query, &domain, vectors, tree.root(), qual_id);
+  };
+
+  std::vector<BoolDomain::Value> doc_vector =
+      MakeDocVector(query, &domain, root_qual, qual_at_doc);
+  SelectionOutput<BoolDomain> out = RunSelectionPass(
+      tree, query, &domain, std::move(doc_vector), qual_at);
+  ++result.stats.passes;
+  result.stats.selection_ops = out.ops;
+
+  PAXML_CHECK(out.candidates.empty());  // booleans never leave residuals
+  result.answers = std::move(out.answers);
+  std::sort(result.answers.begin(), result.answers.end());
+  return result;
+}
+
+Result<CentralizedResult> EvaluateCentralized(const Tree& tree,
+                                              std::string_view query) {
+  PAXML_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                         CompileXPath(query, tree.symbols()));
+  return EvaluateCentralized(tree, compiled);
+}
+
+}  // namespace paxml

@@ -1,0 +1,49 @@
+// Centralized XPath evaluation: the ground truth and the baseline.
+//
+// Evaluates a compiled query over a complete tree held in one place, with
+// the classic two-pass structure (bottom-up qualifiers, top-down selection)
+// in O(|Q| |T|) time — the cost the paper's distributed algorithms are
+// measured against. Virtual nodes, if present, are inert (match nothing):
+// pass an assembled tree for exact answers.
+
+#ifndef PAXML_EVAL_CENTRALIZED_H_
+#define PAXML_EVAL_CENTRALIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/tree.h"
+#include "xpath/query_plan.h"
+
+namespace paxml {
+
+/// Counters describing one centralized evaluation.
+struct CentralizedStats {
+  uint64_t qualifier_ops = 0;  ///< (node, entry) steps in the qualifier pass
+  uint64_t selection_ops = 0;  ///< (node, entry) steps in the selection pass
+  int passes = 0;              ///< tree traversals performed (1 or 2)
+
+  uint64_t total_ops() const { return qualifier_ops + selection_ops; }
+};
+
+struct CentralizedResult {
+  /// Answer nodes in document order.
+  std::vector<NodeId> answers;
+  CentralizedStats stats;
+};
+
+/// Evaluates `query` over `tree`. Queries without qualifiers skip the
+/// qualifier pass (single traversal), mirroring the paper's observation that
+/// Boolean-free queries need fewer passes.
+CentralizedResult EvaluateCentralized(const Tree& tree,
+                                      const CompiledQuery& query);
+
+/// Convenience: parse + compile + evaluate. The query is compiled against
+/// the tree's symbol table.
+Result<CentralizedResult> EvaluateCentralized(const Tree& tree,
+                                              std::string_view query);
+
+}  // namespace paxml
+
+#endif  // PAXML_EVAL_CENTRALIZED_H_

@@ -1,0 +1,152 @@
+#include "fragment/fragment.h"
+
+#include <functional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "xml/serializer.h"
+
+namespace paxml {
+
+size_t Fragment::PayloadSize() const {
+  size_t n = 0;
+  for (NodeId v = 0; v < static_cast<NodeId>(tree.size()); ++v) {
+    if (!tree.IsVirtual(v)) ++n;
+  }
+  return n;
+}
+
+std::string Fragment::AnnotationString(const SymbolTable& symbols) const {
+  std::vector<std::string> labels;
+  labels.reserve(annotation.size());
+  for (Symbol s : annotation) labels.push_back(symbols.Name(s));
+  return Join(labels, "/");
+}
+
+size_t FragmentedDocument::TotalPayloadNodes() const {
+  size_t n = 0;
+  for (const Fragment& f : fragments_) n += f.PayloadSize();
+  return n;
+}
+
+std::vector<Symbol> FragmentedDocument::PathFromGlobalRoot(FragmentId id) const {
+  std::vector<std::vector<Symbol>> pieces;
+  for (FragmentId cur = id; cur != 0 && cur != kNullFragment;
+       cur = fragment(cur).parent) {
+    pieces.push_back(fragment(cur).annotation);
+  }
+  std::vector<Symbol> out;
+  for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
+    out.insert(out.end(), it->begin(), it->end());
+  }
+  return out;
+}
+
+Tree FragmentedDocument::Assemble(std::vector<GlobalNodeId>* mapping) const {
+  PAXML_CHECK(!fragments_.empty());
+  Tree out(symbols_);
+  if (mapping) mapping->clear();
+
+  // Recursively copy fragment trees, expanding virtual nodes in place.
+  std::function<void(FragmentId, NodeId, NodeId)> copy_subtree =
+      [&](FragmentId fid, NodeId src, NodeId dst_parent) {
+        const Tree& ft = fragment(fid).tree;
+        switch (ft.kind(src)) {
+          case NodeKind::kText:
+            out.AddText(dst_parent, ft.text(src));
+            if (mapping) mapping->push_back(GlobalNodeId{fid, src});
+            return;
+          case NodeKind::kVirtual: {
+            const FragmentId ref = ft.fragment_ref(src);
+            copy_subtree(ref, fragment(ref).tree.root(), dst_parent);
+            return;
+          }
+          case NodeKind::kElement: {
+            NodeId dst = out.AddElement(dst_parent, ft.label(src));
+            if (mapping) mapping->push_back(GlobalNodeId{fid, src});
+            for (const Attribute& a : ft.attributes(src)) {
+              out.AddAttribute(dst, ft.symbols()->Name(a.name), a.value);
+            }
+            for (NodeId c : ft.children(src)) copy_subtree(fid, c, dst);
+            return;
+          }
+        }
+      };
+  copy_subtree(0, fragment(0).tree.root(), kNullNode);
+  return out;
+}
+
+Status FragmentedDocument::Validate() const {
+  if (fragments_.empty()) {
+    return Status::InvalidArgument("document has no fragments");
+  }
+  if (fragments_[0].parent != kNullFragment) {
+    return Status::Internal("fragment 0 must be the root fragment");
+  }
+  std::vector<int> referenced(fragments_.size(), 0);
+  for (size_t i = 0; i < fragments_.size(); ++i) {
+    const Fragment& f = fragments_[i];
+    if (f.id != static_cast<FragmentId>(i)) {
+      return Status::Internal(StringFormat("fragment %zu has wrong id", i));
+    }
+    if (f.tree.empty()) {
+      return Status::Internal(StringFormat("fragment %zu is empty", i));
+    }
+    PAXML_RETURN_NOT_OK(f.tree.Validate());
+    if (!f.tree.IsElement(f.tree.root())) {
+      return Status::Internal("fragment root must be an element");
+    }
+    if (f.source_ids.size() != f.tree.size()) {
+      return Status::Internal("source_ids size mismatch");
+    }
+    if (i != 0) {
+      if (f.parent < 0 || static_cast<size_t>(f.parent) >= fragments_.size()) {
+        return Status::Internal("bad parent fragment id");
+      }
+      if (f.annotation.empty()) {
+        return Status::Internal("non-root fragment without annotation");
+      }
+      if (f.annotation.back() != f.tree.label(f.tree.root())) {
+        return Status::Internal(
+            "annotation must end with the fragment root label");
+      }
+    }
+    for (NodeId v : f.tree.VirtualNodes()) {
+      const FragmentId ref = f.tree.fragment_ref(v);
+      if (ref <= 0 || static_cast<size_t>(ref) >= fragments_.size()) {
+        return Status::Internal("virtual node references unknown fragment");
+      }
+      if (fragment(ref).parent != f.id) {
+        return Status::Internal("virtual ref/parent mismatch");
+      }
+      ++referenced[static_cast<size_t>(ref)];
+    }
+    for (FragmentId c : f.children) {
+      if (c <= 0 || static_cast<size_t>(c) >= fragments_.size() ||
+          fragment(c).parent != f.id) {
+        return Status::Internal("children list inconsistent");
+      }
+    }
+  }
+  for (size_t i = 1; i < fragments_.size(); ++i) {
+    if (referenced[i] != 1) {
+      return Status::Internal(
+          StringFormat("fragment %zu referenced %d times", i, referenced[i]));
+    }
+  }
+  return Status::OK();
+}
+
+std::string FragmentedDocument::DebugString() const {
+  std::string out = StringFormat("FragmentedDocument (%zu fragments)\n",
+                                 fragments_.size());
+  for (const Fragment& f : fragments_) {
+    out += StringFormat(
+        "  F%d: parent=%d nodes=%zu bytes=%zu annotation=\"%s\"\n", f.id,
+        f.parent, f.PayloadSize(), SerializedSize(f.tree),
+        symbols_ ? f.AnnotationString(*symbols_).c_str() : "?");
+  }
+  return out;
+}
+
+}  // namespace paxml

@@ -1,0 +1,196 @@
+#include "fragment/fragmenter.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace paxml {
+namespace {
+
+/// Shared implementation: cuts are validated, sorted into document order,
+/// then each fragment's local tree is built by one DFS per fragment root.
+Result<FragmentedDocument> BuildFromCuts(const Tree& tree,
+                                         std::vector<NodeId> cuts) {
+  if (tree.empty()) return Status::InvalidArgument("cannot fragment an empty tree");
+
+  std::unordered_set<NodeId> cut_set;
+  for (NodeId c : cuts) {
+    if (c <= 0 || static_cast<size_t>(c) >= tree.size()) {
+      return Status::InvalidArgument(
+          StringFormat("cut node %d out of range (or root)", c));
+    }
+    if (!tree.IsElement(c)) {
+      return Status::InvalidArgument("cut nodes must be elements");
+    }
+    if (!cut_set.insert(c).second) {
+      return Status::InvalidArgument(StringFormat("duplicate cut node %d", c));
+    }
+  }
+  // Document order == arena order for trees built top-down; normalize anyway.
+  std::sort(cuts.begin(), cuts.end());
+
+  // Fragment ids: 0 = root fragment, then cut nodes in document order.
+  std::unordered_map<NodeId, FragmentId> cut_to_fragment;
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    cut_to_fragment[cuts[i]] = static_cast<FragmentId>(i + 1);
+  }
+
+  FragmentedDocument doc;
+  doc.set_symbols(tree.symbols());
+
+  const size_t fragment_count = cuts.size() + 1;
+  std::vector<Fragment> fragments(fragment_count);
+  for (size_t i = 0; i < fragment_count; ++i) {
+    fragments[i].id = static_cast<FragmentId>(i);
+    fragments[i].tree = Tree(tree.symbols());
+  }
+
+  // Builds fragment `fid` rooted at `src`. Children that are cut nodes
+  // become virtual placeholders; their fragments are built by the outer loop.
+  auto build_fragment = [&](FragmentId fid, NodeId src_root) {
+    Fragment& frag = fragments[static_cast<size_t>(fid)];
+    std::function<void(NodeId, NodeId)> copy = [&](NodeId src, NodeId dst_parent) {
+      auto it = (src == src_root) ? cut_to_fragment.end()
+                                  : cut_to_fragment.find(src);
+      if (it != cut_to_fragment.end()) {
+        frag.tree.AddVirtual(dst_parent, it->second);
+        frag.source_ids.push_back(src);
+        fragments[static_cast<size_t>(it->second)].parent = fid;
+        frag.children.push_back(it->second);
+        return;
+      }
+      switch (tree.kind(src)) {
+        case NodeKind::kText:
+          frag.tree.AddText(dst_parent, tree.text(src));
+          frag.source_ids.push_back(src);
+          return;
+        case NodeKind::kVirtual:
+          // Re-fragmenting an already-fragmented tree is not supported.
+          PAXML_CHECK(false);
+          return;
+        case NodeKind::kElement: {
+          NodeId dst = frag.tree.AddElement(dst_parent, tree.label(src));
+          frag.source_ids.push_back(src);
+          PAXML_CHECK_EQ(static_cast<size_t>(dst) + 1, frag.source_ids.size());
+          for (const Attribute& a : tree.attributes(src)) {
+            frag.tree.AddAttribute(dst, tree.symbols()->Name(a.name), a.value);
+          }
+          for (NodeId c : tree.children(src)) copy(c, dst);
+          return;
+        }
+      }
+    };
+    copy(src_root, kNullNode);
+  };
+
+  build_fragment(0, tree.root());
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    build_fragment(static_cast<FragmentId>(i + 1), cuts[i]);
+  }
+
+  // Annotations: labels from the parent fragment's root (exclusive) down to
+  // the cut node (inclusive). The path never crosses another cut node (the
+  // parent fragment is by definition the nearest cut ancestor).
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    Fragment& frag = fragments[i + 1];
+    std::vector<Symbol> labels;
+    NodeId v = cuts[i];
+    for (;;) {
+      PAXML_CHECK(tree.IsElement(v));
+      labels.push_back(tree.label(v));
+      v = tree.parent(v);
+      PAXML_CHECK_NE(v, kNullNode);
+      if (v == tree.root() && frag.parent == 0) break;
+      if (cut_to_fragment.count(v) &&
+          cut_to_fragment.at(v) == frag.parent) {
+        break;
+      }
+    }
+    std::reverse(labels.begin(), labels.end());
+    frag.annotation = std::move(labels);
+  }
+
+  for (Fragment& f : fragments) doc.AddFragment(std::move(f));
+  PAXML_RETURN_NOT_OK(doc.Validate());
+  return doc;
+}
+
+}  // namespace
+
+Result<FragmentedDocument> FragmentByCuts(const Tree& tree,
+                                          std::vector<NodeId> cuts) {
+  return BuildFromCuts(tree, std::move(cuts));
+}
+
+Result<FragmentedDocument> FragmentBySubtrees(const Tree& tree, NodeId parent,
+                                              size_t min_nodes) {
+  if (tree.empty()) return Status::InvalidArgument("empty tree");
+  std::vector<NodeId> cuts;
+  for (NodeId c : tree.children(parent)) {
+    if (tree.IsElement(c) && tree.SubtreeSize(c) >= min_nodes) {
+      cuts.push_back(c);
+    }
+  }
+  return BuildFromCuts(tree, std::move(cuts));
+}
+
+Result<FragmentedDocument> FragmentBySize(const Tree& tree, size_t max_nodes) {
+  if (tree.empty()) return Status::InvalidArgument("empty tree");
+  if (max_nodes == 0) return Status::InvalidArgument("max_nodes must be > 0");
+
+  // Bottom-up: accumulate subtree payload sizes; cut a child subtree whenever
+  // keeping it would push the running size of the current region past the
+  // bound. Text nodes are never cut (fragment roots are elements).
+  std::vector<NodeId> cuts;
+  std::vector<size_t> region_size(tree.size(), 0);
+
+  // Post-order iteration over the arena: children have larger ids than... not
+  // guaranteed in general, so do an explicit post-order walk.
+  struct Item {
+    NodeId v;
+    bool expanded;
+  };
+  std::vector<Item> stack = {{tree.root(), false}};
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    if (!item.expanded) {
+      stack.push_back({item.v, true});
+      for (NodeId c : tree.children(item.v)) stack.push_back({c, false});
+      continue;
+    }
+    const NodeId v = item.v;
+    size_t size = 1;
+    for (NodeId c : tree.children(v)) size += region_size[static_cast<size_t>(c)];
+    if (size > max_nodes && tree.IsElement(v) && v != tree.root()) {
+      cuts.push_back(v);
+      size = 0;  // becomes its own fragment; contributes nothing upward
+    }
+    region_size[static_cast<size_t>(v)] = size;
+  }
+  return BuildFromCuts(tree, std::move(cuts));
+}
+
+Result<FragmentedDocument> FragmentRandomly(const Tree& tree, size_t count,
+                                            Rng* rng) {
+  if (tree.empty()) return Status::InvalidArgument("empty tree");
+  std::vector<NodeId> eligible;
+  for (NodeId v = 1; v < static_cast<NodeId>(tree.size()); ++v) {
+    if (tree.IsElement(v)) eligible.push_back(v);
+  }
+  // Partial Fisher-Yates for `count` distinct picks.
+  std::vector<NodeId> cuts;
+  const size_t take = std::min(count, eligible.size());
+  for (size_t i = 0; i < take; ++i) {
+    size_t j = i + static_cast<size_t>(rng->NextBounded(eligible.size() - i));
+    std::swap(eligible[i], eligible[j]);
+    cuts.push_back(eligible[i]);
+  }
+  return BuildFromCuts(tree, std::move(cuts));
+}
+
+}  // namespace paxml

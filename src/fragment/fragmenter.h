@@ -1,0 +1,53 @@
+// Fragmenters: ways of cutting a tree into a FragmentedDocument.
+//
+// The paper imposes no constraints on fragmentation; these helpers produce
+// the shapes used in its figures and experiments plus randomized cuts for
+// property tests:
+//  * FragmentByCuts     — explicit cut nodes (Fig. 1's dashed polygons),
+//  * FragmentBySubtrees — one fragment per child subtree of a given node
+//    (Experiment 1's FT1: each XMark "site" its own fragment),
+//  * FragmentBySize     — greedy size-bounded cuts,
+//  * FragmentRandomly   — random element cuts (property tests).
+
+#ifndef PAXML_FRAGMENT_FRAGMENTER_H_
+#define PAXML_FRAGMENT_FRAGMENTER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "fragment/fragment.h"
+#include "xml/tree.h"
+
+namespace paxml {
+
+/// Cuts `tree` at the given element nodes: every cut node becomes the root
+/// of its own fragment (cuts may nest arbitrarily). Fragment ids are
+/// assigned in document order of the cut nodes; fragment 0 is the remainder
+/// containing the original root.
+///
+/// Errors: a cut at the root, at a non-element, an out-of-range id, or a
+/// duplicate cut.
+Result<FragmentedDocument> FragmentByCuts(const Tree& tree,
+                                          std::vector<NodeId> cuts);
+
+/// Cuts every child subtree of `parent` whose subtree size is >= min_nodes
+/// into its own fragment. With parent == root and min_nodes == 1 this yields
+/// the paper's FT1 shape (root fragment = bare root, one fragment per
+/// "site" subtree).
+Result<FragmentedDocument> FragmentBySubtrees(const Tree& tree, NodeId parent,
+                                              size_t min_nodes = 1);
+
+/// Greedy bottom-up fragmentation: cuts subtrees so that no fragment exceeds
+/// ~max_nodes payload nodes (best effort; a single node with many small
+/// children may still exceed it by one subtree).
+Result<FragmentedDocument> FragmentBySize(const Tree& tree, size_t max_nodes);
+
+/// Cuts `count` random distinct element nodes (root excluded). If the tree
+/// has fewer eligible elements, cuts all of them.
+Result<FragmentedDocument> FragmentRandomly(const Tree& tree, size_t count,
+                                            Rng* rng);
+
+}  // namespace paxml
+
+#endif  // PAXML_FRAGMENT_FRAGMENTER_H_

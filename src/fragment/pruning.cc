@@ -1,0 +1,216 @@
+#include "fragment/pruning.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace paxml {
+namespace {
+
+/// Optimistic one-step transition of the selection vector: qualifiers are
+/// assumed true, labels are matched exactly.
+std::vector<uint8_t> StepVector(const CompiledQuery& query,
+                                const std::vector<uint8_t>& parent,
+                                Symbol label) {
+  const auto& sel = query.selection();
+  std::vector<uint8_t> out(sel.size(), 0);
+  for (size_t i = 1; i < sel.size(); ++i) {
+    switch (sel[i].kind) {
+      case SelKind::kLabel:
+        out[i] = parent[i - 1] && sel[i].label == label;
+        break;
+      case SelKind::kWildcard:
+        out[i] = parent[i - 1];
+        break;
+      case SelKind::kDescend:
+        out[i] = out[i - 1] || parent[i];
+        break;
+      case SelKind::kSelfFilter:
+        out[i] = out[i - 1];  // qualifier assumed true
+        break;
+      case SelKind::kRoot:
+        PAXML_CHECK(false);
+        break;
+    }
+  }
+  return out;
+}
+
+/// Optimistic document-node vector (root qualifier assumed true).
+std::vector<uint8_t> OptimisticDocVector(const CompiledQuery& query) {
+  const auto& sel = query.selection();
+  std::vector<uint8_t> vec(sel.size(), 0);
+  vec[0] = 1;
+  for (size_t i = 1; i < sel.size(); ++i) {
+    if (sel[i].kind == SelKind::kDescend || sel[i].kind == SelKind::kSelfFilter) {
+      vec[i] = vec[i - 1];
+    }
+  }
+  return vec;
+}
+
+bool AnyAlive(const std::vector<uint8_t>& vec) {
+  // Entry 0 only holds at the document node; it still means "a prefix can
+  // start below" for the root fragment, so count every entry.
+  return std::any_of(vec.begin(), vec.end(), [](uint8_t b) { return b != 0; });
+}
+
+/// Depth (levels below the anchor) observable by a QVect entry.
+int EntryDepth(const CompiledQuery& query, int entry_id,
+               std::vector<int>* memo) {
+  int& cached = (*memo)[static_cast<size_t>(entry_id)];
+  if (cached >= 0) return cached;
+  cached = 0;  // break cycles defensively (entries are acyclic by topo order)
+  const CompiledQuery::Entry& e = query.entries()[static_cast<size_t>(entry_id)];
+  int depth = 0;
+  if (e.qual >= 0) depth = std::max(depth, MaxQualifierDepth(query, e.qual));
+  switch (e.rest_axis) {
+    case Axis::kNone:
+      break;
+    case Axis::kChild:
+      depth = std::max(depth, 1 + EntryDepth(query, e.rest, memo));
+      break;
+    case Axis::kProperDescendant:
+    case Axis::kDescendantOrSelf:
+      depth = kUnboundedQualDepth;
+      break;
+    case Axis::kSelf:
+      PAXML_CHECK(false);
+      break;
+  }
+  cached = std::min(depth, kUnboundedQualDepth);
+  return cached;
+}
+
+}  // namespace
+
+int MaxQualifierDepth(const CompiledQuery& query, int qual_id) {
+  std::function<int(int)> depth_of = [&](int id) -> int {
+    const CompiledQuery::QualNode& n = query.qual_nodes()[static_cast<size_t>(id)];
+    std::vector<int> memo(query.entries().size(), -1);
+    switch (n.kind) {
+      case QualNodeKind::kTrue:
+        return 0;
+      case QualNodeKind::kAtom:
+        switch (n.axis) {
+          case Axis::kChild:
+            return std::min(kUnboundedQualDepth,
+                            1 + EntryDepth(query, n.entry, &memo));
+          case Axis::kProperDescendant:
+          case Axis::kDescendantOrSelf:
+            return kUnboundedQualDepth;
+          case Axis::kSelf:
+            return EntryDepth(query, n.entry, &memo);
+          case Axis::kNone:
+            break;
+        }
+        PAXML_CHECK(false);
+        return kUnboundedQualDepth;
+      case QualNodeKind::kAnd:
+      case QualNodeKind::kOr:
+        return std::max(depth_of(n.left), depth_of(n.right));
+      case QualNodeKind::kNot:
+        return depth_of(n.left);
+    }
+    PAXML_CHECK(false);
+    return kUnboundedQualDepth;
+  };
+  return depth_of(qual_id);
+}
+
+size_t PruneResult::CountSelectionRelevant() const {
+  return static_cast<size_t>(std::count(selection_relevant.begin(),
+                                        selection_relevant.end(), true));
+}
+
+size_t PruneResult::CountRequired() const {
+  return static_cast<size_t>(std::count(required.begin(), required.end(), true));
+}
+
+PruneResult PruneFragments(const FragmentedDocument& doc,
+                           const CompiledQuery& query) {
+  const size_t n = doc.size();
+  PruneResult out;
+  out.selection_relevant.assign(n, false);
+  out.required.assign(n, false);
+  out.parent_vector.resize(n);
+  out.root_vector.resize(n);
+
+  const auto& sel = query.selection();
+
+  // Per-fragment qualifier-reach budget at the fragment root: the deepest a
+  // qualifier anchored at a live ancestor state can still see, in levels.
+  // <0 means no qualifier reaches here; kUnboundedQualDepth means '//'.
+  std::vector<int> qual_budget(n, -1);
+
+  // The budget contributed by live qualifier-carrying states in `vec`.
+  auto budget_from_vector = [&](const std::vector<uint8_t>& vec) {
+    int budget = -1;
+    for (size_t i = 0; i < sel.size(); ++i) {
+      if (vec[i] && sel[i].qual >= 0) {
+        budget = std::max(budget, MaxQualifierDepth(query, sel[i].qual));
+      }
+    }
+    return budget;
+  };
+
+  // Process fragments parents-first (fragment ids are not guaranteed to be
+  // topological for hand-built documents, so order explicitly).
+  std::vector<FragmentId> order;
+  order.reserve(n);
+  std::vector<FragmentId> queue = {0};
+  while (!queue.empty()) {
+    FragmentId f = queue.back();
+    queue.pop_back();
+    order.push_back(f);
+    for (FragmentId c : doc.fragment(f).children) queue.push_back(c);
+  }
+  PAXML_CHECK_EQ(order.size(), n);
+
+  for (FragmentId fid : order) {
+    const Fragment& frag = doc.fragment(fid);
+    std::vector<uint8_t> vec;
+    int budget;
+    if (fid == 0) {
+      vec = OptimisticDocVector(query);
+      // Root qualifier anchors at the root element (one level down from the
+      // conceptual document node, which the annotation walk enters next).
+      budget = (sel[0].qual >= 0 && vec[0])
+                   ? std::min(kUnboundedQualDepth,
+                              MaxQualifierDepth(query, sel[0].qual) + 1)
+                   : -1;
+      out.parent_vector[0] = vec;
+    } else {
+      vec = out.root_vector[static_cast<size_t>(frag.parent)];
+      budget = qual_budget[static_cast<size_t>(frag.parent)];
+      PAXML_CHECK(!frag.annotation.empty());
+    }
+
+    // Walk the annotation labels (empty for the root fragment, whose root
+    // vector is one step from the document vector).
+    const std::vector<Symbol>& labels =
+        fid == 0 ? std::vector<Symbol>{frag.tree.label(frag.tree.root())}
+                 : frag.annotation;
+    for (size_t j = 0; j < labels.size(); ++j) {
+      if (j + 1 == labels.size()) out.parent_vector[fid] = vec;
+      vec = StepVector(query, vec, labels[j]);
+      budget = std::max(budget - 1, -1);
+      budget = std::max(budget, budget_from_vector(vec));
+      if (budget > kUnboundedQualDepth) budget = kUnboundedQualDepth;
+    }
+    out.root_vector[fid] = vec;
+    qual_budget[fid] = budget;
+
+    out.selection_relevant[fid] = AnyAlive(vec);
+    out.required[fid] = out.selection_relevant[fid] || budget >= 0;
+  }
+
+  // The root fragment always participates (it holds the root and issues the
+  // query).
+  out.selection_relevant[0] = true;
+  out.required[0] = true;
+  return out;
+}
+
+}  // namespace paxml

@@ -1,0 +1,70 @@
+// XPath-annotation pruning (Section 5 of the paper).
+//
+// Fragment-tree edges carry the label path between fragment roots. Before
+// evaluation, we run the selection path *optimistically* (all qualifiers
+// assumed true) along those label paths. A fragment at whose root every
+// selection state is dead can contain no answer node and is skipped.
+//
+// Soundness refinement: with qualifiers in the query, a fragment that can
+// contain no *answer* may still contain nodes a *qualifier* of a relevant
+// ancestor looks at (class-X qualifiers look downward, across fragment
+// boundaries). PruneResult therefore distinguishes:
+//   * selection_relevant — the fragment may contain answer nodes. Used to
+//     prune stages whose qualifier inputs are already resolved (Stage 2/3 of
+//     PaX3).
+//   * required — selection_relevant OR reachable by a qualifier anchored at
+//     a live selection state. Used by PaX2-XA, which prunes the combined
+//     pass itself; variables of fragments outside `required` are bound to
+//     false during unification, which cannot affect any answer.
+// Qualifier reach is tracked as a depth budget: a child-axis-only qualifier
+// of maximum path depth d sees d levels below its anchor; any '//' inside a
+// qualifier makes the reach unbounded.
+//
+// The same optimistic walk yields, for qualifier-free queries, the *exact*
+// SV vector of each fragment root's parent — a concrete stack
+// initialization that removes all z-variables, so candidates never arise
+// and the final visit is skipped (the second use of annotations in §5).
+
+#ifndef PAXML_FRAGMENT_PRUNING_H_
+#define PAXML_FRAGMENT_PRUNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fragment/fragment.h"
+#include "xpath/query_plan.h"
+
+namespace paxml {
+
+struct PruneResult {
+  /// Per fragment: may contain answer nodes.
+  std::vector<bool> selection_relevant;
+
+  /// Per fragment: must participate in evaluation (selection or qualifier
+  /// visibility).
+  std::vector<bool> required;
+
+  /// Per fragment: the optimistic SV vector of the fragment root's *parent*
+  /// (the stack initialization). Exact iff the query has no qualifiers.
+  std::vector<std::vector<uint8_t>> parent_vector;
+
+  /// Per fragment: the optimistic SV vector at the fragment root itself.
+  std::vector<std::vector<uint8_t>> root_vector;
+
+  size_t CountSelectionRelevant() const;
+  size_t CountRequired() const;
+};
+
+/// Runs the annotation pre-pass. O(|FT| path length * |SVect|) — negligible
+/// next to evaluation, as the paper notes.
+PruneResult PruneFragments(const FragmentedDocument& doc,
+                           const CompiledQuery& query);
+
+/// Maximum depth below its anchor node that qualifier expression `qual_id`
+/// can observe; returns kUnboundedQualDepth if it contains any '//' axis.
+inline constexpr int kUnboundedQualDepth = 1 << 20;
+int MaxQualifierDepth(const CompiledQuery& query, int qual_id);
+
+}  // namespace paxml
+
+#endif  // PAXML_FRAGMENT_PRUNING_H_

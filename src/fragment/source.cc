@@ -1,0 +1,212 @@
+#include "fragment/source.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/logging.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace paxml {
+namespace {
+
+namespace fs = std::filesystem;
+
+FragmentedDocument MakeSkeleton(const FragmentedDocument& doc) {
+  FragmentedDocument skeleton;
+  skeleton.set_symbols(doc.symbols());
+  for (const Fragment& f : doc.fragments()) {
+    Fragment s;
+    s.id = f.id;
+    s.parent = f.parent;
+    s.annotation = f.annotation;
+    s.children = f.children;
+    // A single element standing for the fragment root: annotation pruning
+    // reads the root fragment's root label from here.
+    s.tree = Tree(doc.symbols());
+    s.tree.AddElement(kNullNode, f.tree.label(f.tree.root()));
+    skeleton.AddFragment(std::move(s));
+  }
+  return skeleton;
+}
+
+/// Reads the root element's tag name from the first bytes of a fragment
+/// file (our serializer writes the root tag first, no prolog).
+Result<std::string> ScanRootLabel(const fs::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + file.string());
+  char buf[256];
+  in.read(buf, sizeof(buf));
+  const std::streamsize got = in.gcount();
+  std::string_view head(buf, static_cast<size_t>(got));
+  const size_t open = head.find('<');
+  if (open == std::string_view::npos) {
+    return Status::ParseError("no element in " + file.string());
+  }
+  size_t end = open + 1;
+  while (end < head.size() && head[end] != ' ' && head[end] != '>' &&
+         head[end] != '/') {
+    ++end;
+  }
+  if (end <= open + 1) return Status::ParseError("bad root tag");
+  return std::string(head.substr(open + 1, end - open - 1));
+}
+
+}  // namespace
+
+// ---- InMemorySource ---------------------------------------------------------
+
+InMemorySource::InMemorySource(const FragmentedDocument* doc)
+    : doc_(doc), skeleton_(MakeSkeleton(*doc)) {
+  bytes_.reserve(doc->size());
+  for (const Fragment& f : doc->fragments()) {
+    bytes_.push_back(SerializedSize(f.tree));
+  }
+}
+
+Result<Fragment> InMemorySource::Load(FragmentId id) {
+  if (id < 0 || static_cast<size_t>(id) >= doc_->size()) {
+    return Status::OutOfRange(StringFormat("no fragment %d", id));
+  }
+  const Fragment& f = doc_->fragment(id);
+  Fragment copy;
+  copy.id = f.id;
+  copy.parent = f.parent;
+  copy.annotation = f.annotation;
+  copy.children = f.children;
+  copy.source_ids = f.source_ids;
+  copy.tree = f.tree.Clone();
+  return copy;
+}
+
+// ---- DirectorySource --------------------------------------------------------
+
+Result<std::unique_ptr<DirectorySource>> DirectorySource::Open(
+    const std::string& directory, std::shared_ptr<SymbolTable> symbols) {
+  if (!symbols) symbols = std::make_shared<SymbolTable>();
+
+  std::ifstream in(fs::path(directory) / "manifest.paxml");
+  if (!in) return Status::NotFound("cannot open manifest in " + directory);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::istringstream manifest(buffer.str());
+
+  std::string word;
+  int version = 0;
+  manifest >> word >> version;
+  if (word != "paxml-fragments" || version != 1) {
+    return Status::ParseError("bad manifest header in " + directory);
+  }
+  size_t count = 0;
+  manifest >> word >> count;
+  if (word != "fragments" || count == 0) {
+    return Status::ParseError("bad fragment count");
+  }
+
+  auto source = std::unique_ptr<DirectorySource>(new DirectorySource());
+  source->directory_ = directory;
+  source->symbols_ = symbols;
+  source->skeleton_.set_symbols(symbols);
+  source->files_.resize(count);
+  source->source_ids_.resize(count);
+  source->bytes_.resize(count, 0);
+
+  std::vector<Fragment> fragments(count);
+  for (size_t i = 0; i < count; ++i) {
+    int id = -1;
+    int parent = -2;
+    std::string file;
+    std::string annotation;
+    std::string kw0;
+    std::string kw1;
+    std::string kw2;
+    std::string kw3;
+    manifest >> kw0 >> id >> kw1 >> parent >> kw2 >> file >> kw3 >> annotation;
+    if (kw0 != "fragment" || kw1 != "parent" || kw2 != "file" ||
+        kw3 != "annotation" || id < 0 || static_cast<size_t>(id) >= count) {
+      return Status::ParseError("bad manifest entry");
+    }
+    Fragment& f = fragments[static_cast<size_t>(id)];
+    f.id = static_cast<FragmentId>(id);
+    f.parent = static_cast<FragmentId>(parent);
+    f.tree = Tree(symbols);
+    if (annotation != "-") {
+      for (std::string_view label : Split(annotation, '/')) {
+        f.annotation.push_back(symbols->Intern(label));
+      }
+    }
+    size_t source_count = 0;
+    manifest >> word >> source_count;
+    if (word != "sources") return Status::ParseError("missing sources line");
+    auto& sources = source->source_ids_[static_cast<size_t>(id)];
+    sources.resize(source_count);
+    for (NodeId& src : sources) {
+      long long v = 0;
+      if (!(manifest >> v)) return Status::ParseError("short sources line");
+      src = static_cast<NodeId>(v);
+    }
+    source->files_[static_cast<size_t>(id)] = file;
+    std::error_code ec;
+    const auto size = fs::file_size(fs::path(directory) / file, ec);
+    if (ec) return Status::NotFound("missing fragment file " + file);
+    source->bytes_[static_cast<size_t>(id)] = static_cast<size_t>(size);
+  }
+
+  // Children lists from parent pointers (document order by id).
+  for (const Fragment& f : fragments) {
+    if (f.id != 0) {
+      if (f.parent < 0 || static_cast<size_t>(f.parent) >= count) {
+        return Status::ParseError("bad parent pointer");
+      }
+      fragments[static_cast<size_t>(f.parent)].children.push_back(f.id);
+    }
+  }
+  // Skeleton trees: one element per fragment root. Non-root labels come
+  // from the annotations; the root fragment's from a cheap file scan.
+  for (Fragment& f : fragments) {
+    if (f.id == 0) {
+      PAXML_ASSIGN_OR_RETURN(
+          std::string label,
+          ScanRootLabel(fs::path(directory) / source->files_[0]));
+      f.tree.AddElement(kNullNode, label);
+    } else {
+      PAXML_CHECK(!f.annotation.empty());
+      f.tree.AddElement(kNullNode, f.annotation.back());
+    }
+  }
+  for (Fragment& f : fragments) source->skeleton_.AddFragment(std::move(f));
+  return source;
+}
+
+Result<Fragment> DirectorySource::Load(FragmentId id) {
+  if (id < 0 || static_cast<size_t>(id) >= skeleton_.size()) {
+    return Status::OutOfRange(StringFormat("no fragment %d", id));
+  }
+  std::ifstream in(fs::path(directory_) / files_[static_cast<size_t>(id)],
+                   std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + files_[static_cast<size_t>(id)]);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const Fragment& meta = skeleton_.fragment(id);
+  Fragment f;
+  f.id = meta.id;
+  f.parent = meta.parent;
+  f.annotation = meta.annotation;
+  f.children = meta.children;
+  f.source_ids = source_ids_[static_cast<size_t>(id)];
+  XmlParseOptions popts;
+  popts.symbols = symbols_;
+  PAXML_ASSIGN_OR_RETURN(f.tree, ParseXml(buffer.str(), popts));
+  if (f.source_ids.size() != f.tree.size()) {
+    return Status::ParseError(
+        StringFormat("fragment %d tree size mismatch", id));
+  }
+  return f;
+}
+
+}  // namespace paxml

@@ -1,0 +1,96 @@
+// Fragment sources: loading fragments one at a time.
+//
+// The paper's second future-work topic observes that partial evaluation also
+// helps *centralized* processing of documents that do not fit in memory:
+// fragments can be loaded from secondary storage one at a time, and the
+// algorithm's visit bound caps how often each fragment must be (re)read.
+// FragmentSource abstracts that access pattern:
+//
+//  * InMemorySource wraps a FragmentedDocument (tests, small documents);
+//  * DirectorySource reads a SaveDocument() directory, parsing each
+//    fragment's XML only when Load() is called — the document's trees are
+//    never resident all at once.
+//
+// Both expose a topology-only "skeleton" FragmentedDocument (empty trees,
+// parent/children links) for the coordinator-side unification.
+
+#ifndef PAXML_FRAGMENT_SOURCE_H_
+#define PAXML_FRAGMENT_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fragment/fragment.h"
+
+namespace paxml {
+
+class FragmentSource {
+ public:
+  virtual ~FragmentSource() = default;
+
+  /// Number of fragments in the document.
+  virtual size_t fragment_count() const = 0;
+
+  /// Fragment-tree topology with empty trees; do not Validate() it.
+  virtual const FragmentedDocument& skeleton() const = 0;
+
+  /// Loads one fragment (a fresh copy; the caller owns its lifetime and
+  /// drops it to release memory).
+  virtual Result<Fragment> Load(FragmentId id) = 0;
+
+  /// Serialized size of fragment `id` in bytes (for residency accounting),
+  /// available without loading the tree.
+  virtual size_t FragmentBytes(FragmentId id) const = 0;
+};
+
+/// Serves fragments from an in-memory FragmentedDocument.
+class InMemorySource : public FragmentSource {
+ public:
+  explicit InMemorySource(const FragmentedDocument* doc);
+
+  size_t fragment_count() const override { return doc_->size(); }
+  const FragmentedDocument& skeleton() const override { return skeleton_; }
+  Result<Fragment> Load(FragmentId id) override;
+  size_t FragmentBytes(FragmentId id) const override {
+    return bytes_[static_cast<size_t>(id)];
+  }
+
+ private:
+  const FragmentedDocument* doc_;
+  FragmentedDocument skeleton_;
+  std::vector<size_t> bytes_;
+};
+
+/// Serves fragments from a SaveDocument() directory; each Load() parses one
+/// fragment_<id>.xml file. Only the manifest (topology, annotations, source
+/// ids — no tree content) is kept resident.
+class DirectorySource : public FragmentSource {
+ public:
+  /// Reads the manifest; returns NotFound/ParseError on a bad directory.
+  static Result<std::unique_ptr<DirectorySource>> Open(
+      const std::string& directory,
+      std::shared_ptr<SymbolTable> symbols = nullptr);
+
+  size_t fragment_count() const override { return skeleton_.size(); }
+  const FragmentedDocument& skeleton() const override { return skeleton_; }
+  Result<Fragment> Load(FragmentId id) override;
+  size_t FragmentBytes(FragmentId id) const override {
+    return bytes_[static_cast<size_t>(id)];
+  }
+
+ private:
+  DirectorySource() = default;
+
+  std::string directory_;
+  std::shared_ptr<SymbolTable> symbols_;
+  FragmentedDocument skeleton_;  // empty trees; carries parents/children/annotations
+  std::vector<std::string> files_;
+  std::vector<std::vector<NodeId>> source_ids_;
+  std::vector<size_t> bytes_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_FRAGMENT_SOURCE_H_

@@ -1,0 +1,156 @@
+#include "fragment/storage.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace paxml {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kManifestName = "manifest.paxml";
+constexpr const char* kMagic = "paxml-fragments";
+constexpr int kVersion = 1;
+
+Status WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path.string());
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::Internal("short write: " + path.string());
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Status SaveDocument(const FragmentedDocument& doc,
+                    const std::string& directory) {
+  PAXML_RETURN_NOT_OK(doc.Validate());
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create directory: " + directory +
+                                   ": " + ec.message());
+  }
+
+  std::string manifest;
+  manifest += StringFormat("%s %d\n", kMagic, kVersion);
+  manifest += StringFormat("fragments %zu\n", doc.size());
+  for (const Fragment& f : doc.fragments()) {
+    const std::string file = StringFormat("fragment_%d.xml", f.id);
+    manifest += StringFormat(
+        "fragment %d parent %d file %s annotation %s\n", f.id, f.parent,
+        file.c_str(),
+        f.annotation.empty() ? "-" : f.AnnotationString(*doc.symbols()).c_str());
+    // Source-id mapping: count followed by the ids (count first, so readers
+    // can skip the line without knowing the fragment's tree).
+    manifest += StringFormat("sources %zu", f.source_ids.size());
+    for (NodeId src : f.source_ids) manifest += StringFormat(" %d", src);
+    manifest += "\n";
+    PAXML_RETURN_NOT_OK(
+        WriteFile(fs::path(directory) / file, SerializeXml(f.tree)));
+  }
+  return WriteFile(fs::path(directory) / kManifestName, manifest);
+}
+
+Result<FragmentedDocument> LoadDocument(const std::string& directory,
+                                        std::shared_ptr<SymbolTable> symbols) {
+  if (!symbols) symbols = SymbolTable::Shared();
+  PAXML_ASSIGN_OR_RETURN(std::string manifest,
+                         ReadFile(fs::path(directory) / kManifestName));
+
+  std::istringstream in(manifest);
+  std::string word;
+  int version = 0;
+  in >> word >> version;
+  if (word != kMagic || version != kVersion) {
+    return Status::ParseError("bad manifest header in " + directory);
+  }
+  size_t count = 0;
+  in >> word >> count;
+  if (word != "fragments" || count == 0) {
+    return Status::ParseError("bad fragment count in manifest");
+  }
+
+  FragmentedDocument doc;
+  doc.set_symbols(symbols);
+  std::vector<Fragment> fragments(count);
+
+  for (size_t i = 0; i < count; ++i) {
+    int id = -1;
+    int parent = -2;
+    std::string file;
+    std::string annotation;
+    std::string kw_fragment;
+    std::string kw_parent;
+    std::string kw_file;
+    std::string kw_annotation;
+    in >> kw_fragment >> id >> kw_parent >> parent >> kw_file >> file >>
+        kw_annotation >> annotation;
+    if (kw_fragment != "fragment" || kw_parent != "parent" ||
+        kw_file != "file" || kw_annotation != "annotation" || id < 0 ||
+        static_cast<size_t>(id) >= count) {
+      return Status::ParseError(
+          StringFormat("bad manifest entry %zu in %s", i, directory.c_str()));
+    }
+    Fragment& f = fragments[static_cast<size_t>(id)];
+    f.id = static_cast<FragmentId>(id);
+    f.parent = static_cast<FragmentId>(parent);
+
+    if (annotation != "-") {
+      for (std::string_view label : Split(annotation, '/')) {
+        if (label.empty()) return Status::ParseError("empty annotation label");
+        f.annotation.push_back(symbols->Intern(label));
+      }
+    }
+
+    in >> word;  // "sources"
+    size_t source_count = 0;
+    if (word != "sources" || !(in >> source_count)) {
+      return Status::ParseError("missing sources line");
+    }
+    PAXML_ASSIGN_OR_RETURN(std::string xml,
+                           ReadFile(fs::path(directory) / file));
+    XmlParseOptions popts;
+    popts.symbols = symbols;
+    PAXML_ASSIGN_OR_RETURN(f.tree, ParseXml(xml, popts));
+    if (source_count != f.tree.size()) {
+      // Typically means the saved tree had adjacent text siblings, which
+      // XML serialization merges.
+      return Status::ParseError(StringFormat(
+          "sources line of fragment %d does not match its tree size", id));
+    }
+    f.source_ids.resize(source_count);
+    for (NodeId& src : f.source_ids) {
+      long long v = 0;
+      if (!(in >> v)) return Status::ParseError("short sources line");
+      src = static_cast<NodeId>(v);
+    }
+  }
+
+  // Rebuild children lists from virtual references.
+  for (Fragment& f : fragments) {
+    for (NodeId v : f.tree.VirtualNodes()) {
+      f.children.push_back(f.tree.fragment_ref(v));
+    }
+  }
+  for (Fragment& f : fragments) doc.AddFragment(std::move(f));
+  PAXML_RETURN_NOT_OK(doc.Validate());
+  return doc;
+}
+
+}  // namespace paxml

@@ -1,0 +1,35 @@
+// On-disk persistence of fragmented documents.
+//
+// A FragmentedDocument saves as a directory:
+//
+//   manifest.paxml     — fragment tree: ids, parents, annotations, files
+//   fragment_<id>.xml  — each fragment as plain XML (virtual nodes
+//                        round-trip as <paxml-virtual ref="N"/>)
+//
+// This is the unit a deployment would place on each site; the loader
+// reconstructs the exact FragmentedDocument (including the source-id
+// mapping back to the original tree, which the property tests rely on).
+
+#ifndef PAXML_FRAGMENT_STORAGE_H_
+#define PAXML_FRAGMENT_STORAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "fragment/fragment.h"
+
+namespace paxml {
+
+/// Writes `doc` under `directory` (created if absent; existing fragment
+/// files are overwritten).
+Status SaveDocument(const FragmentedDocument& doc, const std::string& directory);
+
+/// Loads a document previously written by SaveDocument. The result
+/// validates before returning.
+Result<FragmentedDocument> LoadDocument(
+    const std::string& directory, std::shared_ptr<SymbolTable> symbols = nullptr);
+
+}  // namespace paxml
+
+#endif  // PAXML_FRAGMENT_STORAGE_H_

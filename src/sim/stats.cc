@@ -1,0 +1,43 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace paxml {
+
+int RunStats::max_visits() const {
+  int m = 0;
+  for (const SiteStats& s : per_site) m = std::max(m, s.visits);
+  return m;
+}
+
+uint64_t RunStats::total_visits() const {
+  uint64_t n = 0;
+  for (const SiteStats& s : per_site) n += static_cast<uint64_t>(s.visits);
+  return n;
+}
+
+std::string RunStats::ToString() const {
+  std::string out;
+  out += StringFormat(
+      "rounds=%d messages=%llu bytes=%llu (answers=%llu, data=%llu)\n", rounds,
+      static_cast<unsigned long long>(total_messages),
+      static_cast<unsigned long long>(total_bytes),
+      static_cast<unsigned long long>(answer_bytes),
+      static_cast<unsigned long long>(data_bytes_shipped));
+  out += StringFormat(
+      "parallel=%.6fs total-compute=%.6fs coordinator=%.6fs max-visits=%d\n",
+      parallel_seconds, total_compute_seconds, coordinator_seconds,
+      max_visits());
+  for (size_t i = 0; i < per_site.size(); ++i) {
+    const SiteStats& s = per_site[i];
+    out += StringFormat(
+        "  site %zu: visits=%d sent=%s recv=%s compute=%.6fs\n", i, s.visits,
+        HumanBytes(s.bytes_sent).c_str(), HumanBytes(s.bytes_received).c_str(),
+        s.compute_seconds);
+  }
+  return out;
+}
+
+}  // namespace paxml

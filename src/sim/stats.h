@@ -1,0 +1,80 @@
+// Accounting for simulated distributed query runs.
+//
+// The paper's guarantees are stated in exactly these units:
+//  * visits per site (<= 3 for PaX3, <= 2 for PaX2, 1 for ParBoX),
+//  * communication volume O(|Q| |FT| + |ans|) — bytes, independent of |T|,
+//  * total computation (sum over sites) and parallel computation (max over
+//    sites per round, summed over rounds).
+
+#ifndef PAXML_SIM_STATS_H_
+#define PAXML_SIM_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paxml {
+
+/// Index of a site in a Cluster.
+using SiteId = int32_t;
+inline constexpr SiteId kNullSite = -1;
+
+/// Counters for one site across one query run.
+struct SiteStats {
+  int visits = 0;                ///< rounds in which the site participated
+  uint64_t bytes_sent = 0;       ///< payload bytes sent by the site
+  uint64_t bytes_received = 0;   ///< payload bytes delivered to the site
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  double compute_seconds = 0;    ///< wall time of the site's work closures
+};
+
+/// Latency/bandwidth model turning message counts and bytes into seconds.
+/// Defaults approximate the paper's local LAN.
+struct NetworkCostModel {
+  double latency_seconds = 0.0001;            ///< 0.1 ms per message
+  double bandwidth_bytes_per_second = 100e6;  ///< ~100 MB/s
+
+  double TransferSeconds(uint64_t messages, uint64_t bytes) const {
+    return static_cast<double>(messages) * latency_seconds +
+           static_cast<double>(bytes) / bandwidth_bytes_per_second;
+  }
+};
+
+/// Aggregated statistics of one distributed query evaluation.
+struct RunStats {
+  std::vector<SiteStats> per_site;
+
+  int rounds = 0;                   ///< coordinator-driven stages executed
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;         ///< all payload bytes on the wire
+  uint64_t answer_bytes = 0;        ///< bytes of shipped answers (<= total)
+  uint64_t data_bytes_shipped = 0;  ///< XML tree data moved (Naive baseline)
+
+  /// Sum over rounds of the maximum site compute time in that round: the
+  /// perceived (parallel) evaluation time.
+  double parallel_seconds = 0;
+
+  /// Sum of compute over all sites and rounds.
+  double total_compute_seconds = 0;
+
+  /// Coordinator-side work (evalFT unification etc.).
+  double coordinator_seconds = 0;
+
+  int max_visits() const;
+  uint64_t total_visits() const;
+
+  /// Parallel time plus modeled transfer time: the end-to-end latency a
+  /// client would observe.
+  double ElapsedSeconds(const NetworkCostModel& net = {}) const {
+    return parallel_seconds + coordinator_seconds +
+           net.TransferSeconds(total_messages, total_bytes);
+  }
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_SIM_STATS_H_

@@ -1,0 +1,338 @@
+#include "xmark/generator.h"
+
+#include <array>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace paxml {
+namespace {
+
+// Word pool for description/text content (XMark fills these from
+// Shakespeare; any natural-ish text with similar length distribution works).
+constexpr const char* kWords[] = {
+    "serene",   "market",  "trade",    "ledger",  "auction", "harbor",
+    "velvet",   "copper",  "meridian", "quorum",  "cipher",  "lattice",
+    "orchard",  "beacon",  "summit",   "drift",   "ember",   "fathom",
+    "garnet",   "hollow",  "isthmus",  "jubilee", "keel",    "lumen",
+    "mosaic",   "nectar",  "obelisk",  "prism",   "quill",   "rampart",
+    "saffron",  "tundra",  "umber",    "vertex",  "willow",  "zenith",
+    "anchor",   "bramble", "cascade",  "delta",   "estuary", "flint",
+};
+constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+constexpr const char* kFirstNames[] = {"Anna", "Kim",  "Lisa", "Omar", "Wei",
+                                       "Ines", "Raj",  "Sara", "Tomas", "Yuki"};
+constexpr const char* kLastNames[] = {"Ito",    "Meyer", "Okafor", "Silva",
+                                      "Novak",  "Haddad", "Larsen", "Kovacs",
+                                      "Duarte", "Fontaine"};
+constexpr const char* kCountries[] = {"Canada", "Germany", "Japan",
+                                      "Brazil", "Kenya",   "Norway"};
+constexpr const char* kCities[] = {"Springfield", "Riverton", "Lakewood",
+                                   "Fairview",    "Georgetown", "Ashland"};
+constexpr const char* kContinents[] = {"africa", "asia",     "australia",
+                                       "europe", "samerica"};
+
+/// TreeBuilder wrapper that tracks serialized bytes as content is emitted,
+/// so sections can be generated to a byte budget in one pass.
+class CountingBuilder {
+ public:
+  explicit CountingBuilder(TreeBuilder* b) : b_(b) {}
+
+  void Open(std::string_view label) {
+    b_->Open(label);
+    bytes_ += 2 * label.size() + 5;  // <label></label>
+  }
+  void Close() { b_->Close(); }
+  void Text(std::string_view text) {
+    b_->Text(text);
+    bytes_ += text.size();
+  }
+  void Leaf(std::string_view label, std::string_view text) {
+    Open(label);
+    Text(text);
+    Close();
+  }
+  void LeafNumber(std::string_view label, long long value) {
+    Leaf(label, StringFormat("%lld", value));
+  }
+
+  size_t bytes() const { return bytes_; }
+
+ private:
+  TreeBuilder* b_;
+  size_t bytes_ = 0;
+};
+
+/// Emits a sentence of `words` pool words.
+std::string Sentence(Rng* rng, size_t words) {
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += kWords[rng->NextBounded(kWordCount)];
+  }
+  return out;
+}
+
+std::string PersonName(Rng* rng) {
+  return std::string(kFirstNames[rng->NextBounded(10)]) + " " +
+         kLastNames[rng->NextBounded(10)];
+}
+
+std::string Date(Rng* rng) {
+  return StringFormat("%02d/%02d/%04d", static_cast<int>(rng->NextBounded(12)) + 1,
+                      static_cast<int>(rng->NextBounded(28)) + 1,
+                      2000 + static_cast<int>(rng->NextBounded(7)));
+}
+
+/// One XMark "site" subtree generator; sections are filled until their byte
+/// budget is reached.
+class SiteGenerator {
+ public:
+  SiteGenerator(TreeBuilder* b, Rng* rng, const XMarkOptions& options,
+                int site_index)
+      : cb_(b), rng_(rng), options_(options), site_index_(site_index) {}
+
+  void Generate(const SiteBudget& budget) {
+    cb_.Open("site");
+    GenerateRegions(budget.regions_namerica, budget.regions_other);
+    GenerateCategories(budget.categories);
+    GeneratePeople(budget.people);
+    GenerateOpenAuctions(budget.open_auctions);
+    GenerateClosedAuctions(budget.closed_auctions);
+    cb_.Close();
+  }
+
+ private:
+  void GenerateItem(int index) {
+    cb_.Open("item");
+    cb_.Leaf("location", kCountries[rng_->NextBounded(6)]);
+    cb_.LeafNumber("quantity", 1 + static_cast<long long>(rng_->NextBounded(5)));
+    cb_.Leaf("name", Sentence(rng_, 2));
+    cb_.Leaf("payment", "Cash Creditcard");
+    cb_.Open("description");
+    cb_.Leaf("text", Sentence(rng_, 12 + rng_->NextBounded(20)));
+    cb_.Close();
+    if (rng_->NextBool(0.4)) {
+      cb_.Open("mailbox");
+      const size_t mails = 1 + rng_->NextBounded(3);
+      for (size_t i = 0; i < mails; ++i) {
+        cb_.Open("mail");
+        cb_.Leaf("from", PersonName(rng_));
+        cb_.Leaf("to", PersonName(rng_));
+        cb_.Leaf("date", Date(rng_));
+        cb_.Leaf("text", Sentence(rng_, 8 + rng_->NextBounded(12)));
+        cb_.Close();
+      }
+      cb_.Close();
+    }
+    cb_.Close();
+    (void)index;
+  }
+
+  void GenerateRegions(size_t namerica_bytes, size_t other_bytes) {
+    cb_.Open("regions");
+    // namerica first: the FT2 fragmentation cuts it as its own fragment.
+    cb_.Open("namerica");
+    const size_t start = cb_.bytes();
+    int index = 0;
+    while (cb_.bytes() - start < namerica_bytes) GenerateItem(index++);
+    cb_.Close();
+    const size_t per_continent = other_bytes / 5;
+    for (const char* continent : kContinents) {
+      cb_.Open(continent);
+      const size_t cstart = cb_.bytes();
+      while (cb_.bytes() - cstart < per_continent) GenerateItem(index++);
+      cb_.Close();
+    }
+    cb_.Close();
+  }
+
+  void GenerateCategories(size_t bytes) {
+    cb_.Open("categories");
+    const size_t start = cb_.bytes();
+    while (cb_.bytes() - start < bytes) {
+      cb_.Open("category");
+      cb_.Leaf("name", Sentence(rng_, 2));
+      cb_.Open("description");
+      cb_.Leaf("text", Sentence(rng_, 10 + rng_->NextBounded(15)));
+      cb_.Close();
+      cb_.Close();
+    }
+    cb_.Close();
+  }
+
+  void GeneratePeople(size_t bytes) {
+    cb_.Open("people");
+    const size_t start = cb_.bytes();
+    int index = 0;
+    while (cb_.bytes() - start < bytes) {
+      cb_.Open("person");
+      cb_.Leaf("name", PersonName(rng_));
+      cb_.Leaf("emailaddress",
+               StringFormat("mailto:p%d.s%d@example.org", index, site_index_));
+      if (rng_->NextBool(0.5)) {
+        cb_.Leaf("phone", StringFormat("+%d (%d) %d",
+                                       static_cast<int>(rng_->NextBounded(90)) + 1,
+                                       static_cast<int>(rng_->NextBounded(900)) + 100,
+                                       static_cast<int>(rng_->NextBounded(9000000)) + 1000000));
+      }
+      if (rng_->NextBool(0.8)) {
+        cb_.Open("address");
+        cb_.Leaf("street", StringFormat("%d %s St",
+                                        static_cast<int>(rng_->NextBounded(99)) + 1,
+                                        kWords[rng_->NextBounded(kWordCount)]));
+        cb_.Leaf("city", kCities[rng_->NextBounded(6)]);
+        cb_.Leaf("country", rng_->NextBool(options_.us_fraction)
+                                ? "US"
+                                : kCountries[rng_->NextBounded(6)]);
+        cb_.Leaf("province", kWords[rng_->NextBounded(kWordCount)]);
+        cb_.LeafNumber("zipcode", static_cast<long long>(rng_->NextBounded(90000)) + 10000);
+        cb_.Close();
+      }
+      if (rng_->NextBool(options_.creditcard_fraction)) {
+        cb_.Leaf("creditcard",
+                 StringFormat("%04d %04d %04d %04d",
+                              static_cast<int>(rng_->NextBounded(10000)),
+                              static_cast<int>(rng_->NextBounded(10000)),
+                              static_cast<int>(rng_->NextBounded(10000)),
+                              static_cast<int>(rng_->NextBounded(10000))));
+      }
+      cb_.Open("profile");
+      const size_t interests = rng_->NextBounded(4);
+      for (size_t i = 0; i < interests; ++i) {
+        cb_.Leaf("interest", kWords[rng_->NextBounded(kWordCount)]);
+      }
+      if (rng_->NextBool(0.6)) {
+        cb_.Leaf("education", rng_->NextBool() ? "Graduate School" : "College");
+      }
+      cb_.Leaf("business", rng_->NextBool() ? "Yes" : "No");
+      cb_.LeafNumber("age", 18 + static_cast<long long>(rng_->NextBounded(42)));
+      cb_.Close();  // profile
+      cb_.Close();  // person
+      ++index;
+    }
+    cb_.Close();
+  }
+
+  void GenerateOpenAuctions(size_t bytes) {
+    cb_.Open("open_auctions");
+    const size_t start = cb_.bytes();
+    int index = 0;
+    while (cb_.bytes() - start < bytes) {
+      cb_.Open("open_auction");
+      cb_.LeafNumber("initial", static_cast<long long>(rng_->NextBounded(200)) + 1);
+      const size_t bidders = rng_->NextBounded(4);
+      for (size_t i = 0; i < bidders; ++i) {
+        cb_.Open("bidder");
+        cb_.Leaf("date", Date(rng_));
+        cb_.Leaf("time", StringFormat("%02d:%02d:%02d",
+                                      static_cast<int>(rng_->NextBounded(24)),
+                                      static_cast<int>(rng_->NextBounded(60)),
+                                      static_cast<int>(rng_->NextBounded(60))));
+        cb_.Leaf("personref", StringFormat("person%d", index));
+        cb_.LeafNumber("increase", static_cast<long long>(rng_->NextBounded(20)) + 1);
+        cb_.Close();
+      }
+      cb_.LeafNumber("current", static_cast<long long>(rng_->NextBounded(500)) + 1);
+      cb_.Leaf("itemref", StringFormat("item%d", index));
+      cb_.Leaf("seller", StringFormat("person%d",
+                                      static_cast<int>(rng_->NextBounded(1000))));
+      if (rng_->NextBool(options_.annotation_fraction)) {
+        cb_.Open("annotation");
+        cb_.Leaf("author", PersonName(rng_));
+        cb_.Open("description");
+        cb_.Leaf("text", Sentence(rng_, 10 + rng_->NextBounded(16)));
+        cb_.Close();
+        cb_.Leaf("happiness",
+                 StringFormat("%d", static_cast<int>(rng_->NextBounded(10)) + 1));
+        cb_.Close();
+      }
+      cb_.LeafNumber("quantity", 1 + static_cast<long long>(rng_->NextBounded(4)));
+      cb_.Leaf("type", rng_->NextBool() ? "Regular" : "Featured");
+      cb_.Open("interval");
+      cb_.Leaf("start", Date(rng_));
+      cb_.Leaf("end", Date(rng_));
+      cb_.Close();
+      cb_.Close();  // open_auction
+      ++index;
+    }
+    cb_.Close();
+  }
+
+  void GenerateClosedAuctions(size_t bytes) {
+    cb_.Open("closed_auctions");
+    const size_t start = cb_.bytes();
+    int index = 0;
+    while (cb_.bytes() - start < bytes) {
+      cb_.Open("closed_auction");
+      cb_.Leaf("seller", StringFormat("person%d",
+                                      static_cast<int>(rng_->NextBounded(1000))));
+      cb_.Leaf("buyer", StringFormat("person%d",
+                                     static_cast<int>(rng_->NextBounded(1000))));
+      cb_.Leaf("itemref", StringFormat("item%d", index));
+      cb_.LeafNumber("price", static_cast<long long>(rng_->NextBounded(1000)) + 1);
+      cb_.Leaf("date", Date(rng_));
+      cb_.LeafNumber("quantity", 1 + static_cast<long long>(rng_->NextBounded(4)));
+      cb_.Leaf("type", rng_->NextBool() ? "Regular" : "Featured");
+      if (rng_->NextBool(options_.annotation_fraction)) {
+        cb_.Open("annotation");
+        cb_.Leaf("author", PersonName(rng_));
+        cb_.Open("description");
+        cb_.Leaf("text", Sentence(rng_, 8 + rng_->NextBounded(12)));
+        cb_.Close();
+        cb_.Leaf("happiness",
+                 StringFormat("%d", static_cast<int>(rng_->NextBounded(10)) + 1));
+        cb_.Close();
+      }
+      cb_.Close();
+      ++index;
+    }
+    cb_.Close();
+  }
+
+  CountingBuilder cb_;
+  Rng* rng_;
+  const XMarkOptions& options_;
+  int site_index_;
+};
+
+}  // namespace
+
+SiteBudget SiteBudget::Uniform(size_t total_bytes) {
+  SiteBudget b;
+  b.regions_namerica = total_bytes / 10;
+  b.regions_other = total_bytes * 15 / 100;
+  b.categories = total_bytes * 5 / 100;
+  b.people = total_bytes * 25 / 100;
+  b.open_auctions = total_bytes * 30 / 100;
+  b.closed_auctions = total_bytes * 15 / 100;
+  return b;
+}
+
+Tree GenerateSitesTree(const std::vector<SiteBudget>& budgets,
+                       const XMarkOptions& options) {
+  PAXML_CHECK(!budgets.empty());
+  TreeBuilder builder(options.symbols);
+  builder.Open("sites");
+  Rng rng(options.seed);
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    // Each site gets an independent stream: site content is stable under
+    // changes to the other sites' budgets.
+    Rng site_rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    SiteGenerator gen(&builder, &site_rng, options, static_cast<int>(i));
+    gen.Generate(budgets[i]);
+  }
+  builder.Close();
+  return std::move(builder).Finish();
+}
+
+Tree GenerateUniformSitesTree(size_t total_bytes, size_t site_count,
+                              const XMarkOptions& options) {
+  PAXML_CHECK_GT(site_count, 0u);
+  std::vector<SiteBudget> budgets(site_count,
+                                  SiteBudget::Uniform(total_bytes / site_count));
+  return GenerateSitesTree(budgets, options);
+}
+
+}  // namespace paxml

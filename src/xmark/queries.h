@@ -1,0 +1,47 @@
+// The experiment queries of the paper (Fig. 7), adapted to paxml syntax.
+
+#ifndef PAXML_XMARK_QUERIES_H_
+#define PAXML_XMARK_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace paxml::xmark {
+
+/// Q1: qualifier-free, no '//' in the selection path.
+inline constexpr const char* kQ1 = "/sites/site/people/person";
+
+/// Q2: qualifier-free, '//' in the selection path.
+inline constexpr const char* kQ2 = "/sites/site/open_auctions//annotation";
+
+/// Q3: qualifiers, no '//'.
+inline constexpr const char* kQ3 =
+    "/sites/site/people/person[profile/age > 20 and address/country = "
+    "\"US\"]/creditcard";
+
+/// Q4: qualifiers and '//'.
+inline constexpr const char* kQ4 =
+    "/sites//people/person[profile/age > 20 and address/country = "
+    "\"US\"]/creditcard";
+
+struct NamedQuery {
+  const char* name;
+  const char* text;
+  bool has_qualifiers;
+  bool has_descendant;
+};
+
+/// All four queries with their feature matrix (the experiments cover the
+/// four combinations of {qualifiers} x {descendant step}).
+inline std::vector<NamedQuery> ExperimentQueries() {
+  return {
+      {"Q1", kQ1, false, false},
+      {"Q2", kQ2, false, true},
+      {"Q3", kQ3, true, false},
+      {"Q4", kQ4, true, true},
+  };
+}
+
+}  // namespace paxml::xmark
+
+#endif  // PAXML_XMARK_QUERIES_H_

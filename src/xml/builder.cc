@@ -1,0 +1,64 @@
+#include "xml/builder.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace paxml {
+
+TreeBuilder& TreeBuilder::Open(std::string_view label) {
+  const NodeId parent = open_.empty() ? kNullNode : open_.back();
+  open_.push_back(tree_.AddElement(parent, label));
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::Close() {
+  PAXML_CHECK(!open_.empty());
+  open_.pop_back();
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::Text(std::string_view text) {
+  PAXML_CHECK(!open_.empty());
+  tree_.AddText(open_.back(), text);
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::Attr(std::string_view name, std::string_view value) {
+  PAXML_CHECK(!open_.empty());
+  tree_.AddAttribute(open_.back(), name, value);
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::LeafText(std::string_view label, std::string_view text) {
+  return Open(label).Text(text).Close();
+}
+
+TreeBuilder& TreeBuilder::LeafNumber(std::string_view label, double value) {
+  // Integral values print without a trailing ".0" so val() and text() agree
+  // with how XMark-style documents write numbers.
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    return LeafText(label, StringFormat("%lld", static_cast<long long>(value)));
+  }
+  return LeafText(label, StringFormat("%g", value));
+}
+
+TreeBuilder& TreeBuilder::Leaf(std::string_view label) {
+  return Open(label).Close();
+}
+
+TreeBuilder& TreeBuilder::Virtual(FragmentId ref) {
+  PAXML_CHECK(!open_.empty());
+  tree_.AddVirtual(open_.back(), ref);
+  return *this;
+}
+
+NodeId TreeBuilder::current() const {
+  return open_.empty() ? kNullNode : open_.back();
+}
+
+Tree TreeBuilder::Finish() && {
+  PAXML_CHECK(open_.empty());
+  return std::move(tree_);
+}
+
+}  // namespace paxml

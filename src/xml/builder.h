@@ -1,0 +1,69 @@
+// Fluent in-code construction of XML trees (tests, examples, generators).
+//
+//   TreeBuilder b;
+//   b.Open("clientele");
+//     b.Open("client");
+//       b.LeafText("name", "Anna");
+//       b.LeafText("country", "US");
+//     b.Close();
+//   b.Close();
+//   Tree t = std::move(b).Finish();
+
+#ifndef PAXML_XML_BUILDER_H_
+#define PAXML_XML_BUILDER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace paxml {
+
+/// Stack-based tree builder. All methods return *this for chaining.
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(std::shared_ptr<SymbolTable> symbols = nullptr)
+      : tree_(std::move(symbols)) {}
+
+  /// Opens a new element under the current one (or as root).
+  TreeBuilder& Open(std::string_view label);
+
+  /// Closes the most recently opened element.
+  TreeBuilder& Close();
+
+  /// Adds a text node under the current element.
+  TreeBuilder& Text(std::string_view text);
+
+  /// Adds an attribute to the current element.
+  TreeBuilder& Attr(std::string_view name, std::string_view value);
+
+  /// Open(label) + Text(text) + Close(): the ubiquitous leaf pattern.
+  TreeBuilder& LeafText(std::string_view label, std::string_view text);
+
+  /// Leaf with a numeric value, e.g. LeafNumber("age", 32).
+  TreeBuilder& LeafNumber(std::string_view label, double value);
+
+  /// Empty element.
+  TreeBuilder& Leaf(std::string_view label);
+
+  /// Virtual placeholder for fragment `ref` under the current element.
+  TreeBuilder& Virtual(FragmentId ref);
+
+  /// Id of the innermost open element (kNullNode before the first Open).
+  NodeId current() const;
+
+  /// Depth of open elements.
+  size_t open_depth() const { return open_.size(); }
+
+  /// Finishes construction. All elements must have been closed.
+  Tree Finish() &&;
+
+ private:
+  Tree tree_;
+  std::vector<NodeId> open_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_XML_BUILDER_H_

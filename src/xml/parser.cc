@@ -1,0 +1,341 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace paxml {
+namespace {
+
+/// Recursive-descent XML parser over a string_view. Tracks offsets for error
+/// messages. Errors are reported via Status; no exceptions.
+class XmlParser {
+ public:
+  XmlParser(std::string_view input, const XmlParseOptions& options)
+      : in_(input), options_(options), tree_(options.symbols) {}
+
+  Result<Tree> Parse() {
+    SkipProlog();
+    PAXML_RETURN_NOT_OK(ParseElement(kNullNode));
+    SkipMisc();
+    if (pos_ != in_.size()) {
+      return Error("trailing content after document element");
+    }
+    return std::move(tree_);
+  }
+
+ private:
+  // ---- Character-level helpers ------------------------------------------
+
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool LookingAt(std::string_view s) const {
+    return in_.compare(pos_, s.size(), s) == 0;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(
+        StringFormat("%s at offset %zu", what.c_str(), pos_));
+  }
+
+  // ---- Prolog / misc -----------------------------------------------------
+
+  void SkipProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        SkipUntil("?>");
+      } else if (LookingAt("<!--")) {
+        SkipUntil("-->");
+      } else if (LookingAt("<!DOCTYPE")) {
+        SkipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        SkipUntil("?>");
+      } else if (LookingAt("<!--")) {
+        SkipUntil("-->");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    size_t found = in_.find(terminator, pos_);
+    pos_ = (found == std::string_view::npos) ? in_.size()
+                                             : found + terminator.size();
+  }
+
+  void SkipDoctype() {
+    // DOCTYPE may contain an internal subset in [...]; skip to matching '>'.
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      char c = in_[pos_++];
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      if (c == '>' && bracket_depth <= 0) return;
+    }
+  }
+
+  // ---- Names, attributes, references -------------------------------------
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '.';
+  }
+
+  Result<std::string_view> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return in_.substr(start, pos_ - start);
+  }
+
+  /// Decodes entity/char references in raw character data.
+  Result<std::string> DecodeText(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Status::ParseError("unterminated entity reference");
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out.push_back('&');
+      } else if (ent == "lt") {
+        out.push_back('<');
+      } else if (ent == "gt") {
+        out.push_back('>');
+      } else if (ent == "quot") {
+        out.push_back('"');
+      } else if (ent == "apos") {
+        out.push_back('\'');
+      } else if (!ent.empty() && ent[0] == '#') {
+        int base = 10;
+        std::string digits(ent.substr(1));
+        if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+          base = 16;
+          digits.erase(0, 1);
+        }
+        char* end = nullptr;
+        long code = std::strtol(digits.c_str(), &end, base);
+        if (end != digits.c_str() + digits.size() || code <= 0 || code > 0x10ffff) {
+          return Status::ParseError("bad character reference &" +
+                                    std::string(ent) + ";");
+        }
+        AppendUtf8(&out, static_cast<uint32_t>(code));
+      } else {
+        return Status::ParseError("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  struct RawAttribute {
+    std::string_view name;
+    std::string value;
+  };
+
+  Result<std::vector<RawAttribute>> ParseAttributes() {
+    std::vector<RawAttribute> attrs;
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') return attrs;
+      PAXML_ASSIGN_OR_RETURN(std::string_view name, ParseName());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      const char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Error("unterminated attribute value");
+      PAXML_ASSIGN_OR_RETURN(std::string value,
+                             DecodeText(in_.substr(start, pos_ - start)));
+      ++pos_;  // closing quote
+      attrs.push_back(RawAttribute{name, std::move(value)});
+    }
+  }
+
+  // ---- Elements -----------------------------------------------------------
+
+  Status ParseElement(NodeId parent) {
+    if (AtEnd() || Peek() != '<') return Error("expected '<'");
+    ++pos_;
+    PAXML_ASSIGN_OR_RETURN(std::string_view name, ParseName());
+    PAXML_ASSIGN_OR_RETURN(std::vector<RawAttribute> attrs, ParseAttributes());
+
+    // Virtual-node placeholder?
+    if (options_.recognize_virtual_nodes && name == kVirtualElementName) {
+      return ParseVirtualNode(parent, attrs);
+    }
+
+    const NodeId self = tree_.AddElement(parent, name);
+    for (const auto& a : attrs) tree_.AddAttribute(self, a.name, a.value);
+
+    SkipWhitespace();
+    if (LookingAt("/>")) {
+      pos_ += 2;
+      return Status::OK();
+    }
+    if (AtEnd() || Peek() != '>') return Error("expected '>'");
+    ++pos_;
+
+    PAXML_RETURN_NOT_OK(ParseContent(self));
+
+    // Closing tag: ParseContent stops right before "</".
+    pos_ += 2;
+    PAXML_ASSIGN_OR_RETURN(std::string_view close_name, ParseName());
+    if (close_name != name) {
+      return Error("mismatched closing tag </" + std::string(close_name) +
+                   "> for <" + std::string(name) + ">");
+    }
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '>') return Error("expected '>' in closing tag");
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseVirtualNode(NodeId parent, const std::vector<RawAttribute>& attrs) {
+    if (parent == kNullNode) {
+      return Error("virtual node cannot be the document root");
+    }
+    FragmentId ref = kNullFragment;
+    for (const auto& a : attrs) {
+      if (a.name == kVirtualRefAttribute) {
+        auto n = ParseNumber(a.value);
+        if (!n || *n < 0) return Error("bad virtual node ref");
+        ref = static_cast<FragmentId>(*n);
+      }
+    }
+    if (ref == kNullFragment) return Error("virtual node without ref");
+    tree_.AddVirtual(parent, ref);
+    SkipWhitespace();
+    if (LookingAt("/>")) {
+      pos_ += 2;
+      return Status::OK();
+    }
+    // Tolerate the non-self-closing form <paxml-virtual ref="1"></paxml-virtual>.
+    if (!AtEnd() && Peek() == '>') {
+      ++pos_;
+      SkipWhitespace();
+      if (!LookingAt("</")) return Error("virtual node must be empty");
+      pos_ += 2;
+      PAXML_ASSIGN_OR_RETURN(std::string_view close_name, ParseName());
+      if (close_name != kVirtualElementName) {
+        return Error("mismatched virtual close tag");
+      }
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '>') return Error("expected '>'");
+      ++pos_;
+      return Status::OK();
+    }
+    return Error("malformed virtual node");
+  }
+
+  Status ParseContent(NodeId self) {
+    std::string pending_text;
+    auto flush_text = [&]() {
+      if (pending_text.empty()) return;
+      if (!options_.skip_whitespace_text || !IsAllWhitespace(pending_text)) {
+        tree_.AddText(self, pending_text);
+      }
+      pending_text.clear();
+    };
+
+    for (;;) {
+      if (AtEnd()) return Error("unexpected end of input inside element");
+      if (LookingAt("</")) {
+        flush_text();
+        return Status::OK();
+      }
+      if (LookingAt("<!--")) {
+        SkipUntil("-->");
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        pos_ += 9;
+        size_t end = in_.find("]]>", pos_);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        pending_text.append(in_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+        continue;
+      }
+      if (LookingAt("<?")) {
+        SkipUntil("?>");
+        continue;
+      }
+      if (Peek() == '<') {
+        flush_text();
+        PAXML_RETURN_NOT_OK(ParseElement(self));
+        continue;
+      }
+      // Character data up to the next markup.
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') ++pos_;
+      PAXML_ASSIGN_OR_RETURN(std::string decoded,
+                             DecodeText(in_.substr(start, pos_ - start)));
+      pending_text.append(decoded);
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  XmlParseOptions options_;
+  Tree tree_;
+};
+
+}  // namespace
+
+Result<Tree> ParseXml(std::string_view input, const XmlParseOptions& options) {
+  XmlParser parser(input, options);
+  return parser.Parse();
+}
+
+}  // namespace paxml

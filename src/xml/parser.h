@@ -1,0 +1,45 @@
+// A small, dependency-free XML parser producing paxml Trees.
+//
+// Supported: elements, attributes, character data, CDATA sections, comments,
+// processing instructions (skipped), XML declaration, DOCTYPE (skipped), the
+// five predefined entities and numeric character references. Namespaces are
+// treated literally (prefix kept in the label). This covers everything the
+// XMark-style workloads and the paper's examples need.
+//
+// Virtual nodes (fragment placeholders) serialize as
+//   <paxml-virtual ref="<fragment-id>"/>
+// and are recognized back by the parser, so fragments ship as plain XML.
+
+#ifndef PAXML_XML_PARSER_H_
+#define PAXML_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/tree.h"
+
+namespace paxml {
+
+/// Element name under which virtual nodes round-trip through XML text.
+inline constexpr std::string_view kVirtualElementName = "paxml-virtual";
+inline constexpr std::string_view kVirtualRefAttribute = "ref";
+
+struct XmlParseOptions {
+  /// Drop text nodes that are entirely whitespace (defaults on: layout
+  /// whitespace is noise for query evaluation).
+  bool skip_whitespace_text = true;
+
+  /// Recognize <paxml-virtual ref="N"/> as virtual nodes.
+  bool recognize_virtual_nodes = true;
+
+  /// Symbol table for the resulting tree (nullptr -> process-wide).
+  std::shared_ptr<SymbolTable> symbols;
+};
+
+/// Parses one XML document into a Tree.
+Result<Tree> ParseXml(std::string_view input, const XmlParseOptions& options = {});
+
+}  // namespace paxml
+
+#endif  // PAXML_XML_PARSER_H_

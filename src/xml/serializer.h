@@ -1,0 +1,33 @@
+// XML serialization of paxml Trees.
+
+#ifndef PAXML_XML_SERIALIZER_H_
+#define PAXML_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/tree.h"
+
+namespace paxml {
+
+struct XmlWriteOptions {
+  /// Pretty-print with 2-space indentation; otherwise a single line.
+  bool indent = false;
+
+  /// Emit the <?xml version="1.0"?> declaration.
+  bool declaration = false;
+};
+
+/// Serializes the subtree rooted at `node` (default: whole tree) as XML text.
+/// Virtual nodes are emitted as <paxml-virtual ref="N"/> so that
+/// ParseXml(SerializeXml(t)) round-trips fragments exactly.
+std::string SerializeXml(const Tree& tree, NodeId node = kNullNode,
+                         const XmlWriteOptions& options = {});
+
+/// Number of bytes SerializeXml would produce with default options, without
+/// materializing the string. Used for size-targeted generation and for
+/// byte-accurate accounting of fragment shipping.
+size_t SerializedSize(const Tree& tree, NodeId node = kNullNode);
+
+}  // namespace paxml
+
+#endif  // PAXML_XML_SERIALIZER_H_

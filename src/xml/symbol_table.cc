@@ -1,0 +1,39 @@
+#include "xml/symbol_table.h"
+
+#include "common/logging.h"
+
+namespace paxml {
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const Symbol sym = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), sym);
+  return sym;
+}
+
+Symbol SymbolTable::Lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& SymbolTable::Name(Symbol sym) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PAXML_CHECK_LT(sym, names_.size());
+  return names_[sym];
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+std::shared_ptr<SymbolTable> SymbolTable::Shared() {
+  static std::shared_ptr<SymbolTable> table = std::make_shared<SymbolTable>();
+  return table;
+}
+
+}  // namespace paxml

@@ -1,0 +1,59 @@
+// Interned element labels.
+//
+// Every element label (tag name) is interned into a Symbol (dense uint32).
+// Label comparisons during query evaluation are integer compares, and query
+// vectors can be built against symbols once instead of re-hashing strings at
+// every node. Fragments of the same logical document share one table so that
+// symbols are stable across sites (in a real deployment this corresponds to
+// the shared document vocabulary / schema).
+
+#ifndef PAXML_XML_SYMBOL_TABLE_H_
+#define PAXML_XML_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace paxml {
+
+/// Dense id of an interned label. kInvalidSymbol is never a valid label.
+using Symbol = uint32_t;
+inline constexpr Symbol kInvalidSymbol = 0xffffffffu;
+
+/// Thread-safe intern table mapping label strings <-> Symbols.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Interns `name`, returning its stable symbol.
+  Symbol Intern(std::string_view name);
+
+  /// Returns the symbol of `name` if already interned, else kInvalidSymbol.
+  Symbol Lookup(std::string_view name) const;
+
+  /// The label string of `sym`. Precondition: sym was returned by Intern.
+  const std::string& Name(Symbol sym) const;
+
+  /// Number of distinct interned labels.
+  size_t size() const;
+
+  /// A process-wide table, convenient default for single-document programs.
+  static std::shared_ptr<SymbolTable> Shared();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Symbol> index_;
+  // deque: stable element addresses, so Name() references stay valid across
+  // concurrent Intern calls.
+  std::deque<std::string> names_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_XML_SYMBOL_TABLE_H_

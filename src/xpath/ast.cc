@@ -1,0 +1,267 @@
+#include "xpath/ast.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace paxml {
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, double lhs, double rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+// ---- PathExpr factories ----------------------------------------------------
+
+std::unique_ptr<PathExpr> PathExpr::Self() {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = PathKind::kSelf;
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Label(std::string name) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = PathKind::kLabel;
+  p->label = std::move(name);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Wildcard() {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = PathKind::kWildcard;
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Child(std::unique_ptr<PathExpr> l,
+                                          std::unique_ptr<PathExpr> r) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = PathKind::kChild;
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Descendant(std::unique_ptr<PathExpr> l,
+                                               std::unique_ptr<PathExpr> r) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = PathKind::kDescendant;
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Qualified(std::unique_ptr<PathExpr> l,
+                                              std::unique_ptr<QualExpr> q) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = PathKind::kQualified;
+  p->left = std::move(l);
+  p->qual = std::move(q);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Clone() const {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = kind;
+  p->label = label;
+  if (left) p->left = left->Clone();
+  if (right) p->right = right->Clone();
+  if (qual) p->qual = qual->Clone();
+  return p;
+}
+
+// ---- QualExpr factories ----------------------------------------------------
+
+std::unique_ptr<QualExpr> QualExpr::Path(std::unique_ptr<PathExpr> p) {
+  auto q = std::make_unique<QualExpr>();
+  q->kind = QualKind::kPath;
+  q->path = std::move(p);
+  return q;
+}
+
+std::unique_ptr<QualExpr> QualExpr::TextEq(std::unique_ptr<PathExpr> p,
+                                           std::string value) {
+  auto q = std::make_unique<QualExpr>();
+  q->kind = QualKind::kTextEq;
+  q->path = std::move(p);
+  q->text = std::move(value);
+  return q;
+}
+
+std::unique_ptr<QualExpr> QualExpr::ValCmp(std::unique_ptr<PathExpr> p,
+                                           CmpOp op, double value) {
+  auto q = std::make_unique<QualExpr>();
+  q->kind = QualKind::kValCmp;
+  q->path = std::move(p);
+  q->op = op;
+  q->number = value;
+  return q;
+}
+
+std::unique_ptr<QualExpr> QualExpr::Not(std::unique_ptr<QualExpr> inner) {
+  auto q = std::make_unique<QualExpr>();
+  q->kind = QualKind::kNot;
+  q->left = std::move(inner);
+  return q;
+}
+
+std::unique_ptr<QualExpr> QualExpr::And(std::unique_ptr<QualExpr> l,
+                                        std::unique_ptr<QualExpr> r) {
+  auto q = std::make_unique<QualExpr>();
+  q->kind = QualKind::kAnd;
+  q->left = std::move(l);
+  q->right = std::move(r);
+  return q;
+}
+
+std::unique_ptr<QualExpr> QualExpr::Or(std::unique_ptr<QualExpr> l,
+                                       std::unique_ptr<QualExpr> r) {
+  auto q = std::make_unique<QualExpr>();
+  q->kind = QualKind::kOr;
+  q->left = std::move(l);
+  q->right = std::move(r);
+  return q;
+}
+
+std::unique_ptr<QualExpr> QualExpr::Clone() const {
+  auto q = std::make_unique<QualExpr>();
+  q->kind = kind;
+  if (path) q->path = path->Clone();
+  q->text = text;
+  q->op = op;
+  q->number = number;
+  if (left) q->left = left->Clone();
+  if (right) q->right = right->Clone();
+  return q;
+}
+
+// ---- Printing ---------------------------------------------------------------
+
+namespace {
+
+void PrintPath(const PathExpr& p, std::string* out);
+
+void PrintQual(const QualExpr& q, std::string* out, int parent_prec) {
+  switch (q.kind) {
+    case QualKind::kPath:
+      PrintPath(*q.path, out);
+      return;
+    case QualKind::kTextEq:
+      if (q.path->kind != PathKind::kSelf) {
+        PrintPath(*q.path, out);
+        out->push_back('/');
+      }
+      out->append("text() = \"");
+      out->append(q.text);
+      out->append("\"");
+      return;
+    case QualKind::kValCmp:
+      if (q.path->kind != PathKind::kSelf) {
+        PrintPath(*q.path, out);
+        out->push_back('/');
+      }
+      out->append("val() ");
+      out->append(CmpOpToString(q.op));
+      out->push_back(' ');
+      out->append(StringFormat("%g", q.number));
+      return;
+    case QualKind::kNot:
+      out->append("not(");
+      PrintQual(*q.left, out, 0);
+      out->push_back(')');
+      return;
+    case QualKind::kAnd: {
+      const bool paren = parent_prec > 2;
+      if (paren) out->push_back('(');
+      PrintQual(*q.left, out, 2);
+      out->append(" and ");
+      PrintQual(*q.right, out, 2);
+      if (paren) out->push_back(')');
+      return;
+    }
+    case QualKind::kOr: {
+      const bool paren = parent_prec > 1;
+      if (paren) out->push_back('(');
+      PrintQual(*q.left, out, 1);
+      out->append(" or ");
+      PrintQual(*q.right, out, 1);
+      if (paren) out->push_back(')');
+      return;
+    }
+  }
+}
+
+void PrintPath(const PathExpr& p, std::string* out) {
+  switch (p.kind) {
+    case PathKind::kSelf:
+      out->push_back('.');
+      return;
+    case PathKind::kLabel:
+      out->append(p.label);
+      return;
+    case PathKind::kWildcard:
+      out->push_back('*');
+      return;
+    case PathKind::kChild:
+      PrintPath(*p.left, out);
+      out->push_back('/');
+      PrintPath(*p.right, out);
+      return;
+    case PathKind::kDescendant:
+      PrintPath(*p.left, out);
+      out->append("//");
+      PrintPath(*p.right, out);
+      return;
+    case PathKind::kQualified:
+      PrintPath(*p.left, out);
+      out->push_back('[');
+      PrintQual(*p.qual, out, 0);
+      out->push_back(']');
+      return;
+  }
+}
+
+}  // namespace
+
+std::string ToString(const PathExpr& path) {
+  std::string out;
+  PrintPath(path, &out);
+  return out;
+}
+
+std::string ToString(const QualExpr& qual) {
+  std::string out;
+  PrintQual(qual, &out, 0);
+  return out;
+}
+
+}  // namespace paxml

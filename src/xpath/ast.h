@@ -1,0 +1,99 @@
+// Abstract syntax of the XPath fragment X (Section 2.2 of the paper):
+//
+//   Q := ε | A | * | Q//Q | Q/Q | Q[q]
+//   q := Q | Q/text() = str | Q/val() op num | ¬q | q ∧ q | q ∨ q
+//
+// This class covers the downward axes (self, child, descendant-or-self),
+// wildcards and Boolean qualifiers with string and numeric comparisons. It
+// subsumes twig queries and the Boolean XPath of ParBoX (a query [q] with an
+// empty selection path is exactly a Boolean query).
+
+#ifndef PAXML_XPATH_AST_H_
+#define PAXML_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+
+namespace paxml {
+
+struct QualExpr;
+
+/// Comparison operators allowed in val() qualifiers.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Renders "=", "!=", "<", "<=", ">", ">=".
+const char* CmpOpToString(CmpOp op);
+
+/// True iff `lhs op rhs` holds.
+bool EvalCmp(CmpOp op, double lhs, double rhs);
+
+enum class PathKind : uint8_t {
+  kSelf,        ///< ε
+  kLabel,       ///< tag A
+  kWildcard,    ///< *
+  kChild,       ///< left / right
+  kDescendant,  ///< left // right
+  kQualified,   ///< left [qual]
+};
+
+/// A path expression node.
+struct PathExpr {
+  PathKind kind;
+  std::string label;                 ///< kLabel only
+  std::unique_ptr<PathExpr> left;    ///< kChild/kDescendant/kQualified
+  std::unique_ptr<PathExpr> right;   ///< kChild/kDescendant
+  std::unique_ptr<QualExpr> qual;    ///< kQualified
+
+  static std::unique_ptr<PathExpr> Self();
+  static std::unique_ptr<PathExpr> Label(std::string name);
+  static std::unique_ptr<PathExpr> Wildcard();
+  static std::unique_ptr<PathExpr> Child(std::unique_ptr<PathExpr> l,
+                                         std::unique_ptr<PathExpr> r);
+  static std::unique_ptr<PathExpr> Descendant(std::unique_ptr<PathExpr> l,
+                                              std::unique_ptr<PathExpr> r);
+  static std::unique_ptr<PathExpr> Qualified(std::unique_ptr<PathExpr> l,
+                                             std::unique_ptr<QualExpr> q);
+
+  std::unique_ptr<PathExpr> Clone() const;
+};
+
+enum class QualKind : uint8_t {
+  kPath,    ///< existential path: [Q]
+  kTextEq,  ///< [Q/text() = "str"]   (Q may be ε: [text() = "str"])
+  kValCmp,  ///< [Q/val() op num]
+  kNot,
+  kAnd,
+  kOr,
+};
+
+/// A qualifier expression node.
+struct QualExpr {
+  QualKind kind;
+  std::unique_ptr<PathExpr> path;   ///< kPath/kTextEq/kValCmp (never null)
+  std::string text;                 ///< kTextEq
+  CmpOp op = CmpOp::kEq;            ///< kValCmp
+  double number = 0;                ///< kValCmp
+  std::unique_ptr<QualExpr> left;   ///< kNot/kAnd/kOr
+  std::unique_ptr<QualExpr> right;  ///< kAnd/kOr
+
+  static std::unique_ptr<QualExpr> Path(std::unique_ptr<PathExpr> p);
+  static std::unique_ptr<QualExpr> TextEq(std::unique_ptr<PathExpr> p,
+                                          std::string value);
+  static std::unique_ptr<QualExpr> ValCmp(std::unique_ptr<PathExpr> p, CmpOp op,
+                                          double value);
+  static std::unique_ptr<QualExpr> Not(std::unique_ptr<QualExpr> q);
+  static std::unique_ptr<QualExpr> And(std::unique_ptr<QualExpr> l,
+                                       std::unique_ptr<QualExpr> r);
+  static std::unique_ptr<QualExpr> Or(std::unique_ptr<QualExpr> l,
+                                      std::unique_ptr<QualExpr> r);
+
+  std::unique_ptr<QualExpr> Clone() const;
+};
+
+/// Unparses an AST back to query syntax (parse(ToString(x)) == x).
+std::string ToString(const PathExpr& path);
+std::string ToString(const QualExpr& qual);
+
+}  // namespace paxml
+
+#endif  // PAXML_XPATH_AST_H_

@@ -1,0 +1,217 @@
+#include "xpath/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace paxml {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kDoubleSlash:
+      return "'//'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kAnd:
+      return "'&&'";
+    case TokenKind::kOr:
+      return "'||'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kName:
+      return "name";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> LexXPath(std::string_view in) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, size_t offset, std::string text = {},
+                  double number = 0) {
+    out.push_back(Token{kind, std::move(text), number, offset});
+  };
+
+  while (i < in.size()) {
+    const char c = in[i];
+    const size_t at = i;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '/':
+        if (i + 1 < in.size() && in[i + 1] == '/') {
+          push(TokenKind::kDoubleSlash, at);
+          i += 2;
+        } else {
+          push(TokenKind::kSlash, at);
+          ++i;
+        }
+        continue;
+      case '*':
+        push(TokenKind::kStar, at);
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, at);
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, at);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, at);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, at);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, at);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          push(TokenKind::kNe, at);
+          i += 2;
+        } else {
+          push(TokenKind::kBang, at);
+          ++i;
+        }
+        continue;
+      case '<':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          push(TokenKind::kLe, at);
+          i += 2;
+        } else if (i + 1 < in.size() && in[i + 1] == '>') {
+          push(TokenKind::kNe, at);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, at);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          push(TokenKind::kGe, at);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, at);
+          ++i;
+        }
+        continue;
+      case '&':
+        if (i + 1 < in.size() && in[i + 1] == '&') {
+          push(TokenKind::kAnd, at);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError(StringFormat("stray '&' at offset %zu", at));
+      case '|':
+        if (i + 1 < in.size() && in[i + 1] == '|') {
+          push(TokenKind::kOr, at);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError(StringFormat("stray '|' at offset %zu", at));
+      case '\'':
+      case '"': {
+        const char quote = c;
+        size_t j = i + 1;
+        while (j < in.size() && in[j] != quote) ++j;
+        if (j >= in.size()) {
+          return Status::ParseError(
+              StringFormat("unterminated string at offset %zu", at));
+        }
+        push(TokenKind::kString, at, std::string(in.substr(i + 1, j - i - 1)));
+        i = j + 1;
+        continue;
+      }
+      default:
+        break;
+    }
+    if (c == '.' && (i + 1 >= in.size() ||
+                     !std::isdigit(static_cast<unsigned char>(in[i + 1])))) {
+      push(TokenKind::kDot, at);
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+        ((c == '-' || c == '+') && i + 1 < in.size() &&
+         (std::isdigit(static_cast<unsigned char>(in[i + 1])) ||
+          in[i + 1] == '.'))) {
+      size_t j = i;
+      if (in[j] == '-' || in[j] == '+') ++j;
+      while (j < in.size() &&
+             (std::isdigit(static_cast<unsigned char>(in[j])) || in[j] == '.')) {
+        ++j;
+      }
+      auto value = ParseNumber(in.substr(i, j - i));
+      if (!value) {
+        return Status::ParseError(
+            StringFormat("bad number at offset %zu", at));
+      }
+      push(TokenKind::kNumber, at, std::string(in.substr(i, j - i)), *value);
+      i = j;
+      continue;
+    }
+    if (IsNameStart(c)) {
+      size_t j = i;
+      while (j < in.size() && IsNameChar(in[j])) ++j;
+      push(TokenKind::kName, at, std::string(in.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    return Status::ParseError(
+        StringFormat("unexpected character '%c' at offset %zu", c, at));
+  }
+  push(TokenKind::kEnd, in.size());
+  return out;
+}
+
+}  // namespace paxml

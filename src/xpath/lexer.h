@@ -1,0 +1,53 @@
+// Tokenizer for class-X XPath expressions.
+
+#ifndef PAXML_XPATH_LEXER_H_
+#define PAXML_XPATH_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace paxml {
+
+enum class TokenKind : uint8_t {
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kStar,         // *
+  kDot,          // .
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLParen,       // (
+  kRParen,       // )
+  kEq,           // =
+  kNe,           // != or <>
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kAnd,          // && (keyword 'and' arrives as kName)
+  kOr,           // ||
+  kBang,         // !
+  kName,         // NCName
+  kString,       // 'str' or "str" literal (value decoded)
+  kNumber,       // decimal literal
+  kEnd,          // end of input
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;    ///< name or decoded string literal
+  double number = 0;   ///< kNumber
+  size_t offset = 0;   ///< byte offset in the source, for error messages
+};
+
+/// Tokenizes `input`; the result always ends with a kEnd token.
+Result<std::vector<Token>> LexXPath(std::string_view input);
+
+}  // namespace paxml
+
+#endif  // PAXML_XPATH_LEXER_H_

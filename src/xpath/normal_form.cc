@@ -1,0 +1,251 @@
+#include "xpath/normal_form.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace paxml {
+namespace {
+
+std::shared_ptr<const NormalQual> MakeAnd(std::shared_ptr<const NormalQual> a,
+                                          std::shared_ptr<const NormalQual> b) {
+  if (!a) return b;
+  if (!b) return a;
+  auto q = std::make_shared<NormalQual>();
+  q->kind = NormalQualKind::kAnd;
+  q->left = std::move(a);
+  q->right = std::move(b);
+  return q;
+}
+
+/// Appends `step` to `out`, applying the ε-merging rules:
+///  - a bare ε (no qualifier) is the identity and is dropped,
+///  - consecutive ε[q] steps merge into one ε[q1 ∧ q2].
+void AppendStep(NormalPath* out, NormalStep step) {
+  if (step.kind == StepKind::kSelf) {
+    if (!step.qual) return;  // bare ε: identity
+    if (!out->steps.empty() && out->steps.back().kind == StepKind::kSelf) {
+      NormalStep& prev = out->steps.back();
+      prev.qual = MakeAnd(prev.qual, step.qual);
+      return;
+    }
+  }
+  out->steps.push_back(std::move(step));
+}
+
+void AppendPath(NormalPath* out, NormalPath&& in) {
+  for (NormalStep& s : in.steps) AppendStep(out, std::move(s));
+}
+
+NormalPath NormalizePath(const PathExpr& p);
+
+std::shared_ptr<const NormalQual> NormalizeQualExpr(const QualExpr& q) {
+  switch (q.kind) {
+    case QualKind::kPath: {
+      auto out = std::make_shared<NormalQual>();
+      out->kind = NormalQualKind::kPath;
+      out->path = NormalizePath(*q.path);
+      return out;
+    }
+    case QualKind::kTextEq: {
+      // normalize(Q/text()='s') = normalize(Q)/ε[text()='s']
+      auto test = std::make_shared<NormalQual>();
+      test->kind = NormalQualKind::kTextEq;
+      test->text = q.text;
+      auto out = std::make_shared<NormalQual>();
+      out->kind = NormalQualKind::kPath;
+      out->path = NormalizePath(*q.path);
+      AppendStep(&out->path, NormalStep{StepKind::kSelf, {}, std::move(test)});
+      return out;
+    }
+    case QualKind::kValCmp: {
+      auto test = std::make_shared<NormalQual>();
+      test->kind = NormalQualKind::kValCmp;
+      test->op = q.op;
+      test->number = q.number;
+      auto out = std::make_shared<NormalQual>();
+      out->kind = NormalQualKind::kPath;
+      out->path = NormalizePath(*q.path);
+      AppendStep(&out->path, NormalStep{StepKind::kSelf, {}, std::move(test)});
+      return out;
+    }
+    case QualKind::kNot: {
+      auto out = std::make_shared<NormalQual>();
+      out->kind = NormalQualKind::kNot;
+      out->left = NormalizeQualExpr(*q.left);
+      return out;
+    }
+    case QualKind::kAnd:
+    case QualKind::kOr: {
+      auto out = std::make_shared<NormalQual>();
+      out->kind = q.kind == QualKind::kAnd ? NormalQualKind::kAnd
+                                           : NormalQualKind::kOr;
+      out->left = NormalizeQualExpr(*q.left);
+      out->right = NormalizeQualExpr(*q.right);
+      return out;
+    }
+  }
+  PAXML_CHECK(false);
+  return nullptr;
+}
+
+NormalPath NormalizePath(const PathExpr& p) {
+  NormalPath out;
+  switch (p.kind) {
+    case PathKind::kSelf:
+      return out;  // ε == empty step list
+    case PathKind::kLabel:
+      out.steps.push_back(NormalStep{StepKind::kLabel, p.label, nullptr});
+      return out;
+    case PathKind::kWildcard:
+      out.steps.push_back(NormalStep{StepKind::kWildcard, {}, nullptr});
+      return out;
+    case PathKind::kChild: {
+      out = NormalizePath(*p.left);
+      AppendPath(&out, NormalizePath(*p.right));
+      return out;
+    }
+    case PathKind::kDescendant: {
+      out = NormalizePath(*p.left);
+      out.steps.push_back(NormalStep{StepKind::kDescend, {}, nullptr});
+      // ε-merging must not merge across the //, so append directly.
+      NormalPath rhs = NormalizePath(*p.right);
+      for (NormalStep& s : rhs.steps) AppendStep(&out, std::move(s));
+      return out;
+    }
+    case PathKind::kQualified: {
+      out = NormalizePath(*p.left);
+      AppendStep(&out,
+                 NormalStep{StepKind::kSelf, {}, NormalizeQualExpr(*p.qual)});
+      return out;
+    }
+  }
+  PAXML_CHECK(false);
+  return out;
+}
+
+void PrintQual(const NormalQual& q, std::string* out, int parent_prec);
+
+void PrintPath(const NormalPath& p, std::string* out) {
+  if (p.IsSelf()) {
+    out->push_back('.');
+    return;
+  }
+  bool need_sep = false;
+  for (const NormalStep& s : p.steps) {
+    switch (s.kind) {
+      case StepKind::kDescend:
+        out->append("//");
+        need_sep = false;
+        continue;
+      case StepKind::kLabel:
+        if (need_sep) out->push_back('/');
+        out->append(s.label);
+        break;
+      case StepKind::kWildcard:
+        if (need_sep) out->push_back('/');
+        out->push_back('*');
+        break;
+      case StepKind::kSelf:
+        if (need_sep) out->push_back('/');
+        out->push_back('.');
+        if (s.qual) {
+          out->push_back('[');
+          PrintQual(*s.qual, out, 0);
+          out->push_back(']');
+        }
+        break;
+    }
+    need_sep = true;
+  }
+}
+
+void PrintQual(const NormalQual& q, std::string* out, int parent_prec) {
+  switch (q.kind) {
+    case NormalQualKind::kPath:
+      PrintPath(q.path, out);
+      return;
+    case NormalQualKind::kTextEq:
+      out->append("text() = \"");
+      out->append(q.text);
+      out->append("\"");
+      return;
+    case NormalQualKind::kValCmp:
+      out->append("val() ");
+      out->append(CmpOpToString(q.op));
+      out->push_back(' ');
+      out->append(StringFormat("%g", q.number));
+      return;
+    case NormalQualKind::kNot:
+      out->append("not(");
+      PrintQual(*q.left, out, 0);
+      out->push_back(')');
+      return;
+    case NormalQualKind::kAnd: {
+      const bool paren = parent_prec > 2;
+      if (paren) out->push_back('(');
+      PrintQual(*q.left, out, 2);
+      out->append(" and ");
+      PrintQual(*q.right, out, 2);
+      if (paren) out->push_back(')');
+      return;
+    }
+    case NormalQualKind::kOr: {
+      const bool paren = parent_prec > 1;
+      if (paren) out->push_back('(');
+      PrintQual(*q.left, out, 1);
+      out->append(" or ");
+      PrintQual(*q.right, out, 1);
+      if (paren) out->push_back(')');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+NormalPath Normalize(const PathExpr& query) { return NormalizePath(query); }
+
+std::shared_ptr<const NormalQual> NormalizeQual(const QualExpr& qual) {
+  return NormalizeQualExpr(qual);
+}
+
+std::string ToString(const NormalPath& path) {
+  std::string out;
+  PrintPath(path, &out);
+  return out;
+}
+
+std::string ToString(const NormalQual& qual) {
+  std::string out;
+  PrintQual(qual, &out, 0);
+  return out;
+}
+
+std::string SelectionPathString(const NormalPath& path) {
+  std::string out;
+  bool need_sep = false;
+  for (const NormalStep& s : path.steps) {
+    switch (s.kind) {
+      case StepKind::kDescend:
+        out.append("//");
+        need_sep = false;
+        break;
+      case StepKind::kLabel:
+        if (need_sep) out.push_back('/');
+        out.append(s.label);
+        need_sep = true;
+        break;
+      case StepKind::kWildcard:
+        if (need_sep) out.push_back('/');
+        out.push_back('*');
+        need_sep = true;
+        break;
+      case StepKind::kSelf:
+        break;  // struck out
+    }
+  }
+  if (out.empty()) return ".";
+  return out;
+}
+
+}  // namespace paxml

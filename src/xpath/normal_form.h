@@ -1,0 +1,86 @@
+// The paper's query normal form (Section 2.2).
+//
+// Every class-X query is rewritten as β1/…/βn where each βi is one of
+//   A      — a label step,
+//   *      — a wildcard step,
+//   //     — a descendant-or-self step,
+//   ε[q]   — a self step carrying a (normalized) qualifier.
+//
+// Qualifier normalization pushes text()/val() tests into trailing ε steps
+// (normalize(Q/text()='s') = normalize(Q)/ε[text()='s']) and merges runs of
+// consecutive ε steps into one (ε[q1]/ε[q2] -> ε[q1 ∧ q2]).
+//
+// NormalPath with an empty step list denotes ε (the context itself).
+
+#ifndef PAXML_XPATH_NORMAL_FORM_H_
+#define PAXML_XPATH_NORMAL_FORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xpath/ast.h"
+
+namespace paxml {
+
+struct NormalQual;
+
+enum class StepKind : uint8_t {
+  kLabel,     ///< A
+  kWildcard,  ///< *
+  kDescend,   ///< //
+  kSelf,      ///< ε[q] (qual may be null for a bare trailing ε)
+};
+
+/// One β step of the normal form. Copyable: qualifiers are immutable and
+/// shared.
+struct NormalStep {
+  StepKind kind;
+  std::string label;                       ///< kLabel only
+  std::shared_ptr<const NormalQual> qual;  ///< kSelf only (may be null)
+};
+
+/// A normalized path β1/…/βn. Empty == ε.
+struct NormalPath {
+  std::vector<NormalStep> steps;
+
+  bool IsSelf() const { return steps.empty(); }
+};
+
+enum class NormalQualKind : uint8_t {
+  kPath,    ///< existential normalized path
+  kTextEq,  ///< bare test on the context node: has a text child == text
+  kValCmp,  ///< bare test: has a text child with numeric value `op number`
+  kNot,
+  kAnd,
+  kOr,
+};
+
+/// A normalized qualifier expression. Immutable after construction.
+struct NormalQual {
+  NormalQualKind kind;
+  NormalPath path;                          ///< kPath
+  std::string text;                         ///< kTextEq
+  CmpOp op = CmpOp::kEq;                    ///< kValCmp
+  double number = 0;                        ///< kValCmp
+  std::shared_ptr<const NormalQual> left;   ///< kNot/kAnd/kOr
+  std::shared_ptr<const NormalQual> right;  ///< kAnd/kOr
+};
+
+/// Rewrites a parsed query into normal form. Runs in linear time in |Q|.
+NormalPath Normalize(const PathExpr& query);
+
+/// Normalizes a standalone qualifier.
+std::shared_ptr<const NormalQual> NormalizeQual(const QualExpr& qual);
+
+/// Printers ('ε' rendered as '.'); output re-parses to the same normal form.
+std::string ToString(const NormalPath& path);
+std::string ToString(const NormalQual& qual);
+
+/// The selection path of a normalized query: qualifiers struck out
+/// (Section 2.2), e.g. //broker[..]/name -> "//broker/name".
+std::string SelectionPathString(const NormalPath& path);
+
+}  // namespace paxml
+
+#endif  // PAXML_XPATH_NORMAL_FORM_H_

@@ -1,0 +1,308 @@
+#include "xpath/parser.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "xpath/lexer.h"
+
+namespace paxml {
+namespace {
+
+/// Token-stream parser. Grammar (qualifier precedence: or < and < not):
+///
+///   query    := ['/' | '//'] relpath | '/'
+///   relpath  := step (('/' | '//') step)*
+///   step     := ('*' | '.' | NAME) ('[' qual ']')*
+///   qual     := orExpr
+///   orExpr   := andExpr (('or' | '||') andExpr)*
+///   andExpr  := notExpr (('and' | '&&') notExpr)*
+///   notExpr  := ('not' '(' qual ')') | '!' notExpr | primary
+///   primary  := '(' qual ')' | pathTest
+///   pathTest := relpath-in-qual [cmp rhs]       (see ParseQualPath)
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<PathExpr>> ParseQuery() {
+    std::unique_ptr<PathExpr> path;
+    if (Check(TokenKind::kSlash)) {
+      Advance();
+      if (Check(TokenKind::kEnd)) return PathExpr::Self();  // bare "/" = root
+      PAXML_ASSIGN_OR_RETURN(path, ParseRelPath());
+    } else if (Check(TokenKind::kDoubleSlash)) {
+      Advance();
+      PAXML_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> rest, ParseRelPath());
+      path = PathExpr::Descendant(PathExpr::Self(), std::move(rest));
+    } else {
+      PAXML_ASSIGN_OR_RETURN(path, ParseRelPath());
+    }
+    if (!Check(TokenKind::kEnd)) {
+      return Error("trailing tokens after query");
+    }
+    return path;
+  }
+
+  Result<std::unique_ptr<QualExpr>> ParseStandaloneQualifier() {
+    PAXML_ASSIGN_OR_RETURN(std::unique_ptr<QualExpr> q, ParseQual());
+    if (!Check(TokenKind::kEnd)) {
+      return Error("trailing tokens after qualifier");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return tokens_[i < tokens_.size() ? i : tokens_.size() - 1];
+  }
+  bool Check(TokenKind kind, size_t ahead = 0) const {
+    return Peek(ahead).kind == kind;
+  }
+  bool CheckName(std::string_view name) const {
+    return Check(TokenKind::kName) && Peek().text == name;
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StringFormat("%s at offset %zu (found %s)",
+                                           what.c_str(), Peek().offset,
+                                           TokenKindToString(Peek().kind)));
+  }
+
+  /// True if the current token can begin a path step.
+  bool AtStepStart() const {
+    return Check(TokenKind::kName) || Check(TokenKind::kStar) ||
+           Check(TokenKind::kDot);
+  }
+
+  // ---- Paths ---------------------------------------------------------------
+
+  Result<std::unique_ptr<PathExpr>> ParseStep() {
+    std::unique_ptr<PathExpr> step;
+    if (Match(TokenKind::kStar)) {
+      step = PathExpr::Wildcard();
+    } else if (Match(TokenKind::kDot)) {
+      step = PathExpr::Self();
+    } else if (Check(TokenKind::kName)) {
+      step = PathExpr::Label(Advance().text);
+    } else {
+      return Error("expected step (name, '*' or '.')");
+    }
+    while (Match(TokenKind::kLBracket)) {
+      PAXML_ASSIGN_OR_RETURN(std::unique_ptr<QualExpr> q, ParseQual());
+      if (!Match(TokenKind::kRBracket)) return Error("expected ']'");
+      step = PathExpr::Qualified(std::move(step), std::move(q));
+    }
+    return step;
+  }
+
+  Result<std::unique_ptr<PathExpr>> ParseRelPath() {
+    PAXML_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> path, ParseStep());
+    for (;;) {
+      if (Check(TokenKind::kSlash) && AtStepStartAfterSeparator()) {
+        Advance();
+        PAXML_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> rhs, ParseStep());
+        path = PathExpr::Child(std::move(path), std::move(rhs));
+      } else if (Check(TokenKind::kDoubleSlash) && AtStepStartAfterSeparator()) {
+        Advance();
+        PAXML_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> rhs, ParseStep());
+        path = PathExpr::Descendant(std::move(path), std::move(rhs));
+      } else {
+        return path;
+      }
+    }
+  }
+
+  /// After '/' or '//', a step must follow (otherwise the separator belongs
+  /// to an enclosing construct such as "a/text() = ...").
+  bool AtStepStartAfterSeparator() const {
+    // text() and val() are function tests, not steps.
+    if (Check(TokenKind::kName, 1) && Check(TokenKind::kLParen, 2) &&
+        (Peek(1).text == "text" || Peek(1).text == "val")) {
+      return false;
+    }
+    return Check(TokenKind::kName, 1) || Check(TokenKind::kStar, 1) ||
+           Check(TokenKind::kDot, 1);
+  }
+
+  // ---- Qualifiers ------------------------------------------------------------
+
+  Result<std::unique_ptr<QualExpr>> ParseQual() { return ParseOr(); }
+
+  Result<std::unique_ptr<QualExpr>> ParseOr() {
+    PAXML_ASSIGN_OR_RETURN(std::unique_ptr<QualExpr> lhs, ParseAnd());
+    while (Check(TokenKind::kOr) || CheckName("or")) {
+      Advance();
+      PAXML_ASSIGN_OR_RETURN(std::unique_ptr<QualExpr> rhs, ParseAnd());
+      lhs = QualExpr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<QualExpr>> ParseAnd() {
+    PAXML_ASSIGN_OR_RETURN(std::unique_ptr<QualExpr> lhs, ParseNot());
+    while (Check(TokenKind::kAnd) || CheckName("and")) {
+      Advance();
+      PAXML_ASSIGN_OR_RETURN(std::unique_ptr<QualExpr> rhs, ParseNot());
+      lhs = QualExpr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<QualExpr>> ParseNot() {
+    if (Match(TokenKind::kBang)) {
+      PAXML_ASSIGN_OR_RETURN(std::unique_ptr<QualExpr> inner, ParseNot());
+      return QualExpr::Not(std::move(inner));
+    }
+    if (CheckName("not") && Check(TokenKind::kLParen, 1)) {
+      Advance();  // not
+      Advance();  // (
+      PAXML_ASSIGN_OR_RETURN(std::unique_ptr<QualExpr> inner, ParseQual());
+      if (!Match(TokenKind::kRParen)) return Error("expected ')' after not(");
+      return QualExpr::Not(std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<QualExpr>> ParsePrimary() {
+    if (Match(TokenKind::kLParen)) {
+      PAXML_ASSIGN_OR_RETURN(std::unique_ptr<QualExpr> inner, ParseQual());
+      if (!Match(TokenKind::kRParen)) return Error("expected ')'");
+      return inner;
+    }
+    return ParseQualPath();
+  }
+
+  /// Reads a comparison operator token, if present.
+  std::optional<CmpOp> MatchCmp() {
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        Advance();
+        return CmpOp::kEq;
+      case TokenKind::kNe:
+        Advance();
+        return CmpOp::kNe;
+      case TokenKind::kLt:
+        Advance();
+        return CmpOp::kLt;
+      case TokenKind::kLe:
+        Advance();
+        return CmpOp::kLe;
+      case TokenKind::kGt:
+        Advance();
+        return CmpOp::kGt;
+      case TokenKind::kGe:
+        Advance();
+        return CmpOp::kGe;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  /// True if the upcoming tokens are `text ( )` or `val ( )`.
+  bool AtFunc(std::string_view name) const {
+    return Check(TokenKind::kName) && Peek().text == name &&
+           Check(TokenKind::kLParen, 1) && Check(TokenKind::kRParen, 2);
+  }
+
+  Result<std::unique_ptr<QualExpr>> FinishTextTest(std::unique_ptr<PathExpr> path) {
+    pos_ += 3;  // text ( )
+    if (!Match(TokenKind::kEq)) return Error("expected '=' after text()");
+    if (!Check(TokenKind::kString)) return Error("expected string literal");
+    std::string value = Advance().text;
+    return QualExpr::TextEq(std::move(path), std::move(value));
+  }
+
+  Result<std::unique_ptr<QualExpr>> FinishValTest(std::unique_ptr<PathExpr> path) {
+    pos_ += 3;  // val ( )
+    std::optional<CmpOp> op = MatchCmp();
+    if (!op) return Error("expected comparison operator after val()");
+    if (!Check(TokenKind::kNumber)) return Error("expected number");
+    double value = Advance().number;
+    return QualExpr::ValCmp(std::move(path), *op, value);
+  }
+
+  /// Parses a qualifier atom: a path, optionally ending in /text()=str or
+  /// /val() op num, or comparison sugar `path = "str"` / `path op num`.
+  Result<std::unique_ptr<QualExpr>> ParseQualPath() {
+    // Leading separators inside qualifiers are treated as relative
+    // (see header notes; matches the paper's Fig. 7 usage).
+    bool leading_descendant = false;
+    if (Match(TokenKind::kSlash)) {
+      // relative; nothing to do
+    } else if (Match(TokenKind::kDoubleSlash)) {
+      leading_descendant = true;
+    }
+
+    if (AtFunc("text")) return FinishTextTest(PathExpr::Self());
+    if (AtFunc("val")) return FinishValTest(PathExpr::Self());
+
+    PAXML_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> path, ParseStep());
+    if (leading_descendant) {
+      path = PathExpr::Descendant(PathExpr::Self(), std::move(path));
+    }
+    for (;;) {
+      if (Check(TokenKind::kSlash)) {
+        if (Check(TokenKind::kName, 1) && Check(TokenKind::kLParen, 2)) {
+          if (Peek(1).text == "text") {
+            Advance();  // '/'
+            return FinishTextTest(std::move(path));
+          }
+          if (Peek(1).text == "val") {
+            Advance();  // '/'
+            return FinishValTest(std::move(path));
+          }
+        }
+        if (!AtStepStartAfterSeparator()) break;
+        Advance();
+        PAXML_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> rhs, ParseStep());
+        path = PathExpr::Child(std::move(path), std::move(rhs));
+        continue;
+      }
+      if (Check(TokenKind::kDoubleSlash) && AtStepStartAfterSeparator()) {
+        Advance();
+        PAXML_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> rhs, ParseStep());
+        path = PathExpr::Descendant(std::move(path), std::move(rhs));
+        continue;
+      }
+      break;
+    }
+
+    // Comparison sugar: `country = "US"` == `country/text() = "US"`,
+    //                   `age > 20`       == `age/val() > 20`.
+    if (Check(TokenKind::kEq) && Check(TokenKind::kString, 1)) {
+      Advance();
+      std::string value = Advance().text;
+      return QualExpr::TextEq(std::move(path), std::move(value));
+    }
+    if (std::optional<CmpOp> op = MatchCmp()) {
+      if (!Check(TokenKind::kNumber)) return Error("expected number after comparison");
+      double value = Advance().number;
+      return QualExpr::ValCmp(std::move(path), *op, value);
+    }
+    return QualExpr::Path(std::move(path));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PathExpr>> ParseXPath(std::string_view query) {
+  PAXML_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexXPath(query));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<std::unique_ptr<QualExpr>> ParseXPathQualifier(std::string_view qual) {
+  PAXML_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexXPath(qual));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneQualifier();
+}
+
+}  // namespace paxml

@@ -1,0 +1,39 @@
+// Recursive-descent parser for the XPath fragment X.
+//
+// Accepted syntax (examples from the paper):
+//   /sites/site/people/person
+//   //broker[//stock/code/text() = "goog"]/name
+//   /sites/site/people/person[profile/age > 20 and address/country = "US"]
+//   client[country/text() = "US"]/broker[market/name/text() = "nasdaq"]/name
+//
+// Notes:
+//  * Queries are evaluated from the document node (the conceptual parent of
+//    the root element), so a leading '/' is optional and '/a' == 'a'.
+//  * Inside qualifiers, a leading '/' is treated as relative to the context
+//    node (the paper's Fig. 7 writes "[/profile/age > 20]" with that intent).
+//  * Qualifier operators: 'and'/'&&'/'∧-style', 'or'/'||', 'not(...)'/'!'.
+//  * val() comparisons accept =, !=, <>, <, <=, >, >=. In XMark-style data a
+//    qualifier like "age > 20" is sugar for "age/val() > 20".
+//  * text() and val() may be applied to the context itself:
+//    [text() = "x"], [val() >= 7].
+
+#ifndef PAXML_XPATH_PARSER_H_
+#define PAXML_XPATH_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "xpath/ast.h"
+
+namespace paxml {
+
+/// Parses a full class-X query. Returns kParseError on malformed input.
+Result<std::unique_ptr<PathExpr>> ParseXPath(std::string_view query);
+
+/// Parses a standalone qualifier expression (without the surrounding [ ]).
+Result<std::unique_ptr<QualExpr>> ParseXPathQualifier(std::string_view qual);
+
+}  // namespace paxml
+
+#endif  // PAXML_XPATH_PARSER_H_

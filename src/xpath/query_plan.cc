@@ -1,0 +1,423 @@
+#include "xpath/query_plan.h"
+
+#include <map>
+#include <tuple>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "xpath/parser.h"
+
+namespace paxml {
+
+/// Builds the entry/qual-node/selection vectors from a normal form.
+class QueryCompiler {
+ public:
+  QueryCompiler(const NormalPath& normal, std::shared_ptr<SymbolTable> symbols,
+                std::string source)
+      : normal_(normal), q_() {
+    q_.symbols_ = symbols ? std::move(symbols) : SymbolTable::Shared();
+    q_.source_ = std::move(source);
+    q_.normal_form_ = ToString(normal);
+  }
+
+  CompiledQuery Run() {
+    CompileSelection();
+    return std::move(q_);
+  }
+
+ private:
+  using Entry = CompiledQuery::Entry;
+  using QualNode = CompiledQuery::QualNode;
+  using SelEntry = CompiledQuery::SelEntry;
+
+  // ---- Entry interning -----------------------------------------------------
+
+  /// Structural key for entry dedup; strings keep the key total.
+  std::string EntryKey(const Entry& e) const {
+    return StringFormat("%d|%u|%s|%d|%g|%d|%d|%d", static_cast<int>(e.test),
+                        e.label, e.text.c_str(), static_cast<int>(e.op),
+                        e.number, e.qual, static_cast<int>(e.rest_axis), e.rest);
+  }
+
+  int InternEntry(Entry e) {
+    std::string key = EntryKey(e);
+    auto it = entry_index_.find(key);
+    if (it != entry_index_.end()) return it->second;
+    const int id = static_cast<int>(q_.entries_.size());
+    q_.entries_.push_back(std::move(e));
+    entry_index_.emplace(std::move(key), id);
+    return id;
+  }
+
+  std::string QualKey(const QualNode& n) const {
+    return StringFormat("%d|%d|%d|%d|%d", static_cast<int>(n.kind),
+                        static_cast<int>(n.axis), n.entry, n.left, n.right);
+  }
+
+  int InternQualNode(QualNode n) {
+    std::string key = QualKey(n);
+    auto it = qual_index_.find(key);
+    if (it != qual_index_.end()) return it->second;
+    const int id = static_cast<int>(q_.qual_nodes_.size());
+    q_.qual_nodes_.push_back(n);
+    qual_index_.emplace(std::move(key), id);
+    return id;
+  }
+
+  /// The always-true entry: matches any node with no further constraints.
+  int TrueEntry() {
+    Entry e;
+    e.test = TestKind::kAnyNode;
+    return InternEntry(e);
+  }
+
+  // ---- Qualifier compilation ----------------------------------------------
+
+  int CompileQual(const NormalQual& nq) {
+    q_.has_qualifiers_ = true;
+    QualNode node;
+    switch (nq.kind) {
+      case NormalQualKind::kTextEq: {
+        // Bare test on the context: some text *child* equals the string.
+        // Encoded through a text-node entry so that fragmentation between an
+        // element and its text children still resolves through variables.
+        Entry e;
+        e.test = TestKind::kTextEq;
+        e.text = nq.text;
+        node.kind = QualNodeKind::kAtom;
+        node.axis = Axis::kChild;
+        node.entry = InternEntry(std::move(e));
+        return InternQualNode(node);
+      }
+      case NormalQualKind::kValCmp: {
+        Entry e;
+        e.test = TestKind::kValCmp;
+        e.op = nq.op;
+        e.number = nq.number;
+        node.kind = QualNodeKind::kAtom;
+        node.axis = Axis::kChild;
+        node.entry = InternEntry(std::move(e));
+        return InternQualNode(node);
+      }
+      case NormalQualKind::kPath:
+        return CompilePathAtom(nq.path);
+      case NormalQualKind::kNot:
+        node.kind = QualNodeKind::kNot;
+        node.left = CompileQual(*nq.left);
+        return InternQualNode(node);
+      case NormalQualKind::kAnd:
+      case NormalQualKind::kOr:
+        node.kind = nq.kind == NormalQualKind::kAnd ? QualNodeKind::kAnd
+                                                    : QualNodeKind::kOr;
+        node.left = CompileQual(*nq.left);
+        node.right = CompileQual(*nq.right);
+        return InternQualNode(node);
+    }
+    PAXML_CHECK(false);
+    return -1;
+  }
+
+  /// Conjunction of qualifiers collected from consecutive ε[q] steps.
+  int CompileQualConj(const std::vector<const NormalQual*>& quals) {
+    int acc = -1;
+    for (const NormalQual* nq : quals) {
+      int id = CompileQual(*nq);
+      if (acc == -1) {
+        acc = id;
+      } else {
+        QualNode n;
+        n.kind = QualNodeKind::kAnd;
+        n.left = acc;
+        n.right = id;
+        acc = InternQualNode(n);
+      }
+    }
+    return acc;
+  }
+
+  /// Existential path atom [p] evaluated at a context node.
+  int CompilePathAtom(const NormalPath& p) {
+    QualNode node;
+    if (p.steps.empty()) {
+      // [.] — vacuously true.
+      node.kind = QualNodeKind::kTrue;
+      return InternQualNode(node);
+    }
+    node.kind = QualNodeKind::kAtom;
+    if (p.steps[0].kind == StepKind::kDescend) {
+      auto [axis, rest] = DescTransition(p.steps, 1);
+      node.axis = axis;
+      node.entry = rest;
+    } else if (p.steps[0].kind == StepKind::kSelf) {
+      node.axis = Axis::kSelf;
+      node.entry = BuildPathFrom(p.steps, 0);
+    } else {
+      node.axis = Axis::kChild;
+      node.entry = BuildPathFrom(p.steps, 0);
+    }
+    return InternQualNode(node);
+  }
+
+  /// Suffix entry for steps[i..): steps[i] is matched at the node itself.
+  int BuildPathFrom(const std::vector<NormalStep>& steps, size_t i) {
+    if (i >= steps.size()) return TrueEntry();
+
+    if (steps[i].kind == StepKind::kDescend) {
+      // Position inside a '//' hop: "the remainder matches from my
+      // descendant-or-self closure".
+      auto [axis, rest] = DescTransition(steps, i + 1);
+      Entry e;
+      e.test = TestKind::kAnyNode;
+      e.rest_axis = axis;
+      e.rest = rest;
+      return InternEntry(std::move(e));
+    }
+
+    Entry e;
+    std::vector<const NormalQual*> quals;
+    switch (steps[i].kind) {
+      case StepKind::kLabel:
+        e.test = TestKind::kLabel;
+        e.label = q_.symbols_->Intern(steps[i].label);
+        break;
+      case StepKind::kWildcard:
+        e.test = TestKind::kWildcard;
+        break;
+      case StepKind::kSelf:
+        e.test = TestKind::kAnyNode;
+        if (steps[i].qual) quals.push_back(steps[i].qual.get());
+        break;
+      case StepKind::kDescend:
+        PAXML_CHECK(false);
+        break;
+    }
+    size_t j = i + 1;
+    // ε[q] steps directly after a node test attach to it (normalization has
+    // already merged consecutive ε steps, but label/ε sequences arrive here).
+    while (j < steps.size() && steps[j].kind == StepKind::kSelf) {
+      if (steps[j].qual) quals.push_back(steps[j].qual.get());
+      ++j;
+    }
+    e.qual = CompileQualConj(quals);
+    if (j >= steps.size()) {
+      e.rest_axis = Axis::kNone;
+    } else if (steps[j].kind == StepKind::kDescend) {
+      auto [axis, rest] = DescTransition(steps, j + 1);
+      e.rest_axis = axis;
+      e.rest = rest;
+    } else {
+      e.rest_axis = Axis::kChild;
+      e.rest = BuildPathFrom(steps, j);
+    }
+    return InternEntry(std::move(e));
+  }
+
+  /// Transition after consuming one '//': how the remainder anchors.
+  /// Returns {axis, suffix entry}. Directly consecutive '//' steps collapse
+  /// (descendant-or-self is idempotent).
+  std::pair<Axis, int> DescTransition(const std::vector<NormalStep>& steps,
+                                      size_t k) {
+    while (k < steps.size() && steps[k].kind == StepKind::kDescend) ++k;
+    if (k >= steps.size()) {
+      // Trailing '//': the closure itself is the match set; it is never
+      // empty (it contains the current node), so the suffix is 'any node'
+      // reached via descendant-or-self.
+      return {Axis::kDescendantOrSelf, TrueEntry()};
+    }
+    if (steps[k].kind == StepKind::kSelf) {
+      // '//ε[q]…' filters the closure set, which includes the current node.
+      return {Axis::kDescendantOrSelf, BuildPathFrom(steps, k)};
+    }
+    // '//A…': A matches a child of the closure = a proper descendant.
+    return {Axis::kProperDescendant, BuildPathFrom(steps, k)};
+  }
+
+  // ---- Selection compilation ----------------------------------------------
+
+  void CompileSelection() {
+    const std::vector<NormalStep>& steps = normal_.steps;
+    size_t i = 0;
+
+    // Leading ε[q] steps attach to the root-context entry.
+    std::vector<const NormalQual*> root_quals;
+    while (i < steps.size() && steps[i].kind == StepKind::kSelf) {
+      if (steps[i].qual) root_quals.push_back(steps[i].qual.get());
+      ++i;
+    }
+    SelEntry root;
+    root.kind = SelKind::kRoot;
+    root.qual = CompileQualConj(root_quals);
+    q_.selection_.push_back(root);
+
+    while (i < steps.size()) {
+      const NormalStep& s = steps[i];
+      switch (s.kind) {
+        case StepKind::kLabel:
+        case StepKind::kWildcard: {
+          SelEntry e;
+          e.kind = s.kind == StepKind::kLabel ? SelKind::kLabel
+                                              : SelKind::kWildcard;
+          if (s.kind == StepKind::kLabel) {
+            e.label = q_.symbols_->Intern(s.label);
+          }
+          ++i;
+          std::vector<const NormalQual*> quals;
+          while (i < steps.size() && steps[i].kind == StepKind::kSelf) {
+            if (steps[i].qual) quals.push_back(steps[i].qual.get());
+            ++i;
+          }
+          e.qual = CompileQualConj(quals);
+          q_.selection_.push_back(e);
+          break;
+        }
+        case StepKind::kDescend: {
+          q_.selection_has_descendant_ = true;
+          // Collapse directly consecutive '//' steps.
+          while (i < steps.size() && steps[i].kind == StepKind::kDescend) ++i;
+          SelEntry e;
+          e.kind = SelKind::kDescend;
+          q_.selection_.push_back(e);
+          // ε[q] after '//' survives as a self-filter entry.
+          std::vector<const NormalQual*> quals;
+          while (i < steps.size() && steps[i].kind == StepKind::kSelf) {
+            if (steps[i].qual) quals.push_back(steps[i].qual.get());
+            ++i;
+          }
+          if (!quals.empty()) {
+            SelEntry f;
+            f.kind = SelKind::kSelfFilter;
+            f.qual = CompileQualConj(quals);
+            q_.selection_.push_back(f);
+          }
+          break;
+        }
+        case StepKind::kSelf:
+          // Only possible mid-path right after kLabel/kWildcard/kDescend,
+          // which the branches above consume.
+          PAXML_CHECK(false);
+          break;
+      }
+    }
+  }
+
+  const NormalPath& normal_;
+  CompiledQuery q_;
+  std::map<std::string, int> entry_index_;
+  std::map<std::string, int> qual_index_;
+};
+
+CompiledQuery CompiledQuery::Compile(const NormalPath& normal,
+                                     std::shared_ptr<SymbolTable> symbols,
+                                     std::string source) {
+  QueryCompiler compiler(normal, std::move(symbols), std::move(source));
+  return compiler.Run();
+}
+
+namespace {
+
+const char* AxisName(Axis a) {
+  switch (a) {
+    case Axis::kNone:
+      return "none";
+    case Axis::kChild:
+      return "child";
+    case Axis::kProperDescendant:
+      return "desc";
+    case Axis::kDescendantOrSelf:
+      return "dos";
+    case Axis::kSelf:
+      return "self";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string CompiledQuery::DebugString() const {
+  std::string out;
+  out += "query: " + source_ + "\n";
+  out += "normal form: " + normal_form_ + "\n";
+  out += StringFormat("QVect (%zu entries):\n", entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out += StringFormat("  e%zu: ", i);
+    switch (e.test) {
+      case TestKind::kLabel:
+        out += "label=" + symbols_->Name(e.label);
+        break;
+      case TestKind::kWildcard:
+        out += "*";
+        break;
+      case TestKind::kAnyNode:
+        out += ".";
+        break;
+      case TestKind::kTextEq:
+        out += "text=\"" + e.text + "\"";
+        break;
+      case TestKind::kValCmp:
+        out += StringFormat("val %s %g", CmpOpToString(e.op), e.number);
+        break;
+    }
+    if (e.qual >= 0) out += StringFormat(" qual=n%d", e.qual);
+    if (e.rest_axis != Axis::kNone) {
+      out += StringFormat(" -%s-> e%d", AxisName(e.rest_axis), e.rest);
+    }
+    out += "\n";
+  }
+  out += StringFormat("qual nodes (%zu):\n", qual_nodes_.size());
+  for (size_t i = 0; i < qual_nodes_.size(); ++i) {
+    const QualNode& n = qual_nodes_[i];
+    switch (n.kind) {
+      case QualNodeKind::kTrue:
+        out += StringFormat("  n%zu: true\n", i);
+        break;
+      case QualNodeKind::kAtom:
+        out += StringFormat("  n%zu: atom %s e%d\n", i, AxisName(n.axis),
+                            n.entry);
+        break;
+      case QualNodeKind::kAnd:
+        out += StringFormat("  n%zu: n%d and n%d\n", i, n.left, n.right);
+        break;
+      case QualNodeKind::kOr:
+        out += StringFormat("  n%zu: n%d or n%d\n", i, n.left, n.right);
+        break;
+      case QualNodeKind::kNot:
+        out += StringFormat("  n%zu: not n%d\n", i, n.left);
+        break;
+    }
+  }
+  out += StringFormat("SVect (%zu entries):\n", selection_.size());
+  for (size_t i = 0; i < selection_.size(); ++i) {
+    const SelEntry& s = selection_[i];
+    out += StringFormat("  s%zu: ", i);
+    switch (s.kind) {
+      case SelKind::kRoot:
+        out += "<root>";
+        break;
+      case SelKind::kLabel:
+        out += symbols_->Name(s.label);
+        break;
+      case SelKind::kWildcard:
+        out += "*";
+        break;
+      case SelKind::kDescend:
+        out += "//";
+        break;
+      case SelKind::kSelfFilter:
+        out += ".[]";
+        break;
+    }
+    if (s.qual >= 0) out += StringFormat(" qual=n%d", s.qual);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<CompiledQuery> CompileXPath(std::string_view query,
+                                   std::shared_ptr<SymbolTable> symbols) {
+  PAXML_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> ast, ParseXPath(query));
+  NormalPath normal = Normalize(*ast);
+  return CompiledQuery::Compile(normal, std::move(symbols), std::string(query));
+}
+
+}  // namespace paxml

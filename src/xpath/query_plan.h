@@ -1,0 +1,171 @@
+// Compiled query vectors: the paper's SVect(Q) and QVect(Q) (Section 2.2).
+//
+// A CompiledQuery decouples the *selection path* of a query from its
+// *qualifiers* and compiles both into flat vectors whose entries are
+// evaluated per node:
+//
+// QVect — qualifier plane (Entry). Entries are suffix-structured paths and
+// leaf tests, topologically ordered (an entry's `rest` and `qual` refer only
+// to smaller indices). The value of entry e at node v, QV_v(e), means:
+//
+//    "e's first-step test matches v itself, v satisfies e's qualifiers, and
+//     the rest of e's path matches below v"
+//
+// exactly the semantics of Example 3.1 in the paper (e.g. the entry
+// market/q7 is true at a market node that has a matching name descendant
+// chain; the entry [text()="us"] is true at a *text node* carrying "us").
+// Three aggregates make the bottom-up computation local:
+//    QCV_v(e)  = OR over children u of QV_u(e)        ("some child")
+//    QDV_v(e)  = QV_v(e) OR (OR over children of QDV) ("desc-or-self")
+//    and "some proper descendant" = OR over children of QDV_u(e).
+//
+// Qualifier expressions (QualNode) combine entry lookups through an axis:
+//    kChild            -> QCV_v(entry)
+//    kProperDescendant -> OR_{child u} QDV_u(entry)
+//    kDescendantOrSelf -> QDV_v(entry)
+//    kSelf             -> QV_v(entry)
+// with kAnd/kOr/kNot/kTrue composing pointwise at v.
+//
+// SVect — selection plane (SelEntry). Entry i denotes the prefix η1/…/ηi of
+// the selection path; SV_v(i) means "v is reachable from the document node
+// via that prefix". Entry 0 is the document-node context (carrying any
+// leading qualifier, which — following the paper's convention of evaluating
+// queries at the root of T — is tested at the root element). Recurrences
+// (Procedure topDown, Fig. 4):
+//    label/wildcard i: SV_v(i) = SV_parent(i-1) AND term(v, ηi) AND qual_i(v)
+//    descend i:        SV_v(i) = SV_v(i-1) OR SV_parent(i)
+//    self-filter i:    SV_v(i) = SV_v(i-1) AND qual_i(v)
+// A node is an answer iff SV_v(last) holds (empty selection = Boolean query:
+// the answer is the root element iff the root qualifier holds).
+//
+// Consecutive '//' steps are collapsed (descendant-or-self is idempotent);
+// ε[q] steps merge into the preceding label/wildcard entry (the paper's
+// assocQual) and become kSelfFilter entries after '//'.
+
+#ifndef PAXML_XPATH_QUERY_PLAN_H_
+#define PAXML_XPATH_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/symbol_table.h"
+#include "xpath/normal_form.h"
+
+namespace paxml {
+
+/// How a qualifier atom (or a path entry's rest) looks below/at a node.
+enum class Axis : uint8_t {
+  kNone,              ///< no rest: the path ends here
+  kChild,             ///< some child
+  kProperDescendant,  ///< some descendant at depth >= 1
+  kDescendantOrSelf,  ///< the node itself or some descendant
+  kSelf,              ///< the node itself (qualifier atoms only)
+};
+
+/// Node test of a QVect entry.
+enum class TestKind : uint8_t {
+  kLabel,     ///< element with the given label
+  kWildcard,  ///< any element
+  kAnyNode,   ///< any node (from ε steps)
+  kTextEq,    ///< text node with exact value
+  kValCmp,    ///< text node with numeric value `op number`
+};
+
+enum class QualNodeKind : uint8_t { kTrue, kAtom, kAnd, kOr, kNot };
+
+enum class SelKind : uint8_t {
+  kRoot,        ///< entry 0: document-node context
+  kLabel,       ///< child step with label
+  kWildcard,    ///< child step, any element
+  kDescend,     ///< '//' closure entry
+  kSelfFilter,  ///< ε[q] surviving after '//'
+};
+
+/// A compiled class-X query. Immutable once built; safe to share across
+/// threads (sites evaluate the same query in parallel).
+class CompiledQuery {
+ public:
+  struct Entry {
+    TestKind test;
+    Symbol label = kInvalidSymbol;  ///< kLabel
+    std::string text;               ///< kTextEq
+    CmpOp op = CmpOp::kEq;          ///< kValCmp
+    double number = 0;              ///< kValCmp
+    int qual = -1;                  ///< QualNode evaluated at v (-1: none)
+    Axis rest_axis = Axis::kNone;
+    int rest = -1;                  ///< entry index of the path suffix
+  };
+
+  struct QualNode {
+    QualNodeKind kind;
+    Axis axis = Axis::kNone;  ///< kAtom
+    int entry = -1;           ///< kAtom
+    int left = -1;            ///< kAnd/kOr/kNot
+    int right = -1;           ///< kAnd/kOr
+  };
+
+  struct SelEntry {
+    SelKind kind;
+    Symbol label = kInvalidSymbol;  ///< kLabel
+    int qual = -1;                  ///< QualNode (assocQual), -1: none
+  };
+
+  /// QVect: topologically ordered qualifier entries.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Qualifier expression nodes (referenced by Entry::qual, SelEntry::qual).
+  const std::vector<QualNode>& qual_nodes() const { return qual_nodes_; }
+
+  /// SVect: selection entries; [0] is always the kRoot context entry.
+  const std::vector<SelEntry>& selection() const { return selection_; }
+
+  /// Number of selection entries including the root context.
+  size_t selection_size() const { return selection_.size(); }
+
+  /// True iff any qualifier occurs anywhere in the query. Qualifier-free
+  /// queries skip the qualifier stage entirely (and, with XPath-annotated
+  /// fragment trees, the final visit as well — Section 5).
+  bool has_qualifiers() const { return has_qualifiers_; }
+
+  /// True iff the selection path contains a '//' step (affects how many
+  /// fragments XPath-annotation pruning can rule out — Section 6).
+  bool selection_has_descendant() const { return selection_has_descendant_; }
+
+  /// True iff the selection path is empty (a Boolean query in the sense of
+  /// ParBoX: the answer is the root element or nothing).
+  bool IsBooleanQuery() const { return selection_.size() == 1; }
+
+  const std::string& source() const { return source_; }
+  const std::string& normal_form() const { return normal_form_; }
+  const std::shared_ptr<SymbolTable>& symbols() const { return symbols_; }
+
+  /// Debug rendering of all vectors.
+  std::string DebugString() const;
+
+  /// Compiles a normalized query against `symbols`.
+  static CompiledQuery Compile(const NormalPath& normal,
+                               std::shared_ptr<SymbolTable> symbols,
+                               std::string source = {});
+
+ private:
+  friend class QueryCompiler;
+
+  std::vector<Entry> entries_;
+  std::vector<QualNode> qual_nodes_;
+  std::vector<SelEntry> selection_;
+  bool has_qualifiers_ = false;
+  bool selection_has_descendant_ = false;
+  std::string source_;
+  std::string normal_form_;
+  std::shared_ptr<SymbolTable> symbols_;
+};
+
+/// Parse + normalize + compile in one call.
+Result<CompiledQuery> CompileXPath(std::string_view query,
+                                   std::shared_ptr<SymbolTable> symbols = nullptr);
+
+}  // namespace paxml
+
+#endif  // PAXML_XPATH_QUERY_PLAN_H_

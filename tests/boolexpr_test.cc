@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "boolexpr/codec.h"
+#include "boolexpr/env.h"
+#include "boolexpr/formula.h"
+#include "common/rng.h"
+
+namespace paxml {
+namespace {
+
+TEST(FormulaTest, ConstantsAndSimplification) {
+  FormulaArena a;
+  EXPECT_EQ(a.And(a.True(), a.False()), a.False());
+  EXPECT_EQ(a.Or(a.True(), a.False()), a.True());
+  EXPECT_EQ(a.Not(a.True()), a.False());
+  EXPECT_EQ(a.Not(a.False()), a.True());
+
+  Formula x = a.Var(0);
+  EXPECT_EQ(a.And(x, a.True()), x);
+  EXPECT_EQ(a.And(x, a.False()), a.False());
+  EXPECT_EQ(a.Or(x, a.False()), x);
+  EXPECT_EQ(a.Or(x, a.True()), a.True());
+  EXPECT_EQ(a.And(x, x), x);
+  EXPECT_EQ(a.Or(x, x), x);
+  EXPECT_EQ(a.Not(a.Not(x)), x);
+  EXPECT_EQ(a.And(x, a.Not(x)), a.False());
+  EXPECT_EQ(a.Or(x, a.Not(x)), a.True());
+}
+
+TEST(FormulaTest, HashConsingIsCommutative) {
+  FormulaArena a;
+  Formula x = a.Var(1);
+  Formula y = a.Var(2);
+  EXPECT_EQ(a.And(x, y), a.And(y, x));
+  EXPECT_EQ(a.Or(x, y), a.Or(y, x));
+  // Same structural node is interned once.
+  size_t before = a.size();
+  a.And(x, y);
+  EXPECT_EQ(a.size(), before);
+}
+
+TEST(FormulaTest, CollectVarsAndContains) {
+  FormulaArena a;
+  Formula f = a.Or(a.And(a.Var(3), a.Not(a.Var(1))), a.Var(3));
+  std::vector<VarId> vars = a.CollectVars(f);
+  EXPECT_EQ(vars, (std::vector<VarId>{1, 3}));
+  EXPECT_TRUE(a.ContainsVar(f, 1));
+  EXPECT_TRUE(a.ContainsVar(f, 3));
+  EXPECT_FALSE(a.ContainsVar(f, 2));
+}
+
+TEST(FormulaTest, EvaluateTotalAssignment) {
+  FormulaArena a;
+  // f = (x0 & !x1) | x2
+  Formula f = a.Or(a.And(a.Var(0), a.Not(a.Var(1))), a.Var(2));
+  auto eval = [&](bool x0, bool x1, bool x2) {
+    auto r = a.Evaluate(f, [&](VarId v) -> std::optional<bool> {
+      switch (v) {
+        case 0:
+          return x0;
+        case 1:
+          return x1;
+        case 2:
+          return x2;
+        default:
+          return std::nullopt;
+      }
+    });
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+  EXPECT_TRUE(eval(true, false, false));
+  EXPECT_FALSE(eval(false, true, false));
+  EXPECT_TRUE(eval(false, true, true));
+}
+
+TEST(FormulaTest, EvaluateUnboundVariableFails) {
+  FormulaArena a;
+  Formula f = a.Var(9);
+  auto r = a.Evaluate(f, [](VarId) { return std::nullopt; });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FormulaTest, SubstituteResolvesToConstant) {
+  FormulaArena a;
+  Formula f = a.And(a.Var(0), a.Or(a.Var(1), a.Not(a.Var(2))));
+  Formula g = a.Substitute(f, [&](VarId v) -> std::optional<Formula> {
+    if (v == 1) return a.False();
+    if (v == 2) return a.True();
+    return std::nullopt;  // x0 stays
+  });
+  // (x0 & (F | !T)) = F
+  EXPECT_EQ(g, a.False());
+}
+
+TEST(FormulaTest, SubstituteWithFormulas) {
+  FormulaArena a;
+  Formula f = a.Or(a.Var(0), a.Var(1));
+  Formula g = a.Substitute(f, [&](VarId v) -> std::optional<Formula> {
+    if (v == 0) return a.And(a.Var(2), a.Var(3));
+    return std::nullopt;
+  });
+  auto r = a.Evaluate(g, [](VarId v) -> std::optional<bool> {
+    return v == 2 || v == 3;  // x2=x3=true, x1=false
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(FormulaTest, ToStringRendersPrecedence) {
+  FormulaArena a;
+  Formula f = a.And(a.Or(a.Var(0), a.Var(1)), a.Not(a.Var(2)));
+  std::string s = a.ToString(f);
+  // Operands are canonically ordered; just check shape.
+  EXPECT_NE(s.find("|"), std::string::npos);
+  EXPECT_NE(s.find("&"), std::string::npos);
+  EXPECT_NE(s.find("!v2"), std::string::npos);
+}
+
+TEST(FormulaTest, TransferAcrossArenas) {
+  FormulaArena src;
+  Formula f = src.And(src.Var(5), src.Or(src.Var(6), src.Not(src.Var(5))));
+  FormulaArena dst;
+  Formula g = dst.Transfer(src, f);
+  auto rs = src.Evaluate(f, [](VarId v) { return std::optional<bool>(v == 5); });
+  auto rd = dst.Evaluate(g, [](VarId v) { return std::optional<bool>(v == 5); });
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(*rs, *rd);
+}
+
+TEST(FormulaTest, DagSizeCountsSharedNodesOnce) {
+  FormulaArena a;
+  Formula shared = a.And(a.Var(0), a.Var(1));
+  // Avoid direct complements (the simplifier folds Or(x, !x) to true).
+  Formula f = a.And(a.Or(shared, a.Var(2)), a.Not(shared));
+  // nodes: x0, x1, shared, x2, or, not, and = 7; `shared` counted once.
+  EXPECT_EQ(a.DagSize(f), 7u);
+}
+
+// ---- Binding -----------------------------------------------------------------
+
+TEST(BindingTest, ApplyAndFixpoint) {
+  FormulaArena a;
+  Binding env;
+  env.Bind(0, a.Var(1));   // x0 := x1
+  env.BindConst(1, true);  // x1 := T
+  Formula f = a.Var(0);
+  // Single pass resolves x0 -> x1 only.
+  EXPECT_EQ(env.Apply(&a, f), a.Var(1));
+  // Fixpoint chases the chain to T.
+  EXPECT_EQ(env.ApplyFixpoint(&a, f), a.True());
+}
+
+TEST(BindingTest, MergePrefersOther) {
+  FormulaArena a;
+  Binding e1, e2;
+  e1.BindConst(0, false);
+  e2.BindConst(0, true);
+  e1.Merge(e2);
+  EXPECT_EQ(e1.ApplyFixpoint(&a, a.Var(0)), a.True());
+}
+
+// ---- Codec --------------------------------------------------------------------
+
+TEST(CodecTest, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutVarint(300);
+  w.PutString("hello");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU8().ValueOrDie(), 0xab);
+  EXPECT_EQ(r.GetU32().ValueOrDie(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().ValueOrDie(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetVarint().ValueOrDie(), 300u);
+  EXPECT_EQ(r.GetString().ValueOrDie(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CodecTest, ReaderRejectsTruncation) {
+  ByteWriter w;
+  w.PutU32(7);
+  ByteReader r(std::string_view(w.bytes()).substr(0, 2));
+  EXPECT_FALSE(r.GetU32().ok());
+}
+
+TEST(CodecTest, FormulaRoundTrip) {
+  FormulaArena a;
+  Formula f = a.Or(a.And(a.Var(0), a.Not(a.Var(1))), a.Var(2));
+  ByteWriter w;
+  EncodeFormula(a, f, &w);
+  FormulaArena b;
+  ByteReader r(w.bytes());
+  auto decoded = DecodeFormula(&b, &r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  for (int mask = 0; mask < 8; ++mask) {
+    auto assign = [mask](VarId v) {
+      return std::optional<bool>((mask >> v) & 1);
+    };
+    EXPECT_EQ(*a.Evaluate(f, assign), *b.Evaluate(*decoded, assign));
+  }
+}
+
+TEST(CodecTest, FormulaVectorSharesStructure) {
+  FormulaArena a;
+  Formula shared = a.And(a.Var(0), a.Var(1));
+  std::vector<Formula> fs = {shared, a.Not(shared), a.True()};
+  ByteWriter w;
+  EncodeFormulaVector(a, fs, &w);
+  FormulaArena b;
+  ByteReader r(w.bytes());
+  auto decoded = DecodeFormulaVector(&b, &r);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[2], b.True());
+  auto assign = [](VarId) { return std::optional<bool>(true); };
+  EXPECT_TRUE(*b.Evaluate((*decoded)[0], assign));
+  EXPECT_FALSE(*b.Evaluate((*decoded)[1], assign));
+}
+
+TEST(CodecTest, RandomFormulaRoundTripProperty) {
+  Rng rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    FormulaArena a;
+    std::vector<Formula> pool = {a.True(), a.False()};
+    for (VarId v = 0; v < 4; ++v) pool.push_back(a.Var(v));
+    for (int step = 0; step < 30; ++step) {
+      Formula x = pool[rng.NextBounded(pool.size())];
+      Formula y = pool[rng.NextBounded(pool.size())];
+      switch (rng.NextBounded(3)) {
+        case 0:
+          pool.push_back(a.And(x, y));
+          break;
+        case 1:
+          pool.push_back(a.Or(x, y));
+          break;
+        default:
+          pool.push_back(a.Not(x));
+      }
+    }
+    Formula f = pool.back();
+    ByteWriter w;
+    EncodeFormula(a, f, &w);
+    FormulaArena b;
+    ByteReader r(w.bytes());
+    auto decoded = DecodeFormula(&b, &r);
+    ASSERT_TRUE(decoded.ok());
+    for (int mask = 0; mask < 16; ++mask) {
+      auto assign = [mask](VarId v) {
+        return std::optional<bool>((mask >> v) & 1);
+      };
+      EXPECT_EQ(*a.Evaluate(f, assign), *b.Evaluate(*decoded, assign));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paxml

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "core/parbox.h"
+#include "eval/centralized.h"
+#include "fragment/fragmenter.h"
+#include "test_util.h"
+
+namespace paxml {
+namespace {
+
+using testing::BuildClienteleTree;
+using testing::ClienteleCuts;
+using testing::PropertyQueryBattery;
+using testing::RandomTree;
+
+/// Shared fixture: the paper's clientele tree, fragmented per Fig. 1 and
+/// placed on four sites per Fig. 2 (S0: F0, S1: F1, S2: F2 + Kim's market,
+/// S3: Lisa's client).
+class DistributedClienteleTest : public ::testing::Test {
+ protected:
+  DistributedClienteleTest() : tree_(BuildClienteleTree()) {
+    auto doc = FragmentByCuts(tree_, ClienteleCuts(tree_));
+    PAXML_CHECK(doc.ok());
+    doc_ = std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
+    cluster_ = std::make_unique<Cluster>(doc_, 4);
+    PAXML_CHECK(cluster_->Place(0, 0).ok());
+    PAXML_CHECK(cluster_->Place(1, 1).ok());
+    PAXML_CHECK(cluster_->Place(2, 2).ok());
+    PAXML_CHECK(cluster_->Place(3, 2).ok());
+    PAXML_CHECK(cluster_->Place(4, 3).ok());
+  }
+
+  std::vector<NodeId> Centralized(const std::string& query) {
+    auto r = EvaluateCentralized(tree_, query);
+    PAXML_CHECK(r.ok());
+    return r->answers;
+  }
+
+  DistributedResult Run(const std::string& query, DistributedAlgorithm algo,
+                        bool annotations = false) {
+    auto compiled = CompileXPath(query, doc_->symbols());
+    PAXML_CHECK(compiled.ok());
+    EngineOptions options;
+    options.algorithm = algo;
+    options.pax.use_annotations = annotations;
+    auto r = EvaluateDistributed(*cluster_, *compiled, options);
+    PAXML_CHECK(r.ok());
+    return std::move(r).ValueOrDie();
+  }
+
+  void ExpectAllAlgorithmsAgree(const std::string& query) {
+    const std::vector<NodeId> expected = Centralized(query);
+    for (auto algo : {DistributedAlgorithm::kPaX3, DistributedAlgorithm::kPaX2,
+                      DistributedAlgorithm::kNaiveCentralized}) {
+      for (bool xa : {false, true}) {
+        if (algo == DistributedAlgorithm::kNaiveCentralized && xa) continue;
+        DistributedResult r = Run(query, algo, xa);
+        EXPECT_EQ(r.ToSourceIds(*doc_), expected)
+            << AlgorithmName(algo) << (xa ? "-XA" : "-NA") << " on " << query;
+      }
+    }
+  }
+
+  Tree tree_;
+  std::shared_ptr<FragmentedDocument> doc_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(DistributedClienteleTest, PaperExample21AllAlgorithms) {
+  ExpectAllAlgorithmsAgree(
+      "clientele/client[country/text() = \"US\"]/"
+      "broker[market/name/text() = \"NASDAQ\"]/name");
+}
+
+TEST_F(DistributedClienteleTest, QueryBatteryAllAlgorithms) {
+  const std::vector<std::string> queries = {
+      "clientele/client/name",
+      "clientele/client/broker/name",
+      "//stock/code",
+      "//broker[//stock/code/text() = \"GOOG\" and "
+      "not(//stock/code/text() = \"YHOO\")]/name",
+      "//market[name/text() = \"NASDAQ\"]/stock/code",
+      "//stock[buy/val() > 300]/code",
+      "clientele/client[not(country/text() = \"US\")]/name",
+      "clientele/*/broker",
+      "clientele//qt",
+      "//market/name[text() = \"NASDAQ\"]",
+      "clientele/client[name]/country",
+      "//.[code]",
+  };
+  for (const std::string& q : queries) ExpectAllAlgorithmsAgree(q);
+}
+
+TEST_F(DistributedClienteleTest, BooleanQueryViaParBoX) {
+  auto compiled = CompileXPath(".[//stock/code/text() = \"GOOG\"]",
+                               doc_->symbols());
+  ASSERT_TRUE(compiled.ok());
+  auto r = EvaluateParBoX(*cluster_, *compiled);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->value);
+  // ParBoX: every site visited exactly once.
+  EXPECT_EQ(r->stats.max_visits(), 1);
+  EXPECT_EQ(r->stats.rounds, 1);
+
+  auto compiled2 = CompileXPath(".[//stock/code/text() = \"MSFT\"]",
+                                doc_->symbols());
+  ASSERT_TRUE(compiled2.ok());
+  auto r2 = EvaluateParBoX(*cluster_, *compiled2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->value);
+}
+
+TEST_F(DistributedClienteleTest, ParBoXRejectsDataSelectingQueries) {
+  auto compiled = CompileXPath("//broker/name", doc_->symbols());
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_FALSE(EvaluateParBoX(*cluster_, *compiled).ok());
+}
+
+TEST_F(DistributedClienteleTest, BooleanQueryThroughPaxDelegation) {
+  for (auto algo : {DistributedAlgorithm::kPaX3, DistributedAlgorithm::kPaX2}) {
+    DistributedResult r = Run(".[//stock/code/text() = \"GOOG\"]", algo);
+    ASSERT_EQ(r.answers.size(), 1u);
+    EXPECT_EQ(r.answers[0], (GlobalNodeId{0, doc_->fragment(0).tree.root()}));
+    EXPECT_EQ(r.stats.max_visits(), 1);
+  }
+}
+
+// ---- The paper's visit guarantees (Sections 3, 4, 5) --------------------------
+
+TEST_F(DistributedClienteleTest, PaX3VisitBounds) {
+  // With qualifiers: three rounds, each site <= 3 visits.
+  DistributedResult with_quals =
+      Run("clientele/client[country/text() = \"US\"]/broker/name",
+          DistributedAlgorithm::kPaX3);
+  EXPECT_LE(with_quals.stats.max_visits(), 3);
+  EXPECT_GE(with_quals.stats.rounds, 2);
+
+  // Qualifier-free: stage 1 skipped, <= 2 visits.
+  DistributedResult no_quals =
+      Run("clientele/client/broker/name", DistributedAlgorithm::kPaX3);
+  EXPECT_LE(no_quals.stats.max_visits(), 2);
+}
+
+TEST_F(DistributedClienteleTest, PaX2VisitBounds) {
+  DistributedResult with_quals =
+      Run("clientele/client[country/text() = \"US\"]/broker/name",
+          DistributedAlgorithm::kPaX2);
+  EXPECT_LE(with_quals.stats.max_visits(), 2);
+
+  DistributedResult no_quals =
+      Run("clientele/client/broker/name", DistributedAlgorithm::kPaX2);
+  EXPECT_LE(no_quals.stats.max_visits(), 2);
+}
+
+TEST_F(DistributedClienteleTest, AnnotationsGiveSingleVisitForQualifierFree) {
+  // Section 5: with XPath annotations and no qualifiers, stack inits are
+  // concrete, so no candidates arise and one visit suffices.
+  for (auto algo : {DistributedAlgorithm::kPaX3, DistributedAlgorithm::kPaX2}) {
+    DistributedResult r =
+        Run("clientele/client/broker/name", algo, /*annotations=*/true);
+    EXPECT_EQ(r.stats.max_visits(), 1) << AlgorithmName(algo);
+  }
+}
+
+TEST_F(DistributedClienteleTest, AnnotationsPruneIrrelevantSites) {
+  // client/name touches only F0 and Lisa's fragment (Example 5.1): sites
+  // S1 and S2 are never visited with annotations on.
+  DistributedResult r = Run("clientele/client/name",
+                            DistributedAlgorithm::kPaX2, /*annotations=*/true);
+  EXPECT_EQ(r.stats.per_site[1].visits, 0);
+  EXPECT_EQ(r.stats.per_site[2].visits, 0);
+  EXPECT_GE(r.stats.per_site[0].visits, 1);
+  EXPECT_GE(r.stats.per_site[3].visits, 1);
+}
+
+// ---- Communication guarantees (Section 3.4) -----------------------------------
+
+TEST_F(DistributedClienteleTest, PartialEvaluationShipsNoTreeData) {
+  DistributedResult pax = Run(
+      "clientele/client[country/text() = \"US\"]/broker/name",
+      DistributedAlgorithm::kPaX2);
+  EXPECT_EQ(pax.stats.data_bytes_shipped, 0u);
+  EXPECT_GT(pax.stats.answer_bytes, 0u);
+
+  DistributedResult naive = Run(
+      "clientele/client[country/text() = \"US\"]/broker/name",
+      DistributedAlgorithm::kNaiveCentralized);
+  EXPECT_GT(naive.stats.data_bytes_shipped, 0u);
+  // The naive baseline ships (nearly) the whole document.
+  EXPECT_GT(naive.stats.data_bytes_shipped, pax.stats.total_bytes);
+}
+
+TEST_F(DistributedClienteleTest, TrafficIndependentOfDataSize) {
+  // Grow the per-client payload 8x: PaX traffic (minus answers) must not
+  // grow with it. Build a bigger clientele by duplicating stocks.
+  TreeBuilder b(std::make_shared<SymbolTable>());
+  b.Open("clientele");
+  for (int c = 0; c < 3; ++c) {
+    b.Open("client");
+    b.LeafText("name", c == 0 ? "Anna" : (c == 1 ? "Kim" : "Lisa"));
+    b.LeafText("country", c == 2 ? "Canada" : "US");
+    b.Open("broker");
+    b.LeafText("name", "B");
+    b.Open("market");
+    b.LeafText("name", "NASDAQ");
+    for (int s = 0; s < 40; ++s) {
+      b.Open("stock");
+      b.LeafText("code", s % 2 ? "GOOG" : "YHOO");
+      b.LeafNumber("buy", 100 + s);
+      b.LeafNumber("qt", s);
+      b.Close();
+    }
+    b.Close().Close().Close();
+  }
+  b.Close();
+  Tree big = std::move(b).Finish();
+
+  auto make_cluster = [&](const Tree& t) {
+    auto doc_r = FragmentBySubtrees(t, t.root());
+    PAXML_CHECK(doc_r.ok());
+    auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+    return std::make_unique<Cluster>(doc, 4);
+  };
+
+  auto small_cluster = make_cluster(tree_);
+  auto big_cluster = make_cluster(big);
+
+  const std::string query =
+      ".[//stock/code/text() = \"GOOG\"]";  // Boolean: |ans| plays no role
+  auto qs = CompileXPath(query, small_cluster->doc().symbols());
+  auto qb = CompileXPath(query, big_cluster->doc().symbols());
+  ASSERT_TRUE(qs.ok());
+  ASSERT_TRUE(qb.ok());
+  auto rs = EvaluateParBoX(*small_cluster, *qs);
+  auto rb = EvaluateParBoX(*big_cluster, *qb);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rb.ok());
+  // Same fragment-tree shape (root + 3 children), same query: identical
+  // traffic despite ~8x more tree data.
+  EXPECT_EQ(rs->stats.total_bytes, rb->stats.total_bytes);
+}
+
+// ---- Randomized equivalence: the soundness workhorse ---------------------------
+
+struct PropertyCase {
+  uint64_t seed;
+};
+
+class DistributedPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(DistributedPropertyTest, AllAlgorithmsMatchCentralized) {
+  Rng rng(GetParam().seed);
+  Tree tree = RandomTree(&rng, 60 + rng.NextBounded(240));
+  auto doc_r = FragmentRandomly(tree, 1 + rng.NextBounded(9), &rng);
+  ASSERT_TRUE(doc_r.ok());
+  auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+  const size_t sites = 1 + rng.NextBounded(5);
+  ClusterOptions copts;
+  copts.parallel_execution = rng.NextBool();
+  Cluster cluster(doc, sites, copts);
+  cluster.PlaceRootAndSpread();
+
+  for (const std::string& query : PropertyQueryBattery()) {
+    auto compiled = CompileXPath(query, tree.symbols());
+    ASSERT_TRUE(compiled.ok()) << query;
+    auto centralized = EvaluateCentralized(tree, *compiled);
+
+    for (auto algo : {DistributedAlgorithm::kPaX3, DistributedAlgorithm::kPaX2,
+                      DistributedAlgorithm::kNaiveCentralized}) {
+      for (bool xa : {false, true}) {
+        if (algo == DistributedAlgorithm::kNaiveCentralized && xa) continue;
+        EngineOptions options;
+        options.algorithm = algo;
+        options.pax.use_annotations = xa;
+        auto r = EvaluateDistributed(cluster, *compiled, options);
+        ASSERT_TRUE(r.ok()) << AlgorithmName(algo) << " " << query << ": "
+                            << r.status();
+        EXPECT_EQ(r->ToSourceIds(*doc), centralized.answers)
+            << AlgorithmName(algo) << (xa ? "-XA" : "-NA") << " seed "
+            << GetParam().seed << " on " << query;
+        EXPECT_LE(r->stats.max_visits(),
+                  algo == DistributedAlgorithm::kPaX3 ? 3 : 2);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DistributedPropertyTest,
+    ::testing::Values(PropertyCase{1}, PropertyCase{2}, PropertyCase{3},
+                      PropertyCase{5}, PropertyCase{8}, PropertyCase{13},
+                      PropertyCase{21}, PropertyCase{34}, PropertyCase{55},
+                      PropertyCase{89}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return "seed_" + std::to_string(info.param.seed);
+    });
+
+// ---- Degenerate placements ------------------------------------------------------
+
+TEST_F(DistributedClienteleTest, SingleSiteCluster) {
+  Cluster one(doc_, 1);
+  auto compiled = CompileXPath("//stock/code", doc_->symbols());
+  ASSERT_TRUE(compiled.ok());
+  auto r = EvaluatePaX2(one, *compiled);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->ToSourceIds(*doc_), Centralized("//stock/code"));
+}
+
+TEST_F(DistributedClienteleTest, EverySiteEmptyQueryAnswer) {
+  DistributedResult r = Run("clientele/nonexistent/x",
+                            DistributedAlgorithm::kPaX2);
+  EXPECT_TRUE(r.answers.empty());
+  EXPECT_EQ(r.stats.answer_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace paxml

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "eval/centralized.h"
+#include "test_util.h"
+#include "xml/builder.h"
+
+namespace paxml {
+namespace {
+
+using testing::BuildClienteleTree;
+using testing::PathsOf;
+using testing::TextsOf;
+
+class CentralizedTest : public ::testing::Test {
+ protected:
+  CentralizedTest() : tree_(BuildClienteleTree()) {}
+
+  std::vector<std::string> Texts(const std::string& query) {
+    auto r = EvaluateCentralized(tree_, query);
+    EXPECT_TRUE(r.ok()) << query << ": " << r.status();
+    if (!r.ok()) return {};
+    return TextsOf(tree_, r->answers);
+  }
+
+  size_t Count(const std::string& query) {
+    auto r = EvaluateCentralized(tree_, query);
+    EXPECT_TRUE(r.ok()) << query << ": " << r.status();
+    return r.ok() ? r->answers.size() : 0;
+  }
+
+  Tree tree_;
+};
+
+TEST_F(CentralizedTest, SimplePaths) {
+  EXPECT_EQ(Texts("clientele/client/name"),
+            (std::vector<std::string>{"Anna", "Kim", "Lisa"}));
+  EXPECT_EQ(Texts("/clientele/client/country"),
+            (std::vector<std::string>{"Canada", "US", "US"}));
+  EXPECT_EQ(Count("clientele"), 1u);
+  EXPECT_EQ(Count("client"), 0u);  // root element is 'clientele'
+}
+
+TEST_F(CentralizedTest, PaperExample21) {
+  // Example 2.1 (anchored at the root element): name of brokers of US
+  // clients trading in NASDAQ.
+  EXPECT_EQ(Texts("clientele/client[country/text() = \"US\"]/"
+                  "broker[market/name/text() = \"NASDAQ\"]/name"),
+            (std::vector<std::string>{"Bache", "E*trade"}));
+}
+
+TEST_F(CentralizedTest, PaperExample33RightmostClientFails) {
+  // Lisa is in Canada: her broker's name is not selected.
+  EXPECT_EQ(Texts("clientele/client[country/text() = \"Canada\"]/broker/name"),
+            (std::vector<std::string>{"CIBC"}));
+  EXPECT_EQ(Texts("clientele/client[country/text() = \"US\"]/broker/name"),
+            (std::vector<std::string>{"Bache", "E*trade"}));
+}
+
+TEST_F(CentralizedTest, BooleanQueryFromIntroduction) {
+  // Q = [//stock/code/text() = "GOOG"]: true at the root.
+  auto r = EvaluateCentralized(tree_, ".[//stock/code/text() = \"GOOG\"]");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->answers.size(), 1u);
+  EXPECT_EQ(r->answers[0], tree_.root());
+
+  auto r2 = EvaluateCentralized(tree_, ".[//stock/code/text() = \"MSFT\"]");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->answers.empty());
+}
+
+TEST_F(CentralizedTest, QueryQ1FromIntroduction) {
+  // Q1: brokers with GOOG but no YHOO.
+  EXPECT_EQ(Texts("//broker[//stock/code/text() = \"GOOG\" and "
+                  "not(//stock/code/text() = \"YHOO\")]/name"),
+            (std::vector<std::string>{"Bache", "CIBC"}));
+  // E*trade has both GOOG and YHOO.
+  EXPECT_EQ(Texts("//broker[//stock/code/text() = \"GOOG\"]/name"),
+            (std::vector<std::string>{"Bache", "CIBC", "E*trade"}));
+}
+
+TEST_F(CentralizedTest, DescendantSelection) {
+  EXPECT_EQ(Count("//stock"), 5u);
+  EXPECT_EQ(Count("//market"), 4u);
+  EXPECT_EQ(Count("clientele//name"), 10u);  // 3 client + 3 broker + 4 market
+  EXPECT_EQ(Count("//clientele"), 1u);
+  EXPECT_EQ(Count("//client//code"), 5u);
+}
+
+TEST_F(CentralizedTest, WildcardSteps) {
+  EXPECT_EQ(Count("clientele/*"), 3u);
+  EXPECT_EQ(Count("clientele/*/name"), 3u);
+  EXPECT_EQ(Count("clientele/client/*"), 9u);  // 3 x (name, country, broker)
+  EXPECT_EQ(Count("*"), 1u);
+  EXPECT_EQ(Count("*/*/broker"), 3u);  // clientele/client/broker via wildcards
+  EXPECT_EQ(Count("*/*/*/market"), 4u);
+}
+
+TEST_F(CentralizedTest, ValueComparisons) {
+  EXPECT_EQ(Texts("//stock[buy/val() > 300]/code"),
+            (std::vector<std::string>{"GOOG", "GOOG", "GOOG"}));
+  EXPECT_EQ(Texts("//stock[buy/val() <= 80]/code"),
+            (std::vector<std::string>{"IBM", "YHOO"}));
+  EXPECT_EQ(Texts("//stock[qt/val() = 90]/code"),
+            (std::vector<std::string>{"GOOG"}));
+  EXPECT_EQ(Count("//stock[buy/val() != 374]"), 4u);
+  EXPECT_EQ(Texts("//market[stock/buy/val() >= 370 and stock/qt/val() >= "
+                  "75]/name"),
+            (std::vector<std::string>{"NASDAQ", "TSE"}));
+}
+
+TEST_F(CentralizedTest, ComparisonSugar) {
+  EXPECT_EQ(Texts("//stock[code = \"YHOO\"]/buy"),
+            (std::vector<std::string>{"33"}));
+  EXPECT_EQ(Texts("//stock[buy > 300]/code"),
+            (std::vector<std::string>{"GOOG", "GOOG", "GOOG"}));
+}
+
+TEST_F(CentralizedTest, NestedQualifiers) {
+  EXPECT_EQ(Texts("clientele/client[broker[market[name/text() = "
+                  "\"TSE\"]]]/name"),
+            (std::vector<std::string>{"Lisa"}));
+}
+
+TEST_F(CentralizedTest, QualifierOnLastStep) {
+  EXPECT_EQ(Texts("//market/name[text() = \"NASDAQ\"]"),
+            (std::vector<std::string>{"NASDAQ", "NASDAQ"}));
+}
+
+TEST_F(CentralizedTest, OrAndNotQualifiers) {
+  EXPECT_EQ(Texts("clientele/client[country/text() = \"Canada\" or "
+                  "broker/name/text() = \"Bache\"]/name"),
+            (std::vector<std::string>{"Kim", "Lisa"}));
+  EXPECT_EQ(Texts("clientele/client[not(country/text() = \"US\")]/name"),
+            (std::vector<std::string>{"Lisa"}));
+}
+
+TEST_F(CentralizedTest, SelfFilterAfterDescendant) {
+  // //.[code] — any node having a code child: the five stocks.
+  EXPECT_EQ(Count("//.[code]"), 5u);
+  // Self filter with text test.
+  EXPECT_EQ(Count("//.[text() = \"GOOG\"]"), 3u);  // the three code elements
+}
+
+TEST_F(CentralizedTest, TrailingDescendant) {
+  // clientele/client//. — the descendant-or-self closure of the client
+  // nodes: the clients themselves plus everything below them. The root's
+  // children are exactly the three clients, so this is every node except the
+  // root. (The surface grammar Q//Q needs an explicit ε on the right.)
+  EXPECT_EQ(Count("clientele/client//."), tree_.size() - 1);
+}
+
+TEST_F(CentralizedTest, EmptyAnswerCases) {
+  EXPECT_EQ(Count("clientele/market"), 0u);
+  EXPECT_EQ(Count("//broker[name/text() = \"Nomura\"]"), 0u);
+  EXPECT_EQ(Count("//stock[buy/val() > 1000]"), 0u);
+}
+
+TEST_F(CentralizedTest, QualifierFreeSkipsQualifierPass) {
+  auto r = EvaluateCentralized(tree_, "clientele/client/name");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.passes, 1);
+  EXPECT_EQ(r->stats.qualifier_ops, 0u);
+
+  auto r2 = EvaluateCentralized(tree_, "clientele/client[country]/name");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->stats.passes, 2);
+  EXPECT_GT(r2->stats.qualifier_ops, 0u);
+}
+
+TEST_F(CentralizedTest, AnswersAreInDocumentOrder) {
+  auto r = EvaluateCentralized(tree_, "//name");
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->answers.size(); ++i) {
+    EXPECT_LT(r->answers[i - 1], r->answers[i]);
+  }
+}
+
+TEST_F(CentralizedTest, RootQualifier) {
+  // Leading qualifier gates the whole query (evaluated at the root element).
+  EXPECT_EQ(Count(".[//code]//stock"), 5u);
+  EXPECT_EQ(Count(".[//nonexistent]//stock"), 0u);
+}
+
+TEST_F(CentralizedTest, TextNodesBehindElementsDontMatchLabels) {
+  // Text nodes never match label or wildcard steps.
+  EXPECT_EQ(Count("clientele/client/name/name"), 0u);
+  EXPECT_EQ(Count("//name/*"), 0u);
+}
+
+// ---- Virtual nodes are inert in centralized evaluation ----------------------
+
+TEST(CentralizedVirtualTest, VirtualNodesMatchNothing) {
+  TreeBuilder b;
+  b.Open("root").Open("a").LeafText("x", "1").Close().Virtual(1).Close();
+  Tree t = std::move(b).Finish();
+  auto r = EvaluateCentralized(t, "root/a/x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answers.size(), 1u);
+  auto r2 = EvaluateCentralized(t, "//x");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->answers.size(), 1u);
+}
+
+// ---- Empty / tiny trees -------------------------------------------------------
+
+TEST(CentralizedEdgeTest, EmptyTree) {
+  Tree t(std::make_shared<SymbolTable>());
+  auto r = EvaluateCentralized(t, "a/b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->answers.empty());
+}
+
+TEST(CentralizedEdgeTest, SingleNodeTree) {
+  TreeBuilder b;
+  b.Open("only").Close();
+  Tree t = std::move(b).Finish();
+  auto r = EvaluateCentralized(t, "only");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answers.size(), 1u);
+  auto r2 = EvaluateCentralized(t, ".[only]");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->answers.empty());  // root has no 'only' child
+  auto r3 = EvaluateCentralized(t, ".");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->answers.size(), 1u);  // '.' selects the root element
+}
+
+TEST(CentralizedEdgeTest, ParseErrorPropagates) {
+  Tree t = testing::BuildClienteleTree();
+  auto r = EvaluateCentralized(t, "a[[");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace paxml

@@ -1,0 +1,244 @@
+// Vector-level tests of the evaluation passes, reproducing the paper's
+// worked examples (3.1-3.4): qualifier values at specific clientele nodes,
+// residual formulas over virtual-node variables, and the z-variable stack
+// tops recorded at virtual nodes.
+
+#include <gtest/gtest.h>
+
+#include "core/site_eval.h"
+#include "core/vars.h"
+#include "eval/qualifier_pass.h"
+#include "eval/selection_pass.h"
+#include "fragment/fragmenter.h"
+#include "test_util.h"
+
+namespace paxml {
+namespace {
+
+using testing::BuildClienteleTree;
+using testing::ClienteleCuts;
+using testing::FindOne;
+
+/// Example 2.1's query, anchored at the root element.
+constexpr const char* kExample21 =
+    "clientele/client[country/text() = \"US\"]/"
+    "broker[market/name/text() = \"NASDAQ\"]/name";
+
+class PassesTest : public ::testing::Test {
+ protected:
+  PassesTest() : tree_(BuildClienteleTree()) {
+    auto q = CompileXPath(kExample21, tree_.symbols());
+    PAXML_CHECK(q.ok());
+    query_ = std::make_unique<CompiledQuery>(std::move(q).ValueOrDie());
+  }
+
+  Tree tree_;
+  std::unique_ptr<CompiledQuery> query_;
+};
+
+// ---- Example 3.3: qualifier truth at every client/broker (booleans) ----------
+
+TEST_F(PassesTest, Example33QualifierValuesOnWholeTree) {
+  BoolDomain domain;
+  QualVectors<BoolDomain> vectors = RunQualifierPass(tree_, *query_, &domain);
+
+  const int client_qual = query_->selection()[2].qual;  // [country = US]
+  const int broker_qual = query_->selection()[3].qual;  // [market/name = NASDAQ]
+  ASSERT_GE(client_qual, 0);
+  ASSERT_GE(broker_qual, 0);
+
+  auto qual_at = [&](const char* locator, int qual) {
+    NodeId v = FindOne(tree_, locator);
+    return domain.IsTrue(
+        EvalQualAtNode(tree_, *query_, &domain, vectors, v, qual));
+  };
+
+  // First qualifier: true at the two US clients, false at Lisa (Canada).
+  EXPECT_TRUE(qual_at("clientele/client[name=\"Anna\"]", client_qual));
+  EXPECT_TRUE(qual_at("clientele/client[name=\"Kim\"]", client_qual));
+  EXPECT_FALSE(qual_at("clientele/client[name=\"Lisa\"]", client_qual));
+
+  // Second qualifier: true at brokers with a NASDAQ market.
+  EXPECT_TRUE(qual_at("clientele/client[name=\"Anna\"]/broker", broker_qual));
+  EXPECT_TRUE(qual_at("clientele/client[name=\"Kim\"]/broker", broker_qual));
+  EXPECT_FALSE(qual_at("clientele/client[name=\"Lisa\"]/broker", broker_qual));
+}
+
+// ---- Examples 3.1/3.2: residual formulas over virtual-node variables ---------
+
+class FragmentPassesTest : public PassesTest {
+ protected:
+  FragmentPassesTest() {
+    auto doc = FragmentByCuts(tree_, ClienteleCuts(tree_));
+    PAXML_CHECK(doc.ok());
+    doc_ = std::make_unique<FragmentedDocument>(std::move(doc).ValueOrDie());
+  }
+
+  NodeId LocalNode(FragmentId f, const char* locator) {
+    // Locate in the original tree, then map into the fragment.
+    NodeId src = FindOne(tree_, locator);
+    const Fragment& frag = doc_->fragment(f);
+    for (NodeId v = 0; v < static_cast<NodeId>(frag.tree.size()); ++v) {
+      if (frag.source_ids[static_cast<size_t>(v)] == src) return v;
+    }
+    PAXML_CHECK(false);
+    return kNullNode;
+  }
+
+  std::unique_ptr<FragmentedDocument> doc_;
+};
+
+TEST_F(FragmentPassesTest, Example31ResidualsMentionVirtualChildVariables) {
+  const Fragment& f0 = doc_->fragment(0);
+  FragmentQualEval eval = RunFragmentQualifierStage(f0, *query_);
+  FormulaDomain domain(eval.arena.get());
+
+  const int client_qual = query_->selection()[2].qual;
+  const int broker_qual = query_->selection()[3].qual;
+
+  // Anna's client: the country qualifier resolves locally to TRUE (country
+  // is inside F0) — the paper's QV_client entry q4 = 1.
+  NodeId anna = LocalNode(0, "clientele/client[name=\"Anna\"]");
+  Formula anna_qual = EvalQualAtNode(f0.tree, *query_, &domain, eval.vectors,
+                                     anna, client_qual);
+  EXPECT_EQ(anna_qual, kTrueFormula);
+
+  // Kim's broker: the market qualifier depends on the virtual fragment 3
+  // (Kim's NASDAQ market) — a residual over F3's variables, the paper's
+  // "value of this qualifier depends on variable x8".
+  NodeId kim_broker = LocalNode(0, "clientele/client[name=\"Kim\"]/broker");
+  Formula kim_qual = EvalQualAtNode(f0.tree, *query_, &domain, eval.vectors,
+                                    kim_broker, broker_qual);
+  ASSERT_FALSE(eval.arena->IsConst(kim_qual));
+  std::vector<VarId> vars = eval.arena->CollectVars(kim_qual);
+  ASSERT_FALSE(vars.empty());
+  for (VarId v : vars) {
+    EXPECT_EQ(FragmentOfVar(v), 3) << VarName(v);
+  }
+
+  // Example 3.2: substituting the child fragment's actual root values
+  // collapses the residual to TRUE (Kim's virtual market IS NASDAQ).
+  const Fragment& f3 = doc_->fragment(3);
+  FragmentQualEval f3_eval = RunFragmentQualifierStage(f3, *query_);
+  const NodeId f3_root = f3.tree.root();
+  Formula resolved = eval.arena->Substitute(
+      kim_qual, [&](VarId v) -> std::optional<Formula> {
+        const int e = static_cast<int>(IndexOfVar(v));
+        // F3 is a leaf fragment: its residuals are constants; transfer is a
+        // constant-to-constant mapping.
+        Formula child_value = KindOfVar(v) == VarKind::kQV
+                                  ? f3_eval.vectors.QV(f3_root, e)
+                                  : f3_eval.vectors.QDV(f3_root, e);
+        PAXML_CHECK(f3_eval.arena->IsConst(child_value));
+        return child_value;
+      });
+  EXPECT_EQ(resolved, kTrueFormula);
+}
+
+TEST_F(FragmentPassesTest, LeafFragmentsHaveConstantResiduals) {
+  // Fragments without virtual nodes (F2, F3, F4) produce variable-free
+  // vectors — the property evalFT's bottom-up unification starts from.
+  for (FragmentId f : {2, 3, 4}) {
+    const Fragment& frag = doc_->fragment(f);
+    ASSERT_TRUE(frag.tree.VirtualNodes().empty());
+    FragmentQualEval eval = RunFragmentQualifierStage(frag, *query_);
+    for (Formula v : eval.vectors.qv) EXPECT_TRUE(eval.arena->IsConst(v));
+    for (Formula v : eval.vectors.qdv) EXPECT_TRUE(eval.arena->IsConst(v));
+  }
+}
+
+// ---- Example 3.4: z variables and virtual stack tops ---------------------------
+
+TEST_F(FragmentPassesTest, Example34StackInitAndVirtualTops) {
+  // Selection over fragment F1 (Anna's broker) for the qualifier-free
+  // variant client path: clientele/client/broker/name.
+  auto q = CompileXPath("clientele/client/broker/name", tree_.symbols());
+  ASSERT_TRUE(q.ok());
+  const Fragment& f1 = doc_->fragment(1);
+
+  FormulaArena arena;
+  FormulaDomain domain(&arena);
+  std::vector<Formula> init = VariableStackInit(*q, 1, &arena);
+  // Entry 0 (document node) is constant false; entries 1..4 are z variables.
+  ASSERT_EQ(init.size(), 5u);
+  EXPECT_EQ(init[0], kFalseFormula);
+  for (size_t i = 1; i < init.size(); ++i) {
+    ASSERT_EQ(arena.kind(init[i]), FormulaKind::kVar);
+    EXPECT_EQ(KindOfVar(arena.var(init[i])), VarKind::kSV);
+    EXPECT_EQ(FragmentOfVar(arena.var(init[i])), 1);
+    EXPECT_EQ(IndexOfVar(arena.var(init[i])), i);
+  }
+
+  SelectionOutput<FormulaDomain> out =
+      RunSelectionPass(f1.tree, *q, &domain, init, {});
+
+  // The paper's Example 3.4: SV_name = <0, 0, z1> — the name node is a
+  // candidate whose residual is exactly the z variable of the 'client'
+  // entry (our entry 2: root, clientele, client, broker, name).
+  ASSERT_EQ(out.answers.size(), 0u);
+  ASSERT_EQ(out.candidates.size(), 1u);
+  const auto& [cand_node, cand_formula] = out.candidates[0];
+  EXPECT_EQ(f1.tree.LabelName(cand_node), "name");
+  ASSERT_EQ(arena.kind(cand_formula), FormulaKind::kVar);
+  EXPECT_EQ(arena.var(cand_formula), MakeSVVar(1, 2));
+
+  // One virtual node (F2): its recorded stack top is the broker's SV vector;
+  // the broker entry (3) carries the same z variable.
+  ASSERT_EQ(out.virtual_stack_tops.size(), 1u);
+  const auto& [vnode, top] = out.virtual_stack_tops[0];
+  EXPECT_EQ(f1.tree.fragment_ref(vnode), 2);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[3], arena.Var(MakeSVVar(1, 2)));  // broker matched under z2
+  EXPECT_EQ(top[4], kFalseFormula);               // name entry dead at broker
+}
+
+// ---- Document-node vector construction ----------------------------------------
+
+TEST(DocVectorTest, DescendantEntriesInheritRootContext) {
+  auto symbols = std::make_shared<SymbolTable>();
+  auto q = CompileXPath("//broker/name", symbols);
+  ASSERT_TRUE(q.ok());
+  BoolDomain domain;
+  // Entries: root, //, broker, name.
+  std::vector<uint8_t> vec = MakeDocVector(*q, &domain, domain.True());
+  ASSERT_EQ(vec.size(), 4u);
+  EXPECT_EQ(vec[0], 1);  // document node
+  EXPECT_EQ(vec[1], 1);  // '//' closure contains the document node
+  EXPECT_EQ(vec[2], 0);
+  EXPECT_EQ(vec[3], 0);
+
+  // A false root context (failed root qualifier) kills the closure too.
+  std::vector<uint8_t> dead = MakeDocVector(*q, &domain, domain.False());
+  EXPECT_EQ(dead[0], 0);
+  EXPECT_EQ(dead[1], 0);
+}
+
+TEST(DocVectorTest, SelfFilterAfterLeadingDescendant) {
+  auto symbols = std::make_shared<SymbolTable>();
+  auto q = CompileXPath("//.[code]", symbols);
+  ASSERT_TRUE(q.ok());
+  BoolDomain domain;
+  // Entries: root, //, .[code]; the self filter consults the doc-node
+  // qualifier hook.
+  int asked = -1;
+  std::vector<uint8_t> vec =
+      MakeDocVector(*q, &domain, domain.True(), [&](int qual_id) {
+        asked = qual_id;
+        return domain.False();
+      });
+  ASSERT_EQ(vec.size(), 3u);
+  EXPECT_GE(asked, 0);
+  EXPECT_EQ(vec[2], 0);
+}
+
+// ---- Qualifier pass ops accounting ---------------------------------------------
+
+TEST_F(PassesTest, OpsCounterMatchesNodeTimesEntries) {
+  BoolDomain domain;
+  uint64_t ops = 0;
+  RunQualifierPass(tree_, *query_, &domain, {}, &ops);
+  EXPECT_EQ(ops, tree_.size() * query_->entries().size());
+}
+
+}  // namespace
+}  // namespace paxml

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "fragment/fragment.h"
+#include "fragment/fragmenter.h"
+#include "fragment/pruning.h"
+#include "test_util.h"
+#include "xml/serializer.h"
+#include "xpath/query_plan.h"
+
+namespace paxml {
+namespace {
+
+using testing::BuildClienteleTree;
+using testing::ClienteleCuts;
+
+class ClienteleFragmentTest : public ::testing::Test {
+ protected:
+  ClienteleFragmentTest() : tree_(BuildClienteleTree()) {
+    auto doc = FragmentByCuts(tree_, ClienteleCuts(tree_));
+    PAXML_CHECK(doc.ok());
+    doc_ = std::move(doc).ValueOrDie();
+  }
+
+  Tree tree_;
+  FragmentedDocument doc_;
+};
+
+TEST_F(ClienteleFragmentTest, StructureMatchesPaperFigure2) {
+  ASSERT_EQ(doc_.size(), 5u);
+  EXPECT_TRUE(doc_.Validate().ok()) << doc_.Validate();
+
+  // Fragment tree: F0 -> {F1, F3, F4}, F1 -> {F2} (paper Fig. 2, with ids in
+  // document order: F3 = Kim's market, F4 = Lisa's client).
+  EXPECT_EQ(doc_.fragment(1).parent, 0);
+  EXPECT_EQ(doc_.fragment(2).parent, 1);
+  EXPECT_EQ(doc_.fragment(3).parent, 0);
+  EXPECT_EQ(doc_.fragment(4).parent, 0);
+  EXPECT_EQ(doc_.fragment(0).children, (std::vector<FragmentId>{1, 3, 4}));
+  EXPECT_EQ(doc_.fragment(1).children, (std::vector<FragmentId>{2}));
+}
+
+TEST_F(ClienteleFragmentTest, AnnotationsMatchPaperFigure6) {
+  const SymbolTable& syms = *doc_.symbols();
+  EXPECT_EQ(doc_.fragment(1).AnnotationString(syms), "client/broker");
+  EXPECT_EQ(doc_.fragment(2).AnnotationString(syms), "market");
+  EXPECT_EQ(doc_.fragment(3).AnnotationString(syms), "client/broker/market");
+  EXPECT_EQ(doc_.fragment(4).AnnotationString(syms), "client");
+}
+
+TEST_F(ClienteleFragmentTest, VirtualNodesLinkFragments) {
+  // F0 contains virtual nodes for F1, F3, F4 (paper Fig. 3(a)).
+  std::vector<FragmentId> refs;
+  for (NodeId v : doc_.fragment(0).tree.VirtualNodes()) {
+    refs.push_back(doc_.fragment(0).tree.fragment_ref(v));
+  }
+  EXPECT_EQ(refs, (std::vector<FragmentId>{1, 3, 4}));
+  // F2, F3, F4 are leaf fragments: no virtual nodes (paper Fig. 3(b)).
+  EXPECT_TRUE(doc_.fragment(2).tree.VirtualNodes().empty());
+  EXPECT_TRUE(doc_.fragment(3).tree.VirtualNodes().empty());
+  EXPECT_TRUE(doc_.fragment(4).tree.VirtualNodes().empty());
+}
+
+TEST_F(ClienteleFragmentTest, AssembleRoundTripsExactly) {
+  Tree assembled = doc_.Assemble();
+  EXPECT_EQ(SerializeXml(assembled), SerializeXml(tree_));
+}
+
+TEST_F(ClienteleFragmentTest, AssembleMappingPointsBack) {
+  std::vector<GlobalNodeId> mapping;
+  Tree assembled = doc_.Assemble(&mapping);
+  ASSERT_EQ(mapping.size(), assembled.size());
+  for (NodeId v = 0; v < static_cast<NodeId>(assembled.size()); ++v) {
+    const GlobalNodeId g = mapping[static_cast<size_t>(v)];
+    const Tree& ft = doc_.fragment(g.fragment).tree;
+    if (assembled.IsElement(v)) {
+      EXPECT_EQ(ft.label(g.node), assembled.label(v));
+    } else {
+      EXPECT_EQ(ft.text(g.node), assembled.text(v));
+    }
+  }
+}
+
+TEST_F(ClienteleFragmentTest, SourceIdsMapToOriginal) {
+  for (const Fragment& f : doc_.fragments()) {
+    for (NodeId v = 0; v < static_cast<NodeId>(f.tree.size()); ++v) {
+      const NodeId src = f.source_ids[static_cast<size_t>(v)];
+      if (f.tree.IsElement(v)) {
+        EXPECT_EQ(tree_.label(src), f.tree.label(v));
+      } else if (f.tree.IsText(v)) {
+        EXPECT_EQ(tree_.text(src), f.tree.text(v));
+      }
+    }
+  }
+}
+
+TEST_F(ClienteleFragmentTest, PayloadPartitionsTheTree) {
+  EXPECT_EQ(doc_.TotalPayloadNodes(), tree_.size());
+}
+
+TEST_F(ClienteleFragmentTest, PathFromGlobalRoot) {
+  auto path_str = [&](FragmentId f) {
+    std::vector<std::string> labels;
+    for (Symbol s : doc_.PathFromGlobalRoot(f)) {
+      labels.push_back(doc_.symbols()->Name(s));
+    }
+    return Join(labels, "/");
+  };
+  EXPECT_EQ(path_str(0), "");
+  EXPECT_EQ(path_str(1), "client/broker");
+  EXPECT_EQ(path_str(2), "client/broker/market");
+  EXPECT_EQ(path_str(3), "client/broker/market");
+  EXPECT_EQ(path_str(4), "client");
+}
+
+// ---- Fragmenter error handling ------------------------------------------------
+
+TEST(FragmenterTest, RejectsBadCuts) {
+  Tree t = BuildClienteleTree();
+  EXPECT_FALSE(FragmentByCuts(t, {0}).ok());                        // root
+  EXPECT_FALSE(FragmentByCuts(t, {static_cast<NodeId>(t.size())}).ok());
+  EXPECT_FALSE(FragmentByCuts(t, {-3}).ok());
+  NodeId broker = testing::FindOne(t, "clientele/client[name=\"Anna\"]/broker");
+  EXPECT_FALSE(FragmentByCuts(t, {broker, broker}).ok());           // dup
+  // Text node cut.
+  NodeId name = testing::FindOne(t, "clientele/client[name=\"Anna\"]/name");
+  NodeId text = t.first_child(name);
+  ASSERT_TRUE(t.IsText(text));
+  EXPECT_FALSE(FragmentByCuts(t, {text}).ok());
+}
+
+TEST(FragmenterTest, NoCutsYieldsSingleFragment) {
+  Tree t = BuildClienteleTree();
+  auto doc = FragmentByCuts(t, {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 1u);
+  EXPECT_EQ(SerializeXml(doc->Assemble()), SerializeXml(t));
+}
+
+TEST(FragmenterTest, FragmentBySubtrees) {
+  Tree t = BuildClienteleTree();
+  auto doc = FragmentBySubtrees(t, t.root());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  // Root fragment (bare clientele) + one fragment per client.
+  EXPECT_EQ(doc->size(), 4u);
+  EXPECT_EQ(doc->fragment(0).PayloadSize(), 1u);
+  EXPECT_EQ(SerializeXml(doc->Assemble()), SerializeXml(t));
+}
+
+TEST(FragmenterTest, FragmentBySizeBoundsFragments) {
+  Tree t = BuildClienteleTree();
+  auto doc = FragmentBySize(t, 10);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_GT(doc->size(), 1u);
+  EXPECT_TRUE(doc->Validate().ok());
+  EXPECT_EQ(SerializeXml(doc->Assemble()), SerializeXml(t));
+}
+
+TEST(FragmenterTest, RandomFragmentationRoundTrips) {
+  Rng rng(7);
+  for (int iter = 0; iter < 20; ++iter) {
+    Tree t = testing::RandomTree(&rng, 40 + rng.NextBounded(150));
+    const std::string original = SerializeXml(t);
+    auto doc = FragmentRandomly(t, 1 + rng.NextBounded(8), &rng);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    ASSERT_TRUE(doc->Validate().ok()) << doc->Validate();
+    EXPECT_EQ(SerializeXml(doc->Assemble()), original);
+    EXPECT_EQ(doc->TotalPayloadNodes(), t.size());
+  }
+}
+
+// ---- Pruning (Section 5, Example 5.1) -----------------------------------------
+
+class PruningTest : public ClienteleFragmentTest {
+ protected:
+  PruneResult Prune(const std::string& query) {
+    auto q = CompileXPath(query, doc_.symbols());
+    PAXML_CHECK(q.ok());
+    return PruneFragments(doc_, *q);
+  }
+};
+
+TEST_F(PruningTest, Example51ClientName) {
+  // Query client/name (anchored at the root element): only the root fragment
+  // and Lisa's client fragment can contain answers. The paper's Example 5.1
+  // rules out F1, F2 and Kim's market for exactly this query.
+  PruneResult p = Prune("clientele/client/name");
+  EXPECT_TRUE(p.selection_relevant[0]);
+  EXPECT_FALSE(p.selection_relevant[1]);  // client/broker: dead
+  EXPECT_FALSE(p.selection_relevant[2]);
+  EXPECT_FALSE(p.selection_relevant[3]);  // client/broker/market: dead
+  EXPECT_TRUE(p.selection_relevant[4]);   // client: alive, name may be inside
+  // No qualifiers: required == selection_relevant.
+  EXPECT_EQ(p.required, p.selection_relevant);
+}
+
+TEST_F(PruningTest, DescendantKeepsEverything) {
+  PruneResult p = Prune("//code");
+  for (size_t f = 0; f < doc_.size(); ++f) {
+    EXPECT_TRUE(p.selection_relevant[f]) << "fragment " << f;
+  }
+}
+
+TEST_F(PruningTest, DescendantAfterPrefixPrunesSiblings) {
+  // clientele/client//name: every fragment sits under a client, so all stay.
+  PruneResult p = Prune("clientele/client//name");
+  EXPECT_EQ(p.CountSelectionRelevant(), doc_.size());
+}
+
+TEST_F(PruningTest, QualifierReachKeepsFragmentsSelectionWouldDrop) {
+  // Answers are names of clients, so market fragments can hold no answers;
+  // but the //stock qualifier can see into every fragment below a client.
+  PruneResult p = Prune(
+      "clientele/client[.//stock/code/text() = \"GOOG\"]/name");
+  EXPECT_FALSE(p.selection_relevant[1]);
+  EXPECT_FALSE(p.selection_relevant[2]);
+  EXPECT_FALSE(p.selection_relevant[3]);
+  EXPECT_TRUE(p.required[1]);
+  EXPECT_TRUE(p.required[2]);
+  EXPECT_TRUE(p.required[3]);
+  EXPECT_TRUE(p.required[4]);
+}
+
+TEST_F(PruningTest, BoundedQualifierDepthLimitsReach) {
+  // [name] at clients sees exactly one level below a client: Lisa's fragment
+  // (rooted at a client) matters, Anna's broker subtree does not... but the
+  // broker fragment root is exactly one level below a client node, so a
+  // child-axis qualifier anchored at a live client state still sees it.
+  PruneResult p = Prune("clientele/client[name]/country");
+  EXPECT_TRUE(p.required[1]);   // broker root is a child of a client
+  EXPECT_FALSE(p.required[2]);  // market under broker: two levels deep
+  EXPECT_FALSE(p.required[3]);
+  EXPECT_TRUE(p.required[4]);
+}
+
+TEST_F(PruningTest, ParentVectorIsExactForQualifierFreeQueries) {
+  PruneResult p = Prune("clientele/client/broker/market/name");
+  // Fragment 1 (Anna's broker): parent vector = SV of Anna's client node =
+  // [0(root), 0(clientele... wait: entries are root, clientele, client,
+  // broker, market, name] — at the client node the 'client' entry holds.
+  const std::vector<uint8_t>& pv = p.parent_vector[1];
+  ASSERT_EQ(pv.size(), 6u);
+  EXPECT_EQ(pv[2], 1);  // prefix clientele/client alive at the parent
+  EXPECT_EQ(pv[3], 0);
+  // Fragment 2 (market): parent is the broker node.
+  EXPECT_EQ(p.parent_vector[2][3], 1);
+}
+
+TEST_F(PruningTest, MaxQualifierDepth) {
+  auto q = CompileXPath("a[b/c and .//d]", doc_.symbols());
+  ASSERT_TRUE(q.ok());
+  const auto& sel = q->selection();
+  ASSERT_EQ(sel.size(), 2u);
+  ASSERT_GE(sel[1].qual, 0);
+  // The conjunction contains a '//' atom: unbounded.
+  EXPECT_EQ(MaxQualifierDepth(*q, sel[1].qual), kUnboundedQualDepth);
+
+  auto q2 = CompileXPath("a[b/c/d]", doc_.symbols());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(MaxQualifierDepth(*q2, q2->selection()[1].qual), 3);
+
+  auto q3 = CompileXPath("a[text() = \"x\"]", doc_.symbols());
+  ASSERT_TRUE(q3.ok());
+  EXPECT_EQ(MaxQualifierDepth(*q3, q3->selection()[1].qual), 1);
+}
+
+}  // namespace
+}  // namespace paxml

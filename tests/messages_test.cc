@@ -1,0 +1,174 @@
+// Wire-format tests for the coordinator/site messages.
+
+#include <gtest/gtest.h>
+
+#include "core/messages.h"
+#include "core/vars.h"
+
+namespace paxml {
+namespace {
+
+TEST(QualUpMessageTest, RoundTrip) {
+  FormulaArena arena;
+  QualUpMessage m;
+  m.fragment = 4;
+  m.root_qv = {kTrueFormula, arena.Var(MakeQVVar(7, 1)), kFalseFormula};
+  m.root_qdv = {kTrueFormula, arena.Or(arena.Var(MakeQDVVar(7, 1)),
+                                       arena.Var(MakeQVVar(7, 2))),
+                kTrueFormula};
+  m.root_qual = arena.And(arena.Var(MakeQVVar(7, 0)), kTrueFormula);
+
+  ByteWriter w;
+  m.Encode(arena, &w);
+  FormulaArena dst;
+  ByteReader r(w.bytes());
+  auto decoded = QualUpMessage::Decode(&dst, &r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->fragment, 4);
+  ASSERT_EQ(decoded->root_qv.size(), 3u);
+  EXPECT_EQ(decoded->root_qv[0], kTrueFormula);
+  EXPECT_EQ(dst.var(decoded->root_qv[1]), MakeQVVar(7, 1));
+  EXPECT_EQ(decoded->root_qv[2], kFalseFormula);
+  EXPECT_EQ(dst.kind(decoded->root_qdv[1]), FormulaKind::kOr);
+  EXPECT_EQ(dst.var(decoded->root_qual), MakeQVVar(7, 0));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SelUpMessageTest, RoundTrip) {
+  FormulaArena arena;
+  SelUpMessage m;
+  m.fragment = 2;
+  m.answer_count = 5;
+  m.candidate_count = 3;
+  m.virtual_tops.push_back(
+      {7, {kFalseFormula, arena.Var(MakeSVVar(7, 1)), kTrueFormula}});
+  m.virtual_tops.push_back({9, {kFalseFormula, kFalseFormula, kFalseFormula}});
+
+  ByteWriter w;
+  m.Encode(arena, &w);
+  FormulaArena dst;
+  ByteReader r(w.bytes());
+  auto decoded = SelUpMessage::Decode(&dst, &r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->fragment, 2);
+  EXPECT_EQ(decoded->answer_count, 5u);
+  EXPECT_EQ(decoded->candidate_count, 3u);
+  ASSERT_EQ(decoded->virtual_tops.size(), 2u);
+  EXPECT_EQ(decoded->virtual_tops[0].child, 7);
+  EXPECT_EQ(dst.var(decoded->virtual_tops[0].stack_top[1]), MakeSVVar(7, 1));
+  EXPECT_EQ(decoded->virtual_tops[1].child, 9);
+}
+
+TEST(QualDownMessageTest, RoundTripWithBitPacking) {
+  QualDownMessage m;
+  m.fragment = 1;
+  // 11 entries exercises the bit-packed encoding across byte boundaries.
+  QualDownMessage::ResolvedChild c;
+  c.child = 3;
+  c.qv = {1, 0, 1, 1, 0, 0, 0, 1, 1, 0, 1};
+  c.qdv = {0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 1};
+  m.children.push_back(c);
+
+  ByteWriter w;
+  m.Encode(&w);
+  ByteReader r(w.bytes());
+  auto decoded = QualDownMessage::Decode(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->children.size(), 1u);
+  EXPECT_EQ(decoded->children[0].child, 3);
+  EXPECT_EQ(decoded->children[0].qv, c.qv);
+  EXPECT_EQ(decoded->children[0].qdv, c.qdv);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SelDownMessageTest, RoundTrip) {
+  SelDownMessage m;
+  m.fragment = 6;
+  m.stack_init = {0, 1, 1, 0, 1};
+  ByteWriter w;
+  m.Encode(&w);
+  ByteReader r(w.bytes());
+  auto decoded = SelDownMessage::Decode(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->fragment, 6);
+  EXPECT_EQ(decoded->stack_init, m.stack_init);
+}
+
+TEST(AnswerUpMessageTest, RoundTrip) {
+  AnswerUpMessage m;
+  m.fragment = 3;
+  m.answers = {0, 7, 120, 4096};
+  ByteWriter w;
+  m.Encode(&w);
+  ByteReader r(w.bytes());
+  auto decoded = AnswerUpMessage::Decode(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->fragment, 3);
+  EXPECT_EQ(decoded->answers, m.answers);
+}
+
+TEST(MessageTest, DecodeRejectsTruncation) {
+  FormulaArena arena;
+  QualUpMessage m;
+  m.fragment = 1;
+  m.root_qv = {kTrueFormula};
+  m.root_qdv = {kTrueFormula};
+  ByteWriter w;
+  m.Encode(arena, &w);
+  for (size_t cut = 0; cut + 1 < w.bytes().size(); cut += 2) {
+    FormulaArena dst;
+    ByteReader r(std::string_view(w.bytes()).substr(0, cut));
+    EXPECT_FALSE(QualUpMessage::Decode(&dst, &r).ok()) << cut;
+  }
+}
+
+TEST(MessageTest, EmptyVectorsEncodeCleanly) {
+  FormulaArena arena;
+  QualUpMessage m;
+  m.fragment = 0;
+  ByteWriter w;
+  m.Encode(arena, &w);
+  FormulaArena dst;
+  ByteReader r(w.bytes());
+  auto decoded = QualUpMessage::Decode(&dst, &r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->root_qv.empty());
+  EXPECT_TRUE(decoded->root_qdv.empty());
+}
+
+// ---- Variable provenance encoding ------------------------------------------------
+
+TEST(VarsTest, EncodingRoundTrips) {
+  const VarId qv = MakeQVVar(12, 34);
+  EXPECT_EQ(KindOfVar(qv), VarKind::kQV);
+  EXPECT_EQ(FragmentOfVar(qv), 12);
+  EXPECT_EQ(IndexOfVar(qv), 34u);
+
+  const VarId qdv = MakeQDVVar(0, 0);
+  EXPECT_EQ(KindOfVar(qdv), VarKind::kQDV);
+
+  const VarId sv = MakeSVVar(16383, 65535);  // boundary values
+  EXPECT_EQ(KindOfVar(sv), VarKind::kSV);
+  EXPECT_EQ(FragmentOfVar(sv), 16383);
+  EXPECT_EQ(IndexOfVar(sv), 65535u);
+
+  const VarId local = MakeLocalVar(123456);
+  EXPECT_EQ(KindOfVar(local), VarKind::kLocal);
+}
+
+TEST(VarsTest, DistinctProvenanceDistinctIds) {
+  EXPECT_NE(MakeQVVar(1, 2), MakeQDVVar(1, 2));
+  EXPECT_NE(MakeQVVar(1, 2), MakeQVVar(2, 1));
+  EXPECT_NE(MakeSVVar(1, 2), MakeQVVar(1, 2));
+  EXPECT_NE(MakeLocalVar(0), MakeQVVar(0, 0));
+}
+
+TEST(VarsTest, NamesAreReadable) {
+  EXPECT_EQ(VarName(MakeQVVar(2, 3)), "qv[F2].e3");
+  EXPECT_EQ(VarName(MakeQDVVar(1, 0)), "qdv[F1].e0");
+  EXPECT_EQ(VarName(MakeSVVar(4, 1)), "sv[F4].s1");
+  EXPECT_EQ(VarName(MakeLocalVar(9)), "local.9");
+}
+
+}  // namespace
+}  // namespace paxml

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/out_of_core.h"
+#include "eval/centralized.h"
+#include "fragment/fragmenter.h"
+#include "fragment/storage.h"
+#include "test_util.h"
+#include "xml/serializer.h"
+
+namespace paxml {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<NodeId> ToSource(const FragmentedDocument& doc,
+                             const std::vector<GlobalNodeId>& answers) {
+  std::vector<NodeId> out;
+  for (const GlobalNodeId& g : answers) {
+    out.push_back(doc.fragment(g.fragment).source_ids[static_cast<size_t>(g.node)]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(OutOfCoreTest, MatchesCentralizedOnClientele) {
+  Tree tree = testing::BuildClienteleTree();
+  auto doc_r = FragmentByCuts(tree, testing::ClienteleCuts(tree));
+  ASSERT_TRUE(doc_r.ok());
+  FragmentedDocument doc = std::move(doc_r).ValueOrDie();
+  InMemorySource source(&doc);
+
+  const std::vector<std::string> queries = {
+      "clientele/client/name",
+      "clientele/client[country/text() = \"US\"]/broker/name",
+      "//stock[buy/val() > 300]/code",
+      "//broker[//stock/code/text() = \"GOOG\"]/name",
+  };
+  for (const std::string& q : queries) {
+    auto compiled = CompileXPath(q, tree.symbols());
+    ASSERT_TRUE(compiled.ok());
+    for (bool xa : {false, true}) {
+      auto r = EvaluateOutOfCore(&source, *compiled, {.use_annotations = xa});
+      ASSERT_TRUE(r.ok()) << q << ": " << r.status();
+      auto expected = EvaluateCentralized(tree, *compiled);
+      EXPECT_EQ(ToSource(doc, r->answers), expected.answers)
+          << q << " xa=" << xa;
+    }
+  }
+}
+
+TEST(OutOfCoreTest, LoadBoundsMatchVisitBounds) {
+  Tree tree = testing::BuildClienteleTree();
+  auto doc_r = FragmentByCuts(tree, testing::ClienteleCuts(tree));
+  ASSERT_TRUE(doc_r.ok());
+  FragmentedDocument doc = std::move(doc_r).ValueOrDie();
+  InMemorySource source(&doc);
+
+  // No qualifiers, no annotations: one load per fragment for selection.
+  auto q1 = CompileXPath("clientele/client/broker/name", tree.symbols());
+  ASSERT_TRUE(q1.ok());
+  auto r1 = EvaluateOutOfCore(&source, *q1, {.use_annotations = false});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->fragment_loads, doc.size());
+
+  // Qualifiers: at most two loads per fragment.
+  auto q2 = CompileXPath("clientele/client[country]/broker/name",
+                         tree.symbols());
+  ASSERT_TRUE(q2.ok());
+  auto r2 = EvaluateOutOfCore(&source, *q2, {.use_annotations = false});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LE(r2->fragment_loads, 2 * doc.size());
+
+  // Annotations skip irrelevant fragments' files entirely.
+  auto q3 = CompileXPath("clientele/client/name", tree.symbols());
+  ASSERT_TRUE(q3.ok());
+  auto r3 = EvaluateOutOfCore(&source, *q3, {.use_annotations = true});
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->fragment_loads, 2u);  // F0 + Lisa's fragment only
+
+  // Boolean queries: one load per required fragment.
+  auto q4 = CompileXPath(".[//code/text() = \"IBM\"]", tree.symbols());
+  ASSERT_TRUE(q4.ok());
+  auto r4 = EvaluateOutOfCore(&source, *q4, {.use_annotations = false});
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4->fragment_loads, doc.size());
+  EXPECT_EQ(r4->answers.size(), 1u);
+}
+
+TEST(OutOfCoreTest, PeakResidencyIsOneFragment) {
+  Tree tree = testing::BuildClienteleTree();
+  auto doc_r = FragmentByCuts(tree, testing::ClienteleCuts(tree));
+  ASSERT_TRUE(doc_r.ok());
+  FragmentedDocument doc = std::move(doc_r).ValueOrDie();
+  InMemorySource source(&doc);
+
+  size_t max_fragment = 0;
+  size_t total = 0;
+  for (const Fragment& f : doc.fragments()) {
+    max_fragment = std::max(max_fragment, SerializedSize(f.tree));
+    total += SerializedSize(f.tree);
+  }
+  auto q = CompileXPath("//stock/code", tree.symbols());
+  ASSERT_TRUE(q.ok());
+  auto r = EvaluateOutOfCore(&source, *q, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->peak_fragment_bytes, max_fragment);
+  EXPECT_LT(r->peak_fragment_bytes, total);
+}
+
+TEST(OutOfCoreTest, DirectorySourceEndToEnd) {
+  const fs::path dir =
+      fs::temp_directory_path() / "paxml_ooc_dir_test";
+  fs::remove_all(dir);
+
+  Tree tree = testing::BuildClienteleTree();
+  auto doc_r = FragmentByCuts(tree, testing::ClienteleCuts(tree));
+  ASSERT_TRUE(doc_r.ok());
+  ASSERT_TRUE(SaveDocument(*doc_r, dir.string()).ok());
+
+  auto source = DirectorySource::Open(dir.string());
+  ASSERT_TRUE(source.ok()) << source.status();
+  EXPECT_EQ((*source)->fragment_count(), doc_r->size());
+
+  // The query must be compiled against the loaded store's symbol table
+  // (labels are interned per table).
+  const char* query_text =
+      "clientele/client[country/text() = \"US\"]/broker/name";
+  auto q = CompileXPath(query_text, (*source)->skeleton().symbols());
+  ASSERT_TRUE(q.ok());
+  auto r = EvaluateOutOfCore(source->get(), *q, {});
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto expected = EvaluateCentralized(tree, query_text);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(ToSource(*doc_r, r->answers), expected->answers);
+
+  fs::remove_all(dir);
+}
+
+TEST(OutOfCoreTest, RandomizedEquivalence) {
+  Rng rng(909);
+  for (int iter = 0; iter < 6; ++iter) {
+    Tree tree = testing::RandomTree(&rng, 100 + rng.NextBounded(200));
+    auto doc_r = FragmentRandomly(tree, 1 + rng.NextBounded(10), &rng);
+    ASSERT_TRUE(doc_r.ok());
+    FragmentedDocument doc = std::move(doc_r).ValueOrDie();
+    InMemorySource source(&doc);
+    for (const std::string& q : testing::PropertyQueryBattery()) {
+      auto compiled = CompileXPath(q, tree.symbols());
+      ASSERT_TRUE(compiled.ok());
+      auto r = EvaluateOutOfCore(&source, *compiled, {});
+      ASSERT_TRUE(r.ok()) << q << ": " << r.status();
+      auto expected = EvaluateCentralized(tree, *compiled);
+      EXPECT_EQ(ToSource(doc, r->answers), expected.answers)
+          << q << " iter=" << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paxml

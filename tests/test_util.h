@@ -1,0 +1,214 @@
+// Shared helpers for the paxml test suite.
+
+#ifndef PAXML_TESTS_TEST_UTIL_H_
+#define PAXML_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "eval/centralized.h"
+#include "xml/builder.h"
+#include "xml/tree.h"
+
+namespace paxml::testing {
+
+/// Builds the investment-clientele tree of Fig. 1 of the paper:
+///
+/// clientele
+///  ├ client  (Anna, US)    broker E*trade -> market NASDAQ
+///  │                         {GOOG 374 x40, YHOO 33 x40}
+///  ├ client  (Kim, US)     broker Bache -> market NYSE {IBM 80 x50}
+///  │                                    -> market NASDAQ {GOOG 370 x75}
+///  └ client  (Lisa, Canada) broker CIBC -> market TSE {GOOG 382 x90}
+///
+/// The canonical fragmentation used in fragment/core tests cuts it into
+/// F0..F4 exactly as the paper's dashed lines do (see MakeClienteleCuts).
+inline Tree BuildClienteleTree(std::shared_ptr<SymbolTable> symbols = nullptr) {
+  TreeBuilder b(std::move(symbols));
+  b.Open("clientele");
+
+  auto stock = [&](const char* code, double buy, double qt) {
+    b.Open("stock");
+    b.LeafText("code", code);
+    b.LeafNumber("buy", buy);
+    b.LeafNumber("qt", qt);
+    b.Close();
+  };
+
+  // Anna.
+  b.Open("client");
+  b.LeafText("name", "Anna");
+  b.LeafText("country", "US");
+  b.Open("broker");  // F1 root
+  b.LeafText("name", "E*trade");
+  b.Open("market");  // F2 root
+  b.LeafText("name", "NASDAQ");
+  stock("GOOG", 374, 40);
+  stock("YHOO", 33, 40);
+  b.Close();  // market
+  b.Close();  // broker
+  b.Close();  // client
+
+  // Kim.
+  b.Open("client");
+  b.LeafText("name", "Kim");
+  b.LeafText("country", "US");
+  b.Open("broker");
+  b.LeafText("name", "Bache");
+  b.Open("market");
+  b.LeafText("name", "NYSE");
+  stock("IBM", 80, 50);
+  b.Close();  // market
+  b.Open("market");  // F4 root
+  b.LeafText("name", "NASDAQ");
+  stock("GOOG", 370, 75);
+  b.Close();  // market
+  b.Close();  // broker
+  b.Close();  // client
+
+  // Lisa (F3 root is this whole client).
+  b.Open("client");
+  b.LeafText("name", "Lisa");
+  b.LeafText("country", "Canada");
+  b.Open("broker");
+  b.LeafText("name", "CIBC");
+  b.Open("market");
+  b.LeafText("name", "TSE");
+  stock("GOOG", 382, 90);
+  b.Close();  // market
+  b.Close();  // broker
+  b.Close();  // client
+
+  b.Close();  // clientele
+  return std::move(b).Finish();
+}
+
+/// Direct text content of each node, sorted (order-insensitive matching).
+inline std::vector<std::string> TextsOf(const Tree& tree,
+                                        const std::vector<NodeId>& nodes) {
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    out.push_back(tree.IsText(v) ? std::string(tree.text(v))
+                                 : tree.DirectText(v));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Label paths of each node, sorted.
+inline std::vector<std::string> PathsOf(const Tree& tree,
+                                        const std::vector<NodeId>& nodes) {
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (NodeId v : nodes) out.push_back(tree.LabelPath(v));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Finds the unique node selected by `query` (fails the test if not unique).
+inline NodeId FindOne(const Tree& tree, const std::string& query) {
+  auto r = EvaluateCentralized(tree, query);
+  PAXML_CHECK(r.ok());
+  PAXML_CHECK_EQ(r->answers.size(), 1u);
+  return r->answers[0];
+}
+
+/// The paper's fragmentation cuts for the clientele tree (Fig. 1 dashed
+/// polygons). In document order the cut fragments get ids:
+///   F1 = Anna's broker, F2 = Anna's NASDAQ market,
+///   F3 = Kim's NASDAQ market, F4 = Lisa's whole client subtree.
+/// (The paper labels Kim's market F4 and Lisa's client F3; ids here follow
+/// document order, the content is identical.)
+inline std::vector<NodeId> ClienteleCuts(const Tree& t) {
+  return {
+      FindOne(t, "clientele/client[name = \"Anna\"]/broker"),
+      FindOne(t, "clientele/client[name = \"Anna\"]/broker/market"),
+      FindOne(t, "clientele/client[name = \"Kim\"]/broker/"
+                 "market[name = \"NASDAQ\"]"),
+      FindOne(t, "clientele/client[name = \"Lisa\"]"),
+  };
+}
+
+/// Deterministic random tree over a small label alphabet, with text leaves
+/// carrying string and numeric values — designed so that the property-test
+/// query battery has plenty of matches and near-misses.
+inline Tree RandomTree(Rng* rng, size_t target_nodes) {
+  static const char* kLabels[] = {"a", "b", "c", "d", "e"};
+  static const char* kTexts[] = {"x", "y", "z", "10", "20", "30"};
+  TreeBuilder b(std::make_shared<SymbolTable>());
+  b.Open("root");
+  size_t nodes = 1;
+  // Random growth: at each step, open a child, add a text leaf, or close.
+  // Adjacent text siblings are avoided: XML serialization merges them, so
+  // they cannot round-trip through parse/serialize (and never arise from
+  // parsed documents).
+  bool last_was_text = false;
+  while (nodes < target_nodes) {
+    const uint64_t action = rng->NextBounded(10);
+    if (action < 5) {  // open an element child
+      b.Open(kLabels[rng->NextBounded(5)]);
+      last_was_text = false;
+      ++nodes;
+    } else if (action < 8) {  // text leaf
+      if (!last_was_text) {
+        b.Text(kTexts[rng->NextBounded(6)]);
+        last_was_text = true;
+        ++nodes;
+      }
+    } else if (b.open_depth() > 1) {
+      b.Close();
+      last_was_text = false;
+    } else {
+      b.Open(kLabels[rng->NextBounded(5)]);
+      last_was_text = false;
+      ++nodes;
+    }
+    if (b.open_depth() > 8) {
+      b.Close();
+      last_was_text = false;
+    }
+  }
+  while (b.open_depth() > 0) b.Close();
+  return std::move(b).Finish();
+}
+
+/// The query battery used by randomized equivalence tests: exercises child
+/// and descendant steps, wildcards, self filters, text/val comparisons, and
+/// the Boolean operators.
+inline std::vector<std::string> PropertyQueryBattery() {
+  return {
+      "root/a",
+      "root/a/b",
+      "//a",
+      "//a/b",
+      "//a//b",
+      "root//c",
+      "root/*/a",
+      "//*",
+      "root/a[b]",
+      "//a[b/c]",
+      "//a[b or c]/d",
+      "//a[not(b)]/c",
+      "//a[text() = \"x\"]",
+      "//b[val() >= 20]",
+      "//a[b/text() = \"y\"]/c",
+      "//a[.//b]",
+      "//a[.//b/text() = \"x\" and not(c)]/b",
+      "root/a/.[b]/c",
+      "//.[a/b]",
+      ".[//a]",
+      ".[//a/b and //c]",
+      "root//.[text() = \"z\"]",
+      "//a[b][c]/d",
+      "//d[.//a or val() < 15]",
+  };
+}
+
+}  // namespace paxml::testing
+
+#endif  // PAXML_TESTS_TEST_UTIL_H_

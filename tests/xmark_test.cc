@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "eval/centralized.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xml/serializer.h"
+
+namespace paxml {
+namespace {
+
+TEST(XMarkGeneratorTest, DeterministicForSameSeed) {
+  XMarkOptions options;
+  options.seed = 7;
+  Tree a = GenerateUniformSitesTree(50'000, 2, options);
+  Tree b = GenerateUniformSitesTree(50'000, 2, options);
+  EXPECT_EQ(SerializeXml(a), SerializeXml(b));
+  options.seed = 8;
+  Tree c = GenerateUniformSitesTree(50'000, 2, options);
+  EXPECT_NE(SerializeXml(a), SerializeXml(c));
+}
+
+TEST(XMarkGeneratorTest, HitsByteTargetApproximately) {
+  for (size_t target : {30'000u, 100'000u, 300'000u}) {
+    Tree t = GenerateUniformSitesTree(target, 1, {});
+    const size_t actual = SerializedSize(t);
+    EXPECT_GT(actual, target * 80 / 100) << target;
+    EXPECT_LT(actual, target * 130 / 100) << target;
+  }
+}
+
+TEST(XMarkGeneratorTest, StructureMatchesVocabulary) {
+  Tree t = GenerateUniformSitesTree(60'000, 3, {});
+  ASSERT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.LabelName(t.root()), "sites");
+  EXPECT_EQ(t.ChildCount(t.root()), 3u);
+  for (NodeId site : t.children(t.root())) {
+    EXPECT_EQ(t.LabelName(site), "site");
+    std::vector<std::string> sections;
+    for (NodeId c : t.children(site)) sections.push_back(t.LabelName(c));
+    EXPECT_EQ(sections,
+              (std::vector<std::string>{"regions", "categories", "people",
+                                        "open_auctions", "closed_auctions"}));
+  }
+}
+
+TEST(XMarkGeneratorTest, SiteContentStableAcrossBudgetVectors) {
+  // Site i's content depends only on (seed, its own budget): growing the
+  // document by appending sites does not perturb existing ones.
+  XMarkOptions options;
+  options.seed = 11;
+  std::vector<SiteBudget> one = {SiteBudget::Uniform(40'000)};
+  std::vector<SiteBudget> two = {SiteBudget::Uniform(40'000),
+                                 SiteBudget::Uniform(20'000)};
+  Tree a = GenerateSitesTree(one, options);
+  Tree b = GenerateSitesTree(two, options);
+  EXPECT_EQ(SerializeXml(a, a.first_child(a.root())),
+            SerializeXml(b, b.first_child(b.root())));
+}
+
+TEST(XMarkGeneratorTest, ExperimentQueriesHaveSensibleSelectivity) {
+  Tree t = GenerateUniformSitesTree(200'000, 2, {});
+  auto count = [&](const char* q) {
+    auto r = EvaluateCentralized(t, q);
+    EXPECT_TRUE(r.ok()) << q << ": " << r.status();
+    return r.ok() ? r->answers.size() : 0;
+  };
+  const size_t persons = count(xmark::kQ1);
+  const size_t annotations = count(xmark::kQ2);
+  const size_t cards_q3 = count(xmark::kQ3);
+  const size_t cards_q4 = count(xmark::kQ4);
+  EXPECT_GT(persons, 10u);
+  EXPECT_GT(annotations, 10u);
+  // Q3 filters persons: nonempty but a strict subset.
+  EXPECT_GT(cards_q3, 0u);
+  EXPECT_LT(cards_q3, persons);
+  // Q4 ('//people') selects the same nodes as Q3 on this document shape.
+  EXPECT_EQ(cards_q3, cards_q4);
+}
+
+TEST(XMarkGeneratorTest, SectionBudgetsAreRespected) {
+  SiteBudget budget;
+  budget.people = 50'000;
+  budget.open_auctions = 10'000;
+  budget.regions_namerica = 5'000;
+  Tree t = GenerateSitesTree({budget}, {});
+  NodeId site = t.first_child(t.root());
+  std::unordered_map<std::string, size_t> section_bytes;
+  for (NodeId c : t.children(site)) {
+    section_bytes[t.LabelName(c)] = SerializedSize(t, c);
+  }
+  EXPECT_GT(section_bytes["people"], 45'000u);
+  EXPECT_GT(section_bytes["people"], 3 * section_bytes["open_auctions"]);
+  EXPECT_LT(section_bytes["categories"], 2'000u);
+}
+
+}  // namespace
+}  // namespace paxml

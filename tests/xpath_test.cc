@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "xpath/ast.h"
+#include "xpath/lexer.h"
+#include "xpath/normal_form.h"
+#include "xpath/parser.h"
+#include "xpath/query_plan.h"
+
+namespace paxml {
+namespace {
+
+// ---- Lexer -------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesOperatorsAndNames) {
+  auto r = LexXPath("//a/b[c='x' and d >= 2.5]");
+  ASSERT_TRUE(r.ok()) << r.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *r) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kDoubleSlash, TokenKind::kName, TokenKind::kSlash,
+                TokenKind::kName, TokenKind::kLBracket, TokenKind::kName,
+                TokenKind::kEq, TokenKind::kString, TokenKind::kName,
+                TokenKind::kName, TokenKind::kGe, TokenKind::kNumber,
+                TokenKind::kRBracket, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, DistinguishesDotFromNumber) {
+  auto r = LexXPath(". .5 3.25");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kDot);
+  EXPECT_EQ((*r)[1].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*r)[1].number, 0.5);
+  EXPECT_DOUBLE_EQ((*r)[2].number, 3.25);
+}
+
+TEST(LexerTest, RejectsBadInput) {
+  EXPECT_FALSE(LexXPath("a & b").ok());
+  EXPECT_FALSE(LexXPath("'unterminated").ok());
+  EXPECT_FALSE(LexXPath("a # b").ok());
+}
+
+// ---- Parser ------------------------------------------------------------------
+
+std::string Reparse(const std::string& q) {
+  auto r = ParseXPath(q);
+  EXPECT_TRUE(r.ok()) << q << ": " << r.status();
+  if (!r.ok()) return "<error>";
+  return ToString(**r);
+}
+
+TEST(ParserTest, PaperQueries) {
+  // The four experiment queries of Fig. 7 and the motivating examples.
+  EXPECT_EQ(Reparse("/sites/site/people/person"), "sites/site/people/person");
+  EXPECT_EQ(Reparse("/sites/site/open_auctions//annotation"),
+            "sites/site/open_auctions//annotation");
+  EXPECT_EQ(Reparse("//broker[//stock/code/text() = \"goog\"]/name"),
+            ".//broker[.//stock/code/text() = \"goog\"]/name");
+  EXPECT_EQ(
+      Reparse("client[country/text() = 'US']/broker[market/name/text() = "
+              "'NASDAQ']/name"),
+      "client[country/text() = \"US\"]/broker[market/name/text() = "
+      "\"NASDAQ\"]/name");
+}
+
+TEST(ParserTest, LeadingDoubleSlashBecomesDescendantOfSelf) {
+  auto r = ParseXPath("//broker");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind, PathKind::kDescendant);
+  EXPECT_EQ((*r)->left->kind, PathKind::kSelf);
+}
+
+TEST(ParserTest, ComparisonSugar) {
+  // Fig. 7 style: person[profile/age > 20 and address/country = "US"].
+  auto r = ParseXPath("person[profile/age > 20 and address/country = \"US\"]");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const PathExpr& p = **r;
+  ASSERT_EQ(p.kind, PathKind::kQualified);
+  const QualExpr& q = *p.qual;
+  ASSERT_EQ(q.kind, QualKind::kAnd);
+  EXPECT_EQ(q.left->kind, QualKind::kValCmp);
+  EXPECT_EQ(q.left->op, CmpOp::kGt);
+  EXPECT_DOUBLE_EQ(q.left->number, 20);
+  EXPECT_EQ(q.right->kind, QualKind::kTextEq);
+  EXPECT_EQ(q.right->text, "US");
+}
+
+TEST(ParserTest, QualifierLeadingSlashIsRelative) {
+  // The paper's Q3 writes [... and /address/country="US"] meaning a relative
+  // path.
+  auto r = ParseXPath("person[/address/country = \"US\"]/creditcard");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ToString(**r),
+            "person[address/country/text() = \"US\"]/creditcard");
+}
+
+TEST(ParserTest, BooleanOperatorsAndPrecedence) {
+  auto r = ParseXPath("a[b or c and not(d)]");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const QualExpr& q = *(*r)->qual;
+  ASSERT_EQ(q.kind, QualKind::kOr);           // or binds loosest
+  EXPECT_EQ(q.left->kind, QualKind::kPath);   // b
+  ASSERT_EQ(q.right->kind, QualKind::kAnd);   // c and not(d)
+  EXPECT_EQ(q.right->right->kind, QualKind::kNot);
+}
+
+TEST(ParserTest, AsciiOperatorAliases) {
+  auto r = ParseXPath("a[b && !c || d]");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ToString(**r), "a[b and not(c) or d]");
+}
+
+TEST(ParserTest, TextAndValOnContext) {
+  auto r = ParseXPath("code[text() = \"GOOG\"]");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto r2 = ParseXPath("buy[val() >= 100]");
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(ToString(**r2), "buy[val() >= 100]");
+}
+
+TEST(ParserTest, NestedQualifiers) {
+  auto r = ParseXPath("client[broker[market/name = \"TSE\"]]/name");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ToString(**r),
+            "client[broker[market/name/text() = \"TSE\"]]/name");
+}
+
+TEST(ParserTest, WildcardAndSelfSteps) {
+  EXPECT_EQ(Reparse("*/b/."), "*/b/.");
+  EXPECT_EQ(Reparse("a//*"), "a//*");
+  EXPECT_EQ(Reparse("."), ".");
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("a[").ok());
+  EXPECT_FALSE(ParseXPath("a]").ok());
+  EXPECT_FALSE(ParseXPath("a[]").ok());
+  EXPECT_FALSE(ParseXPath("a[text() =]").ok());
+  EXPECT_FALSE(ParseXPath("a[val() > 'x']").ok());
+  EXPECT_FALSE(ParseXPath("a b").ok());
+  EXPECT_FALSE(ParseXPath("a[not(]").ok());
+}
+
+TEST(ParserTest, StandaloneQualifier) {
+  auto r = ParseXPathQualifier("//stock/code/text() = \"GOOG\"");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ((*r)->kind, QualKind::kTextEq);
+}
+
+// ---- Normalizer ----------------------------------------------------------------
+
+std::string NormStr(const std::string& q) {
+  auto r = ParseXPath(q);
+  EXPECT_TRUE(r.ok()) << q << ": " << r.status();
+  if (!r.ok()) return "<error>";
+  return ToString(Normalize(**r));
+}
+
+TEST(NormalizerTest, PaperExample21) {
+  // Example 2.1: client[country/text()="us"]/broker[market/name/text() =
+  // "nasdaq"]/name
+  EXPECT_EQ(NormStr("client[country/text() = \"us\"]/broker[market/name/"
+                    "text() = \"nasdaq\"]/name"),
+            "client/.[country/.[text() = \"us\"]]/broker/"
+            ".[market/name/.[text() = \"nasdaq\"]]/name");
+}
+
+TEST(NormalizerTest, MergesConsecutiveQualifiers) {
+  // ε[q1]/ε[q2] -> ε[q1 and q2]
+  EXPECT_EQ(NormStr("a[b][c]/d"), "a/.[b and c]/d");
+  EXPECT_EQ(NormStr("a[b]/.[c]"), "a/.[b and c]");
+}
+
+TEST(NormalizerTest, DropsBareSelfSteps) {
+  EXPECT_EQ(NormStr("a/./b"), "a/b");
+  EXPECT_EQ(NormStr("./a"), "a");
+  EXPECT_EQ(NormStr("a/."), "a");
+  EXPECT_EQ(NormStr("."), ".");
+}
+
+TEST(NormalizerTest, TextTestBecomesTrailingSelfStep) {
+  EXPECT_EQ(NormStr("a[b/text() = \"x\"]"), "a/.[b/.[text() = \"x\"]]");
+  EXPECT_EQ(NormStr("a[text() = \"x\"]"), "a/.[.[text() = \"x\"]]");
+  EXPECT_EQ(NormStr("a[b/val() < 3]"), "a/.[b/.[val() < 3]]");
+}
+
+TEST(NormalizerTest, PreservesDescendantSteps) {
+  EXPECT_EQ(NormStr("//a"), "//a");
+  EXPECT_EQ(NormStr("a//b//c"), "a//b//c");
+  EXPECT_EQ(NormStr("a//.[b]"), "a//.[b]");
+}
+
+TEST(NormalizerTest, SelectionPathStrikesQualifiers) {
+  auto r = ParseXPath("//broker[//stock/code/text() = \"goog\"]/name");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(SelectionPathString(Normalize(**r)), "//broker/name");
+
+  auto r2 = ParseXPath("client[a]/broker[b]/name");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(SelectionPathString(Normalize(**r2)), "client/broker/name");
+}
+
+// ---- Compilation ---------------------------------------------------------------
+
+TEST(CompileTest, Example21Vectors) {
+  auto r = CompileXPath(
+      "client[country/text() = \"US\"]/broker[market/name/text() = "
+      "\"NASDAQ\"]/name",
+      std::make_shared<SymbolTable>());
+  ASSERT_TRUE(r.ok()) << r.status();
+  const CompiledQuery& q = *r;
+  // Selection: root + client + broker + name.
+  ASSERT_EQ(q.selection_size(), 4u);
+  EXPECT_EQ(q.selection()[0].kind, SelKind::kRoot);
+  EXPECT_EQ(q.selection()[1].kind, SelKind::kLabel);
+  EXPECT_GE(q.selection()[1].qual, 0);  // country qualifier attached
+  EXPECT_GE(q.selection()[2].qual, 0);  // market qualifier attached
+  EXPECT_EQ(q.selection()[3].qual, -1);
+  EXPECT_TRUE(q.has_qualifiers());
+  EXPECT_FALSE(q.selection_has_descendant());
+  EXPECT_FALSE(q.IsBooleanQuery());
+  // QVect entries exist for country, text-test, market path, name path.
+  EXPECT_GE(q.entries().size(), 5u);
+  // Topological order: rest/qual references point backwards.
+  for (size_t i = 0; i < q.entries().size(); ++i) {
+    const auto& e = q.entries()[i];
+    if (e.rest >= 0) {
+      EXPECT_LT(static_cast<size_t>(e.rest), i);
+    }
+  }
+}
+
+TEST(CompileTest, BooleanQuery) {
+  auto r = CompileXPath(".[//stock/code/text() = \"GOOG\"]",
+                        std::make_shared<SymbolTable>());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->IsBooleanQuery());
+  EXPECT_GE(r->selection()[0].qual, 0);
+}
+
+TEST(CompileTest, QualifierFreeQueryHasNoEntries) {
+  auto r = CompileXPath("/sites/site/people/person",
+                        std::make_shared<SymbolTable>());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->has_qualifiers());
+  EXPECT_TRUE(r->entries().empty());
+  EXPECT_EQ(r->selection_size(), 5u);
+}
+
+TEST(CompileTest, DescendantSelectionEntries) {
+  auto r = CompileXPath("/sites/site/open_auctions//annotation",
+                        std::make_shared<SymbolTable>());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->selection_has_descendant());
+  // root, sites, site, open_auctions, //, annotation
+  ASSERT_EQ(r->selection_size(), 6u);
+  EXPECT_EQ(r->selection()[4].kind, SelKind::kDescend);
+  EXPECT_EQ(r->selection()[5].kind, SelKind::kLabel);
+}
+
+TEST(CompileTest, SharedSubqueriesAreDeduplicated) {
+  auto r = CompileXPath("a[b/c and b/c]", std::make_shared<SymbolTable>());
+  ASSERT_TRUE(r.ok());
+  // The two identical atoms compile to the same entries; expect exactly the
+  // entries for c and b/c.
+  EXPECT_EQ(r->entries().size(), 2u);
+}
+
+TEST(CompileTest, CollapsesConsecutiveDescendants) {
+  auto s1 = CompileXPath("a//b", std::make_shared<SymbolTable>());
+  auto s2 = CompileXPath("a//.//b", std::make_shared<SymbolTable>());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->selection_size(), s2->selection_size());
+}
+
+TEST(CompileTest, DebugStringMentionsEverything) {
+  auto r = CompileXPath("client[country/text() = \"US\"]/name",
+                        std::make_shared<SymbolTable>());
+  ASSERT_TRUE(r.ok());
+  std::string dbg = r->DebugString();
+  EXPECT_NE(dbg.find("QVect"), std::string::npos);
+  EXPECT_NE(dbg.find("SVect"), std::string::npos);
+  EXPECT_NE(dbg.find("country"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paxml

@@ -1,0 +1,110 @@
+// paxml_fragment: cut an XML document into a fragment directory.
+//
+//   $ paxml_fragment INPUT.xml OUTDIR [--max-nodes N | --subtrees | --random K]
+//
+// Strategies:
+//   --max-nodes N   greedy size-bounded fragments (default, N=20000)
+//   --subtrees      one fragment per child subtree of the root
+//   --random K      K random element cuts (seeded by --seed)
+//
+// The output directory loads back with LoadDocument / paxml_query.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "fragment/fragmenter.h"
+#include "fragment/storage.h"
+#include "xml/parser.h"
+
+using namespace paxml;
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: paxml_fragment INPUT.xml OUTDIR "
+               "[--max-nodes N | --subtrees | --random K] [--seed S]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    Usage();
+    return 2;
+  }
+  const std::string input = argv[1];
+  const std::string outdir = argv[2];
+  enum class Mode { kMaxNodes, kSubtrees, kRandom } mode = Mode::kMaxNodes;
+  size_t max_nodes = 20'000;
+  size_t random_cuts = 8;
+  uint64_t seed = 42;
+
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-nodes") == 0 && i + 1 < argc) {
+      mode = Mode::kMaxNodes;
+      max_nodes = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--subtrees") == 0) {
+      mode = Mode::kSubtrees;
+    } else if (std::strcmp(argv[i], "--random") == 0 && i + 1 < argc) {
+      mode = Mode::kRandom;
+      random_cuts = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  std::ifstream in(input, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  XmlParseOptions popts;
+  popts.symbols = std::make_shared<SymbolTable>();
+  auto tree = ParseXml(buffer.str(), popts);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<FragmentedDocument> doc = Status::Internal("unreachable");
+  switch (mode) {
+    case Mode::kMaxNodes:
+      doc = FragmentBySize(*tree, max_nodes);
+      break;
+    case Mode::kSubtrees:
+      doc = FragmentBySubtrees(*tree, tree->root());
+      break;
+    case Mode::kRandom: {
+      Rng rng(seed);
+      doc = FragmentRandomly(*tree, random_cuts, &rng);
+      break;
+    }
+  }
+  if (!doc.ok()) {
+    std::fprintf(stderr, "fragmentation error: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+
+  Status s = SaveDocument(*doc, outdir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s", doc->DebugString().c_str());
+  std::fprintf(stderr, "wrote %zu fragments to %s\n", doc->size(),
+               outdir.c_str());
+  return 0;
+}
