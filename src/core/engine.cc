@@ -19,13 +19,15 @@ const char* AlgorithmName(DistributedAlgorithm a) {
 Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
                                               const CompiledQuery& query,
                                               const EngineOptions& options) {
+  std::unique_ptr<Transport> transport = MakeTransport(
+      options.transport.value_or(DefaultTransportKind(cluster)));
   switch (options.algorithm) {
     case DistributedAlgorithm::kPaX3:
-      return EvaluatePaX3(cluster, query, options.pax);
+      return EvaluatePaX3(cluster, query, options.pax, transport.get());
     case DistributedAlgorithm::kPaX2:
-      return EvaluatePaX2(cluster, query, options.pax);
+      return EvaluatePaX2(cluster, query, options.pax, transport.get());
     case DistributedAlgorithm::kNaiveCentralized:
-      return EvaluateNaiveCentralized(cluster, query);
+      return EvaluateNaiveCentralized(cluster, query, transport.get());
   }
   return Status::InvalidArgument("unknown algorithm");
 }

@@ -15,6 +15,7 @@
 #ifndef PAXML_CORE_ENGINE_H_
 #define PAXML_CORE_ENGINE_H_
 
+#include <optional>
 #include <string>
 
 #include "common/result.h"
@@ -22,6 +23,7 @@
 #include "core/naive.h"
 #include "core/pax2.h"
 #include "core/pax3.h"
+#include "runtime/transport.h"
 #include "sim/cluster.h"
 
 namespace paxml {
@@ -37,6 +39,11 @@ const char* AlgorithmName(DistributedAlgorithm a);
 struct EngineOptions {
   DistributedAlgorithm algorithm = DistributedAlgorithm::kPaX2;
   PaxOptions pax;
+
+  /// Message backend override. Unset: the cluster's default (pooled iff
+  /// parallel_execution). Answers, visit counts and per-edge byte totals
+  /// are identical across backends (tested property).
+  std::optional<TransportKind> transport;
 };
 
 /// Dispatches to the selected algorithm. All algorithms return identical

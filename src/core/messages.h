@@ -35,6 +35,10 @@ struct QualUpMessage {
 
   void Encode(const FormulaArena& arena, ByteWriter* out) const;
   static Result<QualUpMessage> Decode(FormulaArena* arena, ByteReader* in);
+
+  /// Handle-wise comparison: meaningful for messages whose formulas live in
+  /// the same arena (wire-format round-trips compare re-encoded bytes).
+  bool operator==(const QualUpMessage&) const = default;
 };
 
 /// Selection reply, one per fragment: for each virtual node, the traversal
@@ -46,6 +50,8 @@ struct SelUpMessage {
   struct VirtualTop {
     FragmentId child = kNullFragment;
     std::vector<Formula> stack_top;
+
+    bool operator==(const VirtualTop&) const = default;
   };
   std::vector<VirtualTop> virtual_tops;
   uint32_t answer_count = 0;
@@ -53,6 +59,10 @@ struct SelUpMessage {
 
   void Encode(const FormulaArena& arena, ByteWriter* out) const;
   static Result<SelUpMessage> Decode(FormulaArena* arena, ByteReader* in);
+
+  /// Handle-wise comparison: meaningful for messages whose formulas live in
+  /// the same arena (wire-format round-trips compare re-encoded bytes).
+  bool operator==(const SelUpMessage&) const = default;
 };
 
 /// Resolved qualifier values for the virtual children of one fragment:
@@ -62,12 +72,16 @@ struct QualDownMessage {
     FragmentId child = kNullFragment;
     std::vector<uint8_t> qv;
     std::vector<uint8_t> qdv;
+
+    bool operator==(const ResolvedChild&) const = default;
   };
   FragmentId fragment = kNullFragment;  ///< the receiving fragment
   std::vector<ResolvedChild> children;
 
   void Encode(ByteWriter* out) const;
   static Result<QualDownMessage> Decode(ByteReader* in);
+
+  bool operator==(const QualDownMessage&) const = default;
 };
 
 /// Resolved stack-initialization vector for one fragment (the z values).
@@ -77,6 +91,8 @@ struct SelDownMessage {
 
   void Encode(ByteWriter* out) const;
   static Result<SelDownMessage> Decode(ByteReader* in);
+
+  bool operator==(const SelDownMessage&) const = default;
 };
 
 /// Final answers of one fragment: local node ids (the answer payload bytes
@@ -87,6 +103,8 @@ struct AnswerUpMessage {
 
   void Encode(ByteWriter* out) const;
   static Result<AnswerUpMessage> Decode(ByteReader* in);
+
+  bool operator==(const AnswerUpMessage&) const = default;
 };
 
 }  // namespace paxml

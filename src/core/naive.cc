@@ -3,29 +3,77 @@
 #include <algorithm>
 
 #include "eval/centralized.h"
+#include "runtime/coordinator.h"
 #include "xml/serializer.h"
 
 namespace paxml {
+namespace {
+
+/// The shipping baseline as runtime handlers: every site answers one
+/// kDataRequest per fragment with a kDataShip envelope whose phantom bytes
+/// are the fragment's serialized size; the coordinator just tracks arrival
+/// (the simulation evaluates over the shared document instead of actually
+/// re-parsing the shipped XML).
+class NaiveProgram : public MessageHandlers {
+ public:
+  explicit NaiveProgram(const FragmentedDocument* doc)
+      : doc_(doc), received_(doc->size(), false) {}
+
+  Status OnDataRequest(SiteContext& ctx, FragmentId f) override {
+    Envelope env;
+    env.to = ctx.query_site();
+    env.category = PayloadCategory::kData;
+    env.phantom_bytes = SerializedSize(doc_->fragment(f).tree);
+    env.parts.push_back({MessageKind::kDataShip, f, {}, false});
+    ctx.Send(std::move(env));
+    return Status::OK();
+  }
+
+  Status OnDataShip(SiteContext&, FragmentId f, uint64_t) override {
+    received_[static_cast<size_t>(f)] = true;
+    return Status::OK();
+  }
+
+  bool AllReceived() const {
+    return std::all_of(received_.begin(), received_.end(),
+                       [](bool b) { return b; });
+  }
+
+ private:
+  const FragmentedDocument* doc_;
+  std::vector<bool> received_;
+};
+
+}  // namespace
 
 Result<DistributedResult> EvaluateNaiveCentralized(const Cluster& cluster,
-                                                   const CompiledQuery& query) {
+                                                   const CompiledQuery& query,
+                                                   Transport* transport) {
   const FragmentedDocument& doc = cluster.doc();
-  QueryRun run(&cluster);
-  const SiteId sq = cluster.query_site();
+  std::unique_ptr<Transport> owned_transport;
+  transport = EnsureTransport(transport, cluster, &owned_transport);
+  NaiveProgram program(&doc);
+  Coordinator coord(&cluster, transport, &program);
 
-  std::vector<SiteId> sites = run.AllSites();
-  for (SiteId s : sites) run.Send(sq, s, query.source().size());
+  std::vector<SiteId> sites = coord.AllSites();
+  for (SiteId s : sites) {
+    coord.Post(MakeQueryShipEnvelope(s, query.source().size()));
+  }
+  for (size_t f = 0; f < doc.size(); ++f) {
+    const FragmentId fragment = static_cast<FragmentId>(f);
+    coord.Post(MakeRequestEnvelope(MessageKind::kDataRequest,
+                                   cluster.site_of(fragment), fragment));
+  }
 
   // One visit per site: serialize and ship every fragment to S_Q.
-  run.Round("naive-ship-fragments", sites, [&](SiteId site) {
-    for (FragmentId f : cluster.fragments_at(site)) {
-      run.ShipData(site, sq, SerializedSize(doc.fragment(f).tree));
-    }
-  });
+  PAXML_RETURN_NOT_OK(coord.RunRound("naive-ship-fragments", sites));
+  if (!program.AllReceived()) {
+    return Status::Internal("naive: not every fragment was shipped");
+  }
 
   // Assemble and evaluate at the coordinator.
   DistributedResult result;
-  run.Coordinator([&] {
+  coord.RunLocal([&] {
     std::vector<GlobalNodeId> mapping;
     Tree assembled = doc.Assemble(&mapping);
     CentralizedResult r = EvaluateCentralized(assembled, query);
@@ -36,7 +84,7 @@ Result<DistributedResult> EvaluateNaiveCentralized(const Cluster& cluster,
     std::sort(result.answers.begin(), result.answers.end());
   });
 
-  result.stats = run.TakeStats();
+  result.stats = coord.TakeStats();
   return result;
 }
 

@@ -16,11 +16,16 @@
 
 namespace paxml {
 
+class Transport;
+
 /// Ships all fragments to the query site, assembles, evaluates.
 /// Answers are reported against the assembled tree but mapped back to
 /// (fragment, node) coordinates so results compare to PaX3/PaX2 directly.
+/// `transport` selects the message backend; nullptr uses the cluster's
+/// default.
 Result<DistributedResult> EvaluateNaiveCentralized(const Cluster& cluster,
-                                                   const CompiledQuery& query);
+                                                   const CompiledQuery& query,
+                                                   Transport* transport = nullptr);
 
 }  // namespace paxml
 

@@ -1,64 +1,89 @@
 #include "core/parbox.h"
 
-#include <mutex>
-
 #include "core/eval_ft.h"
 #include "core/site_eval.h"
 #include "core/vars.h"
+#include "runtime/coordinator.h"
 
 namespace paxml {
+namespace {
+
+/// ParBoX as runtime handlers: every site answers one kQualRequest per
+/// fragment with a QualUpMessage; the coordinator feeds the reports into
+/// the fragment-tree unifier.
+class ParBoXProgram : public MessageHandlers {
+ public:
+  ParBoXProgram(const FragmentedDocument* doc, const CompiledQuery* query)
+      : doc_(doc), query_(query), unifier_(doc, query) {}
+
+  FormulaArena* DecodeArena() override { return unifier_.arena(); }
+
+  Status OnQualRequest(SiteContext& ctx, FragmentId f) override {
+    const Fragment& frag = doc_->fragment(f);
+    FragmentQualEval eval = RunFragmentQualifierStage(frag, *query_);
+    QualUpMessage reply = BuildQualUp(frag, *query_, eval);
+    ByteWriter bytes;
+    reply.Encode(*eval.arena, &bytes);
+    Envelope env;
+    env.to = ctx.query_site();
+    env.parts.push_back(
+        {MessageKind::kQualUp, f, std::move(bytes).Take(), true});
+    ctx.Send(std::move(env));
+    return Status::OK();
+  }
+
+  Status OnQualUp(SiteContext&, QualUpMessage message) override {
+    unifier_.AddQualReport(std::move(message));
+    return Status::OK();
+  }
+
+  FragmentTreeUnifier& unifier() { return unifier_; }
+
+ private:
+  const FragmentedDocument* doc_;
+  const CompiledQuery* query_;
+  FragmentTreeUnifier unifier_;
+};
+
+}  // namespace
 
 Result<ParBoXResult> EvaluateParBoX(const Cluster& cluster,
-                                    const CompiledQuery& query) {
+                                    const CompiledQuery& query,
+                                    Transport* transport) {
   if (!query.IsBooleanQuery()) {
     return Status::InvalidArgument(
         "ParBoX evaluates Boolean queries; use PaX3/PaX2 for data-selecting "
         "queries");
   }
   const FragmentedDocument& doc = cluster.doc();
-  QueryRun run(&cluster);
-  const SiteId sq = cluster.query_site();
+  std::unique_ptr<Transport> owned_transport;
+  transport = EnsureTransport(transport, cluster, &owned_transport);
+  ParBoXProgram program(&doc, &query);
+  Coordinator coord(&cluster, transport, &program);
 
-  FragmentTreeUnifier unifier(&doc, &query);
-  std::mutex unifier_mu;
-  Status site_status = Status::OK();
-
-  std::vector<SiteId> sites = run.AllSites();
+  std::vector<SiteId> sites = coord.AllSites();
   // The query itself is shipped to every participating site: the O(|Q||FT|)
   // component of the communication bound.
-  for (SiteId s : sites) run.Send(sq, s, query.source().size());
-
-  run.Round("parbox-qualifiers", sites, [&](SiteId site) {
-    for (FragmentId f : cluster.fragments_at(site)) {
-      const Fragment& frag = doc.fragment(f);
-      FragmentQualEval eval = RunFragmentQualifierStage(frag, query);
-      QualUpMessage reply = BuildQualUp(frag, query, eval);
-      ByteWriter bytes;
-      reply.Encode(*eval.arena, &bytes);
-      run.Send(site, sq, bytes.size());
-      // Decode at the coordinator (into its arena).
-      std::lock_guard<std::mutex> lock(unifier_mu);
-      ByteReader reader(bytes.bytes());
-      auto decoded = QualUpMessage::Decode(unifier.arena(), &reader);
-      if (!decoded.ok()) {
-        site_status = decoded.status();
-        return;
-      }
-      unifier.AddQualReport(std::move(decoded).ValueOrDie());
-    }
-  });
-  PAXML_RETURN_NOT_OK(site_status);
+  for (SiteId s : sites) {
+    coord.Post(MakeQueryShipEnvelope(s, query.source().size()));
+  }
+  for (size_t f = 0; f < doc.size(); ++f) {
+    const FragmentId fragment = static_cast<FragmentId>(f);
+    coord.Post(MakeRequestEnvelope(MessageKind::kQualRequest,
+                                   cluster.site_of(fragment), fragment));
+  }
+  PAXML_RETURN_NOT_OK(coord.RunRound("parbox-qualifiers", sites));
 
   ParBoXResult result;
   Status unify_status = Status::OK();
-  run.Coordinator([&] {
+  coord.RunLocal([&] {
     std::vector<bool> participating(doc.size(), true);
-    unify_status = unifier.UnifyQualifiers(participating);
+    unify_status = program.unifier().UnifyQualifiers(participating);
     if (!unify_status.ok()) return;
     // The root fragment attached the root-qualifier residual; with every
     // variable bound, it collapses to the query's truth value.
-    Formula root_qual = unifier.ResolveRootQual();
-    auto value = unifier.arena()->ConstValue(root_qual);
+    Formula root_qual = program.unifier().ResolveRootQual();
+    auto value = program.unifier().arena()->ConstValue(root_qual);
     if (!value) {
       unify_status = Status::Internal("root qualifier did not resolve");
       return;
@@ -67,7 +92,7 @@ Result<ParBoXResult> EvaluateParBoX(const Cluster& cluster,
   });
   PAXML_RETURN_NOT_OK(unify_status);
 
-  result.stats = run.TakeStats();
+  result.stats = coord.TakeStats();
   return result;
 }
 

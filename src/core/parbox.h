@@ -20,6 +20,8 @@
 
 namespace paxml {
 
+class Transport;
+
 struct ParBoXResult {
   bool value = false;
   RunStats stats;
@@ -27,9 +29,11 @@ struct ParBoXResult {
 
 /// Evaluates a Boolean query (empty selection path, e.g. ".[//a/b]") over
 /// the cluster's fragmented document. Returns kInvalidArgument for
-/// data-selecting queries — use PaX3/PaX2 for those.
+/// data-selecting queries — use PaX3/PaX2 for those. `transport` selects
+/// the message backend; nullptr uses the cluster's default.
 Result<ParBoXResult> EvaluateParBoX(const Cluster& cluster,
-                                    const CompiledQuery& query);
+                                    const CompiledQuery& query,
+                                    Transport* transport = nullptr);
 
 }  // namespace paxml
 

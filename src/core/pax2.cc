@@ -1,13 +1,14 @@
 #include "core/pax2.h"
 
 #include <algorithm>
-#include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "core/eval_ft.h"
 #include "core/parbox.h"
 #include "core/site_eval.h"
 #include "fragment/pruning.h"
+#include "runtime/coordinator.h"
 
 namespace paxml {
 namespace {
@@ -28,13 +29,13 @@ struct Pax2FragmentState {
   std::vector<NodeId> answers;
   std::vector<std::pair<NodeId, Formula>> candidates;
 
+  /// Resolved values received for the final visit (delivered before the
+  /// answer request in the same envelope).
+  std::optional<SelDownMessage> sel_down;
+  std::optional<QualDownMessage> qual_down;
+
   uint64_t ops = 0;
 };
-
-// Traversal-scoped list of document-node qualifier placeholders (the corner
-// case of a self-filter right after a leading '//'). thread_local: sites run
-// fragments concurrently during parallel rounds.
-thread_local std::vector<std::pair<int, VarId>> doc_quals_;
 
 /// The combined pre/post-order traversal (Procedure evalXPath of Fig. 5).
 Pax2FragmentState RunCombinedPass(const Fragment& frag,
@@ -67,6 +68,12 @@ Pax2FragmentState RunCombinedPass(const Fragment& frag,
   // Pending qz resolutions per node: (qual_id, var).
   std::unordered_map<NodeId, std::vector<std::pair<int, VarId>>> pending;
 
+  // Traversal-scoped list of document-node qualifier placeholders (the
+  // corner case of a self-filter right after a leading '//'). Lives on this
+  // pass's stack frame, so concurrent fragment evaluations on reused pool
+  // threads cannot observe each other's entries.
+  std::vector<std::pair<int, VarId>> doc_quals;
+
   auto fresh_qual_var = [&](NodeId v, int qual_id) {
     const VarId var = MakeLocalVar(local_counter++);
     pending[v].emplace_back(qual_id, var);
@@ -88,7 +95,7 @@ Pax2FragmentState RunCombinedPass(const Fragment& frag,
       // pending list so substitution picks it up; axis handling differs from
       // node-anchored qualifiers, so mark with the dedicated list below).
       const VarId var = MakeLocalVar(local_counter++);
-      doc_quals_.emplace_back(qual_id, var);
+      doc_quals.emplace_back(qual_id, var);
       return arena->Var(var);
     };
     init = MakeDocVector(query, &domain, root_qual,
@@ -186,11 +193,10 @@ Pax2FragmentState RunCombinedPass(const Fragment& frag,
   }
 
   // ---- Resolve document-node qualifiers (leading '//ε[q]' corner) ----------
-  for (auto [qual_id, var] : doc_quals_) {
+  for (auto [qual_id, var] : doc_quals) {
     qz_bindings.Bind(var, EvalQualAtDoc(query, &domain, st.qual_vectors,
                                         tree.root(), qual_id));
   }
-  doc_quals_.clear();
 
   // ---- Substitute qz locals; classify finals --------------------------------
   for (auto& [node, formula] : st.finals) {
@@ -209,13 +215,192 @@ Pax2FragmentState RunCombinedPass(const Fragment& frag,
   return st;
 }
 
+/// PaX2's two visits as runtime handlers: kSelRequest runs the combined
+/// pass and replies with QualUp + SelUp in one envelope; kAnswerRequest
+/// settles candidates against the resolved values delivered just before it
+/// and ships the answers.
+class Pax2Program : public MessageHandlers {
+ public:
+  Pax2Program(const Cluster& cluster, const CompiledQuery& query,
+              const PaxOptions& options, const PruneResult* prune,
+              bool concrete_init)
+      : doc_(cluster.doc()),
+        query_(query),
+        options_(options),
+        prune_(prune),
+        concrete_init_(concrete_init),
+        unifier_(&doc_, &query),
+        state_(doc_.size()) {}
+
+  FormulaArena* DecodeArena() override { return unifier_.arena(); }
+
+  // ---- Visit 1 (site): the combined pass -----------------------------------
+
+  Status OnSelRequest(SiteContext& ctx, FragmentId f) override {
+    const Fragment& frag = doc_.fragment(f);
+    const std::vector<uint8_t>* init =
+        (concrete_init_ && f != 0)
+            ? &prune_->parent_vector[static_cast<size_t>(f)]
+            : nullptr;
+    state_[static_cast<size_t>(f)] =
+        std::make_unique<Pax2FragmentState>(RunCombinedPass(frag, query_, init));
+    Pax2FragmentState& st = *state_[static_cast<size_t>(f)];
+
+    // One reply: qualifier roots + selection stack tops + answer counts.
+    QualUpMessage qual_reply;
+    qual_reply.fragment = f;
+    const size_t ec = query_.entries().size();
+    const NodeId root = frag.tree.root();
+    qual_reply.root_qv.assign(st.qual_vectors.QVRow(root),
+                              st.qual_vectors.QVRow(root) + ec);
+    qual_reply.root_qdv.assign(st.qual_vectors.QDVRow(root),
+                               st.qual_vectors.QDVRow(root) + ec);
+    SelUpMessage sel_reply;
+    sel_reply.fragment = f;
+    sel_reply.virtual_tops = st.virtual_tops;
+    sel_reply.answer_count = static_cast<uint32_t>(st.answers.size());
+    sel_reply.candidate_count = static_cast<uint32_t>(st.candidates.size());
+
+    Envelope env;
+    env.to = ctx.query_site();
+    ByteWriter qual_bytes;
+    qual_reply.Encode(*st.arena, &qual_bytes);
+    env.parts.push_back(
+        {MessageKind::kQualUp, f, std::move(qual_bytes).Take(), true});
+    ByteWriter sel_bytes;
+    sel_reply.Encode(*st.arena, &sel_bytes);
+    env.parts.push_back(
+        {MessageKind::kSelUp, f, std::move(sel_bytes).Take(), true});
+    ctx.Send(std::move(env));
+
+    if (concrete_init_) {
+      // Single visit: every reported answer is final (no candidates
+      // possible); they ship with this reply.
+      SendAnswers(ctx, f, st.answers);
+    }
+    return Status::OK();
+  }
+
+  Status OnSelDown(SiteContext&, SelDownMessage message) override {
+    state_[static_cast<size_t>(message.fragment)]->sel_down =
+        std::move(message);
+    return Status::OK();
+  }
+
+  Status OnQualDown(SiteContext&, QualDownMessage message) override {
+    state_[static_cast<size_t>(message.fragment)]->qual_down =
+        std::move(message);
+    return Status::OK();
+  }
+
+  // ---- Visit 2 (site): resolve candidates, ship answers ---------------------
+
+  Status OnAnswerRequest(SiteContext& ctx, FragmentId f) override {
+    Pax2FragmentState& st = *state_[static_cast<size_t>(f)];
+
+    if (!st.candidates.empty()) {
+      // Assignment: z variables of this fragment from the resolved stack;
+      // x variables of the virtual children from the resolved rows.
+      const std::vector<uint8_t>* z =
+          st.sel_down ? &st.sel_down->stack_init : nullptr;
+      std::unordered_map<FragmentId, const QualDownMessage::ResolvedChild*>
+          rows;
+      if (st.qual_down) {
+        for (const auto& c : st.qual_down->children) rows[c.child] = &c;
+      }
+      auto assignment = [&](VarId var) -> std::optional<bool> {
+        switch (KindOfVar(var)) {
+          case VarKind::kSV:
+            if (FragmentOfVar(var) != f || z == nullptr) return std::nullopt;
+            return (*z)[IndexOfVar(var)] != 0;
+          case VarKind::kQV:
+          case VarKind::kQDV: {
+            auto it = rows.find(FragmentOfVar(var));
+            if (it == rows.end()) return std::nullopt;
+            const uint32_t e = IndexOfVar(var);
+            return KindOfVar(var) == VarKind::kQV ? it->second->qv[e] != 0
+                                                  : it->second->qdv[e] != 0;
+          }
+          case VarKind::kLocal:
+            return std::nullopt;  // substituted out before shipping
+        }
+        return std::nullopt;
+      };
+      for (const auto& [node, formula] : st.candidates) {
+        PAXML_ASSIGN_OR_RETURN(bool value,
+                               st.arena->Evaluate(formula, assignment));
+        if (value) st.answers.push_back(node);
+      }
+      std::sort(st.answers.begin(), st.answers.end());
+    }
+
+    SendAnswers(ctx, f, st.answers);
+    return Status::OK();
+  }
+
+  // ---- Coordinator side ------------------------------------------------------
+
+  Status OnQualUp(SiteContext&, QualUpMessage message) override {
+    unifier_.AddQualReport(std::move(message));
+    return Status::OK();
+  }
+
+  Status OnSelUp(SiteContext&, SelUpMessage message) override {
+    unifier_.AddSelReport(std::move(message));
+    return Status::OK();
+  }
+
+  Status OnAnswerUp(SiteContext&, AnswerUpMessage message) override {
+    for (NodeId v : message.answers) {
+      answers_.push_back(GlobalNodeId{message.fragment, v});
+    }
+    return Status::OK();
+  }
+
+  FragmentTreeUnifier& unifier() { return unifier_; }
+  std::vector<GlobalNodeId> TakeAnswers() { return std::move(answers_); }
+
+ private:
+  /// One answer envelope: encoded id list plus answer payload as phantom
+  /// bytes. In the concrete-init path only the phantom XML is accounted
+  /// (the id list duplicates it); the final visit accounts both, as the
+  /// O(|ans|) term of the communication bound.
+  void SendAnswers(SiteContext& ctx, FragmentId f,
+                   const std::vector<NodeId>& answers) {
+    AnswerUpMessage reply;
+    reply.fragment = f;
+    reply.answers = answers;
+    ByteWriter bytes;
+    reply.Encode(&bytes);
+    Envelope env;
+    env.to = ctx.query_site();
+    env.category = PayloadCategory::kAnswer;
+    env.phantom_bytes =
+        AnswerBytes(doc_.fragment(f).tree, answers, options_.ship_mode);
+    env.parts.push_back({MessageKind::kAnswerUp, f, std::move(bytes).Take(),
+                         !concrete_init_});
+    ctx.Send(std::move(env));
+  }
+
+  const FragmentedDocument& doc_;
+  const CompiledQuery& query_;
+  const PaxOptions& options_;
+  const PruneResult* prune_;
+  const bool concrete_init_;
+  FragmentTreeUnifier unifier_;
+  std::vector<std::unique_ptr<Pax2FragmentState>> state_;
+  std::vector<GlobalNodeId> answers_;
+};
+
 }  // namespace
 
 Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
                                        const CompiledQuery& query,
-                                       const PaxOptions& options) {
+                                       const PaxOptions& options,
+                                       Transport* transport) {
   if (query.IsBooleanQuery()) {
-    PAXML_ASSIGN_OR_RETURN(ParBoXResult r, EvaluateParBoX(cluster, query));
+    PAXML_ASSIGN_OR_RETURN(ParBoXResult r,
+                           EvaluateParBoX(cluster, query, transport));
     DistributedResult out;
     if (r.value) {
       out.answers.push_back(
@@ -227,8 +412,8 @@ Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
 
   const FragmentedDocument& doc = cluster.doc();
   const size_t fragment_count = doc.size();
-  QueryRun run(&cluster);
-  const SiteId sq = cluster.query_site();
+  std::unique_ptr<Transport> owned_transport;
+  transport = EnsureTransport(transport, cluster, &owned_transport);
 
   PruneResult prune;
   if (options.use_annotations) {
@@ -253,86 +438,32 @@ Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
   const bool concrete_init =
       options.use_annotations && !query.has_qualifiers();
 
-  std::vector<std::unique_ptr<Pax2FragmentState>> state(fragment_count);
-  FragmentTreeUnifier unifier(&doc, &query);
-  std::mutex mu;
-  Status site_status = Status::OK();
+  Pax2Program program(cluster, query, options, &prune, concrete_init);
+  Coordinator coord(&cluster, transport, &program);
+  FragmentTreeUnifier& unifier = program.unifier();
 
-  std::vector<SiteId> stage1_sites = run.SitesOf(stage1_frags);
-  for (SiteId s : stage1_sites) run.Send(sq, s, query.source().size());
-
-  run.Round("pax2-combined", stage1_sites, [&](SiteId site) {
-    for (FragmentId f : cluster.fragments_at(site)) {
-      if (!participating[static_cast<size_t>(f)]) continue;
-      const Fragment& frag = doc.fragment(f);
-      const std::vector<uint8_t>* init =
-          (concrete_init && f != 0)
-              ? &prune.parent_vector[static_cast<size_t>(f)]
-              : nullptr;
-      state[static_cast<size_t>(f)] = std::make_unique<Pax2FragmentState>(
-          RunCombinedPass(frag, query, init));
-      Pax2FragmentState& st = *state[static_cast<size_t>(f)];
-
-      // One reply: qualifier roots + selection stack tops + answer counts.
-      QualUpMessage qual_reply;
-      qual_reply.fragment = f;
-      const size_t ec = query.entries().size();
-      const NodeId root = frag.tree.root();
-      qual_reply.root_qv.assign(st.qual_vectors.QVRow(root),
-                                st.qual_vectors.QVRow(root) + ec);
-      qual_reply.root_qdv.assign(st.qual_vectors.QDVRow(root),
-                                 st.qual_vectors.QDVRow(root) + ec);
-      SelUpMessage sel_reply;
-      sel_reply.fragment = f;
-      sel_reply.virtual_tops = st.virtual_tops;
-      sel_reply.answer_count = static_cast<uint32_t>(st.answers.size());
-      sel_reply.candidate_count = static_cast<uint32_t>(st.candidates.size());
-
-      ByteWriter bytes;
-      qual_reply.Encode(*st.arena, &bytes);
-      sel_reply.Encode(*st.arena, &bytes);
-      run.Send(site, sq, bytes.size());
-      if (concrete_init) {
-        run.SendAnswer(site, sq,
-                       AnswerBytes(frag.tree, st.answers, options.ship_mode));
-      }
-
-      std::lock_guard<std::mutex> lock(mu);
-      ByteReader reader(bytes.bytes());
-      auto qual_decoded = QualUpMessage::Decode(unifier.arena(), &reader);
-      if (!qual_decoded.ok()) {
-        site_status = qual_decoded.status();
-        return;
-      }
-      auto sel_decoded = SelUpMessage::Decode(unifier.arena(), &reader);
-      if (!sel_decoded.ok()) {
-        site_status = sel_decoded.status();
-        return;
-      }
-      unifier.AddQualReport(std::move(qual_decoded).ValueOrDie());
-      unifier.AddSelReport(std::move(sel_decoded).ValueOrDie());
-    }
-  });
-  PAXML_RETURN_NOT_OK(site_status);
+  std::vector<SiteId> stage1_sites = coord.SitesOf(stage1_frags);
+  for (SiteId s : stage1_sites) {
+    coord.Post(MakeQueryShipEnvelope(s, query.source().size()));
+  }
+  for (FragmentId f : stage1_frags) {
+    coord.Post(MakeRequestEnvelope(MessageKind::kSelRequest,
+                                   cluster.site_of(f), f));
+  }
+  PAXML_RETURN_NOT_OK(coord.RunRound("pax2-combined", stage1_sites));
 
   DistributedResult result;
-  auto collect_answers = [&](FragmentId f) {
-    for (NodeId v : state[static_cast<size_t>(f)]->answers) {
-      result.answers.push_back(GlobalNodeId{f, v});
-    }
-  };
-
   if (concrete_init) {
-    // Single visit: every reported answer is final (no candidates possible).
-    for (FragmentId f : stage1_frags) collect_answers(f);
+    // Single visit: the answers arrived with the combined-pass replies.
+    result.answers = program.TakeAnswers();
     std::sort(result.answers.begin(), result.answers.end());
-    result.stats = run.TakeStats();
+    result.stats = coord.TakeStats();
     return result;
   }
 
   // ---- evalFT: qualifiers bottom-up, then selection top-down ----------------
   Status unify_status = Status::OK();
-  run.Coordinator([&] {
+  coord.RunLocal([&] {
     unify_status = unifier.UnifyQualifiers(participating);
     if (unify_status.ok()) unify_status = unifier.UnifySelection(participating);
   });
@@ -343,102 +474,35 @@ Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
   for (FragmentId f : stage1_frags) {
     if (unifier.HasAnswerWork(f)) stage2_frags.push_back(f);
   }
-  std::vector<SiteId> stage2_sites = run.SitesOf(stage2_frags);
+  std::vector<SiteId> stage2_sites = coord.SitesOf(stage2_frags);
 
-  std::unordered_map<FragmentId, SelDownMessage> sel_down;
-  std::unordered_map<FragmentId, QualDownMessage> qual_down;
   for (FragmentId f : stage2_frags) {
-    ByteWriter bytes;
+    // One down envelope per fragment: resolved stack (non-root fragments)
+    // plus resolved qualifier rows, then the answer request.
+    Envelope env;
+    env.to = cluster.site_of(f);
     if (f != 0) {
       SelDownMessage m = unifier.MakeSelDown(f);
+      ByteWriter bytes;
       m.Encode(&bytes);
-      ByteReader reader(bytes.bytes());
-      auto decoded = SelDownMessage::Decode(&reader);
-      PAXML_RETURN_NOT_OK(decoded.status());
-      sel_down.emplace(f, std::move(decoded).ValueOrDie());
+      env.parts.push_back(
+          {MessageKind::kSelDown, f, std::move(bytes).Take(), true});
     }
     if (query.has_qualifiers()) {
-      ByteWriter qbytes;
       QualDownMessage m = unifier.MakeQualDown(f);
-      m.Encode(&qbytes);
-      ByteReader reader(qbytes.bytes());
-      auto decoded = QualDownMessage::Decode(&reader);
-      PAXML_RETURN_NOT_OK(decoded.status());
-      qual_down.emplace(f, std::move(decoded).ValueOrDie());
-      run.Send(sq, cluster.site_of(f), bytes.size() + qbytes.size());
-    } else {
-      run.Send(sq, cluster.site_of(f), bytes.size());
-    }
-  }
-
-  run.Round("pax2-answers", stage2_sites, [&](SiteId site) {
-    for (FragmentId f : cluster.fragments_at(site)) {
-      if (std::find(stage2_frags.begin(), stage2_frags.end(), f) ==
-          stage2_frags.end()) {
-        continue;
-      }
-      const Fragment& frag = doc.fragment(f);
-      Pax2FragmentState& st = *state[static_cast<size_t>(f)];
-
-      if (!st.candidates.empty()) {
-        // Assignment: z variables of this fragment from the resolved stack;
-        // x variables of the virtual children from the resolved rows.
-        const std::vector<uint8_t>* z = nullptr;
-        if (auto it = sel_down.find(f); it != sel_down.end()) {
-          z = &it->second.stack_init;
-        }
-        std::unordered_map<FragmentId, const QualDownMessage::ResolvedChild*>
-            rows;
-        if (auto it = qual_down.find(f); it != qual_down.end()) {
-          for (const auto& c : it->second.children) rows[c.child] = &c;
-        }
-        auto assignment = [&](VarId var) -> std::optional<bool> {
-          switch (KindOfVar(var)) {
-            case VarKind::kSV:
-              if (FragmentOfVar(var) != f || z == nullptr) return std::nullopt;
-              return (*z)[IndexOfVar(var)] != 0;
-            case VarKind::kQV:
-            case VarKind::kQDV: {
-              auto it = rows.find(FragmentOfVar(var));
-              if (it == rows.end()) return std::nullopt;
-              const uint32_t e = IndexOfVar(var);
-              return KindOfVar(var) == VarKind::kQV
-                         ? it->second->qv[e] != 0
-                         : it->second->qdv[e] != 0;
-            }
-            case VarKind::kLocal:
-              return std::nullopt;  // substituted out before shipping
-          }
-          return std::nullopt;
-        };
-        for (const auto& [node, formula] : st.candidates) {
-          auto value = st.arena->Evaluate(formula, assignment);
-          if (!value.ok()) {
-            std::lock_guard<std::mutex> lock(mu);
-            site_status = value.status();
-            return;
-          }
-          if (*value) st.answers.push_back(node);
-        }
-        std::sort(st.answers.begin(), st.answers.end());
-      }
-
-      AnswerUpMessage reply;
-      reply.fragment = f;
-      reply.answers = st.answers;
       ByteWriter bytes;
-      reply.Encode(&bytes);
-      // The id list and the payload are both part of the O(|ans|) term.
-      run.SendAnswer(site, sq,
-                     bytes.size() +
-                         AnswerBytes(frag.tree, st.answers, options.ship_mode));
+      m.Encode(&bytes);
+      env.parts.push_back(
+          {MessageKind::kQualDown, f, std::move(bytes).Take(), true});
     }
-  });
-  PAXML_RETURN_NOT_OK(site_status);
+    env.parts.push_back({MessageKind::kAnswerRequest, f, {}, false});
+    coord.Post(std::move(env));
+  }
+  PAXML_RETURN_NOT_OK(coord.RunRound("pax2-answers", stage2_sites));
 
-  for (FragmentId f : stage2_frags) collect_answers(f);
+  result.answers = program.TakeAnswers();
   std::sort(result.answers.begin(), result.answers.end());
-  result.stats = run.TakeStats();
+  result.stats = coord.TakeStats();
   return result;
 }
 

@@ -30,10 +30,15 @@
 
 namespace paxml {
 
+class Transport;
+
 /// Evaluates `query` over the cluster's fragmented document with PaX2.
+/// `transport` selects the message backend; nullptr uses the cluster's
+/// default.
 Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
                                        const CompiledQuery& query,
-                                       const PaxOptions& options = {});
+                                       const PaxOptions& options = {},
+                                       Transport* transport = nullptr);
 
 }  // namespace paxml
 

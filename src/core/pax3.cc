@@ -1,13 +1,13 @@
 #include "core/pax3.h"
 
 #include <algorithm>
-#include <mutex>
-#include <unordered_map>
+#include <optional>
 
 #include "core/eval_ft.h"
 #include "core/parbox.h"
 #include "core/site_eval.h"
 #include "fragment/pruning.h"
+#include "runtime/coordinator.h"
 
 namespace paxml {
 namespace {
@@ -19,12 +19,19 @@ struct Pax3FragmentState {
   std::unique_ptr<FormulaArena> sel_arena;  // stage 2 arena (z variables)
   std::vector<std::pair<NodeId, Formula>> candidates;
   std::vector<NodeId> answers;
+
+  // Resolved values received from the coordinator (same-site, same-round
+  // delivery order guarantees they precede the request that consumes them).
+  std::optional<QualDownMessage> qual_down;
+  std::optional<SelDownMessage> sel_down;
 };
 
 /// Boolean queries: ParBoX, then wrap the truth value as {root} / {}.
 Result<DistributedResult> EvaluateBooleanViaParBoX(const Cluster& cluster,
-                                                   const CompiledQuery& query) {
-  PAXML_ASSIGN_OR_RETURN(ParBoXResult r, EvaluateParBoX(cluster, query));
+                                                   const CompiledQuery& query,
+                                                   Transport* transport) {
+  PAXML_ASSIGN_OR_RETURN(ParBoXResult r,
+                         EvaluateParBoX(cluster, query, transport));
   DistributedResult out;
   if (r.value) {
     out.answers.push_back(GlobalNodeId{0, cluster.doc().fragment(0).tree.root()});
@@ -33,17 +40,233 @@ Result<DistributedResult> EvaluateBooleanViaParBoX(const Cluster& cluster,
   return out;
 }
 
+/// PaX3's three stages as runtime handlers. Site-side handlers only touch
+/// the state of fragments placed at the handling site; coordinator-side
+/// handlers only touch the unifier and the collected answers.
+class Pax3Program : public MessageHandlers {
+ public:
+  Pax3Program(const Cluster& cluster, const CompiledQuery& query,
+              const PaxOptions& options, const PruneResult* prune,
+              bool concrete_init)
+      : doc_(cluster.doc()),
+        query_(query),
+        options_(options),
+        prune_(prune),
+        concrete_init_(concrete_init),
+        unifier_(&doc_, &query),
+        state_(doc_.size()) {
+    for (auto& s : state_) s = std::make_unique<Pax3FragmentState>();
+  }
+
+  FormulaArena* DecodeArena() override { return unifier_.arena(); }
+
+  // ---- Stage 1 (site): qualifier pass over one fragment -------------------
+
+  Status OnQualRequest(SiteContext& ctx, FragmentId f) override {
+    const Fragment& frag = doc_.fragment(f);
+    Pax3FragmentState& st = *state_[static_cast<size_t>(f)];
+    st.qual = RunFragmentQualifierStage(frag, query_);
+    QualUpMessage reply = BuildQualUp(frag, query_, st.qual);
+    ByteWriter bytes;
+    reply.Encode(*st.qual.arena, &bytes);
+    Envelope env;
+    env.to = ctx.query_site();
+    env.parts.push_back(
+        {MessageKind::kQualUp, f, std::move(bytes).Take(), true});
+    ctx.Send(std::move(env));
+    return Status::OK();
+  }
+
+  Status OnQualDown(SiteContext&, QualDownMessage message) override {
+    state_[static_cast<size_t>(message.fragment)]->qual_down =
+        std::move(message);
+    return Status::OK();
+  }
+
+  // ---- Stage 2 (site): selection pass with resolved qualifiers ------------
+
+  Status OnSelRequest(SiteContext& ctx, FragmentId f) override {
+    const Fragment& frag = doc_.fragment(f);
+    Pax3FragmentState& st = *state_[static_cast<size_t>(f)];
+
+    // Qualifier values are fully known at this point.
+    if (query_.has_qualifiers()) {
+      if (!st.qual_down.has_value()) {
+        return Status::Internal("pax3: sel-request before qual-down");
+      }
+      PAXML_ASSIGN_OR_RETURN(
+          st.resolved_qual,
+          ResolveQualVectors(frag, query_, st.qual, *st.qual_down));
+    }
+
+    st.sel_arena = std::make_unique<FormulaArena>();
+    FormulaDomain domain(st.sel_arena.get());
+
+    BoolDomain bool_domain;
+    QualAtHook<Formula> qual_at;
+    if (query_.has_qualifiers()) {
+      qual_at = [&, fptr = &frag, stptr = &st](NodeId v, int qual_id) {
+        return domain.FromBool(bool_domain.IsTrue(
+            EvalQualAtNode(fptr->tree, query_, &bool_domain,
+                           stptr->resolved_qual, v, qual_id)));
+      };
+    }
+
+    std::vector<Formula> init;
+    if (f == 0) {
+      Formula root_qual = kTrueFormula;
+      if (query_.selection()[0].qual >= 0) {
+        root_qual = domain.FromBool(
+            RootQualifierValue(frag, query_, st.resolved_qual));
+      }
+      auto qual_at_doc = [&](int qual_id) {
+        return domain.FromBool(bool_domain.IsTrue(EvalQualAtDoc(
+            query_, &bool_domain, st.resolved_qual, frag.tree.root(),
+            qual_id)));
+      };
+      init = MakeDocVector(query_, &domain, root_qual,
+                           query_.has_qualifiers()
+                               ? std::function<Formula(int)>(qual_at_doc)
+                               : std::function<Formula(int)>());
+    } else if (concrete_init_) {
+      init = ConstStackInit(prune_->parent_vector[static_cast<size_t>(f)]);
+    } else {
+      init = VariableStackInit(query_, f, st.sel_arena.get());
+    }
+
+    SelectionOutput<FormulaDomain> out = RunSelectionPass(
+        frag.tree, query_, &domain, std::move(init), qual_at);
+    st.answers = std::move(out.answers);
+    st.candidates = std::move(out.candidates);
+
+    SelUpMessage reply;
+    reply.fragment = f;
+    reply.answer_count = static_cast<uint32_t>(st.answers.size());
+    reply.candidate_count = static_cast<uint32_t>(st.candidates.size());
+    for (auto& [vnode, top] : out.virtual_stack_tops) {
+      reply.virtual_tops.push_back(SelUpMessage::VirtualTop{
+          frag.tree.fragment_ref(vnode), std::move(top)});
+    }
+    ByteWriter bytes;
+    reply.Encode(*st.sel_arena, &bytes);
+    Envelope env;
+    env.to = ctx.query_site();
+    env.parts.push_back(
+        {MessageKind::kSelUp, f, std::move(bytes).Take(), true});
+    ctx.Send(std::move(env));
+
+    if (concrete_init_) {
+      // Certain answers ship with this reply; stage 3 is skipped. The id
+      // list rides unaccounted: the answers travel as self-describing XML
+      // whose modeled size is the phantom byte count.
+      SendAnswers(ctx, f, st.answers);
+    }
+    return Status::OK();
+  }
+
+  Status OnSelDown(SiteContext&, SelDownMessage message) override {
+    state_[static_cast<size_t>(message.fragment)]->sel_down =
+        std::move(message);
+    return Status::OK();
+  }
+
+  // ---- Stage 3 (site): settle candidates, ship answers --------------------
+
+  Status OnAnswerRequest(SiteContext& ctx, FragmentId f) override {
+    Pax3FragmentState& st = *state_[static_cast<size_t>(f)];
+
+    if (!st.candidates.empty()) {
+      if (!st.sel_down.has_value()) {
+        return Status::Internal("pax3: answer-request before sel-down");
+      }
+      const std::vector<uint8_t>& z = st.sel_down->stack_init;
+      auto assignment = [&](VarId v) -> std::optional<bool> {
+        if (KindOfVar(v) != VarKind::kSV || FragmentOfVar(v) != f) {
+          return std::nullopt;
+        }
+        return z[IndexOfVar(v)] != 0;
+      };
+      for (const auto& [node, formula] : st.candidates) {
+        PAXML_ASSIGN_OR_RETURN(bool value,
+                               st.sel_arena->Evaluate(formula, assignment));
+        if (value) st.answers.push_back(node);
+      }
+      std::sort(st.answers.begin(), st.answers.end());
+    }
+
+    SendAnswers(ctx, f, st.answers);
+    return Status::OK();
+  }
+
+  // ---- Coordinator side ----------------------------------------------------
+
+  Status OnQualUp(SiteContext&, QualUpMessage message) override {
+    unifier_.AddQualReport(std::move(message));
+    return Status::OK();
+  }
+
+  Status OnSelUp(SiteContext&, SelUpMessage message) override {
+    unifier_.AddSelReport(std::move(message));
+    return Status::OK();
+  }
+
+  Status OnAnswerUp(SiteContext&, AnswerUpMessage message) override {
+    for (NodeId v : message.answers) {
+      answers_.push_back(GlobalNodeId{message.fragment, v});
+    }
+    return Status::OK();
+  }
+
+  FragmentTreeUnifier& unifier() { return unifier_; }
+  std::vector<GlobalNodeId> TakeAnswers() { return std::move(answers_); }
+
+ private:
+  /// One answer envelope: the encoded id list plus the answer payload
+  /// (subtrees or references) as phantom bytes — the O(|ans|) term.
+  void SendAnswers(SiteContext& ctx, FragmentId f,
+                   const std::vector<NodeId>& answers) {
+    AnswerUpMessage reply;
+    reply.fragment = f;
+    reply.answers = answers;
+    ByteWriter bytes;
+    reply.Encode(&bytes);
+    Envelope env;
+    env.to = ctx.query_site();
+    env.category = PayloadCategory::kAnswer;
+    env.phantom_bytes =
+        AnswerBytes(doc_.fragment(f).tree, answers, options_.ship_mode);
+    // In the concrete-init path the id list duplicates the shipped XML, so
+    // only the phantom payload is accounted (matching the paper's model);
+    // stage-3 replies account the id list as today.
+    env.parts.push_back({MessageKind::kAnswerUp, f, std::move(bytes).Take(),
+                         !concrete_init_});
+    ctx.Send(std::move(env));
+  }
+
+  const FragmentedDocument& doc_;
+  const CompiledQuery& query_;
+  const PaxOptions& options_;
+  const PruneResult* prune_;
+  const bool concrete_init_;
+  FragmentTreeUnifier unifier_;
+  std::vector<std::unique_ptr<Pax3FragmentState>> state_;
+  std::vector<GlobalNodeId> answers_;
+};
+
 }  // namespace
 
 Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
                                        const CompiledQuery& query,
-                                       const PaxOptions& options) {
-  if (query.IsBooleanQuery()) return EvaluateBooleanViaParBoX(cluster, query);
+                                       const PaxOptions& options,
+                                       Transport* transport) {
+  if (query.IsBooleanQuery()) {
+    return EvaluateBooleanViaParBoX(cluster, query, transport);
+  }
 
   const FragmentedDocument& doc = cluster.doc();
   const size_t fragment_count = doc.size();
-  QueryRun run(&cluster);
-  const SiteId sq = cluster.query_site();
+  std::unique_ptr<Transport> owned_transport;
+  transport = EnsureTransport(transport, cluster, &owned_transport);
 
   PruneResult prune;
   if (options.use_annotations) {
@@ -53,12 +276,15 @@ Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
     prune.required.assign(fragment_count, true);
   }
 
-  std::vector<std::unique_ptr<Pax3FragmentState>> state(fragment_count);
-  for (auto& s : state) s = std::make_unique<Pax3FragmentState>();
+  // Whether this run can finish at stage 2 (Section 5: annotations give
+  // concrete stack initializations for qualifier-free queries, so candidates
+  // never arise and the answers ship with the stage-2 reply).
+  const bool concrete_init =
+      options.use_annotations && !query.has_qualifiers();
 
-  FragmentTreeUnifier unifier(&doc, &query);
-  std::mutex mu;  // guards unifier + status during parallel rounds
-  Status site_status = Status::OK();
+  Pax3Program program(cluster, query, options, &prune, concrete_init);
+  Coordinator coord(&cluster, transport, &program);
+  FragmentTreeUnifier& unifier = program.unifier();
 
   // Sites learn the query on their first visit.
   std::vector<bool> query_shipped(cluster.site_count(), false);
@@ -66,7 +292,7 @@ Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
     for (SiteId s : sites) {
       if (!query_shipped[static_cast<size_t>(s)]) {
         query_shipped[static_cast<size_t>(s)] = true;
-        run.Send(sq, s, query.source().size());
+        coord.Post(MakeQueryShipEnvelope(s, query.source().size()));
       }
     }
   };
@@ -81,31 +307,16 @@ Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
       all.push_back(static_cast<FragmentId>(f));
       stage1_participants[f] = true;
     }
-    std::vector<SiteId> sites = run.SitesOf(all);
+    std::vector<SiteId> sites = coord.SitesOf(all);
     ship_query(sites);
-    run.Round("pax3-stage1-qualifiers", sites, [&](SiteId site) {
-      for (FragmentId f : cluster.fragments_at(site)) {
-        const Fragment& frag = doc.fragment(f);
-        Pax3FragmentState& st = *state[static_cast<size_t>(f)];
-        st.qual = RunFragmentQualifierStage(frag, query);
-        QualUpMessage reply = BuildQualUp(frag, query, st.qual);
-        ByteWriter bytes;
-        reply.Encode(*st.qual.arena, &bytes);
-        run.Send(site, sq, bytes.size());
-        std::lock_guard<std::mutex> lock(mu);
-        ByteReader reader(bytes.bytes());
-        auto decoded = QualUpMessage::Decode(unifier.arena(), &reader);
-        if (!decoded.ok()) {
-          site_status = decoded.status();
-          return;
-        }
-        unifier.AddQualReport(std::move(decoded).ValueOrDie());
-      }
-    });
-    PAXML_RETURN_NOT_OK(site_status);
+    for (FragmentId f : all) {
+      coord.Post(MakeRequestEnvelope(MessageKind::kQualRequest,
+                                     cluster.site_of(f), f));
+    }
+    PAXML_RETURN_NOT_OK(coord.RunRound("pax3-stage1-qualifiers", sites));
 
     Status unify_status = Status::OK();
-    run.Coordinator([&] {
+    coord.RunLocal([&] {
       unify_status = unifier.UnifyQualifiers(stage1_participants);
     });
     PAXML_RETURN_NOT_OK(unify_status);
@@ -120,136 +331,37 @@ Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
       stage2_participants[f] = true;
     }
   }
-  std::vector<SiteId> stage2_sites = run.SitesOf(stage2_frags);
+  std::vector<SiteId> stage2_sites = coord.SitesOf(stage2_frags);
   ship_query(stage2_sites);
 
   // Resolved qualifier values travel with the stage-2 request.
-  std::unordered_map<FragmentId, QualDownMessage> qual_down;
-  if (query.has_qualifiers()) {
-    for (FragmentId f : stage2_frags) {
+  for (FragmentId f : stage2_frags) {
+    Envelope env;
+    env.to = cluster.site_of(f);
+    env.accounted = query.has_qualifiers();
+    if (query.has_qualifiers()) {
       QualDownMessage m = unifier.MakeQualDown(f);
       ByteWriter bytes;
       m.Encode(&bytes);
-      run.Send(sq, cluster.site_of(f), bytes.size());
-      // Decode on the receiving side.
-      ByteReader reader(bytes.bytes());
-      auto decoded = QualDownMessage::Decode(&reader);
-      PAXML_RETURN_NOT_OK(decoded.status());
-      qual_down.emplace(f, std::move(decoded).ValueOrDie());
+      env.parts.push_back(
+          {MessageKind::kQualDown, f, std::move(bytes).Take(), true});
     }
+    env.parts.push_back({MessageKind::kSelRequest, f, {}, false});
+    coord.Post(std::move(env));
   }
-
-  // Whether this run can finish at stage 2 (Section 5: annotations give
-  // concrete stack initializations for qualifier-free queries, so candidates
-  // never arise and the answers ship with the stage-2 reply).
-  const bool concrete_init =
-      options.use_annotations && !query.has_qualifiers();
-
-  run.Round("pax3-stage2-selection", stage2_sites, [&](SiteId site) {
-    for (FragmentId f : cluster.fragments_at(site)) {
-      if (!stage2_participants[static_cast<size_t>(f)]) continue;
-      const Fragment& frag = doc.fragment(f);
-      Pax3FragmentState& st = *state[static_cast<size_t>(f)];
-
-      // Qualifier values are fully known at this point.
-      if (query.has_qualifiers()) {
-        auto resolved = ResolveQualVectors(frag, query, st.qual,
-                                           qual_down.at(f));
-        if (!resolved.ok()) {
-          std::lock_guard<std::mutex> lock(mu);
-          site_status = resolved.status();
-          return;
-        }
-        st.resolved_qual = std::move(resolved).ValueOrDie();
-      }
-
-      st.sel_arena = std::make_unique<FormulaArena>();
-      FormulaDomain domain(st.sel_arena.get());
-
-      BoolDomain bool_domain;
-      QualAtHook<Formula> qual_at;
-      if (query.has_qualifiers()) {
-        qual_at = [&, fptr = &frag, stptr = &st](NodeId v, int qual_id) {
-          return domain.FromBool(bool_domain.IsTrue(
-              EvalQualAtNode(fptr->tree, query, &bool_domain,
-                             stptr->resolved_qual, v, qual_id)));
-        };
-      }
-
-      std::vector<Formula> init;
-      if (f == 0) {
-        Formula root_qual = kTrueFormula;
-        if (query.selection()[0].qual >= 0) {
-          root_qual = domain.FromBool(
-              RootQualifierValue(frag, query, st.resolved_qual));
-        }
-        auto qual_at_doc = [&](int qual_id) {
-          return domain.FromBool(bool_domain.IsTrue(EvalQualAtDoc(
-              query, &bool_domain, st.resolved_qual, frag.tree.root(),
-              qual_id)));
-        };
-        init = MakeDocVector(query, &domain, root_qual,
-                             query.has_qualifiers()
-                                 ? std::function<Formula(int)>(qual_at_doc)
-                                 : std::function<Formula(int)>());
-      } else if (concrete_init) {
-        init = ConstStackInit(prune.parent_vector[static_cast<size_t>(f)]);
-      } else {
-        init = VariableStackInit(query, f, st.sel_arena.get());
-      }
-
-      SelectionOutput<FormulaDomain> out = RunSelectionPass(
-          frag.tree, query, &domain, std::move(init), qual_at);
-      st.answers = std::move(out.answers);
-      st.candidates = std::move(out.candidates);
-
-      SelUpMessage reply;
-      reply.fragment = f;
-      reply.answer_count = static_cast<uint32_t>(st.answers.size());
-      reply.candidate_count = static_cast<uint32_t>(st.candidates.size());
-      for (auto& [vnode, top] : out.virtual_stack_tops) {
-        reply.virtual_tops.push_back(SelUpMessage::VirtualTop{
-            frag.tree.fragment_ref(vnode), std::move(top)});
-      }
-      ByteWriter bytes;
-      reply.Encode(*st.sel_arena, &bytes);
-      run.Send(site, sq, bytes.size());
-
-      if (concrete_init) {
-        // Certain answers ship with this reply; stage 3 is skipped.
-        run.SendAnswer(site, sq,
-                       AnswerBytes(frag.tree, st.answers, options.ship_mode));
-      }
-
-      std::lock_guard<std::mutex> lock(mu);
-      ByteReader reader(bytes.bytes());
-      auto decoded = SelUpMessage::Decode(unifier.arena(), &reader);
-      if (!decoded.ok()) {
-        site_status = decoded.status();
-        return;
-      }
-      unifier.AddSelReport(std::move(decoded).ValueOrDie());
-    }
-  });
-  PAXML_RETURN_NOT_OK(site_status);
+  PAXML_RETURN_NOT_OK(coord.RunRound("pax3-stage2-selection", stage2_sites));
 
   DistributedResult result;
-  auto collect_answers = [&](FragmentId f) {
-    for (NodeId v : state[static_cast<size_t>(f)]->answers) {
-      result.answers.push_back(GlobalNodeId{f, v});
-    }
-  };
-
   if (concrete_init) {
-    for (FragmentId f : stage2_frags) collect_answers(f);
+    result.answers = program.TakeAnswers();
     std::sort(result.answers.begin(), result.answers.end());
-    result.stats = run.TakeStats();
+    result.stats = coord.TakeStats();
     return result;
   }
 
   // ---- evalFT: resolve the z variables top-down ------------------------------
   Status unify_status = Status::OK();
-  run.Coordinator([&] {
+  coord.RunLocal([&] {
     unify_status = unifier.UnifySelection(stage2_participants);
   });
   PAXML_RETURN_NOT_OK(unify_status);
@@ -259,66 +371,29 @@ Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
   for (FragmentId f : stage2_frags) {
     if (unifier.HasAnswerWork(f)) stage3_frags.push_back(f);
   }
-  std::vector<SiteId> stage3_sites = run.SitesOf(stage3_frags);
+  std::vector<SiteId> stage3_sites = coord.SitesOf(stage3_frags);
 
-  std::unordered_map<FragmentId, SelDownMessage> sel_down;
   for (FragmentId f : stage3_frags) {
-    if (f == 0) continue;  // the root fragment's stack was concrete
-    SelDownMessage m = unifier.MakeSelDown(f);
-    ByteWriter bytes;
-    m.Encode(&bytes);
-    run.Send(sq, cluster.site_of(f), bytes.size());
-    ByteReader reader(bytes.bytes());
-    auto decoded = SelDownMessage::Decode(&reader);
-    PAXML_RETURN_NOT_OK(decoded.status());
-    sel_down.emplace(f, std::move(decoded).ValueOrDie());
-  }
-
-  run.Round("pax3-stage3-answers", stage3_sites, [&](SiteId site) {
-    for (FragmentId f : cluster.fragments_at(site)) {
-      if (std::find(stage3_frags.begin(), stage3_frags.end(), f) ==
-          stage3_frags.end()) {
-        continue;
-      }
-      const Fragment& frag = doc.fragment(f);
-      Pax3FragmentState& st = *state[static_cast<size_t>(f)];
-
-      if (!st.candidates.empty()) {
-        const std::vector<uint8_t>& z = sel_down.at(f).stack_init;
-        auto assignment = [&](VarId v) -> std::optional<bool> {
-          if (KindOfVar(v) != VarKind::kSV || FragmentOfVar(v) != f) {
-            return std::nullopt;
-          }
-          return z[IndexOfVar(v)] != 0;
-        };
-        for (const auto& [node, formula] : st.candidates) {
-          auto value = st.sel_arena->Evaluate(formula, assignment);
-          if (!value.ok()) {
-            std::lock_guard<std::mutex> lock(mu);
-            site_status = value.status();
-            return;
-          }
-          if (*value) st.answers.push_back(node);
-        }
-        std::sort(st.answers.begin(), st.answers.end());
-      }
-
-      AnswerUpMessage reply;
-      reply.fragment = f;
-      reply.answers = st.answers;
+    Envelope env;
+    env.to = cluster.site_of(f);
+    // The root fragment's stack was concrete: nothing to resolve, so its
+    // request carries (and costs) no bytes.
+    env.accounted = (f != 0);
+    if (f != 0) {
+      SelDownMessage m = unifier.MakeSelDown(f);
       ByteWriter bytes;
-      reply.Encode(&bytes);
-      // The id list and the payload are both part of the O(|ans|) term.
-      run.SendAnswer(site, sq,
-                     bytes.size() +
-                         AnswerBytes(frag.tree, st.answers, options.ship_mode));
+      m.Encode(&bytes);
+      env.parts.push_back(
+          {MessageKind::kSelDown, f, std::move(bytes).Take(), true});
     }
-  });
-  PAXML_RETURN_NOT_OK(site_status);
+    env.parts.push_back({MessageKind::kAnswerRequest, f, {}, false});
+    coord.Post(std::move(env));
+  }
+  PAXML_RETURN_NOT_OK(coord.RunRound("pax3-stage3-answers", stage3_sites));
 
-  for (FragmentId f : stage3_frags) collect_answers(f);
+  result.answers = program.TakeAnswers();
   std::sort(result.answers.begin(), result.answers.end());
-  result.stats = run.TakeStats();
+  result.stats = coord.TakeStats();
   return result;
 }
 

@@ -36,6 +36,8 @@
 
 namespace paxml {
 
+class Transport;
+
 struct PaxOptions {
   /// Use the XPath-annotated fragment tree (Section 5): prune irrelevant
   /// fragments and, for qualifier-free queries, initialize stacks concretely.
@@ -47,10 +49,12 @@ struct PaxOptions {
 
 /// Evaluates `query` over the cluster's fragmented document with PaX3.
 /// Boolean queries (empty selection path) delegate to the ParBoX stage and
-/// finish in one visit.
+/// finish in one visit. `transport` selects the message backend; nullptr
+/// uses the cluster's default.
 Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
                                        const CompiledQuery& query,
-                                       const PaxOptions& options = {});
+                                       const PaxOptions& options = {},
+                                       Transport* transport = nullptr);
 
 }  // namespace paxml
 

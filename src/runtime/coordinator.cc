@@ -1,0 +1,112 @@
+#include "runtime/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "common/logging.h"
+#include "sim/cluster.h"
+
+namespace paxml {
+
+Coordinator::Coordinator(const Cluster* cluster, Transport* transport,
+                         MessageHandlers* handlers)
+    : cluster_(cluster), transport_(transport) {
+  stats_.per_site.resize(cluster->site_count());
+  transport_->Begin(cluster, &stats_);
+  sites_.reserve(cluster->site_count());
+  for (size_t s = 0; s < cluster->site_count(); ++s) {
+    sites_.emplace_back(static_cast<SiteId>(s), cluster, transport, handlers);
+  }
+}
+
+SiteId Coordinator::query_site() const { return cluster_->query_site(); }
+
+void Coordinator::Post(Envelope env) {
+  env.from = query_site();
+  transport_->Send(std::move(env));
+}
+
+Status Coordinator::RunRound(const std::string& label,
+                             const std::vector<SiteId>& sites) {
+  (void)label;
+  ++stats_.rounds;
+  if (sites.empty()) return Status::OK();
+
+  Status round_status = Status::OK();
+  std::mutex status_mu;
+  std::vector<double> durations;
+  transport_->RunRound(
+      sites,
+      [&](SiteId site, std::vector<Envelope> mail) {
+        Status st = sites_[static_cast<size_t>(site)].Deliver(std::move(mail));
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          if (round_status.ok()) round_status = std::move(st);
+        }
+      },
+      &durations);
+
+  double round_max = 0;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    SiteStats& s = stats_.per_site[static_cast<size_t>(sites[i])];
+    ++s.visits;
+    s.compute_seconds += durations[i];
+    stats_.total_compute_seconds += durations[i];
+    round_max = std::max(round_max, durations[i]);
+  }
+  stats_.parallel_seconds += round_max;
+
+  PAXML_RETURN_NOT_OK(round_status);
+  return DispatchCoordinatorMail();
+}
+
+Status Coordinator::DispatchCoordinatorMail() {
+  const SiteId sq = query_site();
+  const auto start = std::chrono::steady_clock::now();
+  Status status = Status::OK();
+  while (status.ok() && transport_->HasMail(sq)) {
+    std::vector<Envelope> mail = transport_->Drain(sq);
+    // Pooled workers interleave arrivals from different senders; per-sender
+    // order is already sequential, so a stable sort by sender restores one
+    // deterministic processing order across backends.
+    std::stable_sort(mail.begin(), mail.end(),
+                     [](const Envelope& a, const Envelope& b) {
+                       return a.from < b.from;
+                     });
+    status = sites_[static_cast<size_t>(sq)].Deliver(std::move(mail));
+  }
+  const auto end = std::chrono::steady_clock::now();
+  stats_.coordinator_seconds +=
+      std::chrono::duration<double>(end - start).count();
+  return status;
+}
+
+void Coordinator::RunLocal(const std::function<void()>& work) {
+  const auto start = std::chrono::steady_clock::now();
+  work();
+  const auto end = std::chrono::steady_clock::now();
+  stats_.coordinator_seconds +=
+      std::chrono::duration<double>(end - start).count();
+}
+
+std::vector<SiteId> Coordinator::SitesOf(
+    const std::vector<FragmentId>& fragments) const {
+  std::vector<SiteId> sites;
+  sites.reserve(fragments.size());
+  for (FragmentId f : fragments) sites.push_back(cluster_->site_of(f));
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
+}
+
+std::vector<SiteId> Coordinator::AllSites() const {
+  std::vector<FragmentId> all;
+  all.reserve(cluster_->doc().size());
+  for (size_t f = 0; f < cluster_->doc().size(); ++f) {
+    all.push_back(static_cast<FragmentId>(f));
+  }
+  return SitesOf(all);
+}
+
+}  // namespace paxml

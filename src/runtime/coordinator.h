@@ -1,0 +1,70 @@
+// Coordinator: the driver of one distributed query evaluation.
+//
+// Replaces the old QueryRun closure API. An algorithm is written as a
+// protocol script against this class: Post() down-envelopes and control
+// requests, RunRound() to visit the addressed sites (the transport delivers
+// their mail in parallel or sequentially), then the coordinator's own mail
+// — the sites' up-replies — is dispatched on the driver thread. Visit
+// counts, per-round parallel time and coordinator time accumulate into
+// RunStats here; all byte accounting happens inside Transport::Send.
+
+#ifndef PAXML_RUNTIME_COORDINATOR_H_
+#define PAXML_RUNTIME_COORDINATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/site_runtime.h"
+#include "runtime/transport.h"
+#include "sim/stats.h"
+
+namespace paxml {
+
+class Cluster;
+
+class Coordinator {
+ public:
+  /// Binds `transport` to a fresh RunStats for this evaluation and builds
+  /// one SiteRuntime per site dispatching into `handlers`.
+  Coordinator(const Cluster* cluster, Transport* transport,
+              MessageHandlers* handlers);
+
+  const Cluster& cluster() const { return *cluster_; }
+  SiteId query_site() const;
+
+  /// Sends a coordinator-originated envelope (env.from = query site).
+  void Post(Envelope env);
+
+  /// One protocol round: every site in `sites` is visited once — its
+  /// pending mail is decoded and dispatched to the algorithm handlers, in
+  /// parallel per the transport backend — then the up-replies that arrived
+  /// at the query site are dispatched on this thread (in deterministic
+  /// sender order, so pooled and sync backends unify identically).
+  Status RunRound(const std::string& label, const std::vector<SiteId>& sites);
+
+  /// Times coordinator-local work (evalFT unification, result assembly).
+  void RunLocal(const std::function<void()>& work);
+
+  /// Sites that hold at least one of the given fragments (sorted, unique).
+  std::vector<SiteId> SitesOf(const std::vector<FragmentId>& fragments) const;
+
+  /// All sites holding at least one fragment.
+  std::vector<SiteId> AllSites() const;
+
+  const RunStats& stats() const { return stats_; }
+  RunStats TakeStats() { return std::move(stats_); }
+
+ private:
+  /// Drains and dispatches mail addressed to the query site.
+  Status DispatchCoordinatorMail();
+
+  const Cluster* cluster_;
+  Transport* transport_;
+  std::vector<SiteRuntime> sites_;
+  RunStats stats_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_RUNTIME_COORDINATOR_H_

@@ -1,0 +1,117 @@
+// SiteRuntime: message-driven execution at one site.
+//
+// A SiteRuntime owns a site's fragment list and turns delivered envelopes
+// back into typed messages: wire parts are decoded (QualUp/SelUp into the
+// handler-provided arena, the boolean down-messages standalone) and
+// dispatched, in arrival order, to the algorithm's MessageHandlers. The
+// same dispatch path serves both roles of the protocol — worker sites
+// (requests and down-messages, running on transport worker threads) and the
+// coordinator (up-messages, running on the driver thread after each round)
+// — so an algorithm is exactly its set of handlers plus a Coordinator
+// script, and never touches sockets, threads, or byte accounting.
+
+#ifndef PAXML_RUNTIME_SITE_RUNTIME_H_
+#define PAXML_RUNTIME_SITE_RUNTIME_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/messages.h"
+#include "runtime/transport.h"
+
+namespace paxml {
+
+class Cluster;
+
+/// What a handler sees of its execution environment: which site it runs at,
+/// the placement, and a way to send envelopes from that site.
+class SiteContext {
+ public:
+  SiteContext(SiteId site, const Cluster* cluster, Transport* transport)
+      : site_(site), cluster_(cluster), transport_(transport) {}
+
+  SiteId site() const { return site_; }
+  const Cluster& cluster() const { return *cluster_; }
+
+  /// The query site S_Q (the coordinator's address).
+  SiteId query_site() const;
+
+  /// Sends `env` from this site (env.from is stamped here).
+  void Send(Envelope env) {
+    env.from = site_;
+    transport_->Send(std::move(env));
+  }
+
+ private:
+  SiteId site_;
+  const Cluster* cluster_;
+  Transport* transport_;
+};
+
+/// Algorithm-provided typed message handlers.
+///
+/// Threading contract: site-side handlers (requests, down-messages) run on
+/// transport worker threads, but each site's mail is processed by exactly
+/// one worker per round, so state keyed by fragment is race-free as long as
+/// every fragment's state is only touched by handlers addressed to its own
+/// site. Coordinator-side handlers (up-messages) always run single-threaded
+/// on the driver thread.
+class MessageHandlers {
+ public:
+  virtual ~MessageHandlers() = default;
+
+  /// Arena that decoded QualUp/SelUp formulas are interned into. Must be
+  /// overridden by algorithms whose coordinator receives formula-bearing
+  /// messages.
+  virtual FormulaArena* DecodeArena() { return nullptr; }
+
+  /// The query text arrived. Purely a cost-model event in the simulator
+  /// (every handler object already knows its CompiledQuery), hence a no-op
+  /// default.
+  virtual Status OnQueryShip(SiteContext& ctx);
+
+  // Control plane, coordinator -> site.
+  virtual Status OnQualRequest(SiteContext& ctx, FragmentId fragment);
+  virtual Status OnSelRequest(SiteContext& ctx, FragmentId fragment);
+  virtual Status OnAnswerRequest(SiteContext& ctx, FragmentId fragment);
+  virtual Status OnDataRequest(SiteContext& ctx, FragmentId fragment);
+
+  // Resolved values, coordinator -> site.
+  virtual Status OnQualDown(SiteContext& ctx, QualDownMessage message);
+  virtual Status OnSelDown(SiteContext& ctx, SelDownMessage message);
+
+  // Partial answers, site -> coordinator.
+  virtual Status OnQualUp(SiteContext& ctx, QualUpMessage message);
+  virtual Status OnSelUp(SiteContext& ctx, SelUpMessage message);
+  virtual Status OnAnswerUp(SiteContext& ctx, AnswerUpMessage message);
+
+  /// Raw tree data arrived (naive baseline; `bytes` is the modeled size).
+  virtual Status OnDataShip(SiteContext& ctx, FragmentId fragment,
+                            uint64_t bytes);
+};
+
+/// Decode-and-dispatch endpoint for one site.
+class SiteRuntime {
+ public:
+  SiteRuntime(SiteId site, const Cluster* cluster, Transport* transport,
+              MessageHandlers* handlers)
+      : ctx_(site, cluster, transport), handlers_(handlers) {}
+
+  SiteId site() const { return ctx_.site(); }
+
+  /// Fragments placed at this site.
+  const std::vector<FragmentId>& fragments() const;
+
+  /// Decodes and dispatches `mail` in order; stops at the first error.
+  Status Deliver(std::vector<Envelope> mail);
+
+ private:
+  Status DispatchPart(const Envelope& env, const WirePart& part);
+
+  SiteContext ctx_;
+  MessageHandlers* handlers_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_RUNTIME_SITE_RUNTIME_H_

@@ -1,0 +1,241 @@
+#include "runtime/transport.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "sim/cluster.h"
+
+namespace paxml {
+
+const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kQueryShip: return "query-ship";
+    case MessageKind::kQualRequest: return "qual-request";
+    case MessageKind::kSelRequest: return "sel-request";
+    case MessageKind::kAnswerRequest: return "answer-request";
+    case MessageKind::kDataRequest: return "data-request";
+    case MessageKind::kQualUp: return "qual-up";
+    case MessageKind::kSelUp: return "sel-up";
+    case MessageKind::kAnswerUp: return "answer-up";
+    case MessageKind::kQualDown: return "qual-down";
+    case MessageKind::kSelDown: return "sel-down";
+    case MessageKind::kDataShip: return "data-ship";
+  }
+  return "?";
+}
+
+uint64_t Envelope::WireBytes() const {
+  uint64_t bytes = phantom_bytes;
+  for (const WirePart& p : parts) {
+    if (p.accounted) bytes += p.bytes.size();
+  }
+  return bytes;
+}
+
+void Transport::Begin(const Cluster* cluster, RunStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cluster_ = cluster;
+  stats_ = stats;
+  mailboxes_.assign(cluster->site_count(), {});
+}
+
+void Transport::Send(Envelope env) {
+  PAXML_CHECK(env.to != kNullSite);
+  const uint64_t bytes = env.WireBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  PAXML_CHECK_LT(static_cast<size_t>(env.to), mailboxes_.size());
+  // Local delivery is free: co-located fragments exchange no network bytes
+  // (the query site holds the root fragment by assumption).
+  const bool local = env.from == env.to && env.from != kNullSite;
+  if (env.accounted && !local) {
+    ++stats_->total_messages;
+    stats_->total_bytes += bytes;
+    switch (env.category) {
+      case PayloadCategory::kAnswer:
+        stats_->answer_bytes += bytes;
+        break;
+      case PayloadCategory::kData:
+        stats_->data_bytes_shipped += bytes;
+        break;
+      case PayloadCategory::kControl:
+        break;
+    }
+    if (env.from != kNullSite) {
+      SiteStats& f = stats_->per_site[static_cast<size_t>(env.from)];
+      ++f.messages_sent;
+      f.bytes_sent += bytes;
+    }
+    SiteStats& t = stats_->per_site[static_cast<size_t>(env.to)];
+    ++t.messages_received;
+    t.bytes_received += bytes;
+    EdgeStats& e = stats_->edges[{env.from, env.to}];
+    ++e.messages;
+    e.bytes += bytes;
+  }
+  mailboxes_[static_cast<size_t>(env.to)].push_back(std::move(env));
+}
+
+std::vector<Envelope> Transport::Drain(SiteId site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PAXML_CHECK_LT(static_cast<size_t>(site), mailboxes_.size());
+  std::vector<Envelope> mail;
+  mail.swap(mailboxes_[static_cast<size_t>(site)]);
+  return mail;
+}
+
+bool Transport::HasMail(SiteId site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !mailboxes_[static_cast<size_t>(site)].empty();
+}
+
+std::vector<std::vector<Envelope>> Transport::SnapshotInboxes(
+    const std::vector<SiteId>& sites) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::vector<Envelope>> inboxes;
+  inboxes.reserve(sites.size());
+  for (SiteId s : sites) {
+    PAXML_CHECK_LT(static_cast<size_t>(s), mailboxes_.size());
+    std::vector<Envelope> mail;
+    mail.swap(mailboxes_[static_cast<size_t>(s)]);
+    inboxes.push_back(std::move(mail));
+  }
+  return inboxes;
+}
+
+namespace {
+
+double TimedDeliver(const Transport::DeliverFn& deliver, SiteId site,
+                    std::vector<Envelope> mail) {
+  const auto start = std::chrono::steady_clock::now();
+  deliver(site, std::move(mail));
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+// ---- SyncTransport ----------------------------------------------------------
+
+void SyncTransport::RunRound(const std::vector<SiteId>& sites,
+                             const DeliverFn& deliver,
+                             std::vector<double>* durations) {
+  durations->assign(sites.size(), 0);
+  std::vector<std::vector<Envelope>> inboxes = SnapshotInboxes(sites);
+  for (size_t i = 0; i < sites.size(); ++i) {
+    (*durations)[i] = TimedDeliver(deliver, sites[i], std::move(inboxes[i]));
+  }
+}
+
+// ---- PooledTransport --------------------------------------------------------
+
+PooledTransport::PooledTransport(size_t workers) {
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = std::min<size_t>(std::max<size_t>(hw, 2), 8);
+  }
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+PooledTransport::~PooledTransport() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void PooledTransport::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping, queue fully drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      --inflight_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void PooledTransport::RunRound(const std::vector<SiteId>& sites,
+                               const DeliverFn& deliver,
+                               std::vector<double>* durations) {
+  durations->assign(sites.size(), 0);
+  if (sites.empty()) return;
+  std::vector<std::vector<Envelope>> inboxes = SnapshotInboxes(sites);
+
+  // One task per site: a site's mail is processed by exactly one worker, so
+  // per-fragment state needs no locking in the algorithm handlers.
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    inflight_ += sites.size();
+    for (size_t i = 0; i < sites.size(); ++i) {
+      // shared_ptr keeps the task copyable for std::function.
+      auto mail =
+          std::make_shared<std::vector<Envelope>>(std::move(inboxes[i]));
+      tasks_.push_back([&deliver, &sites, durations, mail, i] {
+        (*durations)[i] = TimedDeliver(deliver, sites[i], std::move(*mail));
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  done_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+// ---- Builders ---------------------------------------------------------------
+
+Envelope MakeQueryShipEnvelope(SiteId to, uint64_t query_bytes) {
+  Envelope env;
+  env.to = to;
+  env.phantom_bytes = query_bytes;
+  env.parts.push_back({MessageKind::kQueryShip, kNullFragment, {}, true});
+  return env;
+}
+
+Envelope MakeRequestEnvelope(MessageKind kind, SiteId to, FragmentId fragment) {
+  Envelope env;
+  env.to = to;
+  env.accounted = false;
+  env.parts.push_back({kind, fragment, {}, false});
+  return env;
+}
+
+// ---- Factory ----------------------------------------------------------------
+
+std::unique_ptr<Transport> MakeTransport(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kSync:
+      return std::make_unique<SyncTransport>();
+    case TransportKind::kPooled:
+      return std::make_unique<PooledTransport>();
+  }
+  PAXML_CHECK(false);
+  return nullptr;
+}
+
+TransportKind DefaultTransportKind(const Cluster& cluster) {
+  return cluster.options().parallel_execution ? TransportKind::kPooled
+                                              : TransportKind::kSync;
+}
+
+Transport* EnsureTransport(Transport* transport, const Cluster& cluster,
+                           std::unique_ptr<Transport>* owned) {
+  if (transport != nullptr) return transport;
+  *owned = MakeTransport(DefaultTransportKind(cluster));
+  return owned->get();
+}
+
+}  // namespace paxml

@@ -1,0 +1,213 @@
+// Transport: the message plane under the distributed algorithms.
+//
+// Every byte that crosses sites in a query evaluation flows through exactly
+// one choke point, Transport::Send — the algorithms never touch the stats
+// directly. An Envelope is one accounted network message; it carries typed
+// WireParts (encoded per core/messages.h) plus optionally "phantom" bytes
+// that model payloads the simulation does not materialize (the query text,
+// answer XML subtrees, the naive baseline's raw tree data). Request parts
+// (kQueryShip, k*Request) are the control plane: they replace the closure
+// calls of the old QueryRun::Round API and, like those calls, cost no bytes
+// — the paper accounts coordinator-driven stage starts as *visits*, not
+// traffic.
+//
+// Two backends deliver mail:
+//   * SyncTransport    — sequential, deterministic; the reference semantics.
+//   * PooledTransport  — a persistent worker pool with per-site mailboxes
+//                        (replacing the old thread-per-site-per-round
+//                        spawning). Produces identical answers, visit counts
+//                        and per-edge byte totals: site work is independent
+//                        per site and coordinator-side processing is
+//                        order-normalized (see Coordinator).
+//
+// A future networked backend only needs to implement this interface; the
+// algorithms are unchanged (see DESIGN.md §5).
+
+#ifndef PAXML_RUNTIME_TRANSPORT_H_
+#define PAXML_RUNTIME_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/stats.h"
+#include "xml/tree.h"
+
+namespace paxml {
+
+class Cluster;
+
+/// Discriminates the typed chunks inside an Envelope. The *Up/*Down kinds
+/// carry the wire formats of core/messages.h; the rest are control plane.
+enum class MessageKind : uint8_t {
+  kQueryShip = 0,   ///< the query text travels to a site (phantom bytes)
+  kQualRequest,     ///< start the qualifier stage for one fragment
+  kSelRequest,      ///< start the selection (or combined) stage
+  kAnswerRequest,   ///< settle candidates and ship answers
+  kDataRequest,     ///< ship raw fragment data (naive baseline)
+  kQualUp,          ///< QualUpMessage
+  kSelUp,           ///< SelUpMessage
+  kAnswerUp,        ///< AnswerUpMessage
+  kQualDown,        ///< QualDownMessage
+  kSelDown,         ///< SelDownMessage
+  kDataShip,        ///< raw tree data (phantom bytes; naive baseline)
+};
+
+const char* MessageKindName(MessageKind kind);
+
+/// Which RunStats bucket an envelope's bytes land in (besides total_bytes).
+enum class PayloadCategory : uint8_t {
+  kControl,  ///< partial answers, resolved values, the query itself
+  kAnswer,   ///< shipped answers: the O(|ans|) term
+  kData,     ///< raw XML shipping (NaiveCentralized baseline)
+};
+
+/// One typed chunk of an envelope. `bytes` holds the encoded wire format
+/// for payload kinds and is empty for request kinds. An unaccounted part
+/// rides along without contributing to the envelope's byte count — used for
+/// the answer id list when answers already ship as self-describing XML
+/// (phantom bytes), so accounting matches the paper's model.
+struct WirePart {
+  MessageKind kind;
+  FragmentId fragment = kNullFragment;  ///< routing for request kinds
+  std::string bytes;
+  bool accounted = true;
+};
+
+/// One network message. Envelope metadata (routing, kinds) models the
+/// constant-size header real stacks add and is not accounted, exactly as
+/// the old QueryRun::Send(bytes) accounting did.
+struct Envelope {
+  SiteId from = kNullSite;
+  SiteId to = kNullSite;
+  PayloadCategory category = PayloadCategory::kControl;
+
+  /// Control-plane envelopes (requests only) are not accounted: they model
+  /// the stage-start RPC whose cost the paper counts as a site visit.
+  bool accounted = true;
+
+  /// Modeled-but-not-materialized payload bytes (query text, answer XML,
+  /// shipped tree data).
+  uint64_t phantom_bytes = 0;
+
+  std::vector<WirePart> parts;
+
+  /// Accounted payload bytes of this envelope.
+  uint64_t WireBytes() const;
+};
+
+/// Message plane between the sites of one Cluster. Owns the per-site
+/// mailboxes and the accounting; subclasses choose the execution strategy
+/// for delivery rounds. A transport is bound to one run at a time via
+/// Begin() and may be reused for subsequent runs.
+class Transport {
+ public:
+  /// Delivery callback: receives a site's drained mailbox.
+  using DeliverFn = std::function<void(SiteId, std::vector<Envelope>)>;
+
+  virtual ~Transport() = default;
+
+  /// Binds this transport to one query run over `cluster`, accounting into
+  /// `stats` (per_site must already be sized). Clears all mailboxes.
+  void Begin(const Cluster* cluster, RunStats* stats);
+
+  /// THE choke point: accounts the envelope (unless it is control-plane or
+  /// local — delivery between co-located fragments is free, matching the
+  /// deployment reality that S_Q holds the root fragment) and enqueues it
+  /// into the destination mailbox. Thread-safe.
+  void Send(Envelope env);
+
+  /// Removes and returns `site`'s pending mail. Thread-safe.
+  std::vector<Envelope> Drain(SiteId site);
+
+  bool HasMail(SiteId site);
+
+  /// Runs one delivery round: drains the mailbox of every site in `sites`
+  /// (snapshot up front, so mail sent *during* the round queues for the
+  /// next one), then invokes `deliver` once per site, measuring wall time
+  /// per site into `durations` (aligned with `sites`).
+  virtual void RunRound(const std::vector<SiteId>& sites,
+                        const DeliverFn& deliver,
+                        std::vector<double>* durations) = 0;
+
+  virtual const char* name() const = 0;
+
+ protected:
+  /// Snapshots the mailboxes of `sites` under the lock, in order.
+  std::vector<std::vector<Envelope>> SnapshotInboxes(
+      const std::vector<SiteId>& sites);
+
+  const Cluster* cluster_ = nullptr;
+
+ private:
+  RunStats* stats_ = nullptr;
+  std::mutex mu_;  // guards mailboxes_ and *stats_ during rounds
+  std::vector<std::vector<Envelope>> mailboxes_;
+};
+
+/// Deterministic sequential delivery; reproduces the seed simulator's
+/// numbers exactly and keeps timing curves stable on small hosts.
+class SyncTransport : public Transport {
+ public:
+  void RunRound(const std::vector<SiteId>& sites, const DeliverFn& deliver,
+                std::vector<double>* durations) override;
+  const char* name() const override { return "sync"; }
+};
+
+/// Persistent worker pool; each round's site deliveries are dispatched to
+/// the pool and joined. Threads are spawned once per transport, not per
+/// round per site.
+class PooledTransport : public Transport {
+ public:
+  /// `workers` = 0 picks min(hardware concurrency, 8), at least 2.
+  explicit PooledTransport(size_t workers = 0);
+  ~PooledTransport() override;
+
+  void RunRound(const std::vector<SiteId>& sites, const DeliverFn& deliver,
+                std::vector<double>* durations) override;
+  const char* name() const override { return "pooled"; }
+
+  size_t worker_count() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex pool_mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable done_cv_;   // RunRound waits for completion
+  std::deque<std::function<void()>> tasks_;
+  size_t inflight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Builders for the two control-plane envelope shapes every algorithm posts.
+
+/// Models shipping the query text (`query_bytes` accounted phantom bytes).
+Envelope MakeQueryShipEnvelope(SiteId to, uint64_t query_bytes);
+
+/// A free stage-start request for one fragment (kind must be a *Request).
+Envelope MakeRequestEnvelope(MessageKind kind, SiteId to, FragmentId fragment);
+
+enum class TransportKind : uint8_t { kSync, kPooled };
+
+std::unique_ptr<Transport> MakeTransport(TransportKind kind);
+
+/// The backend a cluster's options ask for: pooled iff parallel execution.
+TransportKind DefaultTransportKind(const Cluster& cluster);
+
+/// Returns `transport` if non-null; otherwise creates the cluster's default
+/// backend into `owned` and returns that. The algorithms' entry points use
+/// this for their optional-transport parameters.
+Transport* EnsureTransport(Transport* transport, const Cluster& cluster,
+                           std::unique_ptr<Transport>* owned);
+
+}  // namespace paxml
+
+#endif  // PAXML_RUNTIME_TRANSPORT_H_

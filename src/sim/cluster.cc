@@ -1,8 +1,6 @@
 #include "sim/cluster.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -55,105 +53,6 @@ void Cluster::PlaceRootAndSpread() {
     const SiteId s = static_cast<SiteId>(1 + (f - 1) % (site_count_ - 1));
     PAXML_CHECK(Place(static_cast<FragmentId>(f), s).ok());
   }
-}
-
-QueryRun::QueryRun(const Cluster* cluster) : cluster_(cluster) {
-  stats_.per_site.resize(cluster->site_count());
-}
-
-void QueryRun::Round(const std::string& label,
-                     const std::vector<SiteId>& sites,
-                     const std::function<void(SiteId)>& work) {
-  (void)label;
-  ++stats_.rounds;
-  if (sites.empty()) return;
-
-  std::vector<double> durations(sites.size(), 0);
-  auto run_one = [&](size_t idx) {
-    const auto start = std::chrono::steady_clock::now();
-    work(sites[idx]);
-    const auto end = std::chrono::steady_clock::now();
-    durations[idx] = std::chrono::duration<double>(end - start).count();
-  };
-
-  if (cluster_->options().parallel_execution && sites.size() > 1) {
-    std::vector<std::thread> threads;
-    threads.reserve(sites.size());
-    for (size_t i = 0; i < sites.size(); ++i) {
-      threads.emplace_back(run_one, i);
-    }
-    for (std::thread& t : threads) t.join();
-  } else {
-    for (size_t i = 0; i < sites.size(); ++i) run_one(i);
-  }
-
-  double round_max = 0;
-  for (size_t i = 0; i < sites.size(); ++i) {
-    SiteStats& s = stats_.per_site[static_cast<size_t>(sites[i])];
-    ++s.visits;
-    s.compute_seconds += durations[i];
-    stats_.total_compute_seconds += durations[i];
-    round_max = std::max(round_max, durations[i]);
-  }
-  stats_.parallel_seconds += round_max;
-}
-
-void QueryRun::Send(SiteId from, SiteId to, uint64_t bytes) {
-  // Local delivery is free: the query site does not pay network costs for
-  // fragments it holds itself (S_Q stores the root fragment by assumption).
-  if (from == to && from != kNullSite) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.total_messages;
-  stats_.total_bytes += bytes;
-  if (from != kNullSite) {
-    SiteStats& f = stats_.per_site[static_cast<size_t>(from)];
-    ++f.messages_sent;
-    f.bytes_sent += bytes;
-  }
-  if (to != kNullSite) {
-    SiteStats& t = stats_.per_site[static_cast<size_t>(to)];
-    ++t.messages_received;
-    t.bytes_received += bytes;
-  }
-}
-
-void QueryRun::SendAnswer(SiteId from, SiteId to, uint64_t bytes) {
-  if (from == to && from != kNullSite) return;  // local: free, like Send
-  Send(from, to, bytes);
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.answer_bytes += bytes;
-}
-
-void QueryRun::ShipData(SiteId from, SiteId to, uint64_t bytes) {
-  if (from == to && from != kNullSite) return;
-  Send(from, to, bytes);
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.data_bytes_shipped += bytes;
-}
-
-void QueryRun::Coordinator(const std::function<void()>& work) {
-  const auto start = std::chrono::steady_clock::now();
-  work();
-  const auto end = std::chrono::steady_clock::now();
-  stats_.coordinator_seconds +=
-      std::chrono::duration<double>(end - start).count();
-}
-
-std::vector<SiteId> QueryRun::SitesOf(
-    const std::vector<FragmentId>& fragments) const {
-  std::vector<SiteId> sites;
-  for (FragmentId f : fragments) sites.push_back(cluster_->site_of(f));
-  std::sort(sites.begin(), sites.end());
-  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
-  return sites;
-}
-
-std::vector<SiteId> QueryRun::AllSites() const {
-  std::vector<FragmentId> all;
-  for (size_t f = 0; f < cluster_->doc().size(); ++f) {
-    all.push_back(static_cast<FragmentId>(f));
-  }
-  return SitesOf(all);
 }
 
 }  // namespace paxml

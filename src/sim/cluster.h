@@ -1,22 +1,19 @@
 // A simulated cluster of sites holding fragments of one document.
 //
-// Substitutes the paper's ten-machine LAN (see DESIGN.md §5). Sites are
-// in-process entities; each evaluation *round* (one visit of every
-// participating site) runs the sites' work closures — in parallel on real
-// threads by default — and records per-site wall time, visit counts, and
-// byte-accurate message sizes. The guarantees under test (visits,
-// communication volume, computation totals) are counts and are unaffected
-// by the in-process substitution; timing components are measured per site
-// so that parallel cost = max-over-sites matches the paper's metric even
-// when the host has fewer cores than sites.
+// Substitutes the paper's ten-machine LAN (see DESIGN.md §5): placement of
+// fragments on in-process sites. Execution lives in src/runtime — a
+// Coordinator drives message rounds over a Transport whose backends deliver
+// site mail sequentially (SyncTransport) or on a persistent worker pool
+// (PooledTransport). The guarantees under test (visits, communication
+// volume, computation totals) are counts and are unaffected by the
+// in-process substitution; timing components are measured per site so that
+// parallel cost = max-over-sites matches the paper's metric even when the
+// host has fewer cores than sites.
 
 #ifndef PAXML_SIM_CLUSTER_H_
 #define PAXML_SIM_CLUSTER_H_
 
-#include <functional>
 #include <memory>
-#include <mutex>
-#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -26,9 +23,11 @@
 namespace paxml {
 
 struct ClusterOptions {
-  /// Run each round's site closures on real threads (one per site). When
-  /// false, sites run sequentially — timing still reports parallel cost as
-  /// the per-round max, making curves deterministic on small hosts.
+  /// Deliver each round's site mail on the persistent worker pool
+  /// (PooledTransport). When false, sites run sequentially (SyncTransport)
+  /// — timing still reports parallel cost as the per-round max, making
+  /// curves deterministic on small hosts. Counts and byte totals are
+  /// identical either way (tested property).
   bool parallel_execution = true;
 };
 
@@ -74,47 +73,6 @@ class Cluster {
   ClusterOptions options_;
   std::vector<SiteId> placement_;           // fragment -> site
   std::vector<std::vector<FragmentId>> by_site_;  // site -> fragments
-};
-
-/// Per-query execution context: runs rounds over a cluster and accumulates
-/// RunStats. One QueryRun per query evaluation.
-class QueryRun {
- public:
-  explicit QueryRun(const Cluster* cluster);
-
-  /// Executes one round: `work(site)` runs for every site in `sites`
-  /// (in parallel when the cluster allows), counting one visit each.
-  /// `label` names the stage for traces.
-  void Round(const std::string& label, const std::vector<SiteId>& sites,
-             const std::function<void(SiteId)>& work);
-
-  /// Records a message of `bytes` payload bytes from `from` to `to`.
-  /// Pass kNullSite as `from` for coordinator-originated messages that are
-  /// not attributable to a site's fragment work (e.g. the initial query).
-  void Send(SiteId from, SiteId to, uint64_t bytes);
-
-  /// Records answer payload bytes (also counted in total bytes).
-  void SendAnswer(SiteId from, SiteId to, uint64_t bytes);
-
-  /// Records raw XML data shipping (NaiveCentralized baseline).
-  void ShipData(SiteId from, SiteId to, uint64_t bytes);
-
-  /// Measures coordinator-side work (evalFT etc.).
-  void Coordinator(const std::function<void()>& work);
-
-  /// Sites that hold at least one of the given fragments (sorted, unique).
-  std::vector<SiteId> SitesOf(const std::vector<FragmentId>& fragments) const;
-
-  /// All sites holding at least one fragment.
-  std::vector<SiteId> AllSites() const;
-
-  RunStats TakeStats() { return std::move(stats_); }
-  const RunStats& stats() const { return stats_; }
-
- private:
-  const Cluster* cluster_;
-  RunStats stats_;
-  std::mutex mu_;  // guards stats_ during parallel rounds
 };
 
 }  // namespace paxml

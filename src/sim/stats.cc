@@ -37,6 +37,11 @@ std::string RunStats::ToString() const {
         HumanBytes(s.bytes_sent).c_str(), HumanBytes(s.bytes_received).c_str(),
         s.compute_seconds);
   }
+  for (const auto& [edge, e] : edges) {
+    out += StringFormat("  edge %d->%d: messages=%llu bytes=%s\n", edge.first,
+                        edge.second, static_cast<unsigned long long>(e.messages),
+                        HumanBytes(e.bytes).c_str());
+  }
   return out;
 }
 

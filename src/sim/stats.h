@@ -10,7 +10,9 @@
 #define PAXML_SIM_STATS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace paxml {
@@ -18,6 +20,14 @@ namespace paxml {
 /// Index of a site in a Cluster.
 using SiteId = int32_t;
 inline constexpr SiteId kNullSite = -1;
+
+/// Accounted traffic on one directed site pair.
+struct EdgeStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+
+  bool operator==(const EdgeStats&) const = default;
+};
 
 /// Counters for one site across one query run.
 struct SiteStats {
@@ -50,6 +60,11 @@ struct RunStats {
   uint64_t total_bytes = 0;         ///< all payload bytes on the wire
   uint64_t answer_bytes = 0;        ///< bytes of shipped answers (<= total)
   uint64_t data_bytes_shipped = 0;  ///< XML tree data moved (Naive baseline)
+
+  /// Per-edge traffic, keyed (from, to). Only cross-site accounted messages
+  /// appear (local delivery is free); kNullSite marks coordinator-originated
+  /// messages not attributable to a site's fragment work.
+  std::map<std::pair<SiteId, SiteId>, EdgeStats> edges;
 
   /// Sum over rounds of the maximum site compute time in that round: the
   /// perceived (parallel) evaluation time.

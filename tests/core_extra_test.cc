@@ -123,7 +123,7 @@ TEST(NaiveTest, ShipsEveryFragmentOnce) {
   EXPECT_EQ(r->answers, r2->answers);
 }
 
-TEST(QueryRunSelfSendTest, LocalDeliveryIsFree) {
+TEST(TransportLocalDeliveryTest, LocalDeliveryIsFree) {
   // Messages whose source and destination coincide (fragments co-located
   // with the query site) cost nothing — matching the deployment reality
   // that S_Q holds the root fragment.

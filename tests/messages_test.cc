@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.h"
 #include "core/messages.h"
 #include "core/vars.h"
 
@@ -134,6 +139,343 @@ TEST(MessageTest, EmptyVectorsEncodeCleanly) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded->root_qv.empty());
   EXPECT_TRUE(decoded->root_qdv.empty());
+}
+
+// ---- Round-trip properties -------------------------------------------------------
+//
+// Plain-data messages compare with operator== directly. Formula-bearing
+// messages decode into a fresh arena, where And/Or re-canonicalize operand
+// order by (arena-relative) handle, so neither handles nor bytes are
+// preserved verbatim; the meaningful properties are (a) the decoded
+// formulas are logically equivalent to the originals under every
+// assignment, and (b) re-encoding after a hop reproduces the encoded
+// *size* — each hop may permute the node list, but it never grows the
+// payload, which is what the communication accounting relies on.
+
+/// Maximum fragment id the variable provenance encoding admits (14 bits).
+constexpr FragmentId kMaxFragmentId = 16383;
+
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::vector<uint8_t> RandomBits(Rng* rng, size_t n) {
+  std::vector<uint8_t> bits(n);
+  for (auto& b : bits) b = rng->NextBool() ? 1 : 0;
+  return bits;
+}
+
+TEST(RoundTripPropertyTest, AnswerUpMessage) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 50; ++iter) {
+    AnswerUpMessage m;
+    m.fragment = static_cast<FragmentId>(rng.NextBounded(kMaxFragmentId + 1));
+    const size_t n = rng.NextBounded(20);
+    for (size_t i = 0; i < n; ++i) {
+      m.answers.push_back(static_cast<NodeId>(rng.NextBounded(1 << 20)));
+    }
+    ByteWriter w;
+    m.Encode(&w);
+    ByteReader r(w.bytes());
+    auto decoded = AnswerUpMessage::Decode(&r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(*decoded, m);
+  }
+}
+
+TEST(RoundTripPropertyTest, SelDownMessage) {
+  Rng rng(2025);
+  for (int iter = 0; iter < 50; ++iter) {
+    SelDownMessage m;
+    m.fragment = static_cast<FragmentId>(rng.NextBounded(kMaxFragmentId + 1));
+    m.stack_init = RandomBits(&rng, rng.NextBounded(40));
+    ByteWriter w;
+    m.Encode(&w);
+    ByteReader r(w.bytes());
+    auto decoded = SelDownMessage::Decode(&r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(*decoded, m);
+  }
+}
+
+TEST(RoundTripPropertyTest, QualDownMessage) {
+  Rng rng(2026);
+  for (int iter = 0; iter < 50; ++iter) {
+    QualDownMessage m;
+    m.fragment = static_cast<FragmentId>(rng.NextBounded(kMaxFragmentId + 1));
+    const size_t children = rng.NextBounded(6);
+    for (size_t c = 0; c < children; ++c) {
+      QualDownMessage::ResolvedChild child;
+      child.child = static_cast<FragmentId>(rng.NextBounded(kMaxFragmentId + 1));
+      const size_t entries = rng.NextBounded(25);
+      child.qv = RandomBits(&rng, entries);
+      child.qdv = RandomBits(&rng, entries);
+      m.children.push_back(std::move(child));
+    }
+    ByteWriter w;
+    m.Encode(&w);
+    ByteReader r(w.bytes());
+    auto decoded = QualDownMessage::Decode(&r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(*decoded, m);
+  }
+}
+
+Formula RandomFormula(Rng* rng, FormulaArena* arena, int depth) {
+  if (depth == 0 || rng->NextBool(0.35)) {
+    switch (rng->NextBounded(3)) {
+      case 0: return kFalseFormula;
+      case 1: return kTrueFormula;
+      default:
+        return arena->Var(
+            MakeQVVar(static_cast<FragmentId>(rng->NextBounded(64)),
+                      static_cast<int>(rng->NextBounded(8))));
+    }
+  }
+  Formula a = RandomFormula(rng, arena, depth - 1);
+  Formula b = RandomFormula(rng, arena, depth - 1);
+  switch (rng->NextBounded(3)) {
+    case 0: return arena->Not(a);
+    case 1: return arena->And(a, b);
+    default: return arena->Or(a, b);
+  }
+}
+
+/// Both formulas evaluate identically under a battery of assignments drawn
+/// from `rng` over the union of their variables.
+void ExpectEquivalent(const FormulaArena& a, Formula fa,
+                      const FormulaArena& b, Formula fb, Rng* rng) {
+  std::vector<VarId> vars = a.CollectVars(fa);
+  for (VarId v : b.CollectVars(fb)) vars.push_back(v);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::unordered_map<VarId, bool> values;
+    for (VarId v : vars) values[v] = rng->NextBool();
+    auto assignment = [&](VarId v) -> std::optional<bool> {
+      auto it = values.find(v);
+      if (it == values.end()) return std::nullopt;
+      return it->second;
+    };
+    auto va = a.Evaluate(fa, assignment);
+    auto vb = b.Evaluate(fb, assignment);
+    ASSERT_TRUE(va.ok());
+    ASSERT_TRUE(vb.ok());
+    EXPECT_EQ(*va, *vb);
+  }
+}
+
+/// Decode into a fresh arena and re-encode, twice: each hop may permute
+/// the topologically ordered node list, but the byte count must hold.
+void ExpectReencodeSizeStable(const std::string& bytes1,
+                              const std::function<Result<std::string>(
+                                  const std::string&)>& reencode) {
+  auto bytes2 = reencode(bytes1);
+  ASSERT_TRUE(bytes2.ok());
+  EXPECT_EQ(bytes2->size(), bytes1.size());
+  auto bytes3 = reencode(*bytes2);
+  ASSERT_TRUE(bytes3.ok());
+  EXPECT_EQ(bytes3->size(), bytes1.size());
+}
+
+TEST(RoundTripPropertyTest, QualUpMessage) {
+  Rng rng(2027);
+  for (int iter = 0; iter < 30; ++iter) {
+    FormulaArena arena;
+    QualUpMessage m;
+    m.fragment = static_cast<FragmentId>(rng.NextBounded(kMaxFragmentId + 1));
+    const size_t ec = rng.NextBounded(6);
+    for (size_t e = 0; e < ec; ++e) {
+      m.root_qv.push_back(RandomFormula(&rng, &arena, 3));
+      m.root_qdv.push_back(RandomFormula(&rng, &arena, 3));
+    }
+    m.root_qual = RandomFormula(&rng, &arena, 3);
+
+    ByteWriter w;
+    m.Encode(arena, &w);
+    FormulaArena dst;
+    ByteReader r(w.bytes());
+    auto decoded = QualUpMessage::Decode(&dst, &r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(decoded->fragment, m.fragment);
+    ASSERT_EQ(decoded->root_qv.size(), m.root_qv.size());
+    ASSERT_EQ(decoded->root_qdv.size(), m.root_qdv.size());
+    for (size_t e = 0; e < ec; ++e) {
+      ExpectEquivalent(arena, m.root_qv[e], dst, decoded->root_qv[e], &rng);
+      ExpectEquivalent(arena, m.root_qdv[e], dst, decoded->root_qdv[e], &rng);
+    }
+    ExpectEquivalent(arena, m.root_qual, dst, decoded->root_qual, &rng);
+
+    ExpectReencodeSizeStable(
+        w.bytes(), [](const std::string& bytes) -> Result<std::string> {
+          FormulaArena fresh;
+          ByteReader reader(bytes);
+          PAXML_ASSIGN_OR_RETURN(QualUpMessage d,
+                                 QualUpMessage::Decode(&fresh, &reader));
+          ByteWriter out;
+          d.Encode(fresh, &out);
+          return std::move(out).Take();
+        });
+  }
+}
+
+TEST(RoundTripPropertyTest, SelUpMessage) {
+  Rng rng(2028);
+  for (int iter = 0; iter < 30; ++iter) {
+    FormulaArena arena;
+    SelUpMessage m;
+    m.fragment = static_cast<FragmentId>(rng.NextBounded(kMaxFragmentId + 1));
+    m.answer_count = static_cast<uint32_t>(rng.NextBounded(1 << 16));
+    m.candidate_count = static_cast<uint32_t>(rng.NextBounded(1 << 16));
+    const size_t tops = rng.NextBounded(5);
+    for (size_t t = 0; t < tops; ++t) {
+      SelUpMessage::VirtualTop top;
+      top.child = static_cast<FragmentId>(rng.NextBounded(kMaxFragmentId + 1));
+      const size_t n = 1 + rng.NextBounded(6);
+      for (size_t i = 0; i < n; ++i) {
+        top.stack_top.push_back(RandomFormula(&rng, &arena, 3));
+      }
+      m.virtual_tops.push_back(std::move(top));
+    }
+
+    ByteWriter w;
+    m.Encode(arena, &w);
+    FormulaArena dst;
+    ByteReader r(w.bytes());
+    auto decoded = SelUpMessage::Decode(&dst, &r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(decoded->fragment, m.fragment);
+    EXPECT_EQ(decoded->answer_count, m.answer_count);
+    EXPECT_EQ(decoded->candidate_count, m.candidate_count);
+    ASSERT_EQ(decoded->virtual_tops.size(), m.virtual_tops.size());
+    for (size_t t = 0; t < m.virtual_tops.size(); ++t) {
+      EXPECT_EQ(decoded->virtual_tops[t].child, m.virtual_tops[t].child);
+      ASSERT_EQ(decoded->virtual_tops[t].stack_top.size(),
+                m.virtual_tops[t].stack_top.size());
+      for (size_t i = 0; i < m.virtual_tops[t].stack_top.size(); ++i) {
+        ExpectEquivalent(arena, m.virtual_tops[t].stack_top[i], dst,
+                         decoded->virtual_tops[t].stack_top[i], &rng);
+      }
+    }
+
+    ExpectReencodeSizeStable(
+        w.bytes(), [](const std::string& bytes) -> Result<std::string> {
+          FormulaArena fresh;
+          ByteReader reader(bytes);
+          PAXML_ASSIGN_OR_RETURN(SelUpMessage d,
+                                 SelUpMessage::Decode(&fresh, &reader));
+          ByteWriter out;
+          d.Encode(fresh, &out);
+          return std::move(out).Take();
+        });
+  }
+}
+
+// ---- Exact encoded sizes ---------------------------------------------------------
+//
+// The communication guarantees are measured in these bytes; pin the format.
+
+TEST(ExactByteCountTest, AnswerUpMessage) {
+  // varint(fragment) + varint(count) + sum varint(answer).
+  AnswerUpMessage m;
+  m.fragment = 3;
+  m.answers = {0, 7, 120, 4096};
+  ByteWriter w;
+  m.Encode(&w);
+  EXPECT_EQ(w.size(), 1u + 1u + (1 + 1 + 1 + 2));
+
+  AnswerUpMessage empty;
+  empty.fragment = kMaxFragmentId;  // 16383: 2-byte varint
+  ByteWriter w2;
+  empty.Encode(&w2);
+  EXPECT_EQ(w2.size(), 2u + 1u);
+}
+
+TEST(ExactByteCountTest, SelDownMessage) {
+  // varint(fragment) + varint(n) + ceil(n/8) packed bytes.
+  for (size_t n : {0u, 1u, 5u, 8u, 9u, 64u, 65u}) {
+    SelDownMessage m;
+    m.fragment = 6;
+    m.stack_init.assign(n, 1);
+    ByteWriter w;
+    m.Encode(&w);
+    EXPECT_EQ(w.size(), 1u + VarintSize(n) + (n + 7) / 8) << n;
+  }
+}
+
+TEST(ExactByteCountTest, QualDownMessage) {
+  // varint(fragment) + varint(#children) + per child:
+  //   varint(child) + 2 * (varint(n) + ceil(n/8)).
+  QualDownMessage m;
+  m.fragment = kMaxFragmentId;
+  QualDownMessage::ResolvedChild c;
+  c.child = 3;
+  c.qv.assign(11, 1);
+  c.qdv.assign(11, 0);
+  m.children.push_back(c);
+  ByteWriter w;
+  m.Encode(&w);
+  EXPECT_EQ(w.size(), 2u + 1u + (1u + 2 * (1u + 2u)));
+
+  QualDownMessage empty;
+  empty.fragment = 0;
+  ByteWriter w2;
+  empty.Encode(&w2);
+  EXPECT_EQ(w2.size(), 1u + 1u);
+}
+
+TEST(ExactByteCountTest, QualUpMessage) {
+  // varint(fragment) + two empty formula vectors (varint(0 nodes) +
+  // varint(0 roots) each) + the kTrue root qualifier (1 node of 1 kind
+  // byte + 1 root index).
+  QualUpMessage empty;
+  empty.fragment = kMaxFragmentId;
+  FormulaArena arena;
+  ByteWriter w;
+  empty.Encode(arena, &w);
+  EXPECT_EQ(w.size(), 2u + 2u + 2u + (1u + 1u + 1u + 1u));
+
+  // One kVar entry per vector: node list [var] (1 kind byte + varint(id)),
+  // one root index.
+  QualUpMessage one;
+  one.fragment = 0;
+  const VarId var = MakeQVVar(2, 1);
+  one.root_qv = {arena.Var(var)};
+  one.root_qdv = {arena.Var(var)};
+  ByteWriter w2;
+  one.Encode(arena, &w2);
+  const size_t vec_bytes = 1 + (1 + VarintSize(var)) + 1 + 1;
+  EXPECT_EQ(w2.size(), 1u + vec_bytes + vec_bytes + 4u);
+}
+
+TEST(ExactByteCountTest, SelUpMessage) {
+  // varint(fragment) + varint(#tops) + per top (varint(child) + vector) +
+  // varint(answer_count) + varint(candidate_count).
+  SelUpMessage m;
+  m.fragment = 2;
+  m.answer_count = 5;
+  m.candidate_count = 300;  // 2-byte varint
+  FormulaArena arena;
+  m.virtual_tops.push_back({7, {kFalseFormula, kTrueFormula}});
+  ByteWriter w;
+  m.Encode(arena, &w);
+  // Vector {false, true}: varint(2 nodes) + 2 kind bytes + varint(2 roots)
+  // + 2 root indices = 6 bytes.
+  EXPECT_EQ(w.size(), 1u + 1u + (1u + 6u) + 1u + 2u);
+
+  SelUpMessage empty;
+  empty.fragment = kMaxFragmentId;
+  ByteWriter w2;
+  empty.Encode(arena, &w2);
+  EXPECT_EQ(w2.size(), 2u + 1u + 1u + 1u);
 }
 
 // ---- Variable provenance encoding ------------------------------------------------

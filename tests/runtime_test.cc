@@ -1,0 +1,331 @@
+// Tests for the runtime layer: Transport accounting, the pooled backend,
+// and the headline property of the refactor — SyncTransport and
+// PooledTransport produce identical answers, visit counts and per-edge
+// byte totals for every algorithm on the clientele and XMark fixtures.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "core/engine.h"
+#include "fragment/fragmenter.h"
+#include "runtime/coordinator.h"
+#include "runtime/site_runtime.h"
+#include "runtime/transport.h"
+#include "test_util.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace paxml {
+namespace {
+
+std::shared_ptr<FragmentedDocument> MakeClienteleDoc() {
+  Tree t = testing::BuildClienteleTree();
+  auto doc = FragmentByCuts(t, testing::ClienteleCuts(t));
+  PAXML_CHECK(doc.ok());
+  return std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
+}
+
+Envelope PayloadEnvelope(SiteId from, SiteId to, std::string bytes,
+                         PayloadCategory category = PayloadCategory::kControl) {
+  Envelope env;
+  env.from = from;
+  env.to = to;
+  env.category = category;
+  env.parts.push_back(
+      {MessageKind::kAnswerUp, kNullFragment, std::move(bytes), true});
+  return env;
+}
+
+// ---- Transport::Send: the accounting choke point ----------------------------
+
+TEST(TransportTest, AccountsBytesMessagesAndEdges) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 3);
+  SyncTransport transport;
+  RunStats stats;
+  stats.per_site.resize(3);
+  transport.Begin(&c, &stats);
+
+  transport.Send(PayloadEnvelope(0, 1, std::string(100, 'x')));
+  transport.Send(PayloadEnvelope(1, 0, std::string(50, 'x')));
+  transport.Send(PayloadEnvelope(2, 0, std::string(30, 'x'),
+                                 PayloadCategory::kAnswer));
+  Envelope data = PayloadEnvelope(1, 0, "", PayloadCategory::kData);
+  data.phantom_bytes = 1000;
+  transport.Send(std::move(data));
+
+  EXPECT_EQ(stats.total_messages, 4u);
+  EXPECT_EQ(stats.total_bytes, 1180u);
+  EXPECT_EQ(stats.answer_bytes, 30u);
+  EXPECT_EQ(stats.data_bytes_shipped, 1000u);
+  EXPECT_EQ(stats.per_site[0].bytes_sent, 100u);
+  EXPECT_EQ(stats.per_site[0].bytes_received, 1080u);
+  EXPECT_EQ(stats.per_site[1].messages_sent, 2u);
+  EXPECT_EQ(stats.per_site[1].messages_received, 1u);
+
+  ASSERT_EQ(stats.edges.size(), 3u);
+  EXPECT_EQ((stats.edges.at({0, 1})), (EdgeStats{1, 100}));
+  EXPECT_EQ((stats.edges.at({1, 0})), (EdgeStats{2, 1050}));
+  EXPECT_EQ((stats.edges.at({2, 0})), (EdgeStats{1, 30}));
+}
+
+TEST(TransportTest, LocalDeliveryIsFreeButStillDelivered) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  RunStats stats;
+  stats.per_site.resize(2);
+  transport.Begin(&c, &stats);
+
+  transport.Send(PayloadEnvelope(1, 1, std::string(64, 'x')));
+  EXPECT_EQ(stats.total_messages, 0u);
+  EXPECT_EQ(stats.total_bytes, 0u);
+  EXPECT_TRUE(stats.edges.empty());
+  EXPECT_TRUE(transport.HasMail(1));
+  EXPECT_EQ(transport.Drain(1).size(), 1u);
+}
+
+TEST(TransportTest, ControlPlaneRequestsAreFree) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  RunStats stats;
+  stats.per_site.resize(2);
+  transport.Begin(&c, &stats);
+
+  Envelope req = MakeRequestEnvelope(MessageKind::kSelRequest, 1, 2);
+  req.from = 0;
+  transport.Send(std::move(req));
+  EXPECT_EQ(stats.total_messages, 0u);
+  EXPECT_EQ(stats.total_bytes, 0u);
+  ASSERT_TRUE(transport.HasMail(1));
+
+  // The unaccounted AnswerUp id list rides free next to phantom XML bytes.
+  Envelope ans;
+  ans.from = 1;
+  ans.to = 0;
+  ans.category = PayloadCategory::kAnswer;
+  ans.phantom_bytes = 77;
+  ans.parts.push_back(
+      {MessageKind::kAnswerUp, kNullFragment, std::string(9, 'x'), false});
+  EXPECT_EQ(ans.WireBytes(), 77u);
+  transport.Send(std::move(ans));
+  EXPECT_EQ(stats.total_messages, 1u);
+  EXPECT_EQ(stats.total_bytes, 77u);
+  EXPECT_EQ(stats.answer_bytes, 77u);
+}
+
+TEST(TransportTest, QueryShipEnvelopeAccountsPhantomBytes) {
+  Envelope env = MakeQueryShipEnvelope(3, 41);
+  EXPECT_EQ(env.to, 3);
+  EXPECT_TRUE(env.accounted);
+  EXPECT_EQ(env.WireBytes(), 41u);
+  ASSERT_EQ(env.parts.size(), 1u);
+  EXPECT_EQ(env.parts[0].kind, MessageKind::kQueryShip);
+}
+
+// ---- Delivery rounds --------------------------------------------------------
+
+TEST(PooledTransportTest, RunRoundDeliversEverySiteOnPersistentPool) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 4);
+  PooledTransport transport;
+  EXPECT_GE(transport.worker_count(), 2u);
+  RunStats stats;
+  stats.per_site.resize(4);
+  transport.Begin(&c, &stats);
+
+  std::atomic<int> delivered{0};
+  std::set<std::thread::id> thread_ids;
+  std::mutex mu;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<double> durations;
+    transport.RunRound(
+        {0, 1, 2, 3},
+        [&](SiteId, std::vector<Envelope>) {
+          ++delivered;
+          std::lock_guard<std::mutex> lock(mu);
+          thread_ids.insert(std::this_thread::get_id());
+        },
+        &durations);
+    ASSERT_EQ(durations.size(), 4u);
+  }
+  EXPECT_EQ(delivered.load(), 12);
+  // The pool persists across rounds: deliveries never run on fresh
+  // per-round threads beyond the pool size.
+  EXPECT_LE(thread_ids.size(), transport.worker_count());
+}
+
+TEST(SyncTransportTest, SnapshotKeepsRoundBoundaries) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  RunStats stats;
+  stats.per_site.resize(2);
+  transport.Begin(&c, &stats);
+
+  transport.Send(PayloadEnvelope(0, 1, "a"));
+  int seen = 0;
+  std::vector<double> durations;
+  transport.RunRound(
+      {1},
+      [&](SiteId site, std::vector<Envelope> mail) {
+        seen += static_cast<int>(mail.size());
+        // Mail sent during a round is delivered in the *next* round.
+        transport.Send(PayloadEnvelope(site, 1, "b"));
+      },
+      &durations);
+  EXPECT_EQ(seen, 1);
+  EXPECT_TRUE(transport.HasMail(1));
+}
+
+TEST(CoordinatorTest, SitesOfDeduplicatesAndSorts) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);  // round robin: F0,F2,F4 -> S0; F1,F3 -> S1
+  SyncTransport transport;
+  MessageHandlers handlers;
+  Coordinator coord(&c, &transport, &handlers);
+  EXPECT_EQ(coord.SitesOf({0, 2, 4}), (std::vector<SiteId>{0}));
+  EXPECT_EQ(coord.SitesOf({4, 1, 0, 3}), (std::vector<SiteId>{0, 1}));
+  EXPECT_EQ(coord.AllSites(), (std::vector<SiteId>{0, 1}));
+}
+
+// ---- The headline equivalence property --------------------------------------
+
+struct Fixture {
+  std::string name;
+  std::shared_ptr<FragmentedDocument> doc;
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::string> queries;
+};
+
+Fixture ClienteleFixture() {
+  Fixture fx;
+  fx.name = "clientele";
+  fx.doc = MakeClienteleDoc();
+  fx.cluster = std::make_unique<Cluster>(fx.doc, 4);
+  PAXML_CHECK(fx.cluster->Place(0, 0).ok());
+  PAXML_CHECK(fx.cluster->Place(1, 1).ok());
+  PAXML_CHECK(fx.cluster->Place(2, 2).ok());
+  PAXML_CHECK(fx.cluster->Place(3, 2).ok());
+  PAXML_CHECK(fx.cluster->Place(4, 3).ok());
+  fx.queries = {
+      "clientele/client[country/text() = \"US\"]/"
+      "broker[market/name/text() = \"NASDAQ\"]/name",
+      "clientele/client/broker/name",
+      "//stock/code",
+      "//market[name/text() = \"NASDAQ\"]/stock/code",
+      "clientele/client[not(country/text() = \"US\")]/name",
+  };
+  return fx;
+}
+
+Fixture XMarkFixture() {
+  Fixture fx;
+  fx.name = "xmark";
+  XMarkOptions xmark_options;
+  xmark_options.seed = 42;
+  Tree t = GenerateUniformSitesTree(120000, 4, xmark_options);
+  auto doc = FragmentBySubtrees(t, t.root());
+  PAXML_CHECK(doc.ok());
+  fx.doc = std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
+  fx.cluster = std::make_unique<Cluster>(fx.doc, 5);
+  fx.cluster->PlaceRootAndSpread();
+  fx.queries = {xmark::kQ1, xmark::kQ2, xmark::kQ3, xmark::kQ4};
+  return fx;
+}
+
+std::vector<int> Visits(const RunStats& s) {
+  std::vector<int> v;
+  v.reserve(s.per_site.size());
+  for (const SiteStats& p : s.per_site) v.push_back(p.visits);
+  return v;
+}
+
+void ExpectBackendsAgree(const Fixture& fx) {
+  for (const std::string& query : fx.queries) {
+    for (auto algo : {DistributedAlgorithm::kPaX2, DistributedAlgorithm::kPaX3,
+                      DistributedAlgorithm::kNaiveCentralized}) {
+      for (bool xa : {false, true}) {
+        if (algo == DistributedAlgorithm::kNaiveCentralized && xa) continue;
+        EngineOptions sync_options;
+        sync_options.algorithm = algo;
+        sync_options.pax.use_annotations = xa;
+        sync_options.transport = TransportKind::kSync;
+        EngineOptions pooled_options = sync_options;
+        pooled_options.transport = TransportKind::kPooled;
+
+        auto sync_r = EvaluateDistributed(*fx.cluster, query, sync_options);
+        auto pooled_r = EvaluateDistributed(*fx.cluster, query, pooled_options);
+        ASSERT_TRUE(sync_r.ok()) << fx.name << " " << query << ": "
+                                 << sync_r.status();
+        ASSERT_TRUE(pooled_r.ok()) << fx.name << " " << query << ": "
+                                   << pooled_r.status();
+
+        const std::string label = fx.name + "|" + AlgorithmName(algo) +
+                                  (xa ? "-XA" : "-NA") + "|" + query;
+        EXPECT_EQ(sync_r->answers, pooled_r->answers) << label;
+        EXPECT_EQ(Visits(sync_r->stats), Visits(pooled_r->stats)) << label;
+        EXPECT_EQ(sync_r->stats.edges, pooled_r->stats.edges) << label;
+        EXPECT_EQ(sync_r->stats.total_bytes, pooled_r->stats.total_bytes)
+            << label;
+        EXPECT_EQ(sync_r->stats.total_messages, pooled_r->stats.total_messages)
+            << label;
+        EXPECT_EQ(sync_r->stats.answer_bytes, pooled_r->stats.answer_bytes)
+            << label;
+        EXPECT_EQ(sync_r->stats.rounds, pooled_r->stats.rounds) << label;
+      }
+    }
+  }
+}
+
+TEST(TransportEquivalenceTest, ClienteleFixture) {
+  ExpectBackendsAgree(ClienteleFixture());
+}
+
+TEST(TransportEquivalenceTest, XMarkFixture) {
+  ExpectBackendsAgree(XMarkFixture());
+}
+
+// Repeated pooled runs are stable (no schedule-dependent accounting).
+TEST(TransportEquivalenceTest, PooledRunsAreDeterministic) {
+  Fixture fx = ClienteleFixture();
+  EngineOptions options;
+  options.algorithm = DistributedAlgorithm::kPaX2;
+  options.transport = TransportKind::kPooled;
+  const std::string query = fx.queries[0];
+  auto first = EvaluateDistributed(*fx.cluster, query, options);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto r = EvaluateDistributed(*fx.cluster, query, options);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->answers, first->answers);
+    EXPECT_EQ(r->stats.edges, first->stats.edges);
+    EXPECT_EQ(r->stats.total_bytes, first->stats.total_bytes);
+  }
+}
+
+// The per-edge map only ever contains cross-site traffic.
+TEST(TransportEquivalenceTest, EdgesExcludeLocalDelivery) {
+  Fixture fx = ClienteleFixture();
+  EngineOptions options;
+  options.algorithm = DistributedAlgorithm::kPaX2;
+  options.transport = TransportKind::kSync;
+  auto r = EvaluateDistributed(*fx.cluster, fx.queries[0], options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->stats.edges.empty());
+  uint64_t edge_bytes = 0;
+  for (const auto& [edge, e] : r->stats.edges) {
+    EXPECT_NE(edge.first, edge.second);
+    edge_bytes += e.bytes;
+  }
+  // Per-edge totals partition the global byte count.
+  EXPECT_EQ(edge_bytes, r->stats.total_bytes);
+}
+
+}  // namespace
+}  // namespace paxml
