@@ -1,5 +1,9 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <chrono>
+
+#include "runtime/query_scheduler.h"
 #include "xpath/query_plan.h"
 
 namespace paxml {
@@ -18,18 +22,25 @@ const char* AlgorithmName(DistributedAlgorithm a) {
 
 Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
                                               const CompiledQuery& query,
-                                              const EngineOptions& options) {
-  std::unique_ptr<Transport> transport = MakeTransport(
-      options.transport.value_or(DefaultTransportKind(cluster)));
+                                              const EngineOptions& options,
+                                              Transport* transport) {
   switch (options.algorithm) {
     case DistributedAlgorithm::kPaX3:
-      return EvaluatePaX3(cluster, query, options.pax, transport.get());
+      return EvaluatePaX3(cluster, query, options.pax, transport);
     case DistributedAlgorithm::kPaX2:
-      return EvaluatePaX2(cluster, query, options.pax, transport.get());
+      return EvaluatePaX2(cluster, query, options.pax, transport);
     case DistributedAlgorithm::kNaiveCentralized:
-      return EvaluateNaiveCentralized(cluster, query, transport.get());
+      return EvaluateNaiveCentralized(cluster, query, transport);
   }
   return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
+                                              const CompiledQuery& query,
+                                              const EngineOptions& options) {
+  std::unique_ptr<Transport> transport =
+      MakeTransportFor(cluster, options.transport);
+  return EvaluateDistributed(cluster, query, options, transport.get());
 }
 
 Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
@@ -38,6 +49,53 @@ Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
   PAXML_ASSIGN_OR_RETURN(CompiledQuery compiled,
                          CompileXPath(query, cluster.doc().symbols()));
   return EvaluateDistributed(cluster, compiled, options);
+}
+
+std::vector<Result<DistributedResult>> EvalBatch(
+    const Cluster& cluster, const std::vector<std::string>& queries,
+    const EngineOptions& options, size_t stream_depth,
+    std::vector<double>* latency_seconds) {
+  std::vector<Result<DistributedResult>> results;
+  results.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results.emplace_back(Status::Internal("query was not evaluated"));
+  }
+  if (latency_seconds != nullptr) {
+    latency_seconds->assign(queries.size(), 0);
+  }
+  if (queries.empty()) return results;
+
+  // One message plane for the whole stream: every evaluation opens its own
+  // run on it, so mailboxes and accounting never cross queries.
+  std::unique_ptr<Transport> transport =
+      MakeTransportFor(cluster, options.transport);
+
+  // No point spawning more drivers than there are queries to drive.
+  QueryScheduler scheduler(std::min(stream_depth, queries.size()));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Each job writes only its own slot; the vectors are pre-sized, so
+    // concurrent jobs never touch the same element.
+    scheduler.Submit([&, i] {
+      const auto start = std::chrono::steady_clock::now();
+      // Compilation interns into the document's SymbolTable, which is
+      // thread-safe; compiling inside the job overlaps it with other
+      // queries' evaluation.
+      auto compiled = CompileXPath(queries[i], cluster.doc().symbols());
+      if (!compiled.ok()) {
+        results[i] = compiled.status();
+      } else {
+        results[i] =
+            EvaluateDistributed(cluster, *compiled, options, transport.get());
+      }
+      if (latency_seconds != nullptr) {
+        (*latency_seconds)[i] = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+      }
+    });
+  }
+  scheduler.Wait();
+  return results;
 }
 
 }  // namespace paxml

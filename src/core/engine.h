@@ -17,6 +17,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/distributed_result.h"
@@ -48,6 +49,8 @@ struct EngineOptions {
 
 /// Dispatches to the selected algorithm. All algorithms return identical
 /// answer sets (tested property); they differ in visits, traffic and time.
+/// A pooled backend shares the cluster's WorkerPool, so a stream of calls
+/// pays no per-run thread spawns.
 Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
                                               const CompiledQuery& query,
                                               const EngineOptions& options = {});
@@ -56,6 +59,29 @@ Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
 Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
                                               std::string_view query,
                                               const EngineOptions& options = {});
+
+/// Evaluates over an explicit transport, which may be carrying other
+/// concurrent evaluations — each call opens (and closes) its own run on it.
+/// Thread-safe for concurrent calls on one transport; that is how EvalBatch
+/// shares one message plane across a query stream.
+Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
+                                              const CompiledQuery& query,
+                                              const EngineOptions& options,
+                                              Transport* transport);
+
+/// Evaluates a stream of queries concurrently: up to `stream_depth`
+/// evaluations in flight at a time (a QueryScheduler), all sharing one
+/// transport and — for the pooled backend — the cluster's WorkerPool.
+/// Results are positionally aligned with `queries`; a query that fails to
+/// compile or evaluate yields its error without disturbing the others.
+/// Answers, visit counts and per-edge byte totals are identical to running
+/// the same queries sequentially (tested property). If `latency_seconds`
+/// is non-null it receives each query's wall-clock latency, aligned with
+/// `queries`.
+std::vector<Result<DistributedResult>> EvalBatch(
+    const Cluster& cluster, const std::vector<std::string>& queries,
+    const EngineOptions& options = {}, size_t stream_depth = 8,
+    std::vector<double>* latency_seconds = nullptr);
 
 }  // namespace paxml
 

@@ -22,7 +22,9 @@ class Transport;
 /// Answers are reported against the assembled tree but mapped back to
 /// (fragment, node) coordinates so results compare to PaX3/PaX2 directly.
 /// `transport` selects the message backend; nullptr uses the cluster's
-/// default.
+/// default (a pooled backend shares the cluster's WorkerPool). The
+/// transport may be carrying other concurrent evaluations — this call
+/// opens and closes its own run on it.
 Result<DistributedResult> EvaluateNaiveCentralized(const Cluster& cluster,
                                                    const CompiledQuery& query,
                                                    Transport* transport = nullptr);

@@ -34,7 +34,9 @@ class Transport;
 
 /// Evaluates `query` over the cluster's fragmented document with PaX2.
 /// `transport` selects the message backend; nullptr uses the cluster's
-/// default.
+/// default (a pooled backend shares the cluster's WorkerPool). The
+/// transport may be carrying other concurrent evaluations — this call
+/// opens and closes its own run on it.
 Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
                                        const CompiledQuery& query,
                                        const PaxOptions& options = {},

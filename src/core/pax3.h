@@ -50,7 +50,9 @@ struct PaxOptions {
 /// Evaluates `query` over the cluster's fragmented document with PaX3.
 /// Boolean queries (empty selection path) delegate to the ParBoX stage and
 /// finish in one visit. `transport` selects the message backend; nullptr
-/// uses the cluster's default.
+/// uses the cluster's default (a pooled backend shares the cluster's
+/// WorkerPool). The transport may be carrying other concurrent evaluations
+/// — this call opens and closes its own run on it.
 Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
                                        const CompiledQuery& query,
                                        const PaxOptions& options = {},

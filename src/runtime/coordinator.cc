@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <thread>
 
 #include "common/logging.h"
 #include "sim/cluster.h"
@@ -13,31 +14,37 @@ Coordinator::Coordinator(const Cluster* cluster, Transport* transport,
                          MessageHandlers* handlers)
     : cluster_(cluster), transport_(transport) {
   stats_.per_site.resize(cluster->site_count());
-  transport_->Begin(cluster, &stats_);
+  run_ = transport_->OpenRun(cluster, &stats_);
   sites_.reserve(cluster->site_count());
   for (size_t s = 0; s < cluster->site_count(); ++s) {
-    sites_.emplace_back(static_cast<SiteId>(s), cluster, transport, handlers);
+    sites_.emplace_back(static_cast<SiteId>(s), cluster, transport, run_,
+                        handlers);
   }
 }
+
+Coordinator::~Coordinator() { transport_->CloseRun(run_); }
 
 SiteId Coordinator::query_site() const { return cluster_->query_site(); }
 
 void Coordinator::Post(Envelope env) {
   env.from = query_site();
+  env.run = run_;
   transport_->Send(std::move(env));
 }
 
 Status Coordinator::RunRound(const std::string& label,
                              const std::vector<SiteId>& sites) {
   (void)label;
-  ++stats_.rounds;
+  // A stage pruned down to no participants is not a round: nothing is
+  // visited, nothing can reply. Counting it inflated reported round counts.
   if (sites.empty()) return Status::OK();
+  ++stats_.rounds;
 
   Status round_status = Status::OK();
   std::mutex status_mu;
   std::vector<double> durations;
   transport_->RunRound(
-      sites,
+      run_, sites,
       [&](SiteId site, std::vector<Envelope> mail) {
         Status st = sites_[static_cast<size_t>(site)].Deliver(std::move(mail));
         if (!st.ok()) {
@@ -58,15 +65,17 @@ Status Coordinator::RunRound(const std::string& label,
   stats_.parallel_seconds += round_max;
 
   PAXML_RETURN_NOT_OK(round_status);
-  return DispatchCoordinatorMail();
+  Status status = DispatchCoordinatorMail();
+  RealizeNetworkDelay();
+  return status;
 }
 
 Status Coordinator::DispatchCoordinatorMail() {
   const SiteId sq = query_site();
   const auto start = std::chrono::steady_clock::now();
   Status status = Status::OK();
-  while (status.ok() && transport_->HasMail(sq)) {
-    std::vector<Envelope> mail = transport_->Drain(sq);
+  while (status.ok() && transport_->HasMail(run_, sq)) {
+    std::vector<Envelope> mail = transport_->Drain(run_, sq);
     // Pooled workers interleave arrivals from different senders; per-sender
     // order is already sequential, so a stable sort by sender restores one
     // deterministic processing order across backends.
@@ -80,6 +89,23 @@ Status Coordinator::DispatchCoordinatorMail() {
   stats_.coordinator_seconds +=
       std::chrono::duration<double>(end - start).count();
   return status;
+}
+
+void Coordinator::RealizeNetworkDelay() {
+  const auto& model = cluster_->options().simulated_network;
+  if (!model.has_value()) return;
+  // Reading stats_ without the transport lock is safe here: the round has
+  // completed, so every Send that contributed has happened-before this
+  // point (via the round's completion latch or the sequential backend).
+  const uint64_t messages = stats_.total_messages;
+  const uint64_t bytes = stats_.total_bytes;
+  const double seconds = model->TransferSeconds(messages - delayed_messages_,
+                                                bytes - delayed_bytes_);
+  delayed_messages_ = messages;
+  delayed_bytes_ = bytes;
+  if (seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
 }
 
 void Coordinator::RunLocal(const std::function<void()>& work) {

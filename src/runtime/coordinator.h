@@ -7,6 +7,11 @@
 // — the sites' up-replies — is dispatched on the driver thread. Visit
 // counts, per-round parallel time and coordinator time accumulate into
 // RunStats here; all byte accounting happens inside Transport::Send.
+//
+// Construction opens a run on the transport and destruction closes it, so
+// any number of Coordinators may drive concurrent evaluations over one
+// shared transport (and one shared WorkerPool) without cross-talk — the
+// multi-query path (runtime/query_scheduler.h) depends on exactly this.
 
 #ifndef PAXML_RUNTIME_COORDINATOR_H_
 #define PAXML_RUNTIME_COORDINATOR_H_
@@ -25,22 +30,36 @@ class Cluster;
 
 class Coordinator {
  public:
-  /// Binds `transport` to a fresh RunStats for this evaluation and builds
-  /// one SiteRuntime per site dispatching into `handlers`.
+  /// Opens a fresh run on `transport` accounting into this coordinator's
+  /// RunStats, and builds one SiteRuntime per site dispatching into
+  /// `handlers`.
   Coordinator(const Cluster* cluster, Transport* transport,
               MessageHandlers* handlers);
+
+  /// Closes the run; any mail an abandoned protocol left behind is
+  /// discarded with it.
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
 
   const Cluster& cluster() const { return *cluster_; }
   SiteId query_site() const;
 
-  /// Sends a coordinator-originated envelope (env.from = query site).
+  /// The transport run this evaluation owns.
+  RunId run() const { return run_; }
+
+  /// Sends a coordinator-originated envelope (env.from = query site,
+  /// env.run = this evaluation's run).
   void Post(Envelope env);
 
   /// One protocol round: every site in `sites` is visited once — its
   /// pending mail is decoded and dispatched to the algorithm handlers, in
   /// parallel per the transport backend — then the up-replies that arrived
   /// at the query site are dispatched on this thread (in deterministic
-  /// sender order, so pooled and sync backends unify identically).
+  /// sender order, so pooled and sync backends unify identically). An empty
+  /// `sites` is a no-op: a stage pruned down to nothing visits no site and
+  /// counts no round.
   Status RunRound(const std::string& label, const std::vector<SiteId>& sites);
 
   /// Times coordinator-local work (evalFT unification, result assembly).
@@ -59,10 +78,24 @@ class Coordinator {
   /// Drains and dispatches mail addressed to the query site.
   Status DispatchCoordinatorMail();
 
+  /// If the cluster opts into ClusterOptions::simulated_network, sleeps for
+  /// the modeled transfer time of the traffic accounted since the previous
+  /// round. Wall-clock only: RunStats never includes the sleep (the model's
+  /// cost is already reported by RunStats::ElapsedSeconds). This is what
+  /// makes a round *latency-bound* in simulation, so the multi-query
+  /// scheduler's overlap shows up in measured throughput exactly as it
+  /// would against a real network.
+  void RealizeNetworkDelay();
+
   const Cluster* cluster_;
   Transport* transport_;
+  RunId run_ = kNullRun;
   std::vector<SiteRuntime> sites_;
   RunStats stats_;
+
+  // Traffic marker for RealizeNetworkDelay: what was already slept for.
+  uint64_t delayed_messages_ = 0;
+  uint64_t delayed_bytes_ = 0;
 };
 
 }  // namespace paxml

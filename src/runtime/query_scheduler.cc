@@ -1,0 +1,57 @@
+#include "runtime/query_scheduler.h"
+
+#include <algorithm>
+
+namespace paxml {
+
+QueryScheduler::QueryScheduler(size_t depth) {
+  depth = std::max<size_t>(depth, 1);
+  drivers_.reserve(depth);
+  for (size_t i = 0; i < depth; ++i) {
+    drivers_.emplace_back([this] { DriverLoop(); });
+  }
+}
+
+QueryScheduler::~QueryScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : drivers_) t.join();
+}
+
+void QueryScheduler::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void QueryScheduler::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void QueryScheduler::DriverLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace paxml

@@ -1,0 +1,66 @@
+// QueryScheduler: interleaves several concurrent query evaluations over one
+// shared transport and worker pool.
+//
+// The paper's guarantees are per query, but a server faces a *stream* of
+// queries over one cluster. Each algorithm is a blocking protocol script
+// (Post rounds, wait, unify, repeat — see runtime/coordinator.h), so the
+// scheduler runs up to `depth` scripts at a time, each on its own driver
+// thread against its own Coordinator (= its own transport run). The rounds
+// of concurrent evaluations interleave on the shared WorkerPool, which
+// serves one task from each blocked round in turn — round-robin across
+// ready queries — so a wide round cannot starve the rest (worker_pool.h).
+// While one query's driver sits in coordinator-side unification (or in a
+// simulated network delay), the pool keeps crunching the other queries'
+// site work; that overlap is the throughput win bench_multiquery measures.
+//
+// The scheduler knows nothing about algorithms: jobs are opaque closures.
+// The engine-level entry point that pairs it with a shared transport is
+// EvalBatch (core/engine.h).
+
+#ifndef PAXML_RUNTIME_QUERY_SCHEDULER_H_
+#define PAXML_RUNTIME_QUERY_SCHEDULER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paxml {
+
+class QueryScheduler {
+ public:
+  /// `depth` = maximum evaluations in flight (the stream depth); at least 1.
+  explicit QueryScheduler(size_t depth);
+
+  /// Runs every remaining job, then joins the drivers.
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  size_t depth() const { return drivers_.size(); }
+
+  /// Enqueues one evaluation. Jobs are admitted in submission order as
+  /// drivers free up; Submit never blocks.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until every job submitted so far has finished.
+  void Wait();
+
+ private:
+  void DriverLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // drivers wait for jobs
+  std::condition_variable idle_cv_;  // Wait() waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> drivers_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_RUNTIME_QUERY_SCHEDULER_H_

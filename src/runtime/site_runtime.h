@@ -24,21 +24,28 @@ namespace paxml {
 class Cluster;
 
 /// What a handler sees of its execution environment: which site it runs at,
-/// the placement, and a way to send envelopes from that site.
+/// the placement, which run of the transport it belongs to, and a way to
+/// send envelopes from that site.
 class SiteContext {
  public:
-  SiteContext(SiteId site, const Cluster* cluster, Transport* transport)
-      : site_(site), cluster_(cluster), transport_(transport) {}
+  SiteContext(SiteId site, const Cluster* cluster, Transport* transport,
+              RunId run)
+      : site_(site), cluster_(cluster), transport_(transport), run_(run) {}
 
   SiteId site() const { return site_; }
   const Cluster& cluster() const { return *cluster_; }
 
+  /// The evaluation this context sends on behalf of.
+  RunId run() const { return run_; }
+
   /// The query site S_Q (the coordinator's address).
   SiteId query_site() const;
 
-  /// Sends `env` from this site (env.from is stamped here).
+  /// Sends `env` from this site (env.from and env.run are stamped here, so
+  /// a handler can never leak mail into another run's mailboxes).
   void Send(Envelope env) {
     env.from = site_;
+    env.run = run_;
     transport_->Send(std::move(env));
   }
 
@@ -46,6 +53,7 @@ class SiteContext {
   SiteId site_;
   const Cluster* cluster_;
   Transport* transport_;
+  RunId run_;
 };
 
 /// Algorithm-provided typed message handlers.
@@ -94,8 +102,8 @@ class MessageHandlers {
 class SiteRuntime {
  public:
   SiteRuntime(SiteId site, const Cluster* cluster, Transport* transport,
-              MessageHandlers* handlers)
-      : ctx_(site, cluster, transport), handlers_(handlers) {}
+              RunId run, MessageHandlers* handlers)
+      : ctx_(site, cluster, transport, run), handlers_(handlers) {}
 
   SiteId site() const { return ctx_.site(); }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "runtime/worker_pool.h"
 #include "sim/cluster.h"
 
 namespace paxml {
@@ -33,71 +34,130 @@ uint64_t Envelope::WireBytes() const {
   return bytes;
 }
 
-void Transport::Begin(const Cluster* cluster, RunStats* stats) {
+Transport::RunBinding& Transport::BindingLocked(RunId run) {
+  auto it = runs_.find(run);
+  PAXML_CHECK(it != runs_.end());  // envelope or round for a run not open
+  return it->second;
+}
+
+RunId Transport::OpenRunLocked(const Cluster* cluster, RunStats* stats) {
+  const RunId run = next_run_id_++;
+  RunBinding& binding = runs_[run];
+  binding.stats = stats;
+  binding.mailboxes.assign(cluster->site_count(), {});
+  return run;
+}
+
+bool Transport::HasPendingMailLocked(const RunBinding& binding) {
+  for (const auto& box : binding.mailboxes) {
+    if (!box.empty()) return true;
+  }
+  return false;
+}
+
+RunId Transport::OpenRun(const Cluster* cluster, RunStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
-  cluster_ = cluster;
-  stats_ = stats;
-  mailboxes_.assign(cluster->site_count(), {});
+  return OpenRunLocked(cluster, stats);
+}
+
+void Transport::CloseRun(RunId run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = runs_.find(run);
+  PAXML_CHECK(it != runs_.end());
+  runs_.erase(it);
+  if (begin_run_ == run) begin_run_ = kNullRun;
+}
+
+RunId Transport::Begin(const Cluster* cluster, RunStats* stats) {
+  // One critical section end to end: the pending-mail check, the close and
+  // the rebind must be atomic against concurrent Sends and CloseRuns.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (begin_run_ != kNullRun) {
+    auto it = runs_.find(begin_run_);
+    PAXML_CHECK(it != runs_.end());
+    // Rebinding while mail is pending would clobber an in-flight run.
+    PAXML_CHECK(!HasPendingMailLocked(it->second));
+    runs_.erase(it);
+  }
+  begin_run_ = OpenRunLocked(cluster, stats);
+  return begin_run_;
 }
 
 void Transport::Send(Envelope env) {
+  PAXML_CHECK(env.run != kNullRun);  // Post/SiteContext stamp the run id
   PAXML_CHECK(env.to != kNullSite);
   const uint64_t bytes = env.WireBytes();
   std::lock_guard<std::mutex> lock(mu_);
-  PAXML_CHECK_LT(static_cast<size_t>(env.to), mailboxes_.size());
+  RunBinding& binding = BindingLocked(env.run);
+  PAXML_CHECK_LT(static_cast<size_t>(env.to), binding.mailboxes.size());
   // Local delivery is free: co-located fragments exchange no network bytes
   // (the query site holds the root fragment by assumption).
   const bool local = env.from == env.to && env.from != kNullSite;
   if (env.accounted && !local) {
-    ++stats_->total_messages;
-    stats_->total_bytes += bytes;
+    RunStats* stats = binding.stats;
+    ++stats->total_messages;
+    stats->total_bytes += bytes;
     switch (env.category) {
       case PayloadCategory::kAnswer:
-        stats_->answer_bytes += bytes;
+        stats->answer_bytes += bytes;
         break;
       case PayloadCategory::kData:
-        stats_->data_bytes_shipped += bytes;
+        stats->data_bytes_shipped += bytes;
         break;
       case PayloadCategory::kControl:
         break;
     }
     if (env.from != kNullSite) {
-      SiteStats& f = stats_->per_site[static_cast<size_t>(env.from)];
+      SiteStats& f = stats->per_site[static_cast<size_t>(env.from)];
       ++f.messages_sent;
       f.bytes_sent += bytes;
     }
-    SiteStats& t = stats_->per_site[static_cast<size_t>(env.to)];
+    SiteStats& t = stats->per_site[static_cast<size_t>(env.to)];
     ++t.messages_received;
     t.bytes_received += bytes;
-    EdgeStats& e = stats_->edges[{env.from, env.to}];
+    EdgeStats& e = stats->edges[{env.from, env.to}];
     ++e.messages;
     e.bytes += bytes;
   }
-  mailboxes_[static_cast<size_t>(env.to)].push_back(std::move(env));
+  binding.mailboxes[static_cast<size_t>(env.to)].push_back(std::move(env));
 }
 
-std::vector<Envelope> Transport::Drain(SiteId site) {
+std::vector<Envelope> Transport::Drain(RunId run, SiteId site) {
   std::lock_guard<std::mutex> lock(mu_);
-  PAXML_CHECK_LT(static_cast<size_t>(site), mailboxes_.size());
+  RunBinding& binding = BindingLocked(run);
+  PAXML_CHECK_LT(static_cast<size_t>(site), binding.mailboxes.size());
   std::vector<Envelope> mail;
-  mail.swap(mailboxes_[static_cast<size_t>(site)]);
+  mail.swap(binding.mailboxes[static_cast<size_t>(site)]);
   return mail;
 }
 
-bool Transport::HasMail(SiteId site) {
+bool Transport::HasMail(RunId run, SiteId site) {
   std::lock_guard<std::mutex> lock(mu_);
-  return !mailboxes_[static_cast<size_t>(site)].empty();
+  RunBinding& binding = BindingLocked(run);
+  PAXML_CHECK_LT(static_cast<size_t>(site), binding.mailboxes.size());
+  return !binding.mailboxes[static_cast<size_t>(site)].empty();
+}
+
+bool Transport::HasPendingMail(RunId run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HasPendingMailLocked(BindingLocked(run));
+}
+
+size_t Transport::open_run_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_.size();
 }
 
 std::vector<std::vector<Envelope>> Transport::SnapshotInboxes(
-    const std::vector<SiteId>& sites) {
+    RunId run, const std::vector<SiteId>& sites) {
   std::lock_guard<std::mutex> lock(mu_);
+  RunBinding& binding = BindingLocked(run);
   std::vector<std::vector<Envelope>> inboxes;
   inboxes.reserve(sites.size());
   for (SiteId s : sites) {
-    PAXML_CHECK_LT(static_cast<size_t>(s), mailboxes_.size());
+    PAXML_CHECK_LT(static_cast<size_t>(s), binding.mailboxes.size());
     std::vector<Envelope> mail;
-    mail.swap(mailboxes_[static_cast<size_t>(s)]);
+    mail.swap(binding.mailboxes[static_cast<size_t>(s)]);
     inboxes.push_back(std::move(mail));
   }
   return inboxes;
@@ -117,11 +177,11 @@ double TimedDeliver(const Transport::DeliverFn& deliver, SiteId site,
 
 // ---- SyncTransport ----------------------------------------------------------
 
-void SyncTransport::RunRound(const std::vector<SiteId>& sites,
+void SyncTransport::RunRound(RunId run, const std::vector<SiteId>& sites,
                              const DeliverFn& deliver,
                              std::vector<double>* durations) {
   durations->assign(sites.size(), 0);
-  std::vector<std::vector<Envelope>> inboxes = SnapshotInboxes(sites);
+  std::vector<std::vector<Envelope>> inboxes = SnapshotInboxes(run, sites);
   for (size_t i = 0; i < sites.size(); ++i) {
     (*durations)[i] = TimedDeliver(deliver, sites[i], std::move(inboxes[i]));
   }
@@ -129,70 +189,36 @@ void SyncTransport::RunRound(const std::vector<SiteId>& sites,
 
 // ---- PooledTransport --------------------------------------------------------
 
-PooledTransport::PooledTransport(size_t workers) {
-  if (workers == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    workers = std::min<size_t>(std::max<size_t>(hw, 2), 8);
-  }
-  threads_.reserve(workers);
-  for (size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
-  }
-}
+PooledTransport::PooledTransport(std::shared_ptr<WorkerPool> pool)
+    : pool_(pool ? std::move(pool) : std::make_shared<WorkerPool>()) {}
 
-PooledTransport::~PooledTransport() {
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    stopping_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
-}
+PooledTransport::PooledTransport(size_t workers)
+    : pool_(std::make_shared<WorkerPool>(workers)) {}
 
-void PooledTransport::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(pool_mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping, queue fully drained
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
-    }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(pool_mu_);
-      --inflight_;
-    }
-    done_cv_.notify_all();
-  }
-}
+size_t PooledTransport::worker_count() const { return pool_->worker_count(); }
 
-void PooledTransport::RunRound(const std::vector<SiteId>& sites,
+void PooledTransport::RunRound(RunId run, const std::vector<SiteId>& sites,
                                const DeliverFn& deliver,
                                std::vector<double>* durations) {
   durations->assign(sites.size(), 0);
   if (sites.empty()) return;
-  std::vector<std::vector<Envelope>> inboxes = SnapshotInboxes(sites);
+  // shared_ptr keeps the per-site mail copyable for std::function.
+  auto inboxes = std::make_shared<std::vector<std::vector<Envelope>>>(
+      SnapshotInboxes(run, sites));
 
   // One task per site: a site's mail is processed by exactly one worker, so
-  // per-fragment state needs no locking in the algorithm handlers.
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    inflight_ += sites.size();
-    for (size_t i = 0; i < sites.size(); ++i) {
-      // shared_ptr keeps the task copyable for std::function.
-      auto mail =
-          std::make_shared<std::vector<Envelope>>(std::move(inboxes[i]));
-      tasks_.push_back([&deliver, &sites, durations, mail, i] {
-        (*durations)[i] = TimedDeliver(deliver, sites[i], std::move(*mail));
-      });
-    }
+  // per-fragment state needs no locking in the algorithm handlers. RunAll
+  // blocks on this round's private latch, so concurrent rounds of other
+  // runs share the pool without waiting on each other's tasks.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    tasks.push_back([&deliver, &sites, durations, inboxes, i] {
+      (*durations)[i] =
+          TimedDeliver(deliver, sites[i], std::move((*inboxes)[i]));
+    });
   }
-  work_cv_.notify_all();
-
-  std::unique_lock<std::mutex> lock(pool_mu_);
-  done_cv_.wait(lock, [this] { return inflight_ == 0; });
+  pool_->RunAll(std::move(tasks));
 }
 
 // ---- Builders ---------------------------------------------------------------
@@ -231,10 +257,19 @@ TransportKind DefaultTransportKind(const Cluster& cluster) {
                                               : TransportKind::kSync;
 }
 
+std::unique_ptr<Transport> MakeTransportFor(const Cluster& cluster,
+                                            std::optional<TransportKind> kind) {
+  const TransportKind k = kind.value_or(DefaultTransportKind(cluster));
+  if (k == TransportKind::kPooled) {
+    return std::make_unique<PooledTransport>(cluster.worker_pool());
+  }
+  return MakeTransport(k);
+}
+
 Transport* EnsureTransport(Transport* transport, const Cluster& cluster,
                            std::unique_ptr<Transport>* owned) {
   if (transport != nullptr) return transport;
-  *owned = MakeTransport(DefaultTransportKind(cluster));
+  *owned = MakeTransportFor(cluster);
   return owned->get();
 }
 

@@ -11,13 +11,23 @@
 // — the paper accounts coordinator-driven stage starts as *visits*, not
 // traffic.
 //
+// One transport carries any number of concurrent query evaluations. Each
+// evaluation opens a *run* (OpenRun) and gets a RunId that namespaces its
+// mailboxes and its RunStats; every envelope is stamped with the run it
+// belongs to, so concurrent evaluations never see each other's mail or
+// bleed into each other's accounting (invariant 5, DESIGN.md §6). The old
+// single-run Begin() silently clobbered the mailboxes and stats of an
+// in-flight evaluation; it survives only as a checked single-run
+// convenience for transport-level tests.
+//
 // Two backends deliver mail:
 //   * SyncTransport    — sequential, deterministic; the reference semantics.
-//   * PooledTransport  — a persistent worker pool with per-site mailboxes
-//                        (replacing the old thread-per-site-per-round
-//                        spawning). Produces identical answers, visit counts
-//                        and per-edge byte totals: site work is independent
-//                        per site and coordinator-side processing is
+//   * PooledTransport  — delivers each round's site mail on a WorkerPool
+//                        (by default the cluster's shared pool, so heavy
+//                        query streams pay no per-run thread spawns).
+//                        Produces identical answers, visit counts and
+//                        per-edge byte totals: site work is independent per
+//                        site and coordinator-side processing is
 //                        order-normalized (see Coordinator).
 //
 // A future networked backend only needs to implement this interface; the
@@ -26,14 +36,13 @@
 #ifndef PAXML_RUNTIME_TRANSPORT_H_
 #define PAXML_RUNTIME_TRANSPORT_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "sim/stats.h"
@@ -42,6 +51,12 @@
 namespace paxml {
 
 class Cluster;
+class WorkerPool;
+
+/// Identifies one query evaluation bound to a Transport. Ids are unique per
+/// transport for its lifetime (never reused).
+using RunId = uint64_t;
+inline constexpr RunId kNullRun = 0;
 
 /// Discriminates the typed chunks inside an Envelope. The *Up/*Down kinds
 /// carry the wire formats of core/messages.h; the rest are control plane.
@@ -84,6 +99,10 @@ struct WirePart {
 /// constant-size header real stacks add and is not accounted, exactly as
 /// the old QueryRun::Send(bytes) accounting did.
 struct Envelope {
+  /// The evaluation this envelope belongs to. Coordinator::Post and
+  /// SiteContext::Send stamp it; Transport::Send rejects kNullRun.
+  RunId run = kNullRun;
+
   SiteId from = kNullSite;
   SiteId to = kNullSite;
   PayloadCategory category = PayloadCategory::kControl;
@@ -102,10 +121,10 @@ struct Envelope {
   uint64_t WireBytes() const;
 };
 
-/// Message plane between the sites of one Cluster. Owns the per-site
+/// Message plane between the sites of one Cluster. Owns the per-run per-site
 /// mailboxes and the accounting; subclasses choose the execution strategy
-/// for delivery rounds. A transport is bound to one run at a time via
-/// Begin() and may be reused for subsequent runs.
+/// for delivery rounds. All methods are thread-safe; any number of runs may
+/// be open concurrently.
 class Transport {
  public:
   /// Delivery callback: receives a site's drained mailbox.
@@ -113,78 +132,105 @@ class Transport {
 
   virtual ~Transport() = default;
 
-  /// Binds this transport to one query run over `cluster`, accounting into
-  /// `stats` (per_site must already be sized). Clears all mailboxes.
-  void Begin(const Cluster* cluster, RunStats* stats);
+  /// Opens a fresh run over `cluster`, accounting into `stats` (per_site
+  /// must already be sized). The returned id namespaces the run's
+  /// mailboxes; it never aliases another open run.
+  RunId OpenRun(const Cluster* cluster, RunStats* stats);
+
+  /// Releases a run's binding. Pending mail is discarded (error paths
+  /// legitimately abandon a protocol mid-round). The id must name an open
+  /// run; its RunStats is not touched after this returns.
+  void CloseRun(RunId run);
+
+  /// Single-run convenience for transport-level tests and tools: closes
+  /// the previous Begin() run (if any) and opens a new one. PAXML_CHECKs
+  /// that the previous run has no pending mail — rebinding an in-flight
+  /// run used to silently clobber its mailboxes and stats. Evaluations
+  /// should use OpenRun/CloseRun (the Coordinator does).
+  RunId Begin(const Cluster* cluster, RunStats* stats);
 
   /// THE choke point: accounts the envelope (unless it is control-plane or
   /// local — delivery between co-located fragments is free, matching the
   /// deployment reality that S_Q holds the root fragment) and enqueues it
-  /// into the destination mailbox. Thread-safe.
+  /// into its run's destination mailbox. env.run must name an open run.
   void Send(Envelope env);
 
-  /// Removes and returns `site`'s pending mail. Thread-safe.
-  std::vector<Envelope> Drain(SiteId site);
+  /// Removes and returns `site`'s pending mail in `run`.
+  std::vector<Envelope> Drain(RunId run, SiteId site);
 
-  bool HasMail(SiteId site);
+  bool HasMail(RunId run, SiteId site);
 
-  /// Runs one delivery round: drains the mailbox of every site in `sites`
-  /// (snapshot up front, so mail sent *during* the round queues for the
-  /// next one), then invokes `deliver` once per site, measuring wall time
-  /// per site into `durations` (aligned with `sites`).
-  virtual void RunRound(const std::vector<SiteId>& sites,
+  /// True if any site of `run` holds undelivered mail.
+  bool HasPendingMail(RunId run);
+
+  /// Number of currently open runs.
+  size_t open_run_count();
+
+  /// Runs one delivery round for `run`: drains the mailbox of every site in
+  /// `sites` (snapshot up front, so mail sent *during* the round queues for
+  /// the next one), then invokes `deliver` once per site, measuring wall
+  /// time per site into `durations` (aligned with `sites`). Reentrant:
+  /// concurrent rounds of different runs do not wait on each other's work.
+  virtual void RunRound(RunId run, const std::vector<SiteId>& sites,
                         const DeliverFn& deliver,
                         std::vector<double>* durations) = 0;
 
   virtual const char* name() const = 0;
 
  protected:
-  /// Snapshots the mailboxes of `sites` under the lock, in order.
+  /// Snapshots the mailboxes of `sites` in `run` under the lock, in order.
   std::vector<std::vector<Envelope>> SnapshotInboxes(
-      const std::vector<SiteId>& sites);
-
-  const Cluster* cluster_ = nullptr;
+      RunId run, const std::vector<SiteId>& sites);
 
  private:
-  RunStats* stats_ = nullptr;
-  std::mutex mu_;  // guards mailboxes_ and *stats_ during rounds
-  std::vector<std::vector<Envelope>> mailboxes_;
+  /// Everything one evaluation owns inside the transport.
+  struct RunBinding {
+    RunStats* stats = nullptr;
+    std::vector<std::vector<Envelope>> mailboxes;  // one per site
+  };
+
+  /// Must hold mu_. PAXML_CHECKs that `run` is open.
+  RunBinding& BindingLocked(RunId run);
+
+  /// Must hold mu_.
+  RunId OpenRunLocked(const Cluster* cluster, RunStats* stats);
+  static bool HasPendingMailLocked(const RunBinding& binding);
+
+  std::mutex mu_;  // guards runs_ and every binding's mailboxes + stats
+  RunId next_run_id_ = 1;
+  RunId begin_run_ = kNullRun;
+  std::map<RunId, RunBinding> runs_;
 };
 
 /// Deterministic sequential delivery; reproduces the seed simulator's
 /// numbers exactly and keeps timing curves stable on small hosts.
 class SyncTransport : public Transport {
  public:
-  void RunRound(const std::vector<SiteId>& sites, const DeliverFn& deliver,
+  void RunRound(RunId run, const std::vector<SiteId>& sites,
+                const DeliverFn& deliver,
                 std::vector<double>* durations) override;
   const char* name() const override { return "sync"; }
 };
 
-/// Persistent worker pool; each round's site deliveries are dispatched to
-/// the pool and joined. Threads are spawned once per transport, not per
-/// round per site.
+/// Delivers each round's site mail on a WorkerPool. Pass a shared pool
+/// (e.g. Cluster::worker_pool()) to serve many transports and runs from one
+/// set of threads; with no pool the transport creates a private one.
 class PooledTransport : public Transport {
  public:
-  /// `workers` = 0 picks min(hardware concurrency, 8), at least 2.
-  explicit PooledTransport(size_t workers = 0);
-  ~PooledTransport() override;
+  explicit PooledTransport(std::shared_ptr<WorkerPool> pool = nullptr);
+  /// Private pool with exactly `workers` threads (0 = default sizing).
+  explicit PooledTransport(size_t workers);
 
-  void RunRound(const std::vector<SiteId>& sites, const DeliverFn& deliver,
+  void RunRound(RunId run, const std::vector<SiteId>& sites,
+                const DeliverFn& deliver,
                 std::vector<double>* durations) override;
   const char* name() const override { return "pooled"; }
 
-  size_t worker_count() const { return threads_.size(); }
+  size_t worker_count() const;
+  const std::shared_ptr<WorkerPool>& pool() const { return pool_; }
 
  private:
-  void WorkerLoop();
-
-  std::mutex pool_mu_;
-  std::condition_variable work_cv_;   // workers wait for tasks
-  std::condition_variable done_cv_;   // RunRound waits for completion
-  std::deque<std::function<void()>> tasks_;
-  size_t inflight_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> threads_;
+  std::shared_ptr<WorkerPool> pool_;
 };
 
 /// Builders for the two control-plane envelope shapes every algorithm posts.
@@ -202,9 +248,17 @@ std::unique_ptr<Transport> MakeTransport(TransportKind kind);
 /// The backend a cluster's options ask for: pooled iff parallel execution.
 TransportKind DefaultTransportKind(const Cluster& cluster);
 
+/// Creates a `kind` backend for `cluster` (defaulting to the cluster's
+/// preferred kind); a pooled backend shares the cluster's WorkerPool. The
+/// one place that wires transports to cluster resources — the engine and
+/// EnsureTransport both go through it.
+std::unique_ptr<Transport> MakeTransportFor(
+    const Cluster& cluster, std::optional<TransportKind> kind = std::nullopt);
+
 /// Returns `transport` if non-null; otherwise creates the cluster's default
-/// backend into `owned` and returns that. The algorithms' entry points use
-/// this for their optional-transport parameters.
+/// backend into `owned` and returns that. A pooled default shares the
+/// cluster's WorkerPool. The algorithms' entry points use this for their
+/// optional-transport parameters.
 Transport* EnsureTransport(Transport* transport, const Cluster& cluster,
                            std::unique_ptr<Transport>* owned);
 

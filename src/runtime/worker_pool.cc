@@ -1,0 +1,82 @@
+#include "runtime/worker_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace paxml {
+
+WorkerPool::WorkerPool(size_t workers) {
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = std::min<size_t>(std::max<size_t>(hw, 2), 8);
+  }
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+size_t WorkerPool::queued_batch_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_.size();
+}
+
+bool WorkerPool::HasRunnableTaskLocked() const {
+  // batches_ only holds batches with queued tasks, so non-empty == runnable.
+  return !batches_.empty();
+}
+
+void WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
+  for (auto& t : tasks) batch->tasks.push_back(std::move(t));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PAXML_CHECK(!stopping_);
+    batches_.push_back(batch);
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  batch->done_cv.wait(lock, [&] { return batch->remaining == 0; });
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return stopping_ || HasRunnableTaskLocked(); });
+      if (!HasRunnableTaskLocked()) return;  // stopping, queues fully drained
+      batch = batches_.front();
+      task = std::move(batch->tasks.front());
+      batch->tasks.pop_front();
+      batches_.pop_front();
+      // Round-robin across batches: the batch rejoins at the back, so the
+      // next worker serves the next batch (= the next query's round).
+      if (!batch->tasks.empty()) batches_.push_back(batch);
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Notify under the lock: the waiter cannot return from wait (and
+      // destroy the batch) before notify_all has completed.
+      if (--batch->remaining == 0) batch->done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace paxml

@@ -1,0 +1,84 @@
+// WorkerPool: a persistent pool of worker threads shared by every
+// concurrent consumer of a cluster's compute.
+//
+// Extracted out of PooledTransport so that one pool can serve many
+// concurrent query evaluations (and any future consumer: batching,
+// background compaction) instead of every transport spawning its own
+// threads. The unit of submission is a *batch* — RunAll() enqueues a group
+// of tasks and blocks until all of them have finished. Each batch carries
+// its own completion latch, so RunAll is fully reentrant: any number of
+// threads may run batches concurrently without sharing completion state
+// (the old PooledTransport kept one inflight_ counter and one done_cv_ for
+// the whole pool, which deadlocked two concurrent rounds against each
+// other's tasks).
+//
+// Fairness: workers serve the active batches round-robin, one task at a
+// time — after a worker takes a task from a batch, that batch goes to the
+// back of the service order. With one batch per query round in flight,
+// pool time is shared evenly across concurrent queries and a wide round
+// cannot starve the others (the multi-query scheduler relies on this; see
+// runtime/query_scheduler.h and DESIGN.md §6).
+
+#ifndef PAXML_RUNTIME_WORKER_POOL_H_
+#define PAXML_RUNTIME_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paxml {
+
+class WorkerPool {
+ public:
+  /// `workers` = 0 picks min(max(hardware concurrency, 2), 8).
+  explicit WorkerPool(size_t workers = 0);
+
+  /// Drains every queued task, then joins the workers. Destroying the pool
+  /// while a RunAll is blocked in another thread is a caller bug.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t worker_count() const { return threads_.size(); }
+
+  /// Runs `tasks` on the pool and blocks until every one of them has
+  /// finished. Reentrant: concurrent callers wait on private latches.
+  /// Tasks must not call RunAll on the same pool (a worker blocking on a
+  /// nested batch could leave no worker to run it).
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  /// Batches that still have queued (unstarted) tasks. Test introspection.
+  size_t queued_batch_count();
+
+ private:
+  /// One RunAll call: its queued tasks plus a completion latch.
+  /// `remaining` counts queued *and* executing tasks; the batch leaves
+  /// batches_ once its queue empties, while the caller's shared_ptr keeps
+  /// the latch alive until the last task signals done_cv.
+  struct Batch {
+    std::deque<std::function<void()>> tasks;
+    size_t remaining = 0;
+    std::condition_variable done_cv;
+  };
+
+  void WorkerLoop();
+  bool HasRunnableTaskLocked() const;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  /// Active batches in round-robin service order; only batches with at
+  /// least one queued task appear here.
+  std::list<std::shared_ptr<Batch>> batches_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_RUNTIME_WORKER_POOL_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "runtime/worker_pool.h"
 
 namespace paxml {
 
@@ -11,6 +12,9 @@ Cluster::Cluster(std::shared_ptr<const FragmentedDocument> doc,
                  size_t site_count, ClusterOptions options)
     : doc_(std::move(doc)), site_count_(site_count), options_(options) {
   PAXML_CHECK_GT(site_count_, 0u);
+  if (options_.simulated_network.has_value()) {
+    PAXML_CHECK(options_.simulated_network->Valid());
+  }
   placement_.assign(doc_->size(), kNullSite);
   by_site_.assign(site_count_, {});
   PlaceRoundRobin();
@@ -39,6 +43,12 @@ void Cluster::PlaceRoundRobin() {
                       static_cast<SiteId>(f % site_count_))
                     .ok());
   }
+}
+
+std::shared_ptr<WorkerPool> Cluster::worker_pool() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (worker_pool_ == nullptr) worker_pool_ = std::make_shared<WorkerPool>();
+  return worker_pool_;
 }
 
 void Cluster::PlaceRootAndSpread() {

@@ -14,6 +14,8 @@
 #define PAXML_SIM_CLUSTER_H_
 
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -22,13 +24,24 @@
 
 namespace paxml {
 
+class WorkerPool;
+
 struct ClusterOptions {
-  /// Deliver each round's site mail on the persistent worker pool
+  /// Deliver each round's site mail on the cluster's shared worker pool
   /// (PooledTransport). When false, sites run sequentially (SyncTransport)
   /// — timing still reports parallel cost as the per-round max, making
   /// curves deterministic on small hosts. Counts and byte totals are
   /// identical either way (tested property).
   bool parallel_execution = true;
+
+  /// When set, every Coordinator round over this cluster *realizes* the
+  /// model's transfer time for the round's accounted traffic as wall-clock
+  /// delay on the driver thread. Counts and RunStats are unchanged (the
+  /// modeled cost is already in RunStats::ElapsedSeconds); only measured
+  /// wall time grows. Rounds become latency-bound, as against a real
+  /// network — which is what multi-query scheduling overlaps
+  /// (bench_multiquery). Must satisfy NetworkCostModel::Valid().
+  std::optional<NetworkCostModel> simulated_network;
 };
 
 /// Placement plus execution engine for one fragmented document.
@@ -67,12 +80,21 @@ class Cluster {
 
   const ClusterOptions& options() const { return options_; }
 
+  /// The worker pool shared by every pooled transport (and so every
+  /// concurrent query evaluation) over this cluster, created lazily on
+  /// first use. Heavy query streams thus pay thread spawns once per
+  /// cluster, not once per run. Thread-safe.
+  std::shared_ptr<WorkerPool> worker_pool() const;
+
  private:
   std::shared_ptr<const FragmentedDocument> doc_;
   size_t site_count_;
   ClusterOptions options_;
   std::vector<SiteId> placement_;           // fragment -> site
   std::vector<std::vector<FragmentId>> by_site_;  // site -> fragments
+
+  mutable std::mutex pool_mu_;  // guards lazy creation of worker_pool_
+  mutable std::shared_ptr<WorkerPool> worker_pool_;
 };
 
 }  // namespace paxml

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace paxml {
 
 /// Index of a site in a Cluster.
@@ -41,11 +43,24 @@ struct SiteStats {
 
 /// Latency/bandwidth model turning message counts and bytes into seconds.
 /// Defaults approximate the paper's local LAN.
+///
+/// Field contract (enforced by TransferSeconds):
+///  * `latency_seconds` >= 0 — fixed per-message cost; 0 models an ideal
+///    network, negative makes no sense.
+///  * `bandwidth_bytes_per_second` > 0 — a zero here used to divide every
+///    byte count by 0, silently turning each derived elapsed-time metric
+///    into inf. Model an infinitely fast link with a very large value, not
+///    with 0.
 struct NetworkCostModel {
   double latency_seconds = 0.0001;            ///< 0.1 ms per message
   double bandwidth_bytes_per_second = 100e6;  ///< ~100 MB/s
 
+  bool Valid() const {
+    return latency_seconds >= 0 && bandwidth_bytes_per_second > 0;
+  }
+
   double TransferSeconds(uint64_t messages, uint64_t bytes) const {
+    PAXML_CHECK(Valid());
     return static_cast<double>(messages) * latency_seconds +
            static_cast<double>(bytes) / bandwidth_bytes_per_second;
   }

@@ -1,7 +1,9 @@
-// Tests for the runtime layer: Transport accounting, the pooled backend,
-// and the headline property of the refactor — SyncTransport and
-// PooledTransport produce identical answers, visit counts and per-edge
-// byte totals for every algorithm on the clientele and XMark fixtures.
+// Tests for the runtime layer: Transport accounting, run namespacing, the
+// pooled backend, and the headline properties of the refactor —
+// SyncTransport and PooledTransport produce identical answers, visit counts
+// and per-edge byte totals for every algorithm on the clientele and XMark
+// fixtures, and a concurrent EvalBatch over one shared transport matches
+// the same queries run sequentially.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +17,7 @@
 #include "runtime/coordinator.h"
 #include "runtime/site_runtime.h"
 #include "runtime/transport.h"
+#include "runtime/worker_pool.h"
 #include "test_util.h"
 #include "xmark/generator.h"
 #include "xmark/queries.h"
@@ -29,9 +32,10 @@ std::shared_ptr<FragmentedDocument> MakeClienteleDoc() {
   return std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
 }
 
-Envelope PayloadEnvelope(SiteId from, SiteId to, std::string bytes,
+Envelope PayloadEnvelope(RunId run, SiteId from, SiteId to, std::string bytes,
                          PayloadCategory category = PayloadCategory::kControl) {
   Envelope env;
+  env.run = run;
   env.from = from;
   env.to = to;
   env.category = category;
@@ -48,13 +52,13 @@ TEST(TransportTest, AccountsBytesMessagesAndEdges) {
   SyncTransport transport;
   RunStats stats;
   stats.per_site.resize(3);
-  transport.Begin(&c, &stats);
+  const RunId run = transport.Begin(&c, &stats);
 
-  transport.Send(PayloadEnvelope(0, 1, std::string(100, 'x')));
-  transport.Send(PayloadEnvelope(1, 0, std::string(50, 'x')));
-  transport.Send(PayloadEnvelope(2, 0, std::string(30, 'x'),
+  transport.Send(PayloadEnvelope(run, 0, 1, std::string(100, 'x')));
+  transport.Send(PayloadEnvelope(run, 1, 0, std::string(50, 'x')));
+  transport.Send(PayloadEnvelope(run, 2, 0, std::string(30, 'x'),
                                  PayloadCategory::kAnswer));
-  Envelope data = PayloadEnvelope(1, 0, "", PayloadCategory::kData);
+  Envelope data = PayloadEnvelope(run, 1, 0, "", PayloadCategory::kData);
   data.phantom_bytes = 1000;
   transport.Send(std::move(data));
 
@@ -79,14 +83,14 @@ TEST(TransportTest, LocalDeliveryIsFreeButStillDelivered) {
   SyncTransport transport;
   RunStats stats;
   stats.per_site.resize(2);
-  transport.Begin(&c, &stats);
+  const RunId run = transport.Begin(&c, &stats);
 
-  transport.Send(PayloadEnvelope(1, 1, std::string(64, 'x')));
+  transport.Send(PayloadEnvelope(run, 1, 1, std::string(64, 'x')));
   EXPECT_EQ(stats.total_messages, 0u);
   EXPECT_EQ(stats.total_bytes, 0u);
   EXPECT_TRUE(stats.edges.empty());
-  EXPECT_TRUE(transport.HasMail(1));
-  EXPECT_EQ(transport.Drain(1).size(), 1u);
+  EXPECT_TRUE(transport.HasMail(run, 1));
+  EXPECT_EQ(transport.Drain(run, 1).size(), 1u);
 }
 
 TEST(TransportTest, ControlPlaneRequestsAreFree) {
@@ -95,17 +99,19 @@ TEST(TransportTest, ControlPlaneRequestsAreFree) {
   SyncTransport transport;
   RunStats stats;
   stats.per_site.resize(2);
-  transport.Begin(&c, &stats);
+  const RunId run = transport.Begin(&c, &stats);
 
   Envelope req = MakeRequestEnvelope(MessageKind::kSelRequest, 1, 2);
+  req.run = run;
   req.from = 0;
   transport.Send(std::move(req));
   EXPECT_EQ(stats.total_messages, 0u);
   EXPECT_EQ(stats.total_bytes, 0u);
-  ASSERT_TRUE(transport.HasMail(1));
+  ASSERT_TRUE(transport.HasMail(run, 1));
 
   // The unaccounted AnswerUp id list rides free next to phantom XML bytes.
   Envelope ans;
+  ans.run = run;
   ans.from = 1;
   ans.to = 0;
   ans.category = PayloadCategory::kAnswer;
@@ -128,6 +134,84 @@ TEST(TransportTest, QueryShipEnvelopeAccountsPhantomBytes) {
   EXPECT_EQ(env.parts[0].kind, MessageKind::kQueryShip);
 }
 
+// ---- Run namespacing: one transport, many concurrent evaluations ------------
+
+TEST(TransportTest, OpenRunsNamespaceMailboxesAndStats) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  RunStats stats_a, stats_b;
+  stats_a.per_site.resize(2);
+  stats_b.per_site.resize(2);
+  const RunId a = transport.OpenRun(&c, &stats_a);
+  const RunId b = transport.OpenRun(&c, &stats_b);
+  ASSERT_NE(a, b);
+  EXPECT_EQ(transport.open_run_count(), 2u);
+
+  transport.Send(PayloadEnvelope(a, 0, 1, std::string(100, 'x')));
+  transport.Send(PayloadEnvelope(b, 0, 1, std::string(7, 'y')));
+  transport.Send(PayloadEnvelope(b, 1, 0, std::string(9, 'y')));
+
+  // No accounting bleed: each run's stats see only its own traffic.
+  EXPECT_EQ(stats_a.total_messages, 1u);
+  EXPECT_EQ(stats_a.total_bytes, 100u);
+  EXPECT_EQ(stats_b.total_messages, 2u);
+  EXPECT_EQ(stats_b.total_bytes, 16u);
+  EXPECT_EQ((stats_a.edges.at({0, 1})), (EdgeStats{1, 100}));
+  EXPECT_EQ((stats_b.edges.at({0, 1})), (EdgeStats{1, 7}));
+
+  // No mail bleed: draining one run leaves the other's mailboxes intact.
+  EXPECT_EQ(transport.Drain(a, 1).size(), 1u);
+  EXPECT_FALSE(transport.HasPendingMail(a));
+  EXPECT_TRUE(transport.HasMail(b, 1));
+  EXPECT_TRUE(transport.HasMail(b, 0));
+
+  // Closing one run does not disturb the other.
+  transport.CloseRun(a);
+  EXPECT_EQ(transport.open_run_count(), 1u);
+  EXPECT_EQ(transport.Drain(b, 1).size(), 1u);
+  EXPECT_EQ(transport.Drain(b, 0).size(), 1u);
+  transport.CloseRun(b);
+  EXPECT_EQ(transport.open_run_count(), 0u);
+}
+
+// Rebinding the single-run Begin() surface while mail is pending used to
+// silently clobber the in-flight run's mailboxes and stats; now it aborts.
+TEST(TransportDeathTest, BeginWhileMailPendingDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  RunStats stats;
+  stats.per_site.resize(2);
+  const RunId run = transport.Begin(&c, &stats);
+  transport.Send(PayloadEnvelope(run, 0, 1, "pending"));
+  RunStats stats2;
+  stats2.per_site.resize(2);
+  EXPECT_DEATH(transport.Begin(&c, &stats2), "HasPendingMail");
+}
+
+// Once the pending mail is delivered, rebinding is legitimate reuse.
+TEST(TransportTest, BeginAfterDrainRebindsCleanly) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  RunStats stats;
+  stats.per_site.resize(2);
+  const RunId run = transport.Begin(&c, &stats);
+  transport.Send(PayloadEnvelope(run, 0, 1, "mail"));
+  transport.Drain(run, 1);
+
+  RunStats stats2;
+  stats2.per_site.resize(2);
+  const RunId run2 = transport.Begin(&c, &stats2);
+  EXPECT_NE(run, run2);
+  EXPECT_EQ(transport.open_run_count(), 1u);
+  transport.Send(PayloadEnvelope(run2, 0, 1, "x"));
+  EXPECT_EQ(stats2.total_messages, 1u);
+  EXPECT_EQ(stats.total_messages, 1u);  // the old run's stats are untouched
+}
+
 // ---- Delivery rounds --------------------------------------------------------
 
 TEST(PooledTransportTest, RunRoundDeliversEverySiteOnPersistentPool) {
@@ -137,7 +221,7 @@ TEST(PooledTransportTest, RunRoundDeliversEverySiteOnPersistentPool) {
   EXPECT_GE(transport.worker_count(), 2u);
   RunStats stats;
   stats.per_site.resize(4);
-  transport.Begin(&c, &stats);
+  const RunId run = transport.Begin(&c, &stats);
 
   std::atomic<int> delivered{0};
   std::set<std::thread::id> thread_ids;
@@ -145,7 +229,7 @@ TEST(PooledTransportTest, RunRoundDeliversEverySiteOnPersistentPool) {
   for (int round = 0; round < 3; ++round) {
     std::vector<double> durations;
     transport.RunRound(
-        {0, 1, 2, 3},
+        run, {0, 1, 2, 3},
         [&](SiteId, std::vector<Envelope>) {
           ++delivered;
           std::lock_guard<std::mutex> lock(mu);
@@ -160,27 +244,83 @@ TEST(PooledTransportTest, RunRoundDeliversEverySiteOnPersistentPool) {
   EXPECT_LE(thread_ids.size(), transport.worker_count());
 }
 
+// The regression the shared-pool refactor fixes: two concurrent RunRound
+// calls used to share one inflight_ counter and one done_cv_, so each
+// caller could wake on the other's completion (or deadlock waiting for
+// tasks that were never its own). Per-round latches make RunRound fully
+// reentrant: every delivery lands in the right run, exactly once.
+TEST(PooledTransportTest, ConcurrentRunRoundsAreReentrant) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 4);
+  PooledTransport transport(std::make_shared<WorkerPool>(2));
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+
+  std::vector<RunStats> stats(kThreads);
+  std::vector<RunId> runs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    stats[t].per_site.resize(4);
+    runs[t] = transport.OpenRun(&c, &stats[t]);
+  }
+
+  std::vector<std::atomic<int>> delivered(kThreads);
+  std::vector<std::atomic<int>> mail_seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        transport.Send(PayloadEnvelope(runs[t], 0, 1, std::string(8, 'x')));
+        std::vector<double> durations;
+        transport.RunRound(
+            runs[t], {0, 1, 2, 3},
+            [&](SiteId site, std::vector<Envelope> mail) {
+              ++delivered[t];
+              if (site == 1) {
+                // Each round must see exactly the one envelope its own
+                // thread sent for this round — never another run's mail.
+                mail_seen[t] += static_cast<int>(mail.size());
+                for (const Envelope& env : mail) {
+                  EXPECT_EQ(env.run, runs[t]);
+                }
+              } else {
+                EXPECT_TRUE(mail.empty());
+              }
+            },
+            &durations);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(delivered[t].load(), kRounds * 4) << "thread " << t;
+    EXPECT_EQ(mail_seen[t].load(), kRounds) << "thread " << t;
+    EXPECT_EQ(stats[t].total_messages, static_cast<uint64_t>(kRounds));
+    transport.CloseRun(runs[t]);
+  }
+}
+
 TEST(SyncTransportTest, SnapshotKeepsRoundBoundaries) {
   auto doc = MakeClienteleDoc();
   Cluster c(doc, 2);
   SyncTransport transport;
   RunStats stats;
   stats.per_site.resize(2);
-  transport.Begin(&c, &stats);
+  const RunId run = transport.Begin(&c, &stats);
 
-  transport.Send(PayloadEnvelope(0, 1, "a"));
+  transport.Send(PayloadEnvelope(run, 0, 1, "a"));
   int seen = 0;
   std::vector<double> durations;
   transport.RunRound(
-      {1},
+      run, {1},
       [&](SiteId site, std::vector<Envelope> mail) {
         seen += static_cast<int>(mail.size());
         // Mail sent during a round is delivered in the *next* round.
-        transport.Send(PayloadEnvelope(site, 1, "b"));
+        transport.Send(PayloadEnvelope(run, site, 1, "b"));
       },
       &durations);
   EXPECT_EQ(seen, 1);
-  EXPECT_TRUE(transport.HasMail(1));
+  EXPECT_TRUE(transport.HasMail(run, 1));
 }
 
 TEST(CoordinatorTest, SitesOfDeduplicatesAndSorts) {
@@ -192,6 +332,44 @@ TEST(CoordinatorTest, SitesOfDeduplicatesAndSorts) {
   EXPECT_EQ(coord.SitesOf({0, 2, 4}), (std::vector<SiteId>{0}));
   EXPECT_EQ(coord.SitesOf({4, 1, 0, 3}), (std::vector<SiteId>{0, 1}));
   EXPECT_EQ(coord.AllSites(), (std::vector<SiteId>{0, 1}));
+}
+
+// Regression: a stage pruned down to no participants is not a round. The
+// early-return path used to bump stats().rounds anyway, inflating the
+// reported round count of annotation-pruned evaluations.
+TEST(CoordinatorTest, EmptyRoundIsNotCounted) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  MessageHandlers handlers;
+  Coordinator coord(&c, &transport, &handlers);
+
+  ASSERT_TRUE(coord.RunRound("pruned-out-stage", {}).ok());
+  EXPECT_EQ(coord.stats().rounds, 0);
+  EXPECT_EQ(coord.stats().total_visits(), 0u);
+
+  ASSERT_TRUE(coord.RunRound("real-stage", {1}).ok());
+  EXPECT_EQ(coord.stats().rounds, 1);
+  EXPECT_EQ(coord.stats().per_site[1].visits, 1);
+
+  ASSERT_TRUE(coord.RunRound("another-pruned-stage", {}).ok());
+  EXPECT_EQ(coord.stats().rounds, 1);
+}
+
+// Each Coordinator owns one run on the shared transport; destruction
+// releases it.
+TEST(CoordinatorTest, CoordinatorsOpenAndCloseTheirRuns) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  MessageHandlers handlers;
+  {
+    Coordinator a(&c, &transport, &handlers);
+    Coordinator b(&c, &transport, &handlers);
+    EXPECT_NE(a.run(), b.run());
+    EXPECT_EQ(transport.open_run_count(), 2u);
+  }
+  EXPECT_EQ(transport.open_run_count(), 0u);
 }
 
 // ---- The headline equivalence property --------------------------------------
@@ -307,6 +485,76 @@ TEST(TransportEquivalenceTest, PooledRunsAreDeterministic) {
     EXPECT_EQ(r->stats.edges, first->stats.edges);
     EXPECT_EQ(r->stats.total_bytes, first->stats.total_bytes);
   }
+}
+
+// ---- Multi-query scheduling equivalence -------------------------------------
+
+// N concurrent queries over one shared transport (and, pooled, one shared
+// WorkerPool) must produce byte-for-byte the answers, visits and per-edge
+// bytes of the same queries run sequentially: scheduling may reorder work,
+// never change it.
+void ExpectBatchMatchesSequential(const Fixture& fx, DistributedAlgorithm algo,
+                                  TransportKind kind, size_t stream_depth) {
+  EngineOptions options;
+  options.algorithm = algo;
+  options.transport = kind;
+
+  // A stream with repeats: concurrent evaluations of the *same* query are
+  // the sharpest cross-talk probe.
+  std::vector<std::string> stream;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const std::string& q : fx.queries) stream.push_back(q);
+  }
+
+  std::vector<Result<DistributedResult>> sequential;
+  sequential.reserve(stream.size());
+  for (const std::string& q : stream) {
+    sequential.push_back(EvaluateDistributed(*fx.cluster, q, options));
+  }
+
+  std::vector<Result<DistributedResult>> batched =
+      EvalBatch(*fx.cluster, stream, options, stream_depth);
+
+  ASSERT_EQ(batched.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const std::string label = fx.name + "|" + AlgorithmName(algo) + "|" +
+                              std::string(kind == TransportKind::kSync
+                                              ? "sync"
+                                              : "pooled") +
+                              "|" + stream[i];
+    ASSERT_TRUE(sequential[i].ok()) << label << ": "
+                                    << sequential[i].status();
+    ASSERT_TRUE(batched[i].ok()) << label << ": " << batched[i].status();
+    EXPECT_EQ(batched[i]->answers, sequential[i]->answers) << label;
+    EXPECT_EQ(Visits(batched[i]->stats), Visits(sequential[i]->stats))
+        << label;
+    EXPECT_EQ(batched[i]->stats.edges, sequential[i]->stats.edges) << label;
+    EXPECT_EQ(batched[i]->stats.total_bytes, sequential[i]->stats.total_bytes)
+        << label;
+    EXPECT_EQ(batched[i]->stats.rounds, sequential[i]->stats.rounds) << label;
+  }
+}
+
+TEST(SchedulerEquivalenceTest, ClienteleSyncBackend) {
+  ExpectBatchMatchesSequential(ClienteleFixture(),
+                               DistributedAlgorithm::kPaX2,
+                               TransportKind::kSync, 4);
+}
+
+TEST(SchedulerEquivalenceTest, ClientelePooledBackend) {
+  Fixture fx = ClienteleFixture();
+  for (auto algo : {DistributedAlgorithm::kPaX2, DistributedAlgorithm::kPaX3,
+                    DistributedAlgorithm::kNaiveCentralized}) {
+    ExpectBatchMatchesSequential(fx, algo, TransportKind::kPooled, 4);
+  }
+}
+
+TEST(SchedulerEquivalenceTest, XMarkBothBackends) {
+  Fixture fx = XMarkFixture();
+  ExpectBatchMatchesSequential(fx, DistributedAlgorithm::kPaX2,
+                               TransportKind::kSync, 8);
+  ExpectBatchMatchesSequential(fx, DistributedAlgorithm::kPaX2,
+                               TransportKind::kPooled, 8);
 }
 
 // The per-edge map only ever contains cross-site traffic.

@@ -1,0 +1,239 @@
+// Tests for the shared WorkerPool and the multi-query scheduler: per-batch
+// completion latches (reentrancy), round-robin fairness across batches,
+// stream-depth admission, and the EvalBatch engine surface (per-query
+// errors, shared pool reuse, simulated network delay).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "fragment/fragmenter.h"
+#include "runtime/query_scheduler.h"
+#include "runtime/worker_pool.h"
+#include "test_util.h"
+
+namespace paxml {
+namespace {
+
+// ---- WorkerPool -------------------------------------------------------------
+
+TEST(WorkerPoolTest, RunAllExecutesEveryTaskAndBlocks) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 20; ++i) tasks.push_back([&] { ++ran; });
+  pool.RunAll(std::move(tasks));
+  // RunAll returned => every task has finished, not merely been queued.
+  EXPECT_EQ(ran.load(), 20);
+  pool.RunAll({});  // empty batch is a no-op
+}
+
+// The bug the pool extraction fixes: completion state is per batch, so any
+// number of threads may run batches concurrently. With the old shared
+// inflight_ counter this configuration deadlocked or woke callers early.
+TEST(WorkerPoolTest, ConcurrentBatchesEachWaitOnTheirOwnLatch) {
+  WorkerPool pool(2);
+  constexpr int kCallers = 6;
+  constexpr int kBatches = 20;
+  constexpr int kTasksPerBatch = 5;
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<int>> ran(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int b = 0; b < kBatches; ++b) {
+        std::atomic<int> batch_ran{0};
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < kTasksPerBatch; ++i) {
+          tasks.push_back([&] {
+            ++batch_ran;
+            ++ran[t];
+          });
+        }
+        pool.RunAll(std::move(tasks));
+        // The latch property: when RunAll returns, *this* batch is done,
+        // whatever the other five callers are doing.
+        ASSERT_EQ(batch_ran.load(), kTasksPerBatch);
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  for (int t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(ran[t].load(), kBatches * kTasksPerBatch);
+  }
+}
+
+// Round-robin across batches: a single worker alternates between two
+// queued batches instead of draining the first before touching the second,
+// so a wide round cannot starve a concurrent query's round.
+TEST(WorkerPoolTest, ServesConcurrentBatchesRoundRobin) {
+  WorkerPool pool(1);
+  std::mutex order_mu;
+  std::vector<char> order;
+
+  std::vector<std::function<void()>> batch_a;
+  for (int i = 0; i < 4; ++i) {
+    batch_a.push_back([&, i] {
+      if (i == 0) {
+        // Hold the only worker until batch B is queued behind batch A's
+        // remaining tasks (A itself still counts: 3 tasks are unstarted).
+        while (pool.queued_batch_count() < 2) std::this_thread::yield();
+      }
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back('A');
+    });
+  }
+  std::thread caller_a([&] { pool.RunAll(std::move(batch_a)); });
+
+  std::vector<std::function<void()>> batch_b;
+  for (int i = 0; i < 3; ++i) {
+    batch_b.push_back([&] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back('B');
+    });
+  }
+  std::thread caller_b([&] { pool.RunAll(std::move(batch_b)); });
+  caller_a.join();
+  caller_b.join();
+
+  ASSERT_EQ(order.size(), 7u);
+  const std::string trace(order.begin(), order.end());
+  const size_t first_b = trace.find('B');
+  const size_t last_a = trace.rfind('A');
+  ASSERT_NE(first_b, std::string::npos);
+  // FIFO service would drain A completely first ("AAAABBB"); round-robin
+  // interleaves, so some B task runs before A's last task.
+  EXPECT_LT(first_b, last_a) << "batch B was starved behind batch A: "
+                             << trace;
+}
+
+// ---- QueryScheduler ---------------------------------------------------------
+
+TEST(QuerySchedulerTest, RunsEveryJobWithinDepth) {
+  constexpr size_t kDepth = 3;
+  QueryScheduler scheduler(kDepth);
+  EXPECT_EQ(scheduler.depth(), kDepth);
+
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 24; ++i) {
+    scheduler.Submit([&] {
+      const int now = ++running;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      --running;
+      ++done;
+    });
+  }
+  scheduler.Wait();
+  EXPECT_EQ(done.load(), 24);
+  EXPECT_LE(peak.load(), static_cast<int>(kDepth));
+}
+
+TEST(QuerySchedulerTest, WaitIsReusableAcrossSubmissionWaves) {
+  QueryScheduler scheduler(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 4; ++i) scheduler.Submit([&] { ++done; });
+  scheduler.Wait();
+  EXPECT_EQ(done.load(), 4);
+  for (int i = 0; i < 4; ++i) scheduler.Submit([&] { ++done; });
+  scheduler.Wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(QuerySchedulerTest, DepthZeroIsClampedToOne) {
+  QueryScheduler scheduler(0);
+  EXPECT_EQ(scheduler.depth(), 1u);
+  std::atomic<int> done{0};
+  scheduler.Submit([&] { ++done; });
+  scheduler.Wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+// ---- EvalBatch --------------------------------------------------------------
+
+class EvalBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tree t = testing::BuildClienteleTree();
+    auto doc = FragmentByCuts(t, testing::ClienteleCuts(t));
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
+    cluster_ = std::make_unique<Cluster>(doc_, 4);
+    cluster_->PlaceRootAndSpread();
+  }
+
+  std::shared_ptr<FragmentedDocument> doc_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(EvalBatchTest, PerQueryErrorsDoNotDisturbTheStream) {
+  std::vector<std::string> stream = {
+      "clientele/client/broker/name",
+      "this is not xpath ((",
+      "//stock/code",
+  };
+  std::vector<double> latencies;
+  auto results = EvalBatch(*cluster_, stream, {}, 2, &latencies);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_EQ(latencies.size(), 3u);
+
+  EXPECT_TRUE(results[0].ok()) << results[0].status();
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok()) << results[2].status();
+
+  auto lone = EvaluateDistributed(*cluster_, stream[2]);
+  ASSERT_TRUE(lone.ok());
+  EXPECT_EQ(results[2]->answers, lone->answers);
+}
+
+TEST_F(EvalBatchTest, EmptyStreamIsANoOp) {
+  EXPECT_TRUE(EvalBatch(*cluster_, {}).empty());
+}
+
+TEST_F(EvalBatchTest, SharedPoolServesRepeatedBatches) {
+  // The cluster hands every pooled consumer the same WorkerPool: a stream
+  // of batches must not spawn per-run pools.
+  auto pool = cluster_->worker_pool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(cluster_->worker_pool().get(), pool.get());
+
+  EngineOptions options;
+  options.transport = TransportKind::kPooled;
+  std::vector<std::string> stream(6, "clientele/client/broker/name");
+  for (int wave = 0; wave < 3; ++wave) {
+    auto results = EvalBatch(*cluster_, stream, options, 3);
+    for (const auto& r : results) ASSERT_TRUE(r.ok()) << r.status();
+  }
+}
+
+// A cluster that realizes network delay still computes identical results —
+// the model only stretches wall time.
+TEST_F(EvalBatchTest, SimulatedNetworkDelayDoesNotChangeAnswers) {
+  ClusterOptions options;
+  options.simulated_network = NetworkCostModel{};  // the paper's LAN
+  Cluster delayed(doc_, 4, options);
+  delayed.PlaceRootAndSpread();
+
+  const std::string query = "clientele/client/broker/name";
+  auto plain = EvaluateDistributed(*cluster_, query);
+  auto slowed = EvaluateDistributed(delayed, query);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(slowed.ok());
+  EXPECT_EQ(plain->answers, slowed->answers);
+  EXPECT_EQ(plain->stats.total_bytes, slowed->stats.total_bytes);
+  EXPECT_EQ(plain->stats.edges, slowed->stats.edges);
+}
+
+}  // namespace
+}  // namespace paxml

@@ -60,6 +60,31 @@ TEST(NetworkCostModelTest, TransferSeconds) {
   EXPECT_DOUBLE_EQ(net.TransferSeconds(0, 0), 0.0);
 }
 
+TEST(NetworkCostModelTest, ValidityContract) {
+  EXPECT_TRUE(NetworkCostModel{}.Valid());
+
+  NetworkCostModel ideal;
+  ideal.latency_seconds = 0;  // an ideal network is a valid model...
+  EXPECT_TRUE(ideal.Valid());
+
+  NetworkCostModel zero_bw;
+  zero_bw.bandwidth_bytes_per_second = 0;  // ...a zero-bandwidth one is not
+  EXPECT_FALSE(zero_bw.Valid());
+
+  NetworkCostModel negative_latency;
+  negative_latency.latency_seconds = -0.1;
+  EXPECT_FALSE(negative_latency.Valid());
+}
+
+// A zero bandwidth used to flow through TransferSeconds as a silent
+// division by zero, turning every derived elapsed-time metric into inf.
+TEST(NetworkCostModelDeathTest, ZeroBandwidthAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  NetworkCostModel broken;
+  broken.bandwidth_bytes_per_second = 0;
+  EXPECT_DEATH(broken.TransferSeconds(1, 100), "Valid");
+}
+
 TEST(RunStatsTest, VisitAggregates) {
   RunStats s;
   s.per_site.resize(3);
