@@ -1,0 +1,129 @@
+// Async sessions: drive a cluster through the session-based Engine API.
+//
+//   $ ./build/examples/async_sessions
+//
+// Where quickstart evaluates one query synchronously, a server faces a
+// *stream* of queries with different urgencies. This example builds a small
+// brokerage document, then uses a long-lived Engine to: submit concurrent
+// queries and collect QueryReports; jump the queue with a priority; reject
+// work whose deadline already passed; and cancel a submission. See
+// DESIGN.md §7 for the lifecycle (Submit → admit → rounds → report/cancel).
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/engine.h"
+#include "fragment/fragmenter.h"
+#include "xml/parser.h"
+
+using namespace paxml;
+
+namespace {
+
+void PrintReport(const char* label, const QueryReport& report) {
+  if (report.result.ok()) {
+    std::printf(
+        "  %-12s ok: %3zu answers, %d rounds, %5llu bytes, "
+        "%.3f ms (%.3f ms queued)\n",
+        label, report.result->answers.size(), report.rounds,
+        static_cast<unsigned long long>(report.stats.total_bytes),
+        report.latency_seconds * 1e3, report.queue_seconds * 1e3);
+  } else {
+    std::printf("  %-12s %s\n", label,
+                report.result.status().ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A clientele document: clients hold brokers, brokers trade stocks.
+  const char* xml = R"(
+    <clientele>
+      <client><name>Ada</name><country>UK</country>
+        <broker><name>Baker</name>
+          <market><name>NASDAQ</name>
+            <stock><code>GOOG</code></stock>
+            <stock><code>MSFT</code></stock></market></broker></client>
+      <client><name>Basho</name><country>JP</country>
+        <broker><name>Chiyo</name>
+          <market><name>TSE</name>
+            <stock><code>6758</code></stock></market></broker></client>
+      <client><name>Cleo</name><country>US</country>
+        <broker><name>Drake</name>
+          <market><name>NASDAQ</name>
+            <stock><code>AAPL</code></stock></market></broker></client>
+    </clientele>)";
+  auto tree = ParseXml(xml);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  auto doc_r = FragmentBySubtrees(*tree, tree->root());
+  if (!doc_r.ok()) {
+    std::fprintf(stderr, "fragment error: %s\n",
+                 doc_r.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+  Cluster cluster(doc, /*site_count=*/3);
+  cluster.PlaceRootAndSpread();
+
+  // One long-lived session over the cluster: one shared transport, up to
+  // four evaluations in flight, admitted by priority.
+  EngineConfig config;
+  config.depth = 4;
+  Engine engine(cluster, config);
+  std::printf("async_sessions: %zu fragments on %zu sites, stream depth %zu\n",
+              doc->size(), cluster.site_count(), engine.depth());
+
+  // Concurrent submissions; handles resolve independently.
+  QueryHandle brokers = engine.Submit("clientele/client/broker/name");
+  QueryHandle stocks = engine.Submit("//stock/code");
+
+  // An urgent query jumps the admission queue...
+  SubmitOptions urgent_options;
+  urgent_options.priority = 10;
+  QueryHandle urgent = engine.Submit(
+      "//market[name/text() = \"NASDAQ\"]/stock/code", urgent_options);
+
+  // ...a hopeless deadline is rejected without costing the cluster a byte...
+  SubmitOptions hopeless_options;
+  hopeless_options.deadline = std::chrono::milliseconds(0);
+  QueryHandle hopeless = engine.Submit("//client/name", hopeless_options);
+
+  // ...and a submission can be cancelled (here: while queued or mid-run;
+  // either way it reports kCancelled and concurrent runs are untouched).
+  QueryHandle abandoned = engine.Submit("//broker/name");
+  abandoned.Cancel();
+
+  // TryGet never blocks; Wait does. Both return the final QueryReport.
+  if (const QueryReport* peek = urgent.TryGet()) {
+    std::printf("urgent finished before we even looked: %zu answers\n",
+                peek->result.ok() ? peek->result->answers.size() : 0);
+  }
+
+  std::printf("reports:\n");
+  PrintReport("urgent", urgent.Wait());
+  PrintReport("brokers", brokers.Wait());
+  PrintReport("stocks", stocks.Wait());
+  PrintReport("hopeless", hopeless.Wait());
+  PrintReport("abandoned", abandoned.Wait());
+
+  // The session keeps serving after rejections and cancellations.
+  engine.Drain();
+  QueryHandle after = engine.Submit("//client/country");
+  PrintReport("after", after.Wait());
+
+  const bool deadline_rejected =
+      hopeless.Wait().result.status().code() == StatusCode::kDeadlineExceeded;
+  const bool cancel_reported =
+      abandoned.Wait().result.status().code() == StatusCode::kCancelled ||
+      abandoned.Wait().result.ok();  // cancel may lose the race to completion
+  if (!deadline_rejected || !cancel_reported || !urgent.Wait().result.ok()) {
+    std::fprintf(stderr, "unexpected session outcome\n");
+    return 1;
+  }
+  std::printf("session lifecycle behaved as documented.\n");
+  return 0;
+}

@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "not-implemented";
     case StatusCode::kNetworkError:
       return "network-error";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }

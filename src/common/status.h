@@ -26,6 +26,9 @@ enum class StatusCode : int8_t {
   kInternal = 6,          ///< Invariant violation inside the library.
   kNotImplemented = 7,    ///< Feature intentionally unsupported.
   kNetworkError = 8,      ///< Simulated network failure injection.
+  kCancelled = 9,         ///< The caller cancelled the operation.
+  kDeadlineExceeded = 10, ///< The operation's deadline passed before it ran
+                          ///< to completion.
 };
 
 /// Returns the canonical lower-case name of a status code ("parse-error" ...).
@@ -87,6 +90,12 @@ class Status {
   }
   static Status NetworkError(std::string msg) {
     return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool operator==(const Status& other) const {

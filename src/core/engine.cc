@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
 
-#include "runtime/query_scheduler.h"
+#include "common/logging.h"
+#include "runtime/run_control.h"
+#include "runtime/worker_pool.h"
 #include "xpath/query_plan.h"
 
 namespace paxml {
@@ -23,32 +28,209 @@ const char* AlgorithmName(DistributedAlgorithm a) {
 Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
                                               const CompiledQuery& query,
                                               const EngineOptions& options,
-                                              Transport* transport) {
+                                              Transport* transport,
+                                              RunControl* control) {
   switch (options.algorithm) {
     case DistributedAlgorithm::kPaX3:
-      return EvaluatePaX3(cluster, query, options.pax, transport);
+      return EvaluatePaX3(cluster, query, options.pax, transport, control);
     case DistributedAlgorithm::kPaX2:
-      return EvaluatePaX2(cluster, query, options.pax, transport);
+      return EvaluatePaX2(cluster, query, options.pax, transport, control);
     case DistributedAlgorithm::kNaiveCentralized:
-      return EvaluateNaiveCentralized(cluster, query, transport);
+      return EvaluateNaiveCentralized(cluster, query, transport, control);
   }
   return Status::InvalidArgument("unknown algorithm");
 }
 
+// ---- Session state ----------------------------------------------------------
+
+namespace internal {
+
+/// Shared between the Engine's driver and every QueryHandle to the query.
+struct QueryState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  QueryReport report;
+  RunControl control;
+  std::chrono::steady_clock::time_point submit_time;
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::QueryState;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The pool whose saturation should throttle admission: whatever pool the
+/// engine's own transport delivers rounds on (nullptr for sync backends).
+std::shared_ptr<WorkerPool> SchedulerPoolOf(Transport* transport) {
+  auto* pooled = dynamic_cast<PooledTransport*>(transport);
+  return pooled != nullptr ? pooled->pool() : nullptr;
+}
+
+}  // namespace
+
+// ---- QueryHandle ------------------------------------------------------------
+
+QueryHandle::QueryHandle() = default;
+QueryHandle::~QueryHandle() = default;
+QueryHandle::QueryHandle(const QueryHandle&) = default;
+QueryHandle& QueryHandle::operator=(const QueryHandle&) = default;
+QueryHandle::QueryHandle(QueryHandle&&) noexcept = default;
+QueryHandle& QueryHandle::operator=(QueryHandle&&) noexcept = default;
+
+QueryHandle::QueryHandle(std::shared_ptr<internal::QueryState> state)
+    : state_(std::move(state)) {}
+
+bool QueryHandle::valid() const { return state_ != nullptr; }
+
+const QueryReport& QueryHandle::Wait() const {
+  PAXML_CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->report;
+}
+
+const QueryReport* QueryHandle::TryGet() const {
+  PAXML_CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done ? &state_->report : nullptr;
+}
+
+bool QueryHandle::Cancel() const {
+  PAXML_CHECK(state_ != nullptr);
+  // Flag first, then observe: if the query completes concurrently the flag
+  // is a harmless no-op, and a false return guarantees it was already done.
+  state_->control.RequestCancel();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return !state_->done;
+}
+
+QueryReport QueryHandle::TakeReport() {
+  PAXML_CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return std::move(state_->report);
+}
+
+// ---- Engine -----------------------------------------------------------------
+
+Engine::Engine(const Cluster& cluster, EngineConfig config)
+    : cluster_(&cluster),
+      config_(std::move(config)),
+      transport_(MakeTransportFor(cluster, config_.transport)),
+      scheduler_(config_.depth, SchedulerPoolOf(transport_.get())) {}
+
+// The scheduler (declared last) is destroyed first, draining every
+// in-flight and queued job before the shared transport goes away.
+Engine::~Engine() = default;
+
+void Engine::Drain() { scheduler_.Wait(); }
+
+QueryHandle Engine::Submit(std::string query, SubmitOptions options) {
+  // Compilation interns into the document's SymbolTable, which is
+  // thread-safe; compiling inside the job overlaps it with other queries'
+  // evaluation.
+  std::shared_ptr<SymbolTable> symbols = cluster_->doc().symbols();
+  return SubmitJob(
+      [query = std::move(query),
+       symbols = std::move(symbols)]() -> Result<CompiledQuery> {
+        return CompileXPath(query, symbols);
+      },
+      std::move(options));
+}
+
+QueryHandle Engine::Submit(CompiledQuery query, SubmitOptions options) {
+  // The compile closure runs exactly once; hand the plan over instead of
+  // copying it.
+  return SubmitJob(
+      [query = std::move(query)]() mutable -> Result<CompiledQuery> {
+        return std::move(query);
+      },
+      std::move(options));
+}
+
+QueryHandle Engine::SubmitJob(std::function<Result<CompiledQuery>()> compile,
+                              SubmitOptions options) {
+  auto state = std::make_shared<QueryState>();
+  state->submit_time = std::chrono::steady_clock::now();
+  if (options.deadline.has_value()) {
+    state->control.set_deadline(state->submit_time + *options.deadline);
+  }
+
+  QueryScheduler::Job job;
+  job.priority = options.priority;
+  if (options.deadline.has_value()) {
+    job.deadline = state->submit_time + *options.deadline;
+  }
+  job.cancelled = [state] { return state->control.cancel_requested(); };
+  job.reject = [state](const Status& status) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->report.result = status;
+    state->report.latency_seconds = SecondsSince(state->submit_time);
+    state->report.queue_seconds = state->report.latency_seconds;
+    state->done = true;
+    state->cv.notify_all();
+  };
+  job.run = [this, state, compile = std::move(compile),
+             engine_options =
+                 options.engine_options.value_or(config_.defaults)] {
+    // Queue time ends at admission — before compilation, which is part of
+    // the evaluation's own wall time.
+    const double queue_seconds = SecondsSince(state->submit_time);
+    Execute(state, queue_seconds, compile(), engine_options);
+  };
+  scheduler_.Submit(std::move(job));
+  return QueryHandle(std::move(state));
+}
+
+void Engine::Execute(const std::shared_ptr<internal::QueryState>& state,
+                     double queue_seconds, Result<CompiledQuery> compiled,
+                     const EngineOptions& options) {
+  Result<DistributedResult> result =
+      compiled.ok()
+          ? EvaluateDistributed(*cluster_, *compiled, options,
+                                transport_.get(), &state->control)
+          : Result<DistributedResult>(compiled.status());
+
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->report.queue_seconds = queue_seconds;
+  state->report.latency_seconds = SecondsSince(state->submit_time);
+  // Aborted or failed runs report through the Coordinator's published
+  // snapshot (runtime/run_control.h); successful ones carry their stats in
+  // the result itself.
+  state->report.stats =
+      result.ok() ? result->stats : state->control.TakeStats();
+  state->report.rounds = state->report.stats.rounds;
+  state->report.result = std::move(result);
+  state->done = true;
+  state->cv.notify_all();
+}
+
+// ---- Synchronous wrappers ---------------------------------------------------
+
 Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
                                               const CompiledQuery& query,
                                               const EngineOptions& options) {
-  std::unique_ptr<Transport> transport =
-      MakeTransportFor(cluster, options.transport);
-  return EvaluateDistributed(cluster, query, options, transport.get());
+  Engine engine(cluster, EngineConfig{.depth = 1,
+                                      .transport = options.transport,
+                                      .defaults = options});
+  return engine.Submit(query).TakeReport().result;
 }
 
 Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
                                               std::string_view query,
                                               const EngineOptions& options) {
-  PAXML_ASSIGN_OR_RETURN(CompiledQuery compiled,
-                         CompileXPath(query, cluster.doc().symbols()));
-  return EvaluateDistributed(cluster, compiled, options);
+  Engine engine(cluster, EngineConfig{.depth = 1,
+                                      .transport = options.transport,
+                                      .defaults = options});
+  return engine.Submit(std::string(query)).TakeReport().result;
 }
 
 std::vector<Result<DistributedResult>> EvalBatch(
@@ -65,36 +247,28 @@ std::vector<Result<DistributedResult>> EvalBatch(
   }
   if (queries.empty()) return results;
 
-  // One message plane for the whole stream: every evaluation opens its own
-  // run on it, so mailboxes and accounting never cross queries.
-  std::unique_ptr<Transport> transport =
-      MakeTransportFor(cluster, options.transport);
-
-  // No point spawning more drivers than there are queries to drive.
-  QueryScheduler scheduler(std::min(stream_depth, queries.size()));
-  for (size_t i = 0; i < queries.size(); ++i) {
-    // Each job writes only its own slot; the vectors are pre-sized, so
-    // concurrent jobs never touch the same element.
-    scheduler.Submit([&, i] {
-      const auto start = std::chrono::steady_clock::now();
-      // Compilation interns into the document's SymbolTable, which is
-      // thread-safe; compiling inside the job overlaps it with other
-      // queries' evaluation.
-      auto compiled = CompileXPath(queries[i], cluster.doc().symbols());
-      if (!compiled.ok()) {
-        results[i] = compiled.status();
-      } else {
-        results[i] =
-            EvaluateDistributed(cluster, *compiled, options, transport.get());
-      }
-      if (latency_seconds != nullptr) {
-        (*latency_seconds)[i] = std::chrono::duration<double>(
-                                    std::chrono::steady_clock::now() - start)
-                                    .count();
-      }
-    });
+  // One session for the whole stream: every evaluation opens its own run
+  // on the engine's shared transport, so mailboxes and accounting never
+  // cross queries. No point in more depth than there are queries.
+  Engine engine(cluster,
+                EngineConfig{.depth = std::min(stream_depth, queries.size()),
+                             .transport = options.transport,
+                             .defaults = options});
+  std::vector<QueryHandle> handles;
+  handles.reserve(queries.size());
+  for (const std::string& q : queries) {
+    handles.push_back(engine.Submit(q));
   }
-  scheduler.Wait();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryReport report = handles[i].TakeReport();
+    results[i] = std::move(report.result);
+    if (latency_seconds != nullptr) {
+      // The evaluation's own wall time, excluding queue wait — comparable
+      // across stream depths.
+      (*latency_seconds)[i] =
+          report.latency_seconds - report.queue_seconds;
+    }
+  }
   return results;
 }
 

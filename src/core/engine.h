@@ -1,20 +1,46 @@
-// Unified entry point for distributed query evaluation.
+// The session-based evaluation engine: the public entry point for driving
+// distributed query evaluation.
 //
-// Typical use:
+// A long-lived Engine owns the binding to one Cluster — one shared
+// Transport (so every evaluation's bytes flow through one accounted message
+// plane) and one QueryScheduler (priority-aware admission control over the
+// cluster's WorkerPool). Submitting a query returns a QueryHandle to the
+// in-flight evaluation:
 //
 //   auto doc = std::make_shared<FragmentedDocument>(
 //       FragmentByCuts(tree, cuts).ValueOrDie());
 //   Cluster cluster(doc, /*site_count=*/4);
 //   cluster.PlaceRootAndSpread();
-//   auto query = CompileXPath("//broker[//stock/code = \"GOOG\"]/name",
-//                             tree.symbols()).ValueOrDie();
-//   auto result = EvaluateDistributed(
-//       cluster, query, {.algorithm = DistributedAlgorithm::kPaX2,
-//                        .pax = {.use_annotations = true}});
+//
+//   Engine engine(cluster, {.depth = 8});
+//   QueryHandle urgent = engine.Submit(
+//       "//broker[//stock/code = \"GOOG\"]/name",
+//       {.priority = 10, .deadline = std::chrono::milliseconds(50)});
+//   QueryHandle background = engine.Submit("//stock/code");
+//   background.Cancel();                    // cooperative, round-granular
+//   const QueryReport& report = urgent.Wait();
+//   if (report.result.ok()) Use(report.result->answers);
+//
+// Lifecycle of a submission (DESIGN.md §7): Submit enqueues the query and
+// never blocks; the scheduler admits queued work by descending priority
+// (ties in submission order) up to a depth that adapts to WorkerPool
+// saturation; each admitted evaluation runs as its own transport run, so
+// concurrent queries share the message plane without touching each other's
+// mailboxes or accounting (invariant 5, DESIGN.md §6). Cancel() and
+// deadline expiry reject queued work at admission and unwind running work
+// at the next Coordinator round boundary; either way the handle's
+// QueryReport carries a distinct error status (kCancelled /
+// kDeadlineExceeded) plus the RunStats the aborted run accumulated.
+//
+// The synchronous free functions below — EvaluateDistributed, EvalBatch —
+// are thin wrappers that submit to an Engine and wait; existing callers
+// stay source-compatible.
 
 #ifndef PAXML_CORE_ENGINE_H_
 #define PAXML_CORE_ENGINE_H_
 
+#include <chrono>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,8 +50,10 @@
 #include "core/naive.h"
 #include "core/pax2.h"
 #include "core/pax3.h"
+#include "runtime/query_scheduler.h"
 #include "runtime/transport.h"
 #include "sim/cluster.h"
+#include "xpath/query_plan.h"
 
 namespace paxml {
 
@@ -47,6 +75,161 @@ struct EngineOptions {
   std::optional<TransportKind> transport;
 };
 
+/// How an Engine is wired to its cluster.
+struct EngineConfig {
+  /// Maximum evaluations in flight (the stream depth); at least 1. The
+  /// effective depth shrinks while the shared WorkerPool is saturated
+  /// (see runtime/query_scheduler.h).
+  size_t depth = 8;
+
+  /// Message backend for the engine's shared transport. Unset: the
+  /// cluster's default (pooled iff parallel_execution).
+  std::optional<TransportKind> transport;
+
+  /// Per-query options used when a submission does not override them.
+  EngineOptions defaults;
+};
+
+/// Everything the engine reports about one submitted query.
+struct QueryReport {
+  /// The evaluation's outcome. Distinct error codes for the session
+  /// lifecycle: kCancelled (Cancel() before or during evaluation),
+  /// kDeadlineExceeded (deadline passed while queued or between rounds).
+  Result<DistributedResult> result = Status::Internal("query was not evaluated");
+
+  /// Submission to completion, wall clock — what a client observes,
+  /// including time spent queued.
+  double latency_seconds = 0;
+
+  /// Submission to admission (== latency_seconds for work rejected while
+  /// queued). latency - queue is the evaluation's own wall time.
+  double queue_seconds = 0;
+
+  /// Coordinator rounds the run executed (also for aborted runs).
+  int rounds = 0;
+
+  /// RunStats snapshot of the run. For successful queries this equals
+  /// result->stats; for cancelled / expired / failed ones it holds the
+  /// accounting of the partial run (zeroes if rejected while queued).
+  RunStats stats;
+};
+
+namespace internal {
+struct QueryState;
+}  // namespace internal
+
+/// Caller's end of one submitted query. Cheap to copy (shared state with
+/// the engine); all methods are thread-safe. A default-constructed handle
+/// is empty — using it is a programming error guarded by PAXML_CHECK.
+/// Handles outlive their Engine safely: the shared state survives, and the
+/// engine drains in-flight work before destruction.
+class QueryHandle {
+ public:
+  QueryHandle();
+  ~QueryHandle();
+  QueryHandle(const QueryHandle&);
+  QueryHandle& operator=(const QueryHandle&);
+  QueryHandle(QueryHandle&&) noexcept;
+  QueryHandle& operator=(QueryHandle&&) noexcept;
+
+  bool valid() const;
+
+  /// Blocks until the evaluation completes (or is rejected) and returns its
+  /// report. The reference stays valid while any handle to this query lives.
+  const QueryReport& Wait() const;
+
+  /// Non-blocking: the report if the query has completed, else nullptr.
+  const QueryReport* TryGet() const;
+
+  /// Requests cooperative cancellation: a queued query is rejected at
+  /// admission, a running one unwinds at its next round boundary (without
+  /// disturbing concurrent runs). Returns false if the query had already
+  /// completed, true if the request was registered in time to matter
+  /// (the evaluation may still complete if it was past its last round).
+  bool Cancel() const;
+
+  /// Moves the report out (e.g. to avoid copying a large answer set).
+  /// Blocks like Wait(); the handle's report is left moved-from. Requires
+  /// exclusive access to the query: no other thread may concurrently read
+  /// the report through Wait()/TryGet() references on another copy of the
+  /// handle (those are read without the lock once settled).
+  QueryReport TakeReport();
+
+ private:
+  friend class Engine;
+  explicit QueryHandle(std::shared_ptr<internal::QueryState> state);
+
+  std::shared_ptr<internal::QueryState> state_;
+};
+
+/// What a query submission may override (see EngineConfig::defaults).
+struct SubmitOptions {
+  /// Higher-priority submissions are admitted first; ties run in
+  /// submission order. In-flight evaluations are never preempted.
+  int priority = 0;
+
+  /// Relative deadline, measured from submission. Expiry rejects the query
+  /// while queued and unwinds it at the next round boundary while running;
+  /// either way the report carries kDeadlineExceeded.
+  std::optional<std::chrono::steady_clock::duration> deadline;
+
+  /// Per-query engine options (algorithm, pax options); unset uses the
+  /// engine's defaults. The `transport` field is ignored here: every
+  /// submission runs over the engine's shared transport, chosen at
+  /// EngineConfig time.
+  std::optional<EngineOptions> engine_options;
+};
+
+/// A long-lived evaluation session over one cluster: one shared transport,
+/// one scheduler, any number of submitted queries. Thread-safe: any thread
+/// may Submit or use handles concurrently. Destruction drains in-flight
+/// and queued work first.
+class Engine {
+ public:
+  explicit Engine(const Cluster& cluster, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueues a query for evaluation; never blocks. The query text is
+  /// compiled on the driver thread, overlapping other queries' evaluation;
+  /// compile errors surface in the handle's report.
+  QueryHandle Submit(std::string query, SubmitOptions options = {});
+
+  /// Same, for a pre-compiled query.
+  QueryHandle Submit(CompiledQuery query, SubmitOptions options = {});
+
+  /// Blocks until every query submitted so far has completed.
+  void Drain();
+
+  const Cluster& cluster() const { return *cluster_; }
+
+  /// Read-only view of the engine's message plane (open_run_count() etc.).
+  const Transport& transport() const { return *transport_; }
+
+  /// Maximum evaluations in flight.
+  size_t depth() const { return scheduler_.depth(); }
+
+  /// Current adaptive admission limit (<= depth()). Introspection.
+  size_t admission_limit() { return scheduler_.admission_limit(); }
+
+  /// Submissions not yet admitted or rejected. Introspection.
+  size_t queued_count() { return scheduler_.queued_count(); }
+
+ private:
+  void Execute(const std::shared_ptr<internal::QueryState>& state,
+               double queue_seconds, Result<CompiledQuery> compiled,
+               const EngineOptions& options);
+  QueryHandle SubmitJob(std::function<Result<CompiledQuery>()> compile,
+                        SubmitOptions options);
+
+  const Cluster* cluster_;
+  EngineConfig config_;
+  std::unique_ptr<Transport> transport_;
+  QueryScheduler scheduler_;
+};
+
 /// Dispatches to the selected algorithm. All algorithms return identical
 /// answer sets (tested property); they differ in visits, traffic and time.
 /// A pooled backend shares the cluster's WorkerPool, so a stream of calls
@@ -62,22 +245,24 @@ Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
 
 /// Evaluates over an explicit transport, which may be carrying other
 /// concurrent evaluations — each call opens (and closes) its own run on it.
-/// Thread-safe for concurrent calls on one transport; that is how EvalBatch
-/// shares one message plane across a query stream.
+/// Thread-safe for concurrent calls on one transport; this is the primitive
+/// the Engine drives. A non-null `control` makes the run cancellable at
+/// round boundaries (runtime/run_control.h).
 Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
                                               const CompiledQuery& query,
                                               const EngineOptions& options,
-                                              Transport* transport);
+                                              Transport* transport,
+                                              RunControl* control = nullptr);
 
 /// Evaluates a stream of queries concurrently: up to `stream_depth`
-/// evaluations in flight at a time (a QueryScheduler), all sharing one
-/// transport and — for the pooled backend — the cluster's WorkerPool.
-/// Results are positionally aligned with `queries`; a query that fails to
-/// compile or evaluate yields its error without disturbing the others.
-/// Answers, visit counts and per-edge byte totals are identical to running
-/// the same queries sequentially (tested property). If `latency_seconds`
-/// is non-null it receives each query's wall-clock latency, aligned with
-/// `queries`.
+/// evaluations in flight at a time over one Engine (one transport and —
+/// for the pooled backend — the cluster's WorkerPool). Results are
+/// positionally aligned with `queries`; a query that fails to compile or
+/// evaluate yields its error without disturbing the others. Answers, visit
+/// counts and per-edge byte totals are identical to running the same
+/// queries sequentially (tested property). If `latency_seconds` is
+/// non-null it receives each query's evaluation wall time (excluding queue
+/// wait), aligned with `queries`.
 std::vector<Result<DistributedResult>> EvalBatch(
     const Cluster& cluster, const std::vector<std::string>& queries,
     const EngineOptions& options = {}, size_t stream_depth = 8,

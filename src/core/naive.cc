@@ -48,12 +48,13 @@ class NaiveProgram : public MessageHandlers {
 
 Result<DistributedResult> EvaluateNaiveCentralized(const Cluster& cluster,
                                                    const CompiledQuery& query,
-                                                   Transport* transport) {
+                                                   Transport* transport,
+                                                   RunControl* control) {
   const FragmentedDocument& doc = cluster.doc();
   std::unique_ptr<Transport> owned_transport;
   transport = EnsureTransport(transport, cluster, &owned_transport);
   NaiveProgram program(&doc);
-  Coordinator coord(&cluster, transport, &program);
+  Coordinator coord(&cluster, transport, &program, control);
 
   std::vector<SiteId> sites = coord.AllSites();
   for (SiteId s : sites) {

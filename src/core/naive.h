@@ -17,6 +17,7 @@
 namespace paxml {
 
 class Transport;
+class RunControl;
 
 /// Ships all fragments to the query site, assembles, evaluates.
 /// Answers are reported against the assembled tree but mapped back to
@@ -24,10 +25,11 @@ class Transport;
 /// `transport` selects the message backend; nullptr uses the cluster's
 /// default (a pooled backend shares the cluster's WorkerPool). The
 /// transport may be carrying other concurrent evaluations — this call
-/// opens and closes its own run on it.
-Result<DistributedResult> EvaluateNaiveCentralized(const Cluster& cluster,
-                                                   const CompiledQuery& query,
-                                                   Transport* transport = nullptr);
+/// opens and closes its own run on it. A non-null `control` makes the run
+/// cancellable at round boundaries.
+Result<DistributedResult> EvaluateNaiveCentralized(
+    const Cluster& cluster, const CompiledQuery& query,
+    Transport* transport = nullptr, RunControl* control = nullptr);
 
 }  // namespace paxml
 

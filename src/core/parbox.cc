@@ -49,7 +49,7 @@ class ParBoXProgram : public MessageHandlers {
 
 Result<ParBoXResult> EvaluateParBoX(const Cluster& cluster,
                                     const CompiledQuery& query,
-                                    Transport* transport) {
+                                    Transport* transport, RunControl* control) {
   if (!query.IsBooleanQuery()) {
     return Status::InvalidArgument(
         "ParBoX evaluates Boolean queries; use PaX3/PaX2 for data-selecting "
@@ -59,7 +59,7 @@ Result<ParBoXResult> EvaluateParBoX(const Cluster& cluster,
   std::unique_ptr<Transport> owned_transport;
   transport = EnsureTransport(transport, cluster, &owned_transport);
   ParBoXProgram program(&doc, &query);
-  Coordinator coord(&cluster, transport, &program);
+  Coordinator coord(&cluster, transport, &program, control);
 
   std::vector<SiteId> sites = coord.AllSites();
   // The query itself is shipped to every participating site: the O(|Q||FT|)

@@ -21,6 +21,7 @@
 namespace paxml {
 
 class Transport;
+class RunControl;
 
 struct ParBoXResult {
   bool value = false;
@@ -33,9 +34,11 @@ struct ParBoXResult {
 /// the message backend; nullptr uses the cluster's default (a pooled
 /// backend shares the cluster's WorkerPool). The transport may be carrying
 /// other concurrent evaluations — this call opens and closes its own run.
+/// A non-null `control` makes the run cancellable at round boundaries.
 Result<ParBoXResult> EvaluateParBoX(const Cluster& cluster,
                                     const CompiledQuery& query,
-                                    Transport* transport = nullptr);
+                                    Transport* transport = nullptr,
+                                    RunControl* control = nullptr);
 
 }  // namespace paxml
 

@@ -397,10 +397,11 @@ class Pax2Program : public MessageHandlers {
 Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
                                        const CompiledQuery& query,
                                        const PaxOptions& options,
-                                       Transport* transport) {
+                                       Transport* transport,
+                                       RunControl* control) {
   if (query.IsBooleanQuery()) {
     PAXML_ASSIGN_OR_RETURN(ParBoXResult r,
-                           EvaluateParBoX(cluster, query, transport));
+                           EvaluateParBoX(cluster, query, transport, control));
     DistributedResult out;
     if (r.value) {
       out.answers.push_back(
@@ -439,7 +440,7 @@ Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
       options.use_annotations && !query.has_qualifiers();
 
   Pax2Program program(cluster, query, options, &prune, concrete_init);
-  Coordinator coord(&cluster, transport, &program);
+  Coordinator coord(&cluster, transport, &program, control);
   FragmentTreeUnifier& unifier = program.unifier();
 
   std::vector<SiteId> stage1_sites = coord.SitesOf(stage1_frags);

@@ -29,9 +29,10 @@ struct Pax3FragmentState {
 /// Boolean queries: ParBoX, then wrap the truth value as {root} / {}.
 Result<DistributedResult> EvaluateBooleanViaParBoX(const Cluster& cluster,
                                                    const CompiledQuery& query,
-                                                   Transport* transport) {
+                                                   Transport* transport,
+                                                   RunControl* control) {
   PAXML_ASSIGN_OR_RETURN(ParBoXResult r,
-                         EvaluateParBoX(cluster, query, transport));
+                         EvaluateParBoX(cluster, query, transport, control));
   DistributedResult out;
   if (r.value) {
     out.answers.push_back(GlobalNodeId{0, cluster.doc().fragment(0).tree.root()});
@@ -258,9 +259,10 @@ class Pax3Program : public MessageHandlers {
 Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
                                        const CompiledQuery& query,
                                        const PaxOptions& options,
-                                       Transport* transport) {
+                                       Transport* transport,
+                                       RunControl* control) {
   if (query.IsBooleanQuery()) {
-    return EvaluateBooleanViaParBoX(cluster, query, transport);
+    return EvaluateBooleanViaParBoX(cluster, query, transport, control);
   }
 
   const FragmentedDocument& doc = cluster.doc();
@@ -283,7 +285,7 @@ Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
       options.use_annotations && !query.has_qualifiers();
 
   Pax3Program program(cluster, query, options, &prune, concrete_init);
-  Coordinator coord(&cluster, transport, &program);
+  Coordinator coord(&cluster, transport, &program, control);
   FragmentTreeUnifier& unifier = program.unifier();
 
   // Sites learn the query on their first visit.

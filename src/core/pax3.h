@@ -37,6 +37,7 @@
 namespace paxml {
 
 class Transport;
+class RunControl;
 
 struct PaxOptions {
   /// Use the XPath-annotated fragment tree (Section 5): prune irrelevant
@@ -52,11 +53,13 @@ struct PaxOptions {
 /// finish in one visit. `transport` selects the message backend; nullptr
 /// uses the cluster's default (a pooled backend shares the cluster's
 /// WorkerPool). The transport may be carrying other concurrent evaluations
-/// — this call opens and closes its own run on it.
+/// — this call opens and closes its own run on it. A non-null `control`
+/// makes the run cancellable at round boundaries.
 Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
                                        const CompiledQuery& query,
                                        const PaxOptions& options = {},
-                                       Transport* transport = nullptr);
+                                       Transport* transport = nullptr,
+                                       RunControl* control = nullptr);
 
 }  // namespace paxml
 

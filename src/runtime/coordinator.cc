@@ -11,8 +11,8 @@
 namespace paxml {
 
 Coordinator::Coordinator(const Cluster* cluster, Transport* transport,
-                         MessageHandlers* handlers)
-    : cluster_(cluster), transport_(transport) {
+                         MessageHandlers* handlers, RunControl* control)
+    : cluster_(cluster), transport_(transport), control_(control) {
   stats_.per_site.resize(cluster->site_count());
   run_ = transport_->OpenRun(cluster, &stats_);
   sites_.reserve(cluster->site_count());
@@ -22,7 +22,12 @@ Coordinator::Coordinator(const Cluster* cluster, Transport* transport,
   }
 }
 
-Coordinator::~Coordinator() { transport_->CloseRun(run_); }
+Coordinator::~Coordinator() {
+  transport_->CloseRun(run_);
+  // Aborted runs (cancel, deadline, protocol error) never reach TakeStats;
+  // the snapshot lets the session layer report the rounds they did run.
+  if (control_ != nullptr) control_->PublishStats(stats_);
+}
 
 SiteId Coordinator::query_site() const { return cluster_->query_site(); }
 
@@ -35,6 +40,10 @@ void Coordinator::Post(Envelope env) {
 Status Coordinator::RunRound(const std::string& label,
                              const std::vector<SiteId>& sites) {
   (void)label;
+  // The cancellation boundary: a cancelled or deadline-expired run refuses
+  // to start another round and unwinds via the ordinary Status path. Mail
+  // already posted for this round is discarded by CloseRun.
+  if (control_ != nullptr) PAXML_RETURN_NOT_OK(control_->Check());
   // A stage pruned down to no participants is not a round: nothing is
   // visited, nothing can reply. Counting it inflated reported round counts.
   if (sites.empty()) return Status::OK();
@@ -65,9 +74,12 @@ Status Coordinator::RunRound(const std::string& label,
   stats_.parallel_seconds += round_max;
 
   PAXML_RETURN_NOT_OK(round_status);
-  Status status = DispatchCoordinatorMail();
+  PAXML_RETURN_NOT_OK(DispatchCoordinatorMail());
+  // Don't sleep out a modeled network delay for a run that was cancelled
+  // while the round was in flight: report promptly instead.
+  if (control_ != nullptr) PAXML_RETURN_NOT_OK(control_->Check());
   RealizeNetworkDelay();
-  return status;
+  return Status::OK();
 }
 
 Status Coordinator::DispatchCoordinatorMail() {

@@ -12,6 +12,12 @@
 // any number of Coordinators may drive concurrent evaluations over one
 // shared transport (and one shared WorkerPool) without cross-talk — the
 // multi-query path (runtime/query_scheduler.h) depends on exactly this.
+//
+// An optional RunControl makes the evaluation cancellable: RunRound checks
+// it at every round boundary (and before sleeping out a simulated network
+// delay), so Cancel() or a deadline expiry unwinds through the ordinary
+// Status path and the destructor's CloseRun — concurrent runs never notice
+// (DESIGN.md §7).
 
 #ifndef PAXML_RUNTIME_COORDINATOR_H_
 #define PAXML_RUNTIME_COORDINATOR_H_
@@ -20,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/run_control.h"
 #include "runtime/site_runtime.h"
 #include "runtime/transport.h"
 #include "sim/stats.h"
@@ -32,12 +39,14 @@ class Coordinator {
  public:
   /// Opens a fresh run on `transport` accounting into this coordinator's
   /// RunStats, and builds one SiteRuntime per site dispatching into
-  /// `handlers`.
+  /// `handlers`. A non-null `control` makes the run cancellable: RunRound
+  /// returns its Check() status at round boundaries.
   Coordinator(const Cluster* cluster, Transport* transport,
-              MessageHandlers* handlers);
+              MessageHandlers* handlers, RunControl* control = nullptr);
 
   /// Closes the run; any mail an abandoned protocol left behind is
-  /// discarded with it.
+  /// discarded with it. Publishes the final RunStats snapshot to the
+  /// RunControl (if any), so aborted runs still report their accounting.
   ~Coordinator();
 
   Coordinator(const Coordinator&) = delete;
@@ -89,6 +98,7 @@ class Coordinator {
 
   const Cluster* cluster_;
   Transport* transport_;
+  RunControl* control_ = nullptr;
   RunId run_ = kNullRun;
   std::vector<SiteRuntime> sites_;
   RunStats stats_;

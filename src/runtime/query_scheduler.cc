@@ -1,10 +1,14 @@
 #include "runtime/query_scheduler.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "runtime/worker_pool.h"
 
 namespace paxml {
 
-QueryScheduler::QueryScheduler(size_t depth) {
+QueryScheduler::QueryScheduler(size_t depth, std::shared_ptr<WorkerPool> pool)
+    : pool_(std::move(pool)) {
   depth = std::max<size_t>(depth, 1);
   drivers_.reserve(depth);
   for (size_t i = 0; i < depth; ++i) {
@@ -21,12 +25,18 @@ QueryScheduler::~QueryScheduler() {
   for (std::thread& t : drivers_) t.join();
 }
 
-void QueryScheduler::Submit(std::function<void()> job) {
+void QueryScheduler::Submit(Job job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(QueuedJob{std::move(job), next_seq_++});
   }
   work_cv_.notify_one();
+}
+
+void QueryScheduler::Submit(std::function<void()> job) {
+  Job j;
+  j.run = std::move(job);
+  Submit(std::move(j));
 }
 
 void QueryScheduler::Wait() {
@@ -34,23 +44,125 @@ void QueryScheduler::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
 }
 
+size_t QueryScheduler::admission_limit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AdmissionLimitLocked();
+}
+
+size_t QueryScheduler::queued_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t QueryScheduler::AdmissionLimitLocked() const {
+  const size_t depth = drivers_.size();
+  if (pool_ == nullptr) return depth;
+  // Saturation signal: round batches sitting in the pool with unstarted
+  // tasks. Up to one queued batch per worker is healthy pipelining; beyond
+  // that, every extra batch sheds one admission slot (floor 1, so the
+  // stream always drains and the backlog bound stays proportional to the
+  // worker count).
+  const size_t backlog = pool_->queued_batch_count();
+  const size_t workers = pool_->worker_count();
+  if (backlog <= workers) return depth;
+  const size_t over = backlog - workers;
+  return over >= depth ? 1 : std::max<size_t>(1, depth - over);
+}
+
+size_t QueryScheduler::BestJobIndexLocked() const {
+  size_t best = queue_.size();
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (best == queue_.size() ||
+        queue_[i].job.priority > queue_[best].job.priority ||
+        (queue_[i].job.priority == queue_[best].job.priority &&
+         queue_[i].seq < queue_[best].seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
 void QueryScheduler::DriverLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    std::function<void()> job;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, queue fully drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      ++running_;
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping, queue fully drained
+
+    // Reap dead-on-arrival work first, whatever its priority: an expired
+    // or cancelled queued job costs nothing to reject and must not wait
+    // behind higher-priority work for a driver to select it — its client
+    // is blocked in Wait() and deserves the verdict now.
+    std::vector<QueuedJob> rejects;
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < queue_.size();) {
+      const Job& job = queue_[i].job;
+      if ((job.deadline.has_value() && now >= *job.deadline) ||
+          (job.cancelled && job.cancelled())) {
+        rejects.push_back(std::move(queue_[i]));
+        queue_[i] = std::move(queue_.back());
+        queue_.pop_back();
+      } else {
+        ++i;
+      }
     }
-    job();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --running_;
+    if (!rejects.empty()) {
+      // The reject callbacks run unlocked but must count as in-flight
+      // work: otherwise Wait() could observe an empty queue and return
+      // before a rejected job's callback has delivered its verdict.
+      running_ += rejects.size();
+      lock.unlock();
+      for (QueuedJob& dead : rejects) {
+        if (!dead.job.reject) continue;
+        if (dead.job.deadline.has_value() && now >= *dead.job.deadline) {
+          dead.job.reject(
+              Status::DeadlineExceeded("deadline expired while queued"));
+        } else {
+          dead.job.reject(Status::Cancelled("cancelled while queued"));
+        }
+      }
+      lock.lock();
+      running_ -= rejects.size();
+      work_cv_.notify_all();
       if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+      continue;  // re-examine the queue from scratch
     }
+
+    if (running_ >= AdmissionLimitLocked()) {
+      // Throttled by pool saturation. The backlog drains without any
+      // scheduler activity (workers pull tasks on their own), so poll on a
+      // short timer rather than waiting for a notification that may never
+      // describe the pool's state.
+      work_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      continue;
+    }
+
+    const size_t idx = BestJobIndexLocked();
+    QueuedJob picked = std::move(queue_[idx]);
+    // Selection scans, so queue order is free: swap-pop instead of erase.
+    queue_[idx] = std::move(queue_.back());
+    queue_.pop_back();
+    ++running_;
+    lock.unlock();
+
+    Status admit = Status::OK();
+    if (picked.job.deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *picked.job.deadline) {
+      admit = Status::DeadlineExceeded("deadline expired while queued");
+    } else if (picked.job.cancelled && picked.job.cancelled()) {
+      admit = Status::Cancelled("cancelled while queued");
+    }
+    if (admit.ok()) {
+      if (picked.job.run) picked.job.run();
+    } else if (picked.job.reject) {
+      picked.job.reject(admit);
+    }
+
+    lock.lock();
+    --running_;
+    // A slot freed: other drivers throttled on the admission limit may
+    // proceed, and Wait() may have reached quiescence.
+    work_cv_.notify_all();
+    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
   }
 }
 

@@ -1,0 +1,91 @@
+// RunControl: the cooperative cancellation and deadline token of one query
+// evaluation.
+//
+// The session API (core/engine.h) hands every submitted query a RunControl
+// and threads it down to the evaluation's Coordinator. Cancellation is
+// cooperative at *round boundaries*: the Coordinator calls Check() before
+// starting a round (and before sleeping out a simulated network delay), so
+// a cancelled or deadline-expired evaluation unwinds through the normal
+// Status path — the Coordinator destructor closes its transport run,
+// discarding whatever mail the abandoned protocol left behind, exactly as
+// any error path does. Concurrent runs on the same transport are untouched
+// (invariant 5, DESIGN.md §6); the cancellation and deadline tests pin this.
+//
+// The token also carries the run's final RunStats snapshot: the Coordinator
+// publishes its stats on destruction, so an aborted evaluation still
+// reports the rounds it ran and the bytes it moved (a successful one
+// reports them through its DistributedResult instead).
+
+#ifndef PAXML_RUNTIME_RUN_CONTROL_H_
+#define PAXML_RUNTIME_RUN_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+
+#include "common/status.h"
+#include "sim/stats.h"
+
+namespace paxml {
+
+class RunControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RunControl() = default;
+  RunControl(const RunControl&) = delete;
+  RunControl& operator=(const RunControl&) = delete;
+
+  /// Requests cooperative cancellation. Safe from any thread, any number of
+  /// times; the evaluation observes it at its next round boundary (or while
+  /// still queued, at admission).
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  /// Sets the absolute deadline. Call before the evaluation starts (the
+  /// engine does this at submission); not synchronized against Check().
+  void set_deadline(Clock::time_point deadline) { deadline_ = deadline; }
+
+  const std::optional<Clock::time_point>& deadline() const {
+    return deadline_;
+  }
+
+  /// OK while the run may proceed; Cancelled / DeadlineExceeded once it
+  /// must unwind. The Coordinator calls this at round boundaries.
+  Status Check() const {
+    if (cancel_requested()) {
+      return Status::Cancelled("evaluation cancelled");
+    }
+    if (deadline_.has_value() && Clock::now() >= *deadline_) {
+      return Status::DeadlineExceeded("evaluation deadline expired");
+    }
+    return Status::OK();
+  }
+
+  /// Final accounting of the (possibly aborted) run; the Coordinator
+  /// publishes on destruction. For successful runs the stats moved into the
+  /// DistributedResult take precedence over this snapshot.
+  void PublishStats(const RunStats& stats) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = stats;
+  }
+
+  RunStats TakeStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(stats_);
+  }
+
+ private:
+  std::atomic<bool> cancel_{false};
+  std::optional<Clock::time_point> deadline_;
+  std::mutex mu_;  // guards stats_
+  RunStats stats_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_RUNTIME_RUN_CONTROL_H_

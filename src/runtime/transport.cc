@@ -40,12 +40,10 @@ Transport::RunBinding& Transport::BindingLocked(RunId run) {
   return it->second;
 }
 
-RunId Transport::OpenRunLocked(const Cluster* cluster, RunStats* stats) {
-  const RunId run = next_run_id_++;
-  RunBinding& binding = runs_[run];
-  binding.stats = stats;
-  binding.mailboxes.assign(cluster->site_count(), {});
-  return run;
+const Transport::RunBinding& Transport::BindingLocked(RunId run) const {
+  auto it = runs_.find(run);
+  PAXML_CHECK(it != runs_.end());  // envelope or round for a run not open
+  return it->second;
 }
 
 bool Transport::HasPendingMailLocked(const RunBinding& binding) {
@@ -57,7 +55,11 @@ bool Transport::HasPendingMailLocked(const RunBinding& binding) {
 
 RunId Transport::OpenRun(const Cluster* cluster, RunStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
-  return OpenRunLocked(cluster, stats);
+  const RunId run = next_run_id_++;
+  RunBinding& binding = runs_[run];
+  binding.stats = stats;
+  binding.mailboxes.assign(cluster->site_count(), {});
+  return run;
 }
 
 void Transport::CloseRun(RunId run) {
@@ -65,22 +67,6 @@ void Transport::CloseRun(RunId run) {
   auto it = runs_.find(run);
   PAXML_CHECK(it != runs_.end());
   runs_.erase(it);
-  if (begin_run_ == run) begin_run_ = kNullRun;
-}
-
-RunId Transport::Begin(const Cluster* cluster, RunStats* stats) {
-  // One critical section end to end: the pending-mail check, the close and
-  // the rebind must be atomic against concurrent Sends and CloseRuns.
-  std::lock_guard<std::mutex> lock(mu_);
-  if (begin_run_ != kNullRun) {
-    auto it = runs_.find(begin_run_);
-    PAXML_CHECK(it != runs_.end());
-    // Rebinding while mail is pending would clobber an in-flight run.
-    PAXML_CHECK(!HasPendingMailLocked(it->second));
-    runs_.erase(it);
-  }
-  begin_run_ = OpenRunLocked(cluster, stats);
-  return begin_run_;
 }
 
 void Transport::Send(Envelope env) {
@@ -131,19 +117,19 @@ std::vector<Envelope> Transport::Drain(RunId run, SiteId site) {
   return mail;
 }
 
-bool Transport::HasMail(RunId run, SiteId site) {
+bool Transport::HasMail(RunId run, SiteId site) const {
   std::lock_guard<std::mutex> lock(mu_);
-  RunBinding& binding = BindingLocked(run);
+  const RunBinding& binding = BindingLocked(run);
   PAXML_CHECK_LT(static_cast<size_t>(site), binding.mailboxes.size());
   return !binding.mailboxes[static_cast<size_t>(site)].empty();
 }
 
-bool Transport::HasPendingMail(RunId run) {
+bool Transport::HasPendingMail(RunId run) const {
   std::lock_guard<std::mutex> lock(mu_);
   return HasPendingMailLocked(BindingLocked(run));
 }
 
-size_t Transport::open_run_count() {
+size_t Transport::open_run_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return runs_.size();
 }

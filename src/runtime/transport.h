@@ -15,10 +15,7 @@
 // evaluation opens a *run* (OpenRun) and gets a RunId that namespaces its
 // mailboxes and its RunStats; every envelope is stamped with the run it
 // belongs to, so concurrent evaluations never see each other's mail or
-// bleed into each other's accounting (invariant 5, DESIGN.md §6). The old
-// single-run Begin() silently clobbered the mailboxes and stats of an
-// in-flight evaluation; it survives only as a checked single-run
-// convenience for transport-level tests.
+// bleed into each other's accounting (invariant 5, DESIGN.md §6).
 //
 // Two backends deliver mail:
 //   * SyncTransport    — sequential, deterministic; the reference semantics.
@@ -142,13 +139,6 @@ class Transport {
   /// run; its RunStats is not touched after this returns.
   void CloseRun(RunId run);
 
-  /// Single-run convenience for transport-level tests and tools: closes
-  /// the previous Begin() run (if any) and opens a new one. PAXML_CHECKs
-  /// that the previous run has no pending mail — rebinding an in-flight
-  /// run used to silently clobber its mailboxes and stats. Evaluations
-  /// should use OpenRun/CloseRun (the Coordinator does).
-  RunId Begin(const Cluster* cluster, RunStats* stats);
-
   /// THE choke point: accounts the envelope (unless it is control-plane or
   /// local — delivery between co-located fragments is free, matching the
   /// deployment reality that S_Q holds the root fragment) and enqueues it
@@ -158,13 +148,15 @@ class Transport {
   /// Removes and returns `site`'s pending mail in `run`.
   std::vector<Envelope> Drain(RunId run, SiteId site);
 
-  bool HasMail(RunId run, SiteId site);
+  /// The query methods are const so a read-only view of the transport
+  /// (e.g. Engine::transport()) can introspect it.
+  bool HasMail(RunId run, SiteId site) const;
 
   /// True if any site of `run` holds undelivered mail.
-  bool HasPendingMail(RunId run);
+  bool HasPendingMail(RunId run) const;
 
   /// Number of currently open runs.
-  size_t open_run_count();
+  size_t open_run_count() const;
 
   /// Runs one delivery round for `run`: drains the mailbox of every site in
   /// `sites` (snapshot up front, so mail sent *during* the round queues for
@@ -191,14 +183,14 @@ class Transport {
 
   /// Must hold mu_. PAXML_CHECKs that `run` is open.
   RunBinding& BindingLocked(RunId run);
+  const RunBinding& BindingLocked(RunId run) const;
 
-  /// Must hold mu_.
-  RunId OpenRunLocked(const Cluster* cluster, RunStats* stats);
   static bool HasPendingMailLocked(const RunBinding& binding);
 
-  std::mutex mu_;  // guards runs_ and every binding's mailboxes + stats
+  /// mutable so the const query methods can lock. Guards runs_ and every
+  /// binding's mailboxes + stats.
+  mutable std::mutex mu_;
   RunId next_run_id_ = 1;
-  RunId begin_run_ = kNullRun;
   std::map<RunId, RunBinding> runs_;
 };
 

@@ -1,0 +1,306 @@
+// Tests for the session-based engine API (core/engine.h): Engine::Submit +
+// QueryHandle::{Wait,TryGet,Cancel} on both transport backends, equivalence
+// with sequential evaluation, priority-ordered admission, cancellation
+// (queued and mid-run) and deadline expiry — each yielding its distinct
+// error status while concurrent runs' answers and accounting stay
+// byte-for-byte untouched (invariant 5, DESIGN.md §6/§7).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "fragment/fragmenter.h"
+#include "test_util.h"
+
+namespace paxml {
+namespace {
+
+using std::chrono::milliseconds;
+
+class EngineTest : public ::testing::TestWithParam<TransportKind> {
+ protected:
+  void SetUp() override {
+    Tree t = testing::BuildClienteleTree();
+    auto doc = FragmentByCuts(t, testing::ClienteleCuts(t));
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
+    cluster_ = std::make_unique<Cluster>(doc_, 4);
+    cluster_->PlaceRootAndSpread();
+
+    // A second cluster over the same document whose rounds sleep out a
+    // modeled network delay: slow enough that a test can cancel or expire
+    // an evaluation before it finishes, without any algorithm changes.
+    ClusterOptions slow;
+    NetworkCostModel net;
+    net.latency_seconds = 0.05;  // 50 ms per message: rounds take seconds
+    slow.simulated_network = net;
+    slow_cluster_ = std::make_unique<Cluster>(doc_, 4, slow);
+    slow_cluster_->PlaceRootAndSpread();
+  }
+
+  EngineConfig Config(size_t depth) const {
+    EngineConfig config;
+    config.depth = depth;
+    config.transport = GetParam();
+    return config;
+  }
+
+  std::shared_ptr<FragmentedDocument> doc_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Cluster> slow_cluster_;
+};
+
+const char* kQueryA = "clientele/client/broker/name";
+const char* kQueryB = "//stock/code";
+const char* kQueryC = "//market[name/text() = \"NASDAQ\"]/stock/code";
+
+// ---- Submit / Wait / TryGet -------------------------------------------------
+
+// The acceptance property: concurrent submissions over one Engine produce
+// answers, visit counts and per-edge byte totals identical to sequential
+// evaluation.
+TEST_P(EngineTest, ConcurrentSubmissionsMatchSequential) {
+  std::vector<std::string> stream;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const char* q : {kQueryA, kQueryB, kQueryC}) stream.push_back(q);
+  }
+
+  EngineOptions options;
+  options.transport = GetParam();
+  std::vector<Result<DistributedResult>> sequential;
+  for (const auto& q : stream) {
+    sequential.push_back(EvaluateDistributed(*cluster_, q, options));
+  }
+
+  Engine engine(*cluster_, Config(4));
+  std::vector<QueryHandle> handles;
+  for (const auto& q : stream) handles.push_back(engine.Submit(q));
+
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const QueryReport& report = handles[i].Wait();
+    ASSERT_TRUE(sequential[i].ok()) << stream[i];
+    ASSERT_TRUE(report.result.ok()) << stream[i] << ": "
+                                    << report.result.status();
+    EXPECT_EQ(report.result->answers, sequential[i]->answers) << stream[i];
+    EXPECT_EQ(report.result->stats.edges, sequential[i]->stats.edges)
+        << stream[i];
+    EXPECT_EQ(report.result->stats.total_bytes,
+              sequential[i]->stats.total_bytes)
+        << stream[i];
+    EXPECT_EQ(report.result->stats.rounds, sequential[i]->stats.rounds)
+        << stream[i];
+    // The report mirrors the run: rounds and stats snapshot match.
+    EXPECT_EQ(report.rounds, report.result->stats.rounds);
+    EXPECT_EQ(report.stats.total_bytes, report.result->stats.total_bytes);
+    EXPECT_GE(report.latency_seconds, report.queue_seconds);
+  }
+  // Every run was closed on its way out.
+  EXPECT_EQ(engine.transport().open_run_count(), 0u);
+}
+
+TEST_P(EngineTest, TryGetIsNullUntilCompletion) {
+  Engine engine(*cluster_, Config(1));
+  QueryHandle handle = engine.Submit(kQueryA);
+  // Poll until done; TryGet never blocks.
+  const QueryReport* report = handle.TryGet();
+  while (report == nullptr) {
+    std::this_thread::sleep_for(milliseconds(1));
+    report = handle.TryGet();
+  }
+  EXPECT_TRUE(report->result.ok()) << report->result.status();
+  EXPECT_EQ(report, &handle.Wait());  // same report, now settled
+}
+
+TEST_P(EngineTest, CompileErrorsSurfaceInTheReport) {
+  Engine engine(*cluster_, Config(2));
+  QueryHandle bad = engine.Submit("this is not xpath ((");
+  QueryHandle good = engine.Submit(kQueryA);
+  EXPECT_FALSE(bad.Wait().result.ok());
+  EXPECT_TRUE(good.Wait().result.ok()) << good.Wait().result.status();
+}
+
+// ---- Cancellation -----------------------------------------------------------
+
+TEST_P(EngineTest, CancelWhileQueuedYieldsCancelledWithoutRunning) {
+  // Depth 1: the slow query occupies the only driver, so the second
+  // submission is still queued when the cancel lands.
+  Engine engine(*slow_cluster_, Config(1));
+  QueryHandle running = engine.Submit(kQueryA);
+  QueryHandle queued = engine.Submit(kQueryB);
+  EXPECT_TRUE(queued.Cancel());
+
+  const QueryReport& report = queued.Wait();
+  EXPECT_EQ(report.result.status().code(), StatusCode::kCancelled);
+  // Rejected at admission: the query never opened a run — no rounds, no
+  // traffic, no visits.
+  EXPECT_EQ(report.rounds, 0);
+  EXPECT_EQ(report.stats.total_bytes, 0u);
+  EXPECT_EQ(report.stats.total_visits(), 0u);
+
+  // The run it was queued behind is untouched.
+  EXPECT_TRUE(running.Wait().result.ok()) << running.Wait().result.status();
+}
+
+TEST_P(EngineTest, CancelMidRunUnwindsWithoutDisturbingConcurrentRuns) {
+  Engine engine(*slow_cluster_, Config(3));
+  QueryHandle victim = engine.Submit(kQueryA);
+  QueryHandle survivor = engine.Submit(kQueryB);
+
+  // Let the victim get into its (seconds-long, network-delayed) rounds,
+  // then cancel it mid-flight.
+  std::this_thread::sleep_for(milliseconds(100));
+  victim.Cancel();
+  const QueryReport& cancelled = victim.Wait();
+  EXPECT_EQ(cancelled.result.status().code(), StatusCode::kCancelled);
+
+  // Invariant 5: the concurrent run's answers and accounting are
+  // byte-for-byte those of an isolated sequential evaluation.
+  EngineOptions options;
+  options.transport = GetParam();
+  auto baseline = EvaluateDistributed(*cluster_, kQueryB, options);
+  ASSERT_TRUE(baseline.ok());
+  const QueryReport& kept = survivor.Wait();
+  ASSERT_TRUE(kept.result.ok()) << kept.result.status();
+  EXPECT_EQ(kept.result->answers, baseline->answers);
+  EXPECT_EQ(kept.result->stats.edges, baseline->stats.edges);
+  EXPECT_EQ(kept.result->stats.total_bytes, baseline->stats.total_bytes);
+  EXPECT_EQ(kept.result->stats.total_messages, baseline->stats.total_messages);
+
+  // And the engine keeps serving: a fresh submission on the same (fast)
+  // engine is unaffected by the aborted run's discarded mail.
+  Engine fresh(*cluster_, Config(2));
+  QueryHandle after = fresh.Submit(kQueryA);
+  ASSERT_TRUE(after.Wait().result.ok()) << after.Wait().result.status();
+}
+
+TEST_P(EngineTest, CancelAfterCompletionReturnsFalse) {
+  Engine engine(*cluster_, Config(1));
+  QueryHandle handle = engine.Submit(kQueryA);
+  const QueryReport& report = handle.Wait();
+  ASSERT_TRUE(report.result.ok());
+  EXPECT_FALSE(handle.Cancel());
+  // The settled report is not disturbed by the late cancel.
+  EXPECT_TRUE(handle.Wait().result.ok());
+}
+
+// ---- Deadlines --------------------------------------------------------------
+
+TEST_P(EngineTest, AlreadyExpiredDeadlineIsRejectedAtAdmission) {
+  Engine engine(*cluster_, Config(2));
+  SubmitOptions expired;
+  expired.deadline = milliseconds(0);  // expires at submission
+  QueryHandle dead = engine.Submit(kQueryA, expired);
+  QueryHandle live = engine.Submit(kQueryB);
+
+  const QueryReport& report = dead.Wait();
+  EXPECT_EQ(report.result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(report.rounds, 0);
+  EXPECT_EQ(report.stats.total_bytes, 0u);
+  EXPECT_TRUE(live.Wait().result.ok()) << live.Wait().result.status();
+}
+
+TEST_P(EngineTest, DeadlineExpiryMidRunUnwindsAtARoundBoundary) {
+  Engine engine(*slow_cluster_, Config(2));
+  SubmitOptions tight;
+  tight.deadline = milliseconds(150);  // the delayed rounds take seconds
+  QueryHandle expiring = engine.Submit(kQueryA, tight);
+  QueryHandle unbounded = engine.Submit(kQueryB);
+
+  const QueryReport& report = expiring.Wait();
+  EXPECT_EQ(report.result.status().code(), StatusCode::kDeadlineExceeded);
+  // The concurrent, deadline-free run is untouched.
+  EngineOptions options;
+  options.transport = GetParam();
+  auto baseline = EvaluateDistributed(*cluster_, kQueryB, options);
+  ASSERT_TRUE(baseline.ok());
+  const QueryReport& kept = unbounded.Wait();
+  ASSERT_TRUE(kept.result.ok()) << kept.result.status();
+  EXPECT_EQ(kept.result->answers, baseline->answers);
+  EXPECT_EQ(kept.result->stats.edges, baseline->stats.edges);
+}
+
+// ---- Priorities -------------------------------------------------------------
+
+TEST_P(EngineTest, HigherPriorityIsAdmittedFirst) {
+  // Depth 1 over the slow cluster: while the first query runs, the other
+  // two wait in the queue — the high-priority one must be admitted first
+  // even though it was submitted last.
+  Engine engine(*slow_cluster_, Config(1));
+  QueryHandle first = engine.Submit(kQueryA);
+  SubmitOptions low;
+  low.priority = 0;
+  SubmitOptions high;
+  high.priority = 10;
+  QueryHandle background = engine.Submit(kQueryB, low);
+  QueryHandle urgent = engine.Submit(kQueryC, high);
+
+  const QueryReport& urgent_report = urgent.Wait();
+  const QueryReport& background_report = background.Wait();
+  ASSERT_TRUE(first.Wait().result.ok());
+  ASSERT_TRUE(urgent_report.result.ok()) << urgent_report.result.status();
+  ASSERT_TRUE(background_report.result.ok())
+      << background_report.result.status();
+  // Admission order shows up as queue time: the urgent query left the
+  // queue while the background one was still waiting behind it.
+  EXPECT_LT(urgent_report.queue_seconds, background_report.queue_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EngineTest,
+                         ::testing::Values(TransportKind::kSync,
+                                           TransportKind::kPooled),
+                         [](const ::testing::TestParamInfo<TransportKind>& i) {
+                           return i.param == TransportKind::kSync ? "Sync"
+                                                                  : "Pooled";
+                         });
+
+// ---- Engine lifecycle -------------------------------------------------------
+
+TEST(EngineLifecycleTest, DestructionDrainsInFlightWork) {
+  Tree t = testing::BuildClienteleTree();
+  auto doc = FragmentByCuts(t, testing::ClienteleCuts(t));
+  ASSERT_TRUE(doc.ok());
+  auto shared = std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
+  Cluster cluster(shared, 4);
+  cluster.PlaceRootAndSpread();
+
+  QueryHandle handle;
+  EXPECT_FALSE(handle.valid());
+  {
+    EngineConfig config;
+    config.depth = 2;
+    Engine engine(cluster, config);
+    handle = engine.Submit("clientele/client/broker/name");
+    EXPECT_TRUE(handle.valid());
+  }  // engine destroyed: drains first
+  ASSERT_NE(handle.TryGet(), nullptr);  // completed, not abandoned
+  EXPECT_TRUE(handle.TryGet()->result.ok()) << handle.TryGet()->result.status();
+}
+
+TEST(EngineLifecycleTest, PrecompiledSubmissionsEvaluate) {
+  Tree t = testing::BuildClienteleTree();
+  auto doc = FragmentByCuts(t, testing::ClienteleCuts(t));
+  ASSERT_TRUE(doc.ok());
+  auto shared = std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
+  Cluster cluster(shared, 4);
+  cluster.PlaceRootAndSpread();
+
+  auto compiled = CompileXPath("//stock/code", shared->symbols());
+  ASSERT_TRUE(compiled.ok());
+  Engine engine(cluster, {});
+  // Wait()'s reference lives as long as a handle to the query does — keep
+  // the handle, not just the reference.
+  QueryHandle handle = engine.Submit(*compiled);
+  const QueryReport& report = handle.Wait();
+  ASSERT_TRUE(report.result.ok()) << report.result.status();
+  auto direct = EvaluateDistributed(cluster, *compiled);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(report.result->answers, direct->answers);
+}
+
+}  // namespace
+}  // namespace paxml

@@ -52,7 +52,7 @@ TEST(TransportTest, AccountsBytesMessagesAndEdges) {
   SyncTransport transport;
   RunStats stats;
   stats.per_site.resize(3);
-  const RunId run = transport.Begin(&c, &stats);
+  const RunId run = transport.OpenRun(&c, &stats);
 
   transport.Send(PayloadEnvelope(run, 0, 1, std::string(100, 'x')));
   transport.Send(PayloadEnvelope(run, 1, 0, std::string(50, 'x')));
@@ -83,7 +83,7 @@ TEST(TransportTest, LocalDeliveryIsFreeButStillDelivered) {
   SyncTransport transport;
   RunStats stats;
   stats.per_site.resize(2);
-  const RunId run = transport.Begin(&c, &stats);
+  const RunId run = transport.OpenRun(&c, &stats);
 
   transport.Send(PayloadEnvelope(run, 1, 1, std::string(64, 'x')));
   EXPECT_EQ(stats.total_messages, 0u);
@@ -99,7 +99,7 @@ TEST(TransportTest, ControlPlaneRequestsAreFree) {
   SyncTransport transport;
   RunStats stats;
   stats.per_site.resize(2);
-  const RunId run = transport.Begin(&c, &stats);
+  const RunId run = transport.OpenRun(&c, &stats);
 
   Envelope req = MakeRequestEnvelope(MessageKind::kSelRequest, 1, 2);
   req.run = run;
@@ -175,41 +175,50 @@ TEST(TransportTest, OpenRunsNamespaceMailboxesAndStats) {
   EXPECT_EQ(transport.open_run_count(), 0u);
 }
 
-// Rebinding the single-run Begin() surface while mail is pending used to
-// silently clobber the in-flight run's mailboxes and stats; now it aborts.
-TEST(TransportDeathTest, BeginWhileMailPendingDies) {
-  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+// CloseRun discards whatever mail an abandoned protocol left behind (error
+// and cancellation paths rely on this), and a successor run starts with a
+// fresh id and empty mailboxes.
+TEST(TransportTest, CloseRunDiscardsPendingMailAndNeverReusesIds) {
   auto doc = MakeClienteleDoc();
   Cluster c(doc, 2);
   SyncTransport transport;
   RunStats stats;
   stats.per_site.resize(2);
-  const RunId run = transport.Begin(&c, &stats);
-  transport.Send(PayloadEnvelope(run, 0, 1, "pending"));
-  RunStats stats2;
-  stats2.per_site.resize(2);
-  EXPECT_DEATH(transport.Begin(&c, &stats2), "HasPendingMail");
-}
-
-// Once the pending mail is delivered, rebinding is legitimate reuse.
-TEST(TransportTest, BeginAfterDrainRebindsCleanly) {
-  auto doc = MakeClienteleDoc();
-  Cluster c(doc, 2);
-  SyncTransport transport;
-  RunStats stats;
-  stats.per_site.resize(2);
-  const RunId run = transport.Begin(&c, &stats);
-  transport.Send(PayloadEnvelope(run, 0, 1, "mail"));
-  transport.Drain(run, 1);
+  const RunId run = transport.OpenRun(&c, &stats);
+  transport.Send(PayloadEnvelope(run, 0, 1, "abandoned"));
+  EXPECT_TRUE(transport.HasPendingMail(run));
+  transport.CloseRun(run);
+  EXPECT_EQ(transport.open_run_count(), 0u);
 
   RunStats stats2;
   stats2.per_site.resize(2);
-  const RunId run2 = transport.Begin(&c, &stats2);
+  const RunId run2 = transport.OpenRun(&c, &stats2);
   EXPECT_NE(run, run2);
-  EXPECT_EQ(transport.open_run_count(), 1u);
+  EXPECT_FALSE(transport.HasPendingMail(run2));
   transport.Send(PayloadEnvelope(run2, 0, 1, "x"));
   EXPECT_EQ(stats2.total_messages, 1u);
   EXPECT_EQ(stats.total_messages, 1u);  // the old run's stats are untouched
+  transport.CloseRun(run2);
+}
+
+// The query methods are const: a read-only transport view (e.g. the one
+// Engine::transport() exposes) can introspect open runs and pending mail.
+TEST(TransportTest, QueryMethodsAreConstCallable) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  RunStats stats;
+  stats.per_site.resize(2);
+  const RunId run = transport.OpenRun(&c, &stats);
+  transport.Send(PayloadEnvelope(run, 0, 1, "mail"));
+
+  const Transport& view = transport;
+  EXPECT_EQ(view.open_run_count(), 1u);
+  EXPECT_TRUE(view.HasMail(run, 1));
+  EXPECT_FALSE(view.HasMail(run, 0));
+  EXPECT_TRUE(view.HasPendingMail(run));
+  transport.CloseRun(run);
+  EXPECT_EQ(view.open_run_count(), 0u);
 }
 
 // ---- Delivery rounds --------------------------------------------------------
@@ -221,7 +230,7 @@ TEST(PooledTransportTest, RunRoundDeliversEverySiteOnPersistentPool) {
   EXPECT_GE(transport.worker_count(), 2u);
   RunStats stats;
   stats.per_site.resize(4);
-  const RunId run = transport.Begin(&c, &stats);
+  const RunId run = transport.OpenRun(&c, &stats);
 
   std::atomic<int> delivered{0};
   std::set<std::thread::id> thread_ids;
@@ -306,7 +315,7 @@ TEST(SyncTransportTest, SnapshotKeepsRoundBoundaries) {
   SyncTransport transport;
   RunStats stats;
   stats.per_site.resize(2);
-  const RunId run = transport.Begin(&c, &stats);
+  const RunId run = transport.OpenRun(&c, &stats);
 
   transport.Send(PayloadEnvelope(run, 0, 1, "a"));
   int seen = 0;

@@ -160,6 +160,185 @@ TEST(QuerySchedulerTest, DepthZeroIsClampedToOne) {
   EXPECT_EQ(done.load(), 1);
 }
 
+// Admission is by descending priority, ties in submission order — not FIFO.
+// A gate job holds the single driver while the queue fills, so the
+// admission order of the queued jobs is observed deterministically.
+TEST(QuerySchedulerTest, PriorityOverridesSubmissionOrder) {
+  QueryScheduler scheduler(1);
+  std::atomic<bool> release{false};
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  auto record = [&](const char* name) {
+    return [&, name] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(name);
+    };
+  };
+
+  std::atomic<bool> gate_running{false};
+  scheduler.Submit([&] {
+    gate_running = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Only queue once the gate holds the driver — otherwise the driver could
+  // pick the high-priority job first, before the gate was even admitted.
+  while (!gate_running.load()) std::this_thread::yield();
+  // Queue while the driver is held: two low-priority, then one high.
+  QueryScheduler::Job low1;
+  low1.run = record("low1");
+  QueryScheduler::Job low2;
+  low2.run = record("low2");
+  QueryScheduler::Job high;
+  high.run = record("high");
+  high.priority = 10;
+  scheduler.Submit(std::move(low1));
+  scheduler.Submit(std::move(low2));
+  scheduler.Submit(std::move(high));
+  EXPECT_EQ(scheduler.queued_count(), 3u);
+
+  release = true;
+  scheduler.Wait();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"high", "low1", "low2"}));
+}
+
+// Dead-on-arrival work is reaped ahead of priority selection: an expired
+// job must not wait behind higher-priority queued work for its verdict.
+TEST(QuerySchedulerTest, ExpiredJobsAreReapedAheadOfPrioritySelection) {
+  QueryScheduler scheduler(1);
+  std::atomic<bool> release{false};
+  std::atomic<bool> gate_running{false};
+  scheduler.Submit([&] {
+    gate_running = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!gate_running.load()) std::this_thread::yield();
+
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  QueryScheduler::Job high;
+  high.priority = 10;
+  high.run = [&] {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back("high-ran");
+  };
+  QueryScheduler::Job expired;
+  expired.deadline = std::chrono::steady_clock::now();
+  expired.run = [&] {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back("expired-ran");  // must never happen
+  };
+  expired.reject = [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(s.code() == StatusCode::kDeadlineExceeded
+                        ? "expired-rejected"
+                        : "expired-wrong-status");
+  };
+  scheduler.Submit(std::move(high));
+  scheduler.Submit(std::move(expired));
+
+  release = true;
+  scheduler.Wait();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"expired-rejected", "high-ran"}));
+}
+
+TEST(QuerySchedulerTest, ExpiredDeadlineJobsAreRejectedNotRun) {
+  QueryScheduler scheduler(1);
+  std::atomic<bool> ran{false};
+  Status rejection;
+  std::mutex mu;
+
+  QueryScheduler::Job job;
+  job.run = [&] { ran = true; };
+  job.reject = [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    rejection = s;
+  };
+  job.deadline = std::chrono::steady_clock::now();  // already expired
+  scheduler.Submit(std::move(job));
+  scheduler.Wait();
+
+  EXPECT_FALSE(ran.load());
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(rejection.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QuerySchedulerTest, CancelledQueuedJobsAreRejectedNotRun) {
+  QueryScheduler scheduler(1);
+  std::atomic<bool> ran{false};
+  Status rejection;
+  std::mutex mu;
+
+  QueryScheduler::Job job;
+  job.run = [&] { ran = true; };
+  job.reject = [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    rejection = s;
+  };
+  job.cancelled = [] { return true; };
+  scheduler.Submit(std::move(job));
+  scheduler.Wait();
+
+  EXPECT_FALSE(ran.load());
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(rejection.code(), StatusCode::kCancelled);
+}
+
+// Wait() covers reject callbacks: a rejected job's verdict must be fully
+// delivered (not merely scheduled) by the time Wait() returns — the reaped
+// job counts as in-flight work across its callback.
+TEST(QuerySchedulerTest, WaitCoversRejectCallbacks) {
+  QueryScheduler scheduler(1);
+  std::atomic<bool> rejected{false};
+  QueryScheduler::Job job;
+  job.deadline = std::chrono::steady_clock::now();  // dead on arrival
+  job.reject = [&](const Status&) {
+    // Widen the race window: with the bug, Wait() returned while this
+    // callback was still running.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    rejected = true;
+  };
+  scheduler.Submit(std::move(job));
+  scheduler.Wait();
+  EXPECT_TRUE(rejected.load());
+}
+
+// Saturation-adaptive admission: while the shared pool's queued-batch
+// backlog exceeds its worker count, the scheduler sheds admission slots
+// (floor 1) instead of piling more concurrent rounds onto it.
+TEST(QuerySchedulerTest, AdmissionLimitShrinksUnderPoolSaturation) {
+  auto pool = std::make_shared<WorkerPool>(1);
+  QueryScheduler scheduler(4, pool);
+  EXPECT_EQ(scheduler.admission_limit(), 4u);
+
+  std::atomic<bool> release{false};
+  // Batch A: one task pins the only worker, one stays queued (backlog 1).
+  std::thread caller_a([&] {
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([&] {
+      while (!release.load()) std::this_thread::yield();
+    });
+    tasks.push_back([] {});
+    pool->RunAll(std::move(tasks));
+  });
+  // Batch B: queued behind the pinned worker (backlog 2 > 1 worker).
+  std::thread caller_b([&] {
+    while (pool->queued_batch_count() < 1) std::this_thread::yield();
+    pool->RunAll({[] {}});
+  });
+
+  // Wait for both batches to be queued, then observe the shrunken limit:
+  // backlog 2, workers 1 → one slot shed.
+  while (pool->queued_batch_count() < 2) std::this_thread::yield();
+  EXPECT_EQ(scheduler.admission_limit(), 3u);
+
+  release = true;
+  caller_a.join();
+  caller_b.join();
+  EXPECT_EQ(scheduler.admission_limit(), 4u);
+}
+
 // ---- EvalBatch --------------------------------------------------------------
 
 class EvalBatchTest : public ::testing::Test {
