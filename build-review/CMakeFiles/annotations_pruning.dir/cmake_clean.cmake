@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotations_pruning.dir/examples/annotations_pruning.cpp.o"
+  "CMakeFiles/annotations_pruning.dir/examples/annotations_pruning.cpp.o.d"
+  "examples/annotations_pruning"
+  "examples/annotations_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotations_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

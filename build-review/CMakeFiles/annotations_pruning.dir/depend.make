@@ -1,0 +1,2 @@
+# Empty dependencies file for annotations_pruning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_sessions.dir/examples/async_sessions.cpp.o"
+  "CMakeFiles/async_sessions.dir/examples/async_sessions.cpp.o.d"
+  "examples/async_sessions"
+  "examples/async_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for async_sessions.
+# This may be replaced when dependencies are built.

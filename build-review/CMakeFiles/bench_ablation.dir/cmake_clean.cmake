@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation.dir/bench/bench_ablation.cc.o"
+  "CMakeFiles/bench_ablation.dir/bench/bench_ablation.cc.o.d"
+  "CMakeFiles/bench_ablation.dir/bench/harness.cc.o"
+  "CMakeFiles/bench_ablation.dir/bench/harness.cc.o.d"
+  "bench/bench_ablation"
+  "bench/bench_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

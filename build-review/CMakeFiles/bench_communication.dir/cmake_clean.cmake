@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_communication.dir/bench/bench_communication.cc.o"
+  "CMakeFiles/bench_communication.dir/bench/bench_communication.cc.o.d"
+  "CMakeFiles/bench_communication.dir/bench/harness.cc.o"
+  "CMakeFiles/bench_communication.dir/bench/harness.cc.o.d"
+  "bench/bench_communication"
+  "bench/bench_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_communication.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_exp2.dir/bench/bench_fig10_exp2.cc.o"
+  "CMakeFiles/bench_fig10_exp2.dir/bench/bench_fig10_exp2.cc.o.d"
+  "CMakeFiles/bench_fig10_exp2.dir/bench/harness.cc.o"
+  "CMakeFiles/bench_fig10_exp2.dir/bench/harness.cc.o.d"
+  "bench/bench_fig10_exp2"
+  "bench/bench_fig10_exp2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_exp2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

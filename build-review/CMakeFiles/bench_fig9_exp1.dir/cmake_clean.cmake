@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_exp1.dir/bench/bench_fig9_exp1.cc.o"
+  "CMakeFiles/bench_fig9_exp1.dir/bench/bench_fig9_exp1.cc.o.d"
+  "CMakeFiles/bench_fig9_exp1.dir/bench/harness.cc.o"
+  "CMakeFiles/bench_fig9_exp1.dir/bench/harness.cc.o.d"
+  "bench/bench_fig9_exp1"
+  "bench/bench_fig9_exp1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_exp1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro.dir/bench/bench_micro.cc.o"
+  "CMakeFiles/bench_micro.dir/bench/bench_micro.cc.o.d"
+  "CMakeFiles/bench_micro.dir/bench/harness.cc.o"
+  "CMakeFiles/bench_micro.dir/bench/harness.cc.o.d"
+  "bench/bench_micro"
+  "bench/bench_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiquery.dir/bench/bench_multiquery.cc.o"
+  "CMakeFiles/bench_multiquery.dir/bench/bench_multiquery.cc.o.d"
+  "CMakeFiles/bench_multiquery.dir/bench/harness.cc.o"
+  "CMakeFiles/bench_multiquery.dir/bench/harness.cc.o.d"
+  "bench/bench_multiquery"
+  "bench/bench_multiquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

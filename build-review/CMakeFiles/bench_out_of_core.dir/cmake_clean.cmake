@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_out_of_core.dir/bench/bench_out_of_core.cc.o"
+  "CMakeFiles/bench_out_of_core.dir/bench/bench_out_of_core.cc.o.d"
+  "CMakeFiles/bench_out_of_core.dir/bench/harness.cc.o"
+  "CMakeFiles/bench_out_of_core.dir/bench/harness.cc.o.d"
+  "bench/bench_out_of_core"
+  "bench/bench_out_of_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_out_of_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

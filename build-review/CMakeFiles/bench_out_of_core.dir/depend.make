@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_out_of_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queries.dir/bench/bench_queries.cc.o"
+  "CMakeFiles/bench_queries.dir/bench/bench_queries.cc.o.d"
+  "CMakeFiles/bench_queries.dir/bench/harness.cc.o"
+  "CMakeFiles/bench_queries.dir/bench/harness.cc.o.d"
+  "bench/bench_queries"
+  "bench/bench_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boolexpr_test.dir/tests/boolexpr_test.cc.o"
+  "CMakeFiles/boolexpr_test.dir/tests/boolexpr_test.cc.o.d"
+  "boolexpr_test"
+  "boolexpr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boolexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

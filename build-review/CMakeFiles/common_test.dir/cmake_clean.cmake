@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/tests/common_test.cc.o"
+  "CMakeFiles/common_test.dir/tests/common_test.cc.o.d"
+  "common_test"
+  "common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extra_test.dir/tests/core_extra_test.cc.o"
+  "CMakeFiles/core_extra_test.dir/tests/core_extra_test.cc.o.d"
+  "core_extra_test"
+  "core_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_test.dir/tests/distributed_test.cc.o"
+  "CMakeFiles/distributed_test.dir/tests/distributed_test.cc.o.d"
+  "distributed_test"
+  "distributed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine_test.cc" "CMakeFiles/engine_test.dir/tests/engine_test.cc.o" "gcc" "CMakeFiles/engine_test.dir/tests/engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/paxml_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_messages.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_pool.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_fragment.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_xmark.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_boolexpr.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_xpath.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_centralized_test.dir/tests/eval_centralized_test.cc.o"
+  "CMakeFiles/eval_centralized_test.dir/tests/eval_centralized_test.cc.o.d"
+  "eval_centralized_test"
+  "eval_centralized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_centralized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

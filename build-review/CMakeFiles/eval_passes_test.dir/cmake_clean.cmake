@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_passes_test.dir/tests/eval_passes_test.cc.o"
+  "CMakeFiles/eval_passes_test.dir/tests/eval_passes_test.cc.o.d"
+  "eval_passes_test"
+  "eval_passes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_passes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

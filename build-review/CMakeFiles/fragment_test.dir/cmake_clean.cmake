@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragment_test.dir/tests/fragment_test.cc.o"
+  "CMakeFiles/fragment_test.dir/tests/fragment_test.cc.o.d"
+  "fragment_test"
+  "fragment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

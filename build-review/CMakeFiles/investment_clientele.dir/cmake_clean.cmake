@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investment_clientele.dir/examples/investment_clientele.cpp.o"
+  "CMakeFiles/investment_clientele.dir/examples/investment_clientele.cpp.o.d"
+  "examples/investment_clientele"
+  "examples/investment_clientele.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investment_clientele.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

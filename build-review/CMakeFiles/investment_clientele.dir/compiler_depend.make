@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for investment_clientele.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for investment_clientele.
+# This may be replaced when dependencies are built.

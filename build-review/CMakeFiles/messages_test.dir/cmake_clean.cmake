@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/messages_test.dir/tests/messages_test.cc.o"
+  "CMakeFiles/messages_test.dir/tests/messages_test.cc.o.d"
+  "messages_test"
+  "messages_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_test.dir/tests/out_of_core_test.cc.o"
+  "CMakeFiles/out_of_core_test.dir/tests/out_of_core_test.cc.o.d"
+  "out_of_core_test"
+  "out_of_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

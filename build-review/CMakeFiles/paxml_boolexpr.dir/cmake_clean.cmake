@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_boolexpr.dir/src/boolexpr/codec.cc.o"
+  "CMakeFiles/paxml_boolexpr.dir/src/boolexpr/codec.cc.o.d"
+  "CMakeFiles/paxml_boolexpr.dir/src/boolexpr/formula.cc.o"
+  "CMakeFiles/paxml_boolexpr.dir/src/boolexpr/formula.cc.o.d"
+  "libpaxml_boolexpr.a"
+  "libpaxml_boolexpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_boolexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cc" "CMakeFiles/paxml_common.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/paxml_common.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/paxml_common.dir/src/common/status.cc.o" "gcc" "CMakeFiles/paxml_common.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "CMakeFiles/paxml_common.dir/src/common/string_util.cc.o" "gcc" "CMakeFiles/paxml_common.dir/src/common/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_common.dir/src/common/rng.cc.o"
+  "CMakeFiles/paxml_common.dir/src/common/rng.cc.o.d"
+  "CMakeFiles/paxml_common.dir/src/common/status.cc.o"
+  "CMakeFiles/paxml_common.dir/src/common/status.cc.o.d"
+  "CMakeFiles/paxml_common.dir/src/common/string_util.cc.o"
+  "CMakeFiles/paxml_common.dir/src/common/string_util.cc.o.d"
+  "libpaxml_common.a"
+  "libpaxml_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

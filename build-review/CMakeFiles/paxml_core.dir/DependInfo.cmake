@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "CMakeFiles/paxml_core.dir/src/core/engine.cc.o" "gcc" "CMakeFiles/paxml_core.dir/src/core/engine.cc.o.d"
+  "/root/repo/src/core/eval_ft.cc" "CMakeFiles/paxml_core.dir/src/core/eval_ft.cc.o" "gcc" "CMakeFiles/paxml_core.dir/src/core/eval_ft.cc.o.d"
+  "/root/repo/src/core/naive.cc" "CMakeFiles/paxml_core.dir/src/core/naive.cc.o" "gcc" "CMakeFiles/paxml_core.dir/src/core/naive.cc.o.d"
+  "/root/repo/src/core/out_of_core.cc" "CMakeFiles/paxml_core.dir/src/core/out_of_core.cc.o" "gcc" "CMakeFiles/paxml_core.dir/src/core/out_of_core.cc.o.d"
+  "/root/repo/src/core/parbox.cc" "CMakeFiles/paxml_core.dir/src/core/parbox.cc.o" "gcc" "CMakeFiles/paxml_core.dir/src/core/parbox.cc.o.d"
+  "/root/repo/src/core/pax2.cc" "CMakeFiles/paxml_core.dir/src/core/pax2.cc.o" "gcc" "CMakeFiles/paxml_core.dir/src/core/pax2.cc.o.d"
+  "/root/repo/src/core/pax3.cc" "CMakeFiles/paxml_core.dir/src/core/pax3.cc.o" "gcc" "CMakeFiles/paxml_core.dir/src/core/pax3.cc.o.d"
+  "/root/repo/src/core/site_eval.cc" "CMakeFiles/paxml_core.dir/src/core/site_eval.cc.o" "gcc" "CMakeFiles/paxml_core.dir/src/core/site_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/paxml_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_messages.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_fragment.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_boolexpr.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_pool.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_xpath.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_core.dir/src/core/engine.cc.o"
+  "CMakeFiles/paxml_core.dir/src/core/engine.cc.o.d"
+  "CMakeFiles/paxml_core.dir/src/core/eval_ft.cc.o"
+  "CMakeFiles/paxml_core.dir/src/core/eval_ft.cc.o.d"
+  "CMakeFiles/paxml_core.dir/src/core/naive.cc.o"
+  "CMakeFiles/paxml_core.dir/src/core/naive.cc.o.d"
+  "CMakeFiles/paxml_core.dir/src/core/out_of_core.cc.o"
+  "CMakeFiles/paxml_core.dir/src/core/out_of_core.cc.o.d"
+  "CMakeFiles/paxml_core.dir/src/core/parbox.cc.o"
+  "CMakeFiles/paxml_core.dir/src/core/parbox.cc.o.d"
+  "CMakeFiles/paxml_core.dir/src/core/pax2.cc.o"
+  "CMakeFiles/paxml_core.dir/src/core/pax2.cc.o.d"
+  "CMakeFiles/paxml_core.dir/src/core/pax3.cc.o"
+  "CMakeFiles/paxml_core.dir/src/core/pax3.cc.o.d"
+  "CMakeFiles/paxml_core.dir/src/core/site_eval.cc.o"
+  "CMakeFiles/paxml_core.dir/src/core/site_eval.cc.o.d"
+  "libpaxml_core.a"
+  "libpaxml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/centralized.cc" "CMakeFiles/paxml_eval.dir/src/eval/centralized.cc.o" "gcc" "CMakeFiles/paxml_eval.dir/src/eval/centralized.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/paxml_xpath.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_boolexpr.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

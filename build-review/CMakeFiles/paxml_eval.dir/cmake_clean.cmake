@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_eval.dir/src/eval/centralized.cc.o"
+  "CMakeFiles/paxml_eval.dir/src/eval/centralized.cc.o.d"
+  "libpaxml_eval.a"
+  "libpaxml_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

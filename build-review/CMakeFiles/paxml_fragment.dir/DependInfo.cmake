@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fragment/fragment.cc" "CMakeFiles/paxml_fragment.dir/src/fragment/fragment.cc.o" "gcc" "CMakeFiles/paxml_fragment.dir/src/fragment/fragment.cc.o.d"
+  "/root/repo/src/fragment/fragmenter.cc" "CMakeFiles/paxml_fragment.dir/src/fragment/fragmenter.cc.o" "gcc" "CMakeFiles/paxml_fragment.dir/src/fragment/fragmenter.cc.o.d"
+  "/root/repo/src/fragment/pruning.cc" "CMakeFiles/paxml_fragment.dir/src/fragment/pruning.cc.o" "gcc" "CMakeFiles/paxml_fragment.dir/src/fragment/pruning.cc.o.d"
+  "/root/repo/src/fragment/source.cc" "CMakeFiles/paxml_fragment.dir/src/fragment/source.cc.o" "gcc" "CMakeFiles/paxml_fragment.dir/src/fragment/source.cc.o.d"
+  "/root/repo/src/fragment/storage.cc" "CMakeFiles/paxml_fragment.dir/src/fragment/storage.cc.o" "gcc" "CMakeFiles/paxml_fragment.dir/src/fragment/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/paxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_xpath.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

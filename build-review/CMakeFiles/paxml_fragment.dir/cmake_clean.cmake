@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_fragment.dir/src/fragment/fragment.cc.o"
+  "CMakeFiles/paxml_fragment.dir/src/fragment/fragment.cc.o.d"
+  "CMakeFiles/paxml_fragment.dir/src/fragment/fragmenter.cc.o"
+  "CMakeFiles/paxml_fragment.dir/src/fragment/fragmenter.cc.o.d"
+  "CMakeFiles/paxml_fragment.dir/src/fragment/pruning.cc.o"
+  "CMakeFiles/paxml_fragment.dir/src/fragment/pruning.cc.o.d"
+  "CMakeFiles/paxml_fragment.dir/src/fragment/source.cc.o"
+  "CMakeFiles/paxml_fragment.dir/src/fragment/source.cc.o.d"
+  "CMakeFiles/paxml_fragment.dir/src/fragment/storage.cc.o"
+  "CMakeFiles/paxml_fragment.dir/src/fragment/storage.cc.o.d"
+  "libpaxml_fragment.a"
+  "libpaxml_fragment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_fragment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

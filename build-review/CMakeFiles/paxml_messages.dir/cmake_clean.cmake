@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_messages.dir/src/core/messages.cc.o"
+  "CMakeFiles/paxml_messages.dir/src/core/messages.cc.o.d"
+  "libpaxml_messages.a"
+  "libpaxml_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

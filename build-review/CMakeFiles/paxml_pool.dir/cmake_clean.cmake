@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_pool.dir/src/runtime/worker_pool.cc.o"
+  "CMakeFiles/paxml_pool.dir/src/runtime/worker_pool.cc.o.d"
+  "libpaxml_pool.a"
+  "libpaxml_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_runtime.dir/src/runtime/coordinator.cc.o"
+  "CMakeFiles/paxml_runtime.dir/src/runtime/coordinator.cc.o.d"
+  "CMakeFiles/paxml_runtime.dir/src/runtime/query_scheduler.cc.o"
+  "CMakeFiles/paxml_runtime.dir/src/runtime/query_scheduler.cc.o.d"
+  "CMakeFiles/paxml_runtime.dir/src/runtime/site_runtime.cc.o"
+  "CMakeFiles/paxml_runtime.dir/src/runtime/site_runtime.cc.o.d"
+  "CMakeFiles/paxml_runtime.dir/src/runtime/transport.cc.o"
+  "CMakeFiles/paxml_runtime.dir/src/runtime/transport.cc.o.d"
+  "libpaxml_runtime.a"
+  "libpaxml_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "CMakeFiles/paxml_sim.dir/src/sim/cluster.cc.o" "gcc" "CMakeFiles/paxml_sim.dir/src/sim/cluster.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "CMakeFiles/paxml_sim.dir/src/sim/stats.cc.o" "gcc" "CMakeFiles/paxml_sim.dir/src/sim/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/paxml_fragment.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_pool.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_xpath.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

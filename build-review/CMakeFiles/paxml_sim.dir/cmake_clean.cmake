@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_sim.dir/src/sim/cluster.cc.o"
+  "CMakeFiles/paxml_sim.dir/src/sim/cluster.cc.o.d"
+  "CMakeFiles/paxml_sim.dir/src/sim/stats.cc.o"
+  "CMakeFiles/paxml_sim.dir/src/sim/stats.cc.o.d"
+  "libpaxml_sim.a"
+  "libpaxml_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

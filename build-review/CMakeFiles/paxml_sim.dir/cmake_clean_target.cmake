@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpaxml_sim.a"
+)

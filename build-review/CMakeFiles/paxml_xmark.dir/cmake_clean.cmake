@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_xmark.dir/src/xmark/generator.cc.o"
+  "CMakeFiles/paxml_xmark.dir/src/xmark/generator.cc.o.d"
+  "libpaxml_xmark.a"
+  "libpaxml_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/builder.cc" "CMakeFiles/paxml_xml.dir/src/xml/builder.cc.o" "gcc" "CMakeFiles/paxml_xml.dir/src/xml/builder.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "CMakeFiles/paxml_xml.dir/src/xml/parser.cc.o" "gcc" "CMakeFiles/paxml_xml.dir/src/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "CMakeFiles/paxml_xml.dir/src/xml/serializer.cc.o" "gcc" "CMakeFiles/paxml_xml.dir/src/xml/serializer.cc.o.d"
+  "/root/repo/src/xml/symbol_table.cc" "CMakeFiles/paxml_xml.dir/src/xml/symbol_table.cc.o" "gcc" "CMakeFiles/paxml_xml.dir/src/xml/symbol_table.cc.o.d"
+  "/root/repo/src/xml/tree.cc" "CMakeFiles/paxml_xml.dir/src/xml/tree.cc.o" "gcc" "CMakeFiles/paxml_xml.dir/src/xml/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/paxml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_xml.dir/src/xml/builder.cc.o"
+  "CMakeFiles/paxml_xml.dir/src/xml/builder.cc.o.d"
+  "CMakeFiles/paxml_xml.dir/src/xml/parser.cc.o"
+  "CMakeFiles/paxml_xml.dir/src/xml/parser.cc.o.d"
+  "CMakeFiles/paxml_xml.dir/src/xml/serializer.cc.o"
+  "CMakeFiles/paxml_xml.dir/src/xml/serializer.cc.o.d"
+  "CMakeFiles/paxml_xml.dir/src/xml/symbol_table.cc.o"
+  "CMakeFiles/paxml_xml.dir/src/xml/symbol_table.cc.o.d"
+  "CMakeFiles/paxml_xml.dir/src/xml/tree.cc.o"
+  "CMakeFiles/paxml_xml.dir/src/xml/tree.cc.o.d"
+  "libpaxml_xml.a"
+  "libpaxml_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for paxml_xml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpath/ast.cc" "CMakeFiles/paxml_xpath.dir/src/xpath/ast.cc.o" "gcc" "CMakeFiles/paxml_xpath.dir/src/xpath/ast.cc.o.d"
+  "/root/repo/src/xpath/lexer.cc" "CMakeFiles/paxml_xpath.dir/src/xpath/lexer.cc.o" "gcc" "CMakeFiles/paxml_xpath.dir/src/xpath/lexer.cc.o.d"
+  "/root/repo/src/xpath/normal_form.cc" "CMakeFiles/paxml_xpath.dir/src/xpath/normal_form.cc.o" "gcc" "CMakeFiles/paxml_xpath.dir/src/xpath/normal_form.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "CMakeFiles/paxml_xpath.dir/src/xpath/parser.cc.o" "gcc" "CMakeFiles/paxml_xpath.dir/src/xpath/parser.cc.o.d"
+  "/root/repo/src/xpath/query_plan.cc" "CMakeFiles/paxml_xpath.dir/src/xpath/query_plan.cc.o" "gcc" "CMakeFiles/paxml_xpath.dir/src/xpath/query_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/paxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/paxml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

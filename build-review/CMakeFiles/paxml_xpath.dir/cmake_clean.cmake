@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxml_xpath.dir/src/xpath/ast.cc.o"
+  "CMakeFiles/paxml_xpath.dir/src/xpath/ast.cc.o.d"
+  "CMakeFiles/paxml_xpath.dir/src/xpath/lexer.cc.o"
+  "CMakeFiles/paxml_xpath.dir/src/xpath/lexer.cc.o.d"
+  "CMakeFiles/paxml_xpath.dir/src/xpath/normal_form.cc.o"
+  "CMakeFiles/paxml_xpath.dir/src/xpath/normal_form.cc.o.d"
+  "CMakeFiles/paxml_xpath.dir/src/xpath/parser.cc.o"
+  "CMakeFiles/paxml_xpath.dir/src/xpath/parser.cc.o.d"
+  "CMakeFiles/paxml_xpath.dir/src/xpath/query_plan.cc.o"
+  "CMakeFiles/paxml_xpath.dir/src/xpath/query_plan.cc.o.d"
+  "libpaxml_xpath.a"
+  "libpaxml_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxml_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_eval_test.dir/tests/reference_eval_test.cc.o"
+  "CMakeFiles/reference_eval_test.dir/tests/reference_eval_test.cc.o.d"
+  "reference_eval_test"
+  "reference_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test.dir/tests/runtime_test.cc.o"
+  "CMakeFiles/runtime_test.dir/tests/runtime_test.cc.o.d"
+  "runtime_test"
+  "runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

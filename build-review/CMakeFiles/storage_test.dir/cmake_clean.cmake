@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/tests/storage_test.cc.o"
+  "CMakeFiles/storage_test.dir/tests/storage_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

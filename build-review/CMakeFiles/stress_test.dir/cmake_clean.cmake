@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_test.dir/tests/stress_test.cc.o"
+  "CMakeFiles/stress_test.dir/tests/stress_test.cc.o.d"
+  "stress_test"
+  "stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

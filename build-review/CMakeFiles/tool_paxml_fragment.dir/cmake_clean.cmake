@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_paxml_fragment.dir/tools/paxml_fragment.cc.o"
+  "CMakeFiles/tool_paxml_fragment.dir/tools/paxml_fragment.cc.o.d"
+  "tools/paxml_fragment"
+  "tools/paxml_fragment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_paxml_fragment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

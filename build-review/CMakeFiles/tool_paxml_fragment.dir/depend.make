@@ -1,0 +1,2 @@
+# Empty dependencies file for tool_paxml_fragment.
+# This may be replaced when dependencies are built.

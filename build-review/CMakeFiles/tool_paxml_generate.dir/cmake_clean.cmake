@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_paxml_generate.dir/tools/paxml_generate.cc.o"
+  "CMakeFiles/tool_paxml_generate.dir/tools/paxml_generate.cc.o.d"
+  "tools/paxml_generate"
+  "tools/paxml_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_paxml_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_paxml_query.dir/tools/paxml_query.cc.o"
+  "CMakeFiles/tool_paxml_query.dir/tools/paxml_query.cc.o.d"
+  "tools/paxml_query"
+  "tools/paxml_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_paxml_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_explorer.dir/examples/xmark_explorer.cpp.o"
+  "CMakeFiles/xmark_explorer.dir/examples/xmark_explorer.cpp.o.d"
+  "examples/xmark_explorer"
+  "examples/xmark_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

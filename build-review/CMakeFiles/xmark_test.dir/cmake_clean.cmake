@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_test.dir/tests/xmark_test.cc.o"
+  "CMakeFiles/xmark_test.dir/tests/xmark_test.cc.o.d"
+  "xmark_test"
+  "xmark_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

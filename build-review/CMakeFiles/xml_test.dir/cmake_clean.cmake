@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_test.dir/tests/xml_test.cc.o"
+  "CMakeFiles/xml_test.dir/tests/xml_test.cc.o.d"
+  "xml_test"
+  "xml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

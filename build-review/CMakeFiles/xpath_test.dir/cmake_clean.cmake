@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_test.dir/tests/xpath_test.cc.o"
+  "CMakeFiles/xpath_test.dir/tests/xpath_test.cc.o.d"
+  "xpath_test"
+  "xpath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
