@@ -24,8 +24,16 @@
 // submit-to-answer latency (they jump the admission queue), while the same
 // probes submitted at priority 0 wait out the whole backlog.
 //
+// A fourth table measures the framed message plane (DESIGN.md §8) where it
+// matters — FT2's fragments on the paper's four machines, several per
+// site: batched vs unbatched transport at depth 8, reporting messages per
+// query and per round, modeled latency under a per-message-overhead
+// NetworkCostModel, and measured wall time (the realized round delay
+// shrinks with the message count).
+//
 // Correctness is asserted, not assumed: every depth must produce answer
-// sets identical to the sequential run's.
+// sets identical to the sequential run's, and batching must not change
+// any answer or byte total.
 
 #include <algorithm>
 #include <chrono>
@@ -178,6 +186,87 @@ void RunPriorityTable(const Cluster& cluster, const EngineOptions& options) {
       "grows, pri=0 waits it out)\n");
 }
 
+// Batched vs unbatched message plane over the paper's four-machine FT2
+// placement, streaming the experiment queries at depth 8.
+void RunBatchingTable(const std::shared_ptr<FragmentedDocument>& doc,
+                      const std::vector<std::string>& stream,
+                      const EngineOptions& engine_options) {
+  NetworkCostModel net;
+  net.latency_seconds = 0.001;
+  net.per_message_overhead_bytes = 66;
+
+  ClusterOptions options;
+  options.parallel_execution = true;
+  options.simulated_network = net;
+  Cluster cluster(doc, 4, options);
+  PlaceFT2Paper(cluster);
+
+  std::printf(
+      "\nFrame batching (FT2 on the paper's 4 machines, depth 8; modeled "
+      "1 ms + 66 B per message):\n");
+  TablePrinter table({"batching", "wall-s", "queries/s", "msgs/query",
+                      "msg/round", "modeled-lat-s"});
+
+  std::vector<std::vector<GlobalNodeId>> baseline_answers;
+  uint64_t baseline_bytes = 0;
+  double batched_modeled = 0;
+  double unbatched_modeled = 0;
+  for (bool batching : {false, true}) {
+    EngineConfig config;
+    config.depth = 8;
+    config.transport = engine_options.transport;
+    config.transport_options.batching = batching;
+    config.defaults = engine_options;
+
+    const auto start = std::chrono::steady_clock::now();
+    Engine engine(cluster, config);
+    std::vector<QueryHandle> handles;
+    handles.reserve(stream.size());
+    for (const std::string& q : stream) handles.push_back(engine.Submit(q));
+
+    uint64_t messages = 0;
+    uint64_t rounds = 0;
+    uint64_t bytes = 0;
+    double modeled = 0;
+    std::vector<std::vector<GlobalNodeId>> answers;
+    for (QueryHandle& h : handles) {
+      QueryReport report = h.TakeReport();
+      PAXML_CHECK(report.result.ok());
+      messages += report.stats.total_messages;
+      rounds += static_cast<uint64_t>(report.stats.rounds);
+      bytes += report.stats.total_bytes;
+      modeled += report.stats.ElapsedSeconds(net);
+      answers.push_back(std::move(report.result->answers));
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+    if (!batching) {
+      baseline_answers = std::move(answers);
+      baseline_bytes = bytes;
+      unbatched_modeled = modeled;
+    } else {
+      // Frames re-package traffic; answers and byte totals are invariant.
+      PAXML_CHECK(answers == baseline_answers);
+      PAXML_CHECK_EQ(bytes, baseline_bytes);
+      batched_modeled = modeled;
+    }
+    table.AddRow(
+        {batching ? "on" : "off", Secs(wall),
+         StringFormat("%.1f", static_cast<double>(stream.size()) / wall),
+         StringFormat("%.1f", static_cast<double>(messages) /
+                                  static_cast<double>(stream.size())),
+         StringFormat("%.1f",
+                      static_cast<double>(messages) /
+                          static_cast<double>(rounds)),
+         Secs(modeled / static_cast<double>(stream.size()))});
+  }
+  // Regression guard for the CI smoke run: batching must lower the
+  // modeled end-to-end latency under per-message overhead.
+  PAXML_CHECK_LT(batched_modeled, unbatched_modeled);
+}
+
 void Main() {
   // FT2's document, re-clustered for server-style execution: shared pool
   // (parallel_execution) and LAN-modeled round delay. MakeFT2's own cluster
@@ -236,6 +325,7 @@ void Main() {
   RunTable("Raw compute only (no network model; overlap is bounded by cores):",
            raw_cluster, stream, engine);
   RunPriorityTable(cluster, engine);
+  RunBatchingTable(w.doc, stream, engine);
 }
 
 }  // namespace

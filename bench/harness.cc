@@ -149,6 +149,26 @@ Workload MakeFT2(double scale, uint64_t seed) {
   return w;
 }
 
+void PlaceFT2Paper(Cluster& cluster) {
+  PAXML_CHECK_EQ(cluster.doc().size(), 10u);
+  PAXML_CHECK_EQ(cluster.site_count(), 4u);
+  constexpr SiteId kSiteOf[10] = {0, 1, 1, 1, 2, 2, 2, 2, 2, 3};
+  for (size_t f = 0; f < 10; ++f) {
+    PAXML_CHECK(cluster.Place(static_cast<FragmentId>(f), kSiteOf[f]).ok());
+  }
+}
+
+Workload MakeFT2Paper(double scale, uint64_t seed) {
+  Workload w = MakeFT2(scale, seed);
+  // Re-cluster onto the paper's four machines (see harness.h for the
+  // fragment layout; sequential execution for noise-free timing, as FT2).
+  ClusterOptions copts;
+  copts.parallel_execution = false;
+  w.cluster = std::make_unique<Cluster>(w.doc, 4, copts);
+  PlaceFT2Paper(*w.cluster);
+  return w;
+}
+
 Measurement Measure(const Workload& w, const std::string& query,
                     DistributedAlgorithm algo, bool annotations) {
   auto compiled = CompileXPath(query, w.doc->symbols());
@@ -169,6 +189,9 @@ Measurement Measure(const Workload& w, const std::string& query,
     m.total_bytes = s.total_bytes;
     m.answer_bytes = s.answer_bytes;
     m.data_bytes = s.data_bytes_shipped;
+    m.total_messages = s.total_messages;
+    m.total_envelopes = s.total_envelopes;
+    m.rounds = s.rounds;
     m.max_visits = s.max_visits();
     m.answers = r->answers.size();
   }

@@ -64,6 +64,19 @@ Workload MakeFT1(size_t fragments, size_t total_bytes, uint64_t seed = 42);
 /// ten fragments on ten machines.
 Workload MakeFT2(double scale, uint64_t seed = 42);
 
+/// FT2's ten fragments on the *paper's* four machines (site A = {F0},
+/// B = {F1,F2,F3}, C = {F4..F8}, D = {F9}): the deployment of Experiments
+/// 2-3, where several fragments share a site. This is the layout on which
+/// per-(run,edge) frame batching matters — a site's fragment replies
+/// coalesce into one frame per round (bench_communication Table 4,
+/// bench_multiquery's batching table).
+Workload MakeFT2Paper(double scale, uint64_t seed = 42);
+
+/// Places an FT2 document's ten fragments on `cluster`'s four sites in the
+/// paper's layout above. The one definition of that placement — both
+/// MakeFT2Paper and bench_multiquery's batching cluster go through it.
+void PlaceFT2Paper(Cluster& cluster);
+
 /// Measured outcome of one configuration, averaged over Repetitions().
 struct Measurement {
   double parallel_seconds = 0;   ///< perceived (parallel) evaluation time
@@ -72,6 +85,9 @@ struct Measurement {
   uint64_t total_bytes = 0;
   uint64_t answer_bytes = 0;
   uint64_t data_bytes = 0;
+  uint64_t total_messages = 0;   ///< frames on the wire
+  uint64_t total_envelopes = 0;  ///< protocol envelopes those frames carried
+  int rounds = 0;
   int max_visits = 0;
   size_t answers = 0;
 };

@@ -1,0 +1,56 @@
+#include "core/answer_stream.h"
+
+#include <algorithm>
+
+#include "boolexpr/codec.h"
+
+namespace paxml {
+
+void ShipAnswersStreamed(SiteContext& ctx, const Tree& tree,
+                         FragmentId fragment,
+                         const std::vector<NodeId>& answers,
+                         AnswerShipMode mode, bool account_ids) {
+  const size_t chunk_ids =
+      std::max<size_t>(1, ctx.transport().options().answer_chunk_ids);
+
+  // Header chunk: the AnswerUpMessage prefix. The receiver decodes the
+  // merged part as one ordinary AnswerUpMessage (core/messages.h).
+  Envelope head;
+  head.to = ctx.query_site();
+  head.category = PayloadCategory::kAnswer;
+  ByteWriter header;
+  header.PutVarint(static_cast<uint64_t>(fragment));
+  header.PutVarint(answers.size());
+  head.parts.push_back({MessageKind::kAnswerUp, fragment,
+                        std::move(header).Take(), account_ids});
+
+  EnvelopeStream stream(ctx, std::move(head));
+  for (size_t i = 0; i < answers.size(); i += chunk_ids) {
+    const size_t n = std::min(chunk_ids, answers.size() - i);
+    ByteWriter ids;
+    for (size_t j = 0; j < n; ++j) {
+      ids.PutVarint(static_cast<uint64_t>(answers[i + j]));
+    }
+    stream.Append(ids.bytes(), AnswerBytes(tree, &answers[i], n, mode));
+  }
+  stream.Close();
+}
+
+void ShipDataStreamed(SiteContext& ctx, FragmentId fragment,
+                      uint64_t total_bytes) {
+  const uint64_t chunk_bytes =
+      std::max<uint64_t>(1, ctx.transport().options().data_chunk_bytes);
+
+  Envelope head;
+  head.to = ctx.query_site();
+  head.category = PayloadCategory::kData;
+  head.parts.push_back({MessageKind::kDataShip, fragment, {}, false});
+
+  EnvelopeStream stream(ctx, std::move(head));
+  for (uint64_t shipped = 0; shipped < total_bytes; shipped += chunk_bytes) {
+    stream.Append({}, std::min(chunk_bytes, total_bytes - shipped));
+  }
+  stream.Close();
+}
+
+}  // namespace paxml

@@ -103,6 +103,11 @@ const QueryReport* QueryHandle::TryGet() const {
   return state_->done ? &state_->report : nullptr;
 }
 
+RunProgress QueryHandle::Progress() const {
+  PAXML_CHECK(state_ != nullptr);
+  return state_->control.progress();
+}
+
 bool QueryHandle::Cancel() const {
   PAXML_CHECK(state_ != nullptr);
   // Flag first, then observe: if the query completes concurrently the flag
@@ -124,7 +129,8 @@ QueryReport QueryHandle::TakeReport() {
 Engine::Engine(const Cluster& cluster, EngineConfig config)
     : cluster_(&cluster),
       config_(std::move(config)),
-      transport_(MakeTransportFor(cluster, config_.transport)),
+      transport_(MakeTransportFor(cluster, config_.transport,
+                                  config_.transport_options)),
       scheduler_(config_.depth, SchedulerPoolOf(transport_.get())) {}
 
 // The scheduler (declared last) is destroyed first, draining every
@@ -220,6 +226,7 @@ Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
                                               const EngineOptions& options) {
   Engine engine(cluster, EngineConfig{.depth = 1,
                                       .transport = options.transport,
+                                      .transport_options = options.transport_options,
                                       .defaults = options});
   return engine.Submit(query).TakeReport().result;
 }
@@ -229,6 +236,7 @@ Result<DistributedResult> EvaluateDistributed(const Cluster& cluster,
                                               const EngineOptions& options) {
   Engine engine(cluster, EngineConfig{.depth = 1,
                                       .transport = options.transport,
+                                      .transport_options = options.transport_options,
                                       .defaults = options});
   return engine.Submit(std::string(query)).TakeReport().result;
 }
@@ -253,6 +261,7 @@ std::vector<Result<DistributedResult>> EvalBatch(
   Engine engine(cluster,
                 EngineConfig{.depth = std::min(stream_depth, queries.size()),
                              .transport = options.transport,
+                             .transport_options = options.transport_options,
                              .defaults = options});
   std::vector<QueryHandle> handles;
   handles.reserve(queries.size());

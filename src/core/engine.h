@@ -51,6 +51,7 @@
 #include "core/pax2.h"
 #include "core/pax3.h"
 #include "runtime/query_scheduler.h"
+#include "runtime/run_control.h"
 #include "runtime/transport.h"
 #include "sim/cluster.h"
 #include "xpath/query_plan.h"
@@ -73,6 +74,11 @@ struct EngineOptions {
   /// parallel_execution). Answers, visit counts and per-edge byte totals
   /// are identical across backends (tested property).
   std::optional<TransportKind> transport;
+
+  /// Message-plane knobs (frame batching, streaming chunk sizes) for the
+  /// transport the evaluation creates. Batching changes message counts
+  /// only — never byte totals, visits or answers (tested property).
+  TransportOptions transport_options;
 };
 
 /// How an Engine is wired to its cluster.
@@ -85,6 +91,10 @@ struct EngineConfig {
   /// Message backend for the engine's shared transport. Unset: the
   /// cluster's default (pooled iff parallel_execution).
   std::optional<TransportKind> transport;
+
+  /// Message-plane knobs of the engine's shared transport (frame batching
+  /// on by default; see runtime/transport.h).
+  TransportOptions transport_options;
 
   /// Per-query options used when a submission does not override them.
   EngineOptions defaults;
@@ -141,6 +151,13 @@ class QueryHandle {
   /// Non-blocking: the report if the query has completed, else nullptr.
   const QueryReport* TryGet() const;
 
+  /// Non-blocking live view of the in-flight evaluation: rounds completed
+  /// and traffic accounted so far, published at every Coordinator round
+  /// boundary — available *before* Wait() resolves (all zeroes while the
+  /// query is still queued; for a finished query it matches the report's
+  /// RunStats). Monotone across calls.
+  RunProgress Progress() const;
+
   /// Requests cooperative cancellation: a queued query is rejected at
   /// admission, a running one unwinds at its next round boundary (without
   /// disturbing concurrent runs). Returns false if the query had already
@@ -164,13 +181,15 @@ class QueryHandle {
 
 /// What a query submission may override (see EngineConfig::defaults).
 struct SubmitOptions {
-  /// Higher-priority submissions are admitted first; ties run in
+  /// Higher-priority submissions are admitted first; within a priority
+  /// band the earliest deadline runs first (EDF), remaining ties in
   /// submission order. In-flight evaluations are never preempted.
   int priority = 0;
 
   /// Relative deadline, measured from submission. Expiry rejects the query
   /// while queued and unwinds it at the next round boundary while running;
-  /// either way the report carries kDeadlineExceeded.
+  /// either way the report carries kDeadlineExceeded. Within a priority
+  /// band, a nearer deadline also wins admission (EDF).
   std::optional<std::chrono::steady_clock::duration> deadline;
 
   /// Per-query engine options (algorithm, pax options); unset uses the

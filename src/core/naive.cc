@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/answer_stream.h"
 #include "eval/centralized.h"
 #include "runtime/coordinator.h"
 #include "xml/serializer.h"
@@ -20,12 +21,9 @@ class NaiveProgram : public MessageHandlers {
       : doc_(doc), received_(doc->size(), false) {}
 
   Status OnDataRequest(SiteContext& ctx, FragmentId f) override {
-    Envelope env;
-    env.to = ctx.query_site();
-    env.category = PayloadCategory::kData;
-    env.phantom_bytes = SerializedSize(doc_->fragment(f).tree);
-    env.parts.push_back({MessageKind::kDataShip, f, {}, false});
-    ctx.Send(std::move(env));
+    // Streamed: the modeled fragment bytes append to the open frame in
+    // bounded chunks instead of one monolithic shipment.
+    ShipDataStreamed(ctx, f, SerializedSize(doc_->fragment(f).tree));
     return Status::OK();
   }
 

@@ -10,7 +10,10 @@ namespace {
 
 /// ParBoX as runtime handlers: every site answers one kQualRequest per
 /// fragment with a QualUpMessage; the coordinator feeds the reports into
-/// the fragment-tree unifier.
+/// the fragment-tree unifier. ParBoX ships no answers (its result is one
+/// truth value), so it has no streamed shipment — but under the framed
+/// message plane a site holding k fragments sends its k replies as one
+/// frame, exactly the O(|Q||FT|) coalescing the batching layer exists for.
 class ParBoXProgram : public MessageHandlers {
  public:
   ParBoXProgram(const FragmentedDocument* doc, const CompiledQuery* query)

@@ -4,6 +4,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/answer_stream.h"
 #include "core/eval_ft.h"
 #include "core/parbox.h"
 #include "core/site_eval.h"
@@ -361,25 +362,15 @@ class Pax2Program : public MessageHandlers {
   std::vector<GlobalNodeId> TakeAnswers() { return std::move(answers_); }
 
  private:
-  /// One answer envelope: encoded id list plus answer payload as phantom
-  /// bytes. In the concrete-init path only the phantom XML is accounted
-  /// (the id list duplicates it); the final visit accounts both, as the
-  /// O(|ans|) term of the communication bound.
+  /// One streamed answer shipment: id list chunks appended to the open
+  /// frame, answer payload as phantom bytes. In the concrete-init path
+  /// only the phantom XML is accounted (the id list duplicates it); the
+  /// final visit accounts both, as the O(|ans|) term of the communication
+  /// bound.
   void SendAnswers(SiteContext& ctx, FragmentId f,
                    const std::vector<NodeId>& answers) {
-    AnswerUpMessage reply;
-    reply.fragment = f;
-    reply.answers = answers;
-    ByteWriter bytes;
-    reply.Encode(&bytes);
-    Envelope env;
-    env.to = ctx.query_site();
-    env.category = PayloadCategory::kAnswer;
-    env.phantom_bytes =
-        AnswerBytes(doc_.fragment(f).tree, answers, options_.ship_mode);
-    env.parts.push_back({MessageKind::kAnswerUp, f, std::move(bytes).Take(),
-                         !concrete_init_});
-    ctx.Send(std::move(env));
+    ShipAnswersStreamed(ctx, doc_.fragment(f).tree, f, answers,
+                        options_.ship_mode, /*account_ids=*/!concrete_init_);
   }
 
   const FragmentedDocument& doc_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "core/answer_stream.h"
 #include "core/eval_ft.h"
 #include "core/parbox.h"
 #include "core/site_eval.h"
@@ -222,26 +223,15 @@ class Pax3Program : public MessageHandlers {
   std::vector<GlobalNodeId> TakeAnswers() { return std::move(answers_); }
 
  private:
-  /// One answer envelope: the encoded id list plus the answer payload
-  /// (subtrees or references) as phantom bytes — the O(|ans|) term.
+  /// One streamed answer shipment: id list chunks appended to the open
+  /// frame, the answer payload (subtrees or references) as phantom bytes —
+  /// the O(|ans|) term. In the concrete-init path the id list duplicates
+  /// the shipped XML, so only the phantom payload is accounted (matching
+  /// the paper's model); stage-3 replies account the id list as today.
   void SendAnswers(SiteContext& ctx, FragmentId f,
                    const std::vector<NodeId>& answers) {
-    AnswerUpMessage reply;
-    reply.fragment = f;
-    reply.answers = answers;
-    ByteWriter bytes;
-    reply.Encode(&bytes);
-    Envelope env;
-    env.to = ctx.query_site();
-    env.category = PayloadCategory::kAnswer;
-    env.phantom_bytes =
-        AnswerBytes(doc_.fragment(f).tree, answers, options_.ship_mode);
-    // In the concrete-init path the id list duplicates the shipped XML, so
-    // only the phantom payload is accounted (matching the paper's model);
-    // stage-3 replies account the id list as today.
-    env.parts.push_back({MessageKind::kAnswerUp, f, std::move(bytes).Take(),
-                         !concrete_init_});
-    ctx.Send(std::move(env));
+    ShipAnswersStreamed(ctx, doc_.fragment(f).tree, f, answers,
+                        options_.ship_mode, /*account_ids=*/!concrete_init_);
   }
 
   const FragmentedDocument& doc_;

@@ -123,11 +123,17 @@ std::vector<Formula> ConstStackInit(const std::vector<uint8_t>& values) {
 
 uint64_t AnswerBytes(const Tree& tree, const std::vector<NodeId>& answers,
                      AnswerShipMode mode) {
+  return AnswerBytes(tree, answers.data(), answers.size(), mode);
+}
+
+uint64_t AnswerBytes(const Tree& tree, const NodeId* answers, size_t count,
+                     AnswerShipMode mode) {
   if (mode == AnswerShipMode::kReferences) {
-    return static_cast<uint64_t>(answers.size()) * 8;
+    return static_cast<uint64_t>(count) * 8;
   }
   uint64_t bytes = 0;
-  for (NodeId v : answers) {
+  for (size_t i = 0; i < count; ++i) {
+    const NodeId v = answers[i];
     bytes += tree.IsText(v) ? tree.text(v).size() : SerializedSize(tree, v);
   }
   return bytes;

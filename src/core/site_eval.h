@@ -67,8 +67,12 @@ std::vector<Formula> VariableStackInit(const CompiledQuery& query,
 std::vector<Formula> ConstStackInit(const std::vector<uint8_t>& values);
 
 /// Bytes needed to ship the given answer nodes of `tree` (see
-/// AnswerShipMode).
+/// AnswerShipMode). Additive per answer, so a chunked shipment
+/// (core/answer_stream.h) accounts the same total as a monolithic one —
+/// the subrange overload is what the chunks use.
 uint64_t AnswerBytes(const Tree& tree, const std::vector<NodeId>& answers,
+                     AnswerShipMode mode);
+uint64_t AnswerBytes(const Tree& tree, const NodeId* answers, size_t count,
                      AnswerShipMode mode);
 
 }  // namespace paxml

@@ -75,6 +75,14 @@ Status Coordinator::RunRound(const std::string& label,
 
   PAXML_RETURN_NOT_OK(round_status);
   PAXML_RETURN_NOT_OK(DispatchCoordinatorMail());
+  // The round's traffic is fully accounted (every frame it produced sealed
+  // during the snapshot or the coordinator drain): publish progress before
+  // sleeping out any modeled delay, so clients polling the handle see the
+  // round as soon as it logically completed.
+  if (control_ != nullptr) {
+    control_->PublishProgress({stats_.rounds, stats_.total_messages,
+                               stats_.total_envelopes, stats_.total_bytes});
+  }
   // Don't sleep out a modeled network delay for a run that was cancelled
   // while the round was in flight: report promptly instead.
   if (control_ != nullptr) PAXML_RETURN_NOT_OK(control_->Check());

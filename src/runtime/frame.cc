@@ -1,0 +1,166 @@
+#include "runtime/frame.h"
+
+#include "common/logging.h"
+
+namespace paxml {
+
+namespace {
+
+// Sites and fragments are signed with -1 as the null sentinel; shift by one
+// so the varint encoding stays single-byte for the common small ids.
+uint64_t EncodeId(int32_t v) { return static_cast<uint64_t>(v + 1); }
+
+// The decoder consumes untrusted wire input: reject anything that would
+// wrap the int32 shift (a corrupt varint must surface as a parse error,
+// never as a bogus id).
+Result<int32_t> DecodeId(uint64_t v) {
+  if (v > 0x7fffffff) return Status::ParseError("frame: id out of range");
+  return static_cast<int32_t>(v) - 1;
+}
+
+// Envelope flag byte: bit 0 = accounted, bits 1-2 = payload category.
+uint8_t EnvelopeFlags(const Envelope& env) {
+  return static_cast<uint8_t>((env.accounted ? 1 : 0) |
+                              (static_cast<uint8_t>(env.category) << 1));
+}
+
+}  // namespace
+
+uint64_t Frame::AccountedBytes() const {
+  uint64_t bytes = 0;
+  for (const Envelope& env : envelopes) {
+    if (env.accounted) bytes += env.WireBytes();
+  }
+  return bytes;
+}
+
+bool Frame::Accounted() const {
+  for (const Envelope& env : envelopes) {
+    if (env.accounted) return true;
+  }
+  return false;
+}
+
+void Frame::Encode(ByteWriter* out) const {
+  out->PutVarint(run);
+  out->PutVarint(EncodeId(from));
+  out->PutVarint(EncodeId(to));
+  out->PutVarint(sequence);
+  out->PutVarint(envelopes.size());
+  for (const Envelope& env : envelopes) {
+    out->PutU8(EnvelopeFlags(env));
+    out->PutVarint(env.phantom_bytes);
+    out->PutVarint(env.parts.size());
+    for (const WirePart& part : env.parts) {
+      out->PutU8(static_cast<uint8_t>(part.kind));
+      out->PutVarint(EncodeId(part.fragment));
+      out->PutU8(part.accounted ? 1 : 0);
+      out->PutString(part.bytes);
+    }
+  }
+}
+
+Result<Frame> Frame::Decode(ByteReader* in) {
+  Frame frame;
+  PAXML_ASSIGN_OR_RETURN(uint64_t run, in->GetVarint());
+  frame.run = run;
+  PAXML_ASSIGN_OR_RETURN(uint64_t from, in->GetVarint());
+  PAXML_ASSIGN_OR_RETURN(frame.from, DecodeId(from));
+  PAXML_ASSIGN_OR_RETURN(uint64_t to, in->GetVarint());
+  PAXML_ASSIGN_OR_RETURN(frame.to, DecodeId(to));
+  if (frame.to == kNullSite) {
+    return Status::ParseError("frame: null destination");
+  }
+  PAXML_ASSIGN_OR_RETURN(frame.sequence, in->GetVarint());
+  PAXML_ASSIGN_OR_RETURN(uint64_t envelope_count, in->GetVarint());
+  // Counts come off the wire: bound them by what the remaining bytes could
+  // possibly hold (>= 3 bytes per envelope, >= 4 per part) before any
+  // reserve, so a corrupt header is a parse error, not an allocation blast.
+  if (envelope_count > in->remaining() / 3) {
+    return Status::ParseError("frame: envelope count past buffer end");
+  }
+  frame.envelopes.reserve(envelope_count);
+  for (uint64_t i = 0; i < envelope_count; ++i) {
+    Envelope env;
+    env.run = frame.run;
+    env.from = frame.from;
+    env.to = frame.to;
+    PAXML_ASSIGN_OR_RETURN(uint8_t flags, in->GetU8());
+    if (flags >> 3) return Status::ParseError("frame: bad envelope flags");
+    env.accounted = (flags & 1) != 0;
+    const uint8_t category = flags >> 1;
+    if (category > static_cast<uint8_t>(PayloadCategory::kData)) {
+      return Status::ParseError("frame: bad payload category");
+    }
+    env.category = static_cast<PayloadCategory>(category);
+    PAXML_ASSIGN_OR_RETURN(env.phantom_bytes, in->GetVarint());
+    PAXML_ASSIGN_OR_RETURN(uint64_t part_count, in->GetVarint());
+    if (part_count > in->remaining() / 4) {
+      return Status::ParseError("frame: part count past buffer end");
+    }
+    env.parts.reserve(part_count);
+    for (uint64_t p = 0; p < part_count; ++p) {
+      WirePart part;
+      PAXML_ASSIGN_OR_RETURN(uint8_t kind, in->GetU8());
+      if (kind > static_cast<uint8_t>(MessageKind::kDataShip)) {
+        return Status::ParseError("frame: bad message kind");
+      }
+      part.kind = static_cast<MessageKind>(kind);
+      PAXML_ASSIGN_OR_RETURN(uint64_t fragment, in->GetVarint());
+      PAXML_ASSIGN_OR_RETURN(part.fragment, DecodeId(fragment));
+      PAXML_ASSIGN_OR_RETURN(uint8_t accounted, in->GetU8());
+      if (accounted > 1) return Status::ParseError("frame: bad part flag");
+      part.accounted = accounted != 0;
+      PAXML_ASSIGN_OR_RETURN(part.bytes, in->GetString());
+      env.parts.push_back(std::move(part));
+    }
+    frame.envelopes.push_back(std::move(env));
+  }
+  return frame;
+}
+
+void AccountEnvelopeBytes(const Envelope& env, RunStats* stats) {
+  // Decoded frames may carry wire input: a site id outside the stats
+  // vector is a caller bug (sockets must validate against the cluster
+  // before accounting), caught here rather than written out of bounds.
+  PAXML_CHECK_LT(static_cast<size_t>(env.to), stats->per_site.size());
+  PAXML_CHECK(env.from == kNullSite ||
+              static_cast<size_t>(env.from) < stats->per_site.size());
+  const uint64_t bytes = env.WireBytes();
+  ++stats->total_envelopes;
+  stats->total_bytes += bytes;
+  switch (env.category) {
+    case PayloadCategory::kAnswer:
+      stats->answer_bytes += bytes;
+      break;
+    case PayloadCategory::kData:
+      stats->data_bytes_shipped += bytes;
+      break;
+    case PayloadCategory::kControl:
+      break;
+  }
+  if (env.from != kNullSite) {
+    stats->per_site[static_cast<size_t>(env.from)].bytes_sent += bytes;
+  }
+  stats->per_site[static_cast<size_t>(env.to)].bytes_received += bytes;
+  stats->edges[{env.from, env.to}].bytes += bytes;
+  ++stats->edges[{env.from, env.to}].envelopes;
+}
+
+void AccountFrame(const Frame& frame, RunStats* stats) {
+  for (const Envelope& env : frame.envelopes) {
+    if (env.accounted) AccountEnvelopeBytes(env, stats);
+  }
+  if (!frame.Accounted()) return;
+  PAXML_CHECK_LT(static_cast<size_t>(frame.to), stats->per_site.size());
+  PAXML_CHECK(frame.from == kNullSite ||
+              static_cast<size_t>(frame.from) < stats->per_site.size());
+  ++stats->total_messages;
+  if (frame.from != kNullSite) {
+    ++stats->per_site[static_cast<size_t>(frame.from)].messages_sent;
+  }
+  ++stats->per_site[static_cast<size_t>(frame.to)].messages_received;
+  ++stats->edges[{frame.from, frame.to}].messages;
+}
+
+}  // namespace paxml

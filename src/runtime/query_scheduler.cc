@@ -70,12 +70,23 @@ size_t QueryScheduler::AdmissionLimitLocked() const {
 }
 
 size_t QueryScheduler::BestJobIndexLocked() const {
+  // Priority first; within a band, earliest deadline first (a job with a
+  // deadline is more urgent than one without — the deadline-free job can
+  // always wait); submission order breaks the remaining ties.
+  auto better = [](const QueuedJob& a, const QueuedJob& b) {
+    if (a.job.priority != b.job.priority) {
+      return a.job.priority > b.job.priority;
+    }
+    if (a.job.deadline != b.job.deadline) {
+      if (!a.job.deadline.has_value()) return false;
+      if (!b.job.deadline.has_value()) return true;
+      return *a.job.deadline < *b.job.deadline;
+    }
+    return a.seq < b.seq;
+  };
   size_t best = queue_.size();
   for (size_t i = 0; i < queue_.size(); ++i) {
-    if (best == queue_.size() ||
-        queue_[i].job.priority > queue_[best].job.priority ||
-        (queue_[i].job.priority == queue_[best].job.priority &&
-         queue_[i].seq < queue_[best].seq)) {
+    if (best == queue_.size() || better(queue_[i], queue_[best])) {
       best = i;
     }
   }

@@ -14,9 +14,11 @@
 // site work; that overlap is the throughput win bench_multiquery measures.
 //
 // Admission order and rejection (the session API's contract, DESIGN.md §7):
-//   * Jobs are admitted by descending priority, ties broken by submission
-//     order — a high-priority query jumps the queue but never preempts an
-//     evaluation already in flight.
+//   * Jobs are admitted by descending priority; within a priority band,
+//     earliest absolute deadline first (EDF — a deadline-carrying job
+//     always outranks a deadline-free one in its band), remaining ties in
+//     submission order. A high-priority query jumps the queue but never
+//     preempts an evaluation already in flight.
 //   * A job whose deadline has passed is *rejected* (its reject callback
 //     runs with DeadlineExceeded) without ever opening a transport run;
 //     likewise a job whose cancelled() predicate has turned true is
@@ -70,10 +72,12 @@ class QueryScheduler {
     /// and is rejected without running. May be null.
     std::function<bool()> cancelled;
 
-    /// Higher runs first; ties are admitted in submission order.
+    /// Higher runs first; within a band, earliest deadline first, then
+    /// submission order.
     int priority = 0;
 
-    /// Absolute deadline; a job still queued past it is rejected.
+    /// Absolute deadline; a job still queued past it is rejected, and a
+    /// nearer deadline wins admission within a priority band (EDF).
     std::optional<std::chrono::steady_clock::time_point> deadline;
   };
 

@@ -29,6 +29,19 @@
 
 namespace paxml {
 
+/// Live accounting snapshot of an in-flight evaluation, published by the
+/// Coordinator at every round boundary — what a client can see *before*
+/// Wait() resolves (QueryHandle::Progress). Counts only what has actually
+/// been accounted: staged-but-unsealed frames are not yet traffic.
+struct RunProgress {
+  int rounds = 0;             ///< coordinator rounds completed so far
+  uint64_t messages = 0;      ///< accounted frames so far
+  uint64_t envelopes = 0;     ///< accounted envelopes so far
+  uint64_t bytes = 0;         ///< accounted payload bytes so far
+
+  bool operator==(const RunProgress&) const = default;
+};
+
 class RunControl {
  public:
   using Clock = std::chrono::steady_clock;
@@ -79,11 +92,24 @@ class RunControl {
     return std::move(stats_);
   }
 
+  /// Round-boundary progress publication (Coordinator::RunRound) and its
+  /// reader (QueryHandle::Progress). Monotone per run; thread-safe.
+  void PublishProgress(const RunProgress& progress) {
+    std::lock_guard<std::mutex> lock(mu_);
+    progress_ = progress;
+  }
+
+  RunProgress progress() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return progress_;
+  }
+
  private:
   std::atomic<bool> cancel_{false};
   std::optional<Clock::time_point> deadline_;
-  std::mutex mu_;  // guards stats_
+  mutable std::mutex mu_;  // guards stats_ and progress_
   RunStats stats_;
+  RunProgress progress_;
 };
 
 }  // namespace paxml

@@ -13,6 +13,7 @@
 #ifndef PAXML_RUNTIME_SITE_RUNTIME_H_
 #define PAXML_RUNTIME_SITE_RUNTIME_H_
 
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -49,11 +50,60 @@ class SiteContext {
     transport_->Send(std::move(env));
   }
 
+  /// The message plane this context sends on (chunk-size options live
+  /// here; EnvelopeStream below streams through it).
+  Transport& transport() const { return *transport_; }
+
  private:
   SiteId site_;
   const Cluster* cluster_;
   Transport* transport_;
   RunId run_;
+};
+
+/// Incremental emitter of one logical envelope: open it on a head envelope
+/// whose last part's bytes will grow, Append() chunks of encoded payload
+/// (and/or modeled phantom bytes) as they are produced, Close() when done.
+///
+/// On a batching transport the head is staged into the open frame
+/// immediately and every chunk extends it in place — the paper's answer
+/// streaming: a site ships its answers as it settles them instead of
+/// materializing one monolithic shipment, and the frame that leaves at the
+/// round boundary is byte-identical to the monolithic envelope. With
+/// batching off (or for free local delivery, where no wire exists) the
+/// chunks accumulate privately and Close() sends one classic envelope —
+/// the seed's exact behavior. Either way the receiver decodes a single
+/// envelope, so handlers and accounting never see chunk boundaries.
+///
+/// Scoped to one handler invocation: a stream must be closed before the
+/// handler returns (frames cannot seal around an open stream), and only
+/// one stream per destination may be open at a time.
+class EnvelopeStream {
+ public:
+  /// Stamps `head` with the context's site and run and opens the stream.
+  /// `head.parts` must be non-empty; chunks extend the last part.
+  EnvelopeStream(SiteContext& ctx, Envelope head);
+
+  /// Closes the stream if Close() was not called explicitly.
+  ~EnvelopeStream();
+
+  EnvelopeStream(const EnvelopeStream&) = delete;
+  EnvelopeStream& operator=(const EnvelopeStream&) = delete;
+
+  /// Appends `bytes` to the growing part and `phantom_bytes` to the
+  /// envelope's modeled payload.
+  void Append(std::string_view bytes, uint64_t phantom_bytes = 0);
+
+  void Close();
+
+ private:
+  Transport* transport_;
+  Envelope buffered_;    ///< the whole envelope when not staged
+  RunId run_ = kNullRun;
+  SiteId from_ = kNullSite;
+  SiteId to_ = kNullSite;
+  bool staged_ = false;  ///< head lives in the transport's open frame
+  bool closed_ = false;
 };
 
 /// Algorithm-provided typed message handlers.

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "runtime/frame.h"
 #include "runtime/worker_pool.h"
 #include "sim/cluster.h"
 
@@ -50,6 +51,9 @@ bool Transport::HasPendingMailLocked(const RunBinding& binding) {
   for (const auto& box : binding.mailboxes) {
     if (!box.empty()) return true;
   }
+  for (const auto& [edge, staged] : binding.staging) {
+    if (!staged.envelopes.empty()) return true;
+  }
   return false;
 }
 
@@ -72,46 +76,111 @@ void Transport::CloseRun(RunId run) {
 void Transport::Send(Envelope env) {
   PAXML_CHECK(env.run != kNullRun);  // Post/SiteContext stamp the run id
   PAXML_CHECK(env.to != kNullSite);
-  const uint64_t bytes = env.WireBytes();
   std::lock_guard<std::mutex> lock(mu_);
   RunBinding& binding = BindingLocked(env.run);
   PAXML_CHECK_LT(static_cast<size_t>(env.to), binding.mailboxes.size());
-  // Local delivery is free: co-located fragments exchange no network bytes
-  // (the query site holds the root fragment by assumption).
+  // Local delivery is free and immediate: co-located fragments exchange no
+  // network bytes (the query site holds the root fragment by assumption),
+  // so there is nothing to frame either.
   const bool local = env.from == env.to && env.from != kNullSite;
+  if (options_.batching && !local) {
+    StagedEdge& staged = binding.staging[{env.from, env.to}];
+    PAXML_CHECK(!staged.stream_open);  // close the stream before more mail
+    staged.envelopes.push_back(std::move(env));
+    return;
+  }
   if (env.accounted && !local) {
+    AccountEnvelopeBytes(env, binding.stats);
     RunStats* stats = binding.stats;
     ++stats->total_messages;
-    stats->total_bytes += bytes;
-    switch (env.category) {
-      case PayloadCategory::kAnswer:
-        stats->answer_bytes += bytes;
-        break;
-      case PayloadCategory::kData:
-        stats->data_bytes_shipped += bytes;
-        break;
-      case PayloadCategory::kControl:
-        break;
-    }
     if (env.from != kNullSite) {
-      SiteStats& f = stats->per_site[static_cast<size_t>(env.from)];
-      ++f.messages_sent;
-      f.bytes_sent += bytes;
+      ++stats->per_site[static_cast<size_t>(env.from)].messages_sent;
     }
-    SiteStats& t = stats->per_site[static_cast<size_t>(env.to)];
-    ++t.messages_received;
-    t.bytes_received += bytes;
-    EdgeStats& e = stats->edges[{env.from, env.to}];
-    ++e.messages;
-    e.bytes += bytes;
+    ++stats->per_site[static_cast<size_t>(env.to)].messages_received;
+    ++stats->edges[{env.from, env.to}].messages;
   }
   binding.mailboxes[static_cast<size_t>(env.to)].push_back(std::move(env));
+}
+
+void Transport::StreamBegin(Envelope head) {
+  PAXML_CHECK(options_.batching);
+  PAXML_CHECK(head.run != kNullRun);
+  PAXML_CHECK(head.to != kNullSite);
+  PAXML_CHECK(!head.parts.empty());  // the part StreamAppend extends
+  const bool local = head.from == head.to && head.from != kNullSite;
+  PAXML_CHECK(!local);  // EnvelopeStream buffers local shipments itself
+  std::lock_guard<std::mutex> lock(mu_);
+  RunBinding& binding = BindingLocked(head.run);
+  PAXML_CHECK_LT(static_cast<size_t>(head.to), binding.mailboxes.size());
+  StagedEdge& staged = binding.staging[{head.from, head.to}];
+  PAXML_CHECK(!staged.stream_open);  // one open stream per (run, edge)
+  staged.envelopes.push_back(std::move(head));
+  staged.stream_open = true;
+}
+
+void Transport::StreamAppend(RunId run, SiteId from, SiteId to,
+                             std::string_view bytes, uint64_t phantom_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RunBinding& binding = BindingLocked(run);
+  auto it = binding.staging.find({from, to});
+  PAXML_CHECK(it != binding.staging.end() && it->second.stream_open);
+  Envelope& env = it->second.envelopes.back();
+  env.parts.back().bytes.append(bytes);
+  env.phantom_bytes += phantom_bytes;
+}
+
+void Transport::StreamEnd(RunId run, SiteId from, SiteId to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RunBinding& binding = BindingLocked(run);
+  auto it = binding.staging.find({from, to});
+  PAXML_CHECK(it != binding.staging.end() && it->second.stream_open);
+  it->second.stream_open = false;
+}
+
+void Transport::SealEdgeLocked(RunId run, RunBinding& binding,
+                               const EdgeKey& edge, StagedEdge&& staged) {
+  // A frame must never seal around a half-written stream; streams are
+  // scoped inside one site handler, which completes before any round
+  // boundary of its run.
+  PAXML_CHECK(!staged.stream_open);
+  if (staged.envelopes.empty()) return;
+  Frame frame;
+  frame.run = run;
+  frame.from = edge.first;
+  frame.to = edge.second;
+  frame.sequence = binding.next_frame_sequence[edge]++;
+  frame.envelopes = std::move(staged.envelopes);
+  AccountFrame(frame, binding.stats);
+  auto& box = binding.mailboxes[static_cast<size_t>(edge.second)];
+  for (Envelope& env : frame.envelopes) box.push_back(std::move(env));
+}
+
+void Transport::FlushRunLocked(RunId run, RunBinding& binding) {
+  // Ordered map: frames seal lowest (from, to) first, so mailbox order is
+  // deterministic across backends.
+  for (auto& [edge, staged] : binding.staging) {
+    SealEdgeLocked(run, binding, edge, std::move(staged));
+  }
+  binding.staging.clear();
+}
+
+void Transport::FlushToSiteLocked(RunId run, RunBinding& binding,
+                                  SiteId site) {
+  for (auto it = binding.staging.begin(); it != binding.staging.end();) {
+    if (it->first.second == site) {
+      SealEdgeLocked(run, binding, it->first, std::move(it->second));
+      it = binding.staging.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::vector<Envelope> Transport::Drain(RunId run, SiteId site) {
   std::lock_guard<std::mutex> lock(mu_);
   RunBinding& binding = BindingLocked(run);
   PAXML_CHECK_LT(static_cast<size_t>(site), binding.mailboxes.size());
+  FlushToSiteLocked(run, binding, site);
   std::vector<Envelope> mail;
   mail.swap(binding.mailboxes[static_cast<size_t>(site)]);
   return mail;
@@ -121,7 +190,11 @@ bool Transport::HasMail(RunId run, SiteId site) const {
   std::lock_guard<std::mutex> lock(mu_);
   const RunBinding& binding = BindingLocked(run);
   PAXML_CHECK_LT(static_cast<size_t>(site), binding.mailboxes.size());
-  return !binding.mailboxes[static_cast<size_t>(site)].empty();
+  if (!binding.mailboxes[static_cast<size_t>(site)].empty()) return true;
+  for (const auto& [edge, staged] : binding.staging) {
+    if (edge.second == site && !staged.envelopes.empty()) return true;
+  }
+  return false;
 }
 
 bool Transport::HasPendingMail(RunId run) const {
@@ -138,6 +211,11 @@ std::vector<std::vector<Envelope>> Transport::SnapshotInboxes(
     RunId run, const std::vector<SiteId>& sites) {
   std::lock_guard<std::mutex> lock(mu_);
   RunBinding& binding = BindingLocked(run);
+  // The round boundary: every edge the run staged since the last boundary
+  // seals and is accounted now, before the snapshot, so the round sees the
+  // full pre-round traffic (destinations outside `sites` keep the sealed
+  // mail in their boxes for a later round or drain).
+  FlushRunLocked(run, binding);
   std::vector<std::vector<Envelope>> inboxes;
   inboxes.reserve(sites.size());
   for (SiteId s : sites) {
@@ -175,11 +253,13 @@ void SyncTransport::RunRound(RunId run, const std::vector<SiteId>& sites,
 
 // ---- PooledTransport --------------------------------------------------------
 
-PooledTransport::PooledTransport(std::shared_ptr<WorkerPool> pool)
-    : pool_(pool ? std::move(pool) : std::make_shared<WorkerPool>()) {}
+PooledTransport::PooledTransport(std::shared_ptr<WorkerPool> pool,
+                                 TransportOptions options)
+    : Transport(options),
+      pool_(pool ? std::move(pool) : std::make_shared<WorkerPool>()) {}
 
-PooledTransport::PooledTransport(size_t workers)
-    : pool_(std::make_shared<WorkerPool>(workers)) {}
+PooledTransport::PooledTransport(size_t workers, TransportOptions options)
+    : Transport(options), pool_(std::make_shared<WorkerPool>(workers)) {}
 
 size_t PooledTransport::worker_count() const { return pool_->worker_count(); }
 
@@ -227,12 +307,13 @@ Envelope MakeRequestEnvelope(MessageKind kind, SiteId to, FragmentId fragment) {
 
 // ---- Factory ----------------------------------------------------------------
 
-std::unique_ptr<Transport> MakeTransport(TransportKind kind) {
+std::unique_ptr<Transport> MakeTransport(TransportKind kind,
+                                         TransportOptions options) {
   switch (kind) {
     case TransportKind::kSync:
-      return std::make_unique<SyncTransport>();
+      return std::make_unique<SyncTransport>(options);
     case TransportKind::kPooled:
-      return std::make_unique<PooledTransport>();
+      return std::make_unique<PooledTransport>(nullptr, options);
   }
   PAXML_CHECK(false);
   return nullptr;
@@ -244,12 +325,13 @@ TransportKind DefaultTransportKind(const Cluster& cluster) {
 }
 
 std::unique_ptr<Transport> MakeTransportFor(const Cluster& cluster,
-                                            std::optional<TransportKind> kind) {
+                                            std::optional<TransportKind> kind,
+                                            TransportOptions options) {
   const TransportKind k = kind.value_or(DefaultTransportKind(cluster));
   if (k == TransportKind::kPooled) {
-    return std::make_unique<PooledTransport>(cluster.worker_pool());
+    return std::make_unique<PooledTransport>(cluster.worker_pool(), options);
   }
-  return MakeTransport(k);
+  return MakeTransport(k, options);
 }
 
 Transport* EnsureTransport(Transport* transport, const Cluster& cluster,

@@ -17,6 +17,19 @@
 // belongs to, so concurrent evaluations never see each other's mail or
 // bleed into each other's accounting (invariant 5, DESIGN.md §6).
 //
+// Framing (DESIGN.md §8): by default the transport does not put envelopes
+// on the (modeled) wire one by one. Send *stages* each cross-site envelope
+// under its (run, from, to) edge; at the next round boundary — the inbox
+// snapshot that starts a delivery round, or a Drain of a destination's
+// mail — the staged envelopes of an edge are sealed into one Frame
+// (runtime/frame.h), accounted as a single message, and delivered. Byte
+// totals, per-edge byte splits and visit counts are exactly those of
+// unbatched sending (tested property); only the message count — and with
+// it every per-message cost in NetworkCostModel — shrinks. Staging is keyed
+// by run, so concurrent evaluations never share a frame. TransportOptions
+// is the escape hatch: batching=false restores the historical
+// envelope-per-message plane.
+//
 // Two backends deliver mail:
 //   * SyncTransport    — sequential, deterministic; the reference semantics.
 //   * PooledTransport  — delivers each round's site mail on a WorkerPool
@@ -40,6 +53,8 @@
 #include <optional>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sim/stats.h"
@@ -92,6 +107,26 @@ struct WirePart {
   bool accounted = true;
 };
 
+/// Behavior knobs of the message plane, shared by every backend.
+struct TransportOptions {
+  /// Coalesce each round's envelopes per (run, destination edge) into one
+  /// Frame at the round boundary (the default). Off restores the seed's
+  /// envelope-per-message accounting — the escape hatch for comparisons
+  /// and for callers that need Send-time accounting.
+  bool batching = true;
+
+  /// Streamed answer shipments (core/answer_stream.h) append their id list
+  /// in chunks of at most this many node ids, so no site materializes one
+  /// monolithic answer payload. The chunk boundaries are invisible on the
+  /// wire: chunks extend the open frame and concatenate to the exact
+  /// AnswerUpMessage encoding.
+  size_t answer_chunk_ids = 256;
+
+  /// Chunk size for streamed raw-data shipments (the naive baseline's
+  /// modeled fragment transfer), in phantom bytes per chunk.
+  uint64_t data_chunk_bytes = 64 * 1024;
+};
+
 /// One network message. Envelope metadata (routing, kinds) models the
 /// constant-size header real stacks add and is not accounted, exactly as
 /// the old QueryRun::Send(bytes) accounting did.
@@ -139,17 +174,43 @@ class Transport {
   /// run; its RunStats is not touched after this returns.
   void CloseRun(RunId run);
 
-  /// THE choke point: accounts the envelope (unless it is control-plane or
-  /// local — delivery between co-located fragments is free, matching the
-  /// deployment reality that S_Q holds the root fragment) and enqueues it
-  /// into its run's destination mailbox. env.run must name an open run.
+  /// THE choke point. With batching (the default), a cross-site envelope is
+  /// staged under its (run, from, to) edge and accounted when the edge's
+  /// frame seals at the next round boundary; unbatched, it is accounted
+  /// immediately (unless control-plane) and enqueued directly. Local
+  /// delivery — between co-located fragments — is always immediate and
+  /// free: there is no wire to frame, matching the deployment reality that
+  /// S_Q holds the root fragment. env.run must name an open run.
   void Send(Envelope env);
 
-  /// Removes and returns `site`'s pending mail in `run`.
+  /// Opens a streamed envelope on `head`'s edge (batching only, cross-site
+  /// only): `head` is staged as the edge's open stream and StreamAppend
+  /// extends its last part in place, so chunks emitted over time land in
+  /// the same frame as one envelope. Exactly one stream may be open per
+  /// (run, edge); it must be closed (StreamEnd) before the next round
+  /// boundary. Use runtime/site_runtime.h's EnvelopeStream, which also
+  /// handles the unbatched and local cases, instead of calling these
+  /// directly.
+  void StreamBegin(Envelope head);
+
+  /// Appends `bytes` to the open stream's last part and adds
+  /// `phantom_bytes` to its envelope's modeled payload.
+  void StreamAppend(RunId run, SiteId from, SiteId to, std::string_view bytes,
+                    uint64_t phantom_bytes);
+
+  /// Closes the open stream on the edge; the envelope seals with the
+  /// edge's next frame.
+  void StreamEnd(RunId run, SiteId from, SiteId to);
+
+  /// Removes and returns `site`'s pending mail in `run`, sealing any
+  /// staged frames destined to it first (a drain is a round boundary for
+  /// the drained site).
   std::vector<Envelope> Drain(RunId run, SiteId site);
 
   /// The query methods are const so a read-only view of the transport
-  /// (e.g. Engine::transport()) can introspect it.
+  /// (e.g. Engine::transport()) can introspect it. Staged (not yet sealed)
+  /// mail counts as pending: HasMail answers "would a Drain deliver
+  /// anything", not "has a frame already sealed".
   bool HasMail(RunId run, SiteId site) const;
 
   /// True if any site of `run` holds undelivered mail.
@@ -169,16 +230,42 @@ class Transport {
 
   virtual const char* name() const = 0;
 
+  const TransportOptions& options() const { return options_; }
+  bool batching() const { return options_.batching; }
+
  protected:
+  Transport() = default;
+  explicit Transport(TransportOptions options) : options_(options) {}
+
   /// Snapshots the mailboxes of `sites` in `run` under the lock, in order.
+  /// This is the round boundary: every staged frame of the run seals and
+  /// delivers (and is accounted) first, so the snapshot sees the full
+  /// pre-round traffic and mail sent *during* the round stages for the
+  /// next boundary.
   std::vector<std::vector<Envelope>> SnapshotInboxes(
       RunId run, const std::vector<SiteId>& sites);
 
  private:
+  using EdgeKey = std::pair<SiteId, SiteId>;
+
+  /// Envelopes staged on one (run, edge) since the last round boundary.
+  struct StagedEdge {
+    std::vector<Envelope> envelopes;
+    /// The last envelope is an open EnvelopeStream; it must be closed
+    /// before this edge's frame can seal.
+    bool stream_open = false;
+  };
+
   /// Everything one evaluation owns inside the transport.
   struct RunBinding {
     RunStats* stats = nullptr;
     std::vector<std::vector<Envelope>> mailboxes;  // one per site
+    /// std::map so frames seal in deterministic (from, to) order across
+    /// backends.
+    std::map<EdgeKey, StagedEdge> staging;
+    /// Monotone per-edge frame numbering for the codec header; survives
+    /// flushes for the run's lifetime.
+    std::map<EdgeKey, uint64_t> next_frame_sequence;
   };
 
   /// Must hold mu_. PAXML_CHECKs that `run` is open.
@@ -187,17 +274,31 @@ class Transport {
 
   static bool HasPendingMailLocked(const RunBinding& binding);
 
+  /// Must hold mu_. Seals one staged edge into a Frame, accounts it into
+  /// the run's stats and moves its envelopes to the destination mailbox.
+  void SealEdgeLocked(RunId run, RunBinding& binding, const EdgeKey& edge,
+                      StagedEdge&& staged);
+
+  /// Must hold mu_. Seals every staged edge of the run (`FlushRunLocked`)
+  /// or only the edges destined to one site (`FlushToSiteLocked`).
+  void FlushRunLocked(RunId run, RunBinding& binding);
+  void FlushToSiteLocked(RunId run, RunBinding& binding, SiteId site);
+
   /// mutable so the const query methods can lock. Guards runs_ and every
-  /// binding's mailboxes + stats.
+  /// binding's mailboxes + staging + stats.
   mutable std::mutex mu_;
   RunId next_run_id_ = 1;
   std::map<RunId, RunBinding> runs_;
+  TransportOptions options_;
 };
 
 /// Deterministic sequential delivery; reproduces the seed simulator's
 /// numbers exactly and keeps timing curves stable on small hosts.
 class SyncTransport : public Transport {
  public:
+  explicit SyncTransport(TransportOptions options = {})
+      : Transport(options) {}
+
   void RunRound(RunId run, const std::vector<SiteId>& sites,
                 const DeliverFn& deliver,
                 std::vector<double>* durations) override;
@@ -209,9 +310,10 @@ class SyncTransport : public Transport {
 /// set of threads; with no pool the transport creates a private one.
 class PooledTransport : public Transport {
  public:
-  explicit PooledTransport(std::shared_ptr<WorkerPool> pool = nullptr);
+  explicit PooledTransport(std::shared_ptr<WorkerPool> pool = nullptr,
+                           TransportOptions options = {});
   /// Private pool with exactly `workers` threads (0 = default sizing).
-  explicit PooledTransport(size_t workers);
+  explicit PooledTransport(size_t workers, TransportOptions options = {});
 
   void RunRound(RunId run, const std::vector<SiteId>& sites,
                 const DeliverFn& deliver,
@@ -235,7 +337,8 @@ Envelope MakeRequestEnvelope(MessageKind kind, SiteId to, FragmentId fragment);
 
 enum class TransportKind : uint8_t { kSync, kPooled };
 
-std::unique_ptr<Transport> MakeTransport(TransportKind kind);
+std::unique_ptr<Transport> MakeTransport(TransportKind kind,
+                                         TransportOptions options = {});
 
 /// The backend a cluster's options ask for: pooled iff parallel execution.
 TransportKind DefaultTransportKind(const Cluster& cluster);
@@ -245,7 +348,8 @@ TransportKind DefaultTransportKind(const Cluster& cluster);
 /// one place that wires transports to cluster resources — the engine and
 /// EnsureTransport both go through it.
 std::unique_ptr<Transport> MakeTransportFor(
-    const Cluster& cluster, std::optional<TransportKind> kind = std::nullopt);
+    const Cluster& cluster, std::optional<TransportKind> kind = std::nullopt,
+    TransportOptions options = {});
 
 /// Returns `transport` if non-null; otherwise creates the cluster's default
 /// backend into `owned` and returns that. A pooled default shares the

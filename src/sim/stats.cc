@@ -21,8 +21,10 @@ uint64_t RunStats::total_visits() const {
 std::string RunStats::ToString() const {
   std::string out;
   out += StringFormat(
-      "rounds=%d messages=%llu bytes=%llu (answers=%llu, data=%llu)\n", rounds,
-      static_cast<unsigned long long>(total_messages),
+      "rounds=%d messages=%llu envelopes=%llu bytes=%llu (answers=%llu, "
+      "data=%llu)\n",
+      rounds, static_cast<unsigned long long>(total_messages),
+      static_cast<unsigned long long>(total_envelopes),
       static_cast<unsigned long long>(total_bytes),
       static_cast<unsigned long long>(answer_bytes),
       static_cast<unsigned long long>(data_bytes_shipped));
@@ -38,8 +40,10 @@ std::string RunStats::ToString() const {
         s.compute_seconds);
   }
   for (const auto& [edge, e] : edges) {
-    out += StringFormat("  edge %d->%d: messages=%llu bytes=%s\n", edge.first,
-                        edge.second, static_cast<unsigned long long>(e.messages),
+    out += StringFormat("  edge %d->%d: messages=%llu envelopes=%llu bytes=%s\n",
+                        edge.first, edge.second,
+                        static_cast<unsigned long long>(e.messages),
+                        static_cast<unsigned long long>(e.envelopes),
                         HumanBytes(e.bytes).c_str());
   }
   return out;

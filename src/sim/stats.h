@@ -23,9 +23,14 @@ namespace paxml {
 using SiteId = int32_t;
 inline constexpr SiteId kNullSite = -1;
 
-/// Accounted traffic on one directed site pair.
+/// Accounted traffic on one directed site pair. With the framed message
+/// plane (runtime/frame.h) a *message* is one frame on the wire; the
+/// envelopes it coalesced are counted separately, so batching shrinks
+/// `messages` while `envelopes` and `bytes` stay exactly what the protocol
+/// produced.
 struct EdgeStats {
-  uint64_t messages = 0;
+  uint64_t messages = 0;   ///< frames (== envelopes when batching is off)
+  uint64_t envelopes = 0;  ///< accounted envelopes carried by those frames
   uint64_t bytes = 0;
 
   bool operator==(const EdgeStats&) const = default;
@@ -55,14 +60,26 @@ struct NetworkCostModel {
   double latency_seconds = 0.0001;            ///< 0.1 ms per message
   double bandwidth_bytes_per_second = 100e6;  ///< ~100 MB/s
 
+  /// Fixed framing overhead charged per message on top of the payload:
+  /// headers, acks, protocol framing — the bytes a real stack adds to every
+  /// message regardless of its size (>= 0; a TCP/IP+Ethernet header train
+  /// is ~66 bytes). This is the term per-(run,edge) frame batching
+  /// amortizes: N envelopes coalesced into one frame pay the overhead once.
+  /// Default 0 keeps the historical model (payload bytes only).
+  double per_message_overhead_bytes = 0;
+
   bool Valid() const {
-    return latency_seconds >= 0 && bandwidth_bytes_per_second > 0;
+    return latency_seconds >= 0 && bandwidth_bytes_per_second > 0 &&
+           per_message_overhead_bytes >= 0;
   }
 
   double TransferSeconds(uint64_t messages, uint64_t bytes) const {
     PAXML_CHECK(Valid());
+    const double wire_bytes =
+        static_cast<double>(bytes) +
+        static_cast<double>(messages) * per_message_overhead_bytes;
     return static_cast<double>(messages) * latency_seconds +
-           static_cast<double>(bytes) / bandwidth_bytes_per_second;
+           wire_bytes / bandwidth_bytes_per_second;
   }
 };
 
@@ -71,7 +88,17 @@ struct RunStats {
   std::vector<SiteStats> per_site;
 
   int rounds = 0;                   ///< coordinator-driven stages executed
+
+  /// Accounted messages on the wire. With frame batching (the default) a
+  /// message is one frame — all of a round's envelopes on one (run, edge);
+  /// with batching off it is one envelope, the historical meaning.
   uint64_t total_messages = 0;
+
+  /// Accounted envelopes the protocol produced, regardless of how many
+  /// frames carried them. Invariant: batching changes total_messages but
+  /// never total_envelopes (or any byte total) — tested property.
+  uint64_t total_envelopes = 0;
+
   uint64_t total_bytes = 0;         ///< all payload bytes on the wire
   uint64_t answer_bytes = 0;        ///< bytes of shipped answers (<= total)
   uint64_t data_bytes_shipped = 0;  ///< XML tree data moved (Naive baseline)

@@ -116,6 +116,50 @@ TEST_P(EngineTest, TryGetIsNullUntilCompletion) {
   EXPECT_EQ(report, &handle.Wait());  // same report, now settled
 }
 
+// ---- Per-round progress on the handle ---------------------------------------
+
+// Progress is live: with 50 ms of modeled latency per message the driver
+// spends long stretches sleeping out the network between rounds, so a
+// client polling the handle must see completed rounds (and their accounted
+// bytes) while TryGet() is still null.
+TEST_P(EngineTest, ProgressIsVisibleBeforeWaitResolves) {
+  Engine engine(*slow_cluster_, Config(1));
+  QueryHandle handle = engine.Submit(kQueryA);
+
+  RunProgress before_done;
+  bool observed_before_done = false;
+  while (handle.TryGet() == nullptr) {
+    RunProgress p = handle.Progress();
+    if (p.rounds > 0) {
+      before_done = p;
+      observed_before_done = true;
+    }
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  const QueryReport& report = handle.Wait();
+  ASSERT_TRUE(report.result.ok()) << report.result.status();
+  EXPECT_TRUE(observed_before_done);
+  EXPECT_GT(before_done.bytes, 0u);
+  EXPECT_GT(before_done.messages, 0u);
+  EXPECT_LE(before_done.rounds, report.stats.rounds);
+  EXPECT_LE(before_done.bytes, report.stats.total_bytes);
+}
+
+// Once the query completes, the last published progress is exactly the
+// final accounting (and a still-queued query reports all zeroes).
+TEST_P(EngineTest, ProgressMatchesFinalStats) {
+  Engine engine(*cluster_, Config(2));
+  QueryHandle handle = engine.Submit(kQueryB);
+  EXPECT_EQ(QueryHandle(handle).Progress(), handle.Progress());  // copyable
+  const QueryReport& report = handle.Wait();
+  ASSERT_TRUE(report.result.ok());
+  const RunProgress progress = handle.Progress();
+  EXPECT_EQ(progress.rounds, report.stats.rounds);
+  EXPECT_EQ(progress.messages, report.stats.total_messages);
+  EXPECT_EQ(progress.envelopes, report.stats.total_envelopes);
+  EXPECT_EQ(progress.bytes, report.stats.total_bytes);
+}
+
 TEST_P(EngineTest, CompileErrorsSurfaceInTheReport) {
   Engine engine(*cluster_, Config(2));
   QueryHandle bad = engine.Submit("this is not xpath ((");

@@ -1,0 +1,594 @@
+// Tests for the framed message plane (runtime/frame.h, DESIGN.md §8):
+//
+//  * the Frame codec round-trips randomized frames — decode(encode(f))
+//    preserves every field and re-encodes byte-identically, and a decoded
+//    frame reproduces the original's exact RunStats accounting (phantom
+//    bytes and `accounted` flags included);
+//  * streamed envelope chunks (EnvelopeStream) merge into one envelope
+//    whose bytes equal the monolithic encoding, on both the staged
+//    (batched) and buffered (unbatched / local) paths;
+//  * the batched-vs-unbatched × sync-vs-pooled equivalence matrix: frame
+//    batching never changes answers, visits, byte totals, per-edge byte
+//    splits or envelope counts — only the message count, which must drop
+//    substantially when sites hold several fragments.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "fragment/fragmenter.h"
+#include "runtime/frame.h"
+#include "runtime/site_runtime.h"
+#include "runtime/transport.h"
+#include "test_util.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+
+namespace paxml {
+namespace {
+
+std::shared_ptr<FragmentedDocument> MakeClienteleDoc() {
+  Tree t = testing::BuildClienteleTree();
+  auto doc = FragmentByCuts(t, testing::ClienteleCuts(t));
+  PAXML_CHECK(doc.ok());
+  return std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
+}
+
+// ---- Codec: randomized round-trip -------------------------------------------
+
+constexpr int kSiteCount = 6;
+
+Frame RandomFrame(Rng& rng) {
+  Frame frame;
+  frame.run = rng.NextBounded(1000) + 1;
+  frame.from = rng.NextBool(0.1)
+                   ? kNullSite
+                   : static_cast<SiteId>(rng.NextBounded(kSiteCount));
+  // A frame's destination is always a real site (Send checks it).
+  do {
+    frame.to = static_cast<SiteId>(rng.NextBounded(kSiteCount));
+  } while (frame.to == frame.from);
+  frame.sequence = rng.NextBounded(1 << 20);
+  const size_t envelopes = rng.NextBounded(5) + 1;
+  for (size_t i = 0; i < envelopes; ++i) {
+    Envelope env;
+    env.run = frame.run;
+    env.from = frame.from;
+    env.to = frame.to;
+    env.accounted = rng.NextBool(0.8);
+    env.category = static_cast<PayloadCategory>(rng.NextBounded(3));
+    env.phantom_bytes = rng.NextBool(0.3) ? rng.NextBounded(100000) : 0;
+    const size_t parts = rng.NextBounded(4) + 1;
+    for (size_t p = 0; p < parts; ++p) {
+      WirePart part;
+      part.kind = static_cast<MessageKind>(
+          rng.NextBounded(static_cast<uint64_t>(MessageKind::kDataShip) + 1));
+      part.fragment = rng.NextBool(0.2)
+                          ? kNullFragment
+                          : static_cast<FragmentId>(rng.NextBounded(64));
+      part.accounted = rng.NextBool(0.8);
+      part.bytes = rng.NextString(rng.NextBounded(200));
+      env.parts.push_back(std::move(part));
+    }
+    frame.envelopes.push_back(std::move(env));
+  }
+  return frame;
+}
+
+TEST(FrameCodecTest, RandomizedRoundTripIsByteIdentical) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    Frame frame = RandomFrame(rng);
+    ByteWriter encoded;
+    frame.Encode(&encoded);
+
+    ByteReader reader(encoded.bytes());
+    auto decoded = Frame::Decode(&reader);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_TRUE(reader.AtEnd());
+
+    // Every field survives.
+    EXPECT_EQ(decoded->run, frame.run);
+    EXPECT_EQ(decoded->from, frame.from);
+    EXPECT_EQ(decoded->to, frame.to);
+    EXPECT_EQ(decoded->sequence, frame.sequence);
+    ASSERT_EQ(decoded->envelopes.size(), frame.envelopes.size());
+    for (size_t i = 0; i < frame.envelopes.size(); ++i) {
+      const Envelope& a = frame.envelopes[i];
+      const Envelope& b = decoded->envelopes[i];
+      EXPECT_EQ(b.accounted, a.accounted);
+      EXPECT_EQ(b.category, a.category);
+      EXPECT_EQ(b.phantom_bytes, a.phantom_bytes);
+      ASSERT_EQ(b.parts.size(), a.parts.size());
+      for (size_t p = 0; p < a.parts.size(); ++p) {
+        EXPECT_EQ(b.parts[p].kind, a.parts[p].kind);
+        EXPECT_EQ(b.parts[p].fragment, a.parts[p].fragment);
+        EXPECT_EQ(b.parts[p].accounted, a.parts[p].accounted);
+        EXPECT_EQ(b.parts[p].bytes, a.parts[p].bytes);
+      }
+      EXPECT_EQ(b.WireBytes(), a.WireBytes());
+    }
+    EXPECT_EQ(decoded->AccountedBytes(), frame.AccountedBytes());
+    EXPECT_EQ(decoded->Accounted(), frame.Accounted());
+
+    // Re-encoding the decoded frame is byte-identical.
+    ByteWriter reencoded;
+    decoded->Encode(&reencoded);
+    EXPECT_EQ(reencoded.bytes(), encoded.bytes());
+  }
+}
+
+// A re-decoded frame accounts into RunStats exactly as the original: the
+// property that lets a socket transport reproduce the simulator's numbers.
+TEST(FrameCodecTest, DecodedFrameReproducesRunStatsExactly) {
+  Rng rng(7);
+  for (int iter = 0; iter < 100; ++iter) {
+    Frame frame = RandomFrame(rng);
+
+    RunStats original;
+    original.per_site.resize(kSiteCount);
+    AccountFrame(frame, &original);
+
+    ByteWriter encoded;
+    frame.Encode(&encoded);
+    ByteReader reader(encoded.bytes());
+    auto decoded = Frame::Decode(&reader);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+
+    RunStats replayed;
+    replayed.per_site.resize(kSiteCount);
+    AccountFrame(*decoded, &replayed);
+
+    EXPECT_EQ(replayed.total_messages, original.total_messages);
+    EXPECT_EQ(replayed.total_envelopes, original.total_envelopes);
+    EXPECT_EQ(replayed.total_bytes, original.total_bytes);
+    EXPECT_EQ(replayed.answer_bytes, original.answer_bytes);
+    EXPECT_EQ(replayed.data_bytes_shipped, original.data_bytes_shipped);
+    EXPECT_EQ(replayed.edges, original.edges);
+    for (size_t s = 0; s < kSiteCount; ++s) {
+      EXPECT_EQ(replayed.per_site[s].bytes_sent, original.per_site[s].bytes_sent);
+      EXPECT_EQ(replayed.per_site[s].bytes_received,
+                original.per_site[s].bytes_received);
+      EXPECT_EQ(replayed.per_site[s].messages_sent,
+                original.per_site[s].messages_sent);
+      EXPECT_EQ(replayed.per_site[s].messages_received,
+                original.per_site[s].messages_received);
+    }
+  }
+}
+
+TEST(FrameCodecTest, DecodeRejectsCorruptInput) {
+  Frame frame;
+  frame.run = 1;
+  frame.from = 0;
+  frame.to = 1;
+  Envelope env;
+  env.parts.push_back({MessageKind::kQualUp, 0, "payload", true});
+  frame.envelopes.push_back(env);
+  ByteWriter encoded;
+  frame.Encode(&encoded);
+
+  // Truncations anywhere must fail cleanly, never crash.
+  const std::string& bytes = encoded.bytes();
+  for (size_t cut = 0; cut + 1 < bytes.size(); ++cut) {
+    ByteReader reader(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(Frame::Decode(&reader).ok()) << "cut at " << cut;
+  }
+
+  // A corrupt message kind is rejected. Layout of this frame: 5 one-byte
+  // header varints (run, from, to, sequence, envelope count), then the
+  // envelope's flag byte, phantom varint and part-count varint — the part's
+  // kind byte sits at offset 8.
+  std::string corrupt = bytes;
+  corrupt[8] = static_cast<char>(0x7f);
+  ByteReader bad(corrupt);
+  EXPECT_FALSE(Frame::Decode(&bad).ok());
+}
+
+// Wire counts and ids are untrusted: a header claiming more envelopes (or
+// parts) than the remaining bytes could hold, or an id past int32 range,
+// must be a parse error — never an allocation attempt or a wrapped id.
+TEST(FrameCodecTest, DecodeRejectsOversizedCountsAndIds) {
+  {
+    ByteWriter w;
+    w.PutVarint(1);                      // run
+    w.PutVarint(1);                      // from = 0
+    w.PutVarint(2);                      // to = 1
+    w.PutVarint(0);                      // sequence
+    w.PutVarint(0x3fffffffffffffffull);  // absurd envelope count
+    ByteReader in(w.bytes());
+    EXPECT_FALSE(Frame::Decode(&in).ok());
+  }
+  {
+    ByteWriter w;
+    w.PutVarint(1);
+    w.PutVarint(1);
+    w.PutVarint(2);
+    w.PutVarint(0);
+    w.PutVarint(1);                      // one envelope
+    w.PutU8(1);                          // accounted, control
+    w.PutVarint(0);                      // phantom
+    w.PutVarint(0x3fffffffffffffffull);  // absurd part count
+    ByteReader in(w.bytes());
+    EXPECT_FALSE(Frame::Decode(&in).ok());
+  }
+  {
+    ByteWriter w;
+    w.PutVarint(1);
+    w.PutVarint(0xffffffffffull);  // from id past int32 range
+    w.PutVarint(2);
+    w.PutVarint(0);
+    w.PutVarint(0);
+    ByteReader in(w.bytes());
+    EXPECT_FALSE(Frame::Decode(&in).ok());
+  }
+  {
+    ByteWriter w;
+    w.PutVarint(1);
+    w.PutVarint(1);
+    w.PutVarint(0);  // to = kNullSite: no frame has a null destination
+    w.PutVarint(0);
+    w.PutVarint(0);
+    ByteReader in(w.bytes());
+    EXPECT_FALSE(Frame::Decode(&in).ok());
+  }
+}
+
+// ---- Frame batching at the transport level ----------------------------------
+
+Envelope PayloadEnvelope(RunId run, SiteId from, SiteId to, std::string bytes,
+                         PayloadCategory category = PayloadCategory::kControl) {
+  Envelope env;
+  env.run = run;
+  env.from = from;
+  env.to = to;
+  env.category = category;
+  env.parts.push_back(
+      {MessageKind::kAnswerUp, kNullFragment, std::move(bytes), true});
+  return env;
+}
+
+// Staged envelopes account nothing until the round boundary seals their
+// frame: then the edge pays one message for all of them while bytes and
+// envelope counts are exactly the per-envelope sums.
+TEST(FrameBatchingTest, RoundBoundaryCoalescesPerEdge) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 3);
+  SyncTransport transport;  // batching on by default
+  ASSERT_TRUE(transport.batching());
+  RunStats stats;
+  stats.per_site.resize(3);
+  const RunId run = transport.OpenRun(&c, &stats);
+
+  transport.Send(PayloadEnvelope(run, 1, 0, std::string(100, 'x')));
+  transport.Send(PayloadEnvelope(run, 1, 0, std::string(50, 'y'),
+                                 PayloadCategory::kAnswer));
+  transport.Send(PayloadEnvelope(run, 2, 0, std::string(30, 'z')));
+
+  // Nothing on the wire yet — staged mail is pending but unaccounted.
+  EXPECT_EQ(stats.total_messages, 0u);
+  EXPECT_EQ(stats.total_bytes, 0u);
+  EXPECT_TRUE(transport.HasMail(run, 0));
+  EXPECT_TRUE(transport.HasPendingMail(run));
+
+  // The drain is the round boundary: two frames seal (one per edge), all
+  // three envelopes arrive, byte totals are the plain sums.
+  std::vector<Envelope> mail = transport.Drain(run, 0);
+  ASSERT_EQ(mail.size(), 3u);
+  EXPECT_EQ(stats.total_messages, 2u);
+  EXPECT_EQ(stats.total_envelopes, 3u);
+  EXPECT_EQ(stats.total_bytes, 180u);
+  EXPECT_EQ(stats.answer_bytes, 50u);
+  EXPECT_EQ((stats.edges.at({1, 0})), (EdgeStats{1, 2, 150}));
+  EXPECT_EQ((stats.edges.at({2, 0})), (EdgeStats{1, 1, 30}));
+  EXPECT_EQ(stats.per_site[1].messages_sent, 1u);
+  EXPECT_EQ(stats.per_site[0].messages_received, 2u);
+  EXPECT_FALSE(transport.HasPendingMail(run));
+  transport.CloseRun(run);
+}
+
+// A frame of pure control-plane envelopes is free, like the request
+// envelopes it carries.
+TEST(FrameBatchingTest, PureControlFrameIsFree) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  RunStats stats;
+  stats.per_site.resize(2);
+  const RunId run = transport.OpenRun(&c, &stats);
+
+  Envelope req = MakeRequestEnvelope(MessageKind::kSelRequest, 1, 2);
+  req.run = run;
+  req.from = 0;
+  transport.Send(std::move(req));
+  EXPECT_EQ(transport.Drain(run, 1).size(), 1u);
+  EXPECT_EQ(stats.total_messages, 0u);
+  EXPECT_EQ(stats.total_envelopes, 0u);
+  EXPECT_EQ(stats.total_bytes, 0u);
+  EXPECT_TRUE(stats.edges.empty());
+  transport.CloseRun(run);
+}
+
+// Two runs staging traffic on the same edges never share a frame
+// (invariant 5): each run's flush seals its own frames into its own stats.
+TEST(FrameBatchingTest, ConcurrentRunsNeverShareFrames) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  RunStats stats_a, stats_b;
+  stats_a.per_site.resize(2);
+  stats_b.per_site.resize(2);
+  const RunId a = transport.OpenRun(&c, &stats_a);
+  const RunId b = transport.OpenRun(&c, &stats_b);
+
+  transport.Send(PayloadEnvelope(a, 1, 0, std::string(10, 'a')));
+  transport.Send(PayloadEnvelope(b, 1, 0, std::string(20, 'b')));
+  transport.Send(PayloadEnvelope(a, 1, 0, std::string(30, 'a')));
+
+  EXPECT_EQ(transport.Drain(a, 0).size(), 2u);
+  // Run a sealed one frame of two envelopes; run b's mail is untouched.
+  EXPECT_EQ(stats_a.total_messages, 1u);
+  EXPECT_EQ(stats_a.total_envelopes, 2u);
+  EXPECT_EQ(stats_a.total_bytes, 40u);
+  EXPECT_EQ(stats_b.total_messages, 0u);
+  EXPECT_TRUE(transport.HasMail(b, 0));
+
+  EXPECT_EQ(transport.Drain(b, 0).size(), 1u);
+  EXPECT_EQ(stats_b.total_messages, 1u);
+  EXPECT_EQ(stats_b.total_bytes, 20u);
+  transport.CloseRun(a);
+  transport.CloseRun(b);
+}
+
+// ---- EnvelopeStream: chunked emission, one wire envelope --------------------
+
+// Chunks appended over time must be indistinguishable on arrival from one
+// monolithic envelope: same single envelope, concatenated bytes, summed
+// phantom — on both the staged (batched) and buffered (unbatched) paths.
+void ExpectStreamedChunksMerge(bool batching) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport(TransportOptions{.batching = batching});
+  RunStats stats;
+  stats.per_site.resize(2);
+  const RunId run = transport.OpenRun(&c, &stats);
+  SiteContext ctx(/*site=*/1, &c, &transport, run);
+
+  Envelope head;
+  head.to = 0;
+  head.category = PayloadCategory::kAnswer;
+  head.parts.push_back({MessageKind::kAnswerUp, 3, "head-", true});
+  {
+    EnvelopeStream stream(ctx, std::move(head));
+    stream.Append("chunk1-", 10);
+    stream.Append("chunk2", 7);
+    stream.Close();
+  }
+
+  std::vector<Envelope> mail = transport.Drain(run, 0);
+  ASSERT_EQ(mail.size(), 1u);
+  const Envelope& env = mail[0];
+  EXPECT_EQ(env.run, run);
+  EXPECT_EQ(env.from, 1);
+  ASSERT_EQ(env.parts.size(), 1u);
+  EXPECT_EQ(env.parts[0].bytes, "head-chunk1-chunk2");
+  EXPECT_EQ(env.phantom_bytes, 17u);
+  EXPECT_EQ(stats.total_messages, 1u);
+  EXPECT_EQ(stats.total_envelopes, 1u);
+  EXPECT_EQ(stats.total_bytes, 18u + 17u);
+  EXPECT_EQ(stats.answer_bytes, 18u + 17u);
+  transport.CloseRun(run);
+}
+
+TEST(EnvelopeStreamTest, ChunksMergeWhenBatched) {
+  ExpectStreamedChunksMerge(/*batching=*/true);
+}
+
+TEST(EnvelopeStreamTest, ChunksMergeWhenUnbatched) {
+  ExpectStreamedChunksMerge(/*batching=*/false);
+}
+
+// A streamed envelope shares its frame with ordinary mail sent before it
+// on the same edge — the answer-streaming wire layout.
+TEST(EnvelopeStreamTest, StreamedEnvelopeJoinsTheOpenFrame) {
+  auto doc = MakeClienteleDoc();
+  Cluster c(doc, 2);
+  SyncTransport transport;
+  RunStats stats;
+  stats.per_site.resize(2);
+  const RunId run = transport.OpenRun(&c, &stats);
+  SiteContext ctx(/*site=*/1, &c, &transport, run);
+
+  ctx.Send(PayloadEnvelope(run, 1, 0, "reply"));
+  Envelope head;
+  head.to = 0;
+  head.parts.push_back({MessageKind::kAnswerUp, 0, "a", true});
+  EnvelopeStream stream(ctx, std::move(head));
+  stream.Append("b", 0);
+  stream.Close();
+
+  EXPECT_EQ(transport.Drain(run, 0).size(), 2u);
+  EXPECT_EQ(stats.total_messages, 1u);  // one frame carried both
+  EXPECT_EQ(stats.total_envelopes, 2u);
+  transport.CloseRun(run);
+}
+
+// ---- Batched vs unbatched: the equivalence matrix ---------------------------
+
+struct Fixture {
+  std::string name;
+  std::shared_ptr<FragmentedDocument> doc;
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::string> queries;
+};
+
+// Clientele with sites holding several fragments each: the layout where
+// coalescing matters (F1..F4 all report to S_Q = site 0 over two edges).
+Fixture GroupedClienteleFixture() {
+  Fixture fx;
+  fx.name = "clientele-grouped";
+  fx.doc = MakeClienteleDoc();
+  fx.cluster = std::make_unique<Cluster>(fx.doc, 3);
+  PAXML_CHECK(fx.cluster->Place(0, 0).ok());
+  PAXML_CHECK(fx.cluster->Place(1, 1).ok());
+  PAXML_CHECK(fx.cluster->Place(2, 1).ok());
+  PAXML_CHECK(fx.cluster->Place(3, 2).ok());
+  PAXML_CHECK(fx.cluster->Place(4, 2).ok());
+  fx.queries = {
+      "clientele/client[country/text() = \"US\"]/"
+      "broker[market/name/text() = \"NASDAQ\"]/name",
+      "clientele/client/broker/name",
+      "//stock/code",
+      ".[//market/name/text() = \"TSE\"]",
+  };
+  return fx;
+}
+
+Fixture XMarkFixture() {
+  Fixture fx;
+  fx.name = "xmark";
+  XMarkOptions xmark_options;
+  xmark_options.seed = 42;
+  Tree t = GenerateUniformSitesTree(120000, 4, xmark_options);
+  auto doc = FragmentBySubtrees(t, t.root());
+  PAXML_CHECK(doc.ok());
+  fx.doc = std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
+  fx.cluster = std::make_unique<Cluster>(fx.doc, 3);
+  fx.cluster->PlaceRootAndSpread();
+  fx.queries = {xmark::kQ1, xmark::kQ2, xmark::kQ3, xmark::kQ4};
+  return fx;
+}
+
+std::vector<int> Visits(const RunStats& s) {
+  std::vector<int> v;
+  v.reserve(s.per_site.size());
+  for (const SiteStats& p : s.per_site) v.push_back(p.visits);
+  return v;
+}
+
+std::map<std::pair<SiteId, SiteId>, uint64_t> EdgeBytes(const RunStats& s) {
+  std::map<std::pair<SiteId, SiteId>, uint64_t> out;
+  for (const auto& [edge, e] : s.edges) out[edge] = e.bytes;
+  return out;
+}
+
+std::map<std::pair<SiteId, SiteId>, uint64_t> EdgeEnvelopes(const RunStats& s) {
+  std::map<std::pair<SiteId, SiteId>, uint64_t> out;
+  for (const auto& [edge, e] : s.edges) out[edge] = e.envelopes;
+  return out;
+}
+
+void ExpectBatchingPreservesEverythingButMessages(const Fixture& fx) {
+  uint64_t batched_messages_total = 0;
+  uint64_t unbatched_messages_total = 0;
+  for (const std::string& query : fx.queries) {
+    for (auto algo : {DistributedAlgorithm::kPaX2, DistributedAlgorithm::kPaX3,
+                      DistributedAlgorithm::kNaiveCentralized}) {
+      for (auto kind : {TransportKind::kSync, TransportKind::kPooled}) {
+        EngineOptions batched;
+        batched.algorithm = algo;
+        batched.transport = kind;
+        batched.transport_options.batching = true;
+        EngineOptions unbatched = batched;
+        unbatched.transport_options.batching = false;
+
+        auto b = EvaluateDistributed(*fx.cluster, query, batched);
+        auto u = EvaluateDistributed(*fx.cluster, query, unbatched);
+        const std::string label =
+            fx.name + "|" + AlgorithmName(algo) + "|" +
+            (kind == TransportKind::kSync ? "sync" : "pooled") + "|" + query;
+        ASSERT_TRUE(b.ok()) << label << ": " << b.status();
+        ASSERT_TRUE(u.ok()) << label << ": " << u.status();
+
+        // Everything the paper's bounds are stated in is unchanged...
+        EXPECT_EQ(b->answers, u->answers) << label;
+        EXPECT_EQ(Visits(b->stats), Visits(u->stats)) << label;
+        EXPECT_EQ(b->stats.rounds, u->stats.rounds) << label;
+        EXPECT_EQ(b->stats.total_bytes, u->stats.total_bytes) << label;
+        EXPECT_EQ(b->stats.answer_bytes, u->stats.answer_bytes) << label;
+        EXPECT_EQ(b->stats.data_bytes_shipped, u->stats.data_bytes_shipped)
+            << label;
+        EXPECT_EQ(EdgeBytes(b->stats), EdgeBytes(u->stats)) << label;
+        EXPECT_EQ(EdgeEnvelopes(b->stats), EdgeEnvelopes(u->stats)) << label;
+        EXPECT_EQ(b->stats.total_envelopes, u->stats.total_envelopes) << label;
+        // ...and unbatched, a message IS an envelope.
+        EXPECT_EQ(u->stats.total_messages, u->stats.total_envelopes) << label;
+        // Batching can only reduce the message count.
+        EXPECT_LE(b->stats.total_messages, u->stats.total_messages) << label;
+
+        if (kind == TransportKind::kSync) {
+          batched_messages_total += b->stats.total_messages;
+          unbatched_messages_total += u->stats.total_messages;
+        }
+      }
+    }
+  }
+  // With several fragments per site the per-edge coalescing must be
+  // substantial: >= 30% fewer messages across the workload.
+  EXPECT_LE(batched_messages_total * 10, unbatched_messages_total * 7)
+      << fx.name << ": batched " << batched_messages_total << " vs unbatched "
+      << unbatched_messages_total;
+}
+
+TEST(BatchingEquivalenceTest, GroupedClientele) {
+  ExpectBatchingPreservesEverythingButMessages(GroupedClienteleFixture());
+}
+
+TEST(BatchingEquivalenceTest, XMarkGroupedSites) {
+  ExpectBatchingPreservesEverythingButMessages(XMarkFixture());
+}
+
+// Answer-stream chunk size is invisible on the wire: extreme chunk sizes
+// produce identical accounting, byte-for-byte.
+TEST(BatchingEquivalenceTest, AnswerChunkSizeIsWireInvisible) {
+  Fixture fx = GroupedClienteleFixture();
+  for (auto algo :
+       {DistributedAlgorithm::kPaX2, DistributedAlgorithm::kPaX3}) {
+    EngineOptions tiny;
+    tiny.algorithm = algo;
+    tiny.transport = TransportKind::kSync;
+    tiny.transport_options.answer_chunk_ids = 1;
+    EngineOptions huge = tiny;
+    huge.transport_options.answer_chunk_ids = 1 << 20;
+
+    for (const std::string& query : fx.queries) {
+      auto t = EvaluateDistributed(*fx.cluster, query, tiny);
+      auto h = EvaluateDistributed(*fx.cluster, query, huge);
+      ASSERT_TRUE(t.ok());
+      ASSERT_TRUE(h.ok());
+      EXPECT_EQ(t->answers, h->answers) << query;
+      EXPECT_EQ(t->stats.total_bytes, h->stats.total_bytes) << query;
+      EXPECT_EQ(t->stats.answer_bytes, h->stats.answer_bytes) << query;
+      EXPECT_EQ(t->stats.total_messages, h->stats.total_messages) << query;
+      EXPECT_EQ(t->stats.total_envelopes, h->stats.total_envelopes) << query;
+    }
+  }
+}
+
+// Same for the naive baseline's data chunking.
+TEST(BatchingEquivalenceTest, DataChunkSizeIsWireInvisible) {
+  Fixture fx = GroupedClienteleFixture();
+  EngineOptions tiny;
+  tiny.algorithm = DistributedAlgorithm::kNaiveCentralized;
+  tiny.transport = TransportKind::kSync;
+  tiny.transport_options.data_chunk_bytes = 16;
+  EngineOptions huge = tiny;
+  huge.transport_options.data_chunk_bytes = 1ull << 30;
+
+  auto t = EvaluateDistributed(*fx.cluster, fx.queries[0], tiny);
+  auto h = EvaluateDistributed(*fx.cluster, fx.queries[0], huge);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(t->answers, h->answers);
+  EXPECT_EQ(t->stats.total_bytes, h->stats.total_bytes);
+  EXPECT_EQ(t->stats.data_bytes_shipped, h->stats.data_bytes_shipped);
+  EXPECT_EQ(t->stats.total_messages, h->stats.total_messages);
+}
+
+}  // namespace
+}  // namespace paxml

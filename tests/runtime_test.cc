@@ -45,11 +45,15 @@ Envelope PayloadEnvelope(RunId run, SiteId from, SiteId to, std::string bytes,
 }
 
 // ---- Transport::Send: the accounting choke point ----------------------------
+// These tests pin the *unbatched* plane (TransportOptions{batching=false}):
+// one envelope = one accounted message at Send time, the seed semantics.
+// The batched (default) plane's staging, sealing and codec are covered by
+// tests/frame_test.cc.
 
 TEST(TransportTest, AccountsBytesMessagesAndEdges) {
   auto doc = MakeClienteleDoc();
   Cluster c(doc, 3);
-  SyncTransport transport;
+  SyncTransport transport(TransportOptions{.batching = false});
   RunStats stats;
   stats.per_site.resize(3);
   const RunId run = transport.OpenRun(&c, &stats);
@@ -63,6 +67,7 @@ TEST(TransportTest, AccountsBytesMessagesAndEdges) {
   transport.Send(std::move(data));
 
   EXPECT_EQ(stats.total_messages, 4u);
+  EXPECT_EQ(stats.total_envelopes, 4u);
   EXPECT_EQ(stats.total_bytes, 1180u);
   EXPECT_EQ(stats.answer_bytes, 30u);
   EXPECT_EQ(stats.data_bytes_shipped, 1000u);
@@ -72,9 +77,9 @@ TEST(TransportTest, AccountsBytesMessagesAndEdges) {
   EXPECT_EQ(stats.per_site[1].messages_received, 1u);
 
   ASSERT_EQ(stats.edges.size(), 3u);
-  EXPECT_EQ((stats.edges.at({0, 1})), (EdgeStats{1, 100}));
-  EXPECT_EQ((stats.edges.at({1, 0})), (EdgeStats{2, 1050}));
-  EXPECT_EQ((stats.edges.at({2, 0})), (EdgeStats{1, 30}));
+  EXPECT_EQ((stats.edges.at({0, 1})), (EdgeStats{1, 1, 100}));
+  EXPECT_EQ((stats.edges.at({1, 0})), (EdgeStats{2, 2, 1050}));
+  EXPECT_EQ((stats.edges.at({2, 0})), (EdgeStats{1, 1, 30}));
 }
 
 TEST(TransportTest, LocalDeliveryIsFreeButStillDelivered) {
@@ -96,7 +101,7 @@ TEST(TransportTest, LocalDeliveryIsFreeButStillDelivered) {
 TEST(TransportTest, ControlPlaneRequestsAreFree) {
   auto doc = MakeClienteleDoc();
   Cluster c(doc, 2);
-  SyncTransport transport;
+  SyncTransport transport(TransportOptions{.batching = false});
   RunStats stats;
   stats.per_site.resize(2);
   const RunId run = transport.OpenRun(&c, &stats);
@@ -139,7 +144,7 @@ TEST(TransportTest, QueryShipEnvelopeAccountsPhantomBytes) {
 TEST(TransportTest, OpenRunsNamespaceMailboxesAndStats) {
   auto doc = MakeClienteleDoc();
   Cluster c(doc, 2);
-  SyncTransport transport;
+  SyncTransport transport(TransportOptions{.batching = false});
   RunStats stats_a, stats_b;
   stats_a.per_site.resize(2);
   stats_b.per_site.resize(2);
@@ -157,8 +162,8 @@ TEST(TransportTest, OpenRunsNamespaceMailboxesAndStats) {
   EXPECT_EQ(stats_a.total_bytes, 100u);
   EXPECT_EQ(stats_b.total_messages, 2u);
   EXPECT_EQ(stats_b.total_bytes, 16u);
-  EXPECT_EQ((stats_a.edges.at({0, 1})), (EdgeStats{1, 100}));
-  EXPECT_EQ((stats_b.edges.at({0, 1})), (EdgeStats{1, 7}));
+  EXPECT_EQ((stats_a.edges.at({0, 1})), (EdgeStats{1, 1, 100}));
+  EXPECT_EQ((stats_b.edges.at({0, 1})), (EdgeStats{1, 1, 7}));
 
   // No mail bleed: draining one run leaves the other's mailboxes intact.
   EXPECT_EQ(transport.Drain(a, 1).size(), 1u);
@@ -181,7 +186,7 @@ TEST(TransportTest, OpenRunsNamespaceMailboxesAndStats) {
 TEST(TransportTest, CloseRunDiscardsPendingMailAndNeverReusesIds) {
   auto doc = MakeClienteleDoc();
   Cluster c(doc, 2);
-  SyncTransport transport;
+  SyncTransport transport(TransportOptions{.batching = false});
   RunStats stats;
   stats.per_site.resize(2);
   const RunId run = transport.OpenRun(&c, &stats);

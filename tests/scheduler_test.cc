@@ -202,6 +202,52 @@ TEST(QuerySchedulerTest, PriorityOverridesSubmissionOrder) {
             (std::vector<std::string>{"high", "low1", "low2"}));
 }
 
+// Within one priority band admission is earliest-deadline-first: a nearer
+// deadline wins, any deadline beats none, and only the remaining ties fall
+// back to submission order.
+TEST(QuerySchedulerTest, EarliestDeadlineFirstWithinPriorityBand) {
+  QueryScheduler scheduler(1);
+  std::atomic<bool> release{false};
+  std::atomic<bool> gate_running{false};
+  scheduler.Submit([&] {
+    gate_running = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!gate_running.load()) std::this_thread::yield();
+
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  auto record = [&](const char* name) {
+    return [&, name] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(name);
+    };
+  };
+  // Deadlines generous enough that nothing expires while queued.
+  const auto now = std::chrono::steady_clock::now();
+  QueryScheduler::Job no_deadline;
+  no_deadline.run = record("no-deadline");
+  QueryScheduler::Job far;
+  far.deadline = now + std::chrono::hours(2);
+  far.run = record("far");
+  QueryScheduler::Job near;
+  near.deadline = now + std::chrono::hours(1);
+  near.run = record("near");
+  // A higher band ignores deadlines below it entirely.
+  QueryScheduler::Job high;
+  high.priority = 5;
+  high.run = record("high");
+  scheduler.Submit(std::move(no_deadline));
+  scheduler.Submit(std::move(far));
+  scheduler.Submit(std::move(near));
+  scheduler.Submit(std::move(high));
+
+  release = true;
+  scheduler.Wait();
+  EXPECT_EQ(order, (std::vector<std::string>{"high", "near", "far",
+                                             "no-deadline"}));
+}
+
 // Dead-on-arrival work is reaped ahead of priority selection: an expired
 // job must not wait behind higher-priority queued work for its verdict.
 TEST(QuerySchedulerTest, ExpiredJobsAreReapedAheadOfPrioritySelection) {
