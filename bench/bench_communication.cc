@@ -64,8 +64,11 @@ void FrameBatchingTable() {
   net.per_message_overhead_bytes = 66;
 
   Workload w = MakeFT2Paper(1.0);
+  // wire(B) is RunStats::wire_bytes: what the socket backend actually
+  // writes — frame headers plus materialized payloads, no phantom bytes —
+  // the denominator a frame-compression hook would shrink.
   TablePrinter table({"query", "envelopes", "msgs", "msgs(batch)", "msg/round",
-                      "drop%", "lat(ms)", "lat(batch,ms)"});
+                      "drop%", "wire(B)", "lat(ms)", "lat(batch,ms)"});
   uint64_t messages = 0;
   uint64_t batched_messages = 0;
   for (const auto& q : xmark::ExperimentQueries()) {
@@ -79,6 +82,9 @@ void FrameBatchingTable() {
     PAXML_CHECK_EQ(batched.total_envelopes, plain.total_envelopes);
     PAXML_CHECK_EQ(batched.rounds, plain.rounds);
     PAXML_CHECK_EQ(batched.max_visits(), plain.max_visits());
+    // Frames exist exactly when batching is on.
+    PAXML_CHECK_EQ(plain.wire_bytes, 0u);
+    PAXML_CHECK(batched.wire_bytes > 0);
     messages += plain.total_messages;
     batched_messages += batched.total_messages;
     const double drop =
@@ -91,6 +97,7 @@ void FrameBatchingTable() {
          StringFormat("%.1f", static_cast<double>(batched.total_messages) /
                                   batched.rounds),
          StringFormat("%.0f%%", drop),
+         std::to_string(batched.wire_bytes),
          StringFormat("%.3f", 1000 * net.TransferSeconds(plain.total_messages,
                                                          plain.total_bytes)),
          StringFormat("%.3f",

@@ -126,11 +126,26 @@ QueryReport QueryHandle::TakeReport() {
 
 // ---- Engine -----------------------------------------------------------------
 
+namespace {
+
+/// EngineConfig::remote_endpoints is sugar for the transport option; merge
+/// it before the transport is built. The dedicated field wins on a
+/// per-site conflict — it is the documented deployment surface.
+TransportOptions MergedTransportOptions(const EngineConfig& config) {
+  TransportOptions options = config.transport_options;
+  for (const auto& [site, endpoint] : config.remote_endpoints) {
+    options.remote_endpoints.insert_or_assign(site, endpoint);
+  }
+  return options;
+}
+
+}  // namespace
+
 Engine::Engine(const Cluster& cluster, EngineConfig config)
     : cluster_(&cluster),
       config_(std::move(config)),
       transport_(MakeTransportFor(cluster, config_.transport,
-                                  config_.transport_options)),
+                                  MergedTransportOptions(config_))),
       scheduler_(config_.depth, SchedulerPoolOf(transport_.get())) {}
 
 // The scheduler (declared last) is destroyed first, draining every

@@ -40,6 +40,7 @@
 #define PAXML_CORE_ENGINE_H_
 
 #include <chrono>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -89,12 +90,20 @@ struct EngineConfig {
   size_t depth = 8;
 
   /// Message backend for the engine's shared transport. Unset: the
-  /// cluster's default (pooled iff parallel_execution).
+  /// cluster's default (pooled iff parallel_execution), or the socket
+  /// backend when remote_endpoints is non-empty.
   std::optional<TransportKind> transport;
 
   /// Message-plane knobs of the engine's shared transport (frame batching
   /// on by default; see runtime/transport.h).
   TransportOptions transport_options;
+
+  /// Multi-process deployment: site -> "host:port" of the paxml_site
+  /// process serving it (merged into transport_options). Sites absent from
+  /// the map — the query site must be one — run in-process. Submit()
+  /// behaves identically either way; answers, visits and per-edge traffic
+  /// reproduce the in-process run exactly (tested property).
+  std::map<SiteId, std::string> remote_endpoints = {};
 
   /// Per-query options used when a submission does not override them.
   EngineOptions defaults;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/answer_stream.h"
+#include "core/site_program.h"
 #include "eval/centralized.h"
 #include "runtime/coordinator.h"
 #include "xml/serializer.h"
@@ -44,6 +45,11 @@ class NaiveProgram : public MessageHandlers {
 
 }  // namespace
 
+std::unique_ptr<MessageHandlers> MakeNaiveSiteHandlers(
+    const FragmentedDocument* doc) {
+  return std::make_unique<NaiveProgram>(doc);
+}
+
 Result<DistributedResult> EvaluateNaiveCentralized(const Cluster& cluster,
                                                    const CompiledQuery& query,
                                                    Transport* transport,
@@ -52,7 +58,8 @@ Result<DistributedResult> EvaluateNaiveCentralized(const Cluster& cluster,
   std::unique_ptr<Transport> owned_transport;
   transport = EnsureTransport(transport, cluster, &owned_transport);
   NaiveProgram program(&doc);
-  Coordinator coord(&cluster, transport, &program, control);
+  const RunSpec spec = MakeNaiveRunSpec(query);
+  Coordinator coord(&cluster, transport, &program, control, &spec);
 
   std::vector<SiteId> sites = coord.AllSites();
   for (SiteId s : sites) {

@@ -9,6 +9,8 @@
 #ifndef PAXML_CORE_NAIVE_H_
 #define PAXML_CORE_NAIVE_H_
 
+#include <memory>
+
 #include "common/result.h"
 #include "core/distributed_result.h"
 #include "sim/cluster.h"
@@ -18,6 +20,12 @@ namespace paxml {
 
 class Transport;
 class RunControl;
+class MessageHandlers;
+
+/// The baseline's handler set alone, for a remote peer serving its share of
+/// the shipping protocol (core/site_program.h).
+std::unique_ptr<MessageHandlers> MakeNaiveSiteHandlers(
+    const FragmentedDocument* doc);
 
 /// Ships all fragments to the query site, assembles, evaluates.
 /// Answers are reported against the assembled tree but mapped back to

@@ -2,6 +2,7 @@
 
 #include "core/eval_ft.h"
 #include "core/site_eval.h"
+#include "core/site_program.h"
 #include "core/vars.h"
 #include "runtime/coordinator.h"
 
@@ -50,6 +51,11 @@ class ParBoXProgram : public MessageHandlers {
 
 }  // namespace
 
+std::unique_ptr<MessageHandlers> MakeParBoXSiteHandlers(
+    const FragmentedDocument* doc, const CompiledQuery* query) {
+  return std::make_unique<ParBoXProgram>(doc, query);
+}
+
 Result<ParBoXResult> EvaluateParBoX(const Cluster& cluster,
                                     const CompiledQuery& query,
                                     Transport* transport, RunControl* control) {
@@ -62,7 +68,8 @@ Result<ParBoXResult> EvaluateParBoX(const Cluster& cluster,
   std::unique_ptr<Transport> owned_transport;
   transport = EnsureTransport(transport, cluster, &owned_transport);
   ParBoXProgram program(&doc, &query);
-  Coordinator coord(&cluster, transport, &program, control);
+  const RunSpec spec = MakeParBoXRunSpec(query);
+  Coordinator coord(&cluster, transport, &program, control, &spec);
 
   std::vector<SiteId> sites = coord.AllSites();
   // The query itself is shipped to every participating site: the O(|Q||FT|)

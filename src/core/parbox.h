@@ -13,6 +13,8 @@
 #ifndef PAXML_CORE_PARBOX_H_
 #define PAXML_CORE_PARBOX_H_
 
+#include <memory>
+
 #include "common/result.h"
 #include "core/distributed_result.h"
 #include "sim/cluster.h"
@@ -22,6 +24,12 @@ namespace paxml {
 
 class Transport;
 class RunControl;
+class MessageHandlers;
+
+/// ParBoX's handler set alone, for a remote peer evaluating its share of
+/// the cluster (core/site_program.h). `doc` and `query` must outlive it.
+std::unique_ptr<MessageHandlers> MakeParBoXSiteHandlers(
+    const FragmentedDocument* doc, const CompiledQuery* query);
 
 struct ParBoXResult {
   bool value = false;

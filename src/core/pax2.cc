@@ -8,6 +8,7 @@
 #include "core/eval_ft.h"
 #include "core/parbox.h"
 #include "core/site_eval.h"
+#include "core/site_program.h"
 #include "fragment/pruning.h"
 #include "runtime/coordinator.h"
 
@@ -222,13 +223,17 @@ Pax2FragmentState RunCombinedPass(const Fragment& frag,
 /// and ships the answers.
 class Pax2Program : public MessageHandlers {
  public:
+  /// Owns its options and prune state (by value) so the same program type
+  /// serves both roles: borrowed by EvaluatePaX2's stack frame and owned by
+  /// a remote peer's SiteProgram, where nothing outlives the handler set
+  /// but the cluster and the query.
   Pax2Program(const Cluster& cluster, const CompiledQuery& query,
-              const PaxOptions& options, const PruneResult* prune,
+              const PaxOptions& options, PruneResult prune,
               bool concrete_init)
       : doc_(cluster.doc()),
         query_(query),
         options_(options),
-        prune_(prune),
+        prune_(std::move(prune)),
         concrete_init_(concrete_init),
         unifier_(&doc_, &query),
         state_(doc_.size()) {}
@@ -241,7 +246,7 @@ class Pax2Program : public MessageHandlers {
     const Fragment& frag = doc_.fragment(f);
     const std::vector<uint8_t>* init =
         (concrete_init_ && f != 0)
-            ? &prune_->parent_vector[static_cast<size_t>(f)]
+            ? &prune_.parent_vector[static_cast<size_t>(f)]
             : nullptr;
     state_[static_cast<size_t>(f)] =
         std::make_unique<Pax2FragmentState>(RunCombinedPass(frag, query_, init));
@@ -375,15 +380,28 @@ class Pax2Program : public MessageHandlers {
 
   const FragmentedDocument& doc_;
   const CompiledQuery& query_;
-  const PaxOptions& options_;
-  const PruneResult* prune_;
+  const PaxOptions options_;
+  const PruneResult prune_;
   const bool concrete_init_;
   FragmentTreeUnifier unifier_;
   std::vector<std::unique_ptr<Pax2FragmentState>> state_;
   std::vector<GlobalNodeId> answers_;
 };
 
+bool ConcreteInit(const CompiledQuery& query, const PaxOptions& options) {
+  return options.use_annotations && !query.has_qualifiers();
+}
+
 }  // namespace
+
+std::unique_ptr<MessageHandlers> MakePax2SiteHandlers(
+    const Cluster& cluster, const CompiledQuery& query,
+    const PaxOptions& options) {
+  return std::make_unique<Pax2Program>(
+      cluster, query, options,
+      ComputePaxPrune(cluster.doc(), query, options),
+      ConcreteInit(query, options));
+}
 
 Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
                                        const CompiledQuery& query,
@@ -407,13 +425,7 @@ Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
   std::unique_ptr<Transport> owned_transport;
   transport = EnsureTransport(transport, cluster, &owned_transport);
 
-  PruneResult prune;
-  if (options.use_annotations) {
-    prune = PruneFragments(doc, query);
-  } else {
-    prune.selection_relevant.assign(fragment_count, true);
-    prune.required.assign(fragment_count, true);
-  }
+  PruneResult prune = ComputePaxPrune(doc, query, options);
 
   // The combined pass must run wherever a qualifier can see (see
   // fragment/pruning.h); for qualifier-free queries that degenerates to the
@@ -427,11 +439,12 @@ Result<DistributedResult> EvaluatePaX2(const Cluster& cluster,
     }
   }
 
-  const bool concrete_init =
-      options.use_annotations && !query.has_qualifiers();
+  const bool concrete_init = ConcreteInit(query, options);
 
-  Pax2Program program(cluster, query, options, &prune, concrete_init);
-  Coordinator coord(&cluster, transport, &program, control);
+  Pax2Program program(cluster, query, options, std::move(prune),
+                      concrete_init);
+  const RunSpec spec = MakePaxRunSpec("PaX2", query, options);
+  Coordinator coord(&cluster, transport, &program, control, &spec);
   FragmentTreeUnifier& unifier = program.unifier();
 
   std::vector<SiteId> stage1_sites = coord.SitesOf(stage1_frags);

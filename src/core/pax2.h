@@ -22,6 +22,8 @@
 #ifndef PAXML_CORE_PAX2_H_
 #define PAXML_CORE_PAX2_H_
 
+#include <memory>
+
 #include "common/result.h"
 #include "core/distributed_result.h"
 #include "core/pax3.h"
@@ -32,6 +34,16 @@ namespace paxml {
 
 class Transport;
 class RunControl;
+class MessageHandlers;
+
+/// PaX2's handler set alone, for a remote peer evaluating its share of the
+/// cluster (core/site_program.h): owns the prune state the handlers use;
+/// `cluster`, `query` and the returned object's lifetime are the caller's.
+/// The in-process entry point below and a peer built from the same
+/// (query, options) derive identical pruning, stack inits and wire bytes.
+std::unique_ptr<MessageHandlers> MakePax2SiteHandlers(
+    const Cluster& cluster, const CompiledQuery& query,
+    const PaxOptions& options);
 
 /// Evaluates `query` over the cluster's fragmented document with PaX2.
 /// `transport` selects the message backend; nullptr uses the cluster's

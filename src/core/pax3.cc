@@ -7,6 +7,7 @@
 #include "core/eval_ft.h"
 #include "core/parbox.h"
 #include "core/site_eval.h"
+#include "core/site_program.h"
 #include "fragment/pruning.h"
 #include "runtime/coordinator.h"
 
@@ -47,13 +48,16 @@ Result<DistributedResult> EvaluateBooleanViaParBoX(const Cluster& cluster,
 /// handlers only touch the unifier and the collected answers.
 class Pax3Program : public MessageHandlers {
  public:
+  /// Owns its options and prune state (by value) so the same program type
+  /// serves both roles: borrowed by EvaluatePaX3's stack frame and owned by
+  /// a remote peer's SiteProgram (core/site_program.h).
   Pax3Program(const Cluster& cluster, const CompiledQuery& query,
-              const PaxOptions& options, const PruneResult* prune,
+              const PaxOptions& options, PruneResult prune,
               bool concrete_init)
       : doc_(cluster.doc()),
         query_(query),
         options_(options),
-        prune_(prune),
+        prune_(std::move(prune)),
         concrete_init_(concrete_init),
         unifier_(&doc_, &query),
         state_(doc_.size()) {
@@ -131,7 +135,7 @@ class Pax3Program : public MessageHandlers {
                                ? std::function<Formula(int)>(qual_at_doc)
                                : std::function<Formula(int)>());
     } else if (concrete_init_) {
-      init = ConstStackInit(prune_->parent_vector[static_cast<size_t>(f)]);
+      init = ConstStackInit(prune_.parent_vector[static_cast<size_t>(f)]);
     } else {
       init = VariableStackInit(query_, f, st.sel_arena.get());
     }
@@ -236,8 +240,8 @@ class Pax3Program : public MessageHandlers {
 
   const FragmentedDocument& doc_;
   const CompiledQuery& query_;
-  const PaxOptions& options_;
-  const PruneResult* prune_;
+  const PaxOptions options_;
+  const PruneResult prune_;
   const bool concrete_init_;
   FragmentTreeUnifier unifier_;
   std::vector<std::unique_ptr<Pax3FragmentState>> state_;
@@ -245,6 +249,24 @@ class Pax3Program : public MessageHandlers {
 };
 
 }  // namespace
+
+PruneResult ComputePaxPrune(const FragmentedDocument& doc,
+                            const CompiledQuery& query,
+                            const PaxOptions& options) {
+  if (options.use_annotations) return PruneFragments(doc, query);
+  PruneResult prune;
+  prune.selection_relevant.assign(doc.size(), true);
+  prune.required.assign(doc.size(), true);
+  return prune;
+}
+
+std::unique_ptr<MessageHandlers> MakePax3SiteHandlers(
+    const Cluster& cluster, const CompiledQuery& query,
+    const PaxOptions& options) {
+  return std::make_unique<Pax3Program>(
+      cluster, query, options, ComputePaxPrune(cluster.doc(), query, options),
+      options.use_annotations && !query.has_qualifiers());
+}
 
 Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
                                        const CompiledQuery& query,
@@ -260,12 +282,17 @@ Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
   std::unique_ptr<Transport> owned_transport;
   transport = EnsureTransport(transport, cluster, &owned_transport);
 
-  PruneResult prune;
-  if (options.use_annotations) {
-    prune = PruneFragments(doc, query);
-  } else {
-    prune.selection_relevant.assign(fragment_count, true);
-    prune.required.assign(fragment_count, true);
+  PruneResult prune = ComputePaxPrune(doc, query, options);
+
+  // Stage 2's participant set depends only on the prune result; fix it
+  // here, before the program takes ownership of the prune state.
+  std::vector<FragmentId> stage2_frags;
+  std::vector<bool> stage2_participants(fragment_count, false);
+  for (size_t f = 0; f < fragment_count; ++f) {
+    if (prune.selection_relevant[f]) {
+      stage2_frags.push_back(static_cast<FragmentId>(f));
+      stage2_participants[f] = true;
+    }
   }
 
   // Whether this run can finish at stage 2 (Section 5: annotations give
@@ -274,8 +301,10 @@ Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
   const bool concrete_init =
       options.use_annotations && !query.has_qualifiers();
 
-  Pax3Program program(cluster, query, options, &prune, concrete_init);
-  Coordinator coord(&cluster, transport, &program, control);
+  Pax3Program program(cluster, query, options, std::move(prune),
+                      concrete_init);
+  const RunSpec spec = MakePaxRunSpec("PaX3", query, options);
+  Coordinator coord(&cluster, transport, &program, control, &spec);
   FragmentTreeUnifier& unifier = program.unifier();
 
   // Sites learn the query on their first visit.
@@ -315,14 +344,6 @@ Result<DistributedResult> EvaluatePaX3(const Cluster& cluster,
   }
 
   // ---- Stage 2: selection over relevant fragments ---------------------------
-  std::vector<FragmentId> stage2_frags;
-  std::vector<bool> stage2_participants(fragment_count, false);
-  for (size_t f = 0; f < fragment_count; ++f) {
-    if (prune.selection_relevant[f]) {
-      stage2_frags.push_back(static_cast<FragmentId>(f));
-      stage2_participants[f] = true;
-    }
-  }
   std::vector<SiteId> stage2_sites = coord.SitesOf(stage2_frags);
   ship_query(stage2_sites);
 

@@ -29,8 +29,11 @@
 #ifndef PAXML_CORE_PAX3_H_
 #define PAXML_CORE_PAX3_H_
 
+#include <memory>
+
 #include "common/result.h"
 #include "core/distributed_result.h"
+#include "fragment/pruning.h"
 #include "sim/cluster.h"
 #include "xpath/query_plan.h"
 
@@ -38,6 +41,7 @@ namespace paxml {
 
 class Transport;
 class RunControl;
+class MessageHandlers;
 
 struct PaxOptions {
   /// Use the XPath-annotated fragment tree (Section 5): prune irrelevant
@@ -47,6 +51,22 @@ struct PaxOptions {
   /// How answers are shipped to the query site (byte accounting).
   AnswerShipMode ship_mode = AnswerShipMode::kSubtrees;
 };
+
+/// The fragments a PaX run may touch, shared by PaX2 and PaX3 and — the
+/// reason it is ONE function — identically derived on the client and on
+/// every remote peer (deterministic in doc + query): PruneFragments under
+/// annotations, everything-required otherwise. The socket equality
+/// guarantee (DESIGN.md §9) rests on this determinism.
+PruneResult ComputePaxPrune(const FragmentedDocument& doc,
+                            const CompiledQuery& query,
+                            const PaxOptions& options);
+
+/// PaX3's handler set alone, for a remote peer evaluating its share of the
+/// cluster (core/site_program.h): owns the prune state the handlers use;
+/// `cluster`, `query` and the returned object's lifetime are the caller's.
+std::unique_ptr<MessageHandlers> MakePax3SiteHandlers(
+    const Cluster& cluster, const CompiledQuery& query,
+    const PaxOptions& options);
 
 /// Evaluates `query` over the cluster's fragmented document with PaX3.
 /// Boolean queries (empty selection path) delegate to the ParBoX stage and

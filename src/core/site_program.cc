@@ -1,0 +1,99 @@
+#include "core/site_program.h"
+
+#include <utility>
+
+#include "core/distributed_result.h"
+#include "core/naive.h"
+#include "core/parbox.h"
+#include "core/pax2.h"
+
+namespace paxml {
+
+namespace {
+
+/// Owns the compiled query and options the handler set borrows; members
+/// are declared before `handlers_` so the handlers die first.
+class OwningSiteProgram : public SiteProgram {
+ public:
+  OwningSiteProgram(CompiledQuery query, PaxOptions options)
+      : query_(std::move(query)), options_(options) {}
+
+  MessageHandlers* handlers() override { return handlers_.get(); }
+
+  const CompiledQuery& query() const { return query_; }
+  const PaxOptions& options() const { return options_; }
+  void set_handlers(std::unique_ptr<MessageHandlers> handlers) {
+    handlers_ = std::move(handlers);
+  }
+
+ private:
+  CompiledQuery query_;
+  PaxOptions options_;
+  std::unique_ptr<MessageHandlers> handlers_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SiteProgram>> MakeSiteProgram(const Cluster& cluster,
+                                                     const RunSpec& spec) {
+  PAXML_ASSIGN_OR_RETURN(
+      CompiledQuery compiled,
+      CompileXPath(spec.query, cluster.doc().symbols()));
+  if (spec.ship_mode > static_cast<uint8_t>(AnswerShipMode::kReferences)) {
+    return Status::InvalidArgument("run spec: bad answer ship mode");
+  }
+  PaxOptions options;
+  options.use_annotations = spec.use_annotations;
+  options.ship_mode = static_cast<AnswerShipMode>(spec.ship_mode);
+
+  auto program =
+      std::make_unique<OwningSiteProgram>(std::move(compiled), options);
+  if (spec.algorithm == "PaX2") {
+    program->set_handlers(
+        MakePax2SiteHandlers(cluster, program->query(), program->options()));
+  } else if (spec.algorithm == "PaX3") {
+    program->set_handlers(
+        MakePax3SiteHandlers(cluster, program->query(), program->options()));
+  } else if (spec.algorithm == "NaiveCentralized") {
+    program->set_handlers(MakeNaiveSiteHandlers(&cluster.doc()));
+  } else if (spec.algorithm == "ParBoX") {
+    program->set_handlers(
+        MakeParBoXSiteHandlers(&cluster.doc(), &program->query()));
+  } else {
+    return Status::InvalidArgument("run spec: unknown algorithm \"" +
+                                   spec.algorithm + "\"");
+  }
+  return std::unique_ptr<SiteProgram>(std::move(program));
+}
+
+SiteProgramFactory MakeSiteProgramFactory(const Cluster* cluster) {
+  return [cluster](const RunSpec& spec) {
+    return MakeSiteProgram(*cluster, spec);
+  };
+}
+
+RunSpec MakePaxRunSpec(std::string algorithm, const CompiledQuery& query,
+                       const PaxOptions& options) {
+  RunSpec spec;
+  spec.algorithm = std::move(algorithm);
+  spec.query = query.source();
+  spec.use_annotations = options.use_annotations;
+  spec.ship_mode = static_cast<uint8_t>(options.ship_mode);
+  return spec;
+}
+
+RunSpec MakeNaiveRunSpec(const CompiledQuery& query) {
+  RunSpec spec;
+  spec.algorithm = "NaiveCentralized";
+  spec.query = query.source();
+  return spec;
+}
+
+RunSpec MakeParBoXRunSpec(const CompiledQuery& query) {
+  RunSpec spec;
+  spec.algorithm = "ParBoX";
+  spec.query = query.source();
+  return spec;
+}
+
+}  // namespace paxml

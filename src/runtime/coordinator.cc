@@ -11,15 +11,12 @@
 namespace paxml {
 
 Coordinator::Coordinator(const Cluster* cluster, Transport* transport,
-                         MessageHandlers* handlers, RunControl* control)
+                         MessageHandlers* handlers, RunControl* control,
+                         const RunSpec* spec)
     : cluster_(cluster), transport_(transport), control_(control) {
   stats_.per_site.resize(cluster->site_count());
-  run_ = transport_->OpenRun(cluster, &stats_);
-  sites_.reserve(cluster->site_count());
-  for (size_t s = 0; s < cluster->site_count(); ++s) {
-    sites_.emplace_back(static_cast<SiteId>(s), cluster, transport, run_,
-                        handlers);
-  }
+  run_ = transport_->OpenRun(cluster, &stats_, spec);
+  driver_.emplace(cluster, transport, run_, handlers);
 }
 
 Coordinator::~Coordinator() {
@@ -52,10 +49,13 @@ Status Coordinator::RunRound(const std::string& label,
   Status round_status = Status::OK();
   std::mutex status_mu;
   std::vector<double> durations;
-  transport_->RunRound(
+  // Transport-level failures (a dead socket peer, a remote handler error)
+  // come back as the round's status; local handler errors are collected
+  // through the deliver callback as before.
+  Status transport_status = transport_->RunRound(
       run_, sites,
       [&](SiteId site, std::vector<Envelope> mail) {
-        Status st = sites_[static_cast<size_t>(site)].Deliver(std::move(mail));
+        Status st = driver_->Deliver(site, std::move(mail));
         if (!st.ok()) {
           std::lock_guard<std::mutex> lock(status_mu);
           if (round_status.ok()) round_status = std::move(st);
@@ -74,6 +74,7 @@ Status Coordinator::RunRound(const std::string& label,
   stats_.parallel_seconds += round_max;
 
   PAXML_RETURN_NOT_OK(round_status);
+  PAXML_RETURN_NOT_OK(transport_status);
   PAXML_RETURN_NOT_OK(DispatchCoordinatorMail());
   // The round's traffic is fully accounted (every frame it produced sealed
   // during the snapshot or the coordinator drain): publish progress before
@@ -103,7 +104,7 @@ Status Coordinator::DispatchCoordinatorMail() {
                      [](const Envelope& a, const Envelope& b) {
                        return a.from < b.from;
                      });
-    status = sites_[static_cast<size_t>(sq)].Deliver(std::move(mail));
+    status = driver_->Deliver(sq, std::move(mail));
   }
   const auto end = std::chrono::steady_clock::now();
   stats_.coordinator_seconds +=

@@ -23,10 +23,12 @@
 #define PAXML_RUNTIME_COORDINATOR_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "runtime/run_control.h"
+#include "runtime/site_driver.h"
 #include "runtime/site_runtime.h"
 #include "runtime/transport.h"
 #include "sim/stats.h"
@@ -38,11 +40,14 @@ class Cluster;
 class Coordinator {
  public:
   /// Opens a fresh run on `transport` accounting into this coordinator's
-  /// RunStats, and builds one SiteRuntime per site dispatching into
-  /// `handlers`. A non-null `control` makes the run cancellable: RunRound
-  /// returns its Check() status at round boundaries.
+  /// RunStats, and builds the run's SiteDriver dispatching into `handlers`.
+  /// A non-null `control` makes the run cancellable: RunRound returns its
+  /// Check() status at round boundaries. A non-null `spec` describes the
+  /// evaluation to remote peers (required for delivery rounds over a
+  /// socket transport; in-process backends ignore it).
   Coordinator(const Cluster* cluster, Transport* transport,
-              MessageHandlers* handlers, RunControl* control = nullptr);
+              MessageHandlers* handlers, RunControl* control = nullptr,
+              const RunSpec* spec = nullptr);
 
   /// Closes the run; any mail an abandoned protocol left behind is
   /// discarded with it. Publishes the final RunStats snapshot to the
@@ -100,7 +105,7 @@ class Coordinator {
   Transport* transport_;
   RunControl* control_ = nullptr;
   RunId run_ = kNullRun;
-  std::vector<SiteRuntime> sites_;
+  std::optional<SiteDriver> driver_;  ///< built after the run opens
   RunStats stats_;
 
   // Traffic marker for RealizeNetworkDelay: what was already slept for.

@@ -24,6 +24,15 @@ uint8_t EnvelopeFlags(const Envelope& env) {
                               (static_cast<uint8_t>(env.category) << 1));
 }
 
+size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 }  // namespace
 
 uint64_t Frame::AccountedBytes() const {
@@ -58,6 +67,20 @@ void Frame::Encode(ByteWriter* out) const {
       out->PutString(part.bytes);
     }
   }
+}
+
+uint64_t Frame::EncodedSize() const {
+  uint64_t n = VarintSize(run) + VarintSize(EncodeId(from)) +
+               VarintSize(EncodeId(to)) + VarintSize(sequence) +
+               VarintSize(envelopes.size());
+  for (const Envelope& env : envelopes) {
+    n += 1 + VarintSize(env.phantom_bytes) + VarintSize(env.parts.size());
+    for (const WirePart& part : env.parts) {
+      n += 1 + VarintSize(EncodeId(part.fragment)) + 1 +
+           VarintSize(part.bytes.size()) + part.bytes.size();
+    }
+  }
+  return n;
 }
 
 Result<Frame> Frame::Decode(ByteReader* in) {
@@ -151,6 +174,10 @@ void AccountFrame(const Frame& frame, RunStats* stats) {
   for (const Envelope& env : frame.envelopes) {
     if (env.accounted) AccountEnvelopeBytes(env, stats);
   }
+  // Every frame is physically written, control-plane or not: wire_bytes is
+  // what a socket moves, while the counters below follow the paper's model
+  // (request frames are free, phantom bytes are counted).
+  stats->wire_bytes += frame.EncodedSize();
   if (!frame.Accounted()) return;
   PAXML_CHECK_LT(static_cast<size_t>(frame.to), stats->per_site.size());
   PAXML_CHECK(frame.from == kNullSite ||

@@ -64,6 +64,11 @@ struct Frame {
   /// re-encoding a decoded frame is byte-identical (tested property).
   void Encode(ByteWriter* out) const;
 
+  /// Exactly Encode()'s output size (tested property), computed without
+  /// materializing the buffer — what RunStats::wire_bytes accounts per
+  /// sealed frame.
+  uint64_t EncodedSize() const;
+
   /// Decodes one frame; rejects trailing garbage within the envelope
   /// structure but leaves the reader positioned after the frame, so frames
   /// can be concatenated on a stream.

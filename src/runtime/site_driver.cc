@@ -1,0 +1,33 @@
+#include "runtime/site_driver.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "sim/cluster.h"
+
+namespace paxml {
+
+SiteDriver::SiteDriver(const Cluster* cluster, Transport* transport, RunId run,
+                       MessageHandlers* handlers) {
+  sites_.reserve(cluster->site_count());
+  for (size_t s = 0; s < cluster->site_count(); ++s) {
+    sites_.emplace_back(static_cast<SiteId>(s), cluster, transport, run,
+                        handlers);
+  }
+}
+
+Status SiteDriver::Deliver(SiteId site, std::vector<Envelope> mail) {
+  PAXML_CHECK_LT(static_cast<size_t>(site), sites_.size());
+  return sites_[static_cast<size_t>(site)].Deliver(std::move(mail));
+}
+
+Status SiteDriver::DeliverTimed(SiteId site, std::vector<Envelope> mail,
+                                double* seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  Status status = Deliver(site, std::move(mail));
+  const auto end = std::chrono::steady_clock::now();
+  *seconds = std::chrono::duration<double>(end - start).count();
+  return status;
+}
+
+}  // namespace paxml

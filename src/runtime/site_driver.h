@@ -1,0 +1,49 @@
+// SiteDriver: the site-side half of one evaluation's round loop.
+//
+// Extracted from the Coordinator so that both drivers of a run share one
+// dispatch surface: the Coordinator delivers local sites' mail (and its own
+// up-replies) through it, and a paxml_site peer (runtime/socket_server.h)
+// delivers its hosted site's mail through an identical driver built from
+// the client's RunSpec — the round barrier then works as a control-record
+// exchange instead of a function call (DESIGN.md §9). Either way, a
+// delivery decodes the envelopes in order into the algorithm's
+// MessageHandlers via one SiteRuntime per site.
+
+#ifndef PAXML_RUNTIME_SITE_DRIVER_H_
+#define PAXML_RUNTIME_SITE_DRIVER_H_
+
+#include <vector>
+
+#include "runtime/site_runtime.h"
+#include "runtime/transport.h"
+
+namespace paxml {
+
+class Cluster;
+
+class SiteDriver {
+ public:
+  /// Builds one SiteRuntime per site of `cluster`, all dispatching into
+  /// `handlers` and sending through `transport` under `run`.
+  SiteDriver(const Cluster* cluster, Transport* transport, RunId run,
+             MessageHandlers* handlers);
+
+  SiteDriver(const SiteDriver&) = delete;
+  SiteDriver& operator=(const SiteDriver&) = delete;
+
+  /// Decodes and dispatches `mail` at `site`, in order; stops at the first
+  /// handler error.
+  Status Deliver(SiteId site, std::vector<Envelope> mail);
+
+  /// Deliver() plus wall-time measurement — the unit both the local round
+  /// loop and a remote peer's RoundDone report in.
+  Status DeliverTimed(SiteId site, std::vector<Envelope> mail,
+                      double* seconds);
+
+ private:
+  std::vector<SiteRuntime> sites_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_RUNTIME_SITE_DRIVER_H_

@@ -1,0 +1,293 @@
+#include "runtime/socket_server.h"
+
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "runtime/frame.h"
+#include "runtime/site_driver.h"
+#include "runtime/wire.h"
+#include "sim/cluster.h"
+
+namespace paxml {
+
+namespace {
+
+/// The peer's staging plane: handlers send through it as through any
+/// transport, but a sealed frame whose destination is not the hosted site
+/// is captured (translated back to the client's run id) for the wire
+/// instead of a local mailbox. Single-threaded per connection.
+class PeerPlane : public Transport {
+ public:
+  PeerPlane(SiteId home, TransportOptions options)
+      : Transport(std::move(options)), home_(home) {}
+
+  void Register(RunId local, RunId client) { client_run_[local] = client; }
+  void Forget(RunId local) { client_run_.erase(local); }
+
+  /// The kFrame records sealed since the last take, in seal order.
+  std::string TakePending() { return std::move(pending_); }
+
+  Status RunRound(RunId, const std::vector<SiteId>&, const DeliverFn&,
+                  std::vector<double>*) override {
+    return Status::Internal("the peer plane has no delivery rounds");
+  }
+  const char* name() const override { return "peer"; }
+
+  using Transport::InjectFrame;  // the server feeds client frames in
+
+ protected:
+  bool TakeSealedFrameLocked(Frame& frame) override {
+    if (frame.to == home_) return false;
+    auto it = client_run_.find(frame.run);
+    PAXML_CHECK(it != client_run_.end());
+    frame.run = it->second;
+    AppendFrameRecord(frame, &pending_);
+    return true;
+  }
+
+ private:
+  SiteId home_;
+  std::map<RunId, RunId> client_run_;  ///< local run -> client run
+  std::string pending_;
+};
+
+/// Everything one announced run owns at the peer.
+struct RunState {
+  RunId local_run = kNullRun;
+  RunStats stats;  ///< advisory; the client's accounting is authoritative
+  std::unique_ptr<SiteProgram> program;
+  std::optional<SiteDriver> driver;
+  Status broken;  ///< spec/placement problems surface at the next round
+};
+
+}  // namespace
+
+SiteServer::SiteServer(const Cluster* cluster, SiteId site,
+                       SiteProgramFactory factory)
+    : cluster_(cluster), site_(site), factory_(std::move(factory)) {
+  PAXML_CHECK(site >= 0 &&
+              static_cast<size_t>(site) < cluster->site_count());
+}
+
+SiteServer::~SiteServer() { CloseFd(listen_fd_); }
+
+Result<int> SiteServer::Listen(const std::string& host, int port) {
+  PAXML_CHECK(listen_fd_ < 0);
+  PAXML_ASSIGN_OR_RETURN(listen_fd_, ListenOn(host, port));
+  return BoundPort(listen_fd_);
+}
+
+void SiteServer::Shutdown() {
+  shutdown_.store(true);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+Status SiteServer::Serve() {
+  PAXML_CHECK(listen_fd_ >= 0);  // Listen first
+  while (!shutdown_.load()) {
+    Result<int> fd = AcceptOn(listen_fd_);
+    if (!fd.ok()) {
+      if (shutdown_.load()) return Status::OK();
+      return fd.status();
+    }
+    // A connection failure tears down that client's runs only; the server
+    // keeps accepting — but the operator gets to see why the client was
+    // dropped (the client only sees "peer closed").
+    Status status = ServeConnection(*fd);
+    if (!status.ok()) {
+      std::fprintf(stderr, "paxml_site[%d]: client dropped: %s\n", site_,
+                   status.ToString().c_str());
+    }
+    CloseFd(*fd);
+  }
+  return Status::OK();
+}
+
+Status SiteServer::ServeOne() {
+  PAXML_CHECK(listen_fd_ >= 0);
+  PAXML_ASSIGN_OR_RETURN(int fd, AcceptOn(listen_fd_));
+  Status status = ServeConnection(fd);
+  CloseFd(fd);
+  return status;
+}
+
+Status SiteServer::ServeConnection(int fd) {
+  RecordBuffer buf;
+  FrameReassembler reassembler;
+  std::unique_ptr<PeerPlane> plane;  // built once the Hello arrives
+  std::map<RunId, RunState> runs;    // keyed by the *client's* run id
+  bool hello_done = false;
+
+  auto send_error = [&](RunId run, const std::string& message) -> Status {
+    ErrorRecord error;
+    error.run = run;
+    error.message = message;
+    std::string bytes;
+    AppendControlRecord(RecordType::kError, error, &bytes);
+    return WriteAll(fd, bytes);
+  };
+
+  auto handle = [&](WireRecord record) -> Status {
+    ByteReader reader(record.payload);
+    if (!hello_done) {
+      if (record.type != RecordType::kHello) {
+        return Status::NetworkError("expected hello");
+      }
+      PAXML_ASSIGN_OR_RETURN(HelloRecord hello, HelloRecord::Decode(&reader));
+      if (hello.version != kWireProtocolVersion) {
+        (void)send_error(kNullRun, "wire protocol version mismatch");
+        return Status::NetworkError("wire protocol version mismatch");
+      }
+      if (hello.site != site_) {
+        (void)send_error(kNullRun, "this peer serves site " +
+                                       std::to_string(site_));
+        return Status::NetworkError("client dialed the wrong site");
+      }
+      // Mirror the client's plane knobs so both sides seal identical
+      // frames (batching is implied — the frame is the wire unit).
+      TransportOptions options;
+      options.batching = true;
+      options.answer_chunk_ids =
+          static_cast<size_t>(hello.answer_chunk_ids);
+      options.data_chunk_bytes = hello.data_chunk_bytes;
+      options.max_frame_bytes = hello.max_frame_bytes;
+      plane = std::make_unique<PeerPlane>(site_, std::move(options));
+      HelloAckRecord ack;
+      ack.site = site_;
+      std::string bytes;
+      AppendControlRecord(RecordType::kHelloAck, ack, &bytes);
+      hello_done = true;
+      return WriteAll(fd, bytes);
+    }
+
+    switch (record.type) {
+      case RecordType::kOpenRun: {
+        PAXML_ASSIGN_OR_RETURN(OpenRunRecord open,
+                               OpenRunRecord::Decode(&reader));
+        if (runs.count(open.run) != 0) {
+          return Status::NetworkError("open-run for an already open run");
+        }
+        RunState& state = runs[open.run];
+        state.stats.per_site.resize(cluster_->site_count());
+        state.local_run = plane->OpenRun(cluster_, &state.stats);
+        plane->Register(state.local_run, open.run);
+
+        // Placement fingerprint: a peer serving a different cluster must
+        // fail loudly at the first delivery, not answer from divergent
+        // data.
+        if (open.site_count != cluster_->site_count() ||
+            open.placement.size() != cluster_->doc().size()) {
+          state.broken = Status::InvalidArgument(
+              "cluster shape mismatch between client and peer");
+        } else {
+          for (size_t f = 0; f < open.placement.size(); ++f) {
+            if (open.placement[f] !=
+                cluster_->site_of(static_cast<FragmentId>(f))) {
+              state.broken =
+                  Status::InvalidArgument("placement mismatch at fragment " +
+                                          std::to_string(f));
+              break;
+            }
+          }
+        }
+        if (state.broken.ok() && open.spec.algorithm.empty()) {
+          state.broken = Status::InvalidArgument(
+              "run was opened without a spec; remote delivery is impossible");
+        }
+        if (state.broken.ok()) {
+          Result<std::unique_ptr<SiteProgram>> program = factory_(open.spec);
+          if (program.ok()) {
+            state.program = std::move(*program);
+            state.driver.emplace(cluster_, plane.get(), state.local_run,
+                                 state.program->handlers());
+          } else {
+            state.broken = program.status();
+          }
+        }
+        return Status::OK();
+      }
+      case RecordType::kCloseRun: {
+        PAXML_ASSIGN_OR_RETURN(CloseRunRecord close,
+                               CloseRunRecord::Decode(&reader));
+        auto it = runs.find(close.run);
+        if (it == runs.end()) return Status::OK();  // already gone
+        plane->Forget(it->second.local_run);
+        plane->CloseRun(it->second.local_run);
+        reassembler.CloseRun(close.run);
+        runs.erase(it);
+        return Status::OK();
+      }
+      case RecordType::kFrame: {
+        PAXML_ASSIGN_OR_RETURN(Frame frame, Frame::Decode(&reader));
+        if (frame.to != site_) {
+          return Status::NetworkError("frame for a site this peer does not serve");
+        }
+        PAXML_RETURN_NOT_OK(reassembler.Accept(frame));
+        auto it = runs.find(frame.run);
+        if (it == runs.end()) return Status::OK();  // races a close: drop
+        frame.run = it->second.local_run;
+        return plane->InjectFrame(std::move(frame));
+      }
+      case RecordType::kRoundStart: {
+        PAXML_ASSIGN_OR_RETURN(RoundStartRecord start,
+                               RoundStartRecord::Decode(&reader));
+        RoundDoneRecord done;
+        done.run = start.run;
+        done.site = site_;
+        auto it = runs.find(start.run);
+        if (start.site != site_) {
+          done.status = Status::InvalidArgument(
+              "round-start for a site this peer does not serve");
+        } else if (it == runs.end()) {
+          done.status = Status::NetworkError("round-start for an unknown run");
+        } else if (!it->second.broken.ok()) {
+          done.status = it->second.broken;
+        } else {
+          RunState& state = it->second;
+          std::vector<Envelope> mail =
+              plane->Drain(state.local_run, site_);
+          done.status = state.driver->DeliverTimed(site_, std::move(mail),
+                                                   &done.seconds);
+          // The peer's round boundary: stage -> frames, captured for the
+          // wire in seal order.
+          plane->FlushRun(state.local_run);
+        }
+        // Reply frames first, the barrier release last — their order on
+        // this connection is the round's correctness argument.
+        std::string bytes = plane->TakePending();
+        AppendControlRecord(RecordType::kRoundDone, done, &bytes);
+        return WriteAll(fd, bytes);
+      }
+      default:
+        return Status::NetworkError(std::string("unexpected record: ") +
+                                    RecordTypeName(record.type));
+    }
+  };
+
+  char chunk[1 << 16];
+  while (true) {
+    Result<size_t> n = ReadSome(fd, chunk, sizeof(chunk));
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      // Orderly teardown: the client went away; drop its runs.
+      return buf.pending_bytes() == 0
+                 ? Status::OK()
+                 : Status::NetworkError("client closed mid-record");
+    }
+    buf.Append({chunk, *n});
+    while (true) {
+      Result<std::optional<WireRecord>> record = buf.Next();
+      if (!record.ok()) return record.status();
+      if (!record->has_value()) break;
+      PAXML_RETURN_NOT_OK(handle(std::move(**record)));
+    }
+  }
+}
+
+}  // namespace paxml

@@ -1,0 +1,91 @@
+// SiteServer: the peer side of the socket message plane.
+//
+// One process per machine runs a SiteServer for its SiteId: it listens for
+// a SocketTransport client, reconstructs each announced run's site-side
+// program from the wired RunSpec (via a factory the core layer provides —
+// core/site_program.h — so this runtime layer stays algorithm-agnostic),
+// mailboxes the client's frames on a local staging plane, and on each
+// kRoundStart drains its site's mail through a SiteDriver — exactly the
+// dispatch path the in-process Coordinator uses. The replies its handlers
+// stage seal into frames at the end of the round (the peer's round
+// boundary), go back on the connection, and only then does kRoundDone
+// complete the client's barrier — ordering that makes the barrier correct
+// without any further synchronization (DESIGN.md §9).
+//
+// Runs are independent: kCloseRun (or a client disconnect) drops one run's
+// mail, program and sequence state without touching the others. Accounting
+// here is advisory only — the client's AccountFrame over the received
+// frames is authoritative, and reproduces the in-process RunStats exactly.
+
+#ifndef PAXML_RUNTIME_SOCKET_SERVER_H_
+#define PAXML_RUNTIME_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "runtime/site_runtime.h"
+#include "runtime/transport.h"
+
+namespace paxml {
+
+class Cluster;
+
+/// One evaluation's site-side program: the MessageHandlers plus everything
+/// they borrow (compiled query, options, prune state). Built per run from
+/// the client's RunSpec; destroyed at kCloseRun.
+class SiteProgram {
+ public:
+  virtual ~SiteProgram() = default;
+  virtual MessageHandlers* handlers() = 0;
+};
+
+/// Resolves a RunSpec to a program over the server's cluster. The core
+/// layer provides the real one (MakeSiteProgramFactory); tests may inject
+/// stubs.
+using SiteProgramFactory =
+    std::function<Result<std::unique_ptr<SiteProgram>>(const RunSpec&)>;
+
+class SiteServer {
+ public:
+  /// Serves `site` of `cluster`. The cluster must be bit-identical to the
+  /// client's (same document, fragmentation and placement) — kOpenRun
+  /// carries a placement fingerprint and mismatches fail the run loudly.
+  SiteServer(const Cluster* cluster, SiteId site, SiteProgramFactory factory);
+  ~SiteServer();
+
+  SiteServer(const SiteServer&) = delete;
+  SiteServer& operator=(const SiteServer&) = delete;
+
+  /// Binds and listens on host:port (port 0 = ephemeral); returns the
+  /// bound port.
+  Result<int> Listen(const std::string& host, int port);
+
+  /// Accepts and serves clients until Shutdown() or a fatal accept error,
+  /// one connection at a time (a client disconnect tears down its runs and
+  /// the server accepts the next client).
+  Status Serve();
+
+  /// Accepts and serves exactly one client connection.
+  Status ServeOne();
+
+  /// Unblocks Serve() from another thread.
+  void Shutdown();
+
+  SiteId site() const { return site_; }
+
+ private:
+  Status ServeConnection(int fd);
+
+  const Cluster* cluster_;
+  SiteId site_;
+  SiteProgramFactory factory_;
+  int listen_fd_ = -1;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_RUNTIME_SOCKET_SERVER_H_

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "runtime/frame.h"
+#include "runtime/socket_transport.h"
 #include "runtime/worker_pool.h"
 #include "sim/cluster.h"
 
@@ -57,21 +58,43 @@ bool Transport::HasPendingMailLocked(const RunBinding& binding) {
   return false;
 }
 
-RunId Transport::OpenRun(const Cluster* cluster, RunStats* stats) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const RunId run = next_run_id_++;
-  RunBinding& binding = runs_[run];
-  binding.stats = stats;
-  binding.mailboxes.assign(cluster->site_count(), {});
+RunId Transport::OpenRun(const Cluster* cluster, RunStats* stats,
+                         const RunSpec* spec) {
+  RunId run = kNullRun;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    run = next_run_id_++;
+    RunBinding& binding = runs_[run];
+    binding.stats = stats;
+    binding.mailboxes.assign(cluster->site_count(), {});
+  }
+  RunOpened(run, cluster, spec);
   return run;
 }
 
 void Transport::CloseRun(RunId run) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = runs_.find(run);
-  PAXML_CHECK(it != runs_.end());
-  runs_.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = runs_.find(run);
+    PAXML_CHECK(it != runs_.end());
+    runs_.erase(it);
+  }
+  RunClosing(run);
 }
+
+bool Transport::TakeSealedFrameLocked(Frame& frame) {
+  (void)frame;
+  return false;
+}
+
+void Transport::RunOpened(RunId run, const Cluster* cluster,
+                          const RunSpec* spec) {
+  (void)run;
+  (void)cluster;
+  (void)spec;
+}
+
+void Transport::RunClosing(RunId run) { (void)run; }
 
 void Transport::Send(Envelope env) {
   PAXML_CHECK(env.run != kNullRun);  // Post/SiteContext stamp the run id
@@ -84,9 +107,13 @@ void Transport::Send(Envelope env) {
   // so there is nothing to frame either.
   const bool local = env.from == env.to && env.from != kNullSite;
   if (options_.batching && !local) {
-    StagedEdge& staged = binding.staging[{env.from, env.to}];
+    const RunId run = env.run;
+    const EdgeKey edge{env.from, env.to};
+    StagedEdge& staged = binding.staging[edge];
     PAXML_CHECK(!staged.stream_open);  // close the stream before more mail
+    staged.staged_bytes += env.WireBytes();
     staged.envelopes.push_back(std::move(env));
+    MaybeFlushEdgeLocked(run, binding, edge);
     return;
   }
   if (env.accounted && !local) {
@@ -114,6 +141,7 @@ void Transport::StreamBegin(Envelope head) {
   PAXML_CHECK_LT(static_cast<size_t>(head.to), binding.mailboxes.size());
   StagedEdge& staged = binding.staging[{head.from, head.to}];
   PAXML_CHECK(!staged.stream_open);  // one open stream per (run, edge)
+  staged.staged_bytes += head.WireBytes();
   staged.envelopes.push_back(std::move(head));
   staged.stream_open = true;
 }
@@ -127,6 +155,10 @@ void Transport::StreamAppend(RunId run, SiteId from, SiteId to,
   Envelope& env = it->second.envelopes.back();
   env.parts.back().bytes.append(bytes);
   env.phantom_bytes += phantom_bytes;
+  if (env.parts.back().accounted) {
+    it->second.staged_bytes += bytes.size();
+  }
+  it->second.staged_bytes += phantom_bytes;
 }
 
 void Transport::StreamEnd(RunId run, SiteId from, SiteId to) {
@@ -135,6 +167,9 @@ void Transport::StreamEnd(RunId run, SiteId from, SiteId to) {
   auto it = binding.staging.find({from, to});
   PAXML_CHECK(it != binding.staging.end() && it->second.stream_open);
   it->second.stream_open = false;
+  // The stream may have grown the edge past the adaptive-flush threshold;
+  // now that it is closed the frame is free to seal.
+  MaybeFlushEdgeLocked(run, binding, {from, to});
 }
 
 void Transport::SealEdgeLocked(RunId run, RunBinding& binding,
@@ -151,8 +186,19 @@ void Transport::SealEdgeLocked(RunId run, RunBinding& binding,
   frame.sequence = binding.next_frame_sequence[edge]++;
   frame.envelopes = std::move(staged.envelopes);
   AccountFrame(frame, binding.stats);
+  if (TakeSealedFrameLocked(frame)) return;  // bound for a peer's wire
   auto& box = binding.mailboxes[static_cast<size_t>(edge.second)];
   for (Envelope& env : frame.envelopes) box.push_back(std::move(env));
+}
+
+void Transport::MaybeFlushEdgeLocked(RunId run, RunBinding& binding,
+                                     const EdgeKey& edge) {
+  if (options_.max_frame_bytes == 0) return;
+  auto it = binding.staging.find(edge);
+  if (it == binding.staging.end() || it->second.stream_open) return;
+  if (it->second.staged_bytes <= options_.max_frame_bytes) return;
+  SealEdgeLocked(run, binding, edge, std::move(it->second));
+  binding.staging.erase(it);
 }
 
 void Transport::FlushRunLocked(RunId run, RunBinding& binding) {
@@ -174,6 +220,34 @@ void Transport::FlushToSiteLocked(RunId run, RunBinding& binding,
       ++it;
     }
   }
+}
+
+void Transport::FlushRun(RunId run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushRunLocked(run, BindingLocked(run));
+}
+
+Status Transport::InjectFrame(Frame frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = runs_.find(frame.run);
+  // Mail for a run that has since closed legitimately races CloseRun (an
+  // abandoned protocol's replies may still be in flight): drop it.
+  if (it == runs_.end()) return Status::OK();
+  RunBinding& binding = it->second;
+  // Wire input: validate the ids before AccountFrame would PAXML_CHECK.
+  if (frame.to < 0 ||
+      static_cast<size_t>(frame.to) >= binding.mailboxes.size()) {
+    return Status::ParseError("frame: destination site out of range");
+  }
+  if (frame.from != kNullSite &&
+      static_cast<size_t>(frame.from) >= binding.mailboxes.size()) {
+    return Status::ParseError("frame: source site out of range");
+  }
+  AccountFrame(frame, binding.stats);
+  if (TakeSealedFrameLocked(frame)) return Status::OK();  // relay onward
+  auto& box = binding.mailboxes[static_cast<size_t>(frame.to)];
+  for (Envelope& env : frame.envelopes) box.push_back(std::move(env));
+  return Status::OK();
 }
 
 std::vector<Envelope> Transport::Drain(RunId run, SiteId site) {
@@ -227,8 +301,6 @@ std::vector<std::vector<Envelope>> Transport::SnapshotInboxes(
   return inboxes;
 }
 
-namespace {
-
 double TimedDeliver(const Transport::DeliverFn& deliver, SiteId site,
                     std::vector<Envelope> mail) {
   const auto start = std::chrono::steady_clock::now();
@@ -237,18 +309,17 @@ double TimedDeliver(const Transport::DeliverFn& deliver, SiteId site,
   return std::chrono::duration<double>(end - start).count();
 }
 
-}  // namespace
-
 // ---- SyncTransport ----------------------------------------------------------
 
-void SyncTransport::RunRound(RunId run, const std::vector<SiteId>& sites,
-                             const DeliverFn& deliver,
-                             std::vector<double>* durations) {
+Status SyncTransport::RunRound(RunId run, const std::vector<SiteId>& sites,
+                               const DeliverFn& deliver,
+                               std::vector<double>* durations) {
   durations->assign(sites.size(), 0);
   std::vector<std::vector<Envelope>> inboxes = SnapshotInboxes(run, sites);
   for (size_t i = 0; i < sites.size(); ++i) {
     (*durations)[i] = TimedDeliver(deliver, sites[i], std::move(inboxes[i]));
   }
+  return Status::OK();
 }
 
 // ---- PooledTransport --------------------------------------------------------
@@ -263,11 +334,11 @@ PooledTransport::PooledTransport(size_t workers, TransportOptions options)
 
 size_t PooledTransport::worker_count() const { return pool_->worker_count(); }
 
-void PooledTransport::RunRound(RunId run, const std::vector<SiteId>& sites,
-                               const DeliverFn& deliver,
-                               std::vector<double>* durations) {
+Status PooledTransport::RunRound(RunId run, const std::vector<SiteId>& sites,
+                                 const DeliverFn& deliver,
+                                 std::vector<double>* durations) {
   durations->assign(sites.size(), 0);
-  if (sites.empty()) return;
+  if (sites.empty()) return Status::OK();
   // shared_ptr keeps the per-site mail copyable for std::function.
   auto inboxes = std::make_shared<std::vector<std::vector<Envelope>>>(
       SnapshotInboxes(run, sites));
@@ -285,6 +356,7 @@ void PooledTransport::RunRound(RunId run, const std::vector<SiteId>& sites,
     });
   }
   pool_->RunAll(std::move(tasks));
+  return Status::OK();
 }
 
 // ---- Builders ---------------------------------------------------------------
@@ -311,9 +383,11 @@ std::unique_ptr<Transport> MakeTransport(TransportKind kind,
                                          TransportOptions options) {
   switch (kind) {
     case TransportKind::kSync:
-      return std::make_unique<SyncTransport>(options);
+      return std::make_unique<SyncTransport>(std::move(options));
     case TransportKind::kPooled:
-      return std::make_unique<PooledTransport>(nullptr, options);
+      return std::make_unique<PooledTransport>(nullptr, std::move(options));
+    case TransportKind::kSocket:
+      return std::make_unique<SocketTransport>(std::move(options));
   }
   PAXML_CHECK(false);
   return nullptr;
@@ -327,11 +401,17 @@ TransportKind DefaultTransportKind(const Cluster& cluster) {
 std::unique_ptr<Transport> MakeTransportFor(const Cluster& cluster,
                                             std::optional<TransportKind> kind,
                                             TransportOptions options) {
-  const TransportKind k = kind.value_or(DefaultTransportKind(cluster));
+  // A deployment map means a socket plane unless the caller insists
+  // otherwise (in-process kinds then simply ignore the endpoints).
+  const TransportKind k =
+      kind.value_or(options.remote_endpoints.empty()
+                        ? DefaultTransportKind(cluster)
+                        : TransportKind::kSocket);
   if (k == TransportKind::kPooled) {
-    return std::make_unique<PooledTransport>(cluster.worker_pool(), options);
+    return std::make_unique<PooledTransport>(cluster.worker_pool(),
+                                             std::move(options));
   }
-  return MakeTransport(k, options);
+  return MakeTransport(k, std::move(options));
 }
 
 Transport* EnsureTransport(Transport* transport, const Cluster& cluster,

@@ -30,7 +30,7 @@
 // is the escape hatch: batching=false restores the historical
 // envelope-per-message plane.
 //
-// Two backends deliver mail:
+// Three backends deliver mail:
 //   * SyncTransport    — sequential, deterministic; the reference semantics.
 //   * PooledTransport  — delivers each round's site mail on a WorkerPool
 //                        (by default the cluster's shared pool, so heavy
@@ -39,9 +39,12 @@
 //                        per-edge byte totals: site work is independent per
 //                        site and coordinator-side processing is
 //                        order-normalized (see Coordinator).
-//
-// A future networked backend only needs to implement this interface; the
-// algorithms are unchanged (see DESIGN.md §5).
+//   * SocketTransport  — (runtime/socket_transport.h) sites named in
+//                        TransportOptions::remote_endpoints are served by
+//                        paxml_site peer processes over TCP; sealed frames
+//                        are the wire records and the round barrier is a
+//                        control-record exchange (DESIGN.md §9). Reproduces
+//                        SyncTransport's exact RunStats (tested property).
 
 #ifndef PAXML_RUNTIME_TRANSPORT_H_
 #define PAXML_RUNTIME_TRANSPORT_H_
@@ -64,6 +67,7 @@ namespace paxml {
 
 class Cluster;
 class WorkerPool;
+struct Frame;
 
 /// Identifies one query evaluation bound to a Transport. Ids are unique per
 /// transport for its lifetime (never reused).
@@ -87,6 +91,21 @@ enum class MessageKind : uint8_t {
 };
 
 const char* MessageKindName(MessageKind kind);
+
+/// What a remote peer needs to reconstruct one evaluation's site-side
+/// program: the algorithm (an AlgorithmName() string — "PaX2", "PaX3",
+/// "NaiveCentralized", "ParBoX"), the query source text and the options
+/// that change site-side behavior. In-process backends ignore it; the
+/// socket backend ships it in the run-open control record, and the peer
+/// compiles the query against its own copy of the document (deterministic:
+/// both sides derive identical pruning, stack inits and wire encodings).
+/// core/site_program.h turns a spec back into handlers.
+struct RunSpec {
+  std::string algorithm;
+  std::string query;
+  bool use_annotations = false;
+  uint8_t ship_mode = 0;  ///< AnswerShipMode as its wire value
+};
 
 /// Which RunStats bucket an envelope's bytes land in (besides total_bytes).
 enum class PayloadCategory : uint8_t {
@@ -125,6 +144,21 @@ struct TransportOptions {
   /// Chunk size for streamed raw-data shipments (the naive baseline's
   /// modeled fragment transfer), in phantom bytes per chunk.
   uint64_t data_chunk_bytes = 64 * 1024;
+
+  /// Adaptive flush (0 = off): seal an edge's frame as soon as its staged
+  /// envelopes exceed this many wire bytes instead of waiting for the round
+  /// boundary, bounding peak staging memory for huge-|ans| rounds. Byte
+  /// totals, visits and answers are unchanged — only message counts grow
+  /// (tested property). An open EnvelopeStream defers the flush to its
+  /// close (a frame never seals around a half-written stream).
+  uint64_t max_frame_bytes = 0;
+
+  /// Remote deployment map of the socket backend: site -> "host:port" of
+  /// the paxml_site process serving it. Sites absent from the map (the
+  /// query site S_Q must be one of them) are evaluated in-process by the
+  /// client. Non-empty selects TransportKind::kSocket in MakeTransportFor
+  /// when no explicit kind is given.
+  std::map<SiteId, std::string> remote_endpoints = {};
 };
 
 /// One network message. Envelope metadata (routing, kinds) models the
@@ -166,12 +200,18 @@ class Transport {
 
   /// Opens a fresh run over `cluster`, accounting into `stats` (per_site
   /// must already be sized). The returned id namespaces the run's
-  /// mailboxes; it never aliases another open run.
-  RunId OpenRun(const Cluster* cluster, RunStats* stats);
+  /// mailboxes; it never aliases another open run. `spec` describes the
+  /// evaluation to remote peers (see RunSpec); in-process backends ignore
+  /// it and it may be null (the socket backend then serves the run as a
+  /// pure frame relay — remote delivery rounds fail cleanly).
+  RunId OpenRun(const Cluster* cluster, RunStats* stats,
+                const RunSpec* spec = nullptr);
 
   /// Releases a run's binding. Pending mail is discarded (error paths
   /// legitimately abandon a protocol mid-round). The id must name an open
-  /// run; its RunStats is not touched after this returns.
+  /// run; its RunStats is not touched after this returns. A socket backend
+  /// tears the run down on its peers too (graceful: peers drop the run's
+  /// mail and program without disturbing other runs).
   void CloseRun(RunId run);
 
   /// THE choke point. With batching (the default), a cross-site envelope is
@@ -207,6 +247,12 @@ class Transport {
   /// the drained site).
   std::vector<Envelope> Drain(RunId run, SiteId site);
 
+  /// Seals every staged edge of `run` now: a round boundary without an
+  /// inbox snapshot. The remote peer's end-of-round flush — after its
+  /// handlers ran, this turns their staged replies into the frames that go
+  /// back on the wire.
+  void FlushRun(RunId run);
+
   /// The query methods are const so a read-only view of the transport
   /// (e.g. Engine::transport()) can introspect it. Staged (not yet sealed)
   /// mail counts as pending: HasMail answers "would a Drain deliver
@@ -224,9 +270,13 @@ class Transport {
   /// the next one), then invokes `deliver` once per site, measuring wall
   /// time per site into `durations` (aligned with `sites`). Reentrant:
   /// concurrent rounds of different runs do not wait on each other's work.
-  virtual void RunRound(RunId run, const std::vector<SiteId>& sites,
-                        const DeliverFn& deliver,
-                        std::vector<double>* durations) = 0;
+  /// The returned status is the *transport's* own health (in-process
+  /// backends always succeed; the socket backend surfaces dead peers and
+  /// remote handler failures here) — errors inside `deliver` stay the
+  /// caller's to collect, as before.
+  virtual Status RunRound(RunId run, const std::vector<SiteId>& sites,
+                          const DeliverFn& deliver,
+                          std::vector<double>* durations) = 0;
 
   virtual const char* name() const = 0;
 
@@ -235,7 +285,7 @@ class Transport {
 
  protected:
   Transport() = default;
-  explicit Transport(TransportOptions options) : options_(options) {}
+  explicit Transport(TransportOptions options) : options_(std::move(options)) {}
 
   /// Snapshots the mailboxes of `sites` in `run` under the lock, in order.
   /// This is the round boundary: every staged frame of the run seals and
@@ -244,6 +294,31 @@ class Transport {
   /// next boundary.
   std::vector<std::vector<Envelope>> SnapshotInboxes(
       RunId run, const std::vector<SiteId>& sites);
+
+  /// Subclass hook, called under the transport lock when a staged edge has
+  /// sealed (the frame is already accounted into the run's stats). Return
+  /// true to take the frame off the local plane — a socket backend queues
+  /// its encoding for the destination's connection — or false for the
+  /// default local delivery into the destination's mailbox.
+  virtual bool TakeSealedFrameLocked(Frame& frame);
+
+  /// Delivers a frame received from elsewhere (a peer's socket) into the
+  /// run's mailboxes, accounting it exactly as a locally sealed frame
+  /// (AccountFrame — the codec round-trips everything accounting needs, so
+  /// re-decoded frames reproduce RunStats). Frames for runs that have
+  /// already closed are dropped silently: remote mail legitimately races
+  /// CloseRun. Frames whose destination TakeSealedFrameLocked claims are
+  /// relayed onward instead of mailboxed. Errors mean wire-invalid site
+  /// ids, never a crash — decoded input is untrusted.
+  Status InjectFrame(Frame frame);
+
+  /// Hook pair around a run's lifetime, called *outside* the transport
+  /// lock: after OpenRun registered the binding (a socket backend announces
+  /// the run and its spec to every peer) and after CloseRun erased it (the
+  /// backend tells peers to drop the run).
+  virtual void RunOpened(RunId run, const Cluster* cluster,
+                         const RunSpec* spec);
+  virtual void RunClosing(RunId run);
 
  private:
   using EdgeKey = std::pair<SiteId, SiteId>;
@@ -254,6 +329,8 @@ class Transport {
     /// The last envelope is an open EnvelopeStream; it must be closed
     /// before this edge's frame can seal.
     bool stream_open = false;
+    /// Running wire-byte total of `envelopes` (the adaptive-flush trigger).
+    uint64_t staged_bytes = 0;
   };
 
   /// Everything one evaluation owns inside the transport.
@@ -284,6 +361,11 @@ class Transport {
   void FlushRunLocked(RunId run, RunBinding& binding);
   void FlushToSiteLocked(RunId run, RunBinding& binding, SiteId site);
 
+  /// Must hold mu_. Seals `edge` early if adaptive flush is on, the staged
+  /// bytes crossed the threshold and no stream is open on it.
+  void MaybeFlushEdgeLocked(RunId run, RunBinding& binding,
+                            const EdgeKey& edge);
+
   /// mutable so the const query methods can lock. Guards runs_ and every
   /// binding's mailboxes + staging + stats.
   mutable std::mutex mu_;
@@ -297,11 +379,11 @@ class Transport {
 class SyncTransport : public Transport {
  public:
   explicit SyncTransport(TransportOptions options = {})
-      : Transport(options) {}
+      : Transport(std::move(options)) {}
 
-  void RunRound(RunId run, const std::vector<SiteId>& sites,
-                const DeliverFn& deliver,
-                std::vector<double>* durations) override;
+  Status RunRound(RunId run, const std::vector<SiteId>& sites,
+                  const DeliverFn& deliver,
+                  std::vector<double>* durations) override;
   const char* name() const override { return "sync"; }
 };
 
@@ -315,9 +397,9 @@ class PooledTransport : public Transport {
   /// Private pool with exactly `workers` threads (0 = default sizing).
   explicit PooledTransport(size_t workers, TransportOptions options = {});
 
-  void RunRound(RunId run, const std::vector<SiteId>& sites,
-                const DeliverFn& deliver,
-                std::vector<double>* durations) override;
+  Status RunRound(RunId run, const std::vector<SiteId>& sites,
+                  const DeliverFn& deliver,
+                  std::vector<double>* durations) override;
   const char* name() const override { return "pooled"; }
 
   size_t worker_count() const;
@@ -327,6 +409,12 @@ class PooledTransport : public Transport {
   std::shared_ptr<WorkerPool> pool_;
 };
 
+/// Invokes `deliver` for one site's mail and returns the wall time spent —
+/// the per-site duration unit every backend's RunRound reports, kept as
+/// ONE definition so socket and in-process visits are timed identically.
+double TimedDeliver(const Transport::DeliverFn& deliver, SiteId site,
+                    std::vector<Envelope> mail);
+
 /// Builders for the two control-plane envelope shapes every algorithm posts.
 
 /// Models shipping the query text (`query_bytes` accounted phantom bytes).
@@ -335,8 +423,11 @@ Envelope MakeQueryShipEnvelope(SiteId to, uint64_t query_bytes);
 /// A free stage-start request for one fragment (kind must be a *Request).
 Envelope MakeRequestEnvelope(MessageKind kind, SiteId to, FragmentId fragment);
 
-enum class TransportKind : uint8_t { kSync, kPooled };
+enum class TransportKind : uint8_t { kSync, kPooled, kSocket };
 
+/// kSocket requires a non-empty TransportOptions::remote_endpoints and
+/// dials the peers in the constructor (dial failures surface as clean
+/// RunRound errors, not aborts).
 std::unique_ptr<Transport> MakeTransport(TransportKind kind,
                                          TransportOptions options = {});
 
@@ -344,8 +435,9 @@ std::unique_ptr<Transport> MakeTransport(TransportKind kind,
 TransportKind DefaultTransportKind(const Cluster& cluster);
 
 /// Creates a `kind` backend for `cluster` (defaulting to the cluster's
-/// preferred kind); a pooled backend shares the cluster's WorkerPool. The
-/// one place that wires transports to cluster resources — the engine and
+/// preferred kind, or to kSocket when `options.remote_endpoints` is
+/// non-empty); a pooled backend shares the cluster's WorkerPool. The one
+/// place that wires transports to cluster resources — the engine and
 /// EnsureTransport both go through it.
 std::unique_ptr<Transport> MakeTransportFor(
     const Cluster& cluster, std::optional<TransportKind> kind = std::nullopt,

@@ -22,12 +22,13 @@ std::string RunStats::ToString() const {
   std::string out;
   out += StringFormat(
       "rounds=%d messages=%llu envelopes=%llu bytes=%llu (answers=%llu, "
-      "data=%llu)\n",
+      "data=%llu) wire=%llu\n",
       rounds, static_cast<unsigned long long>(total_messages),
       static_cast<unsigned long long>(total_envelopes),
       static_cast<unsigned long long>(total_bytes),
       static_cast<unsigned long long>(answer_bytes),
-      static_cast<unsigned long long>(data_bytes_shipped));
+      static_cast<unsigned long long>(data_bytes_shipped),
+      static_cast<unsigned long long>(wire_bytes));
   out += StringFormat(
       "parallel=%.6fs total-compute=%.6fs coordinator=%.6fs max-visits=%d\n",
       parallel_seconds, total_compute_seconds, coordinator_seconds,

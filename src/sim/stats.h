@@ -103,6 +103,16 @@ struct RunStats {
   uint64_t answer_bytes = 0;        ///< bytes of shipped answers (<= total)
   uint64_t data_bytes_shipped = 0;  ///< XML tree data moved (Naive baseline)
 
+  /// Bytes *actually written* on the (modeled or real) wire with the framed
+  /// message plane: every sealed frame's encoded size — header (run, edge,
+  /// sequence) plus the materialized payload encodings. Differs from
+  /// total_bytes in both directions: it adds the frame/part headers but
+  /// excludes phantom bytes (modeled payloads no real bytes back). Control
+  /// frames count too — they are written even though they are free in the
+  /// paper's model. Zero with batching off (no frames exist); the natural
+  /// input for a frame-level compression hook.
+  uint64_t wire_bytes = 0;
+
   /// Per-edge traffic, keyed (from, to). Only cross-site accounted messages
   /// appear (local delivery is free); kNullSite marks coordinator-originated
   /// messages not attributable to a site's fragment work.

@@ -25,6 +25,7 @@
 #include "runtime/frame.h"
 #include "runtime/site_runtime.h"
 #include "runtime/transport.h"
+#include "runtime/wire.h"
 #include "test_util.h"
 #include "xmark/generator.h"
 #include "xmark/queries.h"
@@ -588,6 +589,283 @@ TEST(BatchingEquivalenceTest, DataChunkSizeIsWireInvisible) {
   EXPECT_EQ(t->stats.total_bytes, h->stats.total_bytes);
   EXPECT_EQ(t->stats.data_bytes_shipped, h->stats.data_bytes_shipped);
   EXPECT_EQ(t->stats.total_messages, h->stats.total_messages);
+}
+
+
+// ---- EncodedSize: the wire_bytes unit ---------------------------------------
+
+TEST(FrameCodecTest, EncodedSizeMatchesEncodeExactly) {
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    Frame frame = RandomFrame(rng);
+    ByteWriter encoded;
+    frame.Encode(&encoded);
+    EXPECT_EQ(frame.EncodedSize(), encoded.size());
+  }
+}
+
+// RunStats::wire_bytes counts each sealed frame's encoding once — present
+// exactly when frames exist (batching), identical across backends, and
+// covering control frames too (they are written even though the model
+// prices them at zero).
+TEST(FrameCodecTest, WireBytesCountsSealedFrames) {
+  Fixture fx = GroupedClienteleFixture();
+  EngineOptions batched;
+  batched.transport = TransportKind::kSync;
+  EngineOptions pooled_batched = batched;
+  pooled_batched.transport = TransportKind::kPooled;
+  EngineOptions unbatched = batched;
+  unbatched.transport_options.batching = false;
+
+  auto b = EvaluateDistributed(*fx.cluster, fx.queries[0], batched);
+  auto p = EvaluateDistributed(*fx.cluster, fx.queries[0], pooled_batched);
+  auto u = EvaluateDistributed(*fx.cluster, fx.queries[0], unbatched);
+  ASSERT_TRUE(b.ok() && p.ok() && u.ok());
+  EXPECT_GT(b->stats.wire_bytes, 0u);
+  EXPECT_EQ(b->stats.wire_bytes, p->stats.wire_bytes);
+  EXPECT_EQ(u->stats.wire_bytes, 0u);
+}
+
+// ---- Adaptive flush ---------------------------------------------------------
+
+// Sealing an edge early once its staged bytes cross the threshold is
+// invisible to everything the paper's bounds are stated in: answers,
+// visits, rounds, byte totals, per-edge byte splits and envelope counts are
+// unchanged — only the message count moves (up: more, smaller frames).
+TEST(AdaptiveFlushTest, EarlyFlushMovesOnlyMessageCounts) {
+  Fixture fx = GroupedClienteleFixture();
+  uint64_t flushed_messages = 0;
+  uint64_t boundary_messages = 0;
+  for (const std::string& query : fx.queries) {
+    for (auto algo : {DistributedAlgorithm::kPaX2, DistributedAlgorithm::kPaX3,
+                      DistributedAlgorithm::kNaiveCentralized}) {
+      EngineOptions at_boundary;
+      at_boundary.algorithm = algo;
+      at_boundary.transport = TransportKind::kSync;
+      EngineOptions early = at_boundary;
+      early.transport_options.max_frame_bytes = 8;  // far below a reply
+
+      auto b = EvaluateDistributed(*fx.cluster, query, at_boundary);
+      auto e = EvaluateDistributed(*fx.cluster, query, early);
+      const std::string label = std::string(AlgorithmName(algo)) + "|" + query;
+      ASSERT_TRUE(b.ok()) << label << ": " << b.status();
+      ASSERT_TRUE(e.ok()) << label << ": " << e.status();
+
+      EXPECT_EQ(e->answers, b->answers) << label;
+      EXPECT_EQ(Visits(e->stats), Visits(b->stats)) << label;
+      EXPECT_EQ(e->stats.rounds, b->stats.rounds) << label;
+      EXPECT_EQ(e->stats.total_bytes, b->stats.total_bytes) << label;
+      EXPECT_EQ(e->stats.answer_bytes, b->stats.answer_bytes) << label;
+      EXPECT_EQ(e->stats.data_bytes_shipped, b->stats.data_bytes_shipped)
+          << label;
+      EXPECT_EQ(EdgeBytes(e->stats), EdgeBytes(b->stats)) << label;
+      EXPECT_EQ(EdgeEnvelopes(e->stats), EdgeEnvelopes(b->stats)) << label;
+      EXPECT_EQ(e->stats.total_envelopes, b->stats.total_envelopes) << label;
+      EXPECT_GE(e->stats.total_messages, b->stats.total_messages) << label;
+
+      flushed_messages += e->stats.total_messages;
+      boundary_messages += b->stats.total_messages;
+    }
+  }
+  // A threshold below every payload must actually split frames somewhere.
+  EXPECT_GT(flushed_messages, boundary_messages);
+}
+
+// An open EnvelopeStream defers the early flush: the frame seals at the
+// stream's close, never around a half-written envelope.
+TEST(AdaptiveFlushTest, OpenStreamDefersTheFlush) {
+  auto doc = MakeClienteleDoc();
+  Cluster cluster(doc, 2);
+  cluster.PlaceRootAndSpread();
+  TransportOptions options;
+  options.max_frame_bytes = 4;
+  SyncTransport transport(options);
+  RunStats stats;
+  stats.per_site.resize(cluster.site_count());
+  RunId run = transport.OpenRun(&cluster, &stats);
+
+  Envelope head;
+  head.run = run;
+  head.from = 1;
+  head.to = 0;
+  head.parts.push_back({MessageKind::kAnswerUp, 0, "0123456789", true});
+  transport.StreamBegin(std::move(head));
+  // Way past the threshold, but the stream is open: nothing seals.
+  transport.StreamAppend(run, 1, 0, "abcdefghijklmnop", 0);
+  EXPECT_EQ(stats.total_messages, 0u);
+  transport.StreamEnd(run, 1, 0);
+  // The close is the trigger.
+  EXPECT_EQ(stats.total_messages, 1u);
+  std::vector<Envelope> mail = transport.Drain(run, 0);
+  ASSERT_EQ(mail.size(), 1u);
+  EXPECT_EQ(mail[0].parts[0].bytes, "0123456789abcdefghijklmnop");
+  transport.CloseRun(run);
+}
+
+// ---- Socket reassembly layer (runtime/wire.h) -------------------------------
+
+TEST(RecordBufferTest, TruncatedRecordsWaitForMoreBytes) {
+  Frame frame;
+  frame.run = 3;
+  frame.from = 1;
+  frame.to = 0;
+  frame.sequence = 7;
+  Envelope env;
+  env.run = 3;
+  env.parts.push_back({MessageKind::kQualUp, 2, "payload-bytes", true});
+  frame.envelopes.push_back(env);
+  std::string wire;
+  AppendFrameRecord(frame, &wire);
+
+  // Fed one byte at a time, the buffer yields nothing until the record is
+  // complete — a truncated record is "need more", not an error.
+  RecordBuffer buf;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    buf.Append(std::string_view(wire).substr(i, 1));
+    auto r = buf.Next();
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->has_value()) << "at byte " << i;
+  }
+  buf.Append(std::string_view(wire).substr(wire.size() - 1));
+  auto r = buf.Next();
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_value());
+  EXPECT_EQ((*r)->type, RecordType::kFrame);
+
+  // The payload is exactly the frame encoding.
+  ByteReader reader((*r)->payload);
+  auto decoded = Frame::Decode(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->sequence, frame.sequence);
+  EXPECT_EQ(buf.pending_bytes(), 0u);
+}
+
+TEST(RecordBufferTest, CorruptFramingIsACleanParseError) {
+  {
+    // An unknown type byte.
+    std::string wire;
+    AppendRecord(RecordType::kFrame, "x", &wire);
+    wire[4] = static_cast<char>(0xee);
+    RecordBuffer buf;
+    buf.Append(wire);
+    EXPECT_FALSE(buf.Next().ok());
+  }
+  {
+    // A zero length field.
+    std::string wire(4, '\0');
+    RecordBuffer buf;
+    buf.Append(wire);
+    EXPECT_FALSE(buf.Next().ok());
+  }
+  {
+    // An absurd length field must error before any allocation.
+    const char wire[] = {'\xff', '\xff', '\xff', '\x7f', 1};
+    RecordBuffer buf;
+    buf.Append(std::string_view(wire, sizeof(wire)));
+    EXPECT_FALSE(buf.Next().ok());
+  }
+}
+
+TEST(ControlRecordTest, RoundTrip) {
+  {
+    OpenRunRecord r;
+    r.run = 12;
+    r.spec = {"PaX2", "//a[b]/c", true, 1};
+    r.site_count = 4;
+    r.placement = {0, 1, 2, 2, 3};
+    ByteWriter w;
+    r.Encode(&w);
+    ByteReader reader(w.bytes());
+    auto d = OpenRunRecord::Decode(&reader);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->run, r.run);
+    EXPECT_EQ(d->spec.algorithm, r.spec.algorithm);
+    EXPECT_EQ(d->spec.query, r.spec.query);
+    EXPECT_EQ(d->spec.use_annotations, r.spec.use_annotations);
+    EXPECT_EQ(d->spec.ship_mode, r.spec.ship_mode);
+    EXPECT_EQ(d->site_count, r.site_count);
+    EXPECT_EQ(d->placement, r.placement);
+  }
+  {
+    RoundDoneRecord r;
+    r.run = 9;
+    r.site = 2;
+    r.seconds = 0.125;
+    r.status = Status::Internal("handler failed");
+    ByteWriter w;
+    r.Encode(&w);
+    ByteReader reader(w.bytes());
+    auto d = RoundDoneRecord::Decode(&reader);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->run, r.run);
+    EXPECT_EQ(d->site, r.site);
+    EXPECT_EQ(d->seconds, r.seconds);
+    EXPECT_EQ(d->status.code(), StatusCode::kInternal);
+    EXPECT_EQ(d->status.message(), "handler failed");
+  }
+}
+
+TEST(FrameReassemblerTest, AcceptsConsecutivePerEdgeSequences) {
+  FrameReassembler reasm;
+  Frame frame;
+  frame.run = 1;
+  frame.from = 1;
+  frame.to = 0;
+  for (uint64_t seq = 0; seq < 5; ++seq) {
+    frame.sequence = seq;
+    EXPECT_TRUE(reasm.Accept(frame).ok()) << seq;
+  }
+  // Other edges and runs number independently.
+  frame.from = 2;
+  frame.sequence = 0;
+  EXPECT_TRUE(reasm.Accept(frame).ok());
+  frame.run = 2;
+  frame.from = 1;
+  frame.sequence = 0;
+  EXPECT_TRUE(reasm.Accept(frame).ok());
+}
+
+TEST(FrameReassemblerTest, DuplicateSequenceIsRejected) {
+  FrameReassembler reasm;
+  Frame frame;
+  frame.run = 1;
+  frame.from = 1;
+  frame.to = 0;
+  frame.sequence = 0;
+  ASSERT_TRUE(reasm.Accept(frame).ok());
+  Status dup = reasm.Accept(frame);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kNetworkError);
+}
+
+TEST(FrameReassemblerTest, OutOfOrderSequenceIsRejected) {
+  FrameReassembler reasm;
+  Frame frame;
+  frame.run = 1;
+  frame.from = 1;
+  frame.to = 0;
+  frame.sequence = 1;  // 0 never arrived
+  Status gap = reasm.Accept(frame);
+  EXPECT_FALSE(gap.ok());
+  EXPECT_EQ(gap.code(), StatusCode::kNetworkError);
+}
+
+TEST(FrameReassemblerTest, CloseRunResetsItsEdgesOnly) {
+  FrameReassembler reasm;
+  Frame frame;
+  frame.from = 1;
+  frame.to = 0;
+  frame.sequence = 0;
+  frame.run = 1;
+  ASSERT_TRUE(reasm.Accept(frame).ok());
+  frame.run = 2;
+  ASSERT_TRUE(reasm.Accept(frame).ok());
+  reasm.CloseRun(1);
+  // Run 1's numbering restarts; run 2's continues.
+  frame.run = 1;
+  EXPECT_TRUE(reasm.Accept(frame).ok());
+  frame.run = 2;
+  EXPECT_FALSE(reasm.Accept(frame).ok());
 }
 
 }  // namespace

@@ -1,0 +1,443 @@
+// End-to-end tests of the multi-process socket engine (DESIGN.md §9).
+//
+// Each test saves a fragmented document to disk, spawns one real
+// `paxml_site` process per remote site on loopback (ephemeral ports, read
+// back from the child's stdout), and drives evaluations through the
+// ordinary entry points with TransportOptions::remote_endpoints /
+// EngineConfig::remote_endpoints set. The acceptance bar is the PR-4
+// guarantee made end-to-end: a multi-process run reproduces
+// SyncTransport's *exact* RunStats — answers, rounds, visits, byte totals,
+// per-edge byte/message/envelope splits — for PaX2, PaX3 and the naive
+// baseline, including on the paper's four-machine FT2 placement.
+//
+// Failure semantics (invariant 5) are pinned too: killing a site process
+// mid-session surfaces a clean NetworkError on runs that touch it, with no
+// hang, while runs confined to the surviving sites are undisturbed.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "fragment/fragmenter.h"
+#include "fragment/storage.h"
+#include "harness.h"
+#include "runtime/socket_transport.h"
+#include "test_util.h"
+
+namespace paxml {
+namespace {
+
+// ---- Locating the paxml_site binary and scratch space -----------------------
+
+std::string ExeDir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  PAXML_CHECK(n > 0);
+  buf[n] = '\0';
+  std::string path(buf);
+  return path.substr(0, path.rfind('/'));
+}
+
+std::string SiteBinary() {
+  if (const char* env = std::getenv("PAXML_SITE_BIN")) return env;
+  // Test binaries live in the build root; tools/ sits next to them.
+  for (const std::string& candidate :
+       {ExeDir() + "/tools/paxml_site", ExeDir() + "/../tools/paxml_site"}) {
+    if (::access(candidate.c_str(), X_OK) == 0) return candidate;
+  }
+  PAXML_CHECK(false);  // build the tool_paxml_site target first
+  return "";
+}
+
+std::string MakeTempDir() {
+  std::string tmpl = "/tmp/paxml_socket_test_XXXXXX";
+  PAXML_CHECK(::mkdtemp(tmpl.data()) != nullptr);
+  return tmpl;
+}
+
+// ---- Spawning site processes ------------------------------------------------
+
+struct SiteProcess {
+  pid_t pid = -1;
+  int port = 0;
+};
+
+std::string PlacementString(const Cluster& cluster) {
+  std::string out;
+  for (size_t f = 0; f < cluster.doc().size(); ++f) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(cluster.site_of(static_cast<FragmentId>(f)));
+  }
+  return out;
+}
+
+/// fork/execs one paxml_site on an ephemeral loopback port and reads the
+/// bound port from its "PAXML_SITE LISTENING <port>" line.
+SiteProcess SpawnSite(const std::string& doc_dir, const Cluster& cluster,
+                      SiteId site) {
+  int out_pipe[2];
+  PAXML_CHECK(::pipe(out_pipe) == 0);
+
+  const std::string binary = SiteBinary();
+  const std::string site_arg = std::to_string(site);
+  const std::string sites_arg = std::to_string(cluster.site_count());
+  const std::string placement = PlacementString(cluster);
+
+  const pid_t pid = ::fork();
+  PAXML_CHECK(pid >= 0);
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::execl(binary.c_str(), binary.c_str(), doc_dir.c_str(), "--site",
+            site_arg.c_str(), "--sites", sites_arg.c_str(), "--placement",
+            placement.c_str(), "--port", "0", static_cast<char*>(nullptr));
+    std::perror("execl paxml_site");
+    ::_exit(127);
+  }
+  ::close(out_pipe[1]);
+
+  // Read the child's announcement line.
+  std::string line;
+  char c;
+  while (line.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(out_pipe[0], &c, 1);
+    if (n <= 0) break;
+    line.push_back(c);
+  }
+  ::close(out_pipe[0]);
+  SiteProcess proc;
+  proc.pid = pid;
+  std::sscanf(line.c_str(), "PAXML_SITE LISTENING %d", &proc.port);
+  PAXML_CHECK(proc.port > 0);  // the site failed to start
+  return proc;
+}
+
+void KillSite(SiteProcess& proc, int sig = SIGKILL) {
+  if (proc.pid <= 0) return;
+  ::kill(proc.pid, sig);
+  int status = 0;
+  ::waitpid(proc.pid, &status, 0);
+  proc.pid = -1;
+}
+
+/// One multi-process deployment: the document saved to disk, one paxml_site
+/// per non-query site, and the endpoint map that points a client at them.
+class Deployment {
+ public:
+  Deployment(std::shared_ptr<const FragmentedDocument> doc,
+             const Cluster& cluster)
+      : dir_(MakeTempDir()) {
+    PAXML_CHECK(SaveDocument(*doc, dir_).ok());
+    for (size_t s = 0; s < cluster.site_count(); ++s) {
+      const SiteId site = static_cast<SiteId>(s);
+      if (site == cluster.query_site()) continue;
+      sites_[site] = SpawnSite(dir_, cluster, site);
+      endpoints_[site] = "127.0.0.1:" + std::to_string(sites_[site].port);
+    }
+  }
+
+  ~Deployment() {
+    for (auto& [site, proc] : sites_) KillSite(proc);
+    // Leave the scratch directory for post-mortems; /tmp is ephemeral.
+  }
+
+  const std::map<SiteId, std::string>& endpoints() const { return endpoints_; }
+
+  void KillSiteProcess(SiteId site) { KillSite(sites_.at(site)); }
+
+ private:
+  std::string dir_;
+  std::map<SiteId, SiteProcess> sites_;
+  std::map<SiteId, std::string> endpoints_;
+};
+
+// ---- Exact-equality helpers -------------------------------------------------
+
+std::vector<int> Visits(const RunStats& s) {
+  std::vector<int> v;
+  for (const SiteStats& p : s.per_site) v.push_back(p.visits);
+  return v;
+}
+
+/// Every count the paper's guarantees are stated in, plus the full per-site
+/// and per-edge splits. Timing fields are wall-clock and excluded.
+void ExpectStatsEqual(const RunStats& socket, const RunStats& sync,
+                      const std::string& label) {
+  EXPECT_EQ(socket.rounds, sync.rounds) << label;
+  EXPECT_EQ(Visits(socket), Visits(sync)) << label;
+  EXPECT_EQ(socket.total_messages, sync.total_messages) << label;
+  EXPECT_EQ(socket.total_envelopes, sync.total_envelopes) << label;
+  EXPECT_EQ(socket.total_bytes, sync.total_bytes) << label;
+  EXPECT_EQ(socket.answer_bytes, sync.answer_bytes) << label;
+  EXPECT_EQ(socket.data_bytes_shipped, sync.data_bytes_shipped) << label;
+  EXPECT_EQ(socket.wire_bytes, sync.wire_bytes) << label;
+  EXPECT_EQ(socket.edges, sync.edges) << label;
+  ASSERT_EQ(socket.per_site.size(), sync.per_site.size()) << label;
+  for (size_t s = 0; s < sync.per_site.size(); ++s) {
+    EXPECT_EQ(socket.per_site[s].bytes_sent, sync.per_site[s].bytes_sent)
+        << label << " site " << s;
+    EXPECT_EQ(socket.per_site[s].bytes_received,
+              sync.per_site[s].bytes_received)
+        << label << " site " << s;
+    EXPECT_EQ(socket.per_site[s].messages_sent,
+              sync.per_site[s].messages_sent)
+        << label << " site " << s;
+    EXPECT_EQ(socket.per_site[s].messages_received,
+              sync.per_site[s].messages_received)
+        << label << " site " << s;
+  }
+}
+
+EngineOptions SyncOptions(DistributedAlgorithm algo, bool annotations) {
+  EngineOptions options;
+  options.algorithm = algo;
+  options.pax.use_annotations = annotations;
+  options.transport = TransportKind::kSync;
+  return options;
+}
+
+EngineOptions SocketOptions(DistributedAlgorithm algo, bool annotations,
+                            const std::map<SiteId, std::string>& endpoints) {
+  EngineOptions options;
+  options.algorithm = algo;
+  options.pax.use_annotations = annotations;
+  options.transport_options.remote_endpoints = endpoints;
+  return options;
+}
+
+// ---- Clientele: every algorithm, with and without annotations ---------------
+
+struct ClienteleWorld {
+  std::shared_ptr<FragmentedDocument> doc;
+  std::unique_ptr<Cluster> cluster;
+};
+
+/// The paper's Fig. 1 document on four machines: S_Q holds the root
+/// fragment, Anna's broker and Lisa's client share site 1, the two market
+/// fragments sit alone on sites 2 and 3.
+ClienteleWorld MakeClienteleWorld() {
+  ClienteleWorld w;
+  Tree t = testing::BuildClienteleTree();
+  auto doc = FragmentByCuts(t, testing::ClienteleCuts(t));
+  PAXML_CHECK(doc.ok());
+  w.doc = std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
+  ClusterOptions copts;
+  copts.parallel_execution = false;
+  w.cluster = std::make_unique<Cluster>(w.doc, 4, copts);
+  PAXML_CHECK(w.cluster->Place(0, 0).ok());
+  PAXML_CHECK(w.cluster->Place(1, 1).ok());
+  PAXML_CHECK(w.cluster->Place(2, 2).ok());
+  PAXML_CHECK(w.cluster->Place(3, 3).ok());
+  PAXML_CHECK(w.cluster->Place(4, 1).ok());
+  return w;
+}
+
+TEST(SocketTransportTest, ClienteleReproducesSyncExactly) {
+  ClienteleWorld w = MakeClienteleWorld();
+  Deployment deployment(w.doc, *w.cluster);
+
+  const std::vector<std::string> queries = {
+      "clientele/client[country/text() = \"US\"]/"
+      "broker[market/name/text() = \"NASDAQ\"]/name",
+      "clientele/client/broker/name",
+      "//stock/code",
+      "//market[name/text() = \"NASDAQ\"]//buy",
+  };
+  for (const std::string& query : queries) {
+    for (auto algo : {DistributedAlgorithm::kPaX2, DistributedAlgorithm::kPaX3,
+                      DistributedAlgorithm::kNaiveCentralized}) {
+      for (bool annotations : {false, true}) {
+        const std::string label = std::string(AlgorithmName(algo)) +
+                                  (annotations ? "|xa|" : "|") + query;
+        auto sync = EvaluateDistributed(*w.cluster, query,
+                                        SyncOptions(algo, annotations));
+        auto socket = EvaluateDistributed(
+            *w.cluster, query,
+            SocketOptions(algo, annotations, deployment.endpoints()));
+        ASSERT_TRUE(sync.ok()) << label << ": " << sync.status();
+        ASSERT_TRUE(socket.ok()) << label << ": " << socket.status();
+        EXPECT_EQ(socket->answers, sync->answers) << label;
+        ExpectStatsEqual(socket->stats, sync->stats, label);
+      }
+    }
+  }
+}
+
+// Boolean queries delegate to ParBoX; its one-visit protocol must cross
+// the wire identically too.
+TEST(SocketTransportTest, BooleanQueryViaParBoX) {
+  ClienteleWorld w = MakeClienteleWorld();
+  Deployment deployment(w.doc, *w.cluster);
+
+  const std::string query = ".[//market/name/text() = \"TSE\"]";
+  auto sync = EvaluateDistributed(*w.cluster, query,
+                                  SyncOptions(DistributedAlgorithm::kPaX2,
+                                              false));
+  auto socket = EvaluateDistributed(
+      *w.cluster, query,
+      SocketOptions(DistributedAlgorithm::kPaX2, false,
+                    deployment.endpoints()));
+  ASSERT_TRUE(sync.ok()) << sync.status();
+  ASSERT_TRUE(socket.ok()) << socket.status();
+  EXPECT_EQ(socket->answers, sync->answers);
+  ExpectStatsEqual(socket->stats, sync->stats, "parbox");
+}
+
+// ---- The acceptance bar: FT2 on the paper's four machines -------------------
+
+TEST(SocketTransportTest, FT2PaperPlacementReproducesSyncExactly) {
+  // A scaled-down FT2 keeps the test fast; the placement and protocol are
+  // the paper's (bench/harness.h).
+  bench::Workload w = bench::MakeFT2Paper(0.05);
+  Deployment deployment(w.doc, *w.cluster);
+
+  for (const auto& q : xmark::ExperimentQueries()) {
+    for (auto algo : {DistributedAlgorithm::kPaX2, DistributedAlgorithm::kPaX3,
+                      DistributedAlgorithm::kNaiveCentralized}) {
+      const std::string label = std::string(AlgorithmName(algo)) + "|" + q.name;
+      auto sync =
+          EvaluateDistributed(*w.cluster, q.text, SyncOptions(algo, false));
+      auto socket = EvaluateDistributed(
+          *w.cluster, q.text,
+          SocketOptions(algo, false, deployment.endpoints()));
+      ASSERT_TRUE(sync.ok()) << label << ": " << sync.status();
+      ASSERT_TRUE(socket.ok()) << label << ": " << socket.status();
+      EXPECT_EQ(socket->answers, sync->answers) << label;
+      ExpectStatsEqual(socket->stats, sync->stats, label);
+    }
+  }
+}
+
+// ---- The session API, unchanged over sockets --------------------------------
+
+TEST(SocketTransportTest, EngineSubmitWorksUnchangedOverSockets) {
+  ClienteleWorld w = MakeClienteleWorld();
+  Deployment deployment(w.doc, *w.cluster);
+
+  EngineConfig config;
+  config.depth = 3;
+  config.remote_endpoints = deployment.endpoints();
+  Engine engine(*w.cluster, config);
+
+  const std::vector<std::string> queries = {
+      "//stock/code",
+      "clientele/client/broker/name",
+      "clientele/client[country/text() = \"US\"]/name",
+  };
+  std::vector<QueryHandle> handles;
+  for (const std::string& q : queries) {
+    SubmitOptions submit;
+    submit.priority = 1;
+    handles.push_back(engine.Submit(q, submit));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryReport& report = handles[i].Wait();
+    ASSERT_TRUE(report.result.ok())
+        << queries[i] << ": " << report.result.status();
+    auto baseline = EvaluateDistributed(
+        *w.cluster, queries[i], SyncOptions(DistributedAlgorithm::kPaX2,
+                                            false));
+    ASSERT_TRUE(baseline.ok());
+    EXPECT_EQ(report.result->answers, baseline->answers) << queries[i];
+    ExpectStatsEqual(report.stats, baseline->stats, queries[i]);
+    EXPECT_GT(handles[i].Progress().rounds, 0) << queries[i];
+  }
+}
+
+// ---- Failure semantics ------------------------------------------------------
+
+TEST(SocketTransportTest, DialFailureIsACleanError) {
+  ClienteleWorld w = MakeClienteleWorld();
+  // Nobody listens here (ephemeral-range port on loopback).
+  std::map<SiteId, std::string> endpoints = {{1, "127.0.0.1:1"},
+                                             {2, "127.0.0.1:1"},
+                                             {3, "127.0.0.1:1"}};
+  auto r = EvaluateDistributed(
+      *w.cluster, "//stock/code",
+      SocketOptions(DistributedAlgorithm::kPaX2, false, endpoints));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNetworkError);
+}
+
+TEST(SocketTransportTest, QuerySiteMustBeLocal) {
+  ClienteleWorld w = MakeClienteleWorld();
+  Deployment deployment(w.doc, *w.cluster);
+  std::map<SiteId, std::string> endpoints = deployment.endpoints();
+  endpoints[0] = endpoints.begin()->second;  // claim S_Q is remote
+  auto r = EvaluateDistributed(
+      *w.cluster, "//stock/code",
+      SocketOptions(DistributedAlgorithm::kPaX2, false, endpoints));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Killing a site process fails runs that touch it — promptly and cleanly —
+// while runs confined to the surviving sites are undisturbed (invariant 5).
+TEST(SocketTransportTest, KilledSiteFailsItsRunsAndSparesOthers) {
+  ClienteleWorld w = MakeClienteleWorld();
+  Deployment deployment(w.doc, *w.cluster);
+
+  // With annotations, this qualifier-free query prunes the market
+  // fragments: F2 (site 2) and F3 (site 3) contain no broker/name path.
+  const std::string narrow = "clientele/client/broker/name";
+  // This one needs the stocks and touches every site.
+  const std::string wide = "//stock/code";
+
+  // Pin the premise: the narrow query's traffic never touches site 3.
+  auto narrow_sync = EvaluateDistributed(
+      *w.cluster, narrow, SyncOptions(DistributedAlgorithm::kPaX2, true));
+  ASSERT_TRUE(narrow_sync.ok());
+  EXPECT_EQ(narrow_sync->stats.per_site[3].visits, 0);
+  for (const auto& [edge, e] : narrow_sync->stats.edges) {
+    EXPECT_NE(edge.first, 3);
+    EXPECT_NE(edge.second, 3);
+  }
+
+  EngineConfig config;
+  config.depth = 2;
+  config.remote_endpoints = deployment.endpoints();
+  Engine engine(*w.cluster, config);
+
+  // Healthy first: both queries work over the deployment.
+  {
+    QueryHandle h = engine.Submit(wide);
+    ASSERT_TRUE(h.Wait().result.ok()) << h.Wait().result.status();
+  }
+
+  deployment.KillSiteProcess(3);
+
+  // The run touching the dead site surfaces a clean error, no hang.
+  QueryHandle doomed = engine.Submit(wide);
+  const QueryReport& doomed_report = doomed.Wait();
+  ASSERT_FALSE(doomed_report.result.ok());
+  EXPECT_EQ(doomed_report.result.status().code(), StatusCode::kNetworkError);
+
+  // A concurrent-capable engine keeps serving runs on the healthy sites.
+  // engine_options.transport is ignored per submission; the shared socket
+  // plane is fixed at EngineConfig time.
+  SubmitOptions spared_options;
+  spared_options.engine_options = SyncOptions(DistributedAlgorithm::kPaX2, true);
+  QueryHandle spared = engine.Submit(narrow, spared_options);
+  const QueryReport& spared_report = spared.Wait();
+  ASSERT_TRUE(spared_report.result.ok()) << spared_report.result.status();
+  auto baseline = EvaluateDistributed(
+      *w.cluster, narrow, SyncOptions(DistributedAlgorithm::kPaX2, true));
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(spared_report.result->answers, baseline->answers);
+}
+
+}  // namespace
+}  // namespace paxml

@@ -2,12 +2,19 @@
 //
 //   $ paxml_query FRAGDIR "QUERY" [--algo pax2|pax3|naive] [--xa]
 //                 [--sites N] [--stats] [--refs]
+//                 [--remote SITE=HOST:PORT[,SITE=HOST:PORT...]]
 //
 // Loads a directory written by paxml_fragment / SaveDocument, simulates a
 // cluster of N sites (default: one per fragment), evaluates the query, and
 // prints the answers as XML (one per line). --stats adds the run's
 // visit/traffic/time accounting; --refs ships answer references instead of
 // subtrees; --xa enables XPath annotations.
+//
+// --remote turns the run into a real multi-process evaluation: each listed
+// site is served by a paxml_site process (started against the same FRAGDIR
+// and placement) and the frames travel over TCP; unlisted sites — the
+// query site must be one — run in this process. Answers and accounting
+// are identical to the in-process run (DESIGN.md §9).
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,7 +32,8 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: paxml_query FRAGDIR \"QUERY\" [--algo pax2|pax3|naive] "
-               "[--xa] [--sites N] [--stats] [--refs]\n");
+               "[--xa] [--sites N] [--stats] [--refs] "
+               "[--remote SITE=HOST:PORT,...]\n");
 }
 
 }  // namespace
@@ -63,6 +71,25 @@ int main(int argc, char** argv) {
       options.pax.ship_mode = AnswerShipMode::kReferences;
     } else if (std::strcmp(argv[i], "--sites") == 0 && i + 1 < argc) {
       sites = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--remote") == 0 && i + 1 < argc) {
+      // SITE=HOST:PORT pairs, comma-separated.
+      const char* p = argv[++i];
+      while (*p != '\0') {
+        char* eq = nullptr;
+        const long site = std::strtol(p, &eq, 10);
+        if (eq == p || *eq != '=') {
+          Usage();
+          return 2;
+        }
+        const char* end = std::strchr(eq + 1, ',');
+        const std::string endpoint =
+            end == nullptr
+                ? std::string(eq + 1)
+                : std::string(eq + 1, static_cast<size_t>(end - (eq + 1)));
+        options.transport_options
+            .remote_endpoints[static_cast<SiteId>(site)] = endpoint;
+        p = end == nullptr ? eq + 1 + endpoint.size() : end + 1;
+      }
     } else {
       Usage();
       return 2;

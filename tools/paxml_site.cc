@@ -1,0 +1,137 @@
+// paxml_site: one deployed site of a multi-process paxml engine.
+//
+//   $ paxml_site FRAGDIR --site N --sites K --placement 0,1,1,2,...
+//                [--host 127.0.0.1] [--port P]
+//
+// Loads the fragment directory written by paxml_fragment / SaveDocument
+// (every machine of a deployment holds the same directory; loading only a
+// site's own fragments is a ROADMAP follow-on), reconstructs the cluster
+// the client describes — K sites, the given fragment->site placement, which
+// must match the client's bit for bit — and serves its site's share of
+// every announced evaluation over TCP (runtime/socket_server.h).
+//
+// After binding it prints one line to stdout:
+//
+//   PAXML_SITE LISTENING <port>
+//
+// so a parent that spawned it with --port 0 can read the ephemeral port.
+// It then serves until killed; a client disconnect drops that client's
+// runs and the next client is accepted.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/site_program.h"
+#include "fragment/storage.h"
+#include "runtime/socket_server.h"
+#include "sim/cluster.h"
+
+using namespace paxml;
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: paxml_site FRAGDIR --site N --sites K "
+               "--placement 0,1,... [--host H] [--port P]\n");
+}
+
+bool ParsePlacement(const char* text, std::vector<SiteId>* out) {
+  out->clear();
+  const char* p = text;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p) return false;
+    out->push_back(static_cast<SiteId>(v));
+    p = end;
+    if (*p == ',') ++p;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string dir = argv[1];
+  SiteId site = kNullSite;
+  size_t site_count = 0;
+  std::vector<SiteId> placement;
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--site") == 0 && i + 1 < argc) {
+      site = static_cast<SiteId>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--sites") == 0 && i + 1 < argc) {
+      site_count = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--placement") == 0 && i + 1 < argc) {
+      if (!ParsePlacement(argv[++i], &placement)) {
+        Usage();
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (site == kNullSite || site_count == 0 || placement.empty()) {
+    Usage();
+    return 2;
+  }
+
+  auto doc_r = LoadDocument(dir);
+  if (!doc_r.ok()) {
+    std::fprintf(stderr, "paxml_site: load error: %s\n",
+                 doc_r.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+  if (placement.size() != doc->size()) {
+    std::fprintf(stderr,
+                 "paxml_site: placement names %zu fragments, directory holds "
+                 "%zu\n",
+                 placement.size(), doc->size());
+    return 1;
+  }
+
+  // This process delivers its site's mail inline; no pool needed.
+  ClusterOptions cluster_options;
+  cluster_options.parallel_execution = false;
+  Cluster cluster(doc, site_count, cluster_options);
+  for (size_t f = 0; f < placement.size(); ++f) {
+    Status st = cluster.Place(static_cast<FragmentId>(f), placement[f]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "paxml_site: bad placement: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  SiteServer server(&cluster, site, MakeSiteProgramFactory(&cluster));
+  auto bound = server.Listen(host, port);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "paxml_site: %s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("PAXML_SITE LISTENING %d\n", *bound);
+  std::fflush(stdout);
+
+  Status status = server.Serve();
+  if (!status.ok()) {
+    std::fprintf(stderr, "paxml_site: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
