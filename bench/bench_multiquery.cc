@@ -31,13 +31,26 @@
 // NetworkCostModel, and measured wall time (the realized round delay
 // shrinks with the message count).
 //
+// A fifth table measures intra-site parallel delivery (DESIGN.md §10) on
+// the paper's four-machine FT2 placement, where sites B and C hold several
+// fragments each: site_threads 1 / 2 / 4 at stream depth 1, so the only
+// parallelism in play is the per-fragment fan-out inside a round. The
+// capture-and-replay plane promises bit-identical RunStats at every thread
+// count — asserted here per query — with the wall-time speedup printed
+// next to that unchanged accounting.
+//
 // Correctness is asserted, not assumed: every depth must produce answer
-// sets identical to the sequential run's, and batching must not change
-// any answer or byte total.
+// sets identical to the sequential run's, batching must not change any
+// answer or byte total, and site_threads must not change any stat at all.
+//
+// Machine-readable results land in BENCH_multiquery.json in the working
+// directory: scale, reps, the depth axis and the site-threads axis with
+// throughput and p50/p95 latencies.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -109,12 +122,14 @@ DepthMeasurement RunDepth(const Cluster& cluster,
   return m;
 }
 
-void RunTable(const char* title, const Cluster& cluster,
-              const std::vector<std::string>& stream,
-              const EngineOptions& options) {
+std::vector<DepthMeasurement> RunTable(const char* title,
+                                       const Cluster& cluster,
+                                       const std::vector<std::string>& stream,
+                                       const EngineOptions& options) {
   std::printf("\n%s\n", title);
   TablePrinter table({"depth", "wall-s", "queries/s", "mean-lat-s",
                       "p50-lat-s", "p95-lat-s", "speedup"});
+  std::vector<DepthMeasurement> out;
   std::vector<std::vector<GlobalNodeId>> baseline_answers;
   double baseline_qps = 0;
   for (size_t depth : {size_t{1}, size_t{4}, size_t{16}}) {
@@ -131,7 +146,185 @@ void RunTable(const char* title, const Cluster& cluster,
                   StringFormat("%.1f", m.qps), Secs(m.mean_latency),
                   Secs(m.p50_latency), Secs(m.p95_latency),
                   StringFormat("%.2fx", m.qps / baseline_qps)});
+    out.push_back(m);
   }
+  return out;
+}
+
+// ---- Intra-site parallel delivery (site_threads axis) -----------------------
+
+struct ThreadsMeasurement {
+  size_t threads = 0;
+  double wall_seconds = 0;
+  double qps = 0;
+  double p50_latency = 0;
+  double p95_latency = 0;
+  double speedup = 1.0;          ///< measured wall; ~1x on a 1-core host
+  double modeled_seconds = 0;    ///< sum of per-query parallel_seconds
+  double modeled_speedup = 1.0;  ///< max-over-lanes metric (DESIGN.md §10)
+};
+
+/// Every count DESIGN.md §10 promises is thread-count-invariant.
+void CheckSameStats(const RunStats& got, const RunStats& want) {
+  PAXML_CHECK_EQ(got.rounds, want.rounds);
+  PAXML_CHECK_EQ(got.total_messages, want.total_messages);
+  PAXML_CHECK_EQ(got.total_envelopes, want.total_envelopes);
+  PAXML_CHECK_EQ(got.total_bytes, want.total_bytes);
+  PAXML_CHECK_EQ(got.answer_bytes, want.answer_bytes);
+  PAXML_CHECK_EQ(got.data_bytes_shipped, want.data_bytes_shipped);
+  PAXML_CHECK_EQ(got.wire_bytes, want.wire_bytes);
+  PAXML_CHECK(got.edges == want.edges);
+  PAXML_CHECK_EQ(got.per_site.size(), want.per_site.size());
+  for (size_t s = 0; s < want.per_site.size(); ++s) {
+    PAXML_CHECK_EQ(got.per_site[s].visits, want.per_site[s].visits);
+    PAXML_CHECK_EQ(got.per_site[s].bytes_sent, want.per_site[s].bytes_sent);
+    PAXML_CHECK_EQ(got.per_site[s].messages_sent,
+                   want.per_site[s].messages_sent);
+  }
+}
+
+/// site_threads 1/2/4 at depth 1 on the paper's four-machine placement:
+/// the speedup is pure intra-round fan-out (site C's five fragments, B's
+/// three), and the accounting must not move by a byte.
+std::vector<ThreadsMeasurement> RunSiteThreadsTable(
+    const std::shared_ptr<FragmentedDocument>& doc) {
+  ClusterOptions options;
+  options.parallel_execution = true;
+  Cluster cluster(doc, 4, options);
+  PlaceFT2Paper(cluster);
+
+  std::printf(
+      "\nIntra-site parallel delivery (FT2 on the paper's 4 machines, depth "
+      "1; stats asserted identical per query):\n");
+  TablePrinter table({"site-threads", "wall-s", "queries/s", "p50-lat-s",
+                      "p95-lat-s", "speedup", "par-s(model)", "model-spd"});
+
+  const std::vector<std::string> queries = {xmark::kQ1, xmark::kQ2,
+                                            xmark::kQ3, xmark::kQ4};
+  const int reps = std::max(Repetitions(), 2);
+
+  std::vector<ThreadsMeasurement> out;
+  std::vector<std::vector<GlobalNodeId>> baseline_answers;
+  std::vector<RunStats> baseline_stats;
+  double baseline_qps = 0;
+  double baseline_modeled = 0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    EngineOptions engine;
+    engine.algorithm = DistributedAlgorithm::kPaX2;
+    engine.transport = TransportKind::kPooled;
+    engine.transport_options.site_threads = threads;
+
+    std::vector<double> latencies;
+    double modeled = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const auto q_start = std::chrono::steady_clock::now();
+        auto result = EvaluateDistributed(cluster, queries[qi], engine);
+        PAXML_CHECK(result.ok());
+        latencies.push_back(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - q_start)
+                                .count());
+        // The paper's parallel-cost metric, now max-over-lanes within each
+        // site's round: reflects the fan-out even when the host has fewer
+        // cores than lanes (runtime/site_driver.h).
+        modeled += result->stats.parallel_seconds +
+                   result->stats.coordinator_seconds;
+        if (threads == 1) {
+          if (r == 0) {
+            baseline_answers.push_back(result->answers);
+            baseline_stats.push_back(result->stats);
+          }
+        } else if (r == 0) {
+          PAXML_CHECK(result->answers == baseline_answers[qi]);
+          CheckSameStats(result->stats, baseline_stats[qi]);
+        }
+      }
+    }
+
+    ThreadsMeasurement m;
+    m.threads = threads;
+    m.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    m.qps = static_cast<double>(latencies.size()) / m.wall_seconds;
+    std::sort(latencies.begin(), latencies.end());
+    m.p50_latency = Percentile(latencies, 0.50);
+    m.p95_latency = Percentile(latencies, 0.95);
+    m.modeled_seconds = modeled;
+    if (threads == 1) {
+      baseline_qps = m.qps;
+      baseline_modeled = modeled;
+    }
+    m.speedup = m.qps / baseline_qps;
+    m.modeled_speedup = baseline_modeled / modeled;
+    table.AddRow({std::to_string(m.threads), Secs(m.wall_seconds),
+                  StringFormat("%.1f", m.qps), Secs(m.p50_latency),
+                  Secs(m.p95_latency), StringFormat("%.2fx", m.speedup),
+                  Secs(m.modeled_seconds),
+                  StringFormat("%.2fx", m.modeled_speedup)});
+    out.push_back(m);
+  }
+  std::printf(
+      "(RunStats are asserted bit-identical across thread counts. `speedup` "
+      "is measured wall time and bounded by the host's cores; `model-spd` "
+      "is the paper's parallel-cost metric — max-over-lanes per site round "
+      "— and shows the fan-out even on a small host.)\n");
+  return out;
+}
+
+// ---- Machine-readable results -----------------------------------------------
+
+double BenchScale() {
+  if (const char* env = std::getenv("PAXML_BENCH_SCALE")) {
+    return std::max(0.01, std::atof(env));
+  }
+  return 1.0;
+}
+
+void WriteJson(const std::vector<DepthMeasurement>& depth_axis,
+               const std::vector<ThreadsMeasurement>& threads_axis) {
+  std::FILE* f = std::fopen("BENCH_multiquery.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_multiquery: cannot write BENCH_multiquery.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"multiquery\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n", BenchScale());
+  std::fprintf(f, "  \"reps\": %d,\n", Repetitions());
+  std::fprintf(f, "  \"depth_axis\": [\n");
+  for (size_t i = 0; i < depth_axis.size(); ++i) {
+    const DepthMeasurement& m = depth_axis[i];
+    std::fprintf(f,
+                 "    {\"depth\": %zu, \"wall_seconds\": %.6f, "
+                 "\"queries_per_second\": %.3f, \"mean_latency_seconds\": "
+                 "%.6f, \"p50_latency_seconds\": %.6f, "
+                 "\"p95_latency_seconds\": %.6f}%s\n",
+                 m.depth, m.wall_seconds, m.qps, m.mean_latency,
+                 m.p50_latency, m.p95_latency,
+                 i + 1 < depth_axis.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"site_threads_axis\": [\n");
+  for (size_t i = 0; i < threads_axis.size(); ++i) {
+    const ThreadsMeasurement& m = threads_axis[i];
+    std::fprintf(f,
+                 "    {\"site_threads\": %zu, \"wall_seconds\": %.6f, "
+                 "\"queries_per_second\": %.3f, \"p50_latency_seconds\": "
+                 "%.6f, \"p95_latency_seconds\": %.6f, \"speedup\": %.3f, "
+                 "\"modeled_parallel_seconds\": %.6f, "
+                 "\"modeled_speedup\": %.3f, "
+                 "\"stats_identical\": true}%s\n",
+                 m.threads, m.wall_seconds, m.qps, m.p50_latency,
+                 m.p95_latency, m.speedup, m.modeled_seconds,
+                 m.modeled_speedup,
+                 i + 1 < threads_axis.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_multiquery.json\n");
 }
 
 // Mean submit-to-answer latency of `probes` high-priority submissions
@@ -320,12 +513,20 @@ void Main() {
     RunDepth(cluster, {stream[0]}, engine, 1, &scratch);
   }
 
-  RunTable("Network-modeled rounds (coordinator waits on the simulated link):",
-           cluster, stream, engine);
+  std::vector<DepthMeasurement> depth_axis =
+      RunTable("Network-modeled rounds (coordinator waits on the simulated link):",
+               cluster, stream, engine);
   RunTable("Raw compute only (no network model; overlap is bounded by cores):",
            raw_cluster, stream, engine);
   RunPriorityTable(cluster, engine);
   RunBatchingTable(w.doc, stream, engine);
+
+  // Multi-fragment placement for the site-threads axis: B and C hold 3 and
+  // 5 fragments, so intra-site lanes actually fan out.
+  Workload ft2paper = MakeFT2Paper(/*scale=*/1.0);
+  std::vector<ThreadsMeasurement> threads_axis =
+      RunSiteThreadsTable(ft2paper.doc);
+  WriteJson(depth_axis, threads_axis);
 }
 
 }  // namespace

@@ -16,7 +16,14 @@ Coordinator::Coordinator(const Cluster* cluster, Transport* transport,
     : cluster_(cluster), transport_(transport), control_(control) {
   stats_.per_site.resize(cluster->site_count());
   run_ = transport_->OpenRun(cluster, &stats_, spec);
-  driver_.emplace(cluster, transport, run_, handlers);
+  // site_threads > 1 turns on intra-site parallel delivery, on the
+  // cluster's *site* pool — distinct from worker_pool(), which executes the
+  // pooled backend's per-site round tasks (nesting one pool's RunAll inside
+  // its own workers would deadlock; WorkerPool checks for it).
+  const size_t site_threads = transport->options().site_threads;
+  driver_.emplace(cluster, transport, run_, handlers,
+                  site_threads > 1 ? cluster->site_worker_pool() : nullptr,
+                  site_threads);
 }
 
 Coordinator::~Coordinator() {
@@ -49,13 +56,26 @@ Status Coordinator::RunRound(const std::string& label,
   Status round_status = Status::OK();
   std::mutex status_mu;
   std::vector<double> durations;
+  // Per-site parallel cost as DeliverTimed models it (max-over-lanes for a
+  // fanned-out site, see runtime/site_driver.h), indexed like `sites`.
+  // Only locally delivered sites are written; remote sites keep the
+  // sentinel and fall back to the transport's duration (a socket peer's
+  // RoundDone.seconds — itself a DeliverTimed measurement).
+  std::map<SiteId, size_t> site_index;
+  for (size_t i = 0; i < sites.size(); ++i) site_index[sites[i]] = i;
+  std::vector<double> modeled(sites.size(), -1.0);
   // Transport-level failures (a dead socket peer, a remote handler error)
   // come back as the round's status; local handler errors are collected
   // through the deliver callback as before.
   Status transport_status = transport_->RunRound(
       run_, sites,
       [&](SiteId site, std::vector<Envelope> mail) {
-        Status st = driver_->Deliver(site, std::move(mail));
+        // Site-side round mail: per-fragment lanes may fan out on the site
+        // pool. The coordinator's own up-mail (DispatchCoordinatorMail)
+        // stays on the strictly serial Deliver path.
+        double seconds = 0;
+        Status st = driver_->DeliverTimed(site, std::move(mail), &seconds);
+        modeled[site_index.at(site)] = seconds;
         if (!st.ok()) {
           std::lock_guard<std::mutex> lock(status_mu);
           if (round_status.ok()) round_status = std::move(st);
@@ -67,9 +87,10 @@ Status Coordinator::RunRound(const std::string& label,
   for (size_t i = 0; i < sites.size(); ++i) {
     SiteStats& s = stats_.per_site[static_cast<size_t>(sites[i])];
     ++s.visits;
-    s.compute_seconds += durations[i];
-    stats_.total_compute_seconds += durations[i];
-    round_max = std::max(round_max, durations[i]);
+    const double seconds = modeled[i] >= 0 ? modeled[i] : durations[i];
+    s.compute_seconds += seconds;
+    stats_.total_compute_seconds += seconds;
+    round_max = std::max(round_max, seconds);
   }
   stats_.parallel_seconds += round_max;
 

@@ -109,11 +109,19 @@ class EnvelopeStream {
 /// Algorithm-provided typed message handlers.
 ///
 /// Threading contract: site-side handlers (requests, down-messages) run on
-/// transport worker threads, but each site's mail is processed by exactly
-/// one worker per round, so state keyed by fragment is race-free as long as
-/// every fragment's state is only touched by handlers addressed to its own
-/// site. Coordinator-side handlers (up-messages) always run single-threaded
-/// on the driver thread.
+/// transport worker threads, and — with site_threads > 1 — handlers for
+/// *different fragments of one site* run concurrently within a round
+/// (runtime/site_driver.h). An algorithm must therefore confine site-side
+/// mutable state to per-fragment slots: a handler addressed to fragment f
+/// may touch only f's state (plus the const document/query). One fragment's
+/// mail is never processed concurrently with itself, and within-envelope
+/// part order is preserved (a SelDown riding ahead of the AnswerRequest in
+/// the same envelope still lands first). All four shipped algorithms
+/// (core/{pax2,pax3,naive,parbox}.cc) satisfy this: their site-side state
+/// lives in per-fragment state_[f] vectors sized at construction.
+/// Coordinator-side handlers (up-messages, query/data ships) always run
+/// single-threaded on the driver thread and may keep cross-fragment state
+/// (unifier, answer assembly) unlocked.
 class MessageHandlers {
  public:
   virtual ~MessageHandlers() = default;

@@ -8,10 +8,14 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+#include <memory>
+
 #include "common/logging.h"
 #include "runtime/frame.h"
 #include "runtime/site_driver.h"
 #include "runtime/wire.h"
+#include "runtime/worker_pool.h"
 #include "sim/cluster.h"
 
 namespace paxml {
@@ -69,8 +73,11 @@ struct RunState {
 }  // namespace
 
 SiteServer::SiteServer(const Cluster* cluster, SiteId site,
-                       SiteProgramFactory factory)
-    : cluster_(cluster), site_(site), factory_(std::move(factory)) {
+                       SiteProgramFactory factory, size_t max_site_threads)
+    : cluster_(cluster),
+      site_(site),
+      factory_(std::move(factory)),
+      max_site_threads_(max_site_threads) {
   PAXML_CHECK(site >= 0 &&
               static_cast<size_t>(site) < cluster->site_count());
 }
@@ -123,6 +130,12 @@ Status SiteServer::ServeConnection(int fd) {
   std::unique_ptr<PeerPlane> plane;  // built once the Hello arrives
   std::map<RunId, RunState> runs;    // keyed by the *client's* run id
   bool hello_done = false;
+  // Intra-site parallel delivery, sized by the client's Hello (capped by
+  // the operator): one pool per connection, shared across its runs. The
+  // connection itself stays single-threaded — lanes fan out and join
+  // inside each DeliverTimed, so the PeerPlane is only ever touched here.
+  size_t site_threads = 1;
+  std::shared_ptr<WorkerPool> site_pool;
 
   auto send_error = [&](RunId run, const std::string& message) -> Status {
     ErrorRecord error;
@@ -157,6 +170,16 @@ Status SiteServer::ServeConnection(int fd) {
           static_cast<size_t>(hello.answer_chunk_ids);
       options.data_chunk_bytes = hello.data_chunk_bytes;
       options.max_frame_bytes = hello.max_frame_bytes;
+      // Wire input: bound a hostile thread count before sizing a pool.
+      site_threads = static_cast<size_t>(
+          std::min<uint64_t>(std::max<uint64_t>(hello.site_threads, 1), 64));
+      if (max_site_threads_ > 0) {
+        site_threads = std::min(site_threads, max_site_threads_);
+      }
+      options.site_threads = site_threads;
+      if (site_threads > 1) {
+        site_pool = std::make_shared<WorkerPool>(site_threads);
+      }
       plane = std::make_unique<PeerPlane>(site_, std::move(options));
       HelloAckRecord ack;
       ack.site = site_;
@@ -205,7 +228,8 @@ Status SiteServer::ServeConnection(int fd) {
           if (program.ok()) {
             state.program = std::move(*program);
             state.driver.emplace(cluster_, plane.get(), state.local_run,
-                                 state.program->handlers());
+                                 state.program->handlers(), site_pool,
+                                 site_threads);
           } else {
             state.broken = program.status();
           }

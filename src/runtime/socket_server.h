@@ -53,7 +53,11 @@ class SiteServer {
   /// Serves `site` of `cluster`. The cluster must be bit-identical to the
   /// client's (same document, fragmentation and placement) — kOpenRun
   /// carries a placement fingerprint and mismatches fail the run loudly.
-  SiteServer(const Cluster* cluster, SiteId site, SiteProgramFactory factory);
+  /// `max_site_threads` caps the intra-site parallelism a client's Hello
+  /// may request (0 = honor the client unconditionally): the operator of a
+  /// paxml_site machine knows its core budget better than the client does.
+  SiteServer(const Cluster* cluster, SiteId site, SiteProgramFactory factory,
+             size_t max_site_threads = 0);
   ~SiteServer();
 
   SiteServer(const SiteServer&) = delete;
@@ -82,6 +86,7 @@ class SiteServer {
   const Cluster* cluster_;
   SiteId site_;
   SiteProgramFactory factory_;
+  size_t max_site_threads_ = 0;
   int listen_fd_ = -1;
   std::atomic<bool> shutdown_{false};
 };

@@ -70,6 +70,7 @@ SocketTransport::SocketTransport(TransportOptions options)
       hello.answer_chunk_ids = this->options().answer_chunk_ids;
       hello.data_chunk_bytes = this->options().data_chunk_bytes;
       hello.max_frame_bytes = this->options().max_frame_bytes;
+      hello.site_threads = this->options().site_threads;
       std::string bytes;
       AppendControlRecord(RecordType::kHello, hello, &bytes);
       status = WriteAll(conn->fd, bytes);

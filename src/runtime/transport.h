@@ -153,6 +153,17 @@ struct TransportOptions {
   /// close (a frame never seals around a half-written stream).
   uint64_t max_frame_bytes = 0;
 
+  /// Intra-site parallelism: a site's round mail is partitioned into
+  /// per-fragment lanes and delivered on up to this many worker threads
+  /// (runtime/site_driver.h). 1 (the default) keeps the serial path. The
+  /// socket backend mirrors the knob to its paxml_site peers via the Hello
+  /// record, so remote sites parallelize the same way. RunStats — answers,
+  /// visits, per-edge bytes/messages/envelopes, frame sequences — are
+  /// bit-identical to the serial order (tested property): handler sends are
+  /// captured per lane and replayed in the serial mail order at the round
+  /// seal (DESIGN.md §10).
+  size_t site_threads = 1;
+
   /// Remote deployment map of the socket backend: site -> "host:port" of
   /// the paxml_site process serving it. Sites absent from the map (the
   /// query site S_Q must be one of them) are evaluated in-process by the
@@ -220,8 +231,11 @@ class Transport {
   /// immediately (unless control-plane) and enqueued directly. Local
   /// delivery — between co-located fragments — is always immediate and
   /// free: there is no wire to frame, matching the deployment reality that
-  /// S_Q holds the root fragment. env.run must name an open run.
-  void Send(Envelope env);
+  /// S_Q holds the root fragment. env.run must name an open run. Virtual
+  /// (with the stream methods below) so the parallel delivery path can
+  /// interpose a capture plane that records handler sends for deterministic
+  /// replay (runtime/site_driver.h).
+  virtual void Send(Envelope env);
 
   /// Opens a streamed envelope on `head`'s edge (batching only, cross-site
   /// only): `head` is staged as the edge's open stream and StreamAppend
@@ -231,16 +245,16 @@ class Transport {
   /// boundary. Use runtime/site_runtime.h's EnvelopeStream, which also
   /// handles the unbatched and local cases, instead of calling these
   /// directly.
-  void StreamBegin(Envelope head);
+  virtual void StreamBegin(Envelope head);
 
   /// Appends `bytes` to the open stream's last part and adds
   /// `phantom_bytes` to its envelope's modeled payload.
-  void StreamAppend(RunId run, SiteId from, SiteId to, std::string_view bytes,
-                    uint64_t phantom_bytes);
+  virtual void StreamAppend(RunId run, SiteId from, SiteId to,
+                            std::string_view bytes, uint64_t phantom_bytes);
 
   /// Closes the open stream on the edge; the envelope seals with the
   /// edge's next frame.
-  void StreamEnd(RunId run, SiteId from, SiteId to);
+  virtual void StreamEnd(RunId run, SiteId from, SiteId to);
 
   /// Removes and returns `site`'s pending mail in `run`, sealing any
   /// staged frames destined to it first (a drain is a round boundary for

@@ -149,6 +149,7 @@ void HelloRecord::Encode(ByteWriter* out) const {
   out->PutVarint(answer_chunk_ids);
   out->PutVarint(data_chunk_bytes);
   out->PutVarint(max_frame_bytes);
+  out->PutVarint(site_threads);
 }
 
 Result<HelloRecord> HelloRecord::Decode(ByteReader* in) {
@@ -159,6 +160,7 @@ Result<HelloRecord> HelloRecord::Decode(ByteReader* in) {
   PAXML_ASSIGN_OR_RETURN(r.answer_chunk_ids, in->GetVarint());
   PAXML_ASSIGN_OR_RETURN(r.data_chunk_bytes, in->GetVarint());
   PAXML_ASSIGN_OR_RETURN(r.max_frame_bytes, in->GetVarint());
+  PAXML_ASSIGN_OR_RETURN(r.site_threads, in->GetVarint());
   return r;
 }
 

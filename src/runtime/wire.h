@@ -35,7 +35,8 @@
 namespace paxml {
 
 /// Bumped on any incompatible change; peers reject a mismatch at Hello.
-inline constexpr uint32_t kWireProtocolVersion = 1;
+/// v2: HelloRecord grew site_threads (intra-site parallel delivery).
+inline constexpr uint32_t kWireProtocolVersion = 2;
 
 /// Upper bound on one record's length field: a corrupt length must be a
 /// parse error, not a gigabyte allocation.
@@ -110,6 +111,11 @@ struct HelloRecord {
   uint64_t answer_chunk_ids = 0;
   uint64_t data_chunk_bytes = 0;
   uint64_t max_frame_bytes = 0;
+
+  /// TransportOptions::site_threads, mirrored so the peer parallelizes its
+  /// site's per-fragment delivery the same way the client's local sites do
+  /// (paxml_site may cap it; determinism does not depend on the value).
+  uint64_t site_threads = 1;
 
   void Encode(ByteWriter* out) const;
   static Result<HelloRecord> Decode(ByteReader* in);

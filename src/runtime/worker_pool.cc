@@ -6,6 +6,19 @@
 
 namespace paxml {
 
+namespace {
+
+/// The pool whose WorkerLoop owns the current thread (null on non-worker
+/// threads). Lets RunAll catch same-pool nesting — the documented deadlock
+/// — while still permitting a task on one pool to run batches on another.
+thread_local const WorkerPool* current_worker_pool = nullptr;
+
+}  // namespace
+
+bool WorkerPool::OnWorkerThread() const {
+  return current_worker_pool == this;
+}
+
 WorkerPool::WorkerPool(size_t workers) {
   if (workers == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -37,6 +50,9 @@ bool WorkerPool::HasRunnableTaskLocked() const {
 }
 
 void WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
+  // A worker blocking on a batch of its own pool may leave no worker free
+  // to run it: abort loudly instead of deadlocking silently.
+  PAXML_CHECK(!OnWorkerThread());
   if (tasks.empty()) return;
   auto batch = std::make_shared<Batch>();
   batch->remaining = tasks.size();
@@ -53,6 +69,7 @@ void WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
 }
 
 void WorkerPool::WorkerLoop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     std::shared_ptr<Batch> batch;

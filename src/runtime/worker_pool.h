@@ -47,10 +47,17 @@ class WorkerPool {
 
   size_t worker_count() const { return threads_.size(); }
 
+  /// True when the calling thread is one of *this* pool's workers. A task
+  /// running on pool A may legally RunAll on pool B (the site-parallel
+  /// delivery path nests the cluster's site pool under the transport pool
+  /// this way); only same-pool nesting deadlocks.
+  bool OnWorkerThread() const;
+
   /// Runs `tasks` on the pool and blocks until every one of them has
   /// finished. Reentrant: concurrent callers wait on private latches.
   /// Tasks must not call RunAll on the same pool (a worker blocking on a
-  /// nested batch could leave no worker to run it).
+  /// nested batch could leave no worker to run it); that misuse is caught
+  /// by a PAXML_CHECK instead of a silent deadlock.
   void RunAll(std::vector<std::function<void()>> tasks);
 
   /// Batches that still have queued (unstarted) tasks. Test introspection.

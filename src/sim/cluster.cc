@@ -51,6 +51,14 @@ std::shared_ptr<WorkerPool> Cluster::worker_pool() const {
   return worker_pool_;
 }
 
+std::shared_ptr<WorkerPool> Cluster::site_worker_pool() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (site_worker_pool_ == nullptr) {
+    site_worker_pool_ = std::make_shared<WorkerPool>();
+  }
+  return site_worker_pool_;
+}
+
 void Cluster::PlaceRootAndSpread() {
   PAXML_CHECK(Place(0, 0).ok());
   if (site_count_ == 1) {

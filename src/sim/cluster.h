@@ -86,6 +86,14 @@ class Cluster {
   /// cluster, not once per run. Thread-safe.
   std::shared_ptr<WorkerPool> worker_pool() const;
 
+  /// The pool intra-site parallel delivery runs on (site_threads > 1; see
+  /// runtime/site_driver.h), created lazily on first use. Deliberately a
+  /// *separate* pool from worker_pool(): a PooledTransport round executes
+  /// site deliveries on worker_pool() workers, and a nested RunAll on the
+  /// same pool would deadlock (WorkerPool checks for exactly that).
+  /// Thread-safe.
+  std::shared_ptr<WorkerPool> site_worker_pool() const;
+
  private:
   std::shared_ptr<const FragmentedDocument> doc_;
   size_t site_count_;
@@ -93,8 +101,9 @@ class Cluster {
   std::vector<SiteId> placement_;           // fragment -> site
   std::vector<std::vector<FragmentId>> by_site_;  // site -> fragments
 
-  mutable std::mutex pool_mu_;  // guards lazy creation of worker_pool_
+  mutable std::mutex pool_mu_;  // guards lazy creation of both pools
   mutable std::shared_ptr<WorkerPool> worker_pool_;
+  mutable std::shared_ptr<WorkerPool> site_worker_pool_;
 };
 
 }  // namespace paxml

@@ -1,0 +1,241 @@
+// Intra-site parallel delivery (DESIGN.md §10): with site_threads > 1 a
+// site's per-fragment mail is evaluated on a worker pool, yet the
+// capture-and-replay send path must keep every observable — answers,
+// rounds, visits, per-edge byte/message/envelope splits, wire bytes — bit-
+// identical to the serial order. These tests pin that equivalence on
+// randomized multi-fragment placements (the ones where lanes actually fan
+// out), plus the WorkerPool nesting guard the parallel path relies on.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "fragment/fragmenter.h"
+#include "runtime/worker_pool.h"
+#include "sim/cluster.h"
+#include "test_util.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define PAXML_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PAXML_TSAN 1
+#endif
+#endif
+
+namespace paxml {
+namespace {
+
+using testing::PropertyQueryBattery;
+using testing::RandomTree;
+
+// ---- Exact-equality helper (timing fields excluded) -------------------------
+
+std::vector<int> Visits(const RunStats& s) {
+  std::vector<int> v;
+  for (const SiteStats& p : s.per_site) v.push_back(p.visits);
+  return v;
+}
+
+void ExpectStatsEqual(const RunStats& parallel, const RunStats& serial,
+                      const std::string& label) {
+  EXPECT_EQ(parallel.rounds, serial.rounds) << label;
+  EXPECT_EQ(Visits(parallel), Visits(serial)) << label;
+  EXPECT_EQ(parallel.total_messages, serial.total_messages) << label;
+  EXPECT_EQ(parallel.total_envelopes, serial.total_envelopes) << label;
+  EXPECT_EQ(parallel.total_bytes, serial.total_bytes) << label;
+  EXPECT_EQ(parallel.answer_bytes, serial.answer_bytes) << label;
+  EXPECT_EQ(parallel.data_bytes_shipped, serial.data_bytes_shipped) << label;
+  EXPECT_EQ(parallel.wire_bytes, serial.wire_bytes) << label;
+  EXPECT_EQ(parallel.edges, serial.edges) << label;
+  ASSERT_EQ(parallel.per_site.size(), serial.per_site.size()) << label;
+  for (size_t s = 0; s < serial.per_site.size(); ++s) {
+    EXPECT_EQ(parallel.per_site[s].bytes_sent, serial.per_site[s].bytes_sent)
+        << label << " site " << s;
+    EXPECT_EQ(parallel.per_site[s].bytes_received,
+              serial.per_site[s].bytes_received)
+        << label << " site " << s;
+    EXPECT_EQ(parallel.per_site[s].messages_sent,
+              serial.per_site[s].messages_sent)
+        << label << " site " << s;
+    EXPECT_EQ(parallel.per_site[s].messages_received,
+              serial.per_site[s].messages_received)
+        << label << " site " << s;
+  }
+}
+
+EngineOptions Options(DistributedAlgorithm algo, bool annotations,
+                      size_t site_threads) {
+  EngineOptions options;
+  options.algorithm = algo;
+  options.pax.use_annotations = annotations;
+  options.transport = TransportKind::kSync;
+  options.transport_options.site_threads = site_threads;
+  return options;
+}
+
+// ---- Randomized parallel-vs-serial determinism ------------------------------
+
+struct ParallelCase {
+  uint64_t seed;
+};
+
+class ParallelSitePropertyTest
+    : public ::testing::TestWithParam<ParallelCase> {};
+
+// Random trees cut into many fragments spread over few sites, so that
+// every site holds several fragments and the parallel path genuinely fans
+// out. site_threads = 4 must reproduce the serial run exactly.
+TEST_P(ParallelSitePropertyTest, ParallelMatchesSerialExactly) {
+  Rng rng(GetParam().seed);
+  Tree tree = RandomTree(&rng, 120 + rng.NextBounded(280));
+  // Many fragments, few sites: multi-fragment mail at every site.
+  auto doc_r = FragmentRandomly(tree, 6 + rng.NextBounded(6), &rng);
+  ASSERT_TRUE(doc_r.ok());
+  auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+  const size_t sites = 2 + rng.NextBounded(2);
+  Cluster cluster(doc, sites);
+  cluster.PlaceRootAndSpread();
+
+  for (const std::string& query : PropertyQueryBattery()) {
+    for (auto algo : {DistributedAlgorithm::kPaX2, DistributedAlgorithm::kPaX3,
+                      DistributedAlgorithm::kNaiveCentralized}) {
+      for (bool xa : {false, true}) {
+        if (algo == DistributedAlgorithm::kNaiveCentralized && xa) continue;
+        const std::string label = std::string(AlgorithmName(algo)) +
+                                  (xa ? "|xa|" : "|") + query + " seed " +
+                                  std::to_string(GetParam().seed);
+        auto serial =
+            EvaluateDistributed(cluster, query, Options(algo, xa, 1));
+        auto parallel =
+            EvaluateDistributed(cluster, query, Options(algo, xa, 4));
+        ASSERT_TRUE(serial.ok()) << label << ": " << serial.status();
+        ASSERT_TRUE(parallel.ok()) << label << ": " << parallel.status();
+        EXPECT_EQ(parallel->answers, serial->answers) << label;
+        ExpectStatsEqual(parallel->stats, serial->stats, label);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ParallelSitePropertyTest,
+    ::testing::Values(ParallelCase{7}, ParallelCase{19}, ParallelCase{42},
+                      ParallelCase{77}, ParallelCase{101}),
+    [](const ::testing::TestParamInfo<ParallelCase>& info) {
+      return "seed_" + std::to_string(info.param.seed);
+    });
+
+// Boolean queries delegate to ParBoX; its one-visit protocol must survive
+// the parallel path identically too.
+TEST(ParallelSiteTest, ParBoXMatchesSerialExactly) {
+  Rng rng(271828);
+  Tree tree = RandomTree(&rng, 300);
+  auto doc_r = FragmentRandomly(tree, 8, &rng);
+  ASSERT_TRUE(doc_r.ok());
+  auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+  Cluster cluster(doc, 3);
+  cluster.PlaceRootAndSpread();
+
+  for (const std::string& query :
+       {std::string(".[//a]"), std::string(".[//a/b and //c]")}) {
+    auto serial = EvaluateDistributed(
+        cluster, query, Options(DistributedAlgorithm::kPaX2, false, 1));
+    auto parallel = EvaluateDistributed(
+        cluster, query, Options(DistributedAlgorithm::kPaX2, false, 4));
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel->answers, serial->answers) << query;
+    ExpectStatsEqual(parallel->stats, serial->stats, query);
+  }
+}
+
+// site_threads beyond the fragment count must degrade gracefully (lanes
+// cap at the number of fragments present in a round's mail).
+TEST(ParallelSiteTest, MoreThreadsThanFragmentsIsExact) {
+  Rng rng(31337);
+  Tree tree = RandomTree(&rng, 200);
+  auto doc_r = FragmentRandomly(tree, 3, &rng);
+  ASSERT_TRUE(doc_r.ok());
+  auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+  Cluster cluster(doc, 2);
+  cluster.PlaceRootAndSpread();
+
+  auto serial = EvaluateDistributed(
+      cluster, "//a[b]/c", Options(DistributedAlgorithm::kPaX3, false, 1));
+  auto parallel = EvaluateDistributed(
+      cluster, "//a[b]/c", Options(DistributedAlgorithm::kPaX3, false, 16));
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(parallel->answers, serial->answers);
+  ExpectStatsEqual(parallel->stats, serial->stats, "threads>fragments");
+}
+
+// ---- WorkerPool nesting guard -----------------------------------------------
+
+TEST(WorkerPoolTest, OnWorkerThreadIdentifiesItsOwnWorkers) {
+  WorkerPool a(2);
+  WorkerPool b(2);
+  EXPECT_FALSE(a.OnWorkerThread());  // the test's main thread
+
+  bool on_a_from_a = false;
+  bool on_b_from_a = false;
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([&] {
+    on_a_from_a = a.OnWorkerThread();
+    on_b_from_a = b.OnWorkerThread();
+  });
+  a.RunAll(std::move(tasks));
+  EXPECT_TRUE(on_a_from_a);
+  EXPECT_FALSE(on_b_from_a);
+}
+
+// Cross-pool nesting is the sanctioned pattern (transport pool ->
+// site pool); it must complete, not die.
+TEST(WorkerPoolTest, CrossPoolNestingRuns) {
+  WorkerPool outer(2);
+  WorkerPool inner(2);
+  int ran = 0;
+  std::vector<std::function<void()>> outer_tasks;
+  outer_tasks.emplace_back([&] {
+    std::vector<std::function<void()>> inner_tasks;
+    inner_tasks.emplace_back([&] { ran = 1; });
+    inner.RunAll(std::move(inner_tasks));
+  });
+  outer.RunAll(std::move(outer_tasks));
+  EXPECT_EQ(ran, 1);
+}
+
+// Same-pool nesting would deadlock (a worker blocking on a batch only it
+// could run); the pool dies loudly instead.
+TEST(WorkerPoolDeathTest, SamePoolNestedRunAllAborts) {
+#if defined(PAXML_TSAN)
+  GTEST_SKIP() << "death tests are unreliable under ThreadSanitizer";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The pool is built inside the death statement: the death-test fork does
+  // not clone the parent's worker threads, so a pre-built pool would hang.
+  EXPECT_DEATH(
+      {
+        WorkerPool pool(2);
+        std::vector<std::function<void()>> outer;
+        outer.emplace_back([&pool] {
+          std::vector<std::function<void()>> inner;
+          inner.emplace_back([] {});
+          pool.RunAll(std::move(inner));
+        });
+        pool.RunAll(std::move(outer));
+      },
+      "PAXML_CHECK failed");
+#endif
+}
+
+}  // namespace
+}  // namespace paxml

@@ -201,6 +201,17 @@ void ExpectStatsEqual(const RunStats& socket, const RunStats& sync,
   }
 }
 
+/// CI smoke hook: PAXML_SITE_THREADS=N re-runs every socket test in this
+/// file with intra-site parallel delivery at the peers — the stats
+/// assertions below then double as determinism checks (DESIGN.md §10).
+size_t EnvSiteThreads() {
+  if (const char* env = std::getenv("PAXML_SITE_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 1) return static_cast<size_t>(v);
+  }
+  return 1;
+}
+
 EngineOptions SyncOptions(DistributedAlgorithm algo, bool annotations) {
   EngineOptions options;
   options.algorithm = algo;
@@ -215,6 +226,7 @@ EngineOptions SocketOptions(DistributedAlgorithm algo, bool annotations,
   options.algorithm = algo;
   options.pax.use_annotations = annotations;
   options.transport_options.remote_endpoints = endpoints;
+  options.transport_options.site_threads = EnvSiteThreads();
   return options;
 }
 
@@ -321,6 +333,33 @@ TEST(SocketTransportTest, FT2PaperPlacementReproducesSyncExactly) {
   }
 }
 
+// The tentpole acceptance bar: the same four-machine deployment with
+// intra-site parallel delivery (site_threads = 4, mirrored to the peers
+// via the Hello record) reproduces the serial SyncTransport's *exact*
+// RunStats — the capture-and-replay plane end-to-end over real processes.
+TEST(SocketTransportTest, FT2ParallelSitesReproduceSyncExactly) {
+  bench::Workload w = bench::MakeFT2Paper(0.05);
+  Deployment deployment(w.doc, *w.cluster);
+
+  for (const auto& q : xmark::ExperimentQueries()) {
+    for (auto algo : {DistributedAlgorithm::kPaX2, DistributedAlgorithm::kPaX3,
+                      DistributedAlgorithm::kNaiveCentralized}) {
+      const std::string label =
+          std::string(AlgorithmName(algo)) + "|threads=4|" + q.name;
+      auto sync =
+          EvaluateDistributed(*w.cluster, q.text, SyncOptions(algo, false));
+      EngineOptions parallel =
+          SocketOptions(algo, false, deployment.endpoints());
+      parallel.transport_options.site_threads = 4;
+      auto socket = EvaluateDistributed(*w.cluster, q.text, parallel);
+      ASSERT_TRUE(sync.ok()) << label << ": " << sync.status();
+      ASSERT_TRUE(socket.ok()) << label << ": " << socket.status();
+      EXPECT_EQ(socket->answers, sync->answers) << label;
+      ExpectStatsEqual(socket->stats, sync->stats, label);
+    }
+  }
+}
+
 // ---- The session API, unchanged over sockets --------------------------------
 
 TEST(SocketTransportTest, EngineSubmitWorksUnchangedOverSockets) {
@@ -330,6 +369,7 @@ TEST(SocketTransportTest, EngineSubmitWorksUnchangedOverSockets) {
   EngineConfig config;
   config.depth = 3;
   config.remote_endpoints = deployment.endpoints();
+  config.transport_options.site_threads = EnvSiteThreads();
   Engine engine(*w.cluster, config);
 
   const std::vector<std::string> queries = {
@@ -409,6 +449,7 @@ TEST(SocketTransportTest, KilledSiteFailsItsRunsAndSparesOthers) {
   EngineConfig config;
   config.depth = 2;
   config.remote_endpoints = deployment.endpoints();
+  config.transport_options.site_threads = EnvSiteThreads();
   Engine engine(*w.cluster, config);
 
   // Healthy first: both queries work over the deployment.

@@ -1,7 +1,7 @@
 // paxml_site: one deployed site of a multi-process paxml engine.
 //
 //   $ paxml_site FRAGDIR --site N --sites K --placement 0,1,1,2,...
-//                [--host 127.0.0.1] [--port P]
+//                [--host 127.0.0.1] [--port P] [--threads T]
 //
 // Loads the fragment directory written by paxml_fragment / SaveDocument
 // (every machine of a deployment holds the same directory; loading only a
@@ -17,6 +17,12 @@
 // so a parent that spawned it with --port 0 can read the ephemeral port.
 // It then serves until killed; a client disconnect drops that client's
 // runs and the next client is accepted.
+//
+// A client's Hello may ask for intra-site parallel delivery (the
+// site_threads transport knob); the server then fans a round's
+// per-fragment mail out on a worker pool — RunStats stay bit-identical to
+// the serial order (runtime/site_driver.h). --threads T caps what a client
+// may request on this machine (default: honor the client).
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,7 +42,7 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: paxml_site FRAGDIR --site N --sites K "
-               "--placement 0,1,... [--host H] [--port P]\n");
+               "--placement 0,1,... [--host H] [--port P] [--threads T]\n");
 }
 
 bool ParsePlacement(const char* text, std::vector<SiteId>* out) {
@@ -66,6 +72,7 @@ int main(int argc, char** argv) {
   std::vector<SiteId> placement;
   std::string host = "127.0.0.1";
   int port = 0;
+  size_t max_threads = 0;  // 0 = honor the client's Hello
 
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--site") == 0 && i + 1 < argc) {
@@ -81,6 +88,8 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads = static_cast<size_t>(std::atoll(argv[++i]));
     } else {
       Usage();
       return 2;
@@ -106,7 +115,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // This process delivers its site's mail inline; no pool needed.
+  // The cluster here only describes placement; delivery happens on the
+  // SiteServer's per-connection pool when a client's Hello asks for
+  // site_threads > 1, so the cluster's own transport pool stays off.
   ClusterOptions cluster_options;
   cluster_options.parallel_execution = false;
   Cluster cluster(doc, site_count, cluster_options);
@@ -119,7 +130,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  SiteServer server(&cluster, site, MakeSiteProgramFactory(&cluster));
+  SiteServer server(&cluster, site, MakeSiteProgramFactory(&cluster),
+                    max_threads);
   auto bound = server.Listen(host, port);
   if (!bound.ok()) {
     std::fprintf(stderr, "paxml_site: %s\n", bound.status().ToString().c_str());
