@@ -1,0 +1,69 @@
+// Graph reachability: the second workload family on the same engine.
+//
+//   $ ./build/examples/graph_reachability
+//
+// The engine that evaluates XPath over fragmented XML also evaluates
+// reachability over partitioned digraphs — Engine::Submit routes the query
+// string by the *data's* workload family, and nothing below it (scheduler,
+// coordinator, transports, frame plane) knows which family is running.
+// This example builds a small partitioned graph, asks a few "reach S T"
+// questions through the session API, and prints the counters that carry
+// the paper's guarantees: one delivery round per query and shipped bytes
+// that track the fragment cut, not the graph size.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/reach.h"
+#include "graph/digraph.h"
+#include "graph/store.h"
+
+using namespace paxml;
+
+int main() {
+  // 1. A random digraph: 200 vertices, ~1.8 out-edges each.
+  const Digraph graph = RandomDigraph(200, 1.8, /*seed=*/7);
+  std::printf("digraph: %d vertices, %llu edges\n", graph.vertex_count,
+              static_cast<unsigned long long>(graph.edge_count()));
+
+  // 2. Partition it into 4 fragments (the graph analogue of fragmenting a
+  //    document) and place them on 4 sites.
+  auto store_r = PartitionDigraph(graph, /*fragment_count=*/4, /*seed=*/11);
+  if (!store_r.ok()) {
+    std::fprintf(stderr, "partition error: %s\n",
+                 store_r.status().ToString().c_str());
+    return 1;
+  }
+  Cluster cluster(std::move(store_r).ValueOrDie(), /*site_count=*/4);
+  cluster.PlaceRootAndSpread();
+
+  // 3. The same session API that serves XPath: the cluster holds "graph"
+  //    data, so Submit parses "reach <source> <target>" queries.
+  Engine engine(cluster);
+  const ReachQuery questions[] = {{0, 150}, {17, 3}, {42, 42}, {199, 0}};
+  for (const ReachQuery& q : questions) {
+    QueryHandle handle = engine.Submit(FormatReachQuery(q));
+    const QueryReport& report = handle.Wait();
+    if (!report.result.ok()) {
+      std::fprintf(stderr, "evaluation error: %s\n",
+                   report.result.status().ToString().c_str());
+      return 1;
+    }
+    const bool reachable = !report.result->answers.empty();
+    const bool truth = ReachesBFS(graph, q.source, q.target);
+    std::printf(
+        "%-14s -> %-3s  (rounds %d, bytes %llu, visits <= 1 per site)%s\n",
+        FormatReachQuery(q).c_str(), reachable ? "yes" : "no",
+        report.stats.rounds,
+        static_cast<unsigned long long>(report.stats.total_bytes),
+        reachable == truth ? "" : "  MISMATCH vs single-site BFS!");
+    if (reachable != truth || report.stats.rounds != 1) return 1;
+  }
+
+  std::printf(
+      "\nEvery query settled in one delivery round: each site partially\n"
+      "evaluates its fragment to boolean equations over boundary entries,\n"
+      "and the coordinator solves the system — data shipped is the cut,\n"
+      "not the graph.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Workload-neutral id types shared by every data model.
+//
+// The runtime layer (transport, frames, wire protocol) routes messages by
+// fragment without knowing what a fragment *is* — an XML subtree
+// (src/fragment) or a partitioned digraph piece (src/graph). Both models
+// address their payloads with the same dense signed ids, defined once here
+// so src/runtime never includes a data-model header (the workload seam,
+// DESIGN.md §11).
+
+#ifndef PAXML_COMMON_IDS_H_
+#define PAXML_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace paxml {
+
+/// Index of a node within its container's arena (an XML Tree, a graph
+/// fragment's vertex table).
+using NodeId = int32_t;
+inline constexpr NodeId kNullNode = -1;
+
+/// Id of a fragment within a fragmented workload (an XML fragmented
+/// document or a partitioned graph).
+using FragmentId = int32_t;
+inline constexpr FragmentId kNullFragment = -1;
+
+}  // namespace paxml
+
+#endif  // PAXML_COMMON_IDS_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/workload.h"
 #include "runtime/run_control.h"
 #include "runtime/worker_pool.h"
 #include "xpath/query_plan.h"
@@ -155,30 +156,31 @@ Engine::~Engine() = default;
 void Engine::Drain() { scheduler_.Wait(); }
 
 QueryHandle Engine::Submit(std::string query, SubmitOptions options) {
-  // Compilation interns into the document's SymbolTable, which is
-  // thread-safe; compiling inside the job overlaps it with other queries'
+  // Routed by the cluster's data family; parsing/compiling happens inside
+  // the evaluator, on the job's thread, overlapping other queries'
   // evaluation.
-  std::shared_ptr<SymbolTable> symbols = cluster_->doc().symbols();
   return SubmitJob(
-      [query = std::move(query),
-       symbols = std::move(symbols)]() -> Result<CompiledQuery> {
-        return CompileXPath(query, symbols);
+      [cluster = cluster_, query = std::move(query)](
+          const EngineOptions& opts, Transport* transport,
+          RunControl* control) {
+        return EvaluateWorkload(*cluster, query, opts, transport, control);
       },
       std::move(options));
 }
 
 QueryHandle Engine::Submit(CompiledQuery query, SubmitOptions options) {
-  // The compile closure runs exactly once; hand the plan over instead of
-  // copying it.
+  // XML convenience: the plan moves into the closure and is evaluated
+  // directly, skipping the family dispatch.
   return SubmitJob(
-      [query = std::move(query)]() mutable -> Result<CompiledQuery> {
-        return std::move(query);
+      [cluster = cluster_, query = std::move(query)](
+          const EngineOptions& opts, Transport* transport,
+          RunControl* control) {
+        return EvaluateDistributed(*cluster, query, opts, transport, control);
       },
       std::move(options));
 }
 
-QueryHandle Engine::SubmitJob(std::function<Result<CompiledQuery>()> compile,
-                              SubmitOptions options) {
+QueryHandle Engine::SubmitJob(EvaluateFn evaluate, SubmitOptions options) {
   auto state = std::make_shared<QueryState>();
   state->submit_time = std::chrono::steady_clock::now();
   if (options.deadline.has_value()) {
@@ -199,26 +201,23 @@ QueryHandle Engine::SubmitJob(std::function<Result<CompiledQuery>()> compile,
     state->done = true;
     state->cv.notify_all();
   };
-  job.run = [this, state, compile = std::move(compile),
+  job.run = [this, state, evaluate = std::move(evaluate),
              engine_options =
                  options.engine_options.value_or(config_.defaults)] {
-    // Queue time ends at admission — before compilation, which is part of
-    // the evaluation's own wall time.
+    // Queue time ends at admission — before parsing/compiling, which is
+    // part of the evaluation's own wall time.
     const double queue_seconds = SecondsSince(state->submit_time);
-    Execute(state, queue_seconds, compile(), engine_options);
+    Execute(state, queue_seconds, evaluate, engine_options);
   };
   scheduler_.Submit(std::move(job));
   return QueryHandle(std::move(state));
 }
 
 void Engine::Execute(const std::shared_ptr<internal::QueryState>& state,
-                     double queue_seconds, Result<CompiledQuery> compiled,
+                     double queue_seconds, const EvaluateFn& evaluate,
                      const EngineOptions& options) {
   Result<DistributedResult> result =
-      compiled.ok()
-          ? EvaluateDistributed(*cluster_, *compiled, options,
-                                transport_.get(), &state->control)
-          : Result<DistributedResult>(compiled.status());
+      evaluate(options, transport_.get(), &state->control);
 
   std::lock_guard<std::mutex> lock(state->mu);
   state->report.queue_seconds = queue_seconds;

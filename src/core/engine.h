@@ -220,12 +220,14 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Enqueues a query for evaluation; never blocks. The query text is
-  /// compiled on the driver thread, overlapping other queries' evaluation;
-  /// compile errors surface in the handle's report.
+  /// Enqueues a query for evaluation; never blocks. The query string is
+  /// routed by the cluster's workload family (core/workload.h): XPath over
+  /// XML data, "reach <s> <t>" over graph data. It is parsed/compiled on
+  /// the driver thread, overlapping other queries' evaluation; compile
+  /// errors surface in the handle's report.
   QueryHandle Submit(std::string query, SubmitOptions options = {});
 
-  /// Same, for a pre-compiled query.
+  /// Same, for a pre-compiled XPath query (XML clusters only).
   QueryHandle Submit(CompiledQuery query, SubmitOptions options = {});
 
   /// Blocks until every query submitted so far has completed.
@@ -246,11 +248,17 @@ class Engine {
   size_t queued_count() { return scheduler_.queued_count(); }
 
  private:
+  /// One admitted evaluation: everything family-specific (parsing,
+  /// compiling, the protocol itself) lives behind this closure, so the
+  /// engine's scheduling machinery never names a workload.
+  using EvaluateFn = std::function<Result<DistributedResult>(
+      const EngineOptions& options, Transport* transport,
+      RunControl* control)>;
+
   void Execute(const std::shared_ptr<internal::QueryState>& state,
-               double queue_seconds, Result<CompiledQuery> compiled,
+               double queue_seconds, const EvaluateFn& evaluate,
                const EngineOptions& options);
-  QueryHandle SubmitJob(std::function<Result<CompiledQuery>()> compile,
-                        SubmitOptions options);
+  QueryHandle SubmitJob(EvaluateFn evaluate, SubmitOptions options);
 
   const Cluster* cluster_;
   EngineConfig config_;

@@ -4,6 +4,7 @@
 
 #include "core/answer_stream.h"
 #include "core/site_program.h"
+#include "core/xml_handlers.h"
 #include "eval/centralized.h"
 #include "runtime/coordinator.h"
 #include "xml/serializer.h"
@@ -16,7 +17,7 @@ namespace {
 /// are the fragment's serialized size; the coordinator just tracks arrival
 /// (the simulation evaluates over the shared document instead of actually
 /// re-parsing the shipped XML).
-class NaiveProgram : public MessageHandlers {
+class NaiveProgram : public XmlMessageHandlers {
  public:
   explicit NaiveProgram(const FragmentedDocument* doc)
       : doc_(doc), received_(doc->size(), false) {}

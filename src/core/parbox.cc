@@ -3,6 +3,7 @@
 #include "core/eval_ft.h"
 #include "core/site_eval.h"
 #include "core/site_program.h"
+#include "core/xml_handlers.h"
 #include "core/vars.h"
 #include "runtime/coordinator.h"
 
@@ -15,7 +16,7 @@ namespace {
 /// truth value), so it has no streamed shipment — but under the framed
 /// message plane a site holding k fragments sends its k replies as one
 /// frame, exactly the O(|Q||FT|) coalescing the batching layer exists for.
-class ParBoXProgram : public MessageHandlers {
+class ParBoXProgram : public XmlMessageHandlers {
  public:
   ParBoXProgram(const FragmentedDocument* doc, const CompiledQuery* query)
       : doc_(doc), query_(query), unifier_(doc, query) {}

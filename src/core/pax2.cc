@@ -9,6 +9,7 @@
 #include "core/parbox.h"
 #include "core/site_eval.h"
 #include "core/site_program.h"
+#include "core/xml_handlers.h"
 #include "fragment/pruning.h"
 #include "runtime/coordinator.h"
 
@@ -221,7 +222,7 @@ Pax2FragmentState RunCombinedPass(const Fragment& frag,
 /// pass and replies with QualUp + SelUp in one envelope; kAnswerRequest
 /// settles candidates against the resolved values delivered just before it
 /// and ships the answers.
-class Pax2Program : public MessageHandlers {
+class Pax2Program : public XmlMessageHandlers {
  public:
   /// Owns its options and prune state (by value) so the same program type
   /// serves both roles: borrowed by EvaluatePaX2's stack frame and owned by

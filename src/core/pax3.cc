@@ -8,6 +8,7 @@
 #include "core/parbox.h"
 #include "core/site_eval.h"
 #include "core/site_program.h"
+#include "core/xml_handlers.h"
 #include "fragment/pruning.h"
 #include "runtime/coordinator.h"
 
@@ -46,7 +47,7 @@ Result<DistributedResult> EvaluateBooleanViaParBoX(const Cluster& cluster,
 /// PaX3's three stages as runtime handlers. Site-side handlers only touch
 /// the state of fragments placed at the handling site; coordinator-side
 /// handlers only touch the unifier and the collected answers.
-class Pax3Program : public MessageHandlers {
+class Pax3Program : public XmlMessageHandlers {
  public:
   /// Owns its options and prune state (by value) so the same program type
   /// serves both roles: borrowed by EvaluatePaX3's stack frame and owned by

@@ -34,8 +34,8 @@ class OwningSiteProgram : public SiteProgram {
 
 }  // namespace
 
-Result<std::unique_ptr<SiteProgram>> MakeSiteProgram(const Cluster& cluster,
-                                                     const RunSpec& spec) {
+Result<std::unique_ptr<SiteProgram>> MakeXmlSiteProgram(const Cluster& cluster,
+                                                        const RunSpec& spec) {
   PAXML_ASSIGN_OR_RETURN(
       CompiledQuery compiled,
       CompileXPath(spec.query, cluster.doc().symbols()));
@@ -64,12 +64,6 @@ Result<std::unique_ptr<SiteProgram>> MakeSiteProgram(const Cluster& cluster,
                                    spec.algorithm + "\"");
   }
   return std::unique_ptr<SiteProgram>(std::move(program));
-}
-
-SiteProgramFactory MakeSiteProgramFactory(const Cluster* cluster) {
-  return [cluster](const RunSpec& spec) {
-    return MakeSiteProgram(*cluster, spec);
-  };
 }
 
 RunSpec MakePaxRunSpec(std::string algorithm, const CompiledQuery& query,

@@ -1,10 +1,11 @@
-// Turning a wired RunSpec back into an algorithm's site-side program.
+// Turning a wired RunSpec back into the XML family's site-side program.
 //
-// The runtime's SiteServer (runtime/socket_server.h) is algorithm-agnostic:
+// The runtime's SiteServer (runtime/socket_server.h) is workload-agnostic:
 // it asks a SiteProgramFactory for the MessageHandlers of each run a client
-// announces. This is the core-layer implementation of that factory — it
-// compiles the spec's query against the peer's copy of the document and
-// builds the same handler set the in-process entry point would (the
+// announces. This is the XML family's builder behind that factory (the
+// registry in core/workload.h routes "xml" RunSpecs here) — it compiles
+// the spec's query against the peer's copy of the document and builds the
+// same handler set the in-process entry point would (the
 // Make*SiteHandlers exports of pax2/pax3/naive/parbox), owning everything
 // the handlers borrow. Determinism is the contract: given a bit-identical
 // cluster, the peer's handlers produce byte-identical wire frames, so the
@@ -27,13 +28,10 @@ namespace paxml {
 
 /// Builds the site-side program named by `spec.algorithm` ("PaX2", "PaX3",
 /// "NaiveCentralized", "ParBoX" — exactly AlgorithmName()'s strings) over
-/// `cluster`. Unknown algorithms and compile failures return an error the
-/// server wires back to the client.
-Result<std::unique_ptr<SiteProgram>> MakeSiteProgram(const Cluster& cluster,
-                                                     const RunSpec& spec);
-
-/// MakeSiteProgram bound to `cluster` — what a paxml_site server runs on.
-SiteProgramFactory MakeSiteProgramFactory(const Cluster* cluster);
+/// `cluster`, which must hold XML data. Unknown algorithms and compile
+/// failures return an error the server wires back to the client.
+Result<std::unique_ptr<SiteProgram>> MakeXmlSiteProgram(const Cluster& cluster,
+                                                        const RunSpec& spec);
 
 /// RunSpec builders used by the algorithm entry points when they open their
 /// Coordinator, so client and peer agree on one encoding of the options.

@@ -1,0 +1,81 @@
+// The workload registry: where a RunSpec's family name resolves to code.
+//
+// The runtime layer (transport, coordinator, socket server) moves opaque
+// frames for a `RunSpec::family` string it never interprets; this registry
+// is the single point where that string picks a data model and its
+// algorithms. Each family contributes two entry points: a site-program
+// builder (what a paxml_site peer runs for an announced RunSpec) and a
+// query evaluator (what Engine::Submit drives for a query string). The
+// built-in families — "xml" (core/site_program.h, the PaX/ParBoX/naive
+// algorithms) and "graph" (core/reach.h, distributed reachability) —
+// register lazily on first use; tests may register extra families.
+//
+// This is the seam that makes the engine workload-agnostic: no caller of
+// MakeSiteProgramFactory or EvaluateWorkload names a data model, and a
+// cluster built over any WorkloadData evaluates through the same Engine,
+// scheduler and transports (DESIGN.md §11).
+
+#ifndef PAXML_CORE_WORKLOAD_H_
+#define PAXML_CORE_WORKLOAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "runtime/socket_server.h"
+#include "sim/cluster.h"
+
+namespace paxml {
+
+/// One registered algorithm family over one data model.
+struct WorkloadFamily {
+  /// The RunSpec::family / WorkloadData::family() string.
+  std::string name;
+
+  /// Builds the site-side program for a RunSpec announced over the wire.
+  /// The cluster is guaranteed to hold this family's data.
+  std::function<Result<std::unique_ptr<SiteProgram>>(const Cluster&,
+                                                     const RunSpec&)>
+      make_site_program;
+
+  /// Evaluates one query string over the cluster (the family owns the
+  /// query syntax: XPath for "xml", "reach <s> <t>" for "graph"). A null
+  /// transport evaluates in-process.
+  std::function<Result<DistributedResult>(const Cluster&, const std::string&,
+                                          const EngineOptions&, Transport*,
+                                          RunControl*)>
+      evaluate;
+};
+
+/// Registers `family`; an already registered name is an error.
+Status RegisterWorkloadFamily(WorkloadFamily family);
+
+/// Registered family names, sorted — error messages enumerate these.
+std::vector<std::string> RegisteredWorkloadFamilies();
+
+/// Builds the site-side program for `spec` over `cluster`, routed by
+/// `spec.family`. An unknown family's error enumerates the registered
+/// ones; a family that does not match the cluster's data is rejected
+/// before the family's builder runs.
+Result<std::unique_ptr<SiteProgram>> MakeSiteProgram(const Cluster& cluster,
+                                                     const RunSpec& spec);
+
+/// MakeSiteProgram bound to `cluster` — what a paxml_site server runs on,
+/// whichever workload its data directory held.
+SiteProgramFactory MakeSiteProgramFactory(const Cluster* cluster);
+
+/// Evaluates `query` over the cluster, routed by the *data's* family (a
+/// query string carries no family of its own). This is what
+/// Engine::Submit(std::string) drives.
+Result<DistributedResult> EvaluateWorkload(const Cluster& cluster,
+                                           const std::string& query,
+                                           const EngineOptions& options = {},
+                                           Transport* transport = nullptr,
+                                           RunControl* control = nullptr);
+
+}  // namespace paxml
+
+#endif  // PAXML_CORE_WORKLOAD_H_

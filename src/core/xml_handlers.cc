@@ -1,0 +1,109 @@
+#include "core/xml_handlers.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace paxml {
+
+namespace {
+
+Status Unhandled(const char* what) {
+  return Status::NotImplemented(
+      StringFormat("algorithm installed no handler for %s messages", what));
+}
+
+}  // namespace
+
+Status XmlMessageHandlers::OnQueryShip(SiteContext&) { return Status::OK(); }
+Status XmlMessageHandlers::OnQualRequest(SiteContext&, FragmentId) {
+  return Unhandled("qual-request");
+}
+Status XmlMessageHandlers::OnSelRequest(SiteContext&, FragmentId) {
+  return Unhandled("sel-request");
+}
+Status XmlMessageHandlers::OnAnswerRequest(SiteContext&, FragmentId) {
+  return Unhandled("answer-request");
+}
+Status XmlMessageHandlers::OnDataRequest(SiteContext&, FragmentId) {
+  return Unhandled("data-request");
+}
+Status XmlMessageHandlers::OnQualDown(SiteContext&, QualDownMessage) {
+  return Unhandled("qual-down");
+}
+Status XmlMessageHandlers::OnSelDown(SiteContext&, SelDownMessage) {
+  return Unhandled("sel-down");
+}
+Status XmlMessageHandlers::OnQualUp(SiteContext&, QualUpMessage) {
+  return Unhandled("qual-up");
+}
+Status XmlMessageHandlers::OnSelUp(SiteContext&, SelUpMessage) {
+  return Unhandled("sel-up");
+}
+Status XmlMessageHandlers::OnAnswerUp(SiteContext&, AnswerUpMessage) {
+  return Unhandled("answer-up");
+}
+Status XmlMessageHandlers::OnDataShip(SiteContext&, FragmentId, uint64_t) {
+  return Unhandled("data-ship");
+}
+
+Status XmlMessageHandlers::OnPart(SiteContext& ctx, const Envelope& env,
+                                  const WirePart& part) {
+  switch (part.kind) {
+    case MessageKind::kQueryShip:
+      return OnQueryShip(ctx);
+    case MessageKind::kQualRequest:
+      return OnQualRequest(ctx, part.fragment);
+    case MessageKind::kSelRequest:
+      return OnSelRequest(ctx, part.fragment);
+    case MessageKind::kAnswerRequest:
+      return OnAnswerRequest(ctx, part.fragment);
+    case MessageKind::kDataRequest:
+      return OnDataRequest(ctx, part.fragment);
+    case MessageKind::kQualDown: {
+      ByteReader reader(part.bytes);
+      PAXML_ASSIGN_OR_RETURN(QualDownMessage m, QualDownMessage::Decode(&reader));
+      return OnQualDown(ctx, std::move(m));
+    }
+    case MessageKind::kSelDown: {
+      ByteReader reader(part.bytes);
+      PAXML_ASSIGN_OR_RETURN(SelDownMessage m, SelDownMessage::Decode(&reader));
+      return OnSelDown(ctx, std::move(m));
+    }
+    case MessageKind::kQualUp: {
+      FormulaArena* arena = DecodeArena();
+      if (arena == nullptr) {
+        return Status::Internal("qual-up delivered but no decode arena");
+      }
+      ByteReader reader(part.bytes);
+      PAXML_ASSIGN_OR_RETURN(QualUpMessage m,
+                             QualUpMessage::Decode(arena, &reader));
+      return OnQualUp(ctx, std::move(m));
+    }
+    case MessageKind::kSelUp: {
+      FormulaArena* arena = DecodeArena();
+      if (arena == nullptr) {
+        return Status::Internal("sel-up delivered but no decode arena");
+      }
+      ByteReader reader(part.bytes);
+      PAXML_ASSIGN_OR_RETURN(SelUpMessage m, SelUpMessage::Decode(arena, &reader));
+      return OnSelUp(ctx, std::move(m));
+    }
+    case MessageKind::kAnswerUp: {
+      ByteReader reader(part.bytes);
+      PAXML_ASSIGN_OR_RETURN(AnswerUpMessage m,
+                             AnswerUpMessage::Decode(&reader));
+      return OnAnswerUp(ctx, std::move(m));
+    }
+    case MessageKind::kDataShip:
+      return OnDataShip(ctx, part.fragment, env.phantom_bytes);
+    case MessageKind::kReachRequest:
+    case MessageKind::kReachUp:
+      return Status::InvalidArgument(StringFormat(
+          "%s message delivered to an xml-workload run",
+          MessageKindName(part.kind)));
+  }
+  return Status::Internal("unknown message kind");
+}
+
+}  // namespace paxml

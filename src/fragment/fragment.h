@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/workload_data.h"
 #include "xml/tree.h"
 
 namespace paxml {
@@ -68,11 +69,17 @@ struct Fragment {
 
 /// A fragmented document: the fragment list plus the induced fragment tree.
 /// Fragment 0 is always the root fragment (contains the original root).
-class FragmentedDocument {
+/// The WorkloadData base is the placement layer's view of it: a Cluster
+/// holds any workload's fragments; XML-aware code downcasts back via
+/// Cluster::doc() after the family check.
+class FragmentedDocument : public WorkloadData {
  public:
   FragmentedDocument() = default;
   FragmentedDocument(FragmentedDocument&&) = default;
   FragmentedDocument& operator=(FragmentedDocument&&) = default;
+
+  std::string_view family() const override { return kXmlWorkloadFamily; }
+  size_t fragment_count() const override { return fragments_.size(); }
 
   const std::vector<Fragment>& fragments() const { return fragments_; }
   std::vector<Fragment>& fragments() { return fragments_; }

@@ -1,0 +1,53 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/rng.h"
+
+namespace paxml {
+
+Digraph RandomDigraph(int32_t vertex_count, double avg_out_degree,
+                      uint64_t seed) {
+  Digraph g;
+  g.vertex_count = vertex_count;
+  g.out.resize(static_cast<size_t>(vertex_count));
+  if (vertex_count < 2) return g;
+  Rng rng(seed);
+  const uint64_t n = static_cast<uint64_t>(vertex_count);
+  const uint64_t target_edges =
+      static_cast<uint64_t>(avg_out_degree * static_cast<double>(n));
+  for (uint64_t e = 0; e < target_edges; ++e) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u != v) g.out[static_cast<size_t>(u)].push_back(v);
+  }
+  for (auto& heads : g.out) {
+    std::sort(heads.begin(), heads.end());
+    heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
+  }
+  return g;
+}
+
+bool ReachesBFS(const Digraph& graph, NodeId source, NodeId target) {
+  if (source < 0 || source >= graph.vertex_count) return false;
+  if (target < 0 || target >= graph.vertex_count) return false;
+  if (source == target) return true;
+  std::vector<bool> visited(static_cast<size_t>(graph.vertex_count), false);
+  std::deque<NodeId> queue;
+  visited[static_cast<size_t>(source)] = true;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : graph.out[static_cast<size_t>(u)]) {
+      if (visited[static_cast<size_t>(v)]) continue;
+      if (v == target) return true;
+      visited[static_cast<size_t>(v)] = true;
+      queue.push_back(v);
+    }
+  }
+  return false;
+}
+
+}  // namespace paxml

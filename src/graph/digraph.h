@@ -1,0 +1,44 @@
+// Whole-graph directed graphs: the graph family's analogue of xml/tree.h.
+//
+// A Digraph is the pre-partitioning artifact — the single-site view that
+// generators produce and ground-truth evaluation runs against. The
+// distributed representation (graph/store.h) partitions one of these into
+// per-site fragments the same way fragment/fragmenter.cc partitions a Tree.
+
+#ifndef PAXML_GRAPH_DIGRAPH_H_
+#define PAXML_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace paxml {
+
+/// A directed graph over vertices [0, vertex_count). Out-adjacency lists
+/// are sorted and duplicate-free, so equal graphs have equal
+/// representations.
+struct Digraph {
+  int32_t vertex_count = 0;
+  std::vector<std::vector<NodeId>> out;  ///< indexed by tail vertex
+
+  uint64_t edge_count() const {
+    uint64_t n = 0;
+    for (const auto& heads : out) n += heads.size();
+    return n;
+  }
+};
+
+/// A pseudo-random digraph with `vertex_count` vertices and roughly
+/// `avg_out_degree` out-edges per vertex (self-loops and duplicates
+/// dropped). Deterministic in `seed`.
+Digraph RandomDigraph(int32_t vertex_count, double avg_out_degree,
+                      uint64_t seed);
+
+/// Single-site ground truth: true iff `target` is reachable from `source`
+/// (every vertex reaches itself). Out-of-range ids are unreachable.
+bool ReachesBFS(const Digraph& graph, NodeId source, NodeId target);
+
+}  // namespace paxml
+
+#endif  // PAXML_GRAPH_DIGRAPH_H_

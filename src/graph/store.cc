@@ -1,0 +1,216 @@
+#include "graph/store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace paxml {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kStoreName = "graph.paxg";
+constexpr const char* kMagic = "paxml-graph";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+int32_t GraphFragment::LocalIndex(NodeId v) const {
+  auto it = std::lower_bound(vertices.begin(), vertices.end(), v);
+  if (it == vertices.end() || *it != v) return -1;
+  return static_cast<int32_t>(it - vertices.begin());
+}
+
+Result<std::shared_ptr<const GraphFragmentStore>> BuildGraphStore(
+    int32_t vertex_count, std::vector<FragmentId> owner,
+    std::vector<std::pair<NodeId, NodeId>> edges) {
+  if (vertex_count < 0) {
+    return Status::InvalidArgument("graph store: negative vertex count");
+  }
+  if (owner.size() != static_cast<size_t>(vertex_count)) {
+    return Status::InvalidArgument(
+        "graph store: ownership map size does not match vertex count");
+  }
+  FragmentId max_fragment = kNullFragment;
+  for (FragmentId f : owner) {
+    if (f < 0) return Status::InvalidArgument("graph store: negative owner");
+    max_fragment = std::max(max_fragment, f);
+  }
+  const size_t fragment_count =
+      max_fragment == kNullFragment ? 0 : static_cast<size_t>(max_fragment) + 1;
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || u >= vertex_count || v < 0 || v >= vertex_count) {
+      return Status::InvalidArgument("graph store: edge endpoint out of range");
+    }
+  }
+  // Canonical edge order: the store's identity is (owner, sorted deduped
+  // edges), no matter which construction path supplied them.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  auto store = std::make_shared<GraphFragmentStore>();
+  store->vertex_count_ = vertex_count;
+  store->edge_count_ = edges.size();
+  store->owner_ = std::move(owner);
+  store->fragments_.resize(fragment_count);
+
+  // Vertex lists first (global ids ascending), then adjacency in local
+  // indices against them.
+  for (NodeId v = 0; v < vertex_count; ++v) {
+    store->fragments_[static_cast<size_t>(store->owner_[static_cast<size_t>(v)])]
+        .vertices.push_back(v);
+  }
+  for (GraphFragment& frag : store->fragments_) {
+    frag.local_out.resize(frag.vertices.size());
+    frag.cut_out.resize(frag.vertices.size());
+  }
+  for (const auto& [u, v] : edges) {
+    const FragmentId fu = store->owner_[static_cast<size_t>(u)];
+    const FragmentId fv = store->owner_[static_cast<size_t>(v)];
+    GraphFragment& tail = store->fragments_[static_cast<size_t>(fu)];
+    const int32_t lu = tail.LocalIndex(u);
+    if (fu == fv) {
+      tail.local_out[static_cast<size_t>(lu)].push_back(
+          store->fragments_[static_cast<size_t>(fv)].LocalIndex(v));
+    } else {
+      tail.cut_out[static_cast<size_t>(lu)].push_back(v);
+      GraphFragment& head = store->fragments_[static_cast<size_t>(fv)];
+      head.in_boundary.push_back(head.LocalIndex(v));
+    }
+  }
+  // Sorted edge input gives sorted adjacency rows for free; the in-boundary
+  // collects duplicates (one per incoming cut edge) that must go.
+  for (GraphFragment& frag : store->fragments_) {
+    std::sort(frag.in_boundary.begin(), frag.in_boundary.end());
+    frag.in_boundary.erase(
+        std::unique(frag.in_boundary.begin(), frag.in_boundary.end()),
+        frag.in_boundary.end());
+  }
+  store->edges_ = std::move(edges);
+  return std::shared_ptr<const GraphFragmentStore>(std::move(store));
+}
+
+Result<std::shared_ptr<const GraphFragmentStore>> PartitionDigraph(
+    const Digraph& graph, size_t fragment_count, uint64_t seed) {
+  if (fragment_count == 0) {
+    return Status::InvalidArgument("partition: zero fragments");
+  }
+  Rng rng(seed);
+  std::vector<FragmentId> owner(static_cast<size_t>(graph.vertex_count));
+  for (auto& f : owner) {
+    f = static_cast<FragmentId>(rng.NextBounded(fragment_count));
+  }
+  // Fragment ids must be dense (placement maps them to sites), and a
+  // random draw can leave a fragment empty; pinning the first
+  // fragment_count vertices one-per-fragment guarantees every id exists
+  // whenever there are enough vertices.
+  if (static_cast<size_t>(graph.vertex_count) >= fragment_count) {
+    for (size_t f = 0; f < fragment_count; ++f) {
+      owner[f] = static_cast<FragmentId>(f);
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(graph.edge_count());
+  for (NodeId u = 0; u < graph.vertex_count; ++u) {
+    for (NodeId v : graph.out[static_cast<size_t>(u)]) {
+      edges.emplace_back(u, v);
+    }
+  }
+  return BuildGraphStore(graph.vertex_count, std::move(owner),
+                         std::move(edges));
+}
+
+Status SaveGraph(const GraphFragmentStore& store,
+                 const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create directory: " + directory +
+                                   ": " + ec.message());
+  }
+  std::string text;
+  text += StringFormat("%s %d\n", kMagic, kVersion);
+  text += StringFormat("vertices %d\n", store.vertex_count());
+  text += StringFormat("fragments %zu\n", store.fragment_count());
+  text += "owners";
+  for (FragmentId f : store.owners()) text += StringFormat(" %d", f);
+  text += "\n";
+  text += StringFormat("edges %zu\n", store.edges().size());
+  for (const auto& [u, v] : store.edges()) {
+    text += StringFormat("%d %d\n", u, v);
+  }
+  const fs::path path = fs::path(directory) / kStoreName;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path.string());
+  }
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::Internal("short write: " + path.string());
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const GraphFragmentStore>> LoadGraph(
+    const std::string& directory) {
+  const fs::path path = fs::path(directory) / kStoreName;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path.string());
+
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic || version != kVersion) {
+    return Status::ParseError("graph store: bad header: " + path.string());
+  }
+  std::string keyword;
+  int32_t vertex_count = 0;
+  size_t fragment_count = 0;
+  if (!(in >> keyword >> vertex_count) || keyword != "vertices" ||
+      vertex_count < 0) {
+    return Status::ParseError("graph store: bad vertex count");
+  }
+  if (!(in >> keyword >> fragment_count) || keyword != "fragments") {
+    return Status::ParseError("graph store: bad fragment count");
+  }
+  if (!(in >> keyword) || keyword != "owners") {
+    return Status::ParseError("graph store: missing owners");
+  }
+  std::vector<FragmentId> owner(static_cast<size_t>(vertex_count));
+  for (auto& f : owner) {
+    if (!(in >> f) || f < 0 || static_cast<size_t>(f) >= fragment_count) {
+      return Status::ParseError("graph store: bad owner entry");
+    }
+  }
+  size_t edge_count = 0;
+  if (!(in >> keyword >> edge_count) || keyword != "edges") {
+    return Status::ParseError("graph store: bad edge count");
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(edge_count);
+  for (size_t e = 0; e < edge_count; ++e) {
+    NodeId u, v;
+    if (!(in >> u >> v)) {
+      return Status::ParseError("graph store: truncated edge list");
+    }
+    edges.emplace_back(u, v);
+  }
+  PAXML_ASSIGN_OR_RETURN(
+      std::shared_ptr<const GraphFragmentStore> store,
+      BuildGraphStore(vertex_count, std::move(owner), std::move(edges)));
+  // The owner map defines the fragment count; a declared count it cannot
+  // reproduce (trailing ownerless fragments) is a corrupt file, not a
+  // store the canonical builder can express.
+  if (store->fragment_count() != fragment_count) {
+    return Status::ParseError("graph store: fragment count does not match owners");
+  }
+  return store;
+}
+
+bool IsGraphStoreDir(const std::string& directory) {
+  std::error_code ec;
+  return fs::exists(fs::path(directory) / kStoreName, ec);
+}
+
+}  // namespace paxml

@@ -170,8 +170,8 @@ std::vector<SiteId> Coordinator::SitesOf(
 
 std::vector<SiteId> Coordinator::AllSites() const {
   std::vector<FragmentId> all;
-  all.reserve(cluster_->doc().size());
-  for (size_t f = 0; f < cluster_->doc().size(); ++f) {
+  all.reserve(cluster_->fragment_count());
+  for (size_t f = 0; f < cluster_->fragment_count(); ++f) {
     all.push_back(static_cast<FragmentId>(f));
   }
   return SitesOf(all);

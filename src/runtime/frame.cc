@@ -125,7 +125,7 @@ Result<Frame> Frame::Decode(ByteReader* in) {
     for (uint64_t p = 0; p < part_count; ++p) {
       WirePart part;
       PAXML_ASSIGN_OR_RETURN(uint8_t kind, in->GetU8());
-      if (kind > static_cast<uint8_t>(MessageKind::kDataShip)) {
+      if (kind > static_cast<uint8_t>(MessageKind::kReachUp)) {
         return Status::ParseError("frame: bad message kind");
       }
       part.kind = static_cast<MessageKind>(kind);

@@ -75,6 +75,7 @@ FragmentId EnvelopeLane(const Envelope& env) {
       case MessageKind::kDataRequest:
       case MessageKind::kQualDown:
       case MessageKind::kSelDown:
+      case MessageKind::kReachRequest:
         break;
       default:
         return kNullFragment;

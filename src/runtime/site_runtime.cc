@@ -1,6 +1,5 @@
 #include "runtime/site_runtime.h"
 
-#include "common/string_util.h"
 #include "sim/cluster.h"
 
 namespace paxml {
@@ -48,47 +47,6 @@ void EnvelopeStream::Close() {
   }
 }
 
-namespace {
-
-Status Unhandled(const char* what) {
-  return Status::NotImplemented(
-      StringFormat("algorithm installed no handler for %s messages", what));
-}
-
-}  // namespace
-
-Status MessageHandlers::OnQueryShip(SiteContext&) { return Status::OK(); }
-Status MessageHandlers::OnQualRequest(SiteContext&, FragmentId) {
-  return Unhandled("qual-request");
-}
-Status MessageHandlers::OnSelRequest(SiteContext&, FragmentId) {
-  return Unhandled("sel-request");
-}
-Status MessageHandlers::OnAnswerRequest(SiteContext&, FragmentId) {
-  return Unhandled("answer-request");
-}
-Status MessageHandlers::OnDataRequest(SiteContext&, FragmentId) {
-  return Unhandled("data-request");
-}
-Status MessageHandlers::OnQualDown(SiteContext&, QualDownMessage) {
-  return Unhandled("qual-down");
-}
-Status MessageHandlers::OnSelDown(SiteContext&, SelDownMessage) {
-  return Unhandled("sel-down");
-}
-Status MessageHandlers::OnQualUp(SiteContext&, QualUpMessage) {
-  return Unhandled("qual-up");
-}
-Status MessageHandlers::OnSelUp(SiteContext&, SelUpMessage) {
-  return Unhandled("sel-up");
-}
-Status MessageHandlers::OnAnswerUp(SiteContext&, AnswerUpMessage) {
-  return Unhandled("answer-up");
-}
-Status MessageHandlers::OnDataShip(SiteContext&, FragmentId, uint64_t) {
-  return Unhandled("data-ship");
-}
-
 const std::vector<FragmentId>& SiteRuntime::fragments() const {
   return ctx_.cluster().fragments_at(ctx_.site());
 }
@@ -96,63 +54,10 @@ const std::vector<FragmentId>& SiteRuntime::fragments() const {
 Status SiteRuntime::Deliver(std::vector<Envelope> mail) {
   for (const Envelope& env : mail) {
     for (const WirePart& part : env.parts) {
-      PAXML_RETURN_NOT_OK(DispatchPart(env, part));
+      PAXML_RETURN_NOT_OK(handlers_->OnPart(ctx_, env, part));
     }
   }
   return Status::OK();
-}
-
-Status SiteRuntime::DispatchPart(const Envelope& env, const WirePart& part) {
-  switch (part.kind) {
-    case MessageKind::kQueryShip:
-      return handlers_->OnQueryShip(ctx_);
-    case MessageKind::kQualRequest:
-      return handlers_->OnQualRequest(ctx_, part.fragment);
-    case MessageKind::kSelRequest:
-      return handlers_->OnSelRequest(ctx_, part.fragment);
-    case MessageKind::kAnswerRequest:
-      return handlers_->OnAnswerRequest(ctx_, part.fragment);
-    case MessageKind::kDataRequest:
-      return handlers_->OnDataRequest(ctx_, part.fragment);
-    case MessageKind::kQualDown: {
-      ByteReader reader(part.bytes);
-      PAXML_ASSIGN_OR_RETURN(QualDownMessage m, QualDownMessage::Decode(&reader));
-      return handlers_->OnQualDown(ctx_, std::move(m));
-    }
-    case MessageKind::kSelDown: {
-      ByteReader reader(part.bytes);
-      PAXML_ASSIGN_OR_RETURN(SelDownMessage m, SelDownMessage::Decode(&reader));
-      return handlers_->OnSelDown(ctx_, std::move(m));
-    }
-    case MessageKind::kQualUp: {
-      FormulaArena* arena = handlers_->DecodeArena();
-      if (arena == nullptr) {
-        return Status::Internal("qual-up delivered but no decode arena");
-      }
-      ByteReader reader(part.bytes);
-      PAXML_ASSIGN_OR_RETURN(QualUpMessage m,
-                             QualUpMessage::Decode(arena, &reader));
-      return handlers_->OnQualUp(ctx_, std::move(m));
-    }
-    case MessageKind::kSelUp: {
-      FormulaArena* arena = handlers_->DecodeArena();
-      if (arena == nullptr) {
-        return Status::Internal("sel-up delivered but no decode arena");
-      }
-      ByteReader reader(part.bytes);
-      PAXML_ASSIGN_OR_RETURN(SelUpMessage m, SelUpMessage::Decode(arena, &reader));
-      return handlers_->OnSelUp(ctx_, std::move(m));
-    }
-    case MessageKind::kAnswerUp: {
-      ByteReader reader(part.bytes);
-      PAXML_ASSIGN_OR_RETURN(AnswerUpMessage m,
-                             AnswerUpMessage::Decode(&reader));
-      return handlers_->OnAnswerUp(ctx_, std::move(m));
-    }
-    case MessageKind::kDataShip:
-      return handlers_->OnDataShip(ctx_, part.fragment, env.phantom_bytes);
-  }
-  return Status::Internal("unknown message kind");
 }
 
 }  // namespace paxml

@@ -1,10 +1,13 @@
 // SiteRuntime: message-driven execution at one site.
 //
-// A SiteRuntime owns a site's fragment list and turns delivered envelopes
-// back into typed messages: wire parts are decoded (QualUp/SelUp into the
-// handler-provided arena, the boolean down-messages standalone) and
-// dispatched, in arrival order, to the algorithm's MessageHandlers. The
-// same dispatch path serves both roles of the protocol — worker sites
+// A SiteRuntime owns a site's fragment list and hands delivered envelopes,
+// in arrival order, to the algorithm's MessageHandlers — one part at a
+// time, with the envelope for context. The runtime never decodes a part's
+// payload: what the bytes mean is the workload family's business
+// (core/xml_handlers.h decodes the XML wire formats of core/messages.h;
+// the graph family decodes its reachability rows), which is what keeps
+// this layer free of data-model headers (DESIGN.md §11). The same
+// dispatch path serves both roles of the protocol — worker sites
 // (requests and down-messages, running on transport worker threads) and the
 // coordinator (up-messages, running on the driver thread after each round)
 // — so an algorithm is exactly its set of handlers plus a Coordinator
@@ -17,7 +20,6 @@
 #include <vector>
 
 #include "common/result.h"
-#include "core/messages.h"
 #include "runtime/transport.h"
 
 namespace paxml {
@@ -106,57 +108,38 @@ class EnvelopeStream {
   bool closed_ = false;
 };
 
-/// Algorithm-provided typed message handlers.
+/// Algorithm-provided message handlers: the workload seam. One pure
+/// virtual receives every routed part; a family's base class (e.g.
+/// core/xml_handlers.h's XmlMessageHandlers) decodes its payload kinds
+/// into typed callbacks on top of this.
 ///
 /// Threading contract: site-side handlers (requests, down-messages) run on
 /// transport worker threads, and — with site_threads > 1 — handlers for
 /// *different fragments of one site* run concurrently within a round
 /// (runtime/site_driver.h). An algorithm must therefore confine site-side
 /// mutable state to per-fragment slots: a handler addressed to fragment f
-/// may touch only f's state (plus the const document/query). One fragment's
+/// may touch only f's state (plus the const data/query). One fragment's
 /// mail is never processed concurrently with itself, and within-envelope
 /// part order is preserved (a SelDown riding ahead of the AnswerRequest in
-/// the same envelope still lands first). All four shipped algorithms
-/// (core/{pax2,pax3,naive,parbox}.cc) satisfy this: their site-side state
-/// lives in per-fragment state_[f] vectors sized at construction.
-/// Coordinator-side handlers (up-messages, query/data ships) always run
-/// single-threaded on the driver thread and may keep cross-fragment state
-/// (unifier, answer assembly) unlocked.
+/// the same envelope still lands first). All shipped algorithm families
+/// (core/{pax2,pax3,naive,parbox,reach}.cc) satisfy this: their site-side
+/// state lives in per-fragment slots sized at construction (the graph
+/// family's site side is read-only). Coordinator-side handlers
+/// (up-messages, query/data ships) always run single-threaded on the
+/// driver thread and may keep cross-fragment state (unifier, answer
+/// assembly) unlocked.
 class MessageHandlers {
  public:
   virtual ~MessageHandlers() = default;
 
-  /// Arena that decoded QualUp/SelUp formulas are interned into. Must be
-  /// overridden by algorithms whose coordinator receives formula-bearing
-  /// messages.
-  virtual FormulaArena* DecodeArena() { return nullptr; }
-
-  /// The query text arrived. Purely a cost-model event in the simulator
-  /// (every handler object already knows its CompiledQuery), hence a no-op
-  /// default.
-  virtual Status OnQueryShip(SiteContext& ctx);
-
-  // Control plane, coordinator -> site.
-  virtual Status OnQualRequest(SiteContext& ctx, FragmentId fragment);
-  virtual Status OnSelRequest(SiteContext& ctx, FragmentId fragment);
-  virtual Status OnAnswerRequest(SiteContext& ctx, FragmentId fragment);
-  virtual Status OnDataRequest(SiteContext& ctx, FragmentId fragment);
-
-  // Resolved values, coordinator -> site.
-  virtual Status OnQualDown(SiteContext& ctx, QualDownMessage message);
-  virtual Status OnSelDown(SiteContext& ctx, SelDownMessage message);
-
-  // Partial answers, site -> coordinator.
-  virtual Status OnQualUp(SiteContext& ctx, QualUpMessage message);
-  virtual Status OnSelUp(SiteContext& ctx, SelUpMessage message);
-  virtual Status OnAnswerUp(SiteContext& ctx, AnswerUpMessage message);
-
-  /// Raw tree data arrived (naive baseline; `bytes` is the modeled size).
-  virtual Status OnDataShip(SiteContext& ctx, FragmentId fragment,
-                            uint64_t bytes);
+  /// One routed part of one envelope, in arrival order. `env` provides the
+  /// routing context (from/to, phantom bytes); `part` the kind, fragment
+  /// address and opaque payload bytes. The handler owns all decoding.
+  virtual Status OnPart(SiteContext& ctx, const Envelope& env,
+                        const WirePart& part) = 0;
 };
 
-/// Decode-and-dispatch endpoint for one site.
+/// Dispatch endpoint for one site.
 class SiteRuntime {
  public:
   SiteRuntime(SiteId site, const Cluster* cluster, Transport* transport,
@@ -168,12 +151,10 @@ class SiteRuntime {
   /// Fragments placed at this site.
   const std::vector<FragmentId>& fragments() const;
 
-  /// Decodes and dispatches `mail` in order; stops at the first error.
+  /// Dispatches `mail` part by part, in order; stops at the first error.
   Status Deliver(std::vector<Envelope> mail);
 
  private:
-  Status DispatchPart(const Envelope& env, const WirePart& part);
-
   SiteContext ctx_;
   MessageHandlers* handlers_;
 };

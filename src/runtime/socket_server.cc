@@ -201,11 +201,23 @@ Status SiteServer::ServeConnection(int fd) {
         state.local_run = plane->OpenRun(cluster_, &state.stats);
         plane->Register(state.local_run, open.run);
 
+        // Workload fingerprint first: a peer serving the other data model
+        // reports the real mismatch immediately (and by name), instead of
+        // a shape complaint or a compile failure deep in the program
+        // factory.
+        if (open.spec.family != cluster_->data().family()) {
+          state.broken = Status::InvalidArgument(
+              "workload mismatch: run is \"" + open.spec.family +
+              "\" but this peer serves \"" +
+              std::string(cluster_->data().family()) + "\" data");
+          return send_error(open.run, state.broken.message());
+        }
+
         // Placement fingerprint: a peer serving a different cluster must
         // fail loudly at the first delivery, not answer from divergent
         // data.
         if (open.site_count != cluster_->site_count() ||
-            open.placement.size() != cluster_->doc().size()) {
+            open.placement.size() != cluster_->fragment_count()) {
           state.broken = Status::InvalidArgument(
               "cluster shape mismatch between client and peer");
         } else {

@@ -232,8 +232,8 @@ void SocketTransport::RunOpened(RunId run, const Cluster* cluster,
   record.run = run;
   if (spec != nullptr) record.spec = *spec;
   record.site_count = static_cast<uint32_t>(cluster->site_count());
-  record.placement.reserve(cluster->doc().size());
-  for (size_t f = 0; f < cluster->doc().size(); ++f) {
+  record.placement.reserve(cluster->fragment_count());
+  for (size_t f = 0; f < cluster->fragment_count(); ++f) {
     record.placement.push_back(cluster->site_of(static_cast<FragmentId>(f)));
   }
   std::string bytes;

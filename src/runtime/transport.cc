@@ -24,6 +24,8 @@ const char* MessageKindName(MessageKind kind) {
     case MessageKind::kQualDown: return "qual-down";
     case MessageKind::kSelDown: return "sel-down";
     case MessageKind::kDataShip: return "data-ship";
+    case MessageKind::kReachRequest: return "reach-request";
+    case MessageKind::kReachUp: return "reach-up";
   }
   return "?";
 }

@@ -60,8 +60,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/ids.h"
+#include "common/result.h"
 #include "sim/stats.h"
-#include "xml/tree.h"
 
 namespace paxml {
 
@@ -74,8 +75,10 @@ struct Frame;
 using RunId = uint64_t;
 inline constexpr RunId kNullRun = 0;
 
-/// Discriminates the typed chunks inside an Envelope. The *Up/*Down kinds
-/// carry the wire formats of core/messages.h; the rest are control plane.
+/// Discriminates the typed chunks inside an Envelope. The runtime never
+/// decodes the payload kinds — each workload family's handlers do
+/// (core/xml_handlers.h for the XML wire formats, core/reach.cc for the
+/// graph rows); here they are opaque routed bytes.
 enum class MessageKind : uint8_t {
   kQueryShip = 0,   ///< the query text travels to a site (phantom bytes)
   kQualRequest,     ///< start the qualifier stage for one fragment
@@ -88,23 +91,32 @@ enum class MessageKind : uint8_t {
   kQualDown,        ///< QualDownMessage
   kSelDown,         ///< SelDownMessage
   kDataShip,        ///< raw tree data (phantom bytes; naive baseline)
+  kReachRequest,    ///< start local reachability partial evaluation (graph)
+  kReachUp,         ///< boolean-equation rows of one graph fragment
 };
 
 const char* MessageKindName(MessageKind kind);
 
 /// What a remote peer needs to reconstruct one evaluation's site-side
-/// program: the algorithm (an AlgorithmName() string — "PaX2", "PaX3",
-/// "NaiveCentralized", "ParBoX"), the query source text and the options
+/// program: the workload family, the algorithm within it (an
+/// AlgorithmName() string — "PaX2", "PaX3", "NaiveCentralized", "ParBoX"
+/// for "xml"; "Reach" for "graph"), the query source text and the options
 /// that change site-side behavior. In-process backends ignore it; the
 /// socket backend ships it in the run-open control record, and the peer
-/// compiles the query against its own copy of the document (deterministic:
+/// compiles the query against its own copy of the data (deterministic:
 /// both sides derive identical pruning, stack inits and wire encodings).
-/// core/site_program.h turns a spec back into handlers.
+/// core/workload.h turns a spec back into handlers via the per-family
+/// registry.
 struct RunSpec {
   std::string algorithm;
   std::string query;
   bool use_annotations = false;
   uint8_t ship_mode = 0;  ///< AnswerShipMode as its wire value
+
+  /// Workload family of the run ("xml", "graph"); selects the registered
+  /// program builder. Last member with a default so existing four-field
+  /// aggregate initializers keep meaning an XML run.
+  std::string family = "xml";
 };
 
 /// Which RunStats bucket an envelope's bytes land in (besides total_bytes).

@@ -181,6 +181,7 @@ void OpenRunRecord::Encode(ByteWriter* out) const {
   out->PutString(spec.query);
   out->PutU8(spec.use_annotations ? 1 : 0);
   out->PutU8(spec.ship_mode);
+  out->PutString(spec.family);
   out->PutU32(site_count);
   out->PutVarint(placement.size());
   for (SiteId s : placement) out->PutVarint(EncodeId(s));
@@ -195,6 +196,7 @@ Result<OpenRunRecord> OpenRunRecord::Decode(ByteReader* in) {
   if (annotations > 1) return Status::ParseError("wire: bad annotation flag");
   r.spec.use_annotations = annotations != 0;
   PAXML_ASSIGN_OR_RETURN(r.spec.ship_mode, in->GetU8());
+  PAXML_ASSIGN_OR_RETURN(r.spec.family, in->GetString());
   PAXML_ASSIGN_OR_RETURN(r.site_count, in->GetU32());
   PAXML_ASSIGN_OR_RETURN(uint64_t fragments, in->GetVarint());
   if (fragments > in->remaining()) {

@@ -36,7 +36,8 @@ namespace paxml {
 
 /// Bumped on any incompatible change; peers reject a mismatch at Hello.
 /// v2: HelloRecord grew site_threads (intra-site parallel delivery).
-inline constexpr uint32_t kWireProtocolVersion = 2;
+/// v3: OpenRunRecord carries RunSpec::family (workload fingerprint).
+inline constexpr uint32_t kWireProtocolVersion = 3;
 
 /// Upper bound on one record's length field: a corrupt length must be a
 /// parse error, not a gigabyte allocation.

@@ -8,20 +8,32 @@
 
 namespace paxml {
 
-Cluster::Cluster(std::shared_ptr<const FragmentedDocument> doc,
+Cluster::Cluster(std::shared_ptr<const WorkloadData> data,
                  size_t site_count, ClusterOptions options)
-    : doc_(std::move(doc)), site_count_(site_count), options_(options) {
+    : data_(std::move(data)), site_count_(site_count), options_(options) {
   PAXML_CHECK_GT(site_count_, 0u);
   if (options_.simulated_network.has_value()) {
     PAXML_CHECK(options_.simulated_network->Valid());
   }
-  placement_.assign(doc_->size(), kNullSite);
+  placement_.assign(data_->fragment_count(), kNullSite);
   by_site_.assign(site_count_, {});
   PlaceRoundRobin();
 }
 
+const FragmentedDocument& Cluster::doc() const {
+  // The downcast is safe exactly when the family tag says so; a graph
+  // cluster reaching an XML-only code path is a caller bug, not wire input.
+  PAXML_CHECK(data_->family() == kXmlWorkloadFamily);
+  return static_cast<const FragmentedDocument&>(*data_);
+}
+
+std::shared_ptr<const FragmentedDocument> Cluster::doc_ptr() const {
+  PAXML_CHECK(data_->family() == kXmlWorkloadFamily);
+  return std::static_pointer_cast<const FragmentedDocument>(data_);
+}
+
 Status Cluster::Place(FragmentId f, SiteId s) {
-  if (f < 0 || static_cast<size_t>(f) >= doc_->size()) {
+  if (f < 0 || static_cast<size_t>(f) >= data_->fragment_count()) {
     return Status::InvalidArgument(StringFormat("bad fragment id %d", f));
   }
   if (s < 0 || static_cast<size_t>(s) >= site_count_) {
@@ -38,7 +50,7 @@ Status Cluster::Place(FragmentId f, SiteId s) {
 }
 
 void Cluster::PlaceRoundRobin() {
-  for (size_t f = 0; f < doc_->size(); ++f) {
+  for (size_t f = 0; f < data_->fragment_count(); ++f) {
     PAXML_CHECK(Place(static_cast<FragmentId>(f),
                       static_cast<SiteId>(f % site_count_))
                     .ok());
@@ -62,12 +74,12 @@ std::shared_ptr<WorkerPool> Cluster::site_worker_pool() const {
 void Cluster::PlaceRootAndSpread() {
   PAXML_CHECK(Place(0, 0).ok());
   if (site_count_ == 1) {
-    for (size_t f = 1; f < doc_->size(); ++f) {
+    for (size_t f = 1; f < data_->fragment_count(); ++f) {
       PAXML_CHECK(Place(static_cast<FragmentId>(f), 0).ok());
     }
     return;
   }
-  for (size_t f = 1; f < doc_->size(); ++f) {
+  for (size_t f = 1; f < data_->fragment_count(); ++f) {
     const SiteId s = static_cast<SiteId>(1 + (f - 1) % (site_count_ - 1));
     PAXML_CHECK(Place(static_cast<FragmentId>(f), s).ok());
   }

@@ -1,7 +1,11 @@
-// A simulated cluster of sites holding fragments of one document.
+// A simulated cluster of sites holding fragments of one workload.
 //
 // Substitutes the paper's ten-machine LAN (see DESIGN.md §5): placement of
-// fragments on in-process sites. Execution lives in src/runtime — a
+// fragments on in-process sites. The cluster is workload-agnostic — it
+// holds an abstract WorkloadData (an XML FragmentedDocument, a partitioned
+// graph store) and only needs its fragment count; XML-aware callers
+// downcast back through doc(), graph callers through GraphOf()
+// (DESIGN.md §11). Execution lives in src/runtime — a
 // Coordinator drives message rounds over a Transport whose backends deliver
 // site mail sequentially (SyncTransport) or on a persistent worker pool
 // (PooledTransport). The guarantees under test (visits, communication
@@ -19,6 +23,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/workload_data.h"
 #include "fragment/fragment.h"
 #include "sim/stats.h"
 
@@ -44,12 +49,13 @@ struct ClusterOptions {
   std::optional<NetworkCostModel> simulated_network;
 };
 
-/// Placement plus execution engine for one fragmented document.
+/// Placement plus execution engine for one fragmented workload.
 class Cluster {
  public:
-  /// Creates a cluster of `site_count` sites over `doc`. The document is
-  /// shared; sites only read their fragments.
-  Cluster(std::shared_ptr<const FragmentedDocument> doc, size_t site_count,
+  /// Creates a cluster of `site_count` sites over `data` (any workload; an
+  /// XML FragmentedDocument converts implicitly). The data is shared;
+  /// sites only read their fragments.
+  Cluster(std::shared_ptr<const WorkloadData> data, size_t site_count,
           ClusterOptions options = {});
 
   /// Assigns fragment `f` to site `s` (default placement: fragment i on
@@ -65,8 +71,16 @@ class Cluster {
   void PlaceRootAndSpread();
 
   size_t site_count() const { return site_count_; }
-  const FragmentedDocument& doc() const { return *doc_; }
-  const std::shared_ptr<const FragmentedDocument>& doc_ptr() const { return doc_; }
+
+  /// The workload this cluster places, and the fragment count that sizes
+  /// its placement (the only two things placement and runtime need).
+  const WorkloadData& data() const { return *data_; }
+  size_t fragment_count() const { return data_->fragment_count(); }
+
+  /// The XML document this cluster serves. PAXML_CHECKs that the workload
+  /// family is "xml" — graph clusters must go through GraphOf() instead.
+  const FragmentedDocument& doc() const;
+  std::shared_ptr<const FragmentedDocument> doc_ptr() const;
 
   SiteId site_of(FragmentId f) const {
     return placement_[static_cast<size_t>(f)];
@@ -95,7 +109,7 @@ class Cluster {
   std::shared_ptr<WorkerPool> site_worker_pool() const;
 
  private:
-  std::shared_ptr<const FragmentedDocument> doc_;
+  std::shared_ptr<const WorkloadData> data_;
   size_t site_count_;
   ClusterOptions options_;
   std::vector<SiteId> placement_;           // fragment -> site

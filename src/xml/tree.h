@@ -22,18 +22,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ids.h"
 #include "common/status.h"
 #include "xml/symbol_table.h"
 
 namespace paxml {
 
-/// Index of a node within its Tree's arena.
-using NodeId = int32_t;
-inline constexpr NodeId kNullNode = -1;
-
-/// Id of a fragment within a fragmented document (see src/fragment).
-using FragmentId = int32_t;
-inline constexpr FragmentId kNullFragment = -1;
+// NodeId / FragmentId live in common/ids.h (shared with the graph
+// workload; the runtime layer routes by them without this header).
 
 enum class NodeKind : uint8_t {
   kElement = 0,

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,7 +69,7 @@ Frame RandomFrame(Rng& rng) {
     for (size_t p = 0; p < parts; ++p) {
       WirePart part;
       part.kind = static_cast<MessageKind>(
-          rng.NextBounded(static_cast<uint64_t>(MessageKind::kDataShip) + 1));
+          rng.NextBounded(static_cast<uint64_t>(MessageKind::kReachUp) + 1));
       part.fragment = rng.NextBool(0.2)
                           ? kNullFragment
                           : static_cast<FragmentId>(rng.NextBounded(64));
@@ -783,8 +784,25 @@ TEST(ControlRecordTest, RoundTrip) {
     EXPECT_EQ(d->spec.query, r.spec.query);
     EXPECT_EQ(d->spec.use_annotations, r.spec.use_annotations);
     EXPECT_EQ(d->spec.ship_mode, r.spec.ship_mode);
+    EXPECT_EQ(d->spec.family, "xml");  // the default fingerprint
     EXPECT_EQ(d->site_count, r.site_count);
     EXPECT_EQ(d->placement, r.placement);
+  }
+  {
+    // A graph-family run announces its workload in the fingerprint.
+    OpenRunRecord r;
+    r.run = 5;
+    r.spec = {"Reach", "reach 0 7", false, 0, "graph"};
+    r.site_count = 4;
+    r.placement = {0, 1, 2, 3};
+    ByteWriter w;
+    r.Encode(&w);
+    ByteReader reader(w.bytes());
+    auto d = OpenRunRecord::Decode(&reader);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->spec.algorithm, "Reach");
+    EXPECT_EQ(d->spec.query, "reach 0 7");
+    EXPECT_EQ(d->spec.family, "graph");
   }
   {
     RoundDoneRecord r;
@@ -803,6 +821,87 @@ TEST(ControlRecordTest, RoundTrip) {
     EXPECT_EQ(d->status.code(), StatusCode::kInternal);
     EXPECT_EQ(d->status.message(), "handler failed");
   }
+}
+
+// ---- Graph message kinds on the shared wire ---------------------------------
+
+// The reachability family reuses the frame plane unchanged; its kinds must
+// be first-class citizens of the codec and the name table.
+TEST(MessageKindTest, NamesCoverEveryKindThroughReachUp) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(MessageKind::kReachUp); ++k) {
+    EXPECT_STRNE(MessageKindName(static_cast<MessageKind>(k)), "?")
+        << "unnamed kind " << int(k);
+  }
+  EXPECT_STREQ(MessageKindName(MessageKind::kReachRequest), "reach-request");
+  EXPECT_STREQ(MessageKindName(MessageKind::kReachUp), "reach-up");
+}
+
+Frame MakeReachFrame() {
+  Frame frame;
+  frame.run = 1;
+  frame.from = 1;
+  frame.to = 0;
+  frame.sequence = 0;
+  Envelope env;
+  env.run = 1;
+  env.from = 1;
+  env.to = 0;
+  env.accounted = true;
+  env.parts.push_back({MessageKind::kReachUp, 0, "zz", true});
+  frame.envelopes.push_back(std::move(env));
+  return frame;
+}
+
+// A kind byte one past kReachUp is the first invalid value: the decoder
+// must reject it (the bound moved when the reach kinds were added; this
+// pins it to the new end of the enum).
+TEST(FrameCodecTest, KindPastReachUpIsACleanParseError) {
+  Frame frame = MakeReachFrame();
+  ByteWriter encoded;
+  frame.Encode(&encoded);
+
+  // The payload "zz" and the small header values never collide with the
+  // kReachUp byte, so it appears exactly once in the encoding.
+  std::string wire(encoded.bytes());
+  const char kind_byte = static_cast<char>(MessageKind::kReachUp);
+  ASSERT_EQ(std::count(wire.begin(), wire.end(), kind_byte), 1);
+  wire[wire.find(kind_byte)] = kind_byte + 1;
+
+  ByteReader reader(wire);
+  auto decoded = Frame::Decode(&reader);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+// Every strict prefix of a reach frame fails decode cleanly — truncation
+// is an error, never a crash or a bogus frame.
+TEST(FrameCodecTest, TruncatedReachFrameIsACleanParseError) {
+  Frame frame = MakeReachFrame();
+  ByteWriter encoded;
+  frame.Encode(&encoded);
+  const std::string_view wire = encoded.bytes();
+  for (size_t len = 0; len < wire.size(); ++len) {
+    ByteReader reader(wire.substr(0, len));
+    auto decoded = Frame::Decode(&reader);
+    // A prefix either fails outright or decodes short (trailing bytes of
+    // the full frame unread); it never reproduces the original.
+    if (decoded.ok()) {
+      ByteWriter re;
+      decoded->Encode(&re);
+      EXPECT_NE(re.bytes(), wire) << "at length " << len;
+    }
+  }
+}
+
+// A replayed reach frame hits the same per-edge sequence guard as the XML
+// kinds: duplicates are a network error, not a double delivery.
+TEST(FrameReassemblerTest, DuplicateReachSequenceIsRejected) {
+  FrameReassembler reasm;
+  Frame frame = MakeReachFrame();
+  ASSERT_TRUE(reasm.Accept(frame).ok());
+  Status dup = reasm.Accept(frame);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kNetworkError);
 }
 
 TEST(FrameReassemblerTest, AcceptsConsecutivePerEdgeSequences) {

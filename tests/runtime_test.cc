@@ -32,6 +32,14 @@ std::shared_ptr<FragmentedDocument> MakeClienteleDoc() {
   return std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
 }
 
+/// Accepts (and drops) every part — for tests that only exercise the
+/// coordinator/transport machinery.
+struct NullHandlers : MessageHandlers {
+  Status OnPart(SiteContext&, const Envelope&, const WirePart&) override {
+    return Status::OK();
+  }
+};
+
 Envelope PayloadEnvelope(RunId run, SiteId from, SiteId to, std::string bytes,
                          PayloadCategory category = PayloadCategory::kControl) {
   Envelope env;
@@ -341,7 +349,7 @@ TEST(CoordinatorTest, SitesOfDeduplicatesAndSorts) {
   auto doc = MakeClienteleDoc();
   Cluster c(doc, 2);  // round robin: F0,F2,F4 -> S0; F1,F3 -> S1
   SyncTransport transport;
-  MessageHandlers handlers;
+  NullHandlers handlers;
   Coordinator coord(&c, &transport, &handlers);
   EXPECT_EQ(coord.SitesOf({0, 2, 4}), (std::vector<SiteId>{0}));
   EXPECT_EQ(coord.SitesOf({4, 1, 0, 3}), (std::vector<SiteId>{0, 1}));
@@ -355,7 +363,7 @@ TEST(CoordinatorTest, EmptyRoundIsNotCounted) {
   auto doc = MakeClienteleDoc();
   Cluster c(doc, 2);
   SyncTransport transport;
-  MessageHandlers handlers;
+  NullHandlers handlers;
   Coordinator coord(&c, &transport, &handlers);
 
   ASSERT_TRUE(coord.RunRound("pruned-out-stage", {}).ok());
@@ -376,7 +384,7 @@ TEST(CoordinatorTest, CoordinatorsOpenAndCloseTheirRuns) {
   auto doc = MakeClienteleDoc();
   Cluster c(doc, 2);
   SyncTransport transport;
-  MessageHandlers handlers;
+  NullHandlers handlers;
   {
     Coordinator a(&c, &transport, &handlers);
     Coordinator b(&c, &transport, &handlers);

@@ -1,14 +1,19 @@
 // paxml_site: one deployed site of a multi-process paxml engine.
 //
-//   $ paxml_site FRAGDIR --site N --sites K --placement 0,1,1,2,...
+//   $ paxml_site DATADIR --site N --sites K --placement 0,1,1,2,...
 //                [--host 127.0.0.1] [--port P] [--threads T]
 //
-// Loads the fragment directory written by paxml_fragment / SaveDocument
-// (every machine of a deployment holds the same directory; loading only a
-// site's own fragments is a ROADMAP follow-on), reconstructs the cluster
-// the client describes — K sites, the given fragment->site placement, which
-// must match the client's bit for bit — and serves its site's share of
-// every announced evaluation over TCP (runtime/socket_server.h).
+// Serves either workload family: a directory written by SaveDocument (XML
+// fragments; every machine of a deployment holds the same directory;
+// loading only a site's own fragments is a ROADMAP follow-on) or one
+// written by SaveGraph (a partitioned digraph, detected by its graph.paxg
+// store file). Reconstructs the cluster the client describes — K sites,
+// the given fragment->site placement, which must match the client's bit
+// for bit — and serves its site's share of every announced evaluation over
+// TCP (runtime/socket_server.h); the workload registry (core/workload.h)
+// resolves each announced RunSpec to the right family's program, and a
+// client evaluating the other family is rejected with a workload-mismatch
+// error.
 //
 // After binding it prints one line to stdout:
 //
@@ -30,8 +35,10 @@
 #include <string>
 #include <vector>
 
-#include "core/site_program.h"
+#include "common/workload_data.h"
+#include "core/workload.h"
 #include "fragment/storage.h"
+#include "graph/store.h"
 #include "runtime/socket_server.h"
 #include "sim/cluster.h"
 
@@ -41,8 +48,22 @@ namespace {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: paxml_site FRAGDIR --site N --sites K "
+               "usage: paxml_site DATADIR --site N --sites K "
                "--placement 0,1,... [--host H] [--port P] [--threads T]\n");
+}
+
+/// Loads whichever workload the directory holds: a graph store when its
+/// marker file is present, XML fragments otherwise.
+Result<std::shared_ptr<const WorkloadData>> LoadWorkload(
+    const std::string& dir) {
+  if (IsGraphStoreDir(dir)) {
+    PAXML_ASSIGN_OR_RETURN(std::shared_ptr<const GraphFragmentStore> store,
+                           LoadGraph(dir));
+    return std::shared_ptr<const WorkloadData>(std::move(store));
+  }
+  PAXML_ASSIGN_OR_RETURN(FragmentedDocument doc, LoadDocument(dir));
+  return std::shared_ptr<const WorkloadData>(
+      std::make_shared<FragmentedDocument>(std::move(doc)));
 }
 
 bool ParsePlacement(const char* text, std::vector<SiteId>* out) {
@@ -100,18 +121,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto doc_r = LoadDocument(dir);
-  if (!doc_r.ok()) {
+  auto data_r = LoadWorkload(dir);
+  if (!data_r.ok()) {
     std::fprintf(stderr, "paxml_site: load error: %s\n",
-                 doc_r.status().ToString().c_str());
+                 data_r.status().ToString().c_str());
     return 1;
   }
-  auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
-  if (placement.size() != doc->size()) {
+  std::shared_ptr<const WorkloadData> data = std::move(data_r).ValueOrDie();
+  if (placement.size() != data->fragment_count()) {
     std::fprintf(stderr,
                  "paxml_site: placement names %zu fragments, directory holds "
                  "%zu\n",
-                 placement.size(), doc->size());
+                 placement.size(), data->fragment_count());
     return 1;
   }
 
@@ -120,7 +141,7 @@ int main(int argc, char** argv) {
   // site_threads > 1, so the cluster's own transport pool stays off.
   ClusterOptions cluster_options;
   cluster_options.parallel_execution = false;
-  Cluster cluster(doc, site_count, cluster_options);
+  Cluster cluster(data, site_count, cluster_options);
   for (size_t f = 0; f < placement.size(); ++f) {
     Status st = cluster.Place(static_cast<FragmentId>(f), placement[f]);
     if (!st.ok()) {
