@@ -275,56 +275,35 @@ std::vector<ThreadsMeasurement> RunSiteThreadsTable(
 
 // ---- Machine-readable results -----------------------------------------------
 
-double BenchScale() {
-  if (const char* env = std::getenv("PAXML_BENCH_SCALE")) {
-    return std::max(0.01, std::atof(env));
-  }
-  return 1.0;
-}
-
 void WriteJson(const std::vector<DepthMeasurement>& depth_axis,
                const std::vector<ThreadsMeasurement>& threads_axis) {
-  std::FILE* f = std::fopen("BENCH_multiquery.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_multiquery: cannot write BENCH_multiquery.json\n");
-    return;
+  JsonValue depths = JsonValue::Array();
+  for (const DepthMeasurement& m : depth_axis) {
+    depths.Add(JsonValue::Object()
+                   .Set("depth", m.depth)
+                   .Set("wall_seconds", m.wall_seconds)
+                   .Set("queries_per_second", m.qps)
+                   .Set("mean_latency_seconds", m.mean_latency)
+                   .Set("p50_latency_seconds", m.p50_latency)
+                   .Set("p95_latency_seconds", m.p95_latency));
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"multiquery\",\n");
-  std::fprintf(f, "  \"scale\": %g,\n", BenchScale());
-  std::fprintf(f, "  \"reps\": %d,\n", Repetitions());
-  std::fprintf(f, "  \"depth_axis\": [\n");
-  for (size_t i = 0; i < depth_axis.size(); ++i) {
-    const DepthMeasurement& m = depth_axis[i];
-    std::fprintf(f,
-                 "    {\"depth\": %zu, \"wall_seconds\": %.6f, "
-                 "\"queries_per_second\": %.3f, \"mean_latency_seconds\": "
-                 "%.6f, \"p50_latency_seconds\": %.6f, "
-                 "\"p95_latency_seconds\": %.6f}%s\n",
-                 m.depth, m.wall_seconds, m.qps, m.mean_latency,
-                 m.p50_latency, m.p95_latency,
-                 i + 1 < depth_axis.size() ? "," : "");
+  JsonValue threads = JsonValue::Array();
+  for (const ThreadsMeasurement& m : threads_axis) {
+    threads.Add(JsonValue::Object()
+                    .Set("site_threads", m.threads)
+                    .Set("wall_seconds", m.wall_seconds)
+                    .Set("queries_per_second", m.qps)
+                    .Set("p50_latency_seconds", m.p50_latency)
+                    .Set("p95_latency_seconds", m.p95_latency)
+                    .Set("speedup", m.speedup)
+                    .Set("modeled_parallel_seconds", m.modeled_seconds)
+                    .Set("modeled_speedup", m.modeled_speedup)
+                    .Set("stats_identical", true));
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"site_threads_axis\": [\n");
-  for (size_t i = 0; i < threads_axis.size(); ++i) {
-    const ThreadsMeasurement& m = threads_axis[i];
-    std::fprintf(f,
-                 "    {\"site_threads\": %zu, \"wall_seconds\": %.6f, "
-                 "\"queries_per_second\": %.3f, \"p50_latency_seconds\": "
-                 "%.6f, \"p95_latency_seconds\": %.6f, \"speedup\": %.3f, "
-                 "\"modeled_parallel_seconds\": %.6f, "
-                 "\"modeled_speedup\": %.3f, "
-                 "\"stats_identical\": true}%s\n",
-                 m.threads, m.wall_seconds, m.qps, m.p50_latency,
-                 m.p95_latency, m.speedup, m.modeled_seconds,
-                 m.modeled_speedup,
-                 i + 1 < threads_axis.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("\nwrote BENCH_multiquery.json\n");
+  EmitBenchJson("BENCH_multiquery.json",
+                BenchJsonHeader("multiquery")
+                    .Set("depth_axis", std::move(depths))
+                    .Set("site_threads_axis", std::move(threads)));
 }
 
 // Mean submit-to-answer latency of `probes` high-priority submissions

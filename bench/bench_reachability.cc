@@ -39,13 +39,6 @@ using namespace paxml::bench;
 
 namespace {
 
-double BenchScale() {
-  if (const char* env = std::getenv("PAXML_BENCH_SCALE")) {
-    return std::max(0.01, std::atof(env));
-  }
-  return 1.0;
-}
-
 /// Vertex ids an edge may span: fixed, so the cut of a contiguous
 /// partition stays O(window * k) while |V| grows with the scale.
 constexpr int32_t kWindow = 16;
@@ -183,38 +176,24 @@ ReachMeasurement MeasureAt(const Digraph& graph, size_t fragments,
 
 void WriteJson(const std::vector<ReachMeasurement>& axis, int32_t vertices,
                uint64_t edges) {
-  std::FILE* f = std::fopen("BENCH_reachability.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr,
-                 "bench_reachability: cannot write BENCH_reachability.json\n");
-    return;
+  JsonValue rows = JsonValue::Array();
+  for (const ReachMeasurement& m : axis) {
+    rows.Add(JsonValue::Object()
+                 .Set("fragments", m.fragments)
+                 .Set("rounds", m.rounds)
+                 .Set("cut_edges", m.cut_edges)
+                 .Set("total_bytes", m.total_bytes)
+                 .Set("naive_ship_bytes", m.naive_bytes)
+                 .Set("wall_seconds", m.wall_seconds)
+                 .Set("parallel_seconds", m.parallel_seconds)
+                 .Set("total_compute_seconds", m.total_compute_seconds)
+                 .Set("modeled_speedup", m.modeled_speedup));
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"reachability\",\n");
-  std::fprintf(f, "  \"scale\": %g,\n", BenchScale());
-  std::fprintf(f, "  \"reps\": %d,\n", Repetitions());
-  std::fprintf(f, "  \"vertices\": %d,\n", vertices);
-  std::fprintf(f, "  \"edges\": %llu,\n",
-               static_cast<unsigned long long>(edges));
-  std::fprintf(f, "  \"fragment_axis\": [\n");
-  for (size_t i = 0; i < axis.size(); ++i) {
-    const ReachMeasurement& m = axis[i];
-    std::fprintf(
-        f,
-        "    {\"fragments\": %zu, \"rounds\": %d, \"cut_edges\": %llu, "
-        "\"total_bytes\": %llu, \"naive_ship_bytes\": %llu, "
-        "\"wall_seconds\": %.6f, \"parallel_seconds\": %.6f, "
-        "\"total_compute_seconds\": %.6f, \"modeled_speedup\": %.3f}%s\n",
-        m.fragments, m.rounds, static_cast<unsigned long long>(m.cut_edges),
-        static_cast<unsigned long long>(m.total_bytes),
-        static_cast<unsigned long long>(m.naive_bytes), m.wall_seconds,
-        m.parallel_seconds, m.total_compute_seconds, m.modeled_speedup,
-        i + 1 < axis.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("\nwrote BENCH_reachability.json\n");
+  EmitBenchJson("BENCH_reachability.json",
+                BenchJsonHeader("reachability")
+                    .Set("vertices", static_cast<int64_t>(vertices))
+                    .Set("edges", edges)
+                    .Set("fragment_axis", std::move(rows)));
 }
 
 }  // namespace

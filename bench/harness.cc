@@ -221,4 +221,134 @@ void TablePrinter::AddRow(const std::vector<std::string>& cells) {
 
 std::string Secs(double s) { return StringFormat("%.4f", s); }
 
+double BenchScale() {
+  if (const char* env = std::getenv("PAXML_BENCH_SCALE")) {
+    return std::max(0.01, std::atof(env));
+  }
+  return 1.0;
+}
+
+// ---- BENCH_*.json emission --------------------------------------------------
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  PAXML_CHECK(kind_ == Kind::kObject);
+  fields_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Add(JsonValue value) {
+  PAXML_CHECK(kind_ == Kind::kArray);
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+bool JsonValue::Flat() const {
+  const auto is_container = [](const JsonValue& v) {
+    return v.kind_ == Kind::kArray || v.kind_ == Kind::kObject;
+  };
+  for (const JsonValue& v : items_) {
+    if (is_container(v)) return false;
+  }
+  for (const auto& [key, v] : fields_) {
+    if (is_container(v)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest %g form that still round-trips typical bench values; integral
+/// doubles keep a ".0" so the field stays a float across runs.
+std::string JsonNumber(double v) {
+  std::string s = StringFormat("%.9g", v);
+  if (s.find_first_of(".eEnif") == std::string::npos) s += ".0";
+  return s;
+}
+
+}  // namespace
+
+std::string JsonValue::Encode(int indent) const {
+  switch (kind_) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return bool_ ? "true" : "false";
+    case Kind::kInt: return StringFormat("%lld", static_cast<long long>(int_));
+    case Kind::kUint:
+      return StringFormat("%llu", static_cast<unsigned long long>(uint_));
+    case Kind::kDouble: return JsonNumber(double_);
+    case Kind::kString: return "\"" + JsonEscape(string_) + "\"";
+    case Kind::kArray:
+    case Kind::kObject: break;
+  }
+
+  const bool array = kind_ == Kind::kArray;
+  const size_t count = array ? items_.size() : fields_.size();
+  if (count == 0) return array ? "[]" : "{}";
+
+  const bool multiline = !Flat();
+  const std::string open(array ? "[" : "{");
+  const std::string close(array ? "]" : "}");
+  const std::string outer(static_cast<size_t>(indent) * 2, ' ');
+  const std::string inner(static_cast<size_t>(indent + 1) * 2, ' ');
+  std::string out = open;
+  for (size_t i = 0; i < count; ++i) {
+    out += multiline ? "\n" + inner : (i == 0 ? "" : " ");
+    if (!array) out += "\"" + JsonEscape(fields_[i].first) + "\": ";
+    out += (array ? items_[i] : fields_[i].second).Encode(indent + 1);
+    if (i + 1 < count) out += ",";
+  }
+  if (multiline) out += "\n" + outer;
+  return out + close;
+}
+
+JsonValue BenchJsonHeader(const std::string& name) {
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", name).Set("scale", BenchScale()).Set("reps", Repetitions());
+  return root;
+}
+
+void EmitBenchJson(const std::string& path, const JsonValue& root) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string text = root.Encode();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
 }  // namespace paxml::bench

@@ -26,9 +26,11 @@
 #ifndef PAXML_BENCH_HARNESS_H_
 #define PAXML_BENCH_HARNESS_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/string_util.h"
@@ -108,6 +110,65 @@ class TablePrinter {
 
 /// Formats seconds with ms precision.
 std::string Secs(double s);
+
+/// PAXML_BENCH_SCALE as a number (1.0 when unset), for recording in the
+/// emitted artifact; UnitBytes() already applies it to the data.
+double BenchScale();
+
+// ---- Machine-readable results (BENCH_*.json) --------------------------------
+//
+// Every perf-trajectory bench persists its measurements as a small JSON
+// artifact in the working directory (ROADMAP item 3). JsonValue is the one
+// writer they share: insertion-ordered objects, so the emitted field order
+// is exactly the order the bench Set() them in, diff-friendly across runs.
+
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool v) : kind_(Kind::kBool), bool_(v) {}
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(int64_t v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(uint64_t v) : kind_(Kind::kUint), uint_(v) {}
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  JsonValue(const char* v) : kind_(Kind::kString), string_(v) {}
+  JsonValue(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+
+  static JsonValue Object();
+  static JsonValue Array();
+
+  /// Object field append (insertion order preserved); returns *this for
+  /// chaining. The value must be an Object.
+  JsonValue& Set(std::string key, JsonValue value);
+
+  /// Array element append; the value must be an Array.
+  JsonValue& Add(JsonValue value);
+
+  /// Pretty-printed encoding: containers of scalars stay on one line (an
+  /// axis row), containers of containers go multiline (the document).
+  std::string Encode(int indent = 0) const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  bool Flat() const;  ///< no container children
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> fields_;
+};
+
+/// An Object pre-filled with the envelope every bench artifact shares:
+/// {"bench": name, "scale": BenchScale(), "reps": Repetitions()}.
+JsonValue BenchJsonHeader(const std::string& name);
+
+/// Writes `root` to `path` and prints "wrote <path>"; a write failure is
+/// reported on stderr, never fatal (the measurements already printed).
+void EmitBenchJson(const std::string& path, const JsonValue& root);
 
 }  // namespace paxml::bench
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "core/workload.h"
 #include "runtime/run_control.h"
 #include "runtime/worker_pool.h"
+#include "serving/fingerprint.h"
 #include "xpath/query_plan.h"
 
 namespace paxml {
@@ -137,7 +139,27 @@ TransportOptions MergedTransportOptions(const EngineConfig& config) {
   for (const auto& [site, endpoint] : config.remote_endpoints) {
     options.remote_endpoints.insert_or_assign(site, endpoint);
   }
+  if (config.serving.fragment_memo != nullptr) {
+    options.fragment_memo = config.serving.fragment_memo;
+  }
   return options;
+}
+
+std::shared_ptr<AnswerCache> MakeAnswerCache(const ServingOptions& serving) {
+  if (serving.shared_answer_cache != nullptr) return serving.shared_answer_cache;
+  if (serving.answer_cache) {
+    return std::make_shared<AnswerCache>(serving.answer_cache_capacity);
+  }
+  return nullptr;
+}
+
+/// The zero-cost stats of a serving-layer hit: no rounds, no bytes, no
+/// messages — only the per_site shape matches the cluster so hit and miss
+/// reports stay structurally comparable.
+RunStats CacheHitStats(size_t site_count) {
+  RunStats stats;
+  stats.per_site.resize(site_count);
+  return stats;
 }
 
 }  // namespace
@@ -145,6 +167,7 @@ TransportOptions MergedTransportOptions(const EngineConfig& config) {
 Engine::Engine(const Cluster& cluster, EngineConfig config)
     : cluster_(&cluster),
       config_(std::move(config)),
+      cache_(MakeAnswerCache(config_.serving)),
       transport_(MakeTransportFor(cluster, config_.transport,
                                   MergedTransportOptions(config_))),
       scheduler_(config_.depth, SchedulerPoolOf(transport_.get())) {}
@@ -159,13 +182,113 @@ QueryHandle Engine::Submit(std::string query, SubmitOptions options) {
   // Routed by the cluster's data family; parsing/compiling happens inside
   // the evaluator, on the job's thread, overlapping other queries'
   // evaluation.
+  EvaluateFn evaluate = [cluster = cluster_, query](
+                            const EngineOptions& opts, Transport* transport,
+                            RunControl* control) {
+    return EvaluateWorkload(*cluster, query, opts, transport, control);
+  };
+  if (cache_ == nullptr) return SubmitJob(std::move(evaluate), std::move(options));
+
+  // Serving-layer admission. The key is the run's full serving identity
+  // (serving/fingerprint.h) plus the cluster's data epoch (re-placement can
+  // never serve a stale answer) plus the workload data's identity (a cache
+  // shared across engines — the multi-front-end deployment — must never
+  // collide across documents; answers depend on the data, not the
+  // placement, so clusters sharing one store share entries).
+  const EngineOptions& opts = options.engine_options.has_value()
+                                  ? *options.engine_options
+                                  : config_.defaults;
+  RunSpec spec;
+  spec.algorithm = AlgorithmName(opts.algorithm);
+  spec.query = std::move(query);
+  spec.use_annotations = opts.pax.use_annotations;
+  spec.ship_mode = static_cast<uint8_t>(opts.pax.ship_mode);
+  spec.family = std::string(cluster_->data().family());
+  const std::string key =
+      RunFingerprint(spec) + "@" + std::to_string(cluster_->data_epoch()) +
+      "#" +
+      std::to_string(reinterpret_cast<uintptr_t>(
+          static_cast<const void*>(&cluster_->data())));
+
+  AnswerCache::Ticket ticket = cache_->Begin(key);
+  switch (ticket.role) {
+    case AnswerCache::Role::kHit:
+      return CachedHandle(ticket.cached);
+    case AnswerCache::Role::kFollower:
+      return FollowerHandle(ticket.flight);
+    case AnswerCache::Role::kLeader:
+      break;
+  }
+  // Leader: run the evaluation and settle the flight either way — including
+  // queue rejection (SubmitJob's reject path also invokes on_complete), so
+  // followers can never wait on a flight nobody is flying.
   return SubmitJob(
-      [cluster = cluster_, query = std::move(query)](
-          const EngineOptions& opts, Transport* transport,
-          RunControl* control) {
-        return EvaluateWorkload(*cluster, query, opts, transport, control);
-      },
-      std::move(options));
+      std::move(evaluate), std::move(options),
+      [cache = cache_, flight = ticket.flight,
+       key](const Result<DistributedResult>& result) {
+        if (result.ok()) {
+          cache->Publish(flight, key,
+                         std::make_shared<const DistributedResult>(*result));
+        } else {
+          cache->Abort(flight, key, result.status());
+        }
+      });
+}
+
+QueryHandle Engine::CachedHandle(
+    const std::shared_ptr<const DistributedResult>& cached) {
+  auto state = std::make_shared<QueryState>();
+  state->submit_time = std::chrono::steady_clock::now();
+  // Deep-copy the answers but report a zero-cost run: the hit opened no run,
+  // moved no bytes, visited no site.
+  DistributedResult copy;
+  copy.answers = cached->answers;
+  copy.stats = CacheHitStats(cluster_->site_count());
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->report.stats = copy.stats;
+  state->report.result = std::move(copy);
+  state->report.served_from_cache = true;
+  state->report.rounds = 0;
+  state->report.latency_seconds = SecondsSince(state->submit_time);
+  state->report.queue_seconds = 0;
+  state->done = true;
+  return QueryHandle(std::move(state));
+}
+
+QueryHandle Engine::FollowerHandle(
+    const std::shared_ptr<AnswerCache::Flight>& flight) {
+  auto state = std::make_shared<QueryState>();
+  state->submit_time = std::chrono::steady_clock::now();
+  flight->AddWaiter([state, flight, site_count = cluster_->site_count()] {
+    // The flight is done; read its outcome under its lock (Complete wrote it
+    // there) so the hand-off is clean under TSan.
+    std::shared_ptr<const DistributedResult> result;
+    Status failure = Status::OK();
+    {
+      std::lock_guard<std::mutex> flight_lock(flight->mu);
+      result = flight->result;
+      failure = flight->failure;
+    }
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (result != nullptr) {
+      DistributedResult copy;
+      copy.answers = result->answers;
+      copy.stats = CacheHitStats(site_count);
+      state->report.stats = copy.stats;
+      state->report.result = std::move(copy);
+      state->report.served_from_cache = true;
+    } else {
+      state->report.result = failure;
+    }
+    state->report.rounds = 0;
+    state->report.latency_seconds = SecondsSince(state->submit_time);
+    // The whole wait rode on the leader's run; the follower itself was
+    // never queued.
+    state->report.queue_seconds = state->report.latency_seconds;
+    state->done = true;
+    state->cv.notify_all();
+  });
+  return QueryHandle(std::move(state));
 }
 
 QueryHandle Engine::Submit(CompiledQuery query, SubmitOptions options) {
@@ -180,7 +303,8 @@ QueryHandle Engine::Submit(CompiledQuery query, SubmitOptions options) {
       std::move(options));
 }
 
-QueryHandle Engine::SubmitJob(EvaluateFn evaluate, SubmitOptions options) {
+QueryHandle Engine::SubmitJob(EvaluateFn evaluate, SubmitOptions options,
+                              CompleteFn on_complete) {
   auto state = std::make_shared<QueryState>();
   state->submit_time = std::chrono::steady_clock::now();
   if (options.deadline.has_value()) {
@@ -193,7 +317,10 @@ QueryHandle Engine::SubmitJob(EvaluateFn evaluate, SubmitOptions options) {
     job.deadline = state->submit_time + *options.deadline;
   }
   job.cancelled = [state] { return state->control.cancel_requested(); };
-  job.reject = [state](const Status& status) {
+  job.reject = [state, on_complete](const Status& status) {
+    // A rejected leader still settles its flight: followers observe the
+    // rejection instead of waiting forever.
+    if (on_complete != nullptr) on_complete(status);
     std::lock_guard<std::mutex> lock(state->mu);
     state->report.result = status;
     state->report.latency_seconds = SecondsSince(state->submit_time);
@@ -202,12 +329,13 @@ QueryHandle Engine::SubmitJob(EvaluateFn evaluate, SubmitOptions options) {
     state->cv.notify_all();
   };
   job.run = [this, state, evaluate = std::move(evaluate),
+             on_complete = std::move(on_complete),
              engine_options =
                  options.engine_options.value_or(config_.defaults)] {
     // Queue time ends at admission — before parsing/compiling, which is
     // part of the evaluation's own wall time.
     const double queue_seconds = SecondsSince(state->submit_time);
-    Execute(state, queue_seconds, evaluate, engine_options);
+    Execute(state, queue_seconds, evaluate, engine_options, on_complete);
   };
   scheduler_.Submit(std::move(job));
   return QueryHandle(std::move(state));
@@ -215,9 +343,14 @@ QueryHandle Engine::SubmitJob(EvaluateFn evaluate, SubmitOptions options) {
 
 void Engine::Execute(const std::shared_ptr<internal::QueryState>& state,
                      double queue_seconds, const EvaluateFn& evaluate,
-                     const EngineOptions& options) {
+                     const EngineOptions& options,
+                     const CompleteFn& on_complete) {
   Result<DistributedResult> result =
       evaluate(options, transport_.get(), &state->control);
+
+  // Settle the serving layer before the handle: whoever observes this
+  // query's completion can already hit its cache entry.
+  if (on_complete != nullptr) on_complete(result);
 
   std::lock_guard<std::mutex> lock(state->mu);
   state->report.queue_seconds = queue_seconds;

@@ -35,6 +35,26 @@
 // The synchronous free functions below — EvaluateDistributed, EvalBatch —
 // are thin wrappers that submit to an Engine and wait; existing callers
 // stay source-compatible.
+//
+// Serving layer (DESIGN.md §12): with EngineConfig::serving.answer_cache
+// on, Submit(query) consults an answer cache keyed by (canonical query
+// fingerprint — family, algorithm, options, query text — and the cluster's
+// data epoch) before admitting the run. A repeated query is served
+// entirely from the cache:
+//
+//   Engine engine(cluster, {.serving = {.answer_cache = true}});
+//   engine.Submit("//broker/name").Wait();          // evaluates: N rounds
+//   const QueryReport& hit =
+//       engine.Submit("//broker/name").Wait();      // cache hit
+//   // hit.served_from_cache == true, hit.rounds == 0,
+//   // hit.stats.total_bytes == 0, hit.stats.wire_bytes == 0 — and
+//   // hit.result->answers bit-identical to the first run's.
+//
+// N concurrent identical submissions coalesce into a single flight: one
+// evaluates (the leader), the rest wait on its result. Cluster mutations
+// must call Cluster::AdvanceDataEpoch(), which invalidates every cached
+// answer (the epoch is part of the key). Submit(CompiledQuery) bypasses
+// the cache — a pre-compiled plan has no canonical text to key by.
 
 #ifndef PAXML_CORE_ENGINE_H_
 #define PAXML_CORE_ENGINE_H_
@@ -54,6 +74,8 @@
 #include "runtime/query_scheduler.h"
 #include "runtime/run_control.h"
 #include "runtime/transport.h"
+#include "serving/answer_cache.h"
+#include "serving/fragment_memo.h"
 #include "sim/cluster.h"
 #include "xpath/query_plan.h"
 
@@ -82,6 +104,29 @@ struct EngineOptions {
   TransportOptions transport_options;
 };
 
+/// The engine's serving layer (DESIGN.md §12): what makes repeated, skewed
+/// traffic cheap.
+struct ServingOptions {
+  /// Answer cache at Submit admission (see the header comment). A hit
+  /// returns a completed handle with the cached answers in zero rounds and
+  /// zero wire bytes; concurrent identical submissions single-flight.
+  bool answer_cache = false;
+  size_t answer_cache_capacity = 1024;
+
+  /// Share one cache across engines (wins over the two knobs above when
+  /// set). Safe across workloads — the key's family/fingerprint isolate
+  /// entries — but only across engines over the *same* cluster: the data
+  /// epoch in the key is that cluster's.
+  std::shared_ptr<AnswerCache> shared_answer_cache;
+
+  /// Fragment-stage memo for the engine's transport (in-process sites
+  /// only; paxml_site peers bring their own via --memo). Lets repeated
+  /// queries reuse per-fragment partial answers even when the full answer
+  /// is not cached; savings show up in RunStats::memo_*
+  /// (serving/fragment_memo.h).
+  std::shared_ptr<FragmentMemo> fragment_memo;
+};
+
 /// How an Engine is wired to its cluster.
 struct EngineConfig {
   /// Maximum evaluations in flight (the stream depth); at least 1. The
@@ -107,6 +152,10 @@ struct EngineConfig {
 
   /// Per-query options used when a submission does not override them.
   EngineOptions defaults;
+
+  /// The serving layer: answer cache and fragment memo (both off by
+  /// default — an engine without them behaves exactly as before).
+  ServingOptions serving = {};
 };
 
 /// Everything the engine reports about one submitted query.
@@ -131,6 +180,11 @@ struct QueryReport {
   /// result->stats; for cancelled / expired / failed ones it holds the
   /// accounting of the partial run (zeroes if rejected while queued).
   RunStats stats;
+
+  /// True when the answer came from the serving layer's answer cache (or a
+  /// coalesced flight another submission evaluated): no run was opened, so
+  /// rounds and every traffic counter are zero.
+  bool served_from_cache = false;
 };
 
 namespace internal {
@@ -224,10 +278,14 @@ class Engine {
   /// routed by the cluster's workload family (core/workload.h): XPath over
   /// XML data, "reach <s> <t>" over graph data. It is parsed/compiled on
   /// the driver thread, overlapping other queries' evaluation; compile
-  /// errors surface in the handle's report.
+  /// errors surface in the handle's report. With the answer cache on, a
+  /// repeated query returns an already-completed handle and concurrent
+  /// identical queries coalesce into one evaluation (see the header
+  /// comment).
   QueryHandle Submit(std::string query, SubmitOptions options = {});
 
-  /// Same, for a pre-compiled XPath query (XML clusters only).
+  /// Same, for a pre-compiled XPath query (XML clusters only). Bypasses
+  /// the answer cache: a compiled plan has no canonical text to key by.
   QueryHandle Submit(CompiledQuery query, SubmitOptions options = {});
 
   /// Blocks until every query submitted so far has completed.
@@ -237,6 +295,10 @@ class Engine {
 
   /// Read-only view of the engine's message plane (open_run_count() etc.).
   const Transport& transport() const { return *transport_; }
+
+  /// The engine's answer cache (null when the serving layer is off); its
+  /// Stats expose hit/miss/coalesced counts.
+  const std::shared_ptr<AnswerCache>& answer_cache() const { return cache_; }
 
   /// Maximum evaluations in flight.
   size_t depth() const { return scheduler_.depth(); }
@@ -255,13 +317,28 @@ class Engine {
       const EngineOptions& options, Transport* transport,
       RunControl* control)>;
 
+  /// Invoked with the evaluation's outcome before the handle settles (and
+  /// with the rejection status if the job never ran) — the answer cache's
+  /// publish hook: a leader's followers observe the entry no later than
+  /// the leader's own Wait() returning.
+  using CompleteFn = std::function<void(const Result<DistributedResult>&)>;
+
   void Execute(const std::shared_ptr<internal::QueryState>& state,
                double queue_seconds, const EvaluateFn& evaluate,
-               const EngineOptions& options);
-  QueryHandle SubmitJob(EvaluateFn evaluate, SubmitOptions options);
+               const EngineOptions& options, const CompleteFn& on_complete);
+  QueryHandle SubmitJob(EvaluateFn evaluate, SubmitOptions options,
+                        CompleteFn on_complete = nullptr);
+
+  /// An already-completed handle serving `cached` (answer-cache hit).
+  QueryHandle CachedHandle(const std::shared_ptr<const DistributedResult>& cached);
+
+  /// A handle that settles when `flight` (another submission's in-flight
+  /// evaluation of the same key) completes.
+  QueryHandle FollowerHandle(const std::shared_ptr<AnswerCache::Flight>& flight);
 
   const Cluster* cluster_;
   EngineConfig config_;
+  std::shared_ptr<AnswerCache> cache_;
   std::unique_ptr<Transport> transport_;
   QueryScheduler scheduler_;
 };

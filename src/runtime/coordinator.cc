@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "serving/fingerprint.h"
+#include "serving/fragment_memo.h"
 #include "sim/cluster.h"
 
 namespace paxml {
@@ -21,9 +23,19 @@ Coordinator::Coordinator(const Cluster* cluster, Transport* transport,
   // pooled backend's per-site round tasks (nesting one pool's RunAll inside
   // its own workers would deadlock; WorkerPool checks for it).
   const size_t site_threads = transport->options().site_threads;
+  // A fragment memo on the transport turns on the memoized delivery path:
+  // the session pins this run's (fingerprint, epoch) so entries recorded
+  // under other queries or older data are never replayed into it. Needs a
+  // spec — an anonymous run has no fingerprint to share under.
+  std::shared_ptr<MemoSession> memo;
+  const auto& shared_memo = transport->options().fragment_memo;
+  if (shared_memo != nullptr && spec != nullptr) {
+    memo = std::make_shared<MemoSession>(shared_memo, RunFingerprint(*spec),
+                                         cluster->data_epoch());
+  }
   driver_.emplace(cluster, transport, run_, handlers,
                   site_threads > 1 ? cluster->site_worker_pool() : nullptr,
-                  site_threads);
+                  site_threads, std::move(memo));
 }
 
 Coordinator::~Coordinator() {
@@ -93,6 +105,14 @@ Status Coordinator::RunRound(const std::string& label,
     round_max = std::max(round_max, seconds);
   }
   stats_.parallel_seconds += round_max;
+
+  // Savings the local memoized deliveries accumulated this round; a remote
+  // peer's savings arrive through its RoundDone record instead (merged by
+  // SocketTransport::AccountMemoSavings).
+  const MemoSavings saved = driver_->TakeMemoSavings();
+  stats_.memo_fragment_hits += saved.fragment_hits;
+  stats_.memo_saved_bytes += saved.saved_bytes;
+  stats_.memo_saved_seconds += saved.saved_seconds;
 
   PAXML_RETURN_NOT_OK(round_status);
   PAXML_RETURN_NOT_OK(transport_status);

@@ -119,13 +119,15 @@ Status Timed(double* seconds, const std::function<Status()>& fn) {
 
 SiteDriver::SiteDriver(const Cluster* cluster, Transport* transport, RunId run,
                        MessageHandlers* handlers,
-                       std::shared_ptr<WorkerPool> pool, size_t site_threads)
+                       std::shared_ptr<WorkerPool> pool, size_t site_threads,
+                       std::shared_ptr<MemoSession> memo)
     : cluster_(cluster),
       transport_(transport),
       run_(run),
       handlers_(handlers),
       pool_(std::move(pool)),
-      site_threads_(site_threads) {
+      site_threads_(site_threads),
+      memo_(std::move(memo)) {
   sites_.reserve(cluster->site_count());
   for (size_t s = 0; s < cluster->site_count(); ++s) {
     sites_.emplace_back(static_cast<SiteId>(s), cluster, transport, run,
@@ -145,6 +147,7 @@ Status SiteDriver::DeliverParallel(SiteId site, std::vector<Envelope> mail) {
 Status SiteDriver::DeliverParallelImpl(SiteId site, std::vector<Envelope> mail,
                                        double* seconds) {
   PAXML_CHECK_LT(static_cast<size_t>(site), sites_.size());
+  if (memo_ != nullptr) return DeliverMemoized(site, std::move(mail), seconds);
   if (!parallel_enabled() || mail.size() < 2) {
     return Timed(seconds, [&] {
       return sites_[static_cast<size_t>(site)].Deliver(std::move(mail));
@@ -251,6 +254,78 @@ Status SiteDriver::DeliverSegmentParallel(SiteId site,
   });
   (void)replayed;
   return stop == n ? Status::OK() : statuses[stop];
+}
+
+Status SiteDriver::DeliverMemoized(SiteId site, std::vector<Envelope> mail,
+                                   double* seconds) {
+  for (Envelope& env : mail) {
+    const FragmentId lane = EnvelopeLane(env);
+    if (lane == kNullFragment) {
+      // Barriers (query ship, up-mail, mixed-fragment envelopes) always
+      // evaluate: their handlers touch cross-fragment state the memo does
+      // not model.
+      std::vector<Envelope> one;
+      one.push_back(std::move(env));
+      PAXML_RETURN_NOT_OK(Timed(seconds, [&] {
+        return sites_[static_cast<size_t>(site)].Deliver(std::move(one));
+      }));
+      continue;
+    }
+    std::vector<Envelope> replies;
+    std::vector<Envelope> recover;
+    if (memo_->Lookup(lane, env, &replies, &recover)) {
+      // Hit: the recorded replies go through the real plane exactly where
+      // the handler's sends would have — staging order, seal points and all
+      // accounted counters come out bit-identical to an evaluated delivery.
+      PAXML_RETURN_NOT_OK(Timed(seconds, [&] {
+        for (Envelope& r : replies) {
+          r.run = run_;
+          transport_->Send(std::move(r));
+        }
+        return Status::OK();
+      }));
+      continue;
+    }
+    if (!recover.empty()) {
+      // First divergence of this fragment after memo-served steps: its
+      // handler state was never built this run. Re-deliver the served
+      // request prefix through a discard plane to rebuild it — the replies
+      // were already replayed at the hits, so these sends must not reach
+      // the wire a second time.
+      CaptureTransport discard(transport_->options());
+      SiteRuntime rebuild(site, cluster_, &discard, run_, handlers_);
+      for (Envelope& r : recover) {
+        r.run = run_;
+        std::vector<Envelope> one;
+        one.push_back(std::move(r));
+        PAXML_RETURN_NOT_OK(Timed(seconds, [&] {
+          return rebuild.Deliver(std::move(one));
+        }));
+        (void)discard.TakeSent();
+      }
+    }
+    // Evaluate through a capture plane so the reply set can be recorded,
+    // measuring the handler's own CPU as the entry's cost.
+    CaptureTransport capture(transport_->options());
+    SiteRuntime runtime(site, cluster_, &capture, run_, handlers_);
+    const Envelope request = env;  // the memo keeps the request's identity
+    const double cpu_start = ThreadCpuSeconds();
+    std::vector<Envelope> one;
+    one.push_back(std::move(env));
+    const Status status = runtime.Deliver(std::move(one));
+    const double eval_seconds = ThreadCpuSeconds() - cpu_start;
+    if (seconds != nullptr) *seconds += eval_seconds;
+    std::vector<Envelope> sends = capture.TakeSent();
+    // Replay even on error: the serial order would have sent the failing
+    // envelope's partial output too.
+    PAXML_RETURN_NOT_OK(Timed(seconds, [&] {
+      for (const Envelope& s : sends) transport_->Send(Envelope(s));
+      return Status::OK();
+    }));
+    PAXML_RETURN_NOT_OK(status);
+    memo_->Record(lane, request, std::move(sends), eval_seconds);
+  }
+  return Status::OK();
 }
 
 Status SiteDriver::DeliverTimed(SiteId site, std::vector<Envelope> mail,

@@ -23,6 +23,19 @@
 // are bit-identical to the serial delivery (tested property). This is safe
 // because every algorithm's site-side state is confined to per-fragment
 // slots (the MessageHandlers threading contract, runtime/site_runtime.h).
+//
+// Fragment-stage memoization (DESIGN.md §12): a driver built with a
+// MemoSession serves repeated lane deliveries from the memo instead of
+// evaluating them. The memoized walk is serial (a hit replays recorded
+// replies into the real plane in mail order, so there is nothing to
+// overlap); barriers always evaluate normally. On the first divergence of
+// a fragment — no memo entry, or the request stream differs — the driver
+// rebuilds that fragment's handler state by re-delivering the memo-served
+// request prefix through a discard capture plane, then evaluates and
+// records from there. The same per-fragment-state contract that makes lane
+// parallelism sound makes this replay sound; replayed replies go through
+// Transport::Send like computed ones, so RunStats' accounted counters stay
+// bit-identical and only the memo_* savings fields differ.
 
 #ifndef PAXML_RUNTIME_SITE_DRIVER_H_
 #define PAXML_RUNTIME_SITE_DRIVER_H_
@@ -32,6 +45,7 @@
 
 #include "runtime/site_runtime.h"
 #include "runtime/transport.h"
+#include "serving/fragment_memo.h"
 
 namespace paxml {
 
@@ -44,11 +58,14 @@ class SiteDriver {
   /// `handlers` and sending through `transport` under `run`. A non-null
   /// `pool` with `site_threads` > 1 enables the parallel delivery path
   /// (DeliverParallel); the pool must not be the one the transport's own
-  /// delivery rounds execute on (see Cluster::site_worker_pool).
+  /// delivery rounds execute on (see Cluster::site_worker_pool). A non-null
+  /// `memo` enables the fragment-stage memo path, which supersedes lane
+  /// fan-out (memoized deliveries are serial; see the header comment).
   SiteDriver(const Cluster* cluster, Transport* transport, RunId run,
              MessageHandlers* handlers,
              std::shared_ptr<WorkerPool> pool = nullptr,
-             size_t site_threads = 1);
+             size_t site_threads = 1,
+             std::shared_ptr<MemoSession> memo = nullptr);
 
   SiteDriver(const SiteDriver&) = delete;
   SiteDriver& operator=(const SiteDriver&) = delete;
@@ -81,8 +98,16 @@ class SiteDriver {
                       double* seconds);
 
   /// True when DeliverParallel may actually fan out (pool + threads > 1).
+  /// The memo path supersedes fan-out.
   bool parallel_enabled() const {
-    return pool_ != nullptr && site_threads_ > 1;
+    return memo_ == nullptr && pool_ != nullptr && site_threads_ > 1;
+  }
+
+  /// Savings the memo path accumulated since the last take (zero without a
+  /// memo session). The round loops drain this into RunStats — locally
+  /// after the round, remotely via the RoundDone record.
+  MemoSavings TakeMemoSavings() {
+    return memo_ != nullptr ? memo_->TakeSavings() : MemoSavings{};
   }
 
  private:
@@ -90,6 +115,8 @@ class SiteDriver {
                              double* seconds);
   Status DeliverSegmentParallel(SiteId site, std::vector<Envelope>* segment,
                                 double* seconds);
+  Status DeliverMemoized(SiteId site, std::vector<Envelope> mail,
+                         double* seconds);
 
   std::vector<SiteRuntime> sites_;
   const Cluster* cluster_;
@@ -98,6 +125,7 @@ class SiteDriver {
   MessageHandlers* handlers_;
   std::shared_ptr<WorkerPool> pool_;
   size_t site_threads_ = 1;
+  std::shared_ptr<MemoSession> memo_;
 };
 
 }  // namespace paxml

@@ -16,6 +16,8 @@
 #include "runtime/site_driver.h"
 #include "runtime/wire.h"
 #include "runtime/worker_pool.h"
+#include "serving/fingerprint.h"
+#include "serving/fragment_memo.h"
 #include "sim/cluster.h"
 
 namespace paxml {
@@ -73,11 +75,13 @@ struct RunState {
 }  // namespace
 
 SiteServer::SiteServer(const Cluster* cluster, SiteId site,
-                       SiteProgramFactory factory, size_t max_site_threads)
+                       SiteProgramFactory factory, size_t max_site_threads,
+                       std::shared_ptr<FragmentMemo> memo)
     : cluster_(cluster),
       site_(site),
       factory_(std::move(factory)),
-      max_site_threads_(max_site_threads) {
+      max_site_threads_(max_site_threads),
+      memo_(std::move(memo)) {
   PAXML_CHECK(site >= 0 &&
               static_cast<size_t>(site) < cluster->site_count());
 }
@@ -239,9 +243,17 @@ Status SiteServer::ServeConnection(int fd) {
           Result<std::unique_ptr<SiteProgram>> program = factory_(open.spec);
           if (program.ok()) {
             state.program = std::move(*program);
+            // The memo session mirrors the one an in-process Coordinator
+            // would open: same fingerprint, this peer's view of the epoch
+            // (the clusters are bit-identical by the placement check).
+            std::shared_ptr<MemoSession> session;
+            if (memo_ != nullptr) {
+              session = std::make_shared<MemoSession>(
+                  memo_, RunFingerprint(open.spec), cluster_->data_epoch());
+            }
             state.driver.emplace(cluster_, plane.get(), state.local_run,
                                  state.program->handlers(), site_pool,
-                                 site_threads);
+                                 site_threads, std::move(session));
           } else {
             state.broken = program.status();
           }
@@ -290,6 +302,10 @@ Status SiteServer::ServeConnection(int fd) {
               plane->Drain(state.local_run, site_);
           done.status = state.driver->DeliverTimed(site_, std::move(mail),
                                                    &done.seconds);
+          const MemoSavings saved = state.driver->TakeMemoSavings();
+          done.memo_fragment_hits = saved.fragment_hits;
+          done.memo_saved_bytes = saved.saved_bytes;
+          done.memo_saved_seconds = saved.saved_seconds;
           // The peer's round boundary: stage -> frames, captured for the
           // wire in seal order.
           plane->FlushRun(state.local_run);

@@ -32,6 +32,7 @@
 namespace paxml {
 
 class Cluster;
+class FragmentMemo;
 
 /// One evaluation's site-side program: the MessageHandlers plus everything
 /// they borrow (compiled query, options, prune state). Built per run from
@@ -56,8 +57,14 @@ class SiteServer {
   /// `max_site_threads` caps the intra-site parallelism a client's Hello
   /// may request (0 = honor the client unconditionally): the operator of a
   /// paxml_site machine knows its core budget better than the client does.
+  /// A non-null `memo` (paxml_site --memo) turns on fragment-stage
+  /// memoization for every run this server delivers: the memo is
+  /// process-wide, so repeated queries reuse entries across connections and
+  /// runs, and each round's savings are reported back in the RoundDone
+  /// record (serving/fragment_memo.h).
   SiteServer(const Cluster* cluster, SiteId site, SiteProgramFactory factory,
-             size_t max_site_threads = 0);
+             size_t max_site_threads = 0,
+             std::shared_ptr<FragmentMemo> memo = nullptr);
   ~SiteServer();
 
   SiteServer(const SiteServer&) = delete;
@@ -87,6 +94,7 @@ class SiteServer {
   SiteId site_;
   SiteProgramFactory factory_;
   size_t max_site_threads_ = 0;
+  std::shared_ptr<FragmentMemo> memo_;
   int listen_fd_ = -1;
   std::atomic<bool> shutdown_{false};
 };

@@ -381,6 +381,15 @@ Status SocketTransport::HandleRecord(Connection& conn, WireRecord record) {
     case RecordType::kRoundDone: {
       PAXML_ASSIGN_OR_RETURN(RoundDoneRecord done,
                              RoundDoneRecord::Decode(&reader));
+      // Merge the peer's memo savings before taking net_mu_ (the base
+      // class's lock never nests inside it), and before the barrier
+      // releases — the accounting happens-before the round's completion.
+      if (done.memo_fragment_hits > 0) {
+        AccountMemoSavings(done.run,
+                           MemoSavings{done.memo_fragment_hits,
+                                       done.memo_saved_bytes,
+                                       done.memo_saved_seconds});
+      }
       std::lock_guard<std::mutex> lock(net_mu_);
       auto it = waits_.find(done.run);
       if (it == waits_.end()) return Status::OK();  // stale: round already over

@@ -98,6 +98,16 @@ void Transport::RunOpened(RunId run, const Cluster* cluster,
 
 void Transport::RunClosing(RunId run) { (void)run; }
 
+void Transport::AccountMemoSavings(RunId run, const MemoSavings& savings) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = runs_.find(run);
+  if (it == runs_.end()) return;  // races CloseRun like late remote mail
+  RunStats* stats = it->second.stats;
+  stats->memo_fragment_hits += savings.fragment_hits;
+  stats->memo_saved_bytes += savings.saved_bytes;
+  stats->memo_saved_seconds += savings.saved_seconds;
+}
+
 void Transport::Send(Envelope env) {
   PAXML_CHECK(env.run != kNullRun);  // Post/SiteContext stamp the run id
   PAXML_CHECK(env.to != kNullSite);

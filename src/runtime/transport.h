@@ -67,6 +67,7 @@
 namespace paxml {
 
 class Cluster;
+class FragmentMemo;
 class WorkerPool;
 struct Frame;
 
@@ -182,6 +183,16 @@ struct TransportOptions {
   /// client. Non-empty selects TransportKind::kSocket in MakeTransportFor
   /// when no explicit kind is given.
   std::map<SiteId, std::string> remote_endpoints = {};
+
+  /// Fragment-stage memo shared across this transport's runs
+  /// (serving/fragment_memo.h). When set, each Coordinator opens a
+  /// MemoSession for its run and the run's SiteDriver serves repeated
+  /// per-fragment stages from the memo instead of re-evaluating them;
+  /// answers and all accounted counters stay bit-identical, with the
+  /// skipped work reported via RunStats::memo_* (DESIGN.md §12). Null (the
+  /// default) disables memoization. In-process only — socket peers hold
+  /// their own memo (paxml_site --memo).
+  std::shared_ptr<FragmentMemo> fragment_memo = nullptr;
 };
 
 /// One network message. Envelope metadata (routing, kinds) models the
@@ -345,6 +356,12 @@ class Transport {
   virtual void RunOpened(RunId run, const Cluster* cluster,
                          const RunSpec* spec);
   virtual void RunClosing(RunId run);
+
+  /// Adds fragment-memo savings to the run's RunStats (no-op if the run has
+  /// closed — a remote peer's RoundDone legitimately races CloseRun). The
+  /// merge path for savings a *peer* reported; the local driver's savings
+  /// are merged by the Coordinator's round loop.
+  void AccountMemoSavings(RunId run, const MemoSavings& savings);
 
  private:
   using EdgeKey = std::pair<SiteId, SiteId>;

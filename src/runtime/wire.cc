@@ -237,6 +237,9 @@ void RoundDoneRecord::Encode(ByteWriter* out) const {
   out->PutVarint(EncodeId(site));
   out->PutU64(DoubleBits(seconds));
   EncodeStatus(status, out);
+  out->PutVarint(memo_fragment_hits);
+  out->PutVarint(memo_saved_bytes);
+  out->PutU64(DoubleBits(memo_saved_seconds));
 }
 
 Result<RoundDoneRecord> RoundDoneRecord::Decode(ByteReader* in) {
@@ -247,6 +250,10 @@ Result<RoundDoneRecord> RoundDoneRecord::Decode(ByteReader* in) {
   PAXML_ASSIGN_OR_RETURN(uint64_t bits, in->GetU64());
   r.seconds = BitsDouble(bits);
   PAXML_RETURN_NOT_OK(DecodeStatus(in, &r.status));
+  PAXML_ASSIGN_OR_RETURN(r.memo_fragment_hits, in->GetVarint());
+  PAXML_ASSIGN_OR_RETURN(r.memo_saved_bytes, in->GetVarint());
+  PAXML_ASSIGN_OR_RETURN(uint64_t saved_bits, in->GetU64());
+  r.memo_saved_seconds = BitsDouble(saved_bits);
   return r;
 }
 

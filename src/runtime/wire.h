@@ -37,7 +37,8 @@ namespace paxml {
 /// Bumped on any incompatible change; peers reject a mismatch at Hello.
 /// v2: HelloRecord grew site_threads (intra-site parallel delivery).
 /// v3: OpenRunRecord carries RunSpec::family (workload fingerprint).
-inline constexpr uint32_t kWireProtocolVersion = 3;
+/// v4: RoundDoneRecord carries fragment-memo savings (serving layer).
+inline constexpr uint32_t kWireProtocolVersion = 4;
 
 /// Upper bound on one record's length field: a corrupt length must be a
 /// parse error, not a gigabyte allocation.
@@ -166,6 +167,13 @@ struct RoundDoneRecord {
   SiteId site = kNullSite;
   double seconds = 0;  ///< wall time of the site's handler work
   Status status;       ///< the handlers' dispatch status
+
+  /// Fragment-memo savings of this round on the peer (zero unless the peer
+  /// runs with --memo); the client merges them into the run's RunStats
+  /// memo_* fields (sim/stats.h).
+  uint64_t memo_fragment_hits = 0;
+  uint64_t memo_saved_bytes = 0;
+  double memo_saved_seconds = 0;
 
   void Encode(ByteWriter* out) const;
   static Result<RoundDoneRecord> Decode(ByteReader* in);

@@ -1,0 +1,103 @@
+#include "serving/answer_cache.h"
+
+#include "common/logging.h"
+
+namespace paxml {
+
+void AnswerCache::Flight::AddWaiter(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!done) {
+      waiters.push_back(std::move(fn));
+      return;
+    }
+  }
+  fn();
+}
+
+AnswerCache::AnswerCache(size_t capacity) : capacity_(capacity) {
+  PAXML_CHECK_GT(capacity_, 0u);
+}
+
+AnswerCache::Ticket AnswerCache::Begin(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = index_.find(key); it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return Ticket{Role::kHit, it->second->second, nullptr};
+  }
+  if (auto it = flights_.find(key); it != flights_.end()) {
+    ++stats_.coalesced;
+    return Ticket{Role::kFollower, nullptr, it->second};
+  }
+  ++stats_.misses;
+  auto flight = std::make_shared<Flight>();
+  flights_.emplace(key, flight);
+  return Ticket{Role::kLeader, nullptr, flight};
+}
+
+void AnswerCache::Publish(const std::shared_ptr<Flight>& flight,
+                          const std::string& key,
+                          std::shared_ptr<const DistributedResult> result) {
+  PAXML_CHECK(flight != nullptr);
+  PAXML_CHECK(result != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flights_.erase(key);
+    // A racing Begin between the leader's completion and this Publish may
+    // have installed the entry already (it would have been a follower of
+    // this very flight, so the results agree); just refresh recency then.
+    if (auto it = index_.find(key); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->second = result;
+    } else {
+      lru_.emplace_front(key, result);
+      index_[key] = lru_.begin();
+      ++stats_.insertions;
+      if (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+  }
+  Complete(flight, std::move(result), Status::OK());
+}
+
+void AnswerCache::Abort(const std::shared_ptr<Flight>& flight,
+                        const std::string& key, const Status& failure) {
+  PAXML_CHECK(flight != nullptr);
+  PAXML_CHECK(!failure.ok());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flights_.erase(key);
+  }
+  Complete(flight, nullptr, failure);
+}
+
+AnswerCache::Stats AnswerCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t AnswerCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void AnswerCache::Complete(const std::shared_ptr<Flight>& flight,
+                           std::shared_ptr<const DistributedResult> result,
+                           const Status& failure) {
+  std::vector<std::function<void()>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    PAXML_CHECK(!flight->done);  // one Publish/Abort per flight
+    flight->done = true;
+    flight->result = std::move(result);
+    flight->failure = failure;
+    waiters.swap(flight->waiters);
+  }
+  for (auto& fn : waiters) fn();
+}
+
+}  // namespace paxml

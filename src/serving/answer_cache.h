@@ -1,0 +1,112 @@
+// The serving layer's answer cache: completed DistributedResults keyed by
+// (run fingerprint, data epoch), with single-flight coalescing.
+//
+// Engine::Submit consults the cache at admission (core/engine.h). A hit
+// hands back the cached answers in zero rounds and zero wire bytes; a miss
+// registers an in-flight *leader* so that concurrent identical submissions
+// become *followers* of the same flight instead of duplicate runs. When the
+// leader's evaluation completes, Publish installs the result and wakes every
+// follower; a failed leader Aborts the flight and followers observe the
+// leader's status (errors are never cached — the next submission retries).
+//
+// The cache stores results, not handles: each hit deep-copies the answer
+// vector into the caller's report, so cached and uncached sessions are
+// bit-identical from the client's point of view (tested property). Eviction
+// is LRU by entry count. Thread-safe; one instance may be shared by many
+// engines (cross-workload isolation comes from the family component of the
+// key — serving_test covers the colliding-fingerprint case).
+
+#ifndef PAXML_SERVING_ANSWER_CACHE_H_
+#define PAXML_SERVING_ANSWER_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/distributed_result.h"
+
+namespace paxml {
+
+class AnswerCache {
+ public:
+  /// One in-flight evaluation. Followers attach completion callbacks; the
+  /// leader completes the flight through Publish/Abort. Exposed so the
+  /// engine can hold the flight across the queued run's lifetime.
+  struct Flight {
+    std::mutex mu;
+    bool done = false;
+    std::shared_ptr<const DistributedResult> result;  // null on failure
+    Status failure = Status::OK();
+    std::vector<std::function<void()>> waiters;
+
+    /// Runs `fn` when the flight completes — immediately if it already has.
+    /// `fn` must not re-enter the flight.
+    void AddWaiter(std::function<void()> fn);
+  };
+
+  enum class Role : uint8_t {
+    kHit,       ///< cached result available now
+    kLeader,    ///< caller must evaluate, then Publish or Abort
+    kFollower,  ///< an identical query is in flight; wait on `flight`
+  };
+
+  struct Ticket {
+    Role role;
+    std::shared_ptr<const DistributedResult> cached;  ///< set iff kHit
+    std::shared_ptr<Flight> flight;  ///< set for kLeader and kFollower
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;     ///< leader admissions (actual evaluations)
+    uint64_t coalesced = 0;  ///< follower admissions (runs saved in flight)
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit AnswerCache(size_t capacity = 1024);
+
+  /// Admission: classify `key` as hit, leader or follower (see Role).
+  Ticket Begin(const std::string& key);
+
+  /// Leader success: cache `result` under `key`, retire the flight and wake
+  /// followers. The flight must be the one Begin returned for `key`.
+  void Publish(const std::shared_ptr<Flight>& flight, const std::string& key,
+               std::shared_ptr<const DistributedResult> result);
+
+  /// Leader failure: retire the flight without caching; followers observe
+  /// `failure`.
+  void Abort(const std::shared_ptr<Flight>& flight, const std::string& key,
+             const Status& failure);
+
+  Stats stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruEntry = std::pair<std::string, std::shared_ptr<const DistributedResult>>;
+
+  /// Completes the flight and runs its waiters. Called *outside* mu_ —
+  /// waiters re-enter the engine.
+  static void Complete(const std::shared_ptr<Flight>& flight,
+                       std::shared_ptr<const DistributedResult> result,
+                       const Status& failure);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<LruEntry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<LruEntry>::iterator> index_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  Stats stats_;
+};
+
+}  // namespace paxml
+
+#endif  // PAXML_SERVING_ANSWER_CACHE_H_

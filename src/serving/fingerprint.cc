@@ -1,0 +1,40 @@
+#include "serving/fingerprint.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace paxml {
+
+std::string CanonicalQueryText(std::string_view query) {
+  std::string out;
+  out.reserve(query.size());
+  char quote = '\0';       // the open quote character, or 0 outside quotes
+  bool pending_gap = false;  // a whitespace run awaits its single space
+  for (char c : query) {
+    if (quote == '\0' && std::isspace(static_cast<unsigned char>(c))) {
+      pending_gap = true;
+      continue;
+    }
+    if (pending_gap) {
+      if (!out.empty()) out += ' ';  // leading whitespace trims away
+      pending_gap = false;
+    }
+    out += c;
+    if (quote == '\0') {
+      if (c == '"' || c == '\'') quote = c;
+    } else if (c == quote) {
+      quote = '\0';
+    }
+  }
+  return out;  // trailing whitespace left pending_gap set — dropped
+}
+
+std::string RunFingerprint(const RunSpec& spec) {
+  return StringFormat("%s|%s|a%d|s%u|", spec.family.c_str(),
+                      spec.algorithm.c_str(), spec.use_annotations ? 1 : 0,
+                      static_cast<unsigned>(spec.ship_mode)) +
+         CanonicalQueryText(spec.query);
+}
+
+}  // namespace paxml

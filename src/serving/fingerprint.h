@@ -1,0 +1,39 @@
+// Canonical query fingerprints: the serving layer's cache keys.
+//
+// Two submissions share serving-layer state exactly when they would run the
+// same protocol over the same data: same workload family, same algorithm,
+// same site-visible options and the same canonical query text. The
+// fingerprint packs all of that into one string; the answer cache appends
+// the cluster's data epoch (sim/cluster.h) and the fragment memo appends
+// (fragment, step) on top (DESIGN.md §12).
+//
+// Canonicalization is deliberately conservative — whitespace-only. It
+// collapses runs of whitespace outside string literals to one space and
+// trims the ends, so `//a [ b ]` and `//a[b]` still differ (they may or may
+// not parse the same; the cache must never guess) while `//a[b]` and
+// ` //a[b] ` share an entry. Whitespace inside quotes is preserved:
+// `[c="A B"]` and `[c="A  B"]` are different queries.
+
+#ifndef PAXML_SERVING_FINGERPRINT_H_
+#define PAXML_SERVING_FINGERPRINT_H_
+
+#include <string>
+#include <string_view>
+
+#include "runtime/transport.h"
+
+namespace paxml {
+
+/// `query` with outside-quote whitespace runs collapsed to single spaces
+/// and leading/trailing whitespace removed.
+std::string CanonicalQueryText(std::string_view query);
+
+/// The full serving-layer identity of a run:
+///   `<family>|<algorithm>|a<0|1>|s<ship_mode>|<canonical query>`.
+/// Family and algorithm come first so colliding query texts of different
+/// workloads ("xml" vs "graph") can never share an entry.
+std::string RunFingerprint(const RunSpec& spec);
+
+}  // namespace paxml
+
+#endif  // PAXML_SERVING_FINGERPRINT_H_

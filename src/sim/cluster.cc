@@ -46,6 +46,10 @@ Status Cluster::Place(FragmentId f, SiteId s) {
   }
   placement_[static_cast<size_t>(f)] = s;
   by_site_[static_cast<size_t>(s)].push_back(f);
+  // Re-placement invalidates serving-layer state (see data_epoch()). Bumps
+  // during construction are harmless — caches are built against a cluster
+  // that already exists.
+  AdvanceDataEpoch();
   return Status::OK();
 }
 

@@ -17,6 +17,8 @@
 #ifndef PAXML_SIM_CLUSTER_H_
 #define PAXML_SIM_CLUSTER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -94,6 +96,20 @@ class Cluster {
 
   const ClusterOptions& options() const { return options_; }
 
+  /// Monotone version of the data this cluster serves, for the serving
+  /// layer's cache keys (DESIGN.md §12). Placement changes bump it too:
+  /// moving a fragment does not change answers, but it invalidates
+  /// per-fragment memo entries whose replay assumed the old site layout —
+  /// and a coarser epoch is always safe. Anything that mutates what a query
+  /// would observe must call AdvanceDataEpoch(); cached answers and memo
+  /// entries from earlier epochs are then never served again.
+  uint64_t data_epoch() const {
+    return data_epoch_.load(std::memory_order_acquire);
+  }
+  void AdvanceDataEpoch() {
+    data_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   /// The worker pool shared by every pooled transport (and so every
   /// concurrent query evaluation) over this cluster, created lazily on
   /// first use. Heavy query streams thus pay thread spawns once per
@@ -114,6 +130,7 @@ class Cluster {
   ClusterOptions options_;
   std::vector<SiteId> placement_;           // fragment -> site
   std::vector<std::vector<FragmentId>> by_site_;  // site -> fragments
+  std::atomic<uint64_t> data_epoch_{1};
 
   mutable std::mutex pool_mu_;  // guards lazy creation of both pools
   mutable std::shared_ptr<WorkerPool> worker_pool_;

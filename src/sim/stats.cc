@@ -33,6 +33,13 @@ std::string RunStats::ToString() const {
       "parallel=%.6fs total-compute=%.6fs coordinator=%.6fs max-visits=%d\n",
       parallel_seconds, total_compute_seconds, coordinator_seconds,
       max_visits());
+  if (memo_fragment_hits > 0) {
+    out += StringFormat(
+        "memo: fragment-hits=%llu saved-bytes=%llu saved-compute=%.6fs\n",
+        static_cast<unsigned long long>(memo_fragment_hits),
+        static_cast<unsigned long long>(memo_saved_bytes),
+        memo_saved_seconds);
+  }
   for (size_t i = 0; i < per_site.size(); ++i) {
     const SiteStats& s = per_site[i];
     out += StringFormat(

@@ -83,6 +83,24 @@ struct NetworkCostModel {
   }
 };
 
+/// Work a fragment-stage memo avoided during a run (serving layer,
+/// DESIGN.md §12). Savings are *extra* information: the canonical counters
+/// (visits, bytes, messages) still describe the protocol the coordinator
+/// observed — a memo-served reply is accounted exactly like a computed one,
+/// which is what keeps cached and uncached runs bit-identical.
+struct MemoSavings {
+  uint64_t fragment_hits = 0;  ///< memo-served (fragment, step) deliveries
+  uint64_t saved_bytes = 0;    ///< accounted reply bytes served from memo
+  double saved_seconds = 0;    ///< site compute time the hits skipped
+
+  MemoSavings& operator+=(const MemoSavings& o) {
+    fragment_hits += o.fragment_hits;
+    saved_bytes += o.saved_bytes;
+    saved_seconds += o.saved_seconds;
+    return *this;
+  }
+};
+
 /// Aggregated statistics of one distributed query evaluation.
 struct RunStats {
   std::vector<SiteStats> per_site;
@@ -127,6 +145,13 @@ struct RunStats {
 
   /// Coordinator-side work (evalFT unification etc.).
   double coordinator_seconds = 0;
+
+  /// Fragment-memo savings (zero unless TransportOptions::fragment_memo is
+  /// set). Not part of the paper's accounting; reported so serving-layer
+  /// reuse is visible without perturbing any equality-tested counter.
+  uint64_t memo_fragment_hits = 0;
+  uint64_t memo_saved_bytes = 0;
+  double memo_saved_seconds = 0;
 
   int max_visits() const;
   uint64_t total_visits() const;

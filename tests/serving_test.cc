@@ -1,0 +1,492 @@
+// Serving-layer tests (src/serving/, DESIGN.md §12): canonical query
+// fingerprints, the answer cache's hit/leader/follower admission and LRU,
+// single-flight coalescing under concurrent identical submissions, epoch
+// invalidation, the fragment-stage memo's cross-run replay (answers and
+// accounted RunStats bit-identical, savings reported), the MemoSession
+// divergence/recovery contract, and the RoundDone wire record that carries
+// a remote peer's memo savings.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "fragment/fragmenter.h"
+#include "runtime/wire.h"
+#include "serving/answer_cache.h"
+#include "serving/fingerprint.h"
+#include "serving/fragment_memo.h"
+#include "test_util.h"
+
+namespace paxml {
+namespace {
+
+// ---- Fingerprints -----------------------------------------------------------
+
+TEST(FingerprintTest, CanonicalizesWhitespaceOutsideQuotesOnly) {
+  EXPECT_EQ(CanonicalQueryText("  //a[b]  "), "//a[b]");
+  EXPECT_EQ(CanonicalQueryText("//a\t\n [ b ]"), "//a [ b ]");
+  // Quoted literals keep their spacing: different strings, different query.
+  EXPECT_EQ(CanonicalQueryText("a[c = \"A  B\"]"), "a[c = \"A  B\"]");
+  EXPECT_NE(CanonicalQueryText("a[c = \"A  B\"]"),
+            CanonicalQueryText("a[c = \"A B\"]"));
+  // Conservative: token-level differences are preserved, never merged.
+  EXPECT_NE(CanonicalQueryText("//a [ b ]"), CanonicalQueryText("//a[b]"));
+}
+
+TEST(FingerprintTest, SeparatesFamiliesAlgorithmsAndOptions) {
+  RunSpec base{"PaX2", "reach 1 2", false, 0, "xml"};
+  RunSpec graph = base;
+  graph.family = "graph";
+  // The colliding-query-text case: identical text, different workload.
+  EXPECT_NE(RunFingerprint(base), RunFingerprint(graph));
+
+  RunSpec annotated = base;
+  annotated.use_annotations = true;
+  EXPECT_NE(RunFingerprint(base), RunFingerprint(annotated));
+
+  RunSpec shipped = base;
+  shipped.ship_mode = 1;
+  EXPECT_NE(RunFingerprint(base), RunFingerprint(shipped));
+
+  RunSpec algo = base;
+  algo.algorithm = "PaX3";
+  EXPECT_NE(RunFingerprint(base), RunFingerprint(algo));
+
+  RunSpec spaced = base;
+  spaced.query = "  reach 1   2";
+  EXPECT_EQ(RunFingerprint(base), RunFingerprint(spaced));
+}
+
+// ---- AnswerCache unit -------------------------------------------------------
+
+TEST(AnswerCacheTest, HitLeaderFollowerRolesAndLru) {
+  AnswerCache cache(/*capacity=*/2);
+  auto result = std::make_shared<const DistributedResult>();
+
+  AnswerCache::Ticket leader = cache.Begin("a");
+  EXPECT_EQ(leader.role, AnswerCache::Role::kLeader);
+  ASSERT_NE(leader.flight, nullptr);
+
+  AnswerCache::Ticket follower = cache.Begin("a");
+  EXPECT_EQ(follower.role, AnswerCache::Role::kFollower);
+  EXPECT_EQ(follower.flight, leader.flight);
+
+  bool woken = false;
+  follower.flight->AddWaiter([&] { woken = true; });
+  EXPECT_FALSE(woken);
+  cache.Publish(leader.flight, "a", result);
+  EXPECT_TRUE(woken);
+
+  AnswerCache::Ticket hit = cache.Begin("a");
+  EXPECT_EQ(hit.role, AnswerCache::Role::kHit);
+  EXPECT_EQ(hit.cached, result);
+
+  // A waiter attached after completion runs immediately.
+  bool late = false;
+  follower.flight->AddWaiter([&] { late = true; });
+  EXPECT_TRUE(late);
+
+  // LRU order is [a] after the hit; inserting "b" then "c" overflows the
+  // 2-entry capacity and evicts "a", the least recently used.
+  cache.Publish(cache.Begin("b").flight, "b", result);
+  cache.Publish(cache.Begin("c").flight, "c", result);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Begin("a").role, AnswerCache::Role::kLeader);
+
+  const AnswerCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+}
+
+TEST(AnswerCacheTest, AbortedFlightCachesNothingAndReportsFailure) {
+  AnswerCache cache;
+  AnswerCache::Ticket leader = cache.Begin("k");
+  AnswerCache::Ticket follower = cache.Begin("k");
+
+  Status seen = Status::OK();
+  follower.flight->AddWaiter([flight = follower.flight, &seen] {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    seen = flight->failure;
+  });
+  cache.Abort(leader.flight, "k", Status::Internal("evaluation failed"));
+  EXPECT_EQ(seen.code(), StatusCode::kInternal);
+
+  // Errors are never cached: the next submission retries as a new leader.
+  EXPECT_EQ(cache.Begin("k").role, AnswerCache::Role::kLeader);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- Engine integration -----------------------------------------------------
+
+class ServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tree t = testing::BuildClienteleTree();
+    auto doc = FragmentByCuts(t, testing::ClienteleCuts(t));
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::make_shared<FragmentedDocument>(std::move(doc).ValueOrDie());
+    cluster_ = std::make_unique<Cluster>(doc_, 4);
+    cluster_->PlaceRootAndSpread();
+  }
+
+  EngineConfig CacheConfig(size_t depth,
+                           TransportKind kind = TransportKind::kSync) const {
+    EngineConfig config;
+    config.depth = depth;
+    config.transport = kind;
+    config.serving.answer_cache = true;
+    return config;
+  }
+
+  std::shared_ptr<FragmentedDocument> doc_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+const char* kQueryA = "clientele/client/broker/name";
+const char* kQueryB = "//stock/code";
+
+// The acceptance property: a repeated query is served from the cache in
+// zero rounds and zero wire bytes, with answers bit-identical to the
+// uncached run.
+TEST_F(ServingTest, RepeatedQueryServedInZeroRoundsZeroBytes) {
+  Engine engine(*cluster_, CacheConfig(1));
+  QueryReport first = engine.Submit(kQueryA).TakeReport();
+  ASSERT_TRUE(first.result.ok());
+  EXPECT_FALSE(first.served_from_cache);
+  EXPECT_GT(first.rounds, 0);
+  EXPECT_GT(first.stats.total_bytes, 0u);
+
+  QueryReport second = engine.Submit(kQueryA).TakeReport();
+  ASSERT_TRUE(second.result.ok());
+  EXPECT_TRUE(second.served_from_cache);
+  EXPECT_EQ(second.rounds, 0);
+  EXPECT_EQ(second.stats.rounds, 0);
+  EXPECT_EQ(second.stats.total_bytes, 0u);
+  EXPECT_EQ(second.stats.wire_bytes, 0u);
+  EXPECT_EQ(second.stats.total_messages, 0u);
+  EXPECT_EQ(second.stats.total_envelopes, 0u);
+  EXPECT_EQ(second.stats.total_visits(), 0u);
+  ASSERT_EQ(second.stats.per_site.size(), cluster_->site_count());
+  EXPECT_EQ(second.result->answers, first.result->answers);
+
+  ASSERT_NE(engine.answer_cache(), nullptr);
+  const AnswerCache::Stats stats = engine.answer_cache()->stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // Whitespace variants share the canonical entry.
+  QueryReport third =
+      engine.Submit(std::string("  clientele/client/broker/name ")).TakeReport();
+  ASSERT_TRUE(third.result.ok());
+  EXPECT_TRUE(third.served_from_cache);
+  EXPECT_EQ(third.result->answers, first.result->answers);
+}
+
+// N concurrent identical submissions run the protocol exactly once; the
+// rest are followers of the leader's flight (or late enough to hit).
+TEST_F(ServingTest, SingleFlightCoalescesConcurrentIdenticalQueries) {
+  constexpr size_t kN = 8;
+  Engine engine(*cluster_, CacheConfig(4, TransportKind::kPooled));
+  std::vector<QueryHandle> handles;
+  for (size_t i = 0; i < kN; ++i) handles.push_back(engine.Submit(kQueryB));
+
+  std::vector<GlobalNodeId> answers;
+  for (size_t i = 0; i < kN; ++i) {
+    QueryReport report = handles[i].TakeReport();
+    ASSERT_TRUE(report.result.ok());
+    if (i == 0) {
+      answers = report.result->answers;
+    } else {
+      EXPECT_EQ(report.result->answers, answers);
+    }
+    if (report.served_from_cache) {
+      EXPECT_EQ(report.stats.total_bytes, 0u);
+      EXPECT_EQ(report.rounds, 0);
+    }
+  }
+  const AnswerCache::Stats stats = engine.answer_cache()->stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, kN - 1);
+}
+
+TEST_F(ServingTest, EpochBumpInvalidatesCachedAnswers) {
+  Engine engine(*cluster_, CacheConfig(1));
+  QueryReport first = engine.Submit(kQueryA).TakeReport();
+  ASSERT_TRUE(first.result.ok());
+
+  // The data-change hook: Place() bumps it on re-placement; here we bump it
+  // directly, as an ingestion path would after mutating fragments.
+  cluster_->AdvanceDataEpoch();
+
+  QueryReport second = engine.Submit(kQueryA).TakeReport();
+  ASSERT_TRUE(second.result.ok());
+  EXPECT_FALSE(second.served_from_cache);
+  EXPECT_GT(second.rounds, 0);
+  EXPECT_EQ(second.result->answers, first.result->answers);
+  EXPECT_EQ(engine.answer_cache()->stats().misses, 2u);
+}
+
+TEST_F(ServingTest, FailedQueriesAreNotCached) {
+  Engine engine(*cluster_, CacheConfig(1));
+  QueryReport first = engine.Submit("///[").TakeReport();
+  EXPECT_FALSE(first.result.ok());
+  QueryReport second = engine.Submit("///[").TakeReport();
+  EXPECT_FALSE(second.result.ok());
+  // Both submissions led their own (failing) evaluation; nothing cached.
+  const AnswerCache::Stats stats = engine.answer_cache()->stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+}
+
+TEST_F(ServingTest, CompiledQuerySubmissionsBypassTheCache) {
+  Engine engine(*cluster_, CacheConfig(1));
+  auto compiled = CompileXPath(kQueryA, doc_->symbols());
+  ASSERT_TRUE(compiled.ok());
+  for (int i = 0; i < 2; ++i) {
+    QueryReport report = engine.Submit(*compiled).TakeReport();
+    ASSERT_TRUE(report.result.ok());
+    EXPECT_FALSE(report.served_from_cache);
+  }
+  const AnswerCache::Stats stats = engine.answer_cache()->stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced, 0u);
+}
+
+// The multi-front-end deployment: engines over the same cluster share one
+// cache; an answer computed by one front-end serves the other's clients.
+TEST_F(ServingTest, SharedCacheServesAcrossEngines) {
+  auto shared = std::make_shared<AnswerCache>();
+  EngineConfig config = CacheConfig(1);
+  config.serving.shared_answer_cache = shared;
+
+  Engine a(*cluster_, config);
+  QueryReport first = a.Submit(kQueryA).TakeReport();
+  ASSERT_TRUE(first.result.ok());
+
+  Engine b(*cluster_, config);
+  QueryReport second = b.Submit(kQueryA).TakeReport();
+  ASSERT_TRUE(second.result.ok());
+  EXPECT_TRUE(second.served_from_cache);
+  EXPECT_EQ(second.result->answers, first.result->answers);
+  EXPECT_EQ(shared->stats().hits, 1u);
+}
+
+// Cached and uncached answers stay bit-identical under a concurrent
+// mixed-priority stream (the TSan job runs this suite).
+TEST_F(ServingTest, ConcurrentMixedPrioritySubmissionsBitIdentical) {
+  EngineOptions options;
+  options.transport = TransportKind::kPooled;
+  std::vector<std::string> queries = {kQueryA, kQueryB,
+                                      "//market/stock/code"};
+  std::vector<std::vector<GlobalNodeId>> reference;
+  for (const std::string& q : queries) {
+    auto r = EvaluateDistributed(*cluster_, q, options);
+    ASSERT_TRUE(r.ok());
+    reference.push_back(r->answers);
+  }
+
+  Engine engine(*cluster_, CacheConfig(4, TransportKind::kPooled));
+  std::vector<QueryHandle> handles;
+  std::vector<size_t> which;
+  for (int rep = 0; rep < 6; ++rep) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      SubmitOptions submit;
+      submit.priority = (rep + static_cast<int>(qi)) % 2 == 0 ? 0 : 10;
+      handles.push_back(engine.Submit(queries[qi], submit));
+      which.push_back(qi);
+    }
+  }
+  for (size_t i = 0; i < handles.size(); ++i) {
+    QueryReport report = handles[i].TakeReport();
+    ASSERT_TRUE(report.result.ok());
+    EXPECT_EQ(report.result->answers, reference[which[i]]);
+  }
+  // With 6 repetitions of 3 queries, at most 3 evaluations were real.
+  const AnswerCache::Stats stats = engine.answer_cache()->stats();
+  EXPECT_EQ(stats.misses, queries.size());
+  EXPECT_EQ(stats.hits + stats.coalesced, handles.size() - queries.size());
+}
+
+// ---- Fragment-stage memo ----------------------------------------------------
+
+// A second identical run replays per-fragment partial answers: answers and
+// every accounted counter bit-identical, savings reported in the memo_*
+// fields only.
+TEST_F(ServingTest, MemoSecondRunReportsSavingsWithIdenticalAccounting) {
+  EngineConfig config;
+  config.depth = 1;
+  config.serving.fragment_memo = std::make_shared<FragmentMemo>();
+  Engine engine(*cluster_, config);
+
+  QueryReport first = engine.Submit(kQueryA).TakeReport();
+  ASSERT_TRUE(first.result.ok());
+  EXPECT_EQ(first.stats.memo_fragment_hits, 0u);  // recorded, nothing to hit
+
+  QueryReport second = engine.Submit(kQueryA).TakeReport();
+  ASSERT_TRUE(second.result.ok());
+  EXPECT_GT(second.stats.memo_fragment_hits, 0u);
+  EXPECT_GT(second.stats.memo_saved_bytes, 0u);
+
+  // The protocol the coordinator observed is unchanged to the byte.
+  EXPECT_EQ(second.result->answers, first.result->answers);
+  EXPECT_EQ(second.stats.rounds, first.stats.rounds);
+  EXPECT_EQ(second.stats.total_bytes, first.stats.total_bytes);
+  EXPECT_EQ(second.stats.total_messages, first.stats.total_messages);
+  EXPECT_EQ(second.stats.total_envelopes, first.stats.total_envelopes);
+  EXPECT_EQ(second.stats.answer_bytes, first.stats.answer_bytes);
+  EXPECT_EQ(second.stats.wire_bytes, first.stats.wire_bytes);
+  EXPECT_EQ(second.stats.edges, first.stats.edges);
+  ASSERT_EQ(second.stats.per_site.size(), first.stats.per_site.size());
+  for (size_t s = 0; s < first.stats.per_site.size(); ++s) {
+    EXPECT_EQ(second.stats.per_site[s].visits, first.stats.per_site[s].visits);
+    EXPECT_EQ(second.stats.per_site[s].bytes_sent,
+              first.stats.per_site[s].bytes_sent);
+  }
+
+  // And identical to a cold engine with no serving layer at all.
+  EngineConfig cold_config;
+  cold_config.depth = 1;
+  Engine cold(*cluster_, cold_config);
+  QueryReport plain = cold.Submit(kQueryA).TakeReport();
+  ASSERT_TRUE(plain.result.ok());
+  EXPECT_EQ(plain.result->answers, second.result->answers);
+  EXPECT_EQ(plain.stats.total_bytes, second.stats.total_bytes);
+  EXPECT_EQ(plain.stats.edges, second.stats.edges);
+}
+
+TEST_F(ServingTest, MemoKeysOnEpochAndFingerprint) {
+  EngineConfig config;
+  config.depth = 1;
+  config.serving.fragment_memo = std::make_shared<FragmentMemo>();
+  Engine engine(*cluster_, config);
+
+  QueryReport first = engine.Submit(kQueryA).TakeReport();
+  ASSERT_TRUE(first.result.ok());
+
+  // A different query records its own entries, hits nothing.
+  QueryReport other = engine.Submit(kQueryB).TakeReport();
+  ASSERT_TRUE(other.result.ok());
+  EXPECT_EQ(other.stats.memo_fragment_hits, 0u);
+
+  // An epoch bump orphans every recorded entry.
+  cluster_->AdvanceDataEpoch();
+  QueryReport after = engine.Submit(kQueryA).TakeReport();
+  ASSERT_TRUE(after.result.ok());
+  EXPECT_EQ(after.stats.memo_fragment_hits, 0u);
+  EXPECT_EQ(after.result->answers, first.result->answers);
+}
+
+// ---- MemoSession divergence/recovery contract -------------------------------
+
+Envelope MakeLaneEnvelope(FragmentId fragment, const std::string& bytes) {
+  Envelope env;
+  env.from = 0;
+  env.to = 1;
+  WirePart part;
+  part.kind = MessageKind::kQualRequest;
+  part.fragment = fragment;
+  part.bytes = bytes;
+  env.parts.push_back(std::move(part));
+  return env;
+}
+
+TEST(MemoSessionTest, ReplaysUntilDivergenceThenHandsBackRecoveryPrefix) {
+  auto memo = std::make_shared<FragmentMemo>();
+  const Envelope req_a = MakeLaneEnvelope(1, "step-a");
+  const Envelope req_b = MakeLaneEnvelope(1, "step-b");
+  const Envelope req_x = MakeLaneEnvelope(1, "diverged");
+  const Envelope reply = MakeLaneEnvelope(1, "reply");
+
+  {
+    MemoSession first(memo, "fp", /*epoch=*/1);
+    std::vector<Envelope> replies, recover;
+    EXPECT_FALSE(first.Lookup(1, req_a, &replies, &recover));
+    EXPECT_TRUE(recover.empty());  // nothing was ever replayed
+    first.Record(1, req_a, {reply}, 0.25);
+    EXPECT_FALSE(first.Lookup(1, req_b, &replies, &recover));
+    first.Record(1, req_b, {reply, reply}, 0.25);
+    const MemoSavings none = first.TakeSavings();
+    EXPECT_EQ(none.fragment_hits, 0u);
+  }
+
+  {
+    MemoSession second(memo, "fp", /*epoch=*/1);
+    std::vector<Envelope> replies, recover;
+    ASSERT_TRUE(second.Lookup(1, req_a, &replies, &recover));
+    EXPECT_EQ(replies.size(), 1u);
+    // Divergence at step 2: the miss returns the memo-served request prefix
+    // so the driver can rebuild the fragment's handler state.
+    replies.clear();
+    EXPECT_FALSE(second.Lookup(1, req_x, &replies, &recover));
+    ASSERT_EQ(recover.size(), 1u);
+    EXPECT_EQ(EnvelopeDigest(recover[0]), EnvelopeDigest(req_a));
+    // Evaluate mode from here: later misses hand back no prefix twice.
+    recover.clear();
+    EXPECT_FALSE(second.Lookup(1, req_b, &replies, &recover));
+    EXPECT_TRUE(recover.empty());
+    const MemoSavings saved = second.TakeSavings();
+    EXPECT_EQ(saved.fragment_hits, 1u);
+    EXPECT_GT(saved.saved_seconds, 0.0);
+  }
+
+  // A different epoch shares nothing.
+  {
+    MemoSession other(memo, "fp", /*epoch=*/2);
+    std::vector<Envelope> replies, recover;
+    EXPECT_FALSE(other.Lookup(1, req_a, &replies, &recover));
+  }
+}
+
+TEST(FragmentMemoTest, DigestMismatchIsAMissAndRunIdIsExcluded) {
+  Envelope env = MakeLaneEnvelope(3, "payload");
+  env.run = 7;
+  Envelope restamped = env;
+  restamped.run = 99;
+  EXPECT_EQ(EnvelopeDigest(env), EnvelopeDigest(restamped));
+
+  Envelope different = MakeLaneEnvelope(3, "other-payload");
+  EXPECT_NE(EnvelopeDigest(env), EnvelopeDigest(different));
+
+  FragmentMemo memo;
+  FragmentMemo::Entry entry;
+  entry.request_digest = EnvelopeDigest(env);
+  entry.seconds = 1.0;
+  memo.Insert("k", entry);
+  FragmentMemo::Entry out;
+  EXPECT_TRUE(memo.Lookup("k", EnvelopeDigest(restamped), &out));
+  EXPECT_FALSE(memo.Lookup("k", EnvelopeDigest(different), &out));
+  EXPECT_EQ(memo.stats().hits, 1u);
+  EXPECT_EQ(memo.stats().misses, 1u);
+}
+
+// ---- RoundDone wire record --------------------------------------------------
+
+// Protocol v4: a peer's memo savings ride back in RoundDone.
+TEST(WireTest, RoundDoneRecordRoundtripsMemoSavings) {
+  RoundDoneRecord record;
+  record.run = 11;
+  record.site = 3;
+  record.seconds = 0.5;
+  record.status = Status::OK();
+  record.memo_fragment_hits = 17;
+  record.memo_saved_bytes = 4096;
+  record.memo_saved_seconds = 0.125;
+
+  ByteWriter w;
+  record.Encode(&w);
+  ByteReader reader(w.bytes());
+  auto decoded = RoundDoneRecord::Decode(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->run, record.run);
+  EXPECT_EQ(decoded->site, record.site);
+  EXPECT_EQ(decoded->memo_fragment_hits, 17u);
+  EXPECT_EQ(decoded->memo_saved_bytes, 4096u);
+  EXPECT_EQ(decoded->memo_saved_seconds, 0.125);
+}
+
+}  // namespace
+}  // namespace paxml

@@ -1,7 +1,7 @@
 // paxml_site: one deployed site of a multi-process paxml engine.
 //
 //   $ paxml_site DATADIR --site N --sites K --placement 0,1,1,2,...
-//                [--host 127.0.0.1] [--port P] [--threads T]
+//                [--host 127.0.0.1] [--port P] [--threads T] [--memo]
 //
 // Serves either workload family: a directory written by SaveDocument (XML
 // fragments; every machine of a deployment holds the same directory;
@@ -28,6 +28,13 @@
 // per-fragment mail out on a worker pool — RunStats stay bit-identical to
 // the serial order (runtime/site_driver.h). --threads T caps what a client
 // may request on this machine (default: honor the client).
+//
+// --memo turns on the fragment-stage memo (serving/fragment_memo.h): the
+// server keeps a process-wide store of per-fragment partial answers keyed
+// by (query fingerprint, fragment, step), so repeated queries — across
+// runs and client connections — replay recorded replies instead of
+// re-evaluating. Answers and accounted RunStats are unchanged; each
+// round's savings travel back in the RoundDone record.
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +47,7 @@
 #include "fragment/storage.h"
 #include "graph/store.h"
 #include "runtime/socket_server.h"
+#include "serving/fragment_memo.h"
 #include "sim/cluster.h"
 
 using namespace paxml;
@@ -49,7 +57,8 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: paxml_site DATADIR --site N --sites K "
-               "--placement 0,1,... [--host H] [--port P] [--threads T]\n");
+               "--placement 0,1,... [--host H] [--port P] [--threads T] "
+               "[--memo]\n");
 }
 
 /// Loads whichever workload the directory holds: a graph store when its
@@ -94,6 +103,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   size_t max_threads = 0;  // 0 = honor the client's Hello
+  bool memo = false;
 
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--site") == 0 && i + 1 < argc) {
@@ -111,6 +121,8 @@ int main(int argc, char** argv) {
       port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       max_threads = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--memo") == 0) {
+      memo = true;
     } else {
       Usage();
       return 2;
@@ -152,7 +164,8 @@ int main(int argc, char** argv) {
   }
 
   SiteServer server(&cluster, site, MakeSiteProgramFactory(&cluster),
-                    max_threads);
+                    max_threads,
+                    memo ? std::make_shared<FragmentMemo>() : nullptr);
   auto bound = server.Listen(host, port);
   if (!bound.ok()) {
     std::fprintf(stderr, "paxml_site: %s\n", bound.status().ToString().c_str());
