@@ -49,10 +49,24 @@ class ByteReader {
   size_t remaining() const { return bytes_.size() - pos_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }
 
+  /// The unread suffix, without consuming it.
+  std::string_view rest() const { return bytes_.substr(pos_); }
+
  private:
   std::string_view bytes_;
   size_t pos_ = 0;
 };
+
+/// Encoded size of `v` as a varint, without writing it — the unit the
+/// accounting layers use to price id lists before/after delta transcoding.
+inline size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
 
 /// Serializes one formula (with its reachable DAG) from `arena`.
 void EncodeFormula(const FormulaArena& arena, Formula f, ByteWriter* out);

@@ -1,0 +1,150 @@
+#include "common/lz4.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace paxml {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+
+uint32_t Read32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t Hash32(uint32_t v) {
+  // Knuth multiplicative hash; top bits select the table slot.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// 15-extended length: the nibble holds min(v, 15); v >= 15 appends 255-run
+// bytes summing to the remainder, terminated by a byte < 255.
+void PutExtendedLength(size_t v, std::string* out) {
+  v -= 15;
+  while (v >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    v -= 255;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void EmitSequence(const char* literals, size_t literal_len, size_t offset,
+                  size_t match_len /* 0 = final literals-only sequence */,
+                  std::string* out) {
+  const uint8_t lit_nibble =
+      static_cast<uint8_t>(literal_len < 15 ? literal_len : 15);
+  const size_t match_extra = match_len == 0 ? 0 : match_len - kMinMatch;
+  const uint8_t match_nibble =
+      static_cast<uint8_t>(match_len == 0 ? 0
+                                          : (match_extra < 15 ? match_extra
+                                                              : 15));
+  out->push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) PutExtendedLength(literal_len, out);
+  out->append(literals, literal_len);
+  if (match_len == 0) return;
+  out->push_back(static_cast<char>(offset & 0xff));
+  out->push_back(static_cast<char>((offset >> 8) & 0xff));
+  if (match_nibble == 15) PutExtendedLength(match_extra, out);
+}
+
+}  // namespace
+
+std::string Lz4Compress(std::string_view raw) {
+  std::string out;
+  const char* base = raw.data();
+  const size_t n = raw.size();
+  out.reserve(n / 2 + 16);
+
+  // Greedy single-probe matcher: one candidate position per 4-byte hash
+  // (stored +1 so 0 means empty; frame payloads are far below 4 GiB).
+  uint32_t table[1 << kHashBits] = {};
+  size_t anchor = 0;
+  size_t i = 0;
+  while (i + kMinMatch <= n) {
+    const uint32_t h = Hash32(Read32(base + i));
+    const size_t candidate = table[h] == 0 ? 0 : table[h] - 1;
+    const bool usable = table[h] != 0 && i - candidate <= kMaxOffset &&
+                        Read32(base + candidate) == Read32(base + i);
+    table[h] = static_cast<uint32_t>(i + 1);
+    if (!usable) {
+      ++i;
+      continue;
+    }
+    size_t len = kMinMatch;
+    while (i + len < n && base[candidate + len] == base[i + len]) ++len;
+    EmitSequence(base + anchor, i - anchor, i - candidate, len, &out);
+    i += len;
+    anchor = i;
+  }
+  EmitSequence(base + anchor, n - anchor, 0, 0, &out);
+  return out;
+}
+
+Result<std::string> Lz4Decompress(std::string_view compressed,
+                                  size_t raw_size) {
+  std::string out;
+  out.reserve(raw_size);
+  const size_t n = compressed.size();
+  size_t i = 0;
+
+  // Reads the 255-run extension of a nibble that hit 15.
+  auto extended = [&](size_t nibble, size_t* len) -> bool {
+    *len = nibble;
+    if (nibble != 15) return true;
+    uint8_t b;
+    do {
+      if (i >= n) return false;
+      b = static_cast<uint8_t>(compressed[i++]);
+      *len += b;
+    } while (b == 0xff);
+    return true;
+  };
+
+  while (i < n) {
+    const uint8_t token = static_cast<uint8_t>(compressed[i++]);
+    size_t literal_len = 0;
+    if (!extended(token >> 4, &literal_len)) {
+      return Status::ParseError("lz4: truncated literal length");
+    }
+    if (literal_len > n - i) {
+      return Status::ParseError("lz4: literals past end of block");
+    }
+    if (out.size() + literal_len > raw_size) {
+      return Status::ParseError("lz4: output exceeds declared size");
+    }
+    out.append(compressed.data() + i, literal_len);
+    i += literal_len;
+    if (i == n) break;  // the final, literals-only sequence
+    if (n - i < 2) return Status::ParseError("lz4: truncated match offset");
+    const size_t offset =
+        static_cast<uint8_t>(compressed[i]) |
+        (static_cast<size_t>(static_cast<uint8_t>(compressed[i + 1])) << 8);
+    i += 2;
+    if (offset == 0 || offset > out.size()) {
+      return Status::ParseError("lz4: match offset out of range");
+    }
+    size_t match_extra = 0;
+    if (!extended(token & 0x0f, &match_extra)) {
+      return Status::ParseError("lz4: truncated match length");
+    }
+    const size_t match_len = match_extra + kMinMatch;
+    if (out.size() + match_len > raw_size) {
+      return Status::ParseError("lz4: output exceeds declared size");
+    }
+    // Byte-by-byte: offsets smaller than the match length legitimately
+    // self-overlap (run-length shapes).
+    size_t pos = out.size() - offset;
+    for (size_t k = 0; k < match_len; ++k) out.push_back(out[pos + k]);
+  }
+  if (out.size() != raw_size) {
+    return Status::ParseError("lz4: block decodes to the wrong size");
+  }
+  return out;
+}
+
+}  // namespace paxml

@@ -1,0 +1,39 @@
+// In-repo LZ4-style block codec (no external dependency).
+//
+// The frame-compression hook (DESIGN.md §13) trades CPU for wire bytes on
+// big frames; the codec here implements the classic LZ4 block shape —
+// token byte (literal length high nibble, match length low nibble, both
+// 15-extended with 255-run bytes), literals, 2-byte little-endian match
+// offset, minimum match 4 — with greedy hash-chain-free matching. It is
+// self-consistent (Lz4Decompress inverts Lz4Compress), deterministic, and
+// makes no interop claim with the reference LZ4 library: both ends of a
+// paxml connection run this code, negotiated via the Hello record.
+//
+// Decompression is strict: every length and offset is bounds-checked, the
+// output must come to exactly `raw_size` bytes, and any violation is a
+// clean ParseError — compressed records are untrusted wire input.
+
+#ifndef PAXML_COMMON_LZ4_H_
+#define PAXML_COMMON_LZ4_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace paxml {
+
+/// Compresses `raw` into the block format above. Always succeeds; the
+/// output of incompressible input is slightly *larger* than the input
+/// (callers gate on size and fall back to raw — see EncodeFrameForWire).
+std::string Lz4Compress(std::string_view raw);
+
+/// Inverts Lz4Compress. `raw_size` is the declared plain size (carried on
+/// the wire next to the block); the result has exactly that size or the
+/// record is corrupt.
+Result<std::string> Lz4Decompress(std::string_view compressed,
+                                  size_t raw_size);
+
+}  // namespace paxml
+
+#endif  // PAXML_COMMON_LZ4_H_

@@ -138,7 +138,8 @@ Result<SelDownMessage> SelDownMessage::Decode(ByteReader* in) {
 void AnswerUpMessage::Encode(ByteWriter* out) const {
   out->PutVarint(static_cast<uint64_t>(fragment));
   out->PutVarint(answers.size());
-  for (NodeId v : answers) out->PutVarint(static_cast<uint64_t>(v));
+  DeltaIdEncoder delta;
+  for (NodeId v : answers) delta.Append(static_cast<uint64_t>(v), out);
 }
 
 Result<AnswerUpMessage> AnswerUpMessage::Decode(ByteReader* in) {
@@ -147,8 +148,9 @@ Result<AnswerUpMessage> AnswerUpMessage::Decode(ByteReader* in) {
   m.fragment = static_cast<FragmentId>(f);
   PAXML_ASSIGN_OR_RETURN(uint64_t count, in->GetVarint());
   m.answers.reserve(count);
+  DeltaIdDecoder delta;
   for (uint64_t i = 0; i < count; ++i) {
-    PAXML_ASSIGN_OR_RETURN(uint64_t v, in->GetVarint());
+    PAXML_ASSIGN_OR_RETURN(uint64_t v, delta.Next(in));
     m.answers.push_back(static_cast<NodeId>(v));
   }
   return m;

@@ -95,6 +95,38 @@ struct SelDownMessage {
   bool operator==(const SelDownMessage&) const = default;
 };
 
+/// Delta+varint codec for answer-id streams. Ids produced by the
+/// evaluators arrive in ascending document/vertex order, so consecutive
+/// gaps are small and their varints shrink far below the absolute ids'.
+/// The arithmetic is wrapping mod 2^64 on *both* sides (unsigned
+/// subtraction here, unsigned addition in the decoder), so an unsorted or
+/// descending sequence still round-trips exactly — it just doesn't
+/// compress. One encoder instance spans one id stream: chunked emitters
+/// (core/answer_stream.h) keep a single encoder across chunks so the
+/// chunk boundaries are invisible on the wire.
+class DeltaIdEncoder {
+ public:
+  void Append(uint64_t id, ByteWriter* out) {
+    out->PutVarint(id - prev_);  // wraps; the decoder's addition undoes it
+    prev_ = id;
+  }
+
+ private:
+  uint64_t prev_ = 0;
+};
+
+class DeltaIdDecoder {
+ public:
+  Result<uint64_t> Next(ByteReader* in) {
+    PAXML_ASSIGN_OR_RETURN(uint64_t delta, in->GetVarint());
+    prev_ += delta;  // wraps: exact inverse of the encoder
+    return prev_;
+  }
+
+ private:
+  uint64_t prev_ = 0;
+};
+
 /// Final answers of one fragment: local node ids (the answer payload bytes
 /// are accounted separately, per the configured shipping mode).
 struct AnswerUpMessage {

@@ -9,6 +9,7 @@
 
 #include "boolexpr/codec.h"
 #include "common/string_util.h"
+#include "core/messages.h"
 #include "runtime/coordinator.h"
 
 namespace paxml {
@@ -91,9 +92,14 @@ Status ReachProgram::OnReachRequest(SiteContext& ctx, FragmentId f) {
 
   // One local traversal per entry; rows encode in entry order (ascending
   // global id), deps sorted — canonical bytes, so remote peers reproduce
-  // the in-process wire exactly.
+  // the in-process wire exactly. Ids are delta+varint coded (vertices
+  // across rows, deps within a row); `logical` tracks what the absolute
+  // coding would cost, which is what the paper-model counters keep
+  // pricing (the frame ships the delta bytes).
   ByteWriter writer;
   writer.PutVarint(entries.size());
+  uint64_t logical = VarintSize(entries.size());
+  DeltaIdEncoder vertex_delta;
   std::vector<int32_t> visited_scratch;
   std::vector<bool> visited(frag.vertices.size(), false);
   for (int32_t entry : entries) {
@@ -122,10 +128,18 @@ Status ReachProgram::OnReachRequest(SiteContext& ctx, FragmentId f) {
     std::sort(deps.begin(), deps.end());
     deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
 
-    writer.PutVarint(static_cast<uint64_t>(frag.vertices[static_cast<size_t>(entry)]));
+    const uint64_t vertex =
+        static_cast<uint64_t>(frag.vertices[static_cast<size_t>(entry)]);
+    vertex_delta.Append(vertex, &writer);
+    logical += VarintSize(vertex);
     writer.PutU8(direct ? 1 : 0);
     writer.PutVarint(deps.size());
-    for (NodeId d : deps) writer.PutVarint(static_cast<uint64_t>(d));
+    logical += 1 + VarintSize(deps.size());
+    DeltaIdEncoder dep_delta;  // deps restart per row (each list is sorted)
+    for (NodeId d : deps) {
+      dep_delta.Append(static_cast<uint64_t>(d), &writer);
+      logical += VarintSize(static_cast<uint64_t>(d));
+    }
 
     for (int32_t u : visited_scratch) visited[static_cast<size_t>(u)] = false;
   }
@@ -133,7 +147,7 @@ Status ReachProgram::OnReachRequest(SiteContext& ctx, FragmentId f) {
   Envelope env;
   env.to = ctx.query_site();
   env.parts.push_back(
-      {MessageKind::kReachUp, f, std::move(writer).Take(), true});
+      {MessageKind::kReachUp, f, std::move(writer).Take(), true, logical});
   ctx.Send(std::move(env));
   return Status::OK();
 }
@@ -155,9 +169,10 @@ Status ReachProgram::OnReachUp(SiteId, const WirePart& part) {
   if (row_count > reader.remaining() / 3) {
     return Status::ParseError("reach-up: row count past buffer end");
   }
+  DeltaIdDecoder vertex_delta;
   for (uint64_t i = 0; i < row_count; ++i) {
     ReachRow row;
-    PAXML_ASSIGN_OR_RETURN(uint64_t vertex, reader.GetVarint());
+    PAXML_ASSIGN_OR_RETURN(uint64_t vertex, vertex_delta.Next(&reader));
     if (vertex >= static_cast<uint64_t>(store_->vertex_count())) {
       return Status::ParseError("reach-up: vertex out of range");
     }
@@ -173,8 +188,9 @@ Status ReachProgram::OnReachUp(SiteId, const WirePart& part) {
       return Status::ParseError("reach-up: dep count past buffer end");
     }
     row.deps.reserve(dep_count);
+    DeltaIdDecoder dep_delta;
     for (uint64_t d = 0; d < dep_count; ++d) {
-      PAXML_ASSIGN_OR_RETURN(uint64_t dep, reader.GetVarint());
+      PAXML_ASSIGN_OR_RETURN(uint64_t dep, dep_delta.Next(&reader));
       if (dep >= static_cast<uint64_t>(store_->vertex_count())) {
         return Status::ParseError("reach-up: dep out of range");
       }

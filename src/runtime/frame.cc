@@ -24,13 +24,12 @@ uint8_t EnvelopeFlags(const Envelope& env) {
                               (static_cast<uint8_t>(env.category) << 1));
 }
 
-size_t VarintSize(uint64_t v) {
-  size_t n = 1;
-  while (v >= 0x80) {
-    v >>= 7;
-    ++n;
-  }
-  return n;
+// Part flag byte: bit 0 = accounted, bit 1 = an explicit logical size
+// follows (delta-transcoded payloads whose accounted size differs from the
+// shipped bytes).
+uint8_t PartFlags(const WirePart& part) {
+  return static_cast<uint8_t>((part.accounted ? 1 : 0) |
+                              (part.logical_bytes != 0 ? 2 : 0));
 }
 
 }  // namespace
@@ -63,7 +62,8 @@ void Frame::Encode(ByteWriter* out) const {
     for (const WirePart& part : env.parts) {
       out->PutU8(static_cast<uint8_t>(part.kind));
       out->PutVarint(EncodeId(part.fragment));
-      out->PutU8(part.accounted ? 1 : 0);
+      out->PutU8(PartFlags(part));
+      if (part.logical_bytes != 0) out->PutVarint(part.logical_bytes);
       out->PutString(part.bytes);
     }
   }
@@ -77,6 +77,7 @@ uint64_t Frame::EncodedSize() const {
     n += 1 + VarintSize(env.phantom_bytes) + VarintSize(env.parts.size());
     for (const WirePart& part : env.parts) {
       n += 1 + VarintSize(EncodeId(part.fragment)) + 1 +
+           (part.logical_bytes != 0 ? VarintSize(part.logical_bytes) : 0) +
            VarintSize(part.bytes.size()) + part.bytes.size();
     }
   }
@@ -131,9 +132,17 @@ Result<Frame> Frame::Decode(ByteReader* in) {
       part.kind = static_cast<MessageKind>(kind);
       PAXML_ASSIGN_OR_RETURN(uint64_t fragment, in->GetVarint());
       PAXML_ASSIGN_OR_RETURN(part.fragment, DecodeId(fragment));
-      PAXML_ASSIGN_OR_RETURN(uint8_t accounted, in->GetU8());
-      if (accounted > 1) return Status::ParseError("frame: bad part flag");
-      part.accounted = accounted != 0;
+      PAXML_ASSIGN_OR_RETURN(uint8_t part_flags, in->GetU8());
+      if (part_flags > 3) return Status::ParseError("frame: bad part flag");
+      part.accounted = (part_flags & 1) != 0;
+      if ((part_flags & 2) != 0) {
+        PAXML_ASSIGN_OR_RETURN(part.logical_bytes, in->GetVarint());
+        // 0 would re-encode without the flag bit, breaking the
+        // re-encode-byte-identical property; reject it as corrupt.
+        if (part.logical_bytes == 0) {
+          return Status::ParseError("frame: zero logical size");
+        }
+      }
       PAXML_ASSIGN_OR_RETURN(part.bytes, in->GetString());
       env.parts.push_back(std::move(part));
     }
@@ -168,16 +177,34 @@ void AccountEnvelopeBytes(const Envelope& env, RunStats* stats) {
   stats->per_site[static_cast<size_t>(env.to)].bytes_received += bytes;
   stats->edges[{env.from, env.to}].bytes += bytes;
   ++stats->edges[{env.from, env.to}].envelopes;
+  // Delta-codec visibility: parts whose shipped bytes were transcoded away
+  // from their logical encoding report both sizes, accounted or not (the
+  // phantom-answer mode delta-encodes its unaccounted id list too).
+  for (const WirePart& p : env.parts) {
+    if (p.logical_bytes != 0) {
+      stats->delta_logical_bytes += p.logical_bytes;
+      stats->delta_wire_bytes += p.bytes.size();
+    }
+  }
 }
 
 void AccountFrame(const Frame& frame, RunStats* stats) {
+  const uint64_t raw = frame.EncodedSize();
+  AccountFrameWire(frame, stats, {raw, raw, false});
+}
+
+void AccountFrameWire(const Frame& frame, RunStats* stats,
+                      const FrameWireInfo& wire) {
   for (const Envelope& env : frame.envelopes) {
     if (env.accounted) AccountEnvelopeBytes(env, stats);
   }
   // Every frame is physically written, control-plane or not: wire_bytes is
-  // what a socket moves, while the counters below follow the paper's model
-  // (request frames are free, phantom bytes are counted).
-  stats->wire_bytes += frame.EncodedSize();
+  // what a socket moves (post-compression), wire_raw_bytes the plain
+  // encoding, while the counters below follow the paper's model (request
+  // frames are free, phantom bytes are counted).
+  stats->wire_bytes += wire.wire_bytes;
+  stats->wire_raw_bytes += wire.raw_bytes;
+  if (wire.compressed) ++stats->wire_frames_compressed;
   if (!frame.Accounted()) return;
   PAXML_CHECK_LT(static_cast<size_t>(frame.to), stats->per_site.size());
   PAXML_CHECK(frame.from == kNullSite ||

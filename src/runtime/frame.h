@@ -60,8 +60,10 @@ struct Frame {
 
   /// Serializes the frame: header (run, edge, sequence), then each
   /// envelope with its category, accounted flag, phantom bytes and parts
-  /// (kind, fragment, accounted flag, payload bytes). Deterministic:
-  /// re-encoding a decoded frame is byte-identical (tested property).
+  /// (kind, fragment, a flags byte — bit 0 accounted, bit 1 "carries a
+  /// logical size" — the optional logical byte count, payload bytes).
+  /// Deterministic: re-encoding a decoded frame is byte-identical (tested
+  /// property).
   void Encode(ByteWriter* out) const;
 
   /// Exactly Encode()'s output size (tested property), computed without
@@ -85,8 +87,17 @@ void AccountEnvelopeBytes(const Envelope& env, RunStats* stats);
 /// Accounts a delivered frame into `stats`: every accounted envelope's
 /// bytes plus — if the frame is accounted at all — one message on the
 /// frame's edge. Applying this to a Decode()d copy of a frame reproduces
-/// the exact RunStats deltas of the original (tested property).
+/// the exact RunStats deltas of the original (tested property). This
+/// overload models a plain uncompressed wire (raw == wire == EncodedSize).
 void AccountFrame(const Frame& frame, RunStats* stats);
+
+/// Same, but with the frame's actual wire sizes: `wire.raw_bytes` feeds
+/// wire_raw_bytes, `wire.wire_bytes` feeds wire_bytes, and a compressed
+/// frame bumps wire_frames_compressed. Every logical counter (messages,
+/// envelopes, byte splits) is identical between the two overloads — the
+/// wire split is the ONLY thing compression may move.
+void AccountFrameWire(const Frame& frame, RunStats* stats,
+                      const FrameWireInfo& wire);
 
 }  // namespace paxml
 

@@ -28,11 +28,18 @@ EnvelopeStream::EnvelopeStream(SiteContext& ctx, Envelope head)
 EnvelopeStream::~EnvelopeStream() { Close(); }
 
 void EnvelopeStream::Append(std::string_view bytes, uint64_t phantom_bytes) {
+  AppendRecoded(bytes, bytes.size(), phantom_bytes);
+}
+
+void EnvelopeStream::AppendRecoded(std::string_view bytes,
+                                   uint64_t logical_bytes,
+                                   uint64_t phantom_bytes) {
   PAXML_CHECK(!closed_);
   if (staged_) {
-    transport_->StreamAppend(run_, from_, to_, bytes, phantom_bytes);
+    transport_->StreamAppend(run_, from_, to_, bytes, logical_bytes,
+                             phantom_bytes);
   } else {
-    buffered_.parts.back().bytes.append(bytes);
+    AppendPartBytes(buffered_.parts.back(), bytes, logical_bytes);
     buffered_.phantom_bytes += phantom_bytes;
   }
 }

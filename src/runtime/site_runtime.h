@@ -96,6 +96,13 @@ class EnvelopeStream {
   /// envelope's modeled payload.
   void Append(std::string_view bytes, uint64_t phantom_bytes = 0);
 
+  /// Appends transcoded `bytes` that account as `logical_bytes` of logical
+  /// payload (the delta-encoded answer chunks: shipped bytes shrink, the
+  /// paper's byte accounting does not). Append(b, p) ==
+  /// AppendRecoded(b, b.size(), p).
+  void AppendRecoded(std::string_view bytes, uint64_t logical_bytes,
+                     uint64_t phantom_bytes = 0);
+
   void Close();
 
  private:

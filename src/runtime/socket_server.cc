@@ -48,12 +48,15 @@ class PeerPlane : public Transport {
   using Transport::InjectFrame;  // the server feeds client frames in
 
  protected:
-  bool TakeSealedFrameLocked(Frame& frame) override {
+  bool TakeSealedFrameLocked(Frame& frame, FrameWireInfo* wire) override {
     if (frame.to == home_) return false;
     auto it = client_run_.find(frame.run);
     PAXML_CHECK(it != client_run_.end());
     frame.run = it->second;
-    AppendFrameRecord(frame, &pending_);
+    // The plane options carry the *negotiated* threshold (0 when the
+    // connection declined codecs), so replies gate exactly as the client's
+    // outbound frames do — the two directions price identically.
+    *wire = EncodeFrameForWire(frame, options().compress_min_bytes, &pending_);
     return true;
   }
 
@@ -76,12 +79,13 @@ struct RunState {
 
 SiteServer::SiteServer(const Cluster* cluster, SiteId site,
                        SiteProgramFactory factory, size_t max_site_threads,
-                       std::shared_ptr<FragmentMemo> memo)
+                       std::shared_ptr<FragmentMemo> memo, bool allow_compress)
     : cluster_(cluster),
       site_(site),
       factory_(std::move(factory)),
       max_site_threads_(max_site_threads),
-      memo_(std::move(memo)) {
+      memo_(std::move(memo)),
+      allow_compress_(allow_compress) {
   PAXML_CHECK(site >= 0 &&
               static_cast<size_t>(site) < cluster->site_count());
 }
@@ -140,6 +144,10 @@ Status SiteServer::ServeConnection(int fd) {
   // inside each DeliverTimed, so the PeerPlane is only ever touched here.
   size_t site_threads = 1;
   std::shared_ptr<WorkerPool> site_pool;
+  // Whether this connection negotiated the lz4 codec at Hello. Gates both
+  // directions: kFrameZ from the client is only legal when true, and the
+  // PeerPlane's replies only compress when true (via its mirrored options).
+  bool conn_compress = false;
 
   auto send_error = [&](RunId run, const std::string& message) -> Status {
     ErrorRecord error;
@@ -157,7 +165,9 @@ Status SiteServer::ServeConnection(int fd) {
         return Status::NetworkError("expected hello");
       }
       PAXML_ASSIGN_OR_RETURN(HelloRecord hello, HelloRecord::Decode(&reader));
-      if (hello.version != kWireProtocolVersion) {
+      // v4 clients are still welcome — they simply never offer codecs, so
+      // the connection runs raw frames (the v5 fallback state).
+      if (hello.version != kWireProtocolVersion && hello.version != 4) {
         (void)send_error(kNullRun, "wire protocol version mismatch");
         return Status::NetworkError("wire protocol version mismatch");
       }
@@ -184,9 +194,23 @@ Status SiteServer::ServeConnection(int fd) {
       if (site_threads > 1) {
         site_pool = std::make_shared<WorkerPool>(site_threads);
       }
+      // Codec negotiation: accept the client's lz4 offer only when the
+      // operator allowed it. The client's threshold is mirrored into the
+      // plane options only on acceptance, so a declined offer leaves the
+      // replies raw (threshold 0 disables the gate entirely).
+      conn_compress = allow_compress_ && !legacy_hello_ &&
+                      hello.version >= 5 &&
+                      (hello.codecs & kCodecLz4) != 0 &&
+                      hello.compress_min_bytes > 0;
+      options.compress_min_bytes =
+          conn_compress ? hello.compress_min_bytes : 0;
       plane = std::make_unique<PeerPlane>(site_, std::move(options));
       HelloAckRecord ack;
       ack.site = site_;
+      if (!legacy_hello_) {
+        ack.version = kWireProtocolVersion;
+        ack.codecs = conn_compress ? kCodecLz4 : 0;
+      }
       std::string bytes;
       AppendControlRecord(RecordType::kHelloAck, ack, &bytes);
       hello_done = true;
@@ -271,16 +295,18 @@ Status SiteServer::ServeConnection(int fd) {
         runs.erase(it);
         return Status::OK();
       }
-      case RecordType::kFrame: {
-        PAXML_ASSIGN_OR_RETURN(Frame frame, Frame::Decode(&reader));
-        if (frame.to != site_) {
+      case RecordType::kFrame:
+      case RecordType::kFrameZ: {
+        PAXML_ASSIGN_OR_RETURN(ReceivedFrame received,
+                               DecodeFrameRecord(record, conn_compress));
+        if (received.frame.to != site_) {
           return Status::NetworkError("frame for a site this peer does not serve");
         }
-        PAXML_RETURN_NOT_OK(reassembler.Accept(frame));
-        auto it = runs.find(frame.run);
+        PAXML_RETURN_NOT_OK(reassembler.Accept(received.frame));
+        auto it = runs.find(received.frame.run);
         if (it == runs.end()) return Status::OK();  // races a close: drop
-        frame.run = it->second.local_run;
-        return plane->InjectFrame(std::move(frame));
+        received.frame.run = it->second.local_run;
+        return plane->InjectFrame(std::move(received.frame), &received.wire);
       }
       case RecordType::kRoundStart: {
         PAXML_ASSIGN_OR_RETURN(RoundStartRecord start,

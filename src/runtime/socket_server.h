@@ -61,10 +61,13 @@ class SiteServer {
   /// memoization for every run this server delivers: the memo is
   /// process-wide, so repeated queries reuse entries across connections and
   /// runs, and each round's savings are reported back in the RoundDone
-  /// record (serving/fragment_memo.h).
+  /// record (serving/fragment_memo.h). `allow_compress` (paxml_site
+  /// --compress) lets the server accept a client's codec offer at Hello;
+  /// off, every offer is declined and the connection runs raw frames.
   SiteServer(const Cluster* cluster, SiteId site, SiteProgramFactory factory,
              size_t max_site_threads = 0,
-             std::shared_ptr<FragmentMemo> memo = nullptr);
+             std::shared_ptr<FragmentMemo> memo = nullptr,
+             bool allow_compress = false);
   ~SiteServer();
 
   SiteServer(const SiteServer&) = delete;
@@ -87,6 +90,11 @@ class SiteServer {
 
   SiteId site() const { return site_; }
 
+  /// Test hook: answer Hellos with the pre-v5 short HelloAck (site only)
+  /// and never negotiate codecs — impersonates an older server so the
+  /// mixed-version interop path is testable in-process.
+  void set_legacy_hello(bool legacy) { legacy_hello_ = legacy; }
+
  private:
   Status ServeConnection(int fd);
 
@@ -95,6 +103,8 @@ class SiteServer {
   SiteProgramFactory factory_;
   size_t max_site_threads_ = 0;
   std::shared_ptr<FragmentMemo> memo_;
+  bool allow_compress_ = false;
+  bool legacy_hello_ = false;
   int listen_fd_ = -1;
   std::atomic<bool> shutdown_{false};
 };

@@ -71,6 +71,10 @@ SocketTransport::SocketTransport(TransportOptions options)
       hello.data_chunk_bytes = this->options().data_chunk_bytes;
       hello.max_frame_bytes = this->options().max_frame_bytes;
       hello.site_threads = this->options().site_threads;
+      // Offer the codec only when the client would actually use it.
+      const bool offer_lz4 = this->options().compress_min_bytes > 0;
+      hello.codecs = offer_lz4 ? kCodecLz4 : 0;
+      hello.compress_min_bytes = this->options().compress_min_bytes;
       std::string bytes;
       AppendControlRecord(RecordType::kHello, hello, &bytes);
       status = WriteAll(conn->fd, bytes);
@@ -85,6 +89,11 @@ SocketTransport::SocketTransport(TransportOptions options)
           } else if (decoded->site != site) {
             status = Status::NetworkError(
                 "peer at " + endpoint + " serves a different site");
+          } else {
+            // Graceful fallback: a pre-v5 peer (or one that declined the
+            // codec) simply runs uncompressed — no error, no retry.
+            conn->compress = offer_lz4 && decoded->version >= 5 &&
+                             (decoded->codecs & kCodecLz4) != 0;
           }
         } else {
           status = ack.status();
@@ -141,11 +150,17 @@ void SocketTransport::QueueLocked(Connection& conn, std::string bytes) {
   conn.outbox.append(bytes);
 }
 
-bool SocketTransport::TakeSealedFrameLocked(Frame& frame) {
+bool SocketTransport::TakeSealedFrameLocked(Frame& frame,
+                                            FrameWireInfo* wire) {
   if (!remote(frame.to)) return false;
   Connection* conn = ConnectionFor(frame.to);
+  // Compress only when the connection negotiated it; a fallback peer gets
+  // (and the run's stats record) plain raw frames.
+  const uint64_t threshold = (conn != nullptr && conn->compress)
+                                 ? options().compress_min_bytes
+                                 : 0;
   std::string bytes;
-  AppendFrameRecord(frame, &bytes);
+  *wire = EncodeFrameForWire(frame, threshold, &bytes);
   std::lock_guard<std::mutex> lock(net_mu_);
   if (conn == nullptr || !conn->alive) {
     // The frame is lost with its peer; make sure the run reports it even
@@ -364,19 +379,22 @@ void SocketTransport::ReceiverLoop(Connection* conn) {
 Status SocketTransport::HandleRecord(Connection& conn, WireRecord record) {
   ByteReader reader(record.payload);
   switch (record.type) {
-    case RecordType::kFrame: {
-      PAXML_ASSIGN_OR_RETURN(Frame frame, Frame::Decode(&reader));
-      if (frame.from != conn.site) {
+    case RecordType::kFrame:
+    case RecordType::kFrameZ: {
+      PAXML_ASSIGN_OR_RETURN(ReceivedFrame received,
+                             DecodeFrameRecord(record, conn.compress));
+      if (received.frame.from != conn.site) {
         return Status::NetworkError("frame from a site the peer does not serve");
       }
       {
         std::lock_guard<std::mutex> lock(net_mu_);
-        PAXML_RETURN_NOT_OK(conn.reassembler.Accept(frame));
+        PAXML_RETURN_NOT_OK(conn.reassembler.Accept(received.frame));
       }
-      // Injection accounts the frame (AccountFrame reproduces the sender's
-      // deltas exactly) and mailboxes it; frames for since-closed runs are
-      // dropped inside.
-      return InjectFrame(std::move(frame));
+      // Injection accounts the frame (the codec reproduces the sender's
+      // logical deltas exactly; the record's own sizes feed the wire
+      // split) and mailboxes it; frames for since-closed runs are dropped
+      // inside.
+      return InjectFrame(std::move(received.frame), &received.wire);
     }
     case RecordType::kRoundDone: {
       PAXML_ASSIGN_OR_RETURN(RoundDoneRecord done,

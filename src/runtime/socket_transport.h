@@ -73,7 +73,7 @@ class SocketTransport : public Transport {
   Status EnsureConnected() const;
 
  protected:
-  bool TakeSealedFrameLocked(Frame& frame) override;
+  bool TakeSealedFrameLocked(Frame& frame, FrameWireInfo* wire) override;
   void RunOpened(RunId run, const Cluster* cluster,
                  const RunSpec* spec) override;
   void RunClosing(RunId run) override;
@@ -87,6 +87,10 @@ class SocketTransport : public Transport {
     Status status;              ///< why the connection died (net_mu_)
     std::string outbox;         ///< encoded records awaiting a flush (net_mu_)
     FrameReassembler reassembler;  ///< incoming sequence check (net_mu_)
+    /// Both sides negotiated the lz4 codec at Hello (wire protocol v5).
+    /// Written once during the constructor handshake, before the receiver
+    /// thread exists; immutable afterwards, so reads need no lock.
+    bool compress = false;
     std::mutex io_mu;           ///< serializes fd writes
     std::thread receiver;
   };

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "runtime/frame.h"
 #include "runtime/socket_transport.h"
+#include "runtime/wire.h"
 #include "runtime/worker_pool.h"
 #include "sim/cluster.h"
 
@@ -33,9 +34,19 @@ const char* MessageKindName(MessageKind kind) {
 uint64_t Envelope::WireBytes() const {
   uint64_t bytes = phantom_bytes;
   for (const WirePart& p : parts) {
-    if (p.accounted) bytes += p.bytes.size();
+    if (p.accounted) bytes += p.LogicalSize();
   }
   return bytes;
+}
+
+void AppendPartBytes(WirePart& part, std::string_view bytes, uint64_t logical) {
+  // Materialize the running logical total the first time it diverges from
+  // bytes.size(); from then on every append maintains it explicitly.
+  if (part.logical_bytes == 0 && logical != bytes.size()) {
+    part.logical_bytes = part.bytes.size();
+  }
+  if (part.logical_bytes != 0) part.logical_bytes += logical;
+  part.bytes.append(bytes);
 }
 
 Transport::RunBinding& Transport::BindingLocked(RunId run) {
@@ -84,8 +95,9 @@ void Transport::CloseRun(RunId run) {
   RunClosing(run);
 }
 
-bool Transport::TakeSealedFrameLocked(Frame& frame) {
+bool Transport::TakeSealedFrameLocked(Frame& frame, FrameWireInfo* wire) {
   (void)frame;
+  (void)wire;
   return false;
 }
 
@@ -159,16 +171,17 @@ void Transport::StreamBegin(Envelope head) {
 }
 
 void Transport::StreamAppend(RunId run, SiteId from, SiteId to,
-                             std::string_view bytes, uint64_t phantom_bytes) {
+                             std::string_view bytes, uint64_t logical_bytes,
+                             uint64_t phantom_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   RunBinding& binding = BindingLocked(run);
   auto it = binding.staging.find({from, to});
   PAXML_CHECK(it != binding.staging.end() && it->second.stream_open);
   Envelope& env = it->second.envelopes.back();
-  env.parts.back().bytes.append(bytes);
+  AppendPartBytes(env.parts.back(), bytes, logical_bytes);
   env.phantom_bytes += phantom_bytes;
   if (env.parts.back().accounted) {
-    it->second.staged_bytes += bytes.size();
+    it->second.staged_bytes += logical_bytes;
   }
   it->second.staged_bytes += phantom_bytes;
 }
@@ -197,8 +210,17 @@ void Transport::SealEdgeLocked(RunId run, RunBinding& binding,
   frame.to = edge.second;
   frame.sequence = binding.next_frame_sequence[edge]++;
   frame.envelopes = std::move(staged.envelopes);
-  AccountFrame(frame, binding.stats);
-  if (TakeSealedFrameLocked(frame)) return;  // bound for a peer's wire
+  // Hook first: a socket backend encodes (and maybe compresses) the frame
+  // for its peer and reports the actual wire sizes; the in-process default
+  // models the identical sizes from the options, so every backend accounts
+  // the same numbers.
+  FrameWireInfo wire;
+  const bool taken = TakeSealedFrameLocked(frame, &wire);
+  if (!taken) {
+    wire = EncodeFrameForWire(frame, options_.compress_min_bytes, nullptr);
+  }
+  AccountFrameWire(frame, binding.stats, wire);
+  if (taken) return;  // bound for a peer's wire
   auto& box = binding.mailboxes[static_cast<size_t>(edge.second)];
   for (Envelope& env : frame.envelopes) box.push_back(std::move(env));
 }
@@ -239,14 +261,14 @@ void Transport::FlushRun(RunId run) {
   FlushRunLocked(run, BindingLocked(run));
 }
 
-Status Transport::InjectFrame(Frame frame) {
+Status Transport::InjectFrame(Frame frame, const FrameWireInfo* wire) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = runs_.find(frame.run);
   // Mail for a run that has since closed legitimately races CloseRun (an
   // abandoned protocol's replies may still be in flight): drop it.
   if (it == runs_.end()) return Status::OK();
   RunBinding& binding = it->second;
-  // Wire input: validate the ids before AccountFrame would PAXML_CHECK.
+  // Wire input: validate the ids before accounting would PAXML_CHECK.
   if (frame.to < 0 ||
       static_cast<size_t>(frame.to) >= binding.mailboxes.size()) {
     return Status::ParseError("frame: destination site out of range");
@@ -255,8 +277,15 @@ Status Transport::InjectFrame(Frame frame) {
       static_cast<size_t>(frame.from) >= binding.mailboxes.size()) {
     return Status::ParseError("frame: source site out of range");
   }
-  AccountFrame(frame, binding.stats);
-  if (TakeSealedFrameLocked(frame)) return Status::OK();  // relay onward
+  const FrameWireInfo info =
+      wire != nullptr
+          ? *wire
+          : EncodeFrameForWire(frame, options_.compress_min_bytes, nullptr);
+  AccountFrameWire(frame, binding.stats, info);
+  FrameWireInfo relay_unused;
+  if (TakeSealedFrameLocked(frame, &relay_unused)) {
+    return Status::OK();  // relay onward
+  }
   auto& box = binding.mailboxes[static_cast<size_t>(frame.to)];
   for (Envelope& env : frame.envelopes) box.push_back(std::move(env));
   return Status::OK();

@@ -137,6 +137,22 @@ struct WirePart {
   FragmentId fragment = kNullFragment;  ///< routing for request kinds
   std::string bytes;
   bool accounted = true;
+
+  /// Logical (pre-transcoding) size of `bytes` for accounting, or 0 when
+  /// the part ships exactly its logical encoding (the common case — the
+  /// sentinel keeps every 4-field aggregate initializer meaning "bytes ARE
+  /// the logical payload"). The answer-delta codec sets this to the
+  /// fixed/absolute-varint size the ids *would* have cost, so per-edge
+  /// bytes, answer_bytes and total_bytes stay bit-identical to the
+  /// pre-delta wire while the frame encoding (wire_bytes) shrinks. A
+  /// nonzero value never equals 0 by construction (headers are >= 1 byte),
+  /// so "0 means bytes.size()" is unambiguous.
+  uint64_t logical_bytes = 0;
+
+  /// Accounted size of this part: the logical payload bytes.
+  uint64_t LogicalSize() const {
+    return logical_bytes != 0 ? logical_bytes : bytes.size();
+  }
 };
 
 /// Behavior knobs of the message plane, shared by every backend.
@@ -176,6 +192,16 @@ struct TransportOptions {
   /// captured per lane and replayed in the serial mail order at the round
   /// seal (DESIGN.md §10).
   size_t site_threads = 1;
+
+  /// Frame compression threshold (0 = off): a sealed frame whose encoding
+  /// is at least this many bytes is compressed (common/lz4.h) before it
+  /// hits the wire, when the connection negotiated the codec (wire
+  /// protocol v5; in-process backends model the same gate so sync ==
+  /// pooled == socket wire accounting stays exact). Compression is
+  /// invisible to every logical counter — total_bytes, answer_bytes,
+  /// per-edge splits, visits — and shows up only in RunStats::wire_bytes
+  /// (vs wire_raw_bytes) and the modeled/wall latency.
+  uint64_t compress_min_bytes = 0;
 
   /// Remote deployment map of the socket backend: site -> "host:port" of
   /// the paxml_site process serving it. Sites absent from the map (the
@@ -217,8 +243,27 @@ struct Envelope {
 
   std::vector<WirePart> parts;
 
-  /// Accounted payload bytes of this envelope.
+  /// Accounted payload bytes of this envelope (logical part sizes — what
+  /// the paper's cost model counts, independent of wire transcoding).
   uint64_t WireBytes() const;
+};
+
+/// Appends `bytes` (carrying `logical` accounted bytes) to a part,
+/// maintaining the logical_bytes sentinel: parts stay in the compact
+/// "logical == bytes.size()" representation until the first append whose
+/// logical size differs, then materialize the running total. The ONE
+/// append path for streamed chunks (Transport::StreamAppend and
+/// EnvelopeStream's buffered mode), so batched and unbatched runs account
+/// identically.
+void AppendPartBytes(WirePart& part, std::string_view bytes, uint64_t logical);
+
+/// How one sealed frame actually went on (or would go on) the wire:
+/// `raw_bytes` is the plain Frame::Encode size, `wire_bytes` the bytes
+/// written after optional compression (== raw_bytes when not compressed).
+struct FrameWireInfo {
+  uint64_t raw_bytes = 0;
+  uint64_t wire_bytes = 0;
+  bool compressed = false;
 };
 
 /// Message plane between the sites of one Cluster. Owns the per-run per-site
@@ -270,10 +315,13 @@ class Transport {
   /// directly.
   virtual void StreamBegin(Envelope head);
 
-  /// Appends `bytes` to the open stream's last part and adds
+  /// Appends `bytes` to the open stream's last part (accounting
+  /// `logical_bytes` of logical payload — pass bytes.size() unless the
+  /// chunk was transcoded, e.g. delta-encoded answer ids) and adds
   /// `phantom_bytes` to its envelope's modeled payload.
   virtual void StreamAppend(RunId run, SiteId from, SiteId to,
-                            std::string_view bytes, uint64_t phantom_bytes);
+                            std::string_view bytes, uint64_t logical_bytes,
+                            uint64_t phantom_bytes);
 
   /// Closes the open stream on the edge; the envelope seals with the
   /// edge's next frame.
@@ -333,21 +381,26 @@ class Transport {
       RunId run, const std::vector<SiteId>& sites);
 
   /// Subclass hook, called under the transport lock when a staged edge has
-  /// sealed (the frame is already accounted into the run's stats). Return
-  /// true to take the frame off the local plane — a socket backend queues
-  /// its encoding for the destination's connection — or false for the
-  /// default local delivery into the destination's mailbox.
-  virtual bool TakeSealedFrameLocked(Frame& frame);
+  /// sealed, BEFORE the frame is accounted. Return true to take the frame
+  /// off the local plane — a socket backend queues its encoding for the
+  /// destination's connection — filling `*wire` with the sizes it actually
+  /// put on the wire (the caller accounts them); return false for the
+  /// default local delivery, leaving `*wire` untouched (the caller models
+  /// the wire sizes from TransportOptions so in-process runs reproduce the
+  /// socket numbers exactly).
+  virtual bool TakeSealedFrameLocked(Frame& frame, FrameWireInfo* wire);
 
   /// Delivers a frame received from elsewhere (a peer's socket) into the
   /// run's mailboxes, accounting it exactly as a locally sealed frame
-  /// (AccountFrame — the codec round-trips everything accounting needs, so
-  /// re-decoded frames reproduce RunStats). Frames for runs that have
-  /// already closed are dropped silently: remote mail legitimately races
-  /// CloseRun. Frames whose destination TakeSealedFrameLocked claims are
-  /// relayed onward instead of mailboxed. Errors mean wire-invalid site
-  /// ids, never a crash — decoded input is untrusted.
-  Status InjectFrame(Frame frame);
+  /// (AccountFrameWire — the codec round-trips everything accounting
+  /// needs, so re-decoded frames reproduce RunStats). `wire` carries the
+  /// received record's actual sizes; null models them from the options
+  /// (in-process tests). Frames for runs that have already closed are
+  /// dropped silently: remote mail legitimately races CloseRun. Frames
+  /// whose destination TakeSealedFrameLocked claims are relayed onward
+  /// instead of mailboxed. Errors mean wire-invalid site ids, never a
+  /// crash — decoded input is untrusted.
+  Status InjectFrame(Frame frame, const FrameWireInfo* wire = nullptr);
 
   /// Hook pair around a run's lifetime, called *outside* the transport
   /// lock: after OpenRun registered the binding (a socket backend announces

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/lz4.h"
 #include "runtime/frame.h"
 
 namespace paxml {
@@ -70,6 +71,7 @@ const char* RecordTypeName(RecordType type) {
     case RecordType::kRoundStart: return "round-start";
     case RecordType::kRoundDone: return "round-done";
     case RecordType::kError: return "error";
+    case RecordType::kFrameZ: return "frame-z";
   }
   return "?";
 }
@@ -107,7 +109,7 @@ Result<std::optional<WireRecord>> RecordBuffer::Next() {
   if (buf_.size() - pos_ - 4 < length) return std::optional<WireRecord>();
   const uint8_t type = static_cast<uint8_t>(buf_[pos_ + 4]);
   if (type < static_cast<uint8_t>(RecordType::kHello) ||
-      type > static_cast<uint8_t>(RecordType::kError)) {
+      type > static_cast<uint8_t>(RecordType::kFrameZ)) {
     return Status::ParseError("wire: unknown record type");
   }
   WireRecord record;
@@ -150,6 +152,12 @@ void HelloRecord::Encode(ByteWriter* out) const {
   out->PutVarint(data_chunk_bytes);
   out->PutVarint(max_frame_bytes);
   out->PutVarint(site_threads);
+  // The compression offer exists only since v5; gating on the declared
+  // version lets tests (and future downgrade paths) emit true v4 hellos.
+  if (version >= 5) {
+    out->PutU8(codecs);
+    out->PutVarint(compress_min_bytes);
+  }
 }
 
 Result<HelloRecord> HelloRecord::Decode(ByteReader* in) {
@@ -161,17 +169,34 @@ Result<HelloRecord> HelloRecord::Decode(ByteReader* in) {
   PAXML_ASSIGN_OR_RETURN(r.data_chunk_bytes, in->GetVarint());
   PAXML_ASSIGN_OR_RETURN(r.max_frame_bytes, in->GetVarint());
   PAXML_ASSIGN_OR_RETURN(r.site_threads, in->GetVarint());
+  if (r.version >= 5) {
+    PAXML_ASSIGN_OR_RETURN(r.codecs, in->GetU8());
+    PAXML_ASSIGN_OR_RETURN(r.compress_min_bytes, in->GetVarint());
+  }
   return r;
 }
 
 void HelloAckRecord::Encode(ByteWriter* out) const {
   out->PutVarint(EncodeId(site));
+  if (version >= 5) {
+    out->PutU32(version);
+    out->PutU8(codecs);
+  }
 }
 
 Result<HelloAckRecord> HelloAckRecord::Decode(ByteReader* in) {
   HelloAckRecord r;
   PAXML_ASSIGN_OR_RETURN(uint64_t site, in->GetVarint());
   PAXML_ASSIGN_OR_RETURN(r.site, DecodeId(site));
+  // Pre-v5 servers end the record here: tolerate the short form and report
+  // the fallback state (old protocol, no codecs).
+  if (in->AtEnd()) {
+    r.version = 4;
+    r.codecs = 0;
+    return r;
+  }
+  PAXML_ASSIGN_OR_RETURN(r.version, in->GetU32());
+  PAXML_ASSIGN_OR_RETURN(r.codecs, in->GetU8());
   return r;
 }
 
@@ -273,6 +298,79 @@ void AppendFrameRecord(const Frame& frame, std::string* out) {
   ByteWriter w;
   frame.Encode(&w);
   AppendRecord(RecordType::kFrame, w.bytes(), out);
+}
+
+FrameWireInfo EncodeFrameForWire(const Frame& frame,
+                                 uint64_t compress_min_bytes,
+                                 std::string* out) {
+  FrameWireInfo info;
+  info.raw_bytes = frame.EncodedSize();
+  info.wire_bytes = info.raw_bytes;
+  const bool eligible =
+      compress_min_bytes > 0 && info.raw_bytes >= compress_min_bytes;
+  // The accounting-only fast path: nothing to write, nothing to compress —
+  // the sizes are fully determined without materializing the encoding.
+  if (!eligible && out == nullptr) return info;
+
+  ByteWriter w;
+  frame.Encode(&w);
+  if (eligible) {
+    const std::string z = Lz4Compress(w.bytes());
+    const uint64_t z_payload = VarintSize(info.raw_bytes) + z.size();
+    // No-expansion rule, applied identically on every side: a frame that
+    // does not shrink ships raw, so modeled and actual wire bytes agree.
+    if (z_payload < info.raw_bytes) {
+      info.wire_bytes = z_payload;
+      info.compressed = true;
+      if (out != nullptr) {
+        ByteWriter payload;
+        payload.PutVarint(info.raw_bytes);
+        payload.PutBytes(z.data(), z.size());
+        AppendRecord(RecordType::kFrameZ, payload.bytes(), out);
+      }
+      return info;
+    }
+  }
+  if (out != nullptr) AppendRecord(RecordType::kFrame, w.bytes(), out);
+  return info;
+}
+
+Result<ReceivedFrame> DecodeFrameRecord(const WireRecord& record,
+                                        bool allow_compressed) {
+  ReceivedFrame received;
+  if (record.type == RecordType::kFrame) {
+    ByteReader reader(record.payload);
+    PAXML_ASSIGN_OR_RETURN(received.frame, Frame::Decode(&reader));
+    if (!reader.AtEnd()) {
+      return Status::ParseError("wire: trailing bytes after frame");
+    }
+    received.wire.raw_bytes = record.payload.size();
+    received.wire.wire_bytes = record.payload.size();
+    return received;
+  }
+  PAXML_CHECK(record.type == RecordType::kFrameZ);  // caller routes types
+  if (!allow_compressed) {
+    return Status::NetworkError(
+        "wire: compressed frame on a connection that never negotiated "
+        "compression");
+  }
+  ByteReader reader(record.payload);
+  PAXML_ASSIGN_OR_RETURN(uint64_t raw_size, reader.GetVarint());
+  if (raw_size == 0 || raw_size > kMaxRecordBytes) {
+    return Status::ParseError("wire: bad declared frame size");
+  }
+  PAXML_ASSIGN_OR_RETURN(
+      std::string raw,
+      Lz4Decompress(reader.rest(), static_cast<size_t>(raw_size)));
+  ByteReader frame_reader(raw);
+  PAXML_ASSIGN_OR_RETURN(received.frame, Frame::Decode(&frame_reader));
+  if (!frame_reader.AtEnd()) {
+    return Status::ParseError("wire: trailing bytes after compressed frame");
+  }
+  received.wire.raw_bytes = raw_size;
+  received.wire.wire_bytes = record.payload.size();
+  received.wire.compressed = true;
+  return received;
 }
 
 // ---- Sockets ----------------------------------------------------------------

@@ -30,6 +30,7 @@
 
 #include "boolexpr/codec.h"
 #include "common/result.h"
+#include "runtime/frame.h"
 #include "runtime/transport.h"
 
 namespace paxml {
@@ -38,7 +39,17 @@ namespace paxml {
 /// v2: HelloRecord grew site_threads (intra-site parallel delivery).
 /// v3: OpenRunRecord carries RunSpec::family (workload fingerprint).
 /// v4: RoundDoneRecord carries fragment-memo savings (serving layer).
-inline constexpr uint32_t kWireProtocolVersion = 4;
+/// v5: frame compression — HelloRecord offers codecs + compress_min_bytes,
+///     HelloAckRecord answers with its own version + accepted codecs, and
+///     kFrameZ records carry compressed frames. A v5 server still accepts
+///     v4 clients (the trailing Hello fields are absent), and a v5 client
+///     falls back to raw frames when the ack is pre-v5 or declines the
+///     codec — mixed versions run correctly, just uncompressed.
+inline constexpr uint32_t kWireProtocolVersion = 5;
+
+/// Codec bitmask for the Hello/HelloAck negotiation. The only codec today
+/// is the in-repo LZ4-style block format (common/lz4.h).
+inline constexpr uint8_t kCodecLz4 = 1;
 
 /// Upper bound on one record's length field: a corrupt length must be a
 /// parse error, not a gigabyte allocation.
@@ -53,6 +64,7 @@ enum class RecordType : uint8_t {
   kRoundStart,     ///< client -> peer: deliver the site's pending mail now
   kRoundDone,      ///< peer -> client: round executed (duration + status)
   kError,          ///< peer -> client: a run failed remotely
+  kFrameZ,         ///< either direction: varint raw size + lz4 block (v5+)
 };
 
 const char* RecordTypeName(RecordType type);
@@ -119,12 +131,26 @@ struct HelloRecord {
   /// (paxml_site may cap it; determinism does not depend on the value).
   uint64_t site_threads = 1;
 
+  /// v5+: codecs the client can decode (kCodec* bitmask) and its
+  /// compress_min_bytes threshold, mirrored by the peer so both directions
+  /// gate identically (the wire-accounting equality depends on it). Encode
+  /// emits them only when `version` >= 5, so tests can craft true v4
+  /// hellos; Decode reads them only when the received version says so.
+  uint8_t codecs = 0;
+  uint64_t compress_min_bytes = 0;
+
   void Encode(ByteWriter* out) const;
   static Result<HelloRecord> Decode(ByteReader* in);
 };
 
 struct HelloAckRecord {
   SiteId site = kNullSite;
+
+  /// v5+: the server's protocol version and the codec subset it accepted.
+  /// Pre-v5 servers sent only `site`; Decode tolerates the short form and
+  /// reports version 4 / no codecs, which is exactly the fallback state.
+  uint32_t version = 4;
+  uint8_t codecs = 0;
 
   void Encode(ByteWriter* out) const;
   static Result<HelloAckRecord> Decode(ByteReader* in);
@@ -195,8 +221,38 @@ void AppendControlRecord(RecordType type, const R& record, std::string* out) {
   AppendRecord(type, w.bytes(), out);
 }
 
-/// One complete kFrame record.
+/// One complete kFrame record (never compressed).
 void AppendFrameRecord(const Frame& frame, std::string* out);
+
+/// THE frame-record encoder, shared by the client transport, the peer's
+/// reply plane and the in-process accounting model — one code path is what
+/// keeps sync == pooled == socket wire accounting exact. Encodes `frame`
+/// and, when `compress_min_bytes` > 0 and the plain encoding is at least
+/// that large, compresses it (common/lz4.h); a compressed payload that
+/// fails to shrink below the raw one falls back to raw (both sides apply
+/// the same deterministic rule). When `out` is non-null the complete
+/// record (kFrame or kFrameZ) is appended; null just models the sizes —
+/// the no-materialization fast path for in-process transports with
+/// compression off. The returned FrameWireInfo prices the record payload
+/// (the unit wire_bytes has always counted; the 5-byte record header is
+/// excluded, as before).
+FrameWireInfo EncodeFrameForWire(const Frame& frame,
+                                 uint64_t compress_min_bytes,
+                                 std::string* out);
+
+/// A decoded kFrame/kFrameZ record plus how it arrived.
+struct ReceivedFrame {
+  Frame frame;
+  FrameWireInfo wire;
+};
+
+/// Decodes a kFrame or kFrameZ record. A kFrameZ on a connection that
+/// never negotiated compression (`allow_compressed` false) is a clean
+/// NetworkError — never silent corruption; truncated or oversized
+/// compressed payloads, declared-size mismatches and trailing bytes are
+/// clean parse errors.
+Result<ReceivedFrame> DecodeFrameRecord(const WireRecord& record,
+                                        bool allow_compressed);
 
 // ---- Sockets ----------------------------------------------------------------
 //

@@ -131,6 +131,22 @@ struct RunStats {
   /// input for a frame-level compression hook.
   uint64_t wire_bytes = 0;
 
+  /// The frames' plain (uncompressed) encoded sizes — == wire_bytes when
+  /// frame compression is off or never fired. The pair makes the
+  /// compression ratio observable without touching any logical counter.
+  uint64_t wire_raw_bytes = 0;
+
+  /// How many sealed frames actually shipped compressed (kFrameZ records).
+  uint64_t wire_frames_compressed = 0;
+
+  /// Answer-delta codec effect: logical bytes of delta-transcoded parts
+  /// (what the paper's model charges — absolute varint ids) vs the bytes
+  /// those parts actually occupy inside frames after delta encoding.
+  /// Zero when no transcoded part shipped. delta_wire_bytes <=
+  /// delta_logical_bytes on sorted id streams (tested ≥30% smaller on FT2).
+  uint64_t delta_logical_bytes = 0;
+  uint64_t delta_wire_bytes = 0;
+
   /// Per-edge traffic, keyed (from, to). Only cross-site accounted messages
   /// appear (local delivery is free); kNullSite marks coordinator-originated
   /// messages not attributable to a site's fragment work.

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lz4.h"
 #include "common/rng.h"
 #include "core/engine.h"
 #include "fragment/fragmenter.h"
@@ -75,6 +76,11 @@ Frame RandomFrame(Rng& rng) {
                           : static_cast<FragmentId>(rng.NextBounded(64));
       part.accounted = rng.NextBool(0.8);
       part.bytes = rng.NextString(rng.NextBounded(200));
+      if (rng.NextBool(0.3)) {
+        // A delta-transcoded part: the logical (accounted) size differs
+        // from the shipped bytes. Always nonzero by construction.
+        part.logical_bytes = part.bytes.size() + 1 + rng.NextBounded(64);
+      }
       env.parts.push_back(std::move(part));
     }
     frame.envelopes.push_back(std::move(env));
@@ -112,6 +118,8 @@ TEST(FrameCodecTest, RandomizedRoundTripIsByteIdentical) {
         EXPECT_EQ(b.parts[p].fragment, a.parts[p].fragment);
         EXPECT_EQ(b.parts[p].accounted, a.parts[p].accounted);
         EXPECT_EQ(b.parts[p].bytes, a.parts[p].bytes);
+        EXPECT_EQ(b.parts[p].logical_bytes, a.parts[p].logical_bytes);
+        EXPECT_EQ(b.parts[p].LogicalSize(), a.parts[p].LogicalSize());
       }
       EXPECT_EQ(b.WireBytes(), a.WireBytes());
     }
@@ -151,6 +159,10 @@ TEST(FrameCodecTest, DecodedFrameReproducesRunStatsExactly) {
     EXPECT_EQ(replayed.total_bytes, original.total_bytes);
     EXPECT_EQ(replayed.answer_bytes, original.answer_bytes);
     EXPECT_EQ(replayed.data_bytes_shipped, original.data_bytes_shipped);
+    EXPECT_EQ(replayed.wire_bytes, original.wire_bytes);
+    EXPECT_EQ(replayed.wire_raw_bytes, original.wire_raw_bytes);
+    EXPECT_EQ(replayed.delta_logical_bytes, original.delta_logical_bytes);
+    EXPECT_EQ(replayed.delta_wire_bytes, original.delta_wire_bytes);
     EXPECT_EQ(replayed.edges, original.edges);
     for (size_t s = 0; s < kSiteCount; ++s) {
       EXPECT_EQ(replayed.per_site[s].bytes_sent, original.per_site[s].bytes_sent);
@@ -239,6 +251,360 @@ TEST(FrameCodecTest, DecodeRejectsOversizedCountsAndIds) {
     ByteReader in(w.bytes());
     EXPECT_FALSE(Frame::Decode(&in).ok());
   }
+}
+
+// The part flag byte admits exactly bits 0 (accounted) and 1 (explicit
+// logical size); anything else — and a declared logical size of zero,
+// which would re-encode without the flag — is corrupt input.
+TEST(FrameCodecTest, DecodeRejectsBadPartFlags) {
+  Frame frame;
+  frame.run = 1;
+  frame.from = 0;
+  frame.to = 1;
+  Envelope env;
+  env.parts.push_back({MessageKind::kQualUp, 0, "payload", true});
+  frame.envelopes.push_back(env);
+  ByteWriter encoded;
+  frame.Encode(&encoded);
+  // Layout: 5 header varints, env flag, phantom, part count, part kind,
+  // fragment — the part flag byte sits at offset 10.
+  const size_t flag_at = 10;
+
+  for (int flags : {4, 5, 7, 0x80, 0xff}) {
+    std::string corrupt = encoded.bytes();
+    corrupt[flag_at] = static_cast<char>(flags);
+    ByteReader in(corrupt);
+    EXPECT_FALSE(Frame::Decode(&in).ok()) << flags;
+  }
+
+  // has-logical flag with a zero logical size.
+  std::string zero_logical = encoded.bytes();
+  zero_logical[flag_at] = static_cast<char>(zero_logical[flag_at] | 2);
+  zero_logical.insert(flag_at + 1, 1, '\0');
+  ByteReader in(zero_logical);
+  EXPECT_FALSE(Frame::Decode(&in).ok());
+}
+
+// ---- LZ4-style block codec (common/lz4.h) -----------------------------------
+
+std::string RepetitivePayload(size_t n) {
+  std::string s;
+  while (s.size() < n) s += "abcabcabdabcabcabe0123456789";
+  s.resize(n);
+  return s;
+}
+
+/// Bytes with no repeated 4-gram: a 4-byte little-endian counter. The
+/// greedy matcher finds nothing, so compression expands (token overhead).
+std::string IncompressiblePayload(size_t words) {
+  std::string s;
+  for (uint32_t i = 0; i < words; ++i) {
+    s.push_back(static_cast<char>(i & 0xff));
+    s.push_back(static_cast<char>((i >> 8) & 0xff));
+    s.push_back(static_cast<char>((i >> 16) & 0xff));
+    s.push_back(static_cast<char>(0x80 | (i >> 24)));
+  }
+  return s;
+}
+
+TEST(Lz4Test, RoundTripsStructuredAndRandomPayloads) {
+  Rng rng(99);
+  std::vector<std::string> payloads = {
+      "", "a", "abcd", "aaaa", std::string(100000, 'x'),
+      RepetitivePayload(5000), IncompressiblePayload(2000)};
+  for (int i = 0; i < 30; ++i) {
+    payloads.push_back(rng.NextString(rng.NextBounded(3000)));
+  }
+  // Frame encodings are the real input distribution.
+  for (int i = 0; i < 20; ++i) {
+    ByteWriter w;
+    RandomFrame(rng).Encode(&w);
+    payloads.push_back(std::move(w).Take());
+  }
+  for (const std::string& raw : payloads) {
+    const std::string z = Lz4Compress(raw);
+    auto back = Lz4Decompress(z, raw.size());
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(*back, raw);
+  }
+}
+
+TEST(Lz4Test, CompressesRepetitiveDataWell) {
+  const std::string raw = RepetitivePayload(10000);
+  const std::string z = Lz4Compress(raw);
+  EXPECT_LT(z.size() * 4, raw.size());  // comfortably under 25%
+}
+
+TEST(Lz4Test, DecompressRejectsCorruption) {
+  // A unique tail keeps the final sequence's literals non-empty, so every
+  // truncation below genuinely loses payload bytes. (Cutting a trailing
+  // *empty* final sequence would still decode to the full declared size —
+  // harmless, but not what this test is probing.)
+  const std::string raw = RepetitivePayload(2000) + IncompressiblePayload(8);
+  const std::string z = Lz4Compress(raw);
+
+  // Truncations: every prefix must fail cleanly (wrong final size at the
+  // very least), never read out of bounds.
+  for (size_t cut = 0; cut < z.size(); ++cut) {
+    EXPECT_FALSE(Lz4Decompress(z.substr(0, cut), raw.size()).ok()) << cut;
+  }
+  // Declared-size mismatches in both directions.
+  EXPECT_FALSE(Lz4Decompress(z, raw.size() - 1).ok());
+  EXPECT_FALSE(Lz4Decompress(z, raw.size() + 1).ok());
+  // A match offset pointing before the start of the output.
+  std::string bad;
+  bad.push_back(static_cast<char>(0x04));  // 0 literals, match_len 4+4
+  bad.push_back(static_cast<char>(0x09));  // offset 9 into empty output
+  bad.push_back(static_cast<char>(0x00));
+  EXPECT_FALSE(Lz4Decompress(bad, 8).ok());
+}
+
+// ---- Wire frame records: size-gated compression (runtime/wire.h) ------------
+
+/// A frame whose payload compresses well (repeated answer-id shapes).
+Frame CompressibleFrame() {
+  Frame frame;
+  frame.run = 9;
+  frame.from = 2;
+  frame.to = 0;
+  frame.sequence = 1;
+  Envelope env;
+  env.run = 9;
+  env.from = 2;
+  env.to = 0;
+  env.category = PayloadCategory::kAnswer;
+  // The unique tail keeps the compressed block's final literals non-empty,
+  // so the truncation sweep below always removes real payload.
+  env.parts.push_back({MessageKind::kAnswerUp, 1,
+                       RepetitivePayload(4000) + IncompressiblePayload(8),
+                       true});
+  frame.envelopes.push_back(env);
+  return frame;
+}
+
+/// Runs `bytes` through RecordBuffer and returns the single record inside.
+WireRecord OneRecord(const std::string& bytes) {
+  RecordBuffer buf;
+  buf.Append(bytes);
+  auto record = buf.Next();
+  PAXML_CHECK(record.ok() && record->has_value());
+  auto none = buf.Next();
+  PAXML_CHECK(none.ok() && !none->has_value());
+  return std::move(**record);
+}
+
+TEST(FrameWireTest, ModelOnlyPathMatchesMaterializedEncoding) {
+  Rng rng(31);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Frame frame = RandomFrame(rng);
+    for (uint64_t threshold : {uint64_t{0}, uint64_t{1}, uint64_t{1 << 20}}) {
+      const FrameWireInfo modeled =
+          EncodeFrameForWire(frame, threshold, nullptr);
+      std::string bytes;
+      const FrameWireInfo real = EncodeFrameForWire(frame, threshold, &bytes);
+      EXPECT_EQ(modeled.raw_bytes, real.raw_bytes);
+      EXPECT_EQ(modeled.wire_bytes, real.wire_bytes);
+      EXPECT_EQ(modeled.compressed, real.compressed);
+      EXPECT_EQ(real.raw_bytes, frame.EncodedSize());
+      // The record payload is exactly the priced wire bytes (+5-byte
+      // record header, which wire_bytes has never counted).
+      EXPECT_EQ(bytes.size(), real.wire_bytes + 5);
+    }
+  }
+}
+
+TEST(FrameWireTest, CompressedFrameRoundTripsWithExactAccounting) {
+  const Frame frame = CompressibleFrame();
+  std::string bytes;
+  const FrameWireInfo wire = EncodeFrameForWire(frame, 64, &bytes);
+  EXPECT_TRUE(wire.compressed);
+  EXPECT_LT(wire.wire_bytes, wire.raw_bytes);
+  EXPECT_EQ(wire.raw_bytes, frame.EncodedSize());
+
+  const WireRecord record = OneRecord(bytes);
+  EXPECT_EQ(record.type, RecordType::kFrameZ);
+  auto received = DecodeFrameRecord(record, /*allow_compressed=*/true);
+  ASSERT_TRUE(received.ok()) << received.status();
+  EXPECT_EQ(received->wire.raw_bytes, wire.raw_bytes);
+  EXPECT_EQ(received->wire.wire_bytes, wire.wire_bytes);
+  EXPECT_TRUE(received->wire.compressed);
+
+  // The decoded frame re-encodes byte-identically, and the *logical*
+  // accounting it produces is exactly the uncompressed frame's — only the
+  // wire split differs.
+  ByteWriter reencoded;
+  received->frame.Encode(&reencoded);
+  ByteWriter plain;
+  frame.Encode(&plain);
+  EXPECT_EQ(reencoded.bytes(), plain.bytes());
+
+  RunStats raw_stats, z_stats;
+  raw_stats.per_site.resize(kSiteCount);
+  z_stats.per_site.resize(kSiteCount);
+  AccountFrame(frame, &raw_stats);
+  AccountFrameWire(received->frame, &z_stats, received->wire);
+  EXPECT_EQ(z_stats.total_bytes, raw_stats.total_bytes);
+  EXPECT_EQ(z_stats.answer_bytes, raw_stats.answer_bytes);
+  EXPECT_EQ(z_stats.total_messages, raw_stats.total_messages);
+  EXPECT_EQ(z_stats.edges, raw_stats.edges);
+  EXPECT_EQ(z_stats.wire_raw_bytes, raw_stats.wire_raw_bytes);
+  EXPECT_LT(z_stats.wire_bytes, raw_stats.wire_bytes);
+  EXPECT_EQ(z_stats.wire_frames_compressed, 1u);
+}
+
+TEST(FrameWireTest, FramesBelowThresholdStayRaw) {
+  const Frame frame = CompressibleFrame();
+  std::string bytes;
+  const FrameWireInfo wire =
+      EncodeFrameForWire(frame, frame.EncodedSize() + 1, &bytes);
+  EXPECT_FALSE(wire.compressed);
+  EXPECT_EQ(wire.wire_bytes, wire.raw_bytes);
+  EXPECT_EQ(OneRecord(bytes).type, RecordType::kFrame);
+}
+
+TEST(FrameWireTest, IncompressibleFramesFallBackToRaw) {
+  Frame frame;
+  frame.run = 1;
+  frame.from = 1;
+  frame.to = 0;
+  Envelope env;
+  env.parts.push_back(
+      {MessageKind::kAnswerUp, 0, IncompressiblePayload(500), true});
+  frame.envelopes.push_back(env);
+
+  std::string bytes;
+  const FrameWireInfo wire = EncodeFrameForWire(frame, 1, &bytes);
+  EXPECT_FALSE(wire.compressed);
+  EXPECT_EQ(wire.wire_bytes, wire.raw_bytes);
+  EXPECT_EQ(OneRecord(bytes).type, RecordType::kFrame);
+}
+
+TEST(FrameWireTest, CompressedRecordOnRawConnectionIsRejected) {
+  std::string bytes;
+  EncodeFrameForWire(CompressibleFrame(), 64, &bytes);
+  const WireRecord record = OneRecord(bytes);
+  ASSERT_EQ(record.type, RecordType::kFrameZ);
+  auto received = DecodeFrameRecord(record, /*allow_compressed=*/false);
+  EXPECT_FALSE(received.ok());
+  // A clean protocol error, not silent corruption or a crash.
+  EXPECT_EQ(received.status().code(), StatusCode::kNetworkError);
+}
+
+TEST(FrameWireTest, CompressedRecordCorruptionIsClean) {
+  std::string bytes;
+  EncodeFrameForWire(CompressibleFrame(), 64, &bytes);
+  const WireRecord record = OneRecord(bytes);
+  ASSERT_EQ(record.type, RecordType::kFrameZ);
+
+  // Truncating the compressed payload anywhere fails cleanly.
+  for (size_t cut = 0; cut < record.payload.size(); ++cut) {
+    WireRecord truncated{RecordType::kFrameZ, record.payload.substr(0, cut)};
+    EXPECT_FALSE(DecodeFrameRecord(truncated, true).ok()) << cut;
+  }
+
+  // Declared-size mismatch: replace the leading raw-size varint.
+  {
+    ByteReader reader(record.payload);
+    auto declared = reader.GetVarint();
+    ASSERT_TRUE(declared.ok());
+    const std::string block(reader.rest());
+    for (uint64_t lie : {*declared - 1, *declared + 1, uint64_t{0},
+                         kMaxRecordBytes + 1}) {
+      ByteWriter w;
+      w.PutVarint(lie);
+      w.PutBytes(block.data(), block.size());
+      WireRecord lied{RecordType::kFrameZ, std::move(w).Take()};
+      EXPECT_FALSE(DecodeFrameRecord(lied, true).ok()) << lie;
+    }
+  }
+
+  // Raw kFrame records with trailing bytes are rejected too.
+  {
+    ByteWriter plain;
+    CompressibleFrame().Encode(&plain);
+    WireRecord padded{RecordType::kFrame, plain.bytes() + "x"};
+    EXPECT_FALSE(DecodeFrameRecord(padded, true).ok());
+  }
+}
+
+// ---- Hello negotiation records ----------------------------------------------
+
+// Every message-plane knob a client runs with must survive the Hello: the
+// peer mirrors them so both sides seal identical frames. This pins the
+// full set — answer_chunk_ids AND data_chunk_bytes included — so a new
+// knob that skips the Hello fails here, not as a socket-vs-sync accounting
+// drift in a four-process test.
+TEST(HelloRecordTest, V5RoundTripCarriesEveryPlaneKnob) {
+  HelloRecord hello;
+  hello.site = 3;
+  hello.answer_chunk_ids = 17;
+  hello.data_chunk_bytes = 4242;
+  hello.max_frame_bytes = 9000;
+  hello.site_threads = 5;
+  hello.codecs = kCodecLz4;
+  hello.compress_min_bytes = 512;
+
+  ByteWriter w;
+  hello.Encode(&w);
+  ByteReader r(w.bytes());
+  auto decoded = HelloRecord::Decode(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(decoded->version, kWireProtocolVersion);
+  EXPECT_EQ(decoded->site, 3);
+  EXPECT_EQ(decoded->answer_chunk_ids, 17u);
+  EXPECT_EQ(decoded->data_chunk_bytes, 4242u);
+  EXPECT_EQ(decoded->max_frame_bytes, 9000u);
+  EXPECT_EQ(decoded->site_threads, 5u);
+  EXPECT_EQ(decoded->codecs, kCodecLz4);
+  EXPECT_EQ(decoded->compress_min_bytes, 512u);
+}
+
+TEST(HelloRecordTest, V4HelloDecodesWithoutCodecFields) {
+  HelloRecord hello;
+  hello.version = 4;  // a true pre-compression client
+  hello.site = 1;
+  hello.codecs = kCodecLz4;        // must NOT be emitted at v4
+  hello.compress_min_bytes = 512;  // likewise
+
+  ByteWriter w;
+  hello.Encode(&w);
+  ByteReader r(w.bytes());
+  auto decoded = HelloRecord::Decode(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(decoded->version, 4u);
+  EXPECT_EQ(decoded->codecs, 0);
+  EXPECT_EQ(decoded->compress_min_bytes, 0u);
+}
+
+TEST(HelloAckRecordTest, ShortFormDecodesAsPreV5) {
+  // A pre-v5 server's ack carried only the site; Decode reports version 4
+  // and no codecs — exactly the client's fallback state.
+  HelloAckRecord legacy;
+  legacy.site = 2;  // version stays at its default (4): short form
+  ByteWriter w;
+  legacy.Encode(&w);
+  ByteReader r(w.bytes());
+  auto decoded = HelloAckRecord::Decode(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(decoded->site, 2);
+  EXPECT_EQ(decoded->version, 4u);
+  EXPECT_EQ(decoded->codecs, 0);
+
+  HelloAckRecord modern;
+  modern.site = 2;
+  modern.version = kWireProtocolVersion;
+  modern.codecs = kCodecLz4;
+  ByteWriter w2;
+  modern.Encode(&w2);
+  ByteReader r2(w2.bytes());
+  auto decoded2 = HelloAckRecord::Decode(&r2);
+  ASSERT_TRUE(decoded2.ok()) << decoded2.status();
+  EXPECT_TRUE(r2.AtEnd());
+  EXPECT_EQ(decoded2->version, kWireProtocolVersion);
+  EXPECT_EQ(decoded2->codecs, kCodecLz4);
 }
 
 // ---- Frame batching at the transport level ----------------------------------
@@ -692,7 +1058,7 @@ TEST(AdaptiveFlushTest, OpenStreamDefersTheFlush) {
   head.parts.push_back({MessageKind::kAnswerUp, 0, "0123456789", true});
   transport.StreamBegin(std::move(head));
   // Way past the threshold, but the stream is open: nothing seals.
-  transport.StreamAppend(run, 1, 0, "abcdefghijklmnop", 0);
+  transport.StreamAppend(run, 1, 0, "abcdefghijklmnop", 16, 0);
   EXPECT_EQ(stats.total_messages, 0u);
   transport.StreamEnd(run, 1, 0);
   // The close is the trigger.

@@ -21,18 +21,22 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/workload.h"
 #include "fragment/fragmenter.h"
 #include "fragment/storage.h"
 #include "harness.h"
+#include "runtime/socket_server.h"
 #include "runtime/socket_transport.h"
 #include "test_util.h"
 
@@ -86,7 +90,7 @@ std::string PlacementString(const Cluster& cluster) {
 /// fork/execs one paxml_site on an ephemeral loopback port and reads the
 /// bound port from its "PAXML_SITE LISTENING <port>" line.
 SiteProcess SpawnSite(const std::string& doc_dir, const Cluster& cluster,
-                      SiteId site) {
+                      SiteId site, bool compress = false) {
   int out_pipe[2];
   PAXML_CHECK(::pipe(out_pipe) == 0);
 
@@ -101,10 +105,14 @@ SiteProcess SpawnSite(const std::string& doc_dir, const Cluster& cluster,
     ::dup2(out_pipe[1], STDOUT_FILENO);
     ::close(out_pipe[0]);
     ::close(out_pipe[1]);
-    ::execl(binary.c_str(), binary.c_str(), doc_dir.c_str(), "--site",
-            site_arg.c_str(), "--sites", sites_arg.c_str(), "--placement",
-            placement.c_str(), "--port", "0", static_cast<char*>(nullptr));
-    std::perror("execl paxml_site");
+    std::vector<const char*> argv = {
+        binary.c_str(),  doc_dir.c_str(), "--site", site_arg.c_str(),
+        "--sites",       sites_arg.c_str(), "--placement", placement.c_str(),
+        "--port",        "0"};
+    if (compress) argv.push_back("--compress");
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), const_cast<char* const*>(argv.data()));
+    std::perror("execv paxml_site");
     ::_exit(127);
   }
   ::close(out_pipe[1]);
@@ -138,13 +146,13 @@ void KillSite(SiteProcess& proc, int sig = SIGKILL) {
 class Deployment {
  public:
   Deployment(std::shared_ptr<const FragmentedDocument> doc,
-             const Cluster& cluster)
+             const Cluster& cluster, bool compress = false)
       : dir_(MakeTempDir()) {
     PAXML_CHECK(SaveDocument(*doc, dir_).ok());
     for (size_t s = 0; s < cluster.site_count(); ++s) {
       const SiteId site = static_cast<SiteId>(s);
       if (site == cluster.query_site()) continue;
-      sites_[site] = SpawnSite(dir_, cluster, site);
+      sites_[site] = SpawnSite(dir_, cluster, site, compress);
       endpoints_[site] = "127.0.0.1:" + std::to_string(sites_[site].port);
     }
   }
@@ -172,10 +180,14 @@ std::vector<int> Visits(const RunStats& s) {
   return v;
 }
 
-/// Every count the paper's guarantees are stated in, plus the full per-site
-/// and per-edge splits. Timing fields are wall-clock and excluded.
-void ExpectStatsEqual(const RunStats& socket, const RunStats& sync,
-                      const std::string& label) {
+/// The logical ledger — every count the paper's guarantees are stated in,
+/// plus the full per-site and per-edge splits. This is the half frame
+/// compression must never disturb, so fallback tests (where wire accounting
+/// legitimately differs between runs) assert exactly this. The delta-codec
+/// fields are envelope-level and deterministic, so they belong here too.
+/// Timing fields are wall-clock and excluded.
+void ExpectLogicalStatsEqual(const RunStats& socket, const RunStats& sync,
+                             const std::string& label) {
   EXPECT_EQ(socket.rounds, sync.rounds) << label;
   EXPECT_EQ(Visits(socket), Visits(sync)) << label;
   EXPECT_EQ(socket.total_messages, sync.total_messages) << label;
@@ -183,7 +195,8 @@ void ExpectStatsEqual(const RunStats& socket, const RunStats& sync,
   EXPECT_EQ(socket.total_bytes, sync.total_bytes) << label;
   EXPECT_EQ(socket.answer_bytes, sync.answer_bytes) << label;
   EXPECT_EQ(socket.data_bytes_shipped, sync.data_bytes_shipped) << label;
-  EXPECT_EQ(socket.wire_bytes, sync.wire_bytes) << label;
+  EXPECT_EQ(socket.delta_logical_bytes, sync.delta_logical_bytes) << label;
+  EXPECT_EQ(socket.delta_wire_bytes, sync.delta_wire_bytes) << label;
   EXPECT_EQ(socket.edges, sync.edges) << label;
   ASSERT_EQ(socket.per_site.size(), sync.per_site.size()) << label;
   for (size_t s = 0; s < sync.per_site.size(); ++s) {
@@ -199,6 +212,18 @@ void ExpectStatsEqual(const RunStats& socket, const RunStats& sync,
               sync.per_site[s].messages_received)
         << label << " site " << s;
   }
+}
+
+/// The logical ledger plus the wire split. Applies whenever both runs price
+/// frames with the same threshold — including compressed deployments,
+/// because EncodeFrameForWire is the one shared pricing path.
+void ExpectStatsEqual(const RunStats& socket, const RunStats& sync,
+                      const std::string& label) {
+  ExpectLogicalStatsEqual(socket, sync, label);
+  EXPECT_EQ(socket.wire_bytes, sync.wire_bytes) << label;
+  EXPECT_EQ(socket.wire_raw_bytes, sync.wire_raw_bytes) << label;
+  EXPECT_EQ(socket.wire_frames_compressed, sync.wire_frames_compressed)
+      << label;
 }
 
 /// CI smoke hook: PAXML_SITE_THREADS=N re-runs every socket test in this
@@ -357,6 +382,160 @@ TEST(SocketTransportTest, FT2ParallelSitesReproduceSyncExactly) {
       EXPECT_EQ(socket->answers, sync->answers) << label;
       ExpectStatsEqual(socket->stats, sync->stats, label);
     }
+  }
+}
+
+// ---- Frame compression over real processes (DESIGN.md §13) ------------------
+
+// With --compress servers and a client threshold, eligible frames travel
+// as lz4 kFrameZ records in both directions. Because EncodeFrameForWire is
+// the single shared pricing path, a SyncTransport run with the *same*
+// threshold models the socket run's wire accounting exactly — so the full
+// stats-equality bar applies unchanged, now covering the compressed wire
+// split, and the logical ledger must match a plain uncompressed run bit
+// for bit.
+TEST(SocketTransportTest, CompressedFT2ReproducesSyncModelExactly) {
+  bench::Workload w = bench::MakeFT2Paper(0.05);
+  Deployment deployment(w.doc, *w.cluster, /*compress=*/true);
+
+  constexpr uint64_t kThreshold = 128;
+  uint64_t compressed_frames = 0;
+  uint64_t raw_bytes = 0;
+  uint64_t wire_bytes = 0;
+  for (const auto& q : xmark::ExperimentQueries()) {
+    for (auto algo : {DistributedAlgorithm::kPaX2,
+                      DistributedAlgorithm::kNaiveCentralized}) {
+      const std::string label =
+          std::string(AlgorithmName(algo)) + "|z|" + q.name;
+      EngineOptions sync_options = SyncOptions(algo, false);
+      sync_options.transport_options.compress_min_bytes = kThreshold;
+      auto sync = EvaluateDistributed(*w.cluster, q.text, sync_options);
+      EngineOptions socket_options =
+          SocketOptions(algo, false, deployment.endpoints());
+      socket_options.transport_options.compress_min_bytes = kThreshold;
+      auto socket = EvaluateDistributed(*w.cluster, q.text, socket_options);
+      ASSERT_TRUE(sync.ok()) << label << ": " << sync.status();
+      ASSERT_TRUE(socket.ok()) << label << ": " << socket.status();
+      EXPECT_EQ(socket->answers, sync->answers) << label;
+      ExpectStatsEqual(socket->stats, sync->stats, label);
+
+      // Compression must leave the logical ledger untouched: identical to
+      // a run that never heard of the codec.
+      auto plain =
+          EvaluateDistributed(*w.cluster, q.text, SyncOptions(algo, false));
+      ASSERT_TRUE(plain.ok()) << label << ": " << plain.status();
+      ExpectLogicalStatsEqual(socket->stats, plain->stats, label + "|plain");
+
+      compressed_frames += socket->stats.wire_frames_compressed;
+      raw_bytes += socket->stats.wire_raw_bytes;
+      wire_bytes += socket->stats.wire_bytes;
+    }
+  }
+  // The workload must actually exercise the codec, and it must help.
+  EXPECT_GT(compressed_frames, 0u);
+  EXPECT_LT(wire_bytes, raw_bytes);
+}
+
+// A v5 client offering compression to v5 servers run *without* --compress:
+// the offer is declined in the HelloAck and every remote frame travels
+// raw. Answers and the logical ledger still match the plain sync run (wire
+// accounting is not compared — the client still models its threshold on
+// local edges, which is exactly the fallback's documented shape).
+TEST(SocketTransportTest, DeclinedCompressionOfferRunsRawAndCorrect) {
+  ClienteleWorld w = MakeClienteleWorld();
+  Deployment deployment(w.doc, *w.cluster);  // no --compress
+
+  for (const std::string& query :
+       {std::string("//stock/code"),
+        std::string("clientele/client/broker/name")}) {
+    auto sync = EvaluateDistributed(
+        *w.cluster, query, SyncOptions(DistributedAlgorithm::kPaX2, false));
+    EngineOptions options = SocketOptions(DistributedAlgorithm::kPaX2, false,
+                                          deployment.endpoints());
+    options.transport_options.compress_min_bytes = 64;
+    auto socket = EvaluateDistributed(*w.cluster, query, options);
+    ASSERT_TRUE(sync.ok()) << query << ": " << sync.status();
+    ASSERT_TRUE(socket.ok()) << query << ": " << socket.status();
+    EXPECT_EQ(socket->answers, sync->answers) << query;
+    ExpectLogicalStatsEqual(socket->stats, sync->stats, query);
+  }
+}
+
+// Mixed-version interop: a v5 client offering compression against peers
+// that answer the pre-v5 short HelloAck (SiteServer::set_legacy_hello,
+// impersonating an older server in-process). The client must detect the
+// old ack, fall back to raw frames, and produce correct answers with the
+// exact logical ledger — no silent corruption, no hang.
+TEST(SocketTransportTest, LegacyHelloPeerRunsRawAndCorrect) {
+  ClienteleWorld w = MakeClienteleWorld();
+
+  std::vector<std::unique_ptr<SiteServer>> servers;
+  std::vector<std::thread> threads;
+  std::map<SiteId, std::string> endpoints;
+  for (size_t s = 0; s < w.cluster->site_count(); ++s) {
+    const SiteId site = static_cast<SiteId>(s);
+    if (site == w.cluster->query_site()) continue;
+    auto server = std::make_unique<SiteServer>(
+        w.cluster.get(), site, MakeSiteProgramFactory(w.cluster.get()),
+        /*max_site_threads=*/0, /*memo=*/nullptr, /*allow_compress=*/true);
+    server->set_legacy_hello(true);
+    auto port = server->Listen("127.0.0.1", 0);
+    ASSERT_TRUE(port.ok()) << port.status();
+    endpoints[site] = "127.0.0.1:" + std::to_string(*port);
+    threads.emplace_back([srv = server.get()] {
+      const Status st = srv->Serve();
+      (void)st;  // shutdown races surface as benign accept errors
+    });
+    servers.push_back(std::move(server));
+  }
+
+  for (const std::string& query :
+       {std::string("//stock/code"),
+        std::string("clientele/client/broker/name")}) {
+    auto sync = EvaluateDistributed(
+        *w.cluster, query, SyncOptions(DistributedAlgorithm::kPaX2, false));
+    EngineOptions options =
+        SocketOptions(DistributedAlgorithm::kPaX2, false, endpoints);
+    options.transport_options.compress_min_bytes = 64;
+    auto socket = EvaluateDistributed(*w.cluster, query, options);
+    ASSERT_TRUE(sync.ok()) << query << ": " << sync.status();
+    ASSERT_TRUE(socket.ok()) << query << ": " << socket.status();
+    EXPECT_EQ(socket->answers, sync->answers) << query;
+    ExpectLogicalStatsEqual(socket->stats, sync->stats, query);
+  }
+
+  for (auto& server : servers) server->Shutdown();
+  for (auto& t : threads) t.join();
+}
+
+// ---- Non-default message-plane knobs ----------------------------------------
+
+// Pins the Hello mirroring of the chunking knobs end-to-end: with a
+// non-default answer_chunk_ids *and* data_chunk_bytes the peers must seal
+// byte-identical frames, or message/envelope/byte counts diverge from the
+// in-process run. (The record-level round trip of every Hello field is
+// pinned in frame_test.cc; this is the it-actually-reaches-the-peer half.)
+TEST(SocketTransportTest, NonDefaultChunkKnobsReproduceSyncExactly) {
+  ClienteleWorld w = MakeClienteleWorld();
+  Deployment deployment(w.doc, *w.cluster);
+
+  const std::string query = "//stock/code";
+  for (auto algo : {DistributedAlgorithm::kPaX2,
+                    DistributedAlgorithm::kNaiveCentralized}) {
+    const std::string label = std::string(AlgorithmName(algo)) + "|chunks";
+    EngineOptions sync_options = SyncOptions(algo, false);
+    sync_options.transport_options.answer_chunk_ids = 3;
+    sync_options.transport_options.data_chunk_bytes = 7;
+    auto sync = EvaluateDistributed(*w.cluster, query, sync_options);
+    EngineOptions socket_options =
+        SocketOptions(algo, false, deployment.endpoints());
+    socket_options.transport_options.answer_chunk_ids = 3;
+    socket_options.transport_options.data_chunk_bytes = 7;
+    auto socket = EvaluateDistributed(*w.cluster, query, socket_options);
+    ASSERT_TRUE(sync.ok()) << label << ": " << sync.status();
+    ASSERT_TRUE(socket.ok()) << label << ": " << socket.status();
+    EXPECT_EQ(socket->answers, sync->answers) << label;
+    ExpectStatsEqual(socket->stats, sync->stats, label);
   }
 }
 

@@ -2,6 +2,7 @@
 //
 //   $ paxml_site DATADIR --site N --sites K --placement 0,1,1,2,...
 //                [--host 127.0.0.1] [--port P] [--threads T] [--memo]
+//                [--compress]
 //
 // Serves either workload family: a directory written by SaveDocument (XML
 // fragments; every machine of a deployment holds the same directory;
@@ -35,6 +36,13 @@
 // runs and client connections — replay recorded replies instead of
 // re-evaluating. Answers and accounted RunStats are unchanged; each
 // round's savings travel back in the RoundDone record.
+//
+// --compress lets the server accept a client's frame-compression offer
+// (TransportOptions::compress_min_bytes on the client side): frames at or
+// above the client's threshold travel as lz4-compressed kFrameZ records in
+// both directions. Logical accounting is unchanged — only wire bytes
+// shrink. Without the flag every offer is declined and connections run raw
+// frames (the pre-v5 behavior).
 
 #include <cstdio>
 #include <cstdlib>
@@ -58,7 +66,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: paxml_site DATADIR --site N --sites K "
                "--placement 0,1,... [--host H] [--port P] [--threads T] "
-               "[--memo]\n");
+               "[--memo] [--compress]\n");
 }
 
 /// Loads whichever workload the directory holds: a graph store when its
@@ -104,6 +112,7 @@ int main(int argc, char** argv) {
   int port = 0;
   size_t max_threads = 0;  // 0 = honor the client's Hello
   bool memo = false;
+  bool compress = false;
 
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--site") == 0 && i + 1 < argc) {
@@ -123,6 +132,8 @@ int main(int argc, char** argv) {
       max_threads = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--memo") == 0) {
       memo = true;
+    } else if (std::strcmp(argv[i], "--compress") == 0) {
+      compress = true;
     } else {
       Usage();
       return 2;
@@ -165,7 +176,8 @@ int main(int argc, char** argv) {
 
   SiteServer server(&cluster, site, MakeSiteProgramFactory(&cluster),
                     max_threads,
-                    memo ? std::make_shared<FragmentMemo>() : nullptr);
+                    memo ? std::make_shared<FragmentMemo>() : nullptr,
+                    compress);
   auto bound = server.Listen(host, port);
   if (!bound.ok()) {
     std::fprintf(stderr, "paxml_site: %s\n", bound.status().ToString().c_str());
