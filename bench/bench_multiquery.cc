@@ -31,32 +31,48 @@
 // NetworkCostModel, and measured wall time (the realized round delay
 // shrinks with the message count).
 //
-// A fifth table measures intra-site parallel delivery (DESIGN.md §10) on
-// the paper's four-machine FT2 placement, where sites B and C hold several
-// fragments each: site_threads 1 / 2 / 4 at stream depth 1, so the only
-// parallelism in play is the per-fragment fan-out inside a round. The
-// capture-and-replay plane promises bit-identical RunStats at every thread
-// count — asserted here per query — with the wall-time speedup printed
-// next to that unchanged accounting.
+// A fifth table measures intra-site parallelism (DESIGN.md §10/§14) on a
+// deliberately skewed placement: FT2's largest fragment alone on one site,
+// every other fragment crammed on another. A round at the hot site is a
+// single per-fragment lane, so the §10 lane fan-out cannot help it — only
+// the §14 intra-fragment split (sub-tasks below the fragment grain) can.
+// Cells are (site_threads, split on/off) at stream depth 1, each reporting
+// measured wall speedup, the modeled max-over-sub-tasks speedup and the
+// advisory pool_tasks counter; RunStats are asserted bit-identical in
+// every cell, and CI quick mode gates the split cell's speedup (> 1.5x at
+// 4 threads — wall on a multi-core host, modeled elsewhere).
+//
+// A sixth table measures cross-run fan-out on the peer plane: two
+// independent runs over one socket connection per peer, back-to-back vs
+// concurrent with peer_concurrent_rounds = 2. Each concurrent run must
+// reproduce its solo sync RunStats; on a multi-core host the pair must
+// finish faster than the serial schedule.
 //
 // Correctness is asserted, not assumed: every depth must produce answer
 // sets identical to the sequential run's, batching must not change any
-// answer or byte total, and site_threads must not change any stat at all.
+// answer or byte total, and neither site_threads, splitting nor run
+// overlap may change any stat at all.
 //
 // Machine-readable results land in BENCH_multiquery.json in the working
-// directory: scale, reps, the depth axis and the site-threads axis with
-// throughput and p50/p95 latencies.
+// directory: scale, reps, the depth axis, the site-threads x split axis
+// and the concurrent-runs pair with throughput and p50/p95 latencies.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "core/workload.h"
 #include "harness.h"
+#include "runtime/socket_server.h"
+#include "runtime/socket_transport.h"
 #include "runtime/worker_pool.h"
 #include "xmark/queries.h"
 
@@ -151,17 +167,19 @@ std::vector<DepthMeasurement> RunTable(const char* title,
   return out;
 }
 
-// ---- Intra-site parallel delivery (site_threads axis) -----------------------
+// ---- Intra-site parallel delivery (site_threads x split axis) ---------------
 
 struct ThreadsMeasurement {
   size_t threads = 0;
+  bool split = false;
   double wall_seconds = 0;
   double qps = 0;
   double p50_latency = 0;
   double p95_latency = 0;
   double speedup = 1.0;          ///< measured wall; ~1x on a 1-core host
   double modeled_seconds = 0;    ///< sum of per-query parallel_seconds
-  double modeled_speedup = 1.0;  ///< max-over-lanes metric (DESIGN.md §10)
+  double modeled_speedup = 1.0;  ///< max-over-sub-tasks metric (§10/§14)
+  uint64_t pool_tasks = 0;       ///< advisory saturation counter
 };
 
 /// Every count DESIGN.md §10 promises is thread-count-invariant.
@@ -183,24 +201,70 @@ void CheckSameStats(const RunStats& got, const RunStats& want) {
   }
 }
 
-/// site_threads 1/2/4 at depth 1 on the paper's four-machine placement:
-/// the speedup is pure intra-round fan-out (site C's five fragments, B's
-/// three), and the accounting must not move by a byte.
-std::vector<ThreadsMeasurement> RunSiteThreadsTable(
-    const std::shared_ptr<FragmentedDocument>& doc) {
+/// The one-hot workload lane fan-out cannot help: FT2's largest fragment
+/// (F4, site C's namerica subtree — 28 of 104 units) alone on one site,
+/// everything else crammed on another. A round at the hot site is a single
+/// lane, so per-fragment parallelism is a no-op there — only the §14
+/// intra-fragment split moves the needle. Kept deliberately heavier than
+/// the quick-mode scale (the split's point is a fragment that dwarfs the
+/// rest) so the speedup gates below measure real work.
+struct SplitWorkload {
+  Workload w;
+  std::unique_ptr<Cluster> cluster;
+};
+
+SplitWorkload MakeOneHotWorkload() {
+  // Counteract PAXML_BENCH_SCALE's quick-mode shrink: the hot fragment
+  // must carry enough nodes that sub-task chunks outweigh fan-out
+  // overhead (~2.5 MB cumulative regardless of the env scale).
+  const double heavy =
+      std::max(0.5, 0.5 * 48.0 * 1024.0 / static_cast<double>(UnitBytes()));
+  SplitWorkload out;
+  out.w = MakeFT2(heavy);
+  const auto& doc = out.w.doc;
+
+  // Largest non-root fragment by node count = the hot one.
+  FragmentId hot = 1;
+  size_t hot_nodes = 0;
+  for (size_t f = 1; f < doc->size(); ++f) {
+    const size_t n = doc->fragment(static_cast<FragmentId>(f)).tree.size();
+    if (n > hot_nodes) {
+      hot_nodes = n;
+      hot = static_cast<FragmentId>(f);
+    }
+  }
+
   ClusterOptions options;
   options.parallel_execution = true;
-  Cluster cluster(doc, 4, options);
-  PlaceFT2Paper(cluster);
+  out.cluster = std::make_unique<Cluster>(doc, 3, options);
+  for (size_t f = 0; f < doc->size(); ++f) {
+    const FragmentId id = static_cast<FragmentId>(f);
+    const SiteId site = f == 0 ? 0 : (id == hot ? 1 : 2);
+    PAXML_CHECK(out.cluster->Place(id, site).ok());
+  }
+  return out;
+}
+
+/// (site_threads, split) cells at depth 1 on the one-hot placement. The
+/// accounting must not move by a byte in any cell; the wall and modeled
+/// speedups show that lanes alone leave the hot site serial while the
+/// split saturates the pool.
+std::vector<ThreadsMeasurement> RunSiteThreadsTable(const SplitWorkload& sw) {
+  const Cluster& cluster = *sw.cluster;
 
   std::printf(
-      "\nIntra-site parallel delivery (FT2 on the paper's 4 machines, depth "
-      "1; stats asserted identical per query):\n");
-  TablePrinter table({"site-threads", "wall-s", "queries/s", "p50-lat-s",
-                      "p95-lat-s", "speedup", "par-s(model)", "model-spd"});
+      "\nIntra-fragment splitting (one hot fragment alone on its site, "
+      "depth 1; stats asserted identical per cell):\n");
+  TablePrinter table({"site-threads", "split", "wall-s", "queries/s",
+                      "p50-lat-s", "p95-lat-s", "speedup", "par-s(model)",
+                      "model-spd", "pool-tasks"});
 
-  const std::vector<std::string> queries = {xmark::kQ1, xmark::kQ2,
-                                            xmark::kQ3, xmark::kQ4};
+  // Qualifier-free selections with annotations on — the splittable PaX2
+  // shape (core/pax2.cc) — whose work concentrates in the item-heavy hot
+  // fragment.
+  const std::vector<std::string> queries = {"//item/name",
+                                            "//item/description/text",
+                                            "//description//text"};
   const int reps = std::max(Repetitions(), 2);
 
   std::vector<ThreadsMeasurement> out;
@@ -208,14 +272,24 @@ std::vector<ThreadsMeasurement> RunSiteThreadsTable(
   std::vector<RunStats> baseline_stats;
   double baseline_qps = 0;
   double baseline_modeled = 0;
-  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+  struct Cell {
+    size_t threads;
+    bool split;
+  };
+  for (const Cell cell : {Cell{1, false}, Cell{2, false}, Cell{4, false},
+                          Cell{4, true}}) {
     EngineOptions engine;
     engine.algorithm = DistributedAlgorithm::kPaX2;
+    engine.pax.use_annotations = true;
     engine.transport = TransportKind::kPooled;
-    engine.transport_options.site_threads = threads;
+    engine.transport_options.site_threads = cell.threads;
+    // 50%: only a lane that genuinely dominates its segment splits — at
+    // the hot site that is the whole round.
+    engine.transport_options.split_threshold_pct = cell.split ? 50 : 0;
 
     std::vector<double> latencies;
     double modeled = 0;
+    uint64_t pool_tasks = 0;
     const auto start = std::chrono::steady_clock::now();
     for (int r = 0; r < reps; ++r) {
       for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -225,12 +299,13 @@ std::vector<ThreadsMeasurement> RunSiteThreadsTable(
         latencies.push_back(std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - q_start)
                                 .count());
-        // The paper's parallel-cost metric, now max-over-lanes within each
+        // The paper's parallel-cost metric, max-over-sub-tasks within each
         // site's round: reflects the fan-out even when the host has fewer
-        // cores than lanes (runtime/site_driver.h).
+        // cores than sub-tasks (runtime/site_driver.h).
         modeled += result->stats.parallel_seconds +
                    result->stats.coordinator_seconds;
-        if (threads == 1) {
+        pool_tasks += result->stats.pool_tasks;
+        if (cell.threads == 1) {
           if (r == 0) {
             baseline_answers.push_back(result->answers);
             baseline_stats.push_back(result->stats);
@@ -243,7 +318,8 @@ std::vector<ThreadsMeasurement> RunSiteThreadsTable(
     }
 
     ThreadsMeasurement m;
-    m.threads = threads;
+    m.threads = cell.threads;
+    m.split = cell.split;
     m.wall_seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
@@ -252,31 +328,173 @@ std::vector<ThreadsMeasurement> RunSiteThreadsTable(
     m.p50_latency = Percentile(latencies, 0.50);
     m.p95_latency = Percentile(latencies, 0.95);
     m.modeled_seconds = modeled;
-    if (threads == 1) {
+    m.pool_tasks = pool_tasks;
+    if (cell.threads == 1) {
       baseline_qps = m.qps;
       baseline_modeled = modeled;
     }
     m.speedup = m.qps / baseline_qps;
     m.modeled_speedup = baseline_modeled / modeled;
-    table.AddRow({std::to_string(m.threads), Secs(m.wall_seconds),
-                  StringFormat("%.1f", m.qps), Secs(m.p50_latency),
-                  Secs(m.p95_latency), StringFormat("%.2fx", m.speedup),
-                  Secs(m.modeled_seconds),
-                  StringFormat("%.2fx", m.modeled_speedup)});
+    table.AddRow({std::to_string(m.threads), m.split ? "on" : "off",
+                  Secs(m.wall_seconds), StringFormat("%.1f", m.qps),
+                  Secs(m.p50_latency), Secs(m.p95_latency),
+                  StringFormat("%.2fx", m.speedup), Secs(m.modeled_seconds),
+                  StringFormat("%.2fx", m.modeled_speedup),
+                  std::to_string(m.pool_tasks)});
     out.push_back(m);
   }
   std::printf(
-      "(RunStats are asserted bit-identical across thread counts. `speedup` "
-      "is measured wall time and bounded by the host's cores; `model-spd` "
-      "is the paper's parallel-cost metric — max-over-lanes per site round "
-      "— and shows the fan-out even on a small host.)\n");
+      "(RunStats are asserted bit-identical across all cells. `speedup` is "
+      "measured wall time and bounded by the host's cores; `model-spd` is "
+      "the paper's parallel-cost metric — max over a round's lane and "
+      "sub-task times — and shows the fan-out even on a small host. With "
+      "split off the hot site is a single serial lane no thread count can "
+      "help.)\n");
+
+  // Regression gates for the CI smoke run: the split must actually fire
+  // (pool tasks at the split cell) and actually pay. Wall time needs
+  // cores — a small host gates the modeled metric instead, which measures
+  // the same fan-out in thread-CPU terms.
+  const ThreadsMeasurement& split_cell = out.back();
+  PAXML_CHECK(split_cell.split);
+  PAXML_CHECK_GT(split_cell.pool_tasks, 0u);
+  if (std::thread::hardware_concurrency() >= 4) {
+    PAXML_CHECK_GT(split_cell.speedup, 1.5);
+  } else {
+    PAXML_CHECK_GT(split_cell.modeled_speedup, 1.5);
+  }
   return out;
+}
+
+// ---- Cross-run fan-out on one socket peer (DESIGN.md §14) -------------------
+
+struct ConcurrentRunsMeasurement {
+  double back_to_back_seconds = 0;
+  double concurrent_seconds = 0;
+  double speedup = 1.0;
+};
+
+/// Two independent runs against ONE in-process socket peer serving the
+/// crammed site: back-to-back vs concurrent with peer_concurrent_rounds=2.
+/// Each concurrent run must reproduce its solo sync RunStats exactly; on a
+/// host with cores to spare the pair must also finish faster than the
+/// serial schedule.
+ConcurrentRunsMeasurement RunConcurrentRunsTable(const SplitWorkload& sw) {
+  const Cluster& cluster = *sw.cluster;
+
+  // One server per remote site, in-process (the real paxml_site path is
+  // covered by the socket test suite; here the wall clock is the subject).
+  std::vector<std::unique_ptr<SiteServer>> servers;
+  std::vector<std::thread> serving;
+  std::map<SiteId, std::string> endpoints;
+  for (size_t s = 0; s < cluster.site_count(); ++s) {
+    const SiteId site = static_cast<SiteId>(s);
+    if (site == cluster.query_site()) continue;
+    auto server = std::make_unique<SiteServer>(
+        &cluster, site, MakeSiteProgramFactory(&cluster));
+    auto port = server->Listen("127.0.0.1", 0);
+    PAXML_CHECK(port.ok());
+    endpoints[site] = "127.0.0.1:" + std::to_string(*port);
+    serving.emplace_back([srv = server.get()] {
+      const Status st = srv->Serve();
+      (void)st;  // shutdown races surface as benign accept errors
+    });
+    servers.push_back(std::move(server));
+  }
+
+  EngineOptions options;
+  options.algorithm = DistributedAlgorithm::kPaX2;
+  options.pax.use_annotations = true;
+  auto compiled_a = CompileXPath("//item/name", sw.w.doc->symbols());
+  auto compiled_b = CompileXPath("//description//text", sw.w.doc->symbols());
+  PAXML_CHECK(compiled_a.ok());
+  PAXML_CHECK(compiled_b.ok());
+
+  EngineOptions sync = options;
+  sync.transport = TransportKind::kSync;
+  auto solo_a = EvaluateDistributed(cluster, *compiled_a, sync);
+  auto solo_b = EvaluateDistributed(cluster, *compiled_b, sync);
+  PAXML_CHECK(solo_a.ok());
+  PAXML_CHECK(solo_b.ok());
+
+  ConcurrentRunsMeasurement m;
+  const int reps = std::max(Repetitions(), 2);
+  {
+    TransportOptions topts;
+    topts.remote_endpoints = endpoints;
+    topts.peer_concurrent_rounds = 2;
+    SocketTransport socket(topts);
+
+    // Warm the connections off the clock.
+    PAXML_CHECK(
+        EvaluateDistributed(cluster, *compiled_a, options, &socket).ok());
+
+    const auto serial_start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      auto a = EvaluateDistributed(cluster, *compiled_a, options, &socket);
+      auto b = EvaluateDistributed(cluster, *compiled_b, options, &socket);
+      PAXML_CHECK(a.ok());
+      PAXML_CHECK(b.ok());
+    }
+    m.back_to_back_seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 serial_start)
+                                 .count();
+
+    const auto conc_start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      Result<DistributedResult> got_a = Status::Internal("unset");
+      Result<DistributedResult> got_b = Status::Internal("unset");
+      std::thread ta([&] {
+        got_a = EvaluateDistributed(cluster, *compiled_a, options, &socket);
+      });
+      std::thread tb([&] {
+        got_b = EvaluateDistributed(cluster, *compiled_b, options, &socket);
+      });
+      ta.join();
+      tb.join();
+      PAXML_CHECK(got_a.ok());
+      PAXML_CHECK(got_b.ok());
+      // Overlap may reorder work, never change it: each run's ledger is
+      // its solo ledger.
+      PAXML_CHECK(got_a->answers == solo_a->answers);
+      PAXML_CHECK(got_b->answers == solo_b->answers);
+      CheckSameStats(got_a->stats, solo_a->stats);
+      CheckSameStats(got_b->stats, solo_b->stats);
+    }
+    m.concurrent_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - conc_start)
+                               .count();
+  }  // transport closes its connections; the serving threads unblock
+
+  for (auto& server : servers) server->Shutdown();
+  for (auto& t : serving) t.join();
+
+  m.speedup = m.back_to_back_seconds / m.concurrent_seconds;
+  std::printf(
+      "\nCross-run fan-out (2 runs, one socket peer per site, "
+      "peer_concurrent_rounds=2, %d reps):\n",
+      reps);
+  TablePrinter table({"schedule", "wall-s", "speedup"});
+  table.AddRow({"back-to-back", Secs(m.back_to_back_seconds), "1.00x"});
+  table.AddRow({"concurrent", Secs(m.concurrent_seconds),
+                StringFormat("%.2fx", m.speedup)});
+  std::printf(
+      "(each concurrent run's RunStats are asserted equal to its solo sync "
+      "run's)\n");
+  // Overlapping two runs' rounds must beat the serial schedule when the
+  // host can actually run them side by side.
+  if (std::thread::hardware_concurrency() >= 4) {
+    PAXML_CHECK_GT(m.speedup, 1.0);
+  }
+  return m;
 }
 
 // ---- Machine-readable results -----------------------------------------------
 
 void WriteJson(const std::vector<DepthMeasurement>& depth_axis,
-               const std::vector<ThreadsMeasurement>& threads_axis) {
+               const std::vector<ThreadsMeasurement>& threads_axis,
+               const ConcurrentRunsMeasurement& concurrent) {
   JsonValue depths = JsonValue::Array();
   for (const DepthMeasurement& m : depth_axis) {
     depths.Add(JsonValue::Object()
@@ -291,6 +509,7 @@ void WriteJson(const std::vector<DepthMeasurement>& depth_axis,
   for (const ThreadsMeasurement& m : threads_axis) {
     threads.Add(JsonValue::Object()
                     .Set("site_threads", m.threads)
+                    .Set("split", m.split)
                     .Set("wall_seconds", m.wall_seconds)
                     .Set("queries_per_second", m.qps)
                     .Set("p50_latency_seconds", m.p50_latency)
@@ -298,12 +517,20 @@ void WriteJson(const std::vector<DepthMeasurement>& depth_axis,
                     .Set("speedup", m.speedup)
                     .Set("modeled_parallel_seconds", m.modeled_seconds)
                     .Set("modeled_speedup", m.modeled_speedup)
+                    .Set("pool_tasks", m.pool_tasks)
                     .Set("stats_identical", true));
   }
-  EmitBenchJson("BENCH_multiquery.json",
-                BenchJsonHeader("multiquery")
-                    .Set("depth_axis", std::move(depths))
-                    .Set("site_threads_axis", std::move(threads)));
+  EmitBenchJson(
+      "BENCH_multiquery.json",
+      BenchJsonHeader("multiquery")
+          .Set("depth_axis", std::move(depths))
+          .Set("site_threads_axis", std::move(threads))
+          .Set("concurrent_runs",
+               JsonValue::Object()
+                   .Set("back_to_back_seconds", concurrent.back_to_back_seconds)
+                   .Set("concurrent_seconds", concurrent.concurrent_seconds)
+                   .Set("speedup", concurrent.speedup)
+                   .Set("stats_identical", true)));
 }
 
 // Mean submit-to-answer latency of `probes` high-priority submissions
@@ -500,12 +727,12 @@ void Main() {
   RunPriorityTable(cluster, engine);
   RunBatchingTable(w.doc, stream, engine);
 
-  // Multi-fragment placement for the site-threads axis: B and C hold 3 and
-  // 5 fragments, so intra-site lanes actually fan out.
-  Workload ft2paper = MakeFT2Paper(/*scale=*/1.0);
-  std::vector<ThreadsMeasurement> threads_axis =
-      RunSiteThreadsTable(ft2paper.doc);
-  WriteJson(depth_axis, threads_axis);
+  // Skewed placement for the site-threads x split axis: one hot fragment
+  // alone on its site, where only the intra-fragment split can help.
+  SplitWorkload one_hot = MakeOneHotWorkload();
+  std::vector<ThreadsMeasurement> threads_axis = RunSiteThreadsTable(one_hot);
+  ConcurrentRunsMeasurement concurrent = RunConcurrentRunsTable(one_hot);
+  WriteJson(depth_axis, threads_axis, concurrent);
 }
 
 }  // namespace

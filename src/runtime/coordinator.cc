@@ -114,6 +114,13 @@ Status Coordinator::RunRound(const std::string& label,
   stats_.memo_saved_bytes += saved.saved_bytes;
   stats_.memo_saved_seconds += saved.saved_seconds;
 
+  // Likewise pool saturation: local fan-out drains here, a remote peer's
+  // arrives through its RoundDone record (wire protocol v6).
+  const PoolStats pool = driver_->TakePoolStats();
+  stats_.pool_tasks += pool.tasks;
+  stats_.pool_busy_peak = std::max(stats_.pool_busy_peak, pool.busy_peak);
+  stats_.pool_queue_peak = std::max(stats_.pool_queue_peak, pool.queue_peak);
+
   PAXML_RETURN_NOT_OK(round_status);
   PAXML_RETURN_NOT_OK(transport_status);
   PAXML_RETURN_NOT_OK(DispatchCoordinatorMail());

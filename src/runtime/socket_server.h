@@ -16,6 +16,14 @@
 // mail, program and sequence state without touching the others. Accounting
 // here is advisory only — the client's AccountFrame over the received
 // frames is authoritative, and reproduces the in-process RunStats exactly.
+//
+// Cross-run fan-out (DESIGN.md §14): when a client's Hello asks for
+// peer_concurrent_rounds > 1 (wire protocol v6), independent runs' rounds
+// on one connection execute concurrently on a per-connection round pool —
+// each round's reply frames and its kRoundDone go out as one locked write,
+// so the per-run barrier ordering is untouched. Rounds of ONE run are
+// never overlapped (the client's barrier already serializes them), so each
+// run's RunStats are exactly its solo RunStats.
 
 #ifndef PAXML_RUNTIME_SOCKET_SERVER_H_
 #define PAXML_RUNTIME_SOCKET_SERVER_H_
@@ -64,10 +72,13 @@ class SiteServer {
   /// record (serving/fragment_memo.h). `allow_compress` (paxml_site
   /// --compress) lets the server accept a client's codec offer at Hello;
   /// off, every offer is declined and the connection runs raw frames.
+  /// `max_concurrent_rounds` caps the cross-run round fan-out a client's
+  /// Hello may request (paxml_site --rounds; 0 = honor the client, bounded
+  /// at 16): like the thread cap, the operator knows the machine's budget.
   SiteServer(const Cluster* cluster, SiteId site, SiteProgramFactory factory,
              size_t max_site_threads = 0,
              std::shared_ptr<FragmentMemo> memo = nullptr,
-             bool allow_compress = false);
+             bool allow_compress = false, size_t max_concurrent_rounds = 0);
   ~SiteServer();
 
   SiteServer(const SiteServer&) = delete;
@@ -104,6 +115,7 @@ class SiteServer {
   size_t max_site_threads_ = 0;
   std::shared_ptr<FragmentMemo> memo_;
   bool allow_compress_ = false;
+  size_t max_concurrent_rounds_ = 0;
   bool legacy_hello_ = false;
   int listen_fd_ = -1;
   std::atomic<bool> shutdown_{false};

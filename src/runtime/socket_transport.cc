@@ -75,6 +75,11 @@ SocketTransport::SocketTransport(TransportOptions options)
       const bool offer_lz4 = this->options().compress_min_bytes > 0;
       hello.codecs = offer_lz4 ? kCodecLz4 : 0;
       hello.compress_min_bytes = this->options().compress_min_bytes;
+      // v6 pool knobs: the peer splits dominant lanes with the same
+      // threshold as the local sites and may fan this connection's runs'
+      // rounds out (capped by its operator). A pre-v6 peer ignores both.
+      hello.split_threshold_pct = this->options().split_threshold_pct;
+      hello.peer_concurrent_rounds = this->options().peer_concurrent_rounds;
       std::string bytes;
       AppendControlRecord(RecordType::kHello, hello, &bytes);
       status = WriteAll(conn->fd, bytes);
@@ -407,6 +412,12 @@ Status SocketTransport::HandleRecord(Connection& conn, WireRecord record) {
                            MemoSavings{done.memo_fragment_hits,
                                        done.memo_saved_bytes,
                                        done.memo_saved_seconds});
+      }
+      // Likewise the peer's pool saturation (advisory, like memo_*).
+      if (done.pool_tasks > 0) {
+        AccountPoolStats(done.run, PoolStats{done.pool_tasks,
+                                             done.pool_busy_peak,
+                                             done.pool_queue_peak});
       }
       std::lock_guard<std::mutex> lock(net_mu_);
       auto it = waits_.find(done.run);

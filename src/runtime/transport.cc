@@ -120,6 +120,16 @@ void Transport::AccountMemoSavings(RunId run, const MemoSavings& savings) {
   stats->memo_saved_seconds += savings.saved_seconds;
 }
 
+void Transport::AccountPoolStats(RunId run, const PoolStats& pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = runs_.find(run);
+  if (it == runs_.end()) return;  // races CloseRun like late remote mail
+  RunStats* stats = it->second.stats;
+  stats->pool_tasks += pool.tasks;
+  stats->pool_busy_peak = std::max(stats->pool_busy_peak, pool.busy_peak);
+  stats->pool_queue_peak = std::max(stats->pool_queue_peak, pool.queue_peak);
+}
+
 void Transport::Send(Envelope env) {
   PAXML_CHECK(env.run != kNullRun);  // Post/SiteContext stamp the run id
   PAXML_CHECK(env.to != kNullSite);

@@ -158,6 +158,10 @@ void HelloRecord::Encode(ByteWriter* out) const {
     out->PutU8(codecs);
     out->PutVarint(compress_min_bytes);
   }
+  if (version >= 6) {
+    out->PutVarint(split_threshold_pct);
+    out->PutVarint(peer_concurrent_rounds);
+  }
 }
 
 Result<HelloRecord> HelloRecord::Decode(ByteReader* in) {
@@ -172,6 +176,10 @@ Result<HelloRecord> HelloRecord::Decode(ByteReader* in) {
   if (r.version >= 5) {
     PAXML_ASSIGN_OR_RETURN(r.codecs, in->GetU8());
     PAXML_ASSIGN_OR_RETURN(r.compress_min_bytes, in->GetVarint());
+  }
+  if (r.version >= 6) {
+    PAXML_ASSIGN_OR_RETURN(r.split_threshold_pct, in->GetVarint());
+    PAXML_ASSIGN_OR_RETURN(r.peer_concurrent_rounds, in->GetVarint());
   }
   return r;
 }
@@ -265,6 +273,9 @@ void RoundDoneRecord::Encode(ByteWriter* out) const {
   out->PutVarint(memo_fragment_hits);
   out->PutVarint(memo_saved_bytes);
   out->PutU64(DoubleBits(memo_saved_seconds));
+  out->PutVarint(pool_tasks);
+  out->PutVarint(pool_busy_peak);
+  out->PutVarint(pool_queue_peak);
 }
 
 Result<RoundDoneRecord> RoundDoneRecord::Decode(ByteReader* in) {
@@ -279,6 +290,12 @@ Result<RoundDoneRecord> RoundDoneRecord::Decode(ByteReader* in) {
   PAXML_ASSIGN_OR_RETURN(r.memo_saved_bytes, in->GetVarint());
   PAXML_ASSIGN_OR_RETURN(uint64_t saved_bits, in->GetU64());
   r.memo_saved_seconds = BitsDouble(saved_bits);
+  // The v6 pool fields are trailing: a pre-v6 peer's record ends here.
+  if (!in->AtEnd()) {
+    PAXML_ASSIGN_OR_RETURN(r.pool_tasks, in->GetVarint());
+    PAXML_ASSIGN_OR_RETURN(r.pool_busy_peak, in->GetVarint());
+    PAXML_ASSIGN_OR_RETURN(r.pool_queue_peak, in->GetVarint());
+  }
   return r;
 }
 

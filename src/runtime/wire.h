@@ -45,7 +45,14 @@ namespace paxml {
 ///     v4 clients (the trailing Hello fields are absent), and a v5 client
 ///     falls back to raw frames when the ack is pre-v5 or declines the
 ///     codec — mixed versions run correctly, just uncompressed.
-inline constexpr uint32_t kWireProtocolVersion = 5;
+/// v6: pool saturation — HelloRecord mirrors split_threshold_pct
+///     (intra-fragment work splitting) and peer_concurrent_rounds
+///     (cross-run fan-out on the peer's connection loop), and
+///     RoundDoneRecord reports the peer's pool_* counters. A v6 server
+///     accepts v4/v5 clients (the knobs default off), and a v6 client
+///     against an older server simply runs without peer-side splitting —
+///     the RoundDone pool fields are trailing, so old decoders ignore them.
+inline constexpr uint32_t kWireProtocolVersion = 6;
 
 /// Codec bitmask for the Hello/HelloAck negotiation. The only codec today
 /// is the in-repo LZ4-style block format (common/lz4.h).
@@ -139,6 +146,14 @@ struct HelloRecord {
   uint8_t codecs = 0;
   uint64_t compress_min_bytes = 0;
 
+  /// v6+: TransportOptions::split_threshold_pct, mirrored so the peer's
+  /// SiteDriver splits a dominant lane the same way the client's local
+  /// sites do, and TransportOptions::peer_concurrent_rounds, the client's
+  /// ask for cross-run round fan-out on this connection (the server caps
+  /// it; paxml_site --rounds). Gated like the v5 fields.
+  uint64_t split_threshold_pct = 0;
+  uint64_t peer_concurrent_rounds = 1;
+
   void Encode(ByteWriter* out) const;
   static Result<HelloRecord> Decode(ByteReader* in);
 };
@@ -200,6 +215,14 @@ struct RoundDoneRecord {
   uint64_t memo_fragment_hits = 0;
   uint64_t memo_saved_bytes = 0;
   double memo_saved_seconds = 0;
+
+  /// v6+: the peer's pool saturation for this round (zero without fan-out),
+  /// merged into the run's RunStats pool_* fields. Trailing on the wire:
+  /// Encode always emits them, Decode tolerates their absence (a pre-v6
+  /// peer), so mixed versions interoperate.
+  uint64_t pool_tasks = 0;
+  uint64_t pool_busy_peak = 0;
+  uint64_t pool_queue_peak = 0;
 
   void Encode(ByteWriter* out) const;
   static Result<RoundDoneRecord> Decode(ByteReader* in);

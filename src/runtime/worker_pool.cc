@@ -44,6 +44,28 @@ size_t WorkerPool::queued_batch_count() {
   return batches_.size();
 }
 
+uint64_t WorkerPool::busy_peak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_peak_;
+}
+
+uint64_t WorkerPool::queue_peak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_peak_;
+}
+
+void WorkerPool::EnqueueBatch(std::shared_ptr<Batch> batch) {
+  const size_t added = batch->tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PAXML_CHECK(!stopping_);
+    batches_.push_back(std::move(batch));
+    queued_ += added;
+    if (queued_ > queue_peak_) queue_peak_ = queued_;
+  }
+  work_cv_.notify_all();
+}
+
 bool WorkerPool::HasRunnableTaskLocked() const {
   // batches_ only holds batches with queued tasks, so non-empty == runnable.
   return !batches_.empty();
@@ -57,15 +79,17 @@ void WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
   auto batch = std::make_shared<Batch>();
   batch->remaining = tasks.size();
   for (auto& t : tasks) batch->tasks.push_back(std::move(t));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    PAXML_CHECK(!stopping_);
-    batches_.push_back(batch);
-  }
-  work_cv_.notify_all();
+  EnqueueBatch(batch);
 
   std::unique_lock<std::mutex> lock(mu_);
   batch->done_cv.wait(lock, [&] { return batch->remaining == 0; });
+}
+
+void WorkerPool::Post(std::function<void()> task) {
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = 1;
+  batch->tasks.push_back(std::move(task));
+  EnqueueBatch(std::move(batch));
 }
 
 void WorkerPool::WorkerLoop() {
@@ -85,10 +109,14 @@ void WorkerPool::WorkerLoop() {
       // Round-robin across batches: the batch rejoins at the back, so the
       // next worker serves the next batch (= the next query's round).
       if (!batch->tasks.empty()) batches_.push_back(batch);
+      --queued_;
+      ++busy_;
+      if (busy_ > busy_peak_) busy_peak_ = busy_;
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
       // Notify under the lock: the waiter cannot return from wait (and
       // destroy the batch) before notify_all has completed.
       if (--batch->remaining == 0) batch->done_cv.notify_all();

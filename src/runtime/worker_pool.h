@@ -23,6 +23,7 @@
 #define PAXML_RUNTIME_WORKER_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <list>
@@ -60,8 +61,24 @@ class WorkerPool {
   /// by a PAXML_CHECK instead of a silent deadlock.
   void RunAll(std::vector<std::function<void()>> tasks);
 
+  /// Fire-and-forget: enqueues `task` as a single-task batch and returns
+  /// immediately. Completion is the caller's protocol, not the pool's —
+  /// the peer plane posts whole rounds this way and relies on its own
+  /// kRoundDone barrier (runtime/socket_server.cc). Legal from a worker
+  /// thread of the same pool (posting cannot block, so it cannot deadlock).
+  void Post(std::function<void()> task);
+
   /// Batches that still have queued (unstarted) tasks. Test introspection.
   size_t queued_batch_count();
+
+  /// Saturation gauges since construction (DESIGN.md §14): the maximum
+  /// number of simultaneously executing tasks and the maximum queued
+  /// (unstarted) task depth ever observed. Pool-global — under concurrent
+  /// runs they show combined pressure, which is what the bench tables want
+  /// next to speedup. Monotone; readers dedupe with max-merging
+  /// (PoolStats::operator+=).
+  uint64_t busy_peak();
+  uint64_t queue_peak();
 
  private:
   /// One RunAll call: its queued tasks plus a completion latch.
@@ -77,12 +94,20 @@ class WorkerPool {
   void WorkerLoop();
   bool HasRunnableTaskLocked() const;
 
+  void EnqueueBatch(std::shared_ptr<Batch> batch);
+
   std::mutex mu_;
   std::condition_variable work_cv_;
   /// Active batches in round-robin service order; only batches with at
   /// least one queued task appear here.
   std::list<std::shared_ptr<Batch>> batches_;
   bool stopping_ = false;
+  /// Saturation accounting, all under mu_: current executing tasks,
+  /// current queued (unstarted) tasks, and their historical peaks.
+  size_t busy_ = 0;
+  size_t queued_ = 0;
+  uint64_t busy_peak_ = 0;
+  uint64_t queue_peak_ = 0;
   std::vector<std::thread> threads_;
 };
 

@@ -83,6 +83,26 @@ struct NetworkCostModel {
   }
 };
 
+/// Site-pool saturation observed while a run's deliveries fanned out
+/// (runtime/site_driver.h, DESIGN.md §14). Like MemoSavings these are
+/// *extra* information, excluded from the bit-identity contract: `tasks`
+/// counts the lane and split-item tasks this run's deliveries submitted
+/// (exact, per run), while the peaks are gauges of the pool the run
+/// shared — under concurrent runs they show combined pressure, which is
+/// precisely the saturation signal the bench tables report.
+struct PoolStats {
+  uint64_t tasks = 0;       ///< pool tasks submitted (lanes + split chunks)
+  uint64_t busy_peak = 0;   ///< max simultaneously busy workers observed
+  uint64_t queue_peak = 0;  ///< max queued-task depth observed
+
+  PoolStats& operator+=(const PoolStats& o) {
+    tasks += o.tasks;
+    busy_peak = busy_peak > o.busy_peak ? busy_peak : o.busy_peak;
+    queue_peak = queue_peak > o.queue_peak ? queue_peak : o.queue_peak;
+    return *this;
+  }
+};
+
 /// Work a fragment-stage memo avoided during a run (serving layer,
 /// DESIGN.md §12). Savings are *extra* information: the canonical counters
 /// (visits, bytes, messages) still describe the protocol the coordinator
@@ -168,6 +188,14 @@ struct RunStats {
   uint64_t memo_fragment_hits = 0;
   uint64_t memo_saved_bytes = 0;
   double memo_saved_seconds = 0;
+
+  /// Site-pool saturation splits (zero when no delivery fanned out). Like
+  /// memo_*, advisory: excluded from every bit-identity comparison — the
+  /// whole point of the parallel path is that only these and the timing
+  /// fields may differ from the serial run.
+  uint64_t pool_tasks = 0;
+  uint64_t pool_busy_peak = 0;
+  uint64_t pool_queue_peak = 0;
 
   int max_visits() const;
   uint64_t total_visits() const;

@@ -237,6 +237,18 @@ size_t EnvSiteThreads() {
   return 1;
 }
 
+/// CI smoke hook: PAXML_SPLIT_PCT=N re-runs every socket test with
+/// intra-fragment splitting offered at that threshold (DESIGN.md §14) —
+/// combined with PAXML_SITE_THREADS the whole file pins split determinism
+/// over real processes.
+uint64_t EnvSplitPct() {
+  if (const char* env = std::getenv("PAXML_SPLIT_PCT")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<uint64_t>(v);
+  }
+  return 0;
+}
+
 EngineOptions SyncOptions(DistributedAlgorithm algo, bool annotations) {
   EngineOptions options;
   options.algorithm = algo;
@@ -252,6 +264,7 @@ EngineOptions SocketOptions(DistributedAlgorithm algo, bool annotations,
   options.pax.use_annotations = annotations;
   options.transport_options.remote_endpoints = endpoints;
   options.transport_options.site_threads = EnvSiteThreads();
+  options.transport_options.split_threshold_pct = EnvSplitPct();
   return options;
 }
 
@@ -383,6 +396,156 @@ TEST(SocketTransportTest, FT2ParallelSitesReproduceSyncExactly) {
       ExpectStatsEqual(socket->stats, sync->stats, label);
     }
   }
+}
+
+// ---- Intra-fragment splitting over real processes (DESIGN.md §14) -----------
+
+// The split threshold forced to 1% travels in the Hello, the peers fan
+// splittable requests out below the fragment grain, and the RunStats still
+// reproduce the serial SyncTransport's exactly. PaX2 with annotations on
+// qualifier-free selections is the splittable shape; the RoundDone records
+// carry the peers' pool counters back, proving the path fired.
+TEST(SocketTransportTest, ForcedSplitReproducesSyncExactly) {
+  ClienteleWorld w = MakeClienteleWorld();
+  Deployment deployment(w.doc, *w.cluster);
+
+  uint64_t split_pool_tasks = 0;
+  for (const std::string& query :
+       {std::string("//stock/code"), std::string("clientele/client/broker"),
+        std::string("//market//buy")}) {
+    auto sync = EvaluateDistributed(
+        *w.cluster, query, SyncOptions(DistributedAlgorithm::kPaX2, true));
+    EngineOptions split = SocketOptions(DistributedAlgorithm::kPaX2, true,
+                                        deployment.endpoints());
+    split.transport_options.site_threads = 4;
+    split.transport_options.split_threshold_pct = 1;
+    auto socket = EvaluateDistributed(*w.cluster, query, split);
+    ASSERT_TRUE(sync.ok()) << query << ": " << sync.status();
+    ASSERT_TRUE(socket.ok()) << query << ": " << socket.status();
+    EXPECT_EQ(socket->answers, sync->answers) << query;
+    ExpectStatsEqual(socket->stats, sync->stats, query);
+    EXPECT_EQ(sync->stats.pool_tasks, 0u) << query;
+    split_pool_tasks += socket->stats.pool_tasks;
+  }
+  EXPECT_GT(split_pool_tasks, 0u);
+}
+
+// ---- Cross-run fan-out on one peer (DESIGN.md §14) --------------------------
+
+// Two independent runs over ONE SocketTransport — one connection per peer —
+// with peer_concurrent_rounds = 2: the peers deliver both runs' rounds
+// concurrently on their round pools, and each run still reproduces its solo
+// SyncTransport RunStats exactly (the per-run barrier never interleaves
+// rounds of one run, so nothing observable may change).
+TEST(SocketTransportTest, ConcurrentRunsOnOnePeerReproduceSoloStats) {
+  ClienteleWorld w = MakeClienteleWorld();
+  Deployment deployment(w.doc, *w.cluster);
+
+  const std::string query_a =
+      "clientele/client[country/text() = \"US\"]/"
+      "broker[market/name/text() = \"NASDAQ\"]/name";
+  const std::string query_b = "//market[name/text() = \"NASDAQ\"]//buy";
+  auto compiled_a = CompileXPath(query_a, w.doc->symbols());
+  auto compiled_b = CompileXPath(query_b, w.doc->symbols());
+  ASSERT_TRUE(compiled_a.ok()) << compiled_a.status();
+  ASSERT_TRUE(compiled_b.ok()) << compiled_b.status();
+
+  EngineOptions options = SyncOptions(DistributedAlgorithm::kPaX2, false);
+  auto solo_a = EvaluateDistributed(*w.cluster, *compiled_a, options);
+  auto solo_b = EvaluateDistributed(*w.cluster, *compiled_b, options);
+  ASSERT_TRUE(solo_a.ok()) << solo_a.status();
+  ASSERT_TRUE(solo_b.ok()) << solo_b.status();
+
+  TransportOptions topts;
+  topts.remote_endpoints = deployment.endpoints();
+  topts.site_threads = EnvSiteThreads();
+  topts.split_threshold_pct = EnvSplitPct();
+  topts.peer_concurrent_rounds = 2;
+  SocketTransport socket(topts);
+
+  // Several passes so the runs' rounds genuinely overlap on the shared
+  // connections rather than racing past each other once.
+  for (int pass = 0; pass < 3; ++pass) {
+    Result<DistributedResult> got_a = Status::Internal("unset");
+    Result<DistributedResult> got_b = Status::Internal("unset");
+    std::thread ta([&] {
+      got_a = EvaluateDistributed(*w.cluster, *compiled_a, options, &socket);
+    });
+    std::thread tb([&] {
+      got_b = EvaluateDistributed(*w.cluster, *compiled_b, options, &socket);
+    });
+    ta.join();
+    tb.join();
+    const std::string label = "pass " + std::to_string(pass);
+    ASSERT_TRUE(got_a.ok()) << label << ": " << got_a.status();
+    ASSERT_TRUE(got_b.ok()) << label << ": " << got_b.status();
+    EXPECT_EQ(got_a->answers, solo_a->answers) << label;
+    EXPECT_EQ(got_b->answers, solo_b->answers) << label;
+    ExpectStatsEqual(got_a->stats, solo_a->stats, label + "|run A");
+    ExpectStatsEqual(got_b->stats, solo_b->stats, label + "|run B");
+  }
+}
+
+// A client asking for cross-run fan-out against a server capped at one
+// round (paxml_site --rounds 1 semantics) degrades to the serial loop —
+// same answers, same stats, no protocol confusion.
+TEST(SocketTransportTest, ConcurrentRunsDegradeCleanlyWhenServerCapsRounds) {
+  ClienteleWorld w = MakeClienteleWorld();
+
+  // In-process server so the cap is settable (the Deployment harness
+  // spawns paxml_site with default flags).
+  const SiteId served = 2;
+  SiteServer server(w.cluster.get(), served,
+                    MakeSiteProgramFactory(w.cluster.get()),
+                    /*max_site_threads=*/0, /*memo=*/nullptr,
+                    /*allow_compress=*/false, /*max_concurrent_rounds=*/1);
+  auto port = server.Listen("127.0.0.1", 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+  std::thread serving([&] {
+    const Status st = server.Serve();
+    (void)st;  // shutdown races surface as benign accept errors
+  });
+
+  // Remaining remote sites are served by real processes.
+  Deployment deployment(w.doc, *w.cluster);
+  std::map<SiteId, std::string> endpoints = deployment.endpoints();
+  endpoints[served] = "127.0.0.1:" + std::to_string(*port);
+
+  const std::string query = "//stock/code";
+  auto compiled = CompileXPath(query, w.doc->symbols());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EngineOptions options = SyncOptions(DistributedAlgorithm::kPaX2, false);
+  auto solo = EvaluateDistributed(*w.cluster, *compiled, options);
+  ASSERT_TRUE(solo.ok()) << solo.status();
+
+  Result<DistributedResult> got_a = Status::Internal("unset");
+  Result<DistributedResult> got_b = Status::Internal("unset");
+  {
+    // Scoped: the transport must close its connections before Shutdown —
+    // the serving thread sits in a blocking read on the live connection
+    // until the client hangs up.
+    TransportOptions topts;
+    topts.remote_endpoints = endpoints;
+    topts.peer_concurrent_rounds = 4;  // the capped server serializes anyway
+    SocketTransport socket(topts);
+    std::thread ta([&] {
+      got_a = EvaluateDistributed(*w.cluster, *compiled, options, &socket);
+    });
+    std::thread tb([&] {
+      got_b = EvaluateDistributed(*w.cluster, *compiled, options, &socket);
+    });
+    ta.join();
+    tb.join();
+  }
+  server.Shutdown();
+  serving.join();
+
+  ASSERT_TRUE(got_a.ok()) << got_a.status();
+  ASSERT_TRUE(got_b.ok()) << got_b.status();
+  EXPECT_EQ(got_a->answers, solo->answers);
+  EXPECT_EQ(got_b->answers, solo->answers);
+  ExpectStatsEqual(got_a->stats, solo->stats, "capped|run A");
+  ExpectStatsEqual(got_b->stats, solo->stats, "capped|run B");
 }
 
 // ---- Frame compression over real processes (DESIGN.md §13) ------------------

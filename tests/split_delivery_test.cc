@@ -1,0 +1,222 @@
+// Intra-fragment work splitting (DESIGN.md §14): when a round's mail at a
+// site is dominated by one large fragment, the split path asks the
+// algorithm for independent sub-items (per-root-child subtree walks for
+// PaX2's concrete-init selections) and fans them out on the site pool —
+// yet every observable stays bit-identical to the serial delivery, exactly
+// the §10 guarantee extended below the fragment grain. These tests force
+// the split threshold low so the path actually fires (pinned via the
+// advisory RunStats::pool_tasks counter), pin the two fast paths
+// (site_threads == 1 and the single-lane capture bypass), and re-check the
+// randomized battery with splitting on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "fragment/fragmenter.h"
+#include "sim/cluster.h"
+#include "test_util.h"
+
+namespace paxml {
+namespace {
+
+using testing::PropertyQueryBattery;
+using testing::RandomTree;
+
+// ---- Exact-equality helper (timing and advisory pool_* excluded) ------------
+
+std::vector<int> Visits(const RunStats& s) {
+  std::vector<int> v;
+  for (const SiteStats& p : s.per_site) v.push_back(p.visits);
+  return v;
+}
+
+void ExpectStatsEqual(const RunStats& split, const RunStats& serial,
+                      const std::string& label) {
+  EXPECT_EQ(split.rounds, serial.rounds) << label;
+  EXPECT_EQ(Visits(split), Visits(serial)) << label;
+  EXPECT_EQ(split.total_messages, serial.total_messages) << label;
+  EXPECT_EQ(split.total_envelopes, serial.total_envelopes) << label;
+  EXPECT_EQ(split.total_bytes, serial.total_bytes) << label;
+  EXPECT_EQ(split.answer_bytes, serial.answer_bytes) << label;
+  EXPECT_EQ(split.data_bytes_shipped, serial.data_bytes_shipped) << label;
+  EXPECT_EQ(split.wire_bytes, serial.wire_bytes) << label;
+  EXPECT_EQ(split.edges, serial.edges) << label;
+  ASSERT_EQ(split.per_site.size(), serial.per_site.size()) << label;
+  for (size_t s = 0; s < serial.per_site.size(); ++s) {
+    EXPECT_EQ(split.per_site[s].bytes_sent, serial.per_site[s].bytes_sent)
+        << label << " site " << s;
+    EXPECT_EQ(split.per_site[s].bytes_received,
+              serial.per_site[s].bytes_received)
+        << label << " site " << s;
+    EXPECT_EQ(split.per_site[s].messages_sent,
+              serial.per_site[s].messages_sent)
+        << label << " site " << s;
+    EXPECT_EQ(split.per_site[s].messages_received,
+              serial.per_site[s].messages_received)
+        << label << " site " << s;
+  }
+}
+
+EngineOptions Options(DistributedAlgorithm algo, bool annotations,
+                      size_t site_threads, uint64_t split_pct) {
+  EngineOptions options;
+  options.algorithm = algo;
+  options.pax.use_annotations = annotations;
+  options.transport = TransportKind::kSync;
+  options.transport_options.site_threads = site_threads;
+  options.transport_options.split_threshold_pct = split_pct;
+  return options;
+}
+
+// ---- Randomized split-vs-serial determinism ---------------------------------
+
+struct SplitCase {
+  uint64_t seed;
+};
+
+class SplitDeliveryPropertyTest : public ::testing::TestWithParam<SplitCase> {};
+
+// Few fragments spread over few sites with the threshold forced to 1%: any
+// segment's largest single-envelope lane is offered for splitting, so the
+// split path runs constantly across the battery — and every run must still
+// reproduce the serial RunStats exactly. Algorithms whose requests decline
+// the split (PaX3, qualifier-laden PaX2, the naive baseline) exercise the
+// decline path under the same forcing.
+TEST_P(SplitDeliveryPropertyTest, SplitMatchesSerialExactly) {
+  Rng rng(GetParam().seed);
+  Tree tree = RandomTree(&rng, 150 + rng.NextBounded(250));
+  auto doc_r = FragmentRandomly(tree, 3 + rng.NextBounded(4), &rng);
+  ASSERT_TRUE(doc_r.ok());
+  auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+  const size_t sites = 2 + rng.NextBounded(2);
+  Cluster cluster(doc, sites);
+  cluster.PlaceRootAndSpread();
+
+  uint64_t split_pool_tasks = 0;
+  for (const std::string& query : PropertyQueryBattery()) {
+    for (auto algo : {DistributedAlgorithm::kPaX2, DistributedAlgorithm::kPaX3,
+                      DistributedAlgorithm::kNaiveCentralized}) {
+      for (bool xa : {false, true}) {
+        if (algo == DistributedAlgorithm::kNaiveCentralized && xa) continue;
+        const std::string label = std::string(AlgorithmName(algo)) +
+                                  (xa ? "|xa|" : "|") + query + " seed " +
+                                  std::to_string(GetParam().seed);
+        auto serial =
+            EvaluateDistributed(cluster, query, Options(algo, xa, 1, 0));
+        auto split =
+            EvaluateDistributed(cluster, query, Options(algo, xa, 4, 1));
+        ASSERT_TRUE(serial.ok()) << label << ": " << serial.status();
+        ASSERT_TRUE(split.ok()) << label << ": " << split.status();
+        EXPECT_EQ(split->answers, serial->answers) << label;
+        ExpectStatsEqual(split->stats, serial->stats, label);
+        // The serial run never touches a pool.
+        EXPECT_EQ(serial->stats.pool_tasks, 0u) << label;
+        split_pool_tasks += split->stats.pool_tasks;
+      }
+    }
+  }
+  // The property is not vacuous: across the battery the forced threshold
+  // made deliveries actually fan out on the pool.
+  EXPECT_GT(split_pool_tasks, 0u) << "seed " << GetParam().seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SplitDeliveryPropertyTest,
+    ::testing::Values(SplitCase{11}, SplitCase{23}, SplitCase{47},
+                      SplitCase{83}),
+    [](const ::testing::TestParamInfo<SplitCase>& info) {
+      return "seed_" + std::to_string(info.param.seed);
+    });
+
+// ---- The one-hot shape splitting exists for ---------------------------------
+
+// One fragment per site: per-fragment lanes cannot fan a site's round out
+// at all (every segment is a single lane), so any pool activity is the
+// intra-fragment split itself. PaX2 with annotations on a qualifier-free
+// selection is the splittable shape — the capture bypass (single-lane
+// DeliverSplitDirect) must send byte-identically, and pool_tasks proves
+// the sub-items actually ran.
+TEST(SplitDeliveryTest, OneFragmentPerSiteSplitsAndMatchesSerial) {
+  Rng rng(4242);
+  Tree tree = RandomTree(&rng, 400);
+  auto doc_r = FragmentRandomly(tree, 3, &rng);
+  ASSERT_TRUE(doc_r.ok());
+  auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+  Cluster cluster(doc, 3);
+  cluster.PlaceRootAndSpread();
+
+  uint64_t split_pool_tasks = 0;
+  for (const std::string& query :
+       {std::string("//a"), std::string("//a/b"), std::string("//a//b"),
+        std::string("root/*/a"), std::string("//*")}) {
+    auto serial = EvaluateDistributed(
+        cluster, query, Options(DistributedAlgorithm::kPaX2, true, 1, 0));
+    auto split = EvaluateDistributed(
+        cluster, query, Options(DistributedAlgorithm::kPaX2, true, 4, 1));
+    ASSERT_TRUE(serial.ok()) << query << ": " << serial.status();
+    ASSERT_TRUE(split.ok()) << query << ": " << split.status();
+    EXPECT_EQ(split->answers, serial->answers) << query;
+    ExpectStatsEqual(split->stats, serial->stats, query);
+    split_pool_tasks += split->stats.pool_tasks;
+  }
+  EXPECT_GT(split_pool_tasks, 0u);
+}
+
+// ---- Fast-path pins ---------------------------------------------------------
+
+// site_threads == 1 with the threshold set: there is no pool, so the split
+// machinery must stay entirely out of the way — bit-identical stats and a
+// zero pool_tasks counter.
+TEST(SplitDeliveryTest, SingleThreadWithThresholdIsTheSerialPath) {
+  Rng rng(999);
+  Tree tree = RandomTree(&rng, 250);
+  auto doc_r = FragmentRandomly(tree, 4, &rng);
+  ASSERT_TRUE(doc_r.ok());
+  auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+  Cluster cluster(doc, 2);
+  cluster.PlaceRootAndSpread();
+
+  for (const std::string& query :
+       {std::string("//a/b"), std::string("//a[b]/c")}) {
+    auto serial = EvaluateDistributed(
+        cluster, query, Options(DistributedAlgorithm::kPaX2, true, 1, 0));
+    auto gated = EvaluateDistributed(
+        cluster, query, Options(DistributedAlgorithm::kPaX2, true, 1, 1));
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    ASSERT_TRUE(gated.ok()) << gated.status();
+    EXPECT_EQ(gated->answers, serial->answers) << query;
+    ExpectStatsEqual(gated->stats, serial->stats, query);
+    EXPECT_EQ(gated->stats.pool_tasks, 0u) << query;
+  }
+}
+
+// A 100% threshold only ever offers a lane that IS its whole segment — the
+// capture-bypass fast path by construction. Still exact.
+TEST(SplitDeliveryTest, WholeSegmentThresholdIsExact) {
+  Rng rng(2718);
+  Tree tree = RandomTree(&rng, 300);
+  auto doc_r = FragmentRandomly(tree, 5, &rng);
+  ASSERT_TRUE(doc_r.ok());
+  auto doc = std::make_shared<FragmentedDocument>(std::move(doc_r).ValueOrDie());
+  Cluster cluster(doc, 2);
+  cluster.PlaceRootAndSpread();
+
+  for (const std::string& query : PropertyQueryBattery()) {
+    auto serial = EvaluateDistributed(
+        cluster, query, Options(DistributedAlgorithm::kPaX2, true, 1, 0));
+    auto split = EvaluateDistributed(
+        cluster, query, Options(DistributedAlgorithm::kPaX2, true, 4, 100));
+    ASSERT_TRUE(serial.ok()) << query << ": " << serial.status();
+    ASSERT_TRUE(split.ok()) << query << ": " << split.status();
+    EXPECT_EQ(split->answers, serial->answers) << query;
+    ExpectStatsEqual(split->stats, serial->stats, query);
+  }
+}
+
+}  // namespace
+}  // namespace paxml

@@ -43,6 +43,12 @@
 // both directions. Logical accounting is unchanged — only wire bytes
 // shrink. Without the flag every offer is declined and connections run raw
 // frames (the pre-v5 behavior).
+//
+// --rounds R caps how many independent runs' rounds one connection may
+// deliver concurrently when a client's Hello asks for cross-run fan-out
+// (the peer_concurrent_rounds transport knob, wire protocol v6; default:
+// honor the client, bounded at 16). Each run's RunStats stay exactly its
+// solo RunStats — only independent runs overlap.
 
 #include <cstdio>
 #include <cstdlib>
@@ -66,7 +72,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: paxml_site DATADIR --site N --sites K "
                "--placement 0,1,... [--host H] [--port P] [--threads T] "
-               "[--memo] [--compress]\n");
+               "[--memo] [--compress] [--rounds R]\n");
 }
 
 /// Loads whichever workload the directory holds: a graph store when its
@@ -113,6 +119,7 @@ int main(int argc, char** argv) {
   size_t max_threads = 0;  // 0 = honor the client's Hello
   bool memo = false;
   bool compress = false;
+  size_t max_rounds = 0;  // 0 = honor the client's Hello
 
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--site") == 0 && i + 1 < argc) {
@@ -134,6 +141,8 @@ int main(int argc, char** argv) {
       memo = true;
     } else if (std::strcmp(argv[i], "--compress") == 0) {
       compress = true;
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      max_rounds = static_cast<size_t>(std::atoll(argv[++i]));
     } else {
       Usage();
       return 2;
@@ -177,7 +186,7 @@ int main(int argc, char** argv) {
   SiteServer server(&cluster, site, MakeSiteProgramFactory(&cluster),
                     max_threads,
                     memo ? std::make_shared<FragmentMemo>() : nullptr,
-                    compress);
+                    compress, max_rounds);
   auto bound = server.Listen(host, port);
   if (!bound.ok()) {
     std::fprintf(stderr, "paxml_site: %s\n", bound.status().ToString().c_str());
